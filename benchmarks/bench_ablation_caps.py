@@ -1,0 +1,44 @@
+"""Ablation bench: the bounded-search caps (DESIGN.md design choices).
+
+The paper mentions "several additional optimizations" without detail;
+this repo's analogues are the search caps (``max_rewrites_per_span``,
+``max_loop_bodies_per_span``, ``max_store_tuples``,
+``max_parametrize_variants``).  This bench quantifies them on a
+representative suite slice: the defaults must not lose intended
+programs relative to the loose configuration.
+
+Restrict further with ``REPRO_ABLATION_SUBSET``; lower
+``REPRO_ABLATION_CAP`` for a quicker pass.
+"""
+
+import os
+
+from repro.harness.ablations import (
+    DEFAULT_SUBSET,
+    render_variants,
+    run_caps_ablation,
+)
+
+
+def _subset():
+    raw = os.environ.get("REPRO_ABLATION_SUBSET", "").strip()
+    if not raw:
+        return DEFAULT_SUBSET
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def _cap():
+    return int(os.environ.get("REPRO_ABLATION_CAP", "40"))
+
+
+def test_caps_ablation(benchmark):
+    outcomes = benchmark.pedantic(
+        run_caps_ablation, args=(_subset(), _cap()), rounds=1, iterations=1
+    )
+    print()
+    print(render_variants("Search-cap ablation", outcomes))
+    by_name = {outcome.name: outcome for outcome in outcomes}
+    default = next(o for name, o in by_name.items() if name.startswith("default"))
+    loose = next(o for name, o in by_name.items() if name.startswith("loose"))
+    # the default caps must not cost intended programs vs. unbounded-ish
+    assert default.solved >= loose.solved

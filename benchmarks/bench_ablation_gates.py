@@ -1,0 +1,44 @@
+"""Ablation bench: the shape-periodicity gates (DESIGN.md design choice).
+
+:mod:`repro.synth.periodicity` adds two prefilters to Algorithm 2's span
+enumeration.  The pivot gate precomputes a necessary condition of the
+anti-unification rules, so it must solve exactly the same benchmarks as
+the ungated engine; the window gate prunes harder and is measured here
+for its accuracy/time trade.
+
+Restrict with ``REPRO_ABLATION_SUBSET``; lower ``REPRO_ABLATION_CAP``
+for a quicker pass.
+"""
+
+import os
+
+from repro.harness.ablations import (
+    DEFAULT_SUBSET,
+    render_variants,
+    run_gates_ablation,
+)
+
+
+def _subset():
+    raw = os.environ.get("REPRO_ABLATION_SUBSET", "").strip()
+    if not raw:
+        return DEFAULT_SUBSET
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def _cap():
+    return int(os.environ.get("REPRO_ABLATION_CAP", "40"))
+
+
+def test_gates_ablation(benchmark):
+    outcomes = benchmark.pedantic(
+        run_gates_ablation, args=(_subset(), _cap()), rounds=1, iterations=1
+    )
+    print()
+    print(render_variants("Shape-gate ablation", outcomes))
+    by_name = {outcome.name: outcome for outcome in outcomes}
+    gated = next(o for name, o in by_name.items() if name.startswith("pivot gate"))
+    ungated = by_name["no gates"]
+    # the pivot gate is behaviour-preserving: same benchmarks solved
+    assert gated.solved == ungated.solved
+    assert gated.mean_accuracy == ungated.mean_accuracy

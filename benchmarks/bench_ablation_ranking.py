@@ -1,0 +1,40 @@
+"""Ablation bench: ranking strategies (Algorithm 1 line 8).
+
+The paper ranks generalizing programs smallest-first (§4: "we aim to
+synthesize a smallest program in size").  This bench compares that
+default against the alternative strategies in
+:mod:`repro.synth.ranking` on a representative suite slice: the paper's
+choice must solve at least as many benchmarks as any alternative.
+
+Restrict with ``REPRO_ABLATION_SUBSET`` / ``REPRO_ABLATION_CAP``.
+"""
+
+import os
+
+from repro.harness.ablations import (
+    DEFAULT_SUBSET,
+    render_variants,
+    run_ranking_ablation,
+)
+
+
+def _subset():
+    raw = os.environ.get("REPRO_ABLATION_SUBSET", "").strip()
+    if not raw:
+        return DEFAULT_SUBSET
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def _cap():
+    return int(os.environ.get("REPRO_ABLATION_CAP", "40"))
+
+
+def test_ranking_ablation(benchmark):
+    outcomes = benchmark.pedantic(
+        run_ranking_ablation, args=(_subset(), _cap()), rounds=1, iterations=1
+    )
+    print()
+    print(render_variants("Ranking-strategy ablation", outcomes))
+    by_name = {outcome.name: outcome for outcome in outcomes}
+    size = by_name["ranking=size"]
+    assert size.solved == max(outcome.solved for outcome in outcomes)

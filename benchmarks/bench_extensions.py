@@ -1,0 +1,41 @@
+"""Extension bench: the paper's published failure cases, solved opt-in.
+
+§7.1 names two mechanisms WebRobot does not support: disjunctive
+selectors (b6, "match or match highlight") and numbered pagination
+(b9/b10, timesjobs-style page-number blocks).  This repo implements
+both as opt-in extensions (``use_token_predicates``,
+``use_numbered_pagination``).  The bench verifies the published
+behaviour is preserved by default (the cases stay unsolved) and that
+each extension turns its case into an intended program.
+
+Lower ``REPRO_EXT_CAP`` for a quicker pass; ``REPRO_EXT_SUBSET``
+restricts the cases.
+"""
+
+import os
+
+from repro.harness.ablations import render_extensions, run_extensions_report
+
+
+def _cap():
+    return int(os.environ.get("REPRO_EXT_CAP", "60"))
+
+
+def _bids():
+    raw = os.environ.get("REPRO_EXT_SUBSET", "").strip()
+    if not raw:
+        return None
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def test_extensions_solve_published_failures(benchmark):
+    cases = benchmark.pedantic(
+        run_extensions_report, args=(_cap(), 1.0, _bids()), rounds=1, iterations=1
+    )
+    print()
+    print(render_extensions(cases))
+    for case in cases:
+        # the published system's failure is reproduced by default ...
+        assert not case.baseline.intended, f"{case.bid} unexpectedly solved by default"
+        # ... and the matching extension solves it
+        assert case.extended.intended, f"{case.bid} not solved with extension"

@@ -1,0 +1,32 @@
+"""Regenerates Table 2 (Q4): the egg-style baseline comparison.
+
+Nine selector-loop-only benchmarks; for each, the baseline and WebRobot
+are measured at the shortest trace length yielding an intended program,
+plus the cost of saturating the complete trace.  The paper's shape must
+hold: the correct-by-construction baseline is competitive on single
+loops, orders of magnitude slower on doubly-nested ones (b12-class), and
+exhausts its budget on three-level nesting (b56), while WebRobot stays
+within one second throughout.
+"""
+
+from repro.harness.q4 import run_q4
+
+
+def test_q4_table2(benchmark):
+    report = benchmark.pedantic(run_q4, rounds=1, iterations=1)
+    print()
+    print(report.render_table2())
+    by_bid = {row.bid: row for row in report.rows}
+    flat_full = [by_bid[bid].baseline.full_time for bid in ("b73", "b74", "b75", "b76")]
+    nested = by_bid["b12"].baseline
+    triple = by_bid["b56"].baseline
+    # single loops: well under a second on the full trace
+    assert all(value is not None and value < 1.0 for value in flat_full)
+    # doubly-nested: at least an order of magnitude costlier than flat
+    assert nested.full_timed_out or nested.full_time > 10 * max(flat_full)
+    # three-level: near or past the budget
+    assert triple.full_timed_out or triple.full_time > 30.0
+    # WebRobot solves every benchmark within its 1s budget
+    for row in report.rows:
+        assert row.webrobot.shortest_length is not None
+        assert row.webrobot.shortest_time < 1.5

@@ -1,0 +1,35 @@
+"""Extension bench: replay survival under page drift.
+
+Quantifies the two robustness mechanisms — the paper's selector search
+(attribute-anchored synthesized programs) and this repo's selector
+repair (fingerprint re-anchoring) — across the drift ladder of
+:mod:`repro.harness.drift`.  The headline shape asserted here:
+
+* recorded raw paths fail from the first layout change onward, and
+  repair rescues them at every level;
+* synthesized programs survive pure layout drift unrepaired;
+* repair never makes any outcome worse.
+"""
+
+from repro.harness.drift import DRIFT_LEVELS, render_drift, run_drift_study
+
+
+def test_repair_drift(benchmark):
+    rows = benchmark.pedantic(run_drift_study, rounds=1, iterations=1)
+    print()
+    print(render_drift(rows))
+    assert [row.level for row in rows] == list(DRIFT_LEVELS)
+    by_level = {row.level: row for row in rows}
+    # clean replay is perfect for everyone
+    clean = by_level["clean"]
+    assert clean.brittle_plain.verdict == "ok"
+    assert clean.synth_plain.verdict == "ok"
+    # raw paths break at the first banner; repair rescues them everywhere
+    assert by_level["banner"].brittle_plain.verdict == "failed"
+    assert all(row.brittle_repaired.succeeded for row in rows)
+    # attribute anchors survive pure layout drift without repair
+    assert by_level["banner"].synth_plain.verdict == "ok"
+    # repair never degrades an outcome
+    for row in rows:
+        assert row.brittle_repaired.succeeded >= row.brittle_plain.succeeded
+        assert row.synth_repaired.succeeded >= row.synth_plain.succeeded

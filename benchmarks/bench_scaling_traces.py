@@ -1,0 +1,30 @@
+"""Scaling bench: per-call synthesis time vs. trace length (§5.4).
+
+Shows the shape behind Table 1's "No incremental" row: the incremental
+engine's per-call cost stays roughly flat as the demonstration grows,
+while the from-scratch engine re-explores the whole trace on every
+call.  The assertion compares the two engines on the *final* trace
+bucket, where the gap is widest.
+
+``REPRO_SCALING_BENCH`` picks the subject benchmark;
+``REPRO_SCALING_LEN`` bounds the trace length.
+"""
+
+import os
+
+from repro.harness.scaling import DEFAULT_BENCHMARK, render_scaling, run_scaling
+
+
+def test_incremental_scaling(benchmark):
+    bid = os.environ.get("REPRO_SCALING_BENCH", DEFAULT_BENCHMARK)
+    max_length = int(os.environ.get("REPRO_SCALING_LEN", "80"))
+    series = benchmark.pedantic(
+        run_scaling, args=(bid, max_length), rounds=1, iterations=1
+    )
+    print()
+    print(render_scaling(series))
+    incremental, scratch = series
+    # compare mean time over the last bucket: incremental must win
+    last_inc = incremental.bucket_means(10)[-1][1]
+    last_scratch = scratch.bucket_means(10)[-1][1]
+    assert last_inc <= last_scratch

@@ -1,0 +1,18 @@
+"""Regenerates §7's "Statistics of benchmarks" block.
+
+Checks that the suite reproduces the paper's corpus statistics exactly
+(76 benchmarks; 29 entry / 60 navigation / 33 pagination / 28 all-three).
+"""
+
+from repro.harness.stats import render_statistics, suite_statistics
+
+
+def test_suite_statistics(benchmark):
+    stats = benchmark(suite_statistics)
+    print()
+    print(render_statistics())
+    assert stats["total"] == 76
+    assert stats["entry"] == 29
+    assert stats["navigation"] == 60
+    assert stats["pagination"] == 33
+    assert stats["entry+extraction+navigation"] == 28

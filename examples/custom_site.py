@@ -1,0 +1,88 @@
+"""Defining your own virtual website and automating it.
+
+Shows the full substrate API: subclass ``VirtualWebsite`` (states render
+to DOM snapshots; clicks and typing are state transitions), demonstrate a
+few actions against it, and let the synthesizer take over.  The example
+site is a two-page bookshelf with a "show more" button.
+
+Run with::
+
+    python examples/custom_site.py
+"""
+
+from repro import Browser, Synthesizer, VirtualWebsite, format_program
+from repro.dom import E, page, parse_selector
+from repro.lang import EMPTY_DATA, click, scrape_text
+
+
+class BookshelfSite(VirtualWebsite):
+    """Two shelves of books behind a 'show more' button."""
+
+    SHELVES = {
+        1: [("Gödel, Escher, Bach", "Hofstadter"), ("SICP", "Abelson & Sussman")],
+        2: [("TAPL", "Pierce"), ("The Little Typer", "Friedman"),
+            ("Software Foundations", "Pierce et al.")],
+    }
+
+    def initial_state(self):
+        return 1  # shelf number
+
+    def url(self, state):
+        return f"virtual://bookshelf/shelf/{state}"
+
+    def render(self, state):
+        rows = [
+            E("li", {"class": "book"},
+              E("span", {"class": "title"}, text=title),
+              E("span", {"class": "author"}, text=author))
+            for title, author in self.SHELVES[state]
+        ]
+        more = []
+        if state < len(self.SHELVES):
+            more.append(E("button", {"class": "more"}, text="show more"))
+        return page(
+            E("h1", text=f"Shelf {state}"),
+            E("ul", {"class": "books"}, *rows),
+            *more,
+        )
+
+    def on_click(self, state, node, dom):
+        if node.tag == "button" and "more" in node.get("class"):
+            if state < len(self.SHELVES):
+                return state + 1
+        return None
+
+
+def main() -> None:
+    browser = Browser(BookshelfSite())
+
+    # Demonstrate: both fields of both books on shelf 1, then 'show more'
+    # and the first book of shelf 2.
+    for book in (1, 2):
+        browser.perform(scrape_text(parse_selector(f"//li[@class='book'][{book}]/span[1]")))
+        browser.perform(scrape_text(parse_selector(f"//li[@class='book'][{book}]/span[2]")))
+    browser.perform(click(parse_selector("//button[@class='more'][1]")))
+    browser.perform(scrape_text(parse_selector("//li[@class='book'][1]/span[1]")))
+    browser.perform(scrape_text(parse_selector("//li[@class='book'][1]/span[2]")))
+
+    synthesizer = Synthesizer(EMPTY_DATA)
+    # Automate the rest, one predicted action at a time.
+    while True:
+        actions, snapshots = browser.trace()
+        result = synthesizer.synthesize(actions, snapshots)
+        if result.best_prediction is None:
+            break
+        browser.perform(result.best_prediction)
+
+    actions, snapshots = browser.trace()
+    final = synthesizer.synthesize(actions[:-1], snapshots[:-1])
+    if final.best_program:
+        print("Program in effect at the last prediction:")
+        print(format_program(final.best_program))
+    print(f"\nScraped {len(browser.outputs)} values:")
+    for value in browser.outputs:
+        print(f"  {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Replay a synthesized robot on a redesigned site via selector repair.
+
+Scenario: you demonstrated a scrape in March; by June the site shipped a
+redesign — a sale banner above the results and a sponsored card ahead of
+the first store.  The synthesized program still refers to the March
+layout.  A plain replay fails (or worse, silently scrapes the sponsored
+card); a :class:`repro.RepairingReplayer` shadow-replays the program on
+the remembered layout, fingerprints each intended node, and re-anchors
+the actions on the redesigned page — logging every substitution.
+
+Run with::
+
+    python examples/drift_repair.py
+"""
+
+from repro import Browser, RepairingReplayer, Replayer, Synthesizer, format_program
+from repro.browser.virtual import State, VirtualWebsite
+from repro.dom.builder import E, page
+from repro.lang import EMPTY_DATA, scrape_text
+from repro.dom import parse_selector
+from repro.util import ReplayError
+
+STORES = [("Ann Arbor", "555-0100"), ("Detroit", "555-0200"), ("Lansing", "555-0300")]
+
+
+class StoreSite(VirtualWebsite):
+    """One results page; ``redesigned=True`` applies the June layout."""
+
+    def __init__(self, redesigned: bool = False) -> None:
+        super().__init__()
+        self.redesigned = redesigned
+
+    def initial_state(self) -> State:
+        return "results"
+
+    def render(self, state: State) -> "DOMNode":
+        cards = [
+            E("div", {"class": "card"},
+              E("h3", text=name),
+              E("div", {"class": "phone"}, text=phone))
+            for name, phone in STORES
+        ]
+        if not self.redesigned:
+            return page(E("div", {"class": "results"}, *cards))
+        sponsored = E("div", {"class": "card", "data-sponsored": "1"},
+                      E("h3", text="Sponsored: MegaStore"),
+                      E("div", {"class": "phone"}, text="555-9999"))
+        return page(
+            E("div", {"class": "banner"}, text="SUMMER SALE"),
+            E("div", {"class": "results"}, sponsored, *cards),
+        )
+
+
+def main() -> None:
+    # --- 1. March: demonstrate on the original site, synthesize --------
+    march = Browser(StoreSite())
+    for card in (1, 2):
+        march.perform(scrape_text(parse_selector(f"//div[@class='card'][{card}]/h3[1]")))
+        march.perform(scrape_text(parse_selector(
+            f"//div[@class='card'][{card}]/div[@class='phone'][1]")))
+    actions, snapshots = march.trace()
+    program = Synthesizer(EMPTY_DATA).synthesize(actions, snapshots).best_program
+    print("Synthesized in March:")
+    print(format_program(program))
+
+    expected = [value for store in STORES for value in store]
+    print(f"\nMarch replay scrapes: {Replayer(Browser(StoreSite())).run(program).outputs}")
+    assert Replayer(Browser(StoreSite())).run(program).outputs == expected
+
+    # --- 2. June: the redesign breaks / corrupts plain replay ----------
+    # The synthesized loop anchors on div[@class='card'], and the June
+    # page's first card is the *sponsored* one — plain replay happily
+    # scrapes the ad first.  (Programs with raw-path selectors fail
+    # outright instead; both hazards are drift.)
+    june_plain = Replayer(Browser(StoreSite(redesigned=True)), raise_errors=False)
+    outputs = june_plain.run(program).outputs
+    print(f"\nJune plain replay scrapes: {outputs[:4]} ...")
+    assert outputs[:2] == ["Sponsored: MegaStore", "555-9999"]
+
+    # --- 3. June, repaired: shadow replay against the March layout -----
+    live = Browser(StoreSite(redesigned=True))
+    reference = Browser(StoreSite())  # the site as demonstrated
+    repairer = RepairingReplayer(live, reference, verify=True)
+    result = repairer.run(program)
+    print(f"\nJune repaired replay scrapes: {result.outputs}")
+    print(f"Repairs made ({len(repairer.events)}):")
+    for event in repairer.events:
+        print(f"  [{event.reason}] {event.kind}: {event.original}")
+        print(f"      -> {event.replacement}  (similarity {event.score:.2f})")
+    assert result.outputs[: len(expected)] == expected
+
+    # --- 4. Unrepairable drift raises instead of guessing --------------
+    class EmptySite(StoreSite):
+        def render(self, state: State) -> "DOMNode":
+            return page(E("p", text="we moved!"))
+
+    from repro.lang import parse_program
+
+    brittle = parse_program("ScrapeText(/html[1]/body[1]/div[1]/div[1]/h3[1])")
+    try:
+        RepairingReplayer(Browser(EmptySite()), Browser(StoreSite())).run(brittle)
+        raise AssertionError("expected the unrepairable replay to fail")
+    except ReplayError as error:
+        print(f"\nUnrepairable page correctly refused: {error}")
+
+
+if __name__ == "__main__":
+    main()

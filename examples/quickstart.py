@@ -1,0 +1,59 @@
+"""Quickstart: synthesize a scraping loop from four demonstrated actions.
+
+Scenario: a page lists result cards; you scrape the name and phone of
+the first two cards by hand.  WebRobot generalizes the four actions into
+a loop and predicts what you would do next.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Browser, Synthesizer, format_program
+from repro.benchmarks.sites.store_locator import StoreLocatorSite
+from repro.dom import parse_selector
+from repro.lang import EMPTY_DATA, scrape_text
+
+
+def main() -> None:
+    # A virtual website standing in for a real browser session: results
+    # for one zip code, one page of four stores.
+    site = StoreLocatorSite(pages_per_zip=1, stores_per_page=4, fixed_zip="48104")
+    browser = Browser(site)
+
+    # --- 1. Demonstrate: scrape name + phone of the first two cards ----
+    for card in (1, 2):
+        browser.perform(scrape_text(parse_selector(
+            f"//div[@class='rightContainer'][{card}]//h3[1]")))
+        browser.perform(scrape_text(parse_selector(
+            f"//div[@class='rightContainer'][{card}]//div[@class='locatorPhone'][1]")))
+    print("Demonstrated actions (as recorded, raw XPaths):")
+    for action in browser.recorded_actions:
+        print(f"  {action}")
+
+    # --- 2. Synthesize: find programs that generalize the trace --------
+    synthesizer = Synthesizer(EMPTY_DATA)
+    actions, snapshots = browser.trace()
+    result = synthesizer.synthesize(actions, snapshots)
+
+    print(f"\nGeneralizing programs found: {len(result.programs)}")
+    print("Best program:")
+    print(format_program(result.best_program))
+
+    # --- 3. Predict: the action the user would perform next ------------
+    print(f"\nPredicted next action: {result.best_prediction}")
+
+    # --- 4. Automate: execute the prediction loop to finish the task ---
+    while True:
+        actions, snapshots = browser.trace()
+        result = synthesizer.synthesize(actions, snapshots)
+        if result.best_prediction is None:
+            break
+        browser.perform(result.best_prediction)
+    print(f"\nScraped dataset ({len(browser.outputs)} values):")
+    for value in browser.outputs:
+        print(f"  {value}")
+
+
+if __name__ == "__main__":
+    main()

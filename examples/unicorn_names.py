@@ -1,0 +1,59 @@
+"""The paper's introduction scenario: the unicorn name generator.
+
+A manager must generate a unicorn name for every customer in a
+spreadsheet using a web form that is disconnected from the CRM.  Instead
+of copy-pasting 100 names by hand, she demonstrates the first two rounds
+(enter name, click Generate, scrape the result); WebRobot synthesizes the
+data-entry loop and automates the rest through the interactive session.
+
+Run with::
+
+    python examples/unicorn_names.py
+"""
+
+from repro import Browser, DataSource, InteractiveSession, OracleUser, Synthesizer, format_program
+from repro import parse_program, record_ground_truth
+from repro.benchmarks.sites.unicorn_namer import UnicornNamerSite
+
+CUSTOMERS = ["ada stone", "bob reyes", "cyd okoye", "dee lam", "eli fox",
+             "fay dorn", "gus pike", "hal voss"]
+
+GROUND_TRUTH = parse_program("""
+foreach c in ValuePaths(x["customers"]) do
+  EnterData(//input[@name='customer'][1], c)
+  Click(//button[@class='generate'][1])
+  ScrapeText(//div[@class='unicornName'][1])
+""")
+
+
+def main() -> None:
+    data = DataSource({"customers": CUSTOMERS})
+    recording = record_ground_truth(UnicornNamerSite(), GROUND_TRUTH, data)
+
+    browser = Browser(UnicornNamerSite(), data)
+    session = InteractiveSession(
+        browser,
+        Synthesizer(data),
+        OracleUser(recording),
+    )
+    report = session.run()
+
+    print("Interactive session finished.")
+    print(f"  demonstrated by hand : {report.demonstrated} actions")
+    print(f"  authorized one-by-one: {report.authorized} actions")
+    print(f"  automated by robot   : {report.automated} actions")
+    print(f"  task completed       : {report.completed}\n")
+
+    actions, snapshots = browser.trace()
+    result = Synthesizer(data).synthesize(actions[:-1], snapshots[:-1])
+    if result.best_program is not None:
+        print("Synthesized program:")
+        print(format_program(result.best_program))
+
+    print("\nCustomer -> unicorn name:")
+    for customer, unicorn in zip(CUSTOMERS, browser.outputs):
+        print(f"  {customer:12s} -> {unicorn}")
+
+
+if __name__ == "__main__":
+    main()

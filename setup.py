@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs fail.  ``python setup.py develop`` uses this
+file instead (mirroring pyproject.toml).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of WebRobot: web RPA via interactive "
+        "programming-by-demonstration (PLDI 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["webrobot-repro = repro.cli:main"]},
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

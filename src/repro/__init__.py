@@ -1,0 +1,82 @@
+"""repro — a reproduction of WebRobot (PLDI 2022).
+
+Web robotic process automation via interactive programming-by-
+demonstration: record actions + DOM snapshots, synthesize generalizing
+programs through speculative rewriting, and automate the rest of the
+task.
+
+Quick start::
+
+    from repro import Browser, Synthesizer, DataSource
+    from repro.benchmarks.sites.store_locator import StoreLocatorSite
+
+    browser = Browser(StoreLocatorSite(), DataSource({"zips": ["48104"]}))
+    ...  # perform a few actions
+    result = Synthesizer(browser.data).synthesize(*browser.trace())
+    print(result.best_program, result.best_prediction)
+
+See ``examples/`` for complete end-to-end scenarios and ``DESIGN.md`` for
+the paper-to-module map.
+"""
+
+from repro.browser import (
+    Browser,
+    Recording,
+    RepairingReplayer,
+    Replayer,
+    VirtualWebsite,
+    record_ground_truth,
+)
+from repro.export import export_program
+from repro.interact import InteractiveSession, NoisyUser, OracleUser, SessionReport
+from repro.lang import (
+    Action,
+    DataSource,
+    Program,
+    format_program,
+    parse_program,
+)
+from repro.lang.check import assert_well_formed, check_program
+from repro.lang.lint import LintFinding, lint_program
+from repro.synth import (
+    DEFAULT_CONFIG,
+    SynthesisConfig,
+    SynthesisProblem,
+    SynthesisResult,
+    Synthesizer,
+    generalizes,
+    satisfies,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Browser",
+    "Recording",
+    "Replayer",
+    "VirtualWebsite",
+    "record_ground_truth",
+    "InteractiveSession",
+    "NoisyUser",
+    "OracleUser",
+    "SessionReport",
+    "Action",
+    "DataSource",
+    "Program",
+    "format_program",
+    "parse_program",
+    "export_program",
+    "check_program",
+    "assert_well_formed",
+    "LintFinding",
+    "lint_program",
+    "RepairingReplayer",
+    "DEFAULT_CONFIG",
+    "SynthesisConfig",
+    "SynthesisProblem",
+    "SynthesisResult",
+    "Synthesizer",
+    "generalizes",
+    "satisfies",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""The rewrite-based baseline of §7.4: mini e-graph + Split/Reroll/Unsplit."""
+
+from repro.baseline.egraph import EClassId, EGraph, ENode, PatternVar
+from repro.baseline.egg_synth import (
+    BaselineResult,
+    substitute,
+    synthesize_baseline,
+    unroll,
+)
+
+__all__ = [
+    "EClassId",
+    "EGraph",
+    "ENode",
+    "PatternVar",
+    "BaselineResult",
+    "substitute",
+    "synthesize_baseline",
+    "unroll",
+]

@@ -1,0 +1,211 @@
+"""A small e-graph library (union-find + hashcons + congruence closure).
+
+The paper's Q4 baseline is built with `egg` (Willsey et al., POPL 2021).
+This module reimplements the core machinery egg provides — e-classes,
+congruence-closed merging, and pattern e-matching — in plain Python.  The
+span-based baseline synthesizer (:mod:`repro.baseline.egg_synth`) plays
+the role of egg's *rules + scheduler* for the trace-rewriting domain.
+
+The implementation follows the classic worklist ``rebuild`` design:
+merges enqueue the merged class, and rebuilding re-canonicalises parent
+e-nodes, merging classes that become congruent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Optional, Union
+
+EClassId = int
+
+
+@dataclass(frozen=True)
+class ENode:
+    """An operator applied to e-class children (payload for leaves)."""
+
+    op: Hashable
+    children: tuple[EClassId, ...] = ()
+
+
+@dataclass(frozen=True)
+class PatternVar:
+    """A pattern variable for :meth:`EGraph.ematch`."""
+
+    name: str
+
+
+#: Patterns are nested tuples ``(op, child_pattern, ...)`` or variables.
+Pattern = Union[tuple, PatternVar]
+
+
+class EGraph:
+    """E-classes over :class:`ENode` terms with congruence closure."""
+
+    def __init__(self) -> None:
+        self._parent: list[EClassId] = []
+        self._hashcons: dict[ENode, EClassId] = {}
+        self._class_nodes: dict[EClassId, set[ENode]] = {}
+        self._class_parents: dict[EClassId, list[ENode]] = {}
+        self._dirty: list[EClassId] = []
+
+    # ------------------------------------------------------------------
+    # Union-find
+    # ------------------------------------------------------------------
+    def find(self, class_id: EClassId) -> EClassId:
+        """Canonical representative of a class (with path compression)."""
+        root = class_id
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[class_id] != root:
+            self._parent[class_id], class_id = root, self._parent[class_id]
+        return root
+
+    def _new_class(self) -> EClassId:
+        class_id = len(self._parent)
+        self._parent.append(class_id)
+        self._class_nodes[class_id] = set()
+        self._class_parents[class_id] = []
+        return class_id
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def canonicalize(self, node: ENode) -> ENode:
+        """Rewrite child ids to their representatives."""
+        return ENode(node.op, tuple(self.find(child) for child in node.children))
+
+    def add(self, op: Hashable, children: tuple[EClassId, ...] = ()) -> EClassId:
+        """Add (or find) the e-node ``op(children...)``; returns its class."""
+        node = self.canonicalize(ENode(op, tuple(children)))
+        existing = self._hashcons.get(node)
+        if existing is not None:
+            return self.find(existing)
+        class_id = self._new_class()
+        self._hashcons[node] = class_id
+        self._class_nodes[class_id].add(node)
+        for child in node.children:
+            self._class_parents[child].append(node)
+        return class_id
+
+    def add_term(self, term: tuple) -> EClassId:
+        """Add a nested-tuple term ``(op, subterm, ...)`` bottom-up."""
+        op, *subterms = term
+        children = tuple(self.add_term(sub) for sub in subterms)
+        return self.add(op, children)
+
+    # ------------------------------------------------------------------
+    # Merging + rebuilding
+    # ------------------------------------------------------------------
+    def merge(self, first: EClassId, second: EClassId) -> EClassId:
+        """Union two classes; call :meth:`rebuild` before reading back."""
+        root_a, root_b = self.find(first), self.find(second)
+        if root_a == root_b:
+            return root_a
+        # union by size of node sets
+        if len(self._class_nodes[root_a]) < len(self._class_nodes[root_b]):
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._class_nodes[root_a] |= self._class_nodes.pop(root_b)
+        self._class_parents[root_a].extend(self._class_parents.pop(root_b))
+        self._dirty.append(root_a)
+        return root_a
+
+    def rebuild(self) -> None:
+        """Restore congruence: merge classes whose nodes became equal."""
+        while self._dirty:
+            todo = {self.find(class_id) for class_id in self._dirty}
+            self._dirty.clear()
+            for class_id in todo:
+                self._repair(class_id)
+
+    def _repair(self, class_id: EClassId) -> None:
+        class_id = self.find(class_id)
+        parents = self._class_parents.get(class_id, [])
+        seen: dict[ENode, EClassId] = {}
+        for parent in parents:
+            owner = self._hashcons.pop(parent, None)
+            canonical = self.canonicalize(parent)
+            if owner is None:
+                owner = self._hashcons.get(canonical)
+                if owner is None:
+                    continue
+            owner = self.find(owner)
+            duplicate = seen.get(canonical)
+            if duplicate is not None and duplicate != owner:
+                owner = self.find(self.merge(duplicate, owner))
+            seen[canonical] = owner
+            self._hashcons[canonical] = owner
+        # refresh the class's own node set
+        class_id = self.find(class_id)
+        refreshed = {self.canonicalize(node) for node in self._class_nodes[class_id]}
+        self._class_nodes[class_id] = refreshed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def equal(self, first: EClassId, second: EClassId) -> bool:
+        """Whether two ids currently denote the same class."""
+        return self.find(first) == self.find(second)
+
+    def nodes(self, class_id: EClassId) -> set[ENode]:
+        """The e-nodes of a class (canonicalised)."""
+        return {
+            self.canonicalize(node) for node in self._class_nodes[self.find(class_id)]
+        }
+
+    def classes(self) -> Iterator[EClassId]:
+        """All canonical class ids."""
+        for class_id in self._class_nodes:
+            if self.find(class_id) == class_id:
+                yield class_id
+
+    def class_count(self) -> int:
+        """Number of distinct classes."""
+        return sum(1 for _ in self.classes())
+
+    def node_count(self) -> int:
+        """Number of canonical e-nodes."""
+        return len(self._hashcons)
+
+    # ------------------------------------------------------------------
+    # E-matching
+    # ------------------------------------------------------------------
+    def ematch(self, pattern: Pattern) -> list[tuple[EClassId, dict[str, EClassId]]]:
+        """All ``(class, substitution)`` pairs where ``pattern`` matches."""
+        matches: list[tuple[EClassId, dict[str, EClassId]]] = []
+        for class_id in self.classes():
+            for substitution in self._match_class(pattern, class_id, {}):
+                matches.append((class_id, substitution))
+        return matches
+
+    def _match_class(
+        self, pattern: Pattern, class_id: EClassId, subst: dict[str, EClassId]
+    ) -> Iterator[dict[str, EClassId]]:
+        class_id = self.find(class_id)
+        if isinstance(pattern, PatternVar):
+            bound = subst.get(pattern.name)
+            if bound is None:
+                extended = dict(subst)
+                extended[pattern.name] = class_id
+                yield extended
+            elif self.find(bound) == class_id:
+                yield subst
+            return
+        op, *sub_patterns = pattern
+        for node in self.nodes(class_id):
+            if node.op != op or len(node.children) != len(sub_patterns):
+                continue
+            yield from self._match_children(sub_patterns, node.children, subst)
+
+    def _match_children(
+        self,
+        patterns: list[Pattern],
+        children: tuple[EClassId, ...],
+        subst: dict[str, EClassId],
+    ) -> Iterator[dict[str, EClassId]]:
+        if not patterns:
+            yield subst
+            return
+        head, *rest = patterns
+        for extended in self._match_class(head, children[0], subst):
+            yield from self._match_children(rest, children[1:], extended)

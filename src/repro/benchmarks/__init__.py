@@ -1,0 +1,29 @@
+"""The 76-benchmark web RPA suite and its synthetic site families."""
+
+from repro.benchmarks.suite import (
+    ENTRY,
+    EXTRACTION,
+    NAVIGATION,
+    PAGINATION,
+    TABLE2_IDS,
+    Benchmark,
+    MatchDetailDemo,
+    NumberedPagerDemo,
+    ScriptedDemo,
+    all_benchmarks,
+    benchmark_by_id,
+)
+
+__all__ = [
+    "ENTRY",
+    "EXTRACTION",
+    "NAVIGATION",
+    "PAGINATION",
+    "TABLE2_IDS",
+    "Benchmark",
+    "MatchDetailDemo",
+    "NumberedPagerDemo",
+    "ScriptedDemo",
+    "all_benchmarks",
+    "benchmark_by_id",
+]

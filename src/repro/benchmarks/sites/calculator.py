@@ -1,0 +1,65 @@
+"""Single-page unit-converter form — data entry *without* navigation.
+
+Typing a value and clicking *Convert* updates a result element in place;
+the URL never changes.  This is the one entry benchmark in the suite that
+involves no webpage navigation (the paper reports 29 entry benchmarks but
+only 28 combining entry, extraction *and* navigation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.browser.virtual import State, VirtualWebsite
+from repro.dom.builder import E, page
+from repro.dom.node import DOMNode
+
+
+class CalculatorSite(VirtualWebsite):
+    """States: ``("calc", typed, result)``; URL is constant."""
+
+    def __init__(self, rate: float = 1.609344) -> None:
+        super().__init__()
+        self.rate = rate
+
+    def initial_state(self) -> State:
+        return ("calc", "", None)
+
+    def url(self, state: State) -> str:
+        return "virtual://calculator/"  # never navigates
+
+    def convert(self, text: str) -> str:
+        """Miles → kilometres, rendered the way the page shows it."""
+        try:
+            miles = float(text)
+        except ValueError:
+            return "?"
+        return f"{miles * self.rate:.2f} km"
+
+    def expected_results(self, values: list[str]) -> list[str]:
+        """Expected scrape outputs for a full run."""
+        return [self.convert(value) for value in values]
+
+    def render(self, state: State) -> DOMNode:
+        _, typed, result = state
+        parts = [
+            E("h1", text="Mile converter"),
+            E("div", {"class": "form"},
+              E("input", {"name": "miles", "value": typed}),
+              E("button", {"class": "convert"}, text="Convert")),
+        ]
+        if result is not None:
+            parts.append(E("div", {"class": "converted"}, text=result))
+        return page(*parts, title="converter")
+
+    def on_input(self, state: State, node: DOMNode, dom: DOMNode, text: str) -> Optional[State]:
+        if node.tag != "input":
+            return None
+        return ("calc", text, state[2])
+
+    def on_click(self, state: State, node: DOMNode, dom: DOMNode) -> Optional[State]:
+        if node.tag == "button" and "convert" in node.get("class"):
+            _, typed, _ = state
+            if typed:
+                return ("calc", typed, self.convert(typed))
+        return None

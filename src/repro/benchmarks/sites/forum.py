@@ -1,0 +1,96 @@
+"""Forum thread index with pagination — the iMacros-forum shape.
+
+Thread rows carry a title link, author, and reply count; an "older
+threads" link pages through the archive.  Ground truths combine while
+loops with multi-field scraping, including ``ScrapeLink`` benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.browser.virtual import State, VirtualWebsite
+from repro.dom.builder import E, page
+from repro.dom.node import DOMNode
+from repro.util.rng import DetRng
+
+_SUBJECTS = ["loop help", "selector broken", "extract table", "login macro",
+             "csv export", "timeout woes"]
+_HANDLES = ["web_wiz", "scrape_cat", "dom_lord", "xpath_fan", "macro_mike"]
+
+
+class ForumSite(VirtualWebsite):
+    """States: ``("index", page_no)``."""
+
+    def __init__(
+        self,
+        pages: int = 3,
+        threads_per_page: int = 6,
+        seed: str = "forum",
+        pinned: bool = False,
+    ) -> None:
+        super().__init__()
+        self.pages = pages
+        self.threads_per_page = threads_per_page
+        self.seed = seed
+        #: A pinned announcement row at the top of every page shifts the
+        #: raw indices of thread rows, forcing attribute selectors.
+        self.pinned = pinned
+
+    def initial_state(self) -> State:
+        return ("index", 1)
+
+    def url(self, state: State) -> str:
+        return f"virtual://forum/index/{state[1]}"
+
+    def thread(self, page_no: int, position: int) -> dict[str, str]:
+        """Deterministic thread record."""
+        rng = DetRng(f"{self.seed}/{page_no}/{position}")
+        number = rng.randint(10000, 99999)
+        return {
+            "title": f"{rng.choice(_SUBJECTS)} #{number}",
+            "href": f"/viewtopic.php?t={number}",
+            "author": rng.choice(_HANDLES),
+            "replies": str(rng.randint(0, 140)),
+        }
+
+    def expected_fields(self, fields: tuple[str, ...]) -> list[str]:
+        """Values a full all-pages scrape should produce."""
+        return [
+            self.thread(page_no, position)[field]
+            for page_no in range(1, self.pages + 1)
+            for position in range(1, self.threads_per_page + 1)
+            for field in fields
+        ]
+
+    def render(self, state: State) -> DOMNode:
+        _, page_no = state
+        rows = []
+        if self.pinned:
+            rows.append(
+                E("li", {"class": "announce"},
+                  E("a", {"class": "announcetitle", "href": "/rules"}, text="READ FIRST: forum rules")))
+        for position in range(1, self.threads_per_page + 1):
+            record = self.thread(page_no, position)
+            rows.append(
+                E("li", {"class": "row"},
+                  E("a", {"class": "topictitle", "href": record["href"]},
+                    text=record["title"]),
+                  E("span", {"class": "poster"}, text=record["author"]),
+                  E("span", {"class": "posts"}, text=record["replies"])))
+        older = []
+        if page_no < self.pages:
+            older.append(E("a", {"class": "olderLink", "href": "#older"}, text="older →"))
+        return page(
+            E("div", {"class": "navbar"}, E("span", text="Data Extraction forum")),
+            E("ul", {"class": "topiclist"}, *rows),
+            E("div", {"class": "pagination"}, *older),
+            title=f"forum page {page_no}",
+        )
+
+    def on_click(self, state: State, node: DOMNode, dom: DOMNode) -> Optional[State]:
+        _, page_no = state
+        if node.tag == "a" and "olderLink" in node.get("class"):
+            if page_no < self.pages:
+                return ("index", page_no + 1)
+        return None

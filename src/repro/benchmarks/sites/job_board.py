@@ -1,0 +1,134 @@
+"""Job board with two pagination mechanisms.
+
+``mode="next"`` paginates with a single "next" link — the supported,
+while-loop-friendly shape (timesjobs-like listings of title / company /
+experience).
+
+``mode="numbered"`` paginates the paper's unsupported way (b9): a
+*fixed block* of page-number buttons plus a "next block" button (the
+timesjobs "next 10 pages" mechanism, block size 3 here).  Advancing one
+page means clicking a *different* button position each time — clicking
+any fixed position eventually hits the current page and goes nowhere —
+so no click-terminated while loop describes the task.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.browser.virtual import State, VirtualWebsite
+from repro.dom.builder import E, page
+from repro.dom.node import DOMNode
+from repro.util.rng import DetRng
+
+_ROLES = ["Data Engineer", "QA Analyst", "Site Reliability", "Frontend Dev", "DBA"]
+_FIRMS = ["Initech", "Globex", "Umbrella", "Hooli", "Stark Industries", "Wayne Corp"]
+
+
+class JobBoardSite(VirtualWebsite):
+    """States: ``("page", number)``."""
+
+    #: Page numbers shown per block in ``numbered`` mode (the paper's
+    #: site shows 10; 3 keeps traces short with the same structure).
+    PAGE_BLOCK = 3
+
+    def __init__(
+        self,
+        pages: int = 4,
+        jobs_per_page: int = 5,
+        mode: str = "next",
+        seed: str = "jobs",
+        promoted: bool = False,
+    ) -> None:
+        super().__init__()
+        if mode not in ("next", "numbered"):
+            raise ValueError(f"unknown pagination mode {mode!r}")
+        self.pages = pages
+        self.jobs_per_page = jobs_per_page
+        self.mode = mode
+        self.seed = seed
+        #: A promoted posting inside the list shifts raw row indices.
+        self.promoted = promoted
+
+    def initial_state(self) -> State:
+        return ("page", 1)
+
+    def url(self, state: State) -> str:
+        return f"virtual://jobs/{self.mode}/page/{state[1]}"
+
+    def job(self, page_no: int, position: int) -> dict[str, str]:
+        """Deterministic job record."""
+        rng = DetRng(f"{self.seed}/{page_no}/{position}")
+        return {
+            "title": f"{rng.choice(_ROLES)} ({rng.choice(['remote', 'hybrid', 'onsite'])})",
+            "company": rng.choice(_FIRMS),
+            "experience": f"{rng.randint(0, 9)}+ yrs",
+        }
+
+    def expected_fields(self, fields: tuple[str, ...]) -> list[str]:
+        """Values a full all-pages scrape should produce."""
+        return [
+            self.job(page_no, position)[field]
+            for page_no in range(1, self.pages + 1)
+            for position in range(1, self.jobs_per_page + 1)
+            for field in fields
+        ]
+
+    # ------------------------------------------------------------------
+    def _pager(self, page_no: int) -> DOMNode:
+        if self.mode == "next":
+            parts = []
+            if page_no < self.pages:
+                parts.append(E("a", {"class": "nextLink", "href": "#next"}, text="Next »"))
+            return E("div", {"class": "pager"}, *parts)
+        # numbered: fixed blocks of page numbers + a next-block button
+        block = (page_no - 1) // self.PAGE_BLOCK
+        first = block * self.PAGE_BLOCK + 1
+        last = min(self.pages, first + self.PAGE_BLOCK - 1)
+        buttons = []
+        for number in range(first, last + 1):
+            cls = "pageNo current" if number == page_no else "pageNo"
+            buttons.append(E("button", {"class": cls, "data-page": str(number)},
+                             text=str(number)))
+        if last < self.pages:
+            buttons.append(E("button", {"class": "nextBlock"}, text="»"))
+        return E("div", {"class": "pager"}, *buttons)
+
+    def render(self, state: State) -> DOMNode:
+        _, page_no = state
+        rows = []
+        if self.promoted:
+            rows.append(
+                E("li", {"class": "promo"},
+                  E("h2", text="Hire with us — promoted")))
+        for position in range(1, self.jobs_per_page + 1):
+            record = self.job(page_no, position)
+            rows.append(
+                E("li", {"class": "job-bx"},
+                  E("h2", text=record["title"]),
+                  E("h3", {"class": "joblist-comp-name"}, text=record["company"]),
+                  E("ul",
+                    E("li", {"class": "experience"}, text=record["experience"]))))
+        return page(
+            E("div", {"class": "header"}, E("h2", text="openings")),
+            E("ul", {"class": "new-joblist"}, *rows),
+            self._pager(page_no),
+            title=f"jobs page {page_no}",
+        )
+
+    def on_click(self, state: State, node: DOMNode, dom: DOMNode) -> Optional[State]:
+        _, page_no = state
+        if self.mode == "next":
+            if node.tag == "a" and "nextLink" in node.get("class"):
+                if page_no < self.pages:
+                    return ("page", page_no + 1)
+            return None
+        if node.tag == "button" and "pageNo" in node.get("class"):
+            target = int(node.get("data-page"))
+            return ("page", target) if target != page_no else None
+        if node.tag == "button" and "nextBlock" in node.get("class"):
+            block = (page_no - 1) // self.PAGE_BLOCK
+            first_of_next = (block + 1) * self.PAGE_BLOCK + 1
+            if first_of_next <= self.pages:
+                return ("page", first_of_next)
+        return None

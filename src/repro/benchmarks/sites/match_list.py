@@ -1,0 +1,101 @@
+"""Sports match listing — the paper's unsupported selector case (b6).
+
+The fixture list interleaves rows of class ``match`` and
+``match highlight`` with ``ad`` rows.  Scraping *exactly the match rows*
+needs a disjunctive predicate (``match`` OR ``match highlight``), which
+the DSL's single-attribute predicates cannot express; nor does a plain
+tag loop work (it would hit the ads).  Clicking a row opens the match
+page (navigation), mirroring "scraping players information for matches".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.browser.virtual import State, VirtualWebsite
+from repro.dom.builder import E, page
+from repro.dom.node import DOMNode
+from repro.util.rng import DetRng
+
+_TEAMS = ["Rovers", "Athletic", "United", "Wanderers", "City", "Albion"]
+
+
+class MatchListSite(VirtualWebsite):
+    """States: ``("list",)`` and ``("match", position)``.
+
+    ``position`` indexes *match rows only* (1-based), skipping ads.
+    """
+
+    def __init__(self, matches: int = 8, seed: str = "matches") -> None:
+        super().__init__()
+        self.matches = matches
+        self.seed = seed
+
+    def initial_state(self) -> State:
+        return ("list",)
+
+    def url(self, state: State) -> str:
+        if state[0] == "list":
+            return "virtual://matches/fixtures"
+        return f"virtual://matches/match/{state[1]}"
+
+    def match(self, position: int) -> dict[str, str]:
+        """Deterministic match record; every third match is a highlight."""
+        rng = DetRng(f"{self.seed}/{position}")
+        home = rng.choice(_TEAMS)
+        away = rng.choice([team for team in _TEAMS if team != home])
+        return {
+            "teams": f"{home} vs {away}",
+            "score": f"{rng.randint(0, 4)}–{rng.randint(0, 4)}",
+            "star": f"{rng.choice('JKLMN')}. {rng.choice(_TEAMS)[:-1]}son",
+            "highlight": position % 3 == 0,
+        }
+
+    def expected_fields(self, fields: tuple[str, ...]) -> list[str]:
+        """Detail-page values for every match row in order."""
+        return [
+            self.match(position)[field]
+            for position in range(1, self.matches + 1)
+            for field in fields
+        ]
+
+    def render(self, state: State) -> DOMNode:
+        if state[0] == "list":
+            rows = []
+            for position in range(1, self.matches + 1):
+                record = self.match(position)
+                cls = "match highlight" if record["highlight"] else "match"
+                # the teams span deliberately carries no class of its
+                # own: only the row's (disjunctive) class distinguishes
+                # fixtures from ads, which is exactly the b6 difficulty
+                rows.append(
+                    E("div", {"class": cls, "data-pos": str(position)},
+                      E("span", text=record["teams"])))
+                if position % 2 == 0:
+                    rows.append(
+                        E("div", {"class": "ad"},
+                          E("span", {"class": "pitch"}, text="place your ad here")))
+            return page(
+                E("h1", text="This week's fixtures"),
+                E("div", {"class": "fixtureList"}, *rows),
+                title="fixtures",
+            )
+        position = state[1]
+        record = self.match(position)
+        return page(
+            E("div", {"class": "matchDetail"},
+              E("h2", text=record["teams"]),
+              E("span", {"class": "score"}, text=record["score"]),
+              E("span", {"class": "star"}, text=record["star"])),
+            title=record["teams"],
+        )
+
+    def on_click(self, state: State, node: DOMNode, dom: DOMNode) -> Optional[State]:
+        if state[0] != "list":
+            return None
+        row = node
+        while row is not None and "match" not in row.get("class", "").split():
+            row = row.parent
+        if row is not None and row.get("data-pos"):
+            return ("match", int(row.get("data-pos")))
+        return None

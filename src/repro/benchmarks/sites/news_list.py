@@ -1,0 +1,103 @@
+"""Single-page news/article list — the simplest scraping shape.
+
+One page, a banner above the list (so article raw paths need attribute
+selectors), rows with headline link, author and date.  Exercises
+single-loop extraction (user-study phase 1's task shape).
+"""
+
+from __future__ import annotations
+
+from repro.browser.virtual import State, VirtualWebsite
+from repro.dom.builder import E, page
+from repro.dom.node import DOMNode
+from repro.util.rng import DetRng
+
+_TOPICS = ["markets", "science", "sports", "culture", "tech", "weather"]
+_SURNAMES = ["Okafor", "Ueda", "Silva", "Novak", "Marsh", "Chen", "Dietrich"]
+
+
+class NewsListSite(VirtualWebsite):
+    """An article list, optionally with click-through article pages.
+
+    States: ``"front"`` and ``("article", position)``.  Headline links
+    navigate to the article page (used by the click-through benchmarks);
+    the static benchmarks never click them.
+    """
+
+    def __init__(self, articles: int = 12, seed: str = "news", noisy: bool = False) -> None:
+        super().__init__()
+        self.articles = articles
+        self.seed = seed
+        #: When set, sponsored divs are interleaved *inside* the stories
+        #: container, so raw child indices of consecutive stories are not
+        #: consecutive — alternative selectors become necessary.
+        self.noisy = noisy
+
+    def initial_state(self) -> State:
+        return "front"
+
+    def url(self, state: State) -> str:
+        if state == "front":
+            return "virtual://news/front"
+        return f"virtual://news/story/{state[1]}"
+
+    def article(self, position: int) -> dict[str, str]:
+        """Deterministic article record for row ``position`` (1-based)."""
+        rng = DetRng(f"{self.seed}/{position}")
+        topic = rng.choice(_TOPICS)
+        return {
+            "title": f"{topic.title()} report #{rng.randint(100, 999)}",
+            "href": f"/stories/{topic}/{rng.randint(1000, 9999)}",
+            "author": f"{rng.choice('ABCDEFG')}. {rng.choice(_SURNAMES)}",
+            "date": f"2022-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+        }
+
+    def expected_fields(self, fields: tuple[str, ...]) -> list[str]:
+        """Values a full scrape should produce, row-major."""
+        return [
+            self.article(position)[field]
+            for position in range(1, self.articles + 1)
+            for field in fields
+        ]
+
+    def body_text(self, position: int) -> str:
+        """Deterministic article body for the click-through variants."""
+        record = self.article(position)
+        return f"Full story: {record['title']} — filed by {record['author']}."
+
+    def render(self, state: State) -> DOMNode:
+        if state != "front":
+            position = state[1]
+            record = self.article(position)
+            return page(
+                E("div", {"class": "articlePage"},
+                  E("h1", text=record["title"]),
+                  E("div", {"class": "articleBody"}, text=self.body_text(position))),
+                title=record["title"],
+            )
+        rows = []
+        for position in range(1, self.articles + 1):
+            record = self.article(position)
+            rows.append(
+                E("div", {"class": "story"},
+                  E("h2", E("a", {"href": record["href"]}, text=record["title"])),
+                  E("div", {"class": "byline"},
+                    E("span", {"class": "author"}, text=record["author"]),
+                    E("span", {"class": "date"}, text=record["date"]))))
+            if self.noisy and position % 3 == 0:
+                rows.append(E("div", {"class": "sponsored"}, text="advertisement"))
+        return page(
+            E("div", {"class": "banner"},
+              E("h2", text="The Daily Repro"),
+              E("span", text="all the news that fits in a DOM")),
+            E("div", {"class": "stories"}, *rows),
+            title="front page",
+        )
+
+    def on_click(self, state: State, node: DOMNode, dom: DOMNode):
+        if state == "front" and node.tag == "a":
+            href = node.get("href")
+            for position in range(1, self.articles + 1):
+                if self.article(position)["href"] == href:
+                    return ("article", position)
+        return None

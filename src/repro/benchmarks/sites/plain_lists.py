@@ -1,0 +1,151 @@
+"""Plain nested-list pages: the selector-loop-only benchmark shapes.
+
+These single-page sites need *no* alternative selectors (items are the
+only children of their containers, starting at raw index 1) and no entry
+or pagination — the ground truths are pure ``Children``/``Dscts``
+selector loops.  They are the Q4 comparison set (Table 2): the paper's
+egg baseline "only supports selector loops without alternative
+selectors", so these are the benchmarks both engines can express —
+b73-76 are single loops, b12/b15/b20/b48 doubly-nested, b56 three-level.
+"""
+
+from __future__ import annotations
+
+from repro.browser.virtual import State, VirtualWebsite
+from repro.dom.builder import E, page
+from repro.dom.node import DOMNode
+from repro.util.rng import DetRng
+
+_WORDS = ["alpha", "bravo", "cedar", "delta", "ember", "fjord", "gamma", "heron"]
+
+
+class PlainListSite(VirtualWebsite):
+    """One flat list: ``ul > li > (span, b)`` — a single selector loop."""
+
+    def __init__(self, items: int = 8, fields: int = 2, seed: str = "plain") -> None:
+        super().__init__()
+        self.items = items
+        self.fields = max(1, min(fields, 2))
+        self.seed = seed
+
+    def initial_state(self) -> State:
+        return "list"
+
+    def url(self, state: State) -> str:
+        return "virtual://plain/list"
+
+    def item(self, position: int) -> dict[str, str]:
+        """Deterministic item record."""
+        rng = DetRng(f"{self.seed}/{position}")
+        return {
+            "label": f"{rng.choice(_WORDS)}-{position}",
+            "meta": f"meta {rng.randint(10, 99)}",
+        }
+
+    def expected_fields(self) -> list[str]:
+        """Row-major values of a full scrape."""
+        keys = ("label", "meta")[: self.fields]
+        return [
+            self.item(position)[key]
+            for position in range(1, self.items + 1)
+            for key in keys
+        ]
+
+    def render(self, state: State) -> DOMNode:
+        rows = []
+        for position in range(1, self.items + 1):
+            record = self.item(position)
+            cells = [E("span", text=record["label"])]
+            if self.fields > 1:
+                cells.append(E("b", text=record["meta"]))
+            rows.append(E("li", *cells))
+        return page(E("ul", *rows), title="plain list")
+
+
+class NestedListSite(VirtualWebsite):
+    """Groups of items: ``div > (h4, ul > li)`` — a doubly-nested loop."""
+
+    def __init__(self, groups: int = 3, items_per_group: int = 4, seed: str = "nested") -> None:
+        super().__init__()
+        self.groups = groups
+        self.items_per_group = items_per_group
+        self.seed = seed
+
+    def initial_state(self) -> State:
+        return "groups"
+
+    def url(self, state: State) -> str:
+        return "virtual://plain/groups"
+
+    def entry(self, group: int, position: int) -> str:
+        """Deterministic item text."""
+        rng = DetRng(f"{self.seed}/{group}/{position}")
+        return f"{rng.choice(_WORDS)} {group}.{position}"
+
+    def expected_fields(self) -> list[str]:
+        """Group-major values of a full scrape."""
+        return [
+            self.entry(group, position)
+            for group in range(1, self.groups + 1)
+            for position in range(1, self.items_per_group + 1)
+        ]
+
+    def render(self, state: State) -> DOMNode:
+        sections = []
+        for group in range(1, self.groups + 1):
+            items = [
+                E("li", text=self.entry(group, position))
+                for position in range(1, self.items_per_group + 1)
+            ]
+            sections.append(E("div", E("ul", *items)))
+        return page(*sections, title="nested lists")
+
+
+class TripleListSite(VirtualWebsite):
+    """Blocks of groups of items — the three-level-nesting shape (b56)."""
+
+    def __init__(
+        self,
+        blocks: int = 2,
+        groups_per_block: int = 2,
+        items_per_group: int = 3,
+        seed: str = "triple",
+    ) -> None:
+        super().__init__()
+        self.blocks = blocks
+        self.groups_per_block = groups_per_block
+        self.items_per_group = items_per_group
+        self.seed = seed
+
+    def initial_state(self) -> State:
+        return "blocks"
+
+    def url(self, state: State) -> str:
+        return "virtual://plain/blocks"
+
+    def entry(self, block: int, group: int, position: int) -> str:
+        """Deterministic item text."""
+        rng = DetRng(f"{self.seed}/{block}/{group}/{position}")
+        return f"{rng.choice(_WORDS)} {block}.{group}.{position}"
+
+    def expected_fields(self) -> list[str]:
+        """Block-major values of a full scrape."""
+        return [
+            self.entry(block, group, position)
+            for block in range(1, self.blocks + 1)
+            for group in range(1, self.groups_per_block + 1)
+            for position in range(1, self.items_per_group + 1)
+        ]
+
+    def render(self, state: State) -> DOMNode:
+        blocks = []
+        for block in range(1, self.blocks + 1):
+            groups = []
+            for group in range(1, self.groups_per_block + 1):
+                items = [
+                    E("li", text=self.entry(block, group, position))
+                    for position in range(1, self.items_per_group + 1)
+                ]
+                groups.append(E("ul", *items))
+            blocks.append(E("div", *groups))
+        return page(*blocks, title="triple nesting")

@@ -1,0 +1,91 @@
+"""Product catalog with detail pages — the click/scrape/GoBack shape.
+
+A category page lists product links; clicking one opens a detail page
+with price and availability; ``GoBack`` returns to the list.  The
+ground-truth loop clicks *each* product in turn, which exercises selector
+loops whose bodies navigate away and back.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.browser.virtual import State, VirtualWebsite
+from repro.dom.builder import E, page
+from repro.dom.node import DOMNode
+from repro.util.rng import DetRng
+
+_ADJECTIVES = ["Turbo", "Quiet", "Compact", "Deluxe", "Classic", "Featherweight"]
+_ITEMS = ["Kettle", "Lamp", "Keyboard", "Chair", "Router", "Blender", "Monitor"]
+
+
+class ProductCatalogSite(VirtualWebsite):
+    """States: ``("list",)`` and ``("detail", position)``."""
+
+    def __init__(self, products: int = 8, seed: str = "catalog", featured: bool = False) -> None:
+        super().__init__()
+        self.products = products
+        self.seed = seed
+        #: A featured banner row inside the list shifts raw item indices.
+        self.featured = featured
+
+    def initial_state(self) -> State:
+        return ("list",)
+
+    def url(self, state: State) -> str:
+        if state[0] == "list":
+            return "virtual://catalog/category"
+        return f"virtual://catalog/item/{state[1]}"
+
+    def product(self, position: int) -> dict[str, str]:
+        """Deterministic product record (1-based position)."""
+        rng = DetRng(f"{self.seed}/{position}")
+        name = f"{rng.choice(_ADJECTIVES)} {rng.choice(_ITEMS)}"
+        return {
+            "name": name,
+            "price": f"${rng.randint(5, 499)}.{rng.randint(0, 99):02d}",
+            "stock": rng.choice(["in stock", "2-3 weeks", "sold out"]),
+            "sku": f"SKU-{rng.randint(10000, 99999)}",
+        }
+
+    def expected_fields(self, fields: tuple[str, ...]) -> list[str]:
+        """Detail-page values a full click-through scrape should produce."""
+        return [
+            self.product(position)[field]
+            for position in range(1, self.products + 1)
+            for field in fields
+        ]
+
+    def render(self, state: State) -> DOMNode:
+        if state[0] == "list":
+            rows = []
+            if self.featured:
+                rows.append(E("li", {"class": "banner"}, text="season sale!"))
+            for position in range(1, self.products + 1):
+                record = self.product(position)
+                rows.append(
+                    E("li", {"class": "product"},
+                      E("a", {"href": f"/item/{position}"}, text=record["name"])))
+            return page(
+                E("div", {"class": "crumbs"}, text="home > kitchen"),
+                E("ul", {"class": "productList"}, *rows),
+                title="category",
+            )
+        position = state[1]
+        record = self.product(position)
+        return page(
+            E("div", {"class": "crumbs"}, text="home > kitchen > item"),
+            E("div", {"class": "productDetail"},
+              E("h1", text=record["name"]),
+              E("span", {"class": "price"}, text=record["price"]),
+              E("span", {"class": "stock"}, text=record["stock"]),
+              E("span", {"class": "sku"}, text=record["sku"])),
+            title=record["name"],
+        )
+
+    def on_click(self, state: State, node: DOMNode, dom: DOMNode) -> Optional[State]:
+        if state[0] == "list" and node.tag == "a":
+            href = node.get("href")
+            if href.startswith("/item/"):
+                return ("detail", int(href.rsplit("/", 1)[1]))
+        return None

@@ -1,0 +1,94 @@
+"""Keyword-search directory — user-study phase 3's task shape.
+
+Type a keyword, click *Search*, scrape the matching entries (one result
+page per keyword, no pagination), repeat for every keyword in the data
+source: an entry loop wrapping an extraction loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.browser.virtual import State, VirtualWebsite
+from repro.dom.builder import E, page
+from repro.dom.node import DOMNode
+from repro.util.rng import DetRng
+
+_KINDS = ["clinic", "library", "bakery", "gym", "pharmacy", "museum"]
+
+
+class SearchDirectorySite(VirtualWebsite):
+    """States: ``("search", typed)`` and ``("results", keyword, typed)``."""
+
+    def __init__(self, results_per_query: int = 5, seed: str = "directory") -> None:
+        super().__init__()
+        self.results_per_query = results_per_query
+        self.seed = seed
+
+    def initial_state(self) -> State:
+        return ("search", "")
+
+    def url(self, state: State) -> str:
+        if state[0] == "search":
+            return "virtual://directory/"
+        return f"virtual://directory/q={state[1]}"
+
+    def entry(self, keyword: str, position: int) -> dict[str, str]:
+        """Deterministic directory entry for a query's result slot."""
+        rng = DetRng(f"{self.seed}/{keyword}/{position}")
+        return {
+            "name": f"{keyword.title()} {rng.choice(_KINDS)} {position}",
+            "street": f"{rng.randint(1, 999)} {rng.choice('ABCDE')} street",
+            "rating": f"{rng.randint(1, 5)}.{rng.randint(0, 9)}",
+        }
+
+    def expected_fields(self, keywords: list[str], fields: tuple[str, ...]) -> list[str]:
+        """Values a full multi-keyword scrape should produce."""
+        return [
+            self.entry(keyword, position)[field]
+            for keyword in keywords
+            for position in range(1, self.results_per_query + 1)
+            for field in fields
+        ]
+
+    def _form(self, typed: str) -> DOMNode:
+        return E("div", {"class": "searchForm"},
+                 E("input", {"name": "q", "value": typed}),
+                 E("button", {"class": "doSearch"}, text="Search"))
+
+    def render(self, state: State) -> DOMNode:
+        if state[0] == "search":
+            return page(
+                E("div", {"class": "masthead"}, E("h1", text="City Directory")),
+                self._form(state[1]),
+                title="directory",
+            )
+        _, keyword, typed = state
+        cards = []
+        for position in range(1, self.results_per_query + 1):
+            record = self.entry(keyword, position)
+            cards.append(
+                E("div", {"class": "hit"},
+                  E("h3", text=record["name"]),
+                  E("span", {"class": "street"}, text=record["street"]),
+                  E("span", {"class": "rating"}, text=record["rating"])))
+        return page(
+            E("div", {"class": "masthead"}, E("h1", text="City Directory")),
+            self._form(typed),
+            E("div", {"class": "hits"}, *cards),
+            title=f"results for {keyword}",
+        )
+
+    def on_input(self, state: State, node: DOMNode, dom: DOMNode, text: str) -> Optional[State]:
+        if node.tag != "input":
+            return None
+        if state[0] == "search":
+            return ("search", text)
+        return ("results", state[1], text)
+
+    def on_click(self, state: State, node: DOMNode, dom: DOMNode) -> Optional[State]:
+        if node.tag == "button" and "doSearch" in node.get("class"):
+            typed = state[1] if state[0] == "search" else state[2]
+            if typed:
+                return ("results", typed, typed)
+        return None

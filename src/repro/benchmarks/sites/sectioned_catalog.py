@@ -1,0 +1,103 @@
+"""Sectioned, paginated catalog — the three-level-nesting stressor.
+
+Every page holds several *sections* (e.g. venues), each with its own item
+list; a "more" link pages through.  The intended program is a while loop
+over pages containing a loop over sections containing a loop over items —
+the shape of the paper's hardest benchmark (b56, three-level nesting),
+which the egg baseline cannot solve within its timeout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.browser.virtual import State, VirtualWebsite
+from repro.dom.builder import E, page
+from repro.dom.node import DOMNode
+from repro.util.rng import DetRng
+
+_VENUES = ["North Hall", "South Hall", "Annex", "Pavilion", "Rotunda"]
+_EVENTS = ["recital", "lecture", "workshop", "matinee", "gala"]
+
+
+class SectionedCatalogSite(VirtualWebsite):
+    """States: ``("page", number)``."""
+
+    def __init__(
+        self,
+        pages: int = 3,
+        sections_per_page: int = 2,
+        items_per_section: int = 3,
+        seed: str = "venues",
+        inline_ads: bool = False,
+    ) -> None:
+        super().__init__()
+        self.pages = pages
+        self.sections_per_page = sections_per_page
+        self.items_per_section = items_per_section
+        self.seed = seed
+        #: Ad blocks between venue sections shift raw section indices.
+        self.inline_ads = inline_ads
+
+    def initial_state(self) -> State:
+        return ("page", 1)
+
+    def url(self, state: State) -> str:
+        return f"virtual://venues/page/{state[1]}"
+
+    def item(self, page_no: int, section: int, position: int) -> dict[str, str]:
+        """Deterministic event record."""
+        rng = DetRng(f"{self.seed}/{page_no}/{section}/{position}")
+        return {
+            "what": f"{rng.choice(_EVENTS)} #{rng.randint(10, 99)}",
+            "when": f"{rng.randint(1, 12)}:{rng.choice(['00', '15', '30', '45'])} pm",
+        }
+
+    def section_name(self, page_no: int, section: int) -> str:
+        """Deterministic section heading."""
+        rng = DetRng(f"{self.seed}/sec/{page_no}/{section}")
+        return f"{rng.choice(_VENUES)} ({page_no}-{section})"
+
+    def expected_fields(self, fields: tuple[str, ...]) -> list[str]:
+        """Values a full three-level scrape should produce."""
+        return [
+            self.item(page_no, section, position)[field]
+            for page_no in range(1, self.pages + 1)
+            for section in range(1, self.sections_per_page + 1)
+            for position in range(1, self.items_per_section + 1)
+            for field in fields
+        ]
+
+    def render(self, state: State) -> DOMNode:
+        _, page_no = state
+        sections = []
+        for section in range(1, self.sections_per_page + 1):
+            items = []
+            for position in range(1, self.items_per_section + 1):
+                record = self.item(page_no, section, position)
+                items.append(
+                    E("li", {"class": "event"},
+                      E("span", {"class": "what"}, text=record["what"]),
+                      E("span", {"class": "when"}, text=record["when"])))
+            sections.append(
+                E("div", {"class": "venue"},
+                  E("h2", text=self.section_name(page_no, section)),
+                  E("ul", {"class": "events"}, *items)))
+            if self.inline_ads and section < self.sections_per_page:
+                sections.append(E("div", {"class": "promo"}, text="advertisement"))
+        more = []
+        if page_no < self.pages:
+            more.append(E("a", {"class": "moreLink", "href": "#more"}, text="more dates"))
+        return page(
+            E("div", {"class": "masthead"}, E("h2", text="what's on")),
+            E("div", {"class": "listing"}, *sections),
+            E("div", {"class": "footer"}, *more),
+            title=f"events page {page_no}",
+        )
+
+    def on_click(self, state: State, node: DOMNode, dom: DOMNode) -> Optional[State]:
+        _, page_no = state
+        if node.tag == "a" and "moreLink" in node.get("class"):
+            if page_no < self.pages:
+                return ("page", page_no + 1)
+        return None

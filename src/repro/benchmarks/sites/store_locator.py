@@ -1,0 +1,161 @@
+"""Store-locator site: the paper's motivating example (§2, Figure 4).
+
+Given a zip code typed into the search box, the site shows paginated
+result pages of store cards.  Structure mirrors the Subway example:
+
+* a sidebar before the results container, so raw card paths don't start
+  at index 1 (alternative selectors are required, as in P1);
+* each card nests the name in an ``h3`` and the phone in a
+  ``div[@class='locatorPhone']`` several levels deep;
+* a "next page" button that is *absent on the last page* (the while-loop
+  termination condition) and whose raw path shifts on pages ≥ 2 because a
+  "prev" button appears (the selector-search requirement for P3's click).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.browser.virtual import State, VirtualWebsite
+from repro.dom.builder import E, page
+from repro.dom.node import DOMNode
+from repro.util.rng import DetRng
+
+_STREETS = ["Main St", "Oak Ave", "Maple Rd", "State St", "5th Ave", "Pine Blvd"]
+_NAMES = ["Subshop", "Hoagie House", "Grinder Bros", "Torpedo Point", "Hero Hut"]
+
+
+class StoreLocatorSite(VirtualWebsite):
+    """Search + paginated store results.
+
+    States::
+
+        ("home", query)            the landing page, query typed so far
+        ("results", zip, page, query)   result page ``page`` for ``zip``
+    """
+
+    def __init__(
+        self,
+        pages_per_zip: int = 5,
+        stores_per_page: int = 10,
+        fixed_zip: str | None = None,
+    ) -> None:
+        super().__init__()
+        self.pages_per_zip = pages_per_zip
+        self.stores_per_page = stores_per_page
+        #: When set, the browser starts directly on the results for this
+        #: zip — the no-data-entry pagination variants.
+        self.fixed_zip = fixed_zip
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> State:
+        if self.fixed_zip is not None:
+            return ("results", self.fixed_zip, 1, self.fixed_zip)
+        return ("home", "")
+
+    def url(self, state: State) -> str:
+        if state[0] == "home":
+            return "virtual://storelocator/"
+        _, zip_code, page_no, _ = state
+        return f"virtual://storelocator/search?zip={zip_code}&page={page_no}"
+
+    # ------------------------------------------------------------------
+    # Content
+    # ------------------------------------------------------------------
+    def store(self, zip_code: str, page_no: int, position: int) -> dict[str, str]:
+        """Deterministic store record for one result-card slot."""
+        rng = DetRng(f"{zip_code}/{page_no}/{position}")
+        name = f"{rng.choice(_NAMES)} #{rng.randint(100, 999)}"
+        address = f"{rng.randint(1, 9999)} {rng.choice(_STREETS)}, {zip_code}"
+        phone = f"({rng.randint(200, 989)}) 555-{rng.randint(1000, 9999):04d}"
+        return {"name": name, "address": address, "phone": phone}
+
+    def expected_fields(self, zip_code: str, fields: tuple[str, ...]) -> list[str]:
+        """The values a full scrape of ``zip_code`` should produce."""
+        values = []
+        for page_no in range(1, self.pages_per_zip + 1):
+            for position in range(1, self.stores_per_page + 1):
+                record = self.store(zip_code, page_no, position)
+                values.extend(record[field] for field in fields)
+        return values
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def _search_bar(self, query: str) -> list[DOMNode]:
+        return [
+            E("div", {"class": "sidebar"},
+              E("h3", text="Find a store near you"),
+              E("a", {"href": "/ads/banner"}, text="sponsored")),
+            E("div", {"class": "searchBar"},
+              E("input", {"name": "search", "value": query}),
+              E("button", {"class": "squareButton btnDoSearch"}, text="GO")),
+        ]
+
+    def _card(self, record: dict[str, str]) -> DOMNode:
+        return E("div", {"class": "rightContainer"},
+                 E("div", {"class": "locatorHeader"},
+                   E("div", E("h3", text=record["name"]))),
+                 E("div", {"class": "locatorBody"},
+                   E("div", {"class": "locatorAddress"}, text=record["address"]),
+                   E("div",
+                     E("a", {"href": "tel:" + record["phone"]},
+                       E("div", {"class": "locatorPhone"}, text=record["phone"])))))
+
+    def render(self, state: State) -> DOMNode:
+        if state[0] == "home":
+            return page(*self._search_bar(state[1]), title="Store Locator")
+        _, zip_code, page_no, query = state
+        cards = [
+            self._card(self.store(zip_code, page_no, position))
+            for position in range(1, self.stores_per_page + 1)
+        ]
+        pager: list[DOMNode] = []
+        if page_no > 1:
+            pager.append(
+                E("button", {"class": "sprite-prev-page-arrow"},
+                  E("span", {"class": "fa-arrow-left"}, text="prev"))
+            )
+        if page_no < self.pages_per_zip:
+            pager.append(
+                E("button", {"class": "sprite-next-page-arrow"},
+                  E("span", {"class": "fa-arrow-right"}, text="next"))
+            )
+        return page(
+            *self._search_bar(query),
+            E("div", {"class": "results"}, *cards),
+            E("div", {"class": "pager"}, *pager),
+            title=f"Stores near {zip_code} — page {page_no}",
+        )
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def on_input(
+        self, state: State, node: DOMNode, dom: DOMNode, text: str
+    ) -> Optional[State]:
+        if node.tag != "input":
+            return None
+        if state[0] == "home":
+            return ("home", text)
+        _, zip_code, page_no, _ = state
+        return ("results", zip_code, page_no, text)
+
+    def on_click(self, state: State, node: DOMNode, dom: DOMNode) -> Optional[State]:
+        classes = node.get("class")
+        if node.tag == "button" and "btnDoSearch" in classes:
+            query = state[1] if state[0] == "home" else state[3]
+            if not query:
+                return None
+            return ("results", query, 1, query)
+        # pagination arrows: the span inside the button is what users click
+        anchor = node if node.tag == "button" else (node.parent or node)
+        if anchor.tag == "button" and state[0] == "results":
+            _, zip_code, page_no, query = state
+            if "sprite-next-page-arrow" in anchor.get("class"):
+                if page_no < self.pages_per_zip:
+                    return ("results", zip_code, page_no + 1, query)
+            if "sprite-prev-page-arrow" in anchor.get("class"):
+                if page_no > 1:
+                    return ("results", zip_code, page_no - 1, query)
+        return None

@@ -1,0 +1,74 @@
+"""The unicorn-name generator — the paper's introduction example.
+
+A form page: type a customer name, click *Generate*, a result page shows
+the unicorn name; the input survives so the next customer can be typed.
+The ground truth iterates a data source of customer names — the classic
+entry + scrape value loop (P4's outer loop without pagination).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.browser.virtual import State, VirtualWebsite
+from repro.dom.builder import E, page
+from repro.dom.node import DOMNode
+from repro.util.rng import DetRng
+
+_PREFIXES = ["Sparkle", "Moonbeam", "Glitter", "Thunder", "Velvet", "Nova"]
+_SUFFIXES = ["hoof", "mane", "horn", "dancer", "whisper", "gallop"]
+
+
+class UnicornNamerSite(VirtualWebsite):
+    """States: ``("form", typed, result)`` — result is None before the
+    first generation; the page URL changes per generated result
+    (navigation), as the webinar's generator does."""
+
+    def __init__(self, seed: str = "unicorn") -> None:
+        super().__init__()
+        self.seed = seed
+
+    def initial_state(self) -> State:
+        return ("form", "", None)
+
+    def url(self, state: State) -> str:
+        _, _, result = state
+        if result is None:
+            return "virtual://unicorn/"
+        return f"virtual://unicorn/result/{result.replace(' ', '-')}"
+
+    def unicorn_name(self, customer: str) -> str:
+        """The deterministic unicorn name for a customer."""
+        rng = DetRng(f"{self.seed}/{customer}")
+        return f"{rng.choice(_PREFIXES)} {rng.choice(_SUFFIXES)} {rng.randint(1, 99)}"
+
+    def expected_names(self, customers: list[str]) -> list[str]:
+        """Expected scrape output for a full run over ``customers``."""
+        return [self.unicorn_name(name) for name in customers]
+
+    def render(self, state: State) -> DOMNode:
+        _, typed, result = state
+        parts = [
+            E("div", {"class": "hero"}, E("h1", text="Unicorn Name Generator")),
+            E("div", {"class": "form"},
+              E("input", {"name": "customer", "value": typed}),
+              E("button", {"class": "generate"}, text="Generate!")),
+        ]
+        if result is not None:
+            parts.append(
+                E("div", {"class": "outcome"},
+                  E("span", text="Your unicorn name is"),
+                  E("div", {"class": "unicornName"}, text=result)))
+        return page(*parts, title="unicorn namer")
+
+    def on_input(self, state: State, node: DOMNode, dom: DOMNode, text: str) -> Optional[State]:
+        if node.tag != "input":
+            return None
+        return ("form", text, state[2])
+
+    def on_click(self, state: State, node: DOMNode, dom: DOMNode) -> Optional[State]:
+        if node.tag == "button" and "generate" in node.get("class"):
+            _, typed, _ = state
+            if typed:
+                return ("form", typed, self.unicorn_name(typed))
+        return None

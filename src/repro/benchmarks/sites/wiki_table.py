@@ -1,0 +1,72 @@
+"""Wikipedia-style data table — multi-column row scraping.
+
+A single page with a header row (``th`` cells, so it never matches the
+data-row loops) and data rows whose cells the ground truth scrapes
+column by column.
+"""
+
+from __future__ import annotations
+
+from repro.browser.virtual import State, VirtualWebsite
+from repro.dom.builder import E, page
+from repro.dom.node import DOMNode
+from repro.util.rng import DetRng
+
+_COUNTRIES = ["Atlantis", "Freedonia", "Genovia", "Elbonia", "Latveria", "Wakanda"]
+
+
+class WikiTableSite(VirtualWebsite):
+    """State is the single value ``"table"``."""
+
+    def __init__(self, rows: int = 10, seed: str = "wiki", header: bool = True) -> None:
+        super().__init__()
+        self.rows = rows
+        self.seed = seed
+        #: A ``th`` header row makes data rows start at raw index 2, so
+        #: the loop needs the ``tr[@class='data']`` predicate; without a
+        #: header the table is solvable from raw XPaths alone.
+        self.header = header
+
+    def initial_state(self) -> State:
+        return "table"
+
+    def url(self, state: State) -> str:
+        return "virtual://wiki/table"
+
+    def row(self, position: int) -> dict[str, str]:
+        """Deterministic table row (1-based, data rows only)."""
+        rng = DetRng(f"{self.seed}/{position}")
+        return {
+            "name": f"{rng.choice(_COUNTRIES)}-{position}",
+            "capital": f"{rng.choice('KLMNOP')}{rng.randint(100, 999)} City",
+            "population": f"{rng.randint(1, 80)}.{rng.randint(0, 9)}M",
+        }
+
+    def expected_fields(self, fields: tuple[str, ...]) -> list[str]:
+        """Values a full row-major scrape should produce."""
+        return [
+            self.row(position)[field]
+            for position in range(1, self.rows + 1)
+            for field in fields
+        ]
+
+    def render(self, state: State) -> DOMNode:
+        head_rows = []
+        if self.header:
+            head_rows.append(
+                E("tr", {"class": "head"},
+                  E("th", text="Country"), E("th", text="Capital"),
+                  E("th", text="Population")))
+        body_rows = []
+        for position in range(1, self.rows + 1):
+            record = self.row(position)
+            body_rows.append(
+                E("tr", {"class": "data"},
+                  E("td", {"class": "name"}, text=record["name"]),
+                  E("td", {"class": "capital"}, text=record["capital"]),
+                  E("td", {"class": "population"}, text=record["population"])))
+        return page(
+            E("h1", text="List of countries"),
+            E("table", {"class": "wikitable"}, *head_rows, *body_rows),
+            title="countries",
+        )

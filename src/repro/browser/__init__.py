@@ -1,0 +1,32 @@
+"""Virtual browser substrate: sites, real execution, trace recording."""
+
+from repro.browser.virtual import Browser, VirtualWebsite
+from repro.browser.replayer import Replayer, ReplayResult
+from repro.browser.recorder import Recording, record_ground_truth
+from repro.browser.repair import (
+    Fingerprint,
+    Repair,
+    RepairEvent,
+    RepairingReplayer,
+    best_match,
+    fingerprint_node,
+    repair_selector,
+    similarity,
+)
+
+__all__ = [
+    "Browser",
+    "VirtualWebsite",
+    "Replayer",
+    "ReplayResult",
+    "Recording",
+    "record_ground_truth",
+    "Fingerprint",
+    "Repair",
+    "RepairEvent",
+    "RepairingReplayer",
+    "best_match",
+    "fingerprint_node",
+    "repair_selector",
+    "similarity",
+]

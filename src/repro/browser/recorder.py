@@ -1,0 +1,65 @@
+"""Ground-truth instrumentation (§7.1's experiment setup).
+
+The paper instruments each benchmark's ground-truth program so that it
+records every action it executes plus all intermediate DOMs, giving the
+full traces ``A_gt`` / ``Π_gt`` that drive the prediction tests.  This
+module packages that: run the ground truth on a fresh browser, capture
+traces, outputs, and the cap flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browser.replayer import Replayer, ReplayResult
+from repro.browser.virtual import Browser, VirtualWebsite
+from repro.dom.node import DOMNode
+from repro.lang.actions import Action
+from repro.lang.ast import Program
+from repro.lang.data import DataSource, EMPTY_DATA
+
+
+@dataclass
+class Recording:
+    """A full ground-truth demonstration.
+
+    ``snapshots`` has one more element than ``actions``; ``outputs`` is
+    the dataset the run scraped (the benchmark's expected result).
+    """
+
+    actions: list[Action]
+    snapshots: list[DOMNode]
+    outputs: list[str]
+    truncated: bool
+
+    @property
+    def length(self) -> int:
+        """Number of recorded actions (n)."""
+        return len(self.actions)
+
+    def prefix(self, count: int) -> tuple[list[Action], list[DOMNode]]:
+        """The ``k``-th prediction test's input: k actions, k+1 DOMs."""
+        return self.actions[:count], self.snapshots[: count + 1]
+
+
+def record_ground_truth(
+    site: VirtualWebsite,
+    program: Program,
+    data: DataSource = EMPTY_DATA,
+    max_actions: int = 500,
+) -> Recording:
+    """Execute ``program`` on a fresh browser over ``site``, recording all.
+
+    Mirrors the paper's setup: the recorded selectors are absolute XPaths
+    (the browser normalises them), and runs are capped at ``max_actions``
+    (500 in the paper).
+    """
+    browser = Browser(site, data)
+    replayer = Replayer(browser, max_actions=max_actions)
+    result: ReplayResult = replayer.run(program)
+    return Recording(
+        actions=result.actions,
+        snapshots=result.snapshots,
+        outputs=result.outputs,
+        truncated=result.truncated,
+    )

@@ -1,0 +1,370 @@
+"""Selector repair: keep replaying when the page has drifted.
+
+Synthesized programs address nodes with selectors captured at
+demonstration time.  Live sites drift between demonstration and replay:
+an inserted banner shifts sibling indices, a redesign renames a class,
+a wrapper div deepens the tree.  A plain :class:`~repro.browser.replayer.
+Replayer` then either fails (`selector not found`) or — worse — silently
+acts on the *wrong* node.  This brittleness is the classic failure mode
+of record-and-replay web automation (the paper's §1 critique of
+iMacros-style tools), and repairing it is a natural extension of the
+reproduced system: the demonstration already contains everything needed
+to recognise the intended node again.
+
+The mechanism is *shadow replay*.  A :class:`RepairingReplayer` executes
+the program against the live (drifted) browser while mirroring every
+action on a *reference* browser running the site as it looked when the
+demonstration was recorded.  Whenever the live page disagrees with the
+reference — a selector no longer resolves, or (in ``verify`` mode)
+resolves to a node that looks wrong — the replayer:
+
+1. resolves the selector on the **reference** page, recovering the node
+   the program *intended*;
+2. summarises that node as a :class:`Fingerprint` (tag, attributes,
+   text, ancestry, sibling position, subtree text);
+3. scans the **live** page for the most similar same-tag node
+   (:func:`best_match`) and re-targets the action at it, provided the
+   similarity clears ``min_score``.
+
+Every substitution is logged as a :class:`RepairEvent` so callers can
+audit what the robot changed.  Repair is action-level: loop collections
+anchored on drifted selectors are out of scope (anchor them on attribute
+predicates, which the synthesizer's selector search prefers anyway).
+
+>>> from repro.browser.repair import repair_selector
+>>> from repro.dom import page, E, parse_selector
+>>> old = page(E("h3", text="Hours"))
+>>> new = page(E("div", cls="ad"), E("h3", text="Hours"))
+>>> repair = repair_selector(parse_selector("/html[1]/body[1]/h3[1]"), old, new)
+>>> str(repair.replacement)
+'/html[1]/body[1]/h3[1]'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.browser.replayer import Replayer, _Stop
+from repro.browser.virtual import Browser
+from repro.dom.node import DOMNode
+from repro.dom.xpath import ConcreteSelector, raw_path, resolve
+from repro.lang.actions import Action
+from repro.util.errors import DataPathError, ReplayError
+
+#: Weights of the similarity components (they sum to 1.0).  Attributes
+#: dominate: ids and classes are the most stable coordinates across
+#: redesigns, which is also why the selector search prefers them.
+_W_ATTRS = 0.35
+_W_TEXT = 0.20
+_W_PARENT = 0.10
+_W_ANCESTRY = 0.10
+_W_CHILDREN = 0.10
+_W_SIBLING = 0.10
+_W_SUBTREE = 0.05
+
+#: How many ancestor tags a fingerprint keeps (nearest first).
+_ANCESTRY_DEPTH = 4
+
+#: How many characters of subtree text a fingerprint keeps.
+_SUBTREE_HEAD = 80
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """A drift-tolerant summary of one DOM node.
+
+    Captures the coordinates that tend to survive page changes —
+    attributes, text, local ancestry — rather than the absolute path,
+    which is exactly what drift invalidates.
+    """
+
+    tag: str
+    attrs: tuple[tuple[str, str], ...]
+    text: str
+    parent_tag: Optional[str]
+    ancestor_tags: tuple[str, ...]
+    child_tags: tuple[str, ...]
+    sibling_index: int
+    subtree_text: str
+
+
+def fingerprint_node(node: DOMNode) -> Fingerprint:
+    """Summarise ``node`` for later re-identification on a changed page."""
+    ancestors = []
+    for ancestor in node.ancestors():
+        ancestors.append(ancestor.tag)
+        if len(ancestors) == _ANCESTRY_DEPTH:
+            break
+    return Fingerprint(
+        tag=node.tag,
+        attrs=tuple(sorted(node.attrs.items())),
+        text=node.text,
+        parent_tag=node.parent.tag if node.parent is not None else None,
+        ancestor_tags=tuple(ancestors),
+        child_tags=tuple(sorted(child.tag for child in node.children)),
+        sibling_index=node.child_index_by_tag(),
+        subtree_text=node.text_content()[:_SUBTREE_HEAD],
+    )
+
+
+# ----------------------------------------------------------------------
+# Similarity
+# ----------------------------------------------------------------------
+def _jaccard(left: frozenset, right: frozenset) -> float:
+    """Set overlap in [0, 1]; two empty sets count as identical."""
+    if not left and not right:
+        return 1.0
+    return len(left & right) / len(left | right)
+
+
+def _token_sim(left: str, right: str) -> float:
+    """Whitespace-token overlap of two strings."""
+    return _jaccard(frozenset(left.split()), frozenset(right.split()))
+
+
+def _ancestry_sim(expected: tuple[str, ...], node: DOMNode) -> float:
+    """Fraction of the expected ancestor-tag chain the node matches."""
+    if not expected:
+        return 1.0
+    actual = []
+    for ancestor in node.ancestors():
+        actual.append(ancestor.tag)
+        if len(actual) == len(expected):
+            break
+    matches = sum(1 for exp, act in zip(expected, actual) if exp == act)
+    return matches / len(expected)
+
+
+def similarity(fingerprint: Fingerprint, node: DOMNode) -> float:
+    """Score in [0, 1]: how much ``node`` looks like the fingerprinted one.
+
+    Nodes with a different tag score 0 outright — repair never
+    substitutes, say, a div for a button.
+    """
+    if node.tag != fingerprint.tag:
+        return 0.0
+    score = _W_ATTRS * _jaccard(
+        frozenset(fingerprint.attrs), frozenset(node.attrs.items())
+    )
+    score += _W_TEXT * _token_sim(fingerprint.text, node.text)
+    parent_tag = node.parent.tag if node.parent is not None else None
+    if fingerprint.parent_tag == parent_tag:
+        score += _W_PARENT
+    score += _W_ANCESTRY * _ancestry_sim(fingerprint.ancestor_tags, node)
+    score += _W_CHILDREN * _jaccard(
+        frozenset(fingerprint.child_tags),
+        frozenset(child.tag for child in node.children),
+    )
+    score += _W_SIBLING / (1 + abs(fingerprint.sibling_index - node.child_index_by_tag()))
+    score += _W_SUBTREE * _token_sim(
+        fingerprint.subtree_text, node.text_content()[:_SUBTREE_HEAD]
+    )
+    return score
+
+
+def best_match(
+    fingerprint: Fingerprint, dom: DOMNode, min_score: float = 0.6
+) -> Optional[tuple[DOMNode, float]]:
+    """The most similar node on ``dom``, or None below ``min_score``.
+
+    Ties break toward document order (the first of equally-good nodes),
+    keeping repair deterministic.
+    """
+    best: Optional[DOMNode] = None
+    best_score = min_score
+    for candidate in dom.iter_subtree():
+        score = similarity(fingerprint, candidate)
+        if score > best_score:
+            best, best_score = candidate, score
+    if best is None:
+        return None
+    return best, best_score
+
+
+# ----------------------------------------------------------------------
+# One-shot repair
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Repair:
+    """A successful selector substitution."""
+
+    original: ConcreteSelector
+    replacement: ConcreteSelector
+    score: float
+    fingerprint: Fingerprint
+
+
+def repair_selector(
+    selector: ConcreteSelector,
+    reference_dom: DOMNode,
+    live_dom: DOMNode,
+    min_score: float = 0.6,
+) -> Optional[Repair]:
+    """Re-anchor ``selector`` from a reference page onto a drifted one.
+
+    Resolves the selector on ``reference_dom`` (recovering the intended
+    node), fingerprints it, and returns the raw path of the most similar
+    node on ``live_dom``.  Returns None when the selector does not
+    resolve on the reference or no live node clears ``min_score``.
+    """
+    intended = resolve(selector, reference_dom)
+    if intended is None:
+        return None
+    fingerprint = fingerprint_node(intended)
+    match = best_match(fingerprint, live_dom, min_score)
+    if match is None:
+        return None
+    node, score = match
+    return Repair(selector, raw_path(node), score, fingerprint)
+
+
+# ----------------------------------------------------------------------
+# Shadow replay
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RepairEvent:
+    """One audited substitution made during a repairing replay.
+
+    ``reason`` is ``"missing"`` when the original selector did not
+    resolve (or its action failed) on the live page, ``"verified"`` when
+    paranoid verification re-targeted a resolving-but-wrong selector.
+    """
+
+    kind: str
+    original: ConcreteSelector
+    replacement: ConcreteSelector
+    score: float
+    reason: str
+
+
+class RepairingReplayer(Replayer):
+    """A replayer that survives page drift by consulting a reference.
+
+    Parameters
+    ----------
+    browser:
+        The live (possibly drifted) browser the program runs against.
+    reference:
+        A browser over the site as demonstrated.  It is mirrored in
+        lockstep and consulted for intended nodes; once it can no longer
+        follow (its page lacks a node the live run uses), repair
+        degrades gracefully to plain replay.
+    min_score:
+        Similarity floor below which a substitution is refused.
+    verify:
+        When True, *every* resolving selector is checked against the
+        reference fingerprint and re-targeted if a clearly more similar
+        node exists — catching silent wrong-node drift, at the cost of a
+        page scan per action.
+    verify_margin:
+        How much better the alternative must score before verification
+        overrides a selector that does resolve.
+    """
+
+    def __init__(
+        self,
+        browser: Browser,
+        reference: Browser,
+        min_score: float = 0.6,
+        verify: bool = False,
+        verify_margin: float = 0.05,
+        max_actions: int = 500,
+        raise_errors: bool = True,
+    ) -> None:
+        super().__init__(browser, max_actions=max_actions, raise_errors=raise_errors)
+        self.reference = reference
+        self.min_score = min_score
+        self.verify = verify
+        self.verify_margin = verify_margin
+        #: Substitutions made, in action order.
+        self.events: list[RepairEvent] = []
+        self._synced = True
+
+    @property
+    def synced(self) -> bool:
+        """Whether the reference browser is still following the live run."""
+        return self._synced
+
+    # ------------------------------------------------------------------
+    def _perform(self, action: Action) -> None:
+        reference_node = self._reference_node(action)
+        live_action = action
+        if reference_node is not None and self.verify:
+            live_action = self._verified(action, reference_node)
+        try:
+            super()._perform(live_action)
+        except _Stop:
+            raise
+        except ReplayError:
+            repaired = self._repaired(action, reference_node)
+            if repaired is None:
+                raise
+            super()._perform(repaired)
+        self._mirror(action, reference_node)
+
+    # ------------------------------------------------------------------
+    def _reference_node(self, action: Action) -> Optional[DOMNode]:
+        """The node the action intends, per the reference page."""
+        if not self._synced or action.selector is None:
+            return None
+        node = resolve(action.selector, self.reference.dom)
+        if node is None:
+            # The live run is doing something the demonstrated site
+            # cannot express (e.g. iterating items the reference page
+            # does not have); stop mirroring rather than guess.
+            self._synced = False
+        return node
+
+    def _verified(self, action: Action, reference_node: DOMNode) -> Action:
+        """Re-target a resolving selector that looks wrong (verify mode)."""
+        live_node = resolve(action.selector, self.browser.dom)
+        if live_node is None:
+            return action  # the missing-selector path will handle it
+        fingerprint = fingerprint_node(reference_node)
+        resolved_score = similarity(fingerprint, live_node)
+        match = best_match(fingerprint, self.browser.dom, self.min_score)
+        if match is None:
+            return action
+        node, score = match
+        if node is live_node or score < resolved_score + self.verify_margin:
+            return action
+        replacement = raw_path(node)
+        self.events.append(
+            RepairEvent(action.kind, action.selector, replacement, score, "verified")
+        )
+        return Action(action.kind, replacement, action.text, action.path)
+
+    def _repaired(self, action: Action, reference_node: Optional[DOMNode]) -> Optional[Action]:
+        """A substitute action for one that failed on the live page."""
+        if reference_node is None or action.selector is None:
+            return None
+        fingerprint = fingerprint_node(reference_node)
+        match = best_match(fingerprint, self.browser.dom, self.min_score)
+        if match is None:
+            return None
+        node, score = match
+        replacement = raw_path(node)
+        self.events.append(
+            RepairEvent(action.kind, action.selector, replacement, score, "missing")
+        )
+        return Action(action.kind, replacement, action.text, action.path)
+
+    def _mirror(self, action: Action, reference_node: Optional[DOMNode]) -> None:
+        """Replay the intended action on the reference browser."""
+        if not self._synced:
+            return
+        if action.selector is not None and reference_node is None:
+            return
+        mirrored = (
+            action
+            if reference_node is None
+            else Action(action.kind, raw_path(reference_node), action.text, action.path)
+        )
+        try:
+            self.reference.perform(mirrored)
+        except (ReplayError, DataPathError):
+            # the reference cannot follow (missing node, rejected input,
+            # or a reference browser constructed without the data
+            # source); degrade to plain replay rather than fail the run
+            self._synced = False

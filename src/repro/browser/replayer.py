@@ -1,0 +1,176 @@
+"""Real (side-effectful) execution of web RPA programs.
+
+The replayer is the analogue of running a Selenium script: it executes a
+program against a live :class:`~repro.browser.virtual.Browser`, resolving
+loops against the *current* page rather than a recorded DOM trace.  It is
+used in two roles:
+
+* instrumenting ground-truth programs to record the evaluation traces of
+  §7.1 (see :mod:`repro.browser.recorder`), and
+* running synthesized programs end-to-end to decide whether they automate
+  a benchmark (the "intended program" check and the Q3 experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.browser.virtual import Browser
+from repro.dom.node import DOMNode
+from repro.dom.xpath import valid
+from repro.lang.actions import Action
+from repro.lang.ast import (
+    ActionStmt,
+    CLICK,
+    ChildrenOf,
+    ForEachSelector,
+    ForEachValue,
+    PaginateLoop,
+    Program,
+    Statement,
+    WhileLoop,
+)
+from repro.semantics.env import Env
+from repro.util.errors import DataPathError, ReplayError
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of a real execution.
+
+    ``truncated`` is set when the ``max_actions`` cap stopped the run (the
+    paper terminates ground-truth programs after 500 actions).  ``error``
+    carries the failure for runs with ``raise_errors=False``.
+    """
+
+    actions: list[Action] = field(default_factory=list)
+    snapshots: list[DOMNode] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    truncated: bool = False
+    error: Optional[str] = None
+
+    @property
+    def action_count(self) -> int:
+        """Number of actions actually performed."""
+        return len(self.actions)
+
+
+class _Stop(Exception):
+    """Internal: the action cap was reached."""
+
+
+class Replayer:
+    """Executes programs for real against a browser."""
+
+    def __init__(
+        self,
+        browser: Browser,
+        max_actions: int = 500,
+        raise_errors: bool = True,
+    ) -> None:
+        self.browser = browser
+        self.max_actions = max_actions
+        self.raise_errors = raise_errors
+        self._performed = 0
+        self._truncated = False
+
+    # ------------------------------------------------------------------
+    def run(self, program: Program | Sequence[Statement]) -> ReplayResult:
+        """Execute ``program`` to completion (or the action cap).
+
+        Returns the recorded trace: actions (raw-XPath normalised by the
+        browser), the snapshot before each action plus the final snapshot,
+        and the scraped outputs.
+        """
+        statements = tuple(program) if isinstance(program, Program) else tuple(program)
+        result = ReplayResult()
+        try:
+            self._run_sequence(statements, Env.empty())
+        except _Stop:
+            self._truncated = True
+        except (ReplayError, DataPathError) as error:
+            if self.raise_errors:
+                raise
+            result.error = str(error)
+        actions, snapshots = self.browser.trace()
+        result.actions = actions
+        result.snapshots = snapshots
+        result.outputs = list(self.browser.outputs)
+        result.truncated = self._truncated
+        return result
+
+    # ------------------------------------------------------------------
+    def _perform(self, action: Action) -> None:
+        if self._performed >= self.max_actions:
+            raise _Stop()
+        self.browser.perform(action)
+        self._performed += 1
+
+    def _run_sequence(self, statements: Sequence[Statement], env: Env) -> Env:
+        for statement in statements:
+            env = self._run_statement(statement, env)
+        return env
+
+    def _run_statement(self, statement: Statement, env: Env) -> Env:
+        if isinstance(statement, ActionStmt):
+            selector = (
+                env.resolve_selector(statement.target) if statement.target else None
+            )
+            path = env.resolve_path(statement.value) if statement.value else None
+            self._perform(Action(statement.kind, selector, statement.text, path))
+            return env
+        if isinstance(statement, ForEachSelector):
+            return self._run_selector_loop(statement, env)
+        if isinstance(statement, ForEachValue):
+            return self._run_value_loop(statement, env)
+        if isinstance(statement, WhileLoop):
+            return self._run_while_loop(statement, env)
+        if isinstance(statement, PaginateLoop):
+            return self._run_paginate_loop(statement, env)
+        raise ReplayError(f"not a statement: {statement!r}")
+
+    def _run_selector_loop(self, loop: ForEachSelector, env: Env) -> Env:
+        base = env.resolve_selector(loop.collection.base)
+        extend = base.child if isinstance(loop.collection, ChildrenOf) else base.desc
+        index = 1
+        while True:
+            element = extend(loop.collection.pred, index)
+            # lazy continuation check against the *live* page, which may
+            # have changed while the body executed (S-Cont's rationale)
+            if not valid(element, self.browser.dom):
+                return env
+            env = env.bind(loop.var, element)
+            env = self._run_sequence(loop.body, env)
+            index += 1
+
+    def _run_value_loop(self, loop: ForEachValue, env: Env) -> Env:
+        path = env.resolve_path(loop.collection.path)
+        for element_path in self.browser.data.value_paths(path):
+            env = env.bind(loop.var, element_path)
+            env = self._run_sequence(loop.body, env)
+        return env
+
+    def _run_while_loop(self, loop: WhileLoop, env: Env) -> Env:
+        while True:
+            env = self._run_sequence(loop.body, env)
+            selector = env.resolve_selector(loop.click.target)
+            if not valid(selector, self.browser.dom):
+                return env
+            self._perform(Action(loop.click.kind, selector))
+
+    def _run_paginate_loop(self, loop: PaginateLoop, env: Env) -> Env:
+        counter = loop.start
+        advance = (
+            env.resolve_selector(loop.advance) if loop.advance is not None else None
+        )
+        while True:
+            env = self._run_sequence(loop.body, env)
+            numbered = loop.template.instantiate(counter)
+            if valid(numbered, self.browser.dom):
+                self._perform(Action(CLICK, numbered))
+            elif advance is not None and valid(advance, self.browser.dom):
+                self._perform(Action(CLICK, advance))
+            else:
+                return env
+            counter += 1

@@ -1,0 +1,194 @@
+"""The virtual browser: this repo's replacement for Selenium + live sites.
+
+A :class:`VirtualWebsite` is a deterministic state machine: an opaque
+hashable *state* renders to a DOM snapshot; clicking a node or typing into
+a field transitions the state.  A :class:`Browser` drives one site,
+applying actions with real side effects (page transitions, scraped
+outputs, history) and *recording* what the paper's front end records:
+actions with absolute raw XPaths plus the snapshot each action executed
+on.
+
+The synthesizer never sees a site — only recorded traces — so the fidelity
+requirement on sites is structural: nested repetition, pagination, data
+entry and navigation must produce the same trace shapes real sites do.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, Optional
+
+from repro.dom.node import DOMNode
+from repro.dom.xpath import raw_path, resolve
+from repro.lang.actions import Action
+from repro.lang.ast import (
+    CLICK,
+    DOWNLOAD,
+    ENTER_DATA,
+    EXTRACT_URL,
+    GO_BACK,
+    SCRAPE_LINK,
+    SCRAPE_TEXT,
+    SEND_KEYS,
+)
+from repro.lang.data import DataSource, EMPTY_DATA, as_text
+from repro.util.errors import ReplayError
+
+State = Hashable
+
+
+class VirtualWebsite(ABC):
+    """A deterministic website model.
+
+    Subclasses implement rendering and transitions.  States must be
+    hashable: rendering is memoised so that revisiting a state yields the
+    *same* snapshot object, which keeps recorded DOM traces compact and
+    selector-resolution caches warm.
+    """
+
+    def __init__(self) -> None:
+        self._render_cache: dict[State, DOMNode] = {}
+
+    # ------------------------------------------------------------------
+    # Site interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def initial_state(self) -> State:
+        """The state the browser starts in."""
+
+    @abstractmethod
+    def render(self, state: State) -> DOMNode:
+        """Build the (frozen) DOM for ``state``.  Called through the memo."""
+
+    def on_click(self, state: State, node: DOMNode, dom: DOMNode) -> Optional[State]:
+        """State after clicking ``node``; ``None`` means the click is inert."""
+        return None
+
+    def on_input(
+        self, state: State, node: DOMNode, dom: DOMNode, text: str
+    ) -> Optional[State]:
+        """State after typing ``text`` into ``node``; ``None`` = rejected."""
+        return None
+
+    def url(self, state: State) -> str:
+        """The address-bar URL for ``state``."""
+        return f"virtual://{type(self).__name__}"
+
+    # ------------------------------------------------------------------
+    def page(self, state: State) -> DOMNode:
+        """Memoised rendering; the snapshot for a state is unique."""
+        snapshot = self._render_cache.get(state)
+        if snapshot is None:
+            snapshot = self.render(state)
+            if not snapshot.frozen:
+                raise ReplayError(f"{type(self).__name__}.render returned unfrozen DOM")
+            self._render_cache[state] = snapshot
+        return snapshot
+
+
+class Browser:
+    """A single-tab browser over a virtual website.
+
+    Performs actions with their real side effects and records the trace
+    the synthesizer consumes.  Recorded actions are *normalised*: whatever
+    selector the caller used, the recording stores the node's absolute raw
+    XPath, exactly as the paper's front end does (§7.1).
+    """
+
+    def __init__(self, site: VirtualWebsite, data: DataSource = EMPTY_DATA) -> None:
+        self.site = site
+        self.data = data
+        self._state: State = site.initial_state()
+        self._history: list[State] = []
+        #: Values collected by ScrapeText / ScrapeLink, in action order.
+        self.outputs: list[str] = []
+        #: URLs collected by Download actions.
+        self.downloads: list[str] = []
+        #: URLs collected by ExtractURL actions.
+        self.urls: list[str] = []
+        #: The recorded action trace (raw-XPath normalised).
+        self.recorded_actions: list[Action] = []
+        #: ``recorded_snapshots[i]`` is the DOM ``recorded_actions[i]`` ran on.
+        self.recorded_snapshots: list[DOMNode] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> State:
+        """The current page state."""
+        return self._state
+
+    @property
+    def dom(self) -> DOMNode:
+        """The current DOM snapshot."""
+        return self.site.page(self._state)
+
+    def current_url(self) -> str:
+        """The current URL."""
+        return self.site.url(self._state)
+
+    def trace(self) -> tuple[list[Action], list[DOMNode]]:
+        """The recorded demonstration: actions plus m+1 snapshots."""
+        return list(self.recorded_actions), [*self.recorded_snapshots, self.dom]
+
+    # ------------------------------------------------------------------
+    def perform(self, action: Action) -> None:
+        """Apply one action with side effects, recording it.
+
+        Raises
+        ------
+        ReplayError
+            If the action's selector does not resolve, typing hits a
+            non-input node, or GoBack has no history.
+        """
+        dom = self.dom
+        node: Optional[DOMNode] = None
+        if action.selector is not None:
+            node = resolve(action.selector, dom)
+            if node is None:
+                raise ReplayError(f"selector {action.selector} not found on page")
+        normalized = Action(
+            action.kind,
+            raw_path(node) if node is not None else None,
+            action.text,
+            action.path,
+        )
+        # Apply before recording: an action that fails mid-application
+        # (typing into a non-input, GoBack without history) leaves no
+        # trace entry, so callers may retry with a different selector.
+        self._apply(normalized, node, dom)
+        self.recorded_actions.append(normalized)
+        self.recorded_snapshots.append(dom)
+
+    def _apply(self, action: Action, node: Optional[DOMNode], dom: DOMNode) -> None:
+        kind = action.kind
+        if kind == CLICK:
+            next_state = self.site.on_click(self._state, node, dom)
+            if next_state is not None and next_state != self._state:
+                self._history.append(self._state)
+                self._state = next_state
+        elif kind == SCRAPE_TEXT:
+            self.outputs.append(node.text_content())
+        elif kind == SCRAPE_LINK:
+            self.outputs.append(node.get("href"))
+        elif kind == DOWNLOAD:
+            self.downloads.append(node.get("href") or node.text_content())
+        elif kind == GO_BACK:
+            if not self._history:
+                raise ReplayError("GoBack with empty history")
+            self._state = self._history.pop()
+        elif kind == EXTRACT_URL:
+            self.urls.append(self.current_url())
+        elif kind in (SEND_KEYS, ENTER_DATA):
+            if kind == SEND_KEYS:
+                text = action.text or ""
+            else:
+                text = as_text(self.data.resolve(action.path))
+            next_state = self.site.on_input(self._state, node, dom, text)
+            if next_state is None:
+                raise ReplayError(f"node {action.selector} does not accept input")
+            if next_state != self._state:
+                # typing edits the page in place: not a navigation, so it
+                # does not push history
+                self._state = next_state
+        else:  # pragma: no cover - exhaustive over ACTION_KINDS
+            raise ReplayError(f"unsupported action kind {kind}")

@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``
+    Print the benchmark-suite statistics (§7).
+``record <bid> [-o FILE]``
+    Instrument a benchmark's ground truth and write the recorded
+    demonstration as JSON.
+``synthesize <FILE> [--cut K] [--data JSON]``
+    Load a recorded demonstration, synthesize at prefix ``K`` (default:
+    all but the last action), print the best program and prediction.
+``replay <PROGRAM-FILE> --benchmark <bid>``
+    Run a serialized program for real against a benchmark's site and
+    print the scraped outputs.
+``check <PROGRAM-FILE> [--data JSON]``
+    Statically check a serialized program: variable scoping, loop-
+    variable usage, and (with ``--data``) value-path typing.
+``lint <PROGRAM-FILE> [--disable RULE,...]``
+    Flag robustness/intent smells: brittle selectors, mis-parametrized
+    data entry, unrolled repetition, mergeable loops, and more.
+``export <PROGRAM-FILE> [--target selenium|playwright|imacros] [-o FILE]``
+    Generate a standalone Selenium, Playwright, or iMacros script from
+    a serialized program.
+``explain <PROGRAM-FILE> --recording <FILE> [--summary]``
+    Execute a program against a recorded demonstration under the trace
+    semantics and print per-action provenance (which statement and
+    loop iteration produced each action).
+``q1|q2|q3|q4``
+    Regenerate the corresponding evaluation artifact (same as
+    ``python -m repro.harness.qN``).
+``ablations``
+    Run the design-choice ablation reports (search caps, ranking
+    strategies, published-failure-case extensions).
+``scaling``
+    Run the incremental-vs-from-scratch trace-length scaling
+    comparison.
+``drift``
+    Run the drift-robustness study (raw paths vs. synthesized
+    programs, plain vs. repaired replay).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro import io as repro_io
+from repro.benchmarks.suite import all_benchmarks, benchmark_by_id
+from repro.browser.replayer import Replayer
+from repro.lang.data import DataSource, EMPTY_DATA
+from repro.lang.pretty import format_program
+from repro.synth.synthesizer import Synthesizer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WebRobot reproduction: record, synthesize, replay, evaluate.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("stats", help="print benchmark-suite statistics")
+
+    record = commands.add_parser("record", help="record a benchmark ground truth")
+    record.add_argument("bid", help="benchmark id, e.g. b21")
+    record.add_argument("-o", "--output", default=None, help="output JSON file")
+    record.add_argument("--max-actions", type=int, default=500)
+
+    synth = commands.add_parser("synthesize", help="synthesize from a recording")
+    synth.add_argument("recording", help="JSON file produced by 'record'")
+    synth.add_argument("--cut", type=int, default=None,
+                       help="prefix length (default: all but the last action)")
+    synth.add_argument("--data", default=None,
+                       help="JSON file with the input data source")
+    synth.add_argument("--timeout", type=float, default=1.0)
+
+    replay = commands.add_parser("replay", help="run a serialized program")
+    replay.add_argument("program", help="JSON file with a serialized program")
+    replay.add_argument("--benchmark", required=True, help="benchmark id for the site")
+
+    check = commands.add_parser("check", help="statically check a program")
+    check.add_argument("program", help="JSON file with a serialized program")
+    check.add_argument("--data", default=None,
+                       help="JSON file with the input data source")
+
+    lint = commands.add_parser("lint", help="flag robustness/intent smells")
+    lint.add_argument("program", help="JSON file with a serialized program")
+    lint.add_argument("--disable", default="",
+                      help="comma-separated lint rule ids to suppress")
+
+    export = commands.add_parser("export", help="generate an automation script")
+    export.add_argument("program", help="JSON file with a serialized program")
+    export.add_argument("--target", default="selenium",
+                        choices=("selenium", "playwright", "imacros"))
+    export.add_argument("--start-url", default="", help="URL baked into main()")
+    export.add_argument("-o", "--output", default=None,
+                        help="output .py file (default: stdout)")
+
+    explain = commands.add_parser("explain", help="trace a program's provenance")
+    explain.add_argument("program", help="JSON file with a serialized program")
+    explain.add_argument("--recording", required=True,
+                         help="JSON recording the program runs against")
+    explain.add_argument("--data", default=None,
+                         help="JSON file with the input data source")
+    explain.add_argument("--summary", action="store_true",
+                         help="print per-statement totals instead of per-action lines")
+
+    for experiment in ("q1", "q2", "q3", "q4"):
+        commands.add_parser(experiment, help=f"regenerate the {experiment} artifact")
+    commands.add_parser("ablations", help="run the design-choice ablation reports")
+    commands.add_parser("scaling", help="run the trace-length scaling comparison")
+    commands.add_parser("drift", help="run the drift-robustness replay study")
+    return parser
+
+
+def _cmd_stats() -> int:
+    from repro.harness.stats import render_statistics
+
+    print(render_statistics())
+    return 0
+
+
+def _cmd_record(bid: str, output: Optional[str], max_actions: int) -> int:
+    try:
+        benchmark = benchmark_by_id(bid)
+    except KeyError:
+        known = ", ".join(b.bid for b in all_benchmarks()[:5])
+        print(f"unknown benchmark {bid!r} (try one of {known}, ...)", file=sys.stderr)
+        return 2
+    recording = benchmark.record(max_actions=max_actions)
+    destination = output or f"{bid}.recording.json"
+    with open(destination, "w", encoding="utf-8") as handle:
+        repro_io.dump(recording, handle)
+    print(f"recorded {recording.length} actions "
+          f"({len(recording.outputs)} outputs) -> {destination}")
+    return 0
+
+
+def _cmd_synthesize(path: str, cut: Optional[int], data_path: Optional[str],
+                    timeout: float) -> int:
+    with open(path, encoding="utf-8") as handle:
+        recording = repro_io.load(handle)
+    data = EMPTY_DATA
+    if data_path is not None:
+        with open(data_path, encoding="utf-8") as handle:
+            data = DataSource(json.load(handle))
+    prefix = cut if cut is not None else recording.length - 1
+    prefix = max(1, min(prefix, recording.length - 1))
+    actions, snapshots = recording.prefix(prefix)
+    result = Synthesizer(data).synthesize(actions, snapshots, timeout=timeout)
+    if result.best_program is None:
+        print(f"no generalizing program after {prefix} actions")
+        return 1
+    print(f"programs found: {len(result.programs)} "
+          f"(in {result.stats.elapsed * 1000:.0f} ms)")
+    print(format_program(result.best_program))
+    print(f"\npredicted next action: {result.best_prediction}")
+    return 0
+
+
+def _cmd_replay(program_path: str, bid: str) -> int:
+    with open(program_path, encoding="utf-8") as handle:
+        program = repro_io.load(handle)
+    benchmark = benchmark_by_id(bid)
+    browser = benchmark.fresh_browser()
+    outcome = Replayer(browser, raise_errors=False).run(program)
+    if outcome.error is not None:
+        print(f"replay failed: {outcome.error}", file=sys.stderr)
+        return 1
+    for value in outcome.outputs:
+        print(value)
+    return 0
+
+
+def _load_data(data_path: Optional[str]) -> DataSource:
+    if data_path is None:
+        return EMPTY_DATA
+    with open(data_path, encoding="utf-8") as handle:
+        return DataSource(json.load(handle))
+
+
+def _load_program(path: str):
+    with open(path, encoding="utf-8") as handle:
+        loaded = repro_io.load(handle)
+    from repro.lang.ast import Program
+
+    if not isinstance(loaded, Program):
+        print(f"{path} does not contain a serialized program", file=sys.stderr)
+        return None
+    return loaded
+
+
+def _cmd_check(program_path: str, data_path: Optional[str]) -> int:
+    from repro.lang.check import check_program, errors_only
+
+    program = _load_program(program_path)
+    if program is None:
+        return 2
+    data = _load_data(data_path) if data_path is not None else None
+    diagnostics = check_program(program, data)
+    for diagnostic in diagnostics:
+        print(diagnostic)
+    if errors_only(diagnostics):
+        return 1
+    print(f"ok: {len(diagnostics)} warning(s)" if diagnostics else "ok")
+    return 0
+
+
+def _cmd_lint(program_path: str, disable: str) -> int:
+    from repro.lang.lint import lint_program, warnings_only
+
+    program = _load_program(program_path)
+    if program is None:
+        return 2
+    disabled = {rule.strip() for rule in disable.split(",") if rule.strip()}
+    try:
+        findings = lint_program(program, disable=disabled or None)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding)
+    if warnings_only(findings):
+        return 1
+    print(f"ok: {len(findings)} info finding(s)" if findings else "ok")
+    return 0
+
+
+def _cmd_export(program_path: str, target: str, start_url: str,
+                output: Optional[str]) -> int:
+    from repro.export import export_program
+
+    program = _load_program(program_path)
+    if program is None:
+        return 2
+    source = export_program(program, target=target, start_url=start_url)
+    if output is None:
+        print(source, end="")
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(f"wrote {target} script -> {output}")
+    return 0
+
+
+def _cmd_explain(program_path: str, recording_path: str,
+                 data_path: Optional[str], summary: bool) -> int:
+    from repro.semantics.provenance import explain, render_explanation, render_summary
+    from repro.semantics.trace import DOMTrace
+
+    program = _load_program(program_path)
+    if program is None:
+        return 2
+    with open(recording_path, encoding="utf-8") as handle:
+        recording = repro_io.load(handle)
+    data = _load_data(data_path)
+    result = explain(program, DOMTrace(recording.snapshots), data)
+    if summary:
+        print(render_summary(program, result))
+    else:
+        print(render_explanation(program, result))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    arguments = _build_parser().parse_args(argv)
+    if arguments.command == "stats":
+        return _cmd_stats()
+    if arguments.command == "record":
+        return _cmd_record(arguments.bid, arguments.output, arguments.max_actions)
+    if arguments.command == "synthesize":
+        return _cmd_synthesize(
+            arguments.recording, arguments.cut, arguments.data, arguments.timeout
+        )
+    if arguments.command == "replay":
+        return _cmd_replay(arguments.program, arguments.benchmark)
+    if arguments.command == "check":
+        return _cmd_check(arguments.program, arguments.data)
+    if arguments.command == "lint":
+        return _cmd_lint(arguments.program, arguments.disable)
+    if arguments.command == "export":
+        return _cmd_export(arguments.program, arguments.target,
+                           arguments.start_url, arguments.output)
+    if arguments.command == "explain":
+        return _cmd_explain(arguments.program, arguments.recording,
+                            arguments.data, arguments.summary)
+    if arguments.command in ("q1", "q2", "q3", "q4", "ablations", "scaling", "drift"):
+        module = __import__(f"repro.harness.{arguments.command}",
+                            fromlist=["main"])
+        module.main()
+        return 0
+    raise AssertionError(f"unhandled command {arguments.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""DOM substrate: snapshot trees and the concrete-selector XPath subset."""
+
+from repro.dom.node import DOMNode
+from repro.dom.builder import E, page
+from repro.dom.html import parse_fragment, parse_html
+from repro.dom.xpath import (
+    CHILD,
+    DESC,
+    EPSILON,
+    SELECTOR_ATTRIBUTES,
+    ConcreteSelector,
+    Predicate,
+    Step,
+    TokenPredicate,
+    index_among_children,
+    index_among_descendants,
+    parse_selector,
+    raw_path,
+    resolve,
+    resolve_relative,
+    valid,
+)
+from repro.dom.serialize import snapshot_digest, to_html
+
+__all__ = [
+    "DOMNode",
+    "E",
+    "page",
+    "parse_fragment",
+    "parse_html",
+    "TokenPredicate",
+    "CHILD",
+    "DESC",
+    "EPSILON",
+    "SELECTOR_ATTRIBUTES",
+    "ConcreteSelector",
+    "Predicate",
+    "Step",
+    "index_among_children",
+    "index_among_descendants",
+    "parse_selector",
+    "raw_path",
+    "resolve",
+    "resolve_relative",
+    "valid",
+    "snapshot_digest",
+    "to_html",
+]

@@ -1,0 +1,63 @@
+"""Declarative DOM construction.
+
+Synthetic sites assemble pages with nested :func:`E` calls::
+
+    page = E("html", E("body",
+        E("div", {"class": "results"},
+            E("h3", text="First Store"),
+            E("div", {"class": "phone"}, text="555-0100"),
+        ),
+    )).freeze()
+
+The helper accepts an optional attribute dict as the first positional
+argument, followed by child nodes; element text is a keyword argument.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.dom.node import DOMNode
+
+Child = Union[DOMNode, dict]
+
+
+def E(tag: str, *parts: Child, text: str = "", **attr_kwargs: str) -> DOMNode:
+    """Build an (unfrozen) element.
+
+    Parameters
+    ----------
+    tag:
+        Element tag name.
+    parts:
+        An optional leading ``dict`` of attributes, then child nodes.
+    text:
+        Text owned directly by the element.
+    attr_kwargs:
+        Extra attributes given as keywords; ``cls`` is an alias for the
+        reserved word ``class``.
+    """
+    attrs: dict[str, str] = {}
+    children: list[DOMNode] = []
+    for part in parts:
+        if isinstance(part, dict):
+            attrs.update(part)
+        elif isinstance(part, DOMNode):
+            children.append(part)
+        else:
+            raise TypeError(f"unexpected child of type {type(part).__name__}")
+    for key, value in attr_kwargs.items():
+        attrs["class" if key == "cls" else key] = value
+    return DOMNode(tag, attrs, text, children)
+
+
+def page(*body_parts: Child, title: str = "") -> DOMNode:
+    """Build and freeze a full page: ``html > body > parts``.
+
+    Returns the frozen ``html`` root, ready to serve as a DOM snapshot.
+    """
+    body = E("body", *body_parts)
+    html = E("html", body)
+    if title:
+        html.attrs["data-title"] = title
+    return html.freeze()

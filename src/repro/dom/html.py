@@ -1,0 +1,121 @@
+"""Parsing HTML text into DOM snapshots.
+
+Lets virtual sites (and tests) be written as markup instead of nested
+:func:`~repro.dom.builder.E` calls::
+
+    from repro.dom.html import parse_html
+
+    snapshot = parse_html(\"\"\"
+        <html><body>
+          <div class="card"><h3>Store One</h3></div>
+          <div class="card"><h3>Store Two</h3></div>
+        </body></html>
+    \"\"\")
+
+Built on :class:`html.parser.HTMLParser` from the standard library.
+Void elements (``<br>``, ``<input>``, ...) need no closing tag; text is
+attached to its enclosing element; comments, doctypes and processing
+instructions are ignored.  The result is a single frozen root element.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+from typing import Optional
+
+from repro.dom.node import DOMNode
+from repro.util.errors import ParseError
+
+#: Elements that never have children or closing tags (HTML5 void set).
+VOID_ELEMENTS = frozenset(
+    "area base br col embed hr img input link meta param source track wbr".split()
+)
+
+
+class _TreeBuilder(HTMLParser):
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.roots: list[DOMNode] = []
+        self._stack: list[DOMNode] = []
+
+    # ------------------------------------------------------------------
+    def _attach(self, node: DOMNode) -> None:
+        if self._stack:
+            self._stack[-1].append(node)
+        else:
+            self.roots.append(node)
+
+    def handle_starttag(self, tag: str, attrs) -> None:
+        attributes = {name: (value if value is not None else "") for name, value in attrs}
+        node = DOMNode(tag.lower(), attributes)
+        self._attach(node)
+        if tag.lower() not in VOID_ELEMENTS:
+            self._stack.append(node)
+
+    def handle_startendtag(self, tag: str, attrs) -> None:
+        attributes = {name: (value if value is not None else "") for name, value in attrs}
+        self._attach(DOMNode(tag.lower(), attributes))
+
+    def handle_endtag(self, tag: str) -> None:
+        tag = tag.lower()
+        if tag in VOID_ELEMENTS:
+            return
+        if not self._stack:
+            raise ParseError(f"closing </{tag}> with no open element")
+        open_tags = [node.tag for node in self._stack]
+        if tag not in open_tags:
+            raise ParseError(f"closing </{tag}> but open elements are {open_tags}")
+        # pop implicitly-closed elements (forgiving, browser-like)
+        while self._stack:
+            node = self._stack.pop()
+            if node.tag == tag:
+                return
+
+    def handle_data(self, data: str) -> None:
+        text = data.strip()
+        if not text:
+            return
+        if not self._stack:
+            raise ParseError(f"text {text!r} outside any element")
+        owner = self._stack[-1]
+        owner.text = f"{owner.text} {text}".strip() if owner.text else text
+
+
+def parse_html(markup: str) -> DOMNode:
+    """Parse markup into a single frozen root element.
+
+    Raises :class:`ParseError` on text outside elements, stray closing
+    tags, unclosed elements, or zero/multiple roots.
+    """
+    builder = _TreeBuilder()
+    try:
+        builder.feed(markup)
+        builder.close()
+    except ParseError:
+        raise
+    except Exception as exc:  # HTMLParser raises assorted errors
+        raise ParseError(f"malformed HTML: {exc}") from exc
+    if builder._stack:
+        raise ParseError(
+            f"unclosed elements: {[node.tag for node in builder._stack]}"
+        )
+    if len(builder.roots) != 1:
+        raise ParseError(f"expected exactly one root element, got {len(builder.roots)}")
+    return builder.roots[0].freeze()
+
+
+def parse_fragment(markup: str) -> list[DOMNode]:
+    """Parse markup that may have several top-level elements (unfrozen)."""
+    builder = _TreeBuilder()
+    try:
+        builder.feed(markup)
+        builder.close()
+    except ParseError:
+        raise
+    except Exception as exc:
+        raise ParseError(f"malformed HTML: {exc}") from exc
+    if builder._stack:
+        raise ParseError(
+            f"unclosed elements: {[node.tag for node in builder._stack]}"
+        )
+    return builder.roots

@@ -1,0 +1,177 @@
+"""DOM tree model.
+
+A *DOM snapshot* is an immutable tree of :class:`DOMNode` objects.  The
+virtual browser produces a fresh snapshot for every page transition, so a
+recorded *DOM trace* is simply a list of root nodes.  Snapshots are frozen
+after construction: the synthesizer may safely cache selector resolutions
+keyed by root identity.
+
+Identity conventions
+--------------------
+Within one snapshot, a node is identified by its Python object; across
+snapshots, nodes are compared by their *raw path* (absolute child-axis
+XPath with per-tag sibling indices), which is how the paper's front end
+records actions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class DOMNode:
+    """One element of a DOM snapshot.
+
+    Parameters
+    ----------
+    tag:
+        Lower-case HTML tag name (``div``, ``span``, ...).
+    attrs:
+        Attribute mapping.  ``class``, ``id`` and ``name`` are the ones the
+        selector search exploits, but any key is allowed.
+    text:
+        Text owned directly by this element (children contribute to
+        :meth:`text_content` but not to :attr:`text`).
+    children:
+        Child elements in document order.
+    """
+
+    __slots__ = ("tag", "attrs", "text", "children", "parent", "_frozen", "_resolve_cache")
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: Optional[dict[str, str]] = None,
+        text: str = "",
+        children: Optional[list["DOMNode"]] = None,
+    ) -> None:
+        self.tag = tag
+        self.attrs: dict[str, str] = dict(attrs) if attrs else {}
+        self.text = text
+        self.children: list[DOMNode] = list(children) if children else []
+        self.parent: Optional[DOMNode] = None
+        self._frozen = False
+        # Selector-resolution memo, populated lazily on root nodes only.
+        # Snapshots are immutable once frozen, so caching is sound.
+        self._resolve_cache: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def append(self, child: "DOMNode") -> "DOMNode":
+        """Add ``child`` as the last child.  Only allowed before freezing."""
+        if self._frozen:
+            raise ValueError("cannot mutate a frozen DOM snapshot")
+        self.children.append(child)
+        return child
+
+    def freeze(self) -> "DOMNode":
+        """Set parent pointers recursively and mark the subtree immutable.
+
+        Returns ``self`` so builders can freeze in one expression.
+        """
+        for child in self.children:
+            child.parent = self
+            child.freeze()
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` has run on this subtree."""
+        return self._frozen
+
+    def clone(self) -> "DOMNode":
+        """Deep-copy this subtree.  The copy is *not* frozen.
+
+        The virtual browser clones the current snapshot, applies a mutation
+        (e.g. filling an input field), then freezes the result as the next
+        snapshot.
+        """
+        return DOMNode(
+            self.tag,
+            dict(self.attrs),
+            self.text,
+            [child.clone() for child in self.children],
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def iter_subtree(self) -> Iterator["DOMNode"]:
+        """Yield this node and every descendant in document order."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def iter_descendants(self) -> Iterator["DOMNode"]:
+        """Yield every proper descendant in document order (self excluded)."""
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def text_content(self) -> str:
+        """All text in the subtree, concatenated in document order."""
+        parts = [self.text] if self.text else []
+        parts.extend(
+            child.text_content() for child in self.children if child.text_content()
+        )
+        return " ".join(part for part in parts if part)
+
+    def root(self) -> "DOMNode":
+        """The root of the snapshot this node belongs to."""
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def ancestors(self) -> Iterator["DOMNode"]:
+        """Yield parent, grandparent, ... up to and including the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def is_ancestor_of(self, other: "DOMNode") -> bool:
+        """True when ``other`` is in this node's subtree (self excluded)."""
+        return any(anc is self for anc in other.ancestors())
+
+    def child_index_by_tag(self) -> int:
+        """1-based index of this node among same-tag siblings.
+
+        This is the index recorded in absolute raw XPaths, e.g. the ``2`` in
+        ``/html[1]/body[1]/div[2]``.  The root has index 1.
+        """
+        if self.parent is None:
+            return 1
+        index = 0
+        for sibling in self.parent.children:
+            if sibling.tag == self.tag:
+                index += 1
+            if sibling is self:
+                return index
+        raise ValueError("node is not among its parent's children")
+
+    def get(self, attr: str, default: str = "") -> str:
+        """Attribute lookup with a default, mirroring ``dict.get``."""
+        return self.attrs.get(attr, default)
+
+    # ------------------------------------------------------------------
+    # Structural identity
+    # ------------------------------------------------------------------
+    def structural_key(self) -> tuple:
+        """A hashable key capturing the whole subtree's structure.
+
+        Two snapshots with equal structural keys render identically; the
+        recorder uses this to share snapshot objects across consecutive
+        non-mutating actions.
+        """
+        return (
+            self.tag,
+            tuple(sorted(self.attrs.items())),
+            self.text,
+            tuple(child.structural_key() for child in self.children),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        attrs = "".join(f' {k}="{v}"' for k, v in sorted(self.attrs.items()))
+        return f"<{self.tag}{attrs} children={len(self.children)}>"

@@ -1,0 +1,24 @@
+"""Rendering DOM snapshots as indented HTML-like text (debugging aid)."""
+
+from __future__ import annotations
+
+from repro.dom.node import DOMNode
+
+
+def to_html(node: DOMNode, indent: int = 0) -> str:
+    """Pretty-print a subtree as indented pseudo-HTML."""
+    pad = "  " * indent
+    attrs = "".join(f' {key}="{value}"' for key, value in sorted(node.attrs.items()))
+    if not node.children and not node.text:
+        return f"{pad}<{node.tag}{attrs}/>"
+    lines = [f"{pad}<{node.tag}{attrs}>"]
+    if node.text:
+        lines.append(f"{pad}  {node.text}")
+    lines.extend(to_html(child, indent + 1) for child in node.children)
+    lines.append(f"{pad}</{node.tag}>")
+    return "\n".join(lines)
+
+
+def snapshot_digest(node: DOMNode) -> int:
+    """A stable hash of the snapshot structure (used in trace summaries)."""
+    return hash(node.structural_key())

@@ -1,0 +1,322 @@
+"""Concrete selectors: the XPath subset of the paper (ρ in §3.2).
+
+A concrete selector is a sequence of *steps*.  Each step selects, from the
+current context node, either the *i*-th matching child (``child`` axis,
+rendered ``/φ[i]``) or the *i*-th matching descendant in document order
+(``desc`` axis, rendered ``//φ[i]``).  A predicate φ is an HTML tag,
+optionally refined by a single attribute equality (``t[@τ='s']``).
+
+Selectors resolve from the *document*, a virtual parent of the snapshot
+root, so the absolute path of the root itself is ``/html[1]`` (matching how
+browsers record absolute XPaths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.dom.node import DOMNode
+from repro.util.errors import ParseError
+
+CHILD = "child"
+DESC = "desc"
+
+#: Sentinel distinguishing "cached None" from "not cached" in resolve().
+_CACHE_MISS = object()
+
+#: Attributes the selector machinery is willing to use in predicates.
+SELECTOR_ATTRIBUTES = ("id", "class", "name")
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A node test: tag name plus optional attribute equality."""
+
+    tag: str
+    attr: Optional[str] = None
+    value: Optional[str] = None
+
+    def matches(self, node: DOMNode) -> bool:
+        """True when ``node`` satisfies this predicate."""
+        if node.tag != self.tag:
+            return False
+        if self.attr is None:
+            return True
+        return node.attrs.get(self.attr) == self.value
+
+    def __str__(self) -> str:
+        if self.attr is None:
+            return self.tag
+        return f"{self.tag}[@{self.attr}='{self.value}']"
+
+
+@dataclass(frozen=True)
+class TokenPredicate(Predicate):
+    """A whitespace-token node test: ``t[@τ~='s']``.
+
+    Matches when ``s`` occurs among the whitespace-separated tokens of
+    the attribute — CSS class semantics.  This is the paper's §7.1
+    "disjunctive logics" extension: one token predicate covers both
+    ``class="match"`` and ``class="match highlight"`` rows (the b6
+    failure case) without a disjunction operator.  Generated only when
+    :attr:`repro.synth.config.SynthesisConfig.use_token_predicates` is
+    enabled.
+    """
+
+    def matches(self, node: DOMNode) -> bool:
+        if node.tag != self.tag or self.attr is None:
+            return False
+        return self.value in node.attrs.get(self.attr, "").split()
+
+    def __str__(self) -> str:
+        return f"{self.tag}[@{self.attr}~='{self.value}']"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One selector step: axis, predicate, and a 1-based match index."""
+
+    axis: str
+    pred: Predicate
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.axis not in (CHILD, DESC):
+            raise ValueError(f"unknown axis {self.axis!r}")
+        if self.index < 1:
+            raise ValueError("step indices are 1-based")
+
+    def __str__(self) -> str:
+        sep = "/" if self.axis == CHILD else "//"
+        return f"{sep}{self.pred}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class ConcreteSelector:
+    """A concrete selector ρ: a step sequence resolved from the document.
+
+    Selectors are used as cache keys throughout the synthesizer, so the
+    hash is computed once at construction instead of recursively on every
+    lookup.
+    """
+
+    steps: tuple[Step, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(self.steps))
+
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return self._hash
+
+    def __str__(self) -> str:
+        return "".join(str(step) for step in self.steps) if self.steps else "/"
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def child(self, pred: Predicate, index: int) -> "ConcreteSelector":
+        """Extend with a child-axis step."""
+        return ConcreteSelector(self.steps + (Step(CHILD, pred, index),))
+
+    def desc(self, pred: Predicate, index: int) -> "ConcreteSelector":
+        """Extend with a descendant-axis step."""
+        return ConcreteSelector(self.steps + (Step(DESC, pred, index),))
+
+    def concat(self, suffix: Iterable[Step]) -> "ConcreteSelector":
+        """Extend with an arbitrary step sequence."""
+        return ConcreteSelector(self.steps + tuple(suffix))
+
+
+#: The empty selector ε (denotes the document itself).
+EPSILON = ConcreteSelector(())
+
+
+# ----------------------------------------------------------------------
+# Resolution
+# ----------------------------------------------------------------------
+def _candidates(root: DOMNode, current: Optional[DOMNode], axis: str) -> Iterator[DOMNode]:
+    """Nodes reachable from ``current`` along ``axis``.
+
+    ``current is None`` encodes the virtual document: its only child is the
+    snapshot root and its descendants are the entire tree.
+    """
+    if axis == CHILD:
+        if current is None:
+            yield root
+        else:
+            yield from current.children
+    else:
+        if current is None:
+            yield from root.iter_subtree()
+        else:
+            yield from current.iter_descendants()
+
+
+def _apply_step(root: DOMNode, current: Optional[DOMNode], step: Step) -> Optional[DOMNode]:
+    remaining = step.index
+    for node in _candidates(root, current, step.axis):
+        if step.pred.matches(node):
+            remaining -= 1
+            if remaining == 0:
+                return node
+    return None
+
+
+def resolve(selector: ConcreteSelector, root: DOMNode) -> Optional[DOMNode]:
+    """Resolve ``selector`` against the snapshot rooted at ``root``.
+
+    Returns the selected node, or ``None`` if any step has no *i*-th match.
+    Resolving the empty selector yields the root (the document's single
+    element child), which keeps ``valid(ε, π)`` total.
+
+    Results are memoised on frozen roots: snapshots are immutable, and the
+    synthesizer resolves the same selectors against the same snapshots many
+    times during validation.
+    """
+    if not selector.steps:
+        return root
+    cache = root._resolve_cache
+    if cache is None and root.frozen:
+        cache = root._resolve_cache = {}
+    if cache is not None:
+        hit = cache.get(selector, _CACHE_MISS)
+        if hit is not _CACHE_MISS:
+            return hit
+    current: Optional[DOMNode] = None
+    for step in selector.steps:
+        current = _apply_step(root, current, step)
+        if current is None:
+            break
+    if cache is not None:
+        cache[selector] = current
+    return current
+
+
+def resolve_relative(steps: Iterable[Step], base: DOMNode) -> Optional[DOMNode]:
+    """Resolve a step sequence starting from an existing node."""
+    current: Optional[DOMNode] = base
+    root = base.root()
+    for step in steps:
+        current = _apply_step(root, current, step)
+        if current is None:
+            return None
+    return current
+
+
+def valid(selector: ConcreteSelector, root: DOMNode) -> bool:
+    """The paper's ``valid(ρ, π)``: does ρ denote a node in π?"""
+    return resolve(selector, root) is not None
+
+
+# ----------------------------------------------------------------------
+# Raw paths and match indices
+# ----------------------------------------------------------------------
+def raw_path(node: DOMNode) -> ConcreteSelector:
+    """The absolute child-axis XPath of ``node`` (what the recorder emits).
+
+    Example: ``/html[1]/body[1]/div[2]/h3[1]``.  Indices count same-tag
+    siblings only, matching browser DevTools conventions.
+    """
+    chain: list[DOMNode] = [node]
+    chain.extend(node.ancestors())
+    chain.reverse()
+    steps = tuple(
+        Step(CHILD, Predicate(item.tag), item.child_index_by_tag()) for item in chain
+    )
+    return ConcreteSelector(steps)
+
+
+def index_among_children(node: DOMNode, pred: Predicate) -> Optional[int]:
+    """1-based index of ``node`` among its parent's children matching ``pred``.
+
+    For the snapshot root the "parent" is the virtual document, whose only
+    child is the root itself.  Returns ``None`` when the predicate does not
+    match ``node``.
+    """
+    if not pred.matches(node):
+        return None
+    siblings = node.parent.children if node.parent is not None else [node]
+    index = 0
+    for sibling in siblings:
+        if pred.matches(sibling):
+            index += 1
+        if sibling is node:
+            return index
+    return None
+
+
+def index_among_descendants(
+    anchor: Optional[DOMNode], node: DOMNode, pred: Predicate, root: DOMNode
+) -> Optional[int]:
+    """1-based index of ``node`` among ``anchor``'s matching descendants.
+
+    ``anchor is None`` means the virtual document (all nodes in the
+    snapshot count as descendants).  Returns ``None`` if ``node`` is not a
+    matching descendant of ``anchor``.
+    """
+    if not pred.matches(node):
+        return None
+    pool = root.iter_subtree() if anchor is None else anchor.iter_descendants()
+    index = 0
+    for candidate in pool:
+        if pred.matches(candidate):
+            index += 1
+        if candidate is node:
+            return index
+    return None
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+def parse_selector(text: str) -> ConcreteSelector:
+    """Parse a selector string such as ``/html[1]//div[@class='a'][2]``.
+
+    Indices are optional and default to 1; attribute values use single
+    quotes and may not contain quotes themselves.
+    """
+    text = text.strip()
+    if text in ("", "/"):
+        return EPSILON
+    steps: list[Step] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        if text.startswith("//", pos):
+            axis, pos = DESC, pos + 2
+        elif text.startswith("/", pos):
+            axis, pos = CHILD, pos + 1
+        else:
+            raise ParseError(f"expected '/' at position {pos} in {text!r}")
+        end = pos
+        while end < length and text[end] not in "/[":
+            end += 1
+        tag = text[pos:end]
+        if not tag:
+            raise ParseError(f"missing tag name at position {pos} in {text!r}")
+        pos = end
+        attr = value = None
+        token = False
+        index = 1
+        while pos < length and text[pos] == "[":
+            close = text.find("]", pos)
+            if close == -1:
+                raise ParseError(f"unclosed '[' in {text!r}")
+            body = text[pos + 1 : close]
+            if body.startswith("@"):
+                if "=" not in body:
+                    raise ParseError(f"malformed attribute predicate {body!r}")
+                attr, raw_value = body[1:].split("=", 1)
+                token = attr.endswith("~")
+                attr = attr.rstrip("~")
+                value = raw_value.strip().strip("'\"")
+            else:
+                try:
+                    index = int(body)
+                except ValueError as exc:
+                    raise ParseError(f"bad index {body!r} in {text!r}") from exc
+            pos = close + 1
+        pred_type = TokenPredicate if (attr is not None and token) else Predicate
+        steps.append(Step(axis, pred_type(tag, attr, value), index))
+    return ConcreteSelector(tuple(steps))

@@ -1,0 +1,218 @@
+"""Shared machinery for the script exporters.
+
+The interesting translation problem is selectors.  Our DSL's descendant
+step ``//φ[i]`` means "the *i*-th matching descendant in document
+order", but real XPath's ``prefix//t[i]`` filters by position *within
+each parent*.  The faithful encoding parenthesizes:
+``(prefix//t)[i]`` selects the i-th node of the whole descendant node
+set, which is exactly our semantics.  Child steps need no wrapping —
+``/t[i]`` and ``/t[@a='v'][i]`` already index among matching children.
+
+:class:`CodeWriter` is a small indentation-aware emitter;
+:class:`VarNames` assigns Python identifiers to loop variables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dom.xpath import CHILD, Predicate, Step, TokenPredicate
+from repro.lang.ast import SEL_VAR, Selector, ValuePath, Var
+from repro.util.errors import ExportError
+
+
+# ----------------------------------------------------------------------
+# XPath rendering
+# ----------------------------------------------------------------------
+def xpath_string_literal(value: str) -> str:
+    """Quote ``value`` as an XPath 1.0 string literal.
+
+    XPath 1.0 has no escape sequences, so a value containing both quote
+    kinds must be assembled with ``concat``.
+    """
+    if "'" not in value:
+        return f"'{value}'"
+    if '"' not in value:
+        return f'"{value}"'
+    parts = []
+    for piece in value.split("'"):
+        if parts:
+            parts.append('"\'"')
+        if piece:
+            parts.append(f"'{piece}'")
+    return f"concat({', '.join(parts)})"
+
+
+def predicate_to_xpath(pred: Predicate) -> str:
+    """Render a node test as real XPath (token predicates via contains)."""
+    if isinstance(pred, TokenPredicate):
+        padded = xpath_string_literal(f" {pred.value} ")
+        return (
+            f"{pred.tag}[contains(concat(' ', normalize-space(@{pred.attr}), ' '), "
+            f"{padded})]"
+        )
+    if pred.attr is None:
+        return pred.tag
+    return f"{pred.tag}[@{pred.attr}={xpath_string_literal(pred.value)}]"
+
+
+def steps_to_xpath(steps: tuple[Step, ...], origin: str) -> str:
+    """Render a step sequence as real XPath rooted at ``origin``.
+
+    ``origin`` is ``""`` for document-absolute selectors and ``"."`` for
+    selectors relative to a loop element.  Descendant steps are wrapped
+    so their index counts the full document-order node set.
+    """
+    expr = origin
+    for step in steps:
+        pred = predicate_to_xpath(step.pred)
+        if step.axis == CHILD:
+            expr = f"{expr}/{pred}[{step.index}]"
+        else:
+            expr = f"({expr}//{pred})[{step.index}]"
+    return expr or "/*"
+
+
+def collection_to_xpath(steps: tuple[Step, ...], origin: str, pred: Predicate, axis: str) -> str:
+    """XPath for a whole collection (``Children``/``Dscts``) — no index."""
+    base = steps_to_xpath(steps, origin) if steps else origin
+    separator = "/" if axis == CHILD else "//"
+    return f"{base}{separator}{predicate_to_xpath(pred)}"
+
+
+def template_to_xpath(template, origin: str = "", marker: str = "{k}") -> str:
+    """Real XPath for a :class:`CounterTemplate` with ``marker`` in the hole.
+
+    The generated scripts substitute the page counter for ``marker`` at
+    runtime (plain string replace), so the marker must survive XPath
+    quoting — it contains no quote characters.
+    """
+    value = f"{template.value_prefix}{marker}{template.value_suffix}"
+    hole = Step(template.axis, Predicate(template.tag, template.attr, value), template.index)
+    steps = template.prefix_steps + (hole,) + template.suffix_steps
+    return steps_to_xpath(steps, origin)
+
+
+# ----------------------------------------------------------------------
+# Identifier allocation
+# ----------------------------------------------------------------------
+class VarNames:
+    """Python identifiers for loop variables, stable in binding order."""
+
+    def __init__(self) -> None:
+        self._names: dict[Var, str] = {}
+        self._counts = {"element": 0, "value": 0, "page": 0}
+
+    def bind(self, var: Var) -> str:
+        """Allocate a name for a newly-bound loop variable."""
+        kind = "element" if var.kind == SEL_VAR else "value"
+        self._counts[kind] += 1
+        name = f"{kind}_{self._counts[kind]}"
+        self._names[var] = name
+        return name
+
+    def fresh(self, stem: str) -> str:
+        """Allocate a helper identifier (loop counters and the like)."""
+        self._counts[stem] = self._counts.get(stem, 0) + 1
+        return f"{stem}_{self._counts[stem]}"
+
+    def name(self, var: Var) -> str:
+        """Look up the identifier a variable was bound to."""
+        try:
+            return self._names[var]
+        except KeyError:
+            raise ExportError(f"unbound loop variable {var} in exported program") from None
+
+
+def value_path_expr(path: ValuePath, names: VarNames) -> str:
+    """A Python expression evaluating the value a path denotes.
+
+    Value-path variables hold the *resolved* value of their binding (the
+    exporters iterate arrays directly), so accessors become ordinary
+    subscripts; the DSL's 1-based array indices shift to 0-based.
+    """
+    expr = "data" if path.base is None else names.name(path.base)
+    for accessor in path.accessors:
+        if isinstance(accessor, int):
+            expr += f"[{accessor - 1}]"
+        else:
+            expr += f"[{accessor!r}]"
+    return expr
+
+
+def selector_parts(
+    selector: Selector, names: VarNames
+) -> tuple[Optional[str], str]:
+    """Split a symbolic selector into (context identifier, xpath string).
+
+    Returns ``(None, absolute_xpath)`` for concrete selectors and
+    ``(element_identifier, relative_xpath)`` for variable-based ones.
+    """
+    if selector.base is None:
+        return None, steps_to_xpath(selector.steps, "")
+    return names.name(selector.base), steps_to_xpath(selector.steps, ".")
+
+
+# ----------------------------------------------------------------------
+# Code emission
+# ----------------------------------------------------------------------
+class CodeWriter:
+    """Indentation-aware line emitter for generated scripts."""
+
+    INDENT = "    "
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._depth = 0
+
+    def line(self, text: str = "") -> None:
+        """Emit one line at the current indentation (blank stays blank)."""
+        if text:
+            self._lines.append(self.INDENT * self._depth + text)
+        else:
+            self._lines.append("")
+
+    def lines(self, *texts: str) -> None:
+        """Emit several lines at the current indentation."""
+        for text in texts:
+            self.line(text)
+
+    def indent(self) -> "CodeWriter":
+        """Increase indentation (use as ``with``-free pairing to dedent)."""
+        self._depth += 1
+        return self
+
+    def dedent(self) -> "CodeWriter":
+        """Decrease indentation."""
+        if self._depth == 0:
+            raise ExportError("unbalanced dedent in code generation")
+        self._depth -= 1
+        return self
+
+    def block(self, header: str) -> "_Block":
+        """Emit ``header`` and return a context manager indenting its body."""
+        self.line(header)
+        return _Block(self)
+
+    def render(self) -> str:
+        """The generated source, newline-terminated."""
+        return "\n".join(self._lines) + "\n"
+
+
+class _Block:
+    """Context manager produced by :meth:`CodeWriter.block`."""
+
+    def __init__(self, writer: CodeWriter) -> None:
+        self._writer = writer
+
+    def __enter__(self) -> CodeWriter:
+        return self._writer.indent()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._writer.dedent()
+
+
+def comment_block(writer: CodeWriter, text: str, prefix: str = "# ") -> None:
+    """Emit a multi-line string as a comment block."""
+    for line in text.splitlines():
+        writer.line((prefix + line).rstrip())

@@ -1,0 +1,26 @@
+"""Experiment drivers regenerating every table and figure of §7."""
+
+from repro.harness.q1 import BenchmarkResult, Q1Report, evaluate_benchmark, run_q1
+from repro.harness.q2 import Q2Report, VariantResult, run_q2
+from repro.harness.q3 import StudyOutcome, SweepOutcome, run_session, run_study, run_sweep
+from repro.harness.q4 import Q4Report, run_q4
+from repro.harness.stats import render_statistics, suite_statistics
+
+__all__ = [
+    "BenchmarkResult",
+    "Q1Report",
+    "evaluate_benchmark",
+    "run_q1",
+    "Q2Report",
+    "VariantResult",
+    "run_q2",
+    "StudyOutcome",
+    "SweepOutcome",
+    "run_session",
+    "run_study",
+    "run_sweep",
+    "Q4Report",
+    "run_q4",
+    "render_statistics",
+    "suite_statistics",
+]

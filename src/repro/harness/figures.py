@@ -1,0 +1,122 @@
+"""Plain-text chart rendering for the experiment harnesses.
+
+Figure 12 in the paper is a dual chart: a bar per benchmark for
+prediction accuracy overlaid with a box plot of synthesis times.  These
+helpers render the same series as monospace charts so the regenerated
+artifact is *visually* comparable in a terminal:
+
+* :func:`horizontal_bars` — one scaled bar per labelled value;
+* :func:`interval_bars` — one ``min ─ q1 ═ median ═ q3 ─ max`` span per
+  labelled five-number summary (a text box plot);
+* :func:`figure12_chart` — both series combined, sorted by accuracy as
+  the paper sorts its x-axis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+FULL = "█"
+PART = "▏▎▍▌▋▊▉"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A solid bar of ``fraction * width`` cells with eighth-cell detail."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    eighths = round(fraction * width * 8)
+    whole, rest = divmod(eighths, 8)
+    bar = FULL * whole
+    if rest:
+        bar += PART[rest - 1]
+    return bar.ljust(width)
+
+
+def horizontal_bars(
+    rows: Sequence[tuple[str, float]],
+    width: int = 40,
+    max_value: Optional[float] = None,
+    unit: str = "",
+) -> str:
+    """Render ``(label, value)`` rows as horizontal bars.
+
+    Values are scaled to ``max_value`` (default: the largest value, or 1
+    when all values are zero).
+    """
+    if not rows:
+        return "(no data)"
+    scale = max_value if max_value is not None else max(value for _, value in rows)
+    if scale <= 0:
+        scale = 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        bar = _bar(value / scale, width)
+        lines.append(f"{label.rjust(label_width)} |{bar}| {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def interval_bars(
+    rows: Sequence[tuple[str, tuple[float, float, float, float, float]]],
+    width: int = 40,
+    max_value: Optional[float] = None,
+    unit: str = "",
+) -> str:
+    """Render five-number summaries as text box plots.
+
+    Each row shows ``·`` whiskers from min to max, ``═`` for the
+    interquartile range, and ``#`` at the median::
+
+        b12 |   ·····══#═══····           | med 0.023s
+    """
+    if not rows:
+        return "(no data)"
+    scale = max_value if max_value is not None else max(row[1][4] for row in rows)
+    if scale <= 0:
+        scale = 1.0
+    label_width = max(len(label) for label, _ in rows)
+
+    def cell(value: float) -> int:
+        return min(width - 1, max(0, int(value / scale * (width - 1))))
+
+    lines = []
+    for label, (low, q1, median, q3, high) in rows:
+        cells = [" "] * width
+        for position in range(cell(low), cell(high) + 1):
+            cells[position] = "·"
+        for position in range(cell(q1), cell(q3) + 1):
+            cells[position] = "═"
+        cells[cell(median)] = "#"
+        lines.append(
+            f"{label.rjust(label_width)} |{''.join(cells)}| "
+            f"med {median:.3f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def figure12_chart(
+    rows: Sequence[tuple[str, float, tuple[float, float, float, float, float]]],
+    width: int = 40,
+) -> str:
+    """The Figure 12 combination: accuracy bars plus time box plots.
+
+    ``rows`` are ``(benchmark id, accuracy, time quartiles)`` — callers
+    sort them (the paper sorts by ascending accuracy).
+    """
+    if not rows:
+        return "(no data)"
+    accuracy = horizontal_bars(
+        [(bid, value) for bid, value, _ in rows], width, max_value=1.0
+    )
+    max_time = max((quartiles[4] for _, _, quartiles in rows), default=0.0)
+    times = interval_bars(
+        [(bid, quartiles) for bid, _, quartiles in rows],
+        width,
+        max_value=max_time or None,
+        unit="s",
+    )
+    return (
+        "accuracy per benchmark (bar = fraction of tests with a correct prediction)\n"
+        f"{accuracy}\n\n"
+        "synthesis time per benchmark (box plot over prediction-producing tests)\n"
+        f"{times}"
+    )

@@ -1,0 +1,129 @@
+"""Q2 — ablation studies (Table 1).
+
+Reruns the Q1 protocol with the two ablated configurations:
+
+* **No selector** — ``AlternativeSelectors`` returns only the recorded
+  raw XPath (Figures 10/11 degrade to raw-path matching);
+* **No incremental** — every prediction test rebuilds the worklist from
+  scratch instead of resuming it (§5.4 disabled).
+
+Table 1 reports, per variant: benchmarks solved (intended final program),
+median accuracy, average accuracy, and average synthesis time per test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.harness.q1 import BenchmarkResult, run_q1
+from repro.harness.report import fmt_ms, fmt_pct, render_table
+from repro.synth.config import (
+    DEFAULT_CONFIG,
+    SynthesisConfig,
+    no_incremental_config,
+    no_selector_config,
+)
+
+
+@dataclass
+class VariantResult:
+    """One Table 1 row."""
+
+    name: str
+    results: list[BenchmarkResult]
+
+    @property
+    def solved(self) -> int:
+        return sum(result.intended for result in self.results)
+
+    @property
+    def median_accuracy(self) -> float:
+        accuracies = sorted(result.accuracy for result in self.results)
+        if not accuracies:
+            return 0.0
+        middle = len(accuracies) // 2
+        if len(accuracies) % 2:
+            return accuracies[middle]
+        return (accuracies[middle - 1] + accuracies[middle]) / 2
+
+    @property
+    def average_accuracy(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(result.accuracy for result in self.results) / len(self.results)
+
+    @property
+    def average_time(self) -> float:
+        times = [
+            value for result in self.results for value in result.prediction_times
+        ]
+        return sum(times) / len(times) if times else 0.0
+
+
+@dataclass
+class Q2Report:
+    """All Table 1 rows."""
+
+    variants: list[VariantResult]
+
+    def render_table1(self) -> str:
+        paper = {
+            "Full-fledged": ("69", "98%", "90%", "23ms"),
+            "No selector": ("38", "88%", "57%", "54ms"),
+            "No incremental": ("45", "96%", "72%", "32ms"),
+        }
+        rows = []
+        for variant in self.variants:
+            reference = paper.get(variant.name, ("—",) * 4)
+            rows.append([
+                variant.name,
+                f"{variant.solved} ({reference[0]})",
+                f"{fmt_pct(variant.median_accuracy)} ({reference[1]})",
+                f"{fmt_pct(variant.average_accuracy)} ({reference[2]})",
+                f"{fmt_ms(variant.average_time)} ({reference[3]})",
+            ])
+        table = render_table(
+            ["variant", "solved (paper)", "acc med (paper)", "acc avg (paper)",
+             "time/test (paper)"],
+            rows,
+        )
+        return "Table 1 — ablation studies (Q2)\n" + table
+
+
+def run_q2(
+    trace_cap: Optional[int] = None,
+    timeout: Optional[float] = None,
+    subset: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> Q2Report:
+    """Run all three variants over the suite (or a subset)."""
+    variants: list[tuple[str, SynthesisConfig]] = [
+        ("Full-fledged", DEFAULT_CONFIG),
+        ("No selector", no_selector_config()),
+        ("No incremental", no_incremental_config()),
+    ]
+    rows = []
+    for name, config in variants:
+        if verbose:
+            print(f"running variant: {name}")
+        report = run_q1(config, trace_cap, timeout, subset, verbose=False)
+        rows.append(VariantResult(name, report.results))
+        if verbose:
+            row = rows[-1]
+            print(
+                f"  solved={row.solved} acc_med={fmt_pct(row.median_accuracy)} "
+                f"acc_avg={fmt_pct(row.average_accuracy)} time={fmt_ms(row.average_time)}"
+            )
+    return Q2Report(rows)
+
+
+def main() -> None:
+    """CLI entry: regenerate Table 1."""
+    report = run_q2(verbose=True)
+    print()
+    print(report.render_table1())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(value.ljust(widths[index]) for index, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def quartiles(values: Sequence[float]) -> tuple[float, float, float, float, float]:
+    """(min, q1, median, q3, max) with linear interpolation."""
+    if not values:
+        return (0.0, 0.0, 0.0, 0.0, 0.0)
+    ordered = sorted(values)
+
+    def at(fraction: float) -> float:
+        position = fraction * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        weight = position - low
+        return ordered[low] * (1 - weight) + ordered[high] * weight
+
+    return (ordered[0], at(0.25), at(0.5), at(0.75), ordered[-1])
+
+
+def fmt_ms(seconds: float) -> str:
+    """Milliseconds with sensible precision."""
+    ms = seconds * 1000.0
+    if ms >= 100:
+        return f"{ms:.0f}ms"
+    if ms >= 10:
+        return f"{ms:.1f}ms"
+    return f"{ms:.2f}ms"
+
+
+def fmt_pct(fraction: float) -> str:
+    """A percentage out of a 0..1 fraction."""
+    return f"{fraction * 100:.0f}%"

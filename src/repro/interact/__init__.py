@@ -1,0 +1,12 @@
+"""Human-in-the-loop interaction: the demo-auth-auto session model."""
+
+from repro.interact.session import InteractiveSession, Phase, SessionReport
+from repro.interact.user import NoisyUser, OracleUser
+
+__all__ = [
+    "InteractiveSession",
+    "Phase",
+    "SessionReport",
+    "NoisyUser",
+    "OracleUser",
+]

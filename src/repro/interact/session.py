@@ -1,0 +1,175 @@
+"""The human-in-the-loop interaction model (§6, Figure 3).
+
+A session moves through three phases:
+
+* **demo** — the user performs actions manually; each is recorded and
+  sent to the synthesizer;
+* **auth** — the synthesizer's predicted next actions are shown; the user
+  accepts one (it is then executed) or rejects them all (back to demo);
+* **auto** — after enough consecutive accepts, the robot takes over and
+  executes predictions without asking, until the program stops producing
+  actions (back to demo — e.g. P1 finishing page one) or the user spots a
+  deviation and interrupts.
+
+The session drives a live :class:`~repro.browser.virtual.Browser`; the
+*user* is any object with the :class:`~repro.interact.user.OracleUser`
+interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.browser.virtual import Browser
+from repro.interact.user import OracleUser
+from repro.lang.actions import Action
+from repro.synth.synthesizer import Synthesizer
+from repro.util.errors import ReplayError
+
+
+class Phase(enum.Enum):
+    """The three phases of Figure 3 (plus the terminal state)."""
+
+    DEMO = "demo"
+    AUTH = "auth"
+    AUTO = "auto"
+    DONE = "done"
+
+
+@dataclass
+class SessionReport:
+    """What happened during one session — the Q3 measurements.
+
+    ``demonstrated`` counts manual actions, ``authorized`` accepted
+    predictions, ``automated`` robot-executed actions; ``ambiguity_picks``
+    counts the times the user chose a prediction other than the first
+    (the navigation-arrows feature); ``interruptions`` counts aborts of
+    the auto phase.
+    """
+
+    completed: bool = False
+    total_actions: int = 0
+    demonstrated: int = 0
+    authorized: int = 0
+    rejected: int = 0
+    automated: int = 0
+    ambiguity_picks: int = 0
+    interruptions: int = 0
+    phase_log: list[str] = field(default_factory=list)
+
+    @property
+    def automation_fraction(self) -> float:
+        """Share of the task the robot performed."""
+        if self.total_actions == 0:
+            return 0.0
+        return self.automated / self.total_actions
+
+
+class InteractiveSession:
+    """Runs one task end-to-end under the demo-auth-auto workflow."""
+
+    def __init__(
+        self,
+        browser: Browser,
+        synthesizer: Synthesizer,
+        user: OracleUser,
+        auth_accepts_to_automate: int = 2,
+        max_steps: int = 2000,
+        synth_timeout: Optional[float] = None,
+    ) -> None:
+        self.browser = browser
+        self.synthesizer = synthesizer
+        self.user = user
+        self.auth_accepts_to_automate = auth_accepts_to_automate
+        self.max_steps = max_steps
+        self.synth_timeout = synth_timeout
+        self.phase = Phase.DEMO
+        self.report = SessionReport()
+
+    # ------------------------------------------------------------------
+    def run(self) -> SessionReport:
+        """Drive the session until the task completes or budgets run out."""
+        consecutive_accepts = 0
+        steps = 0
+        while not self.user.done and steps < self.max_steps:
+            steps += 1
+            predictions = self._synthesize()
+            if self.phase is Phase.DEMO:
+                if predictions:
+                    self.phase = Phase.AUTH
+                    self.report.phase_log.append("auth")
+                    continue
+                self._demonstrate()
+                continue
+            if self.phase is Phase.AUTH:
+                choice = self.user.judge(predictions) if predictions else None
+                if choice is None:
+                    self.report.rejected += 1
+                    consecutive_accepts = 0
+                    self.phase = Phase.DEMO
+                    self.report.phase_log.append("demo")
+                    self._demonstrate()
+                    continue
+                if choice > 0:
+                    self.report.ambiguity_picks += 1
+                self._execute(predictions[choice], authorized=True)
+                consecutive_accepts += 1
+                if consecutive_accepts >= self.auth_accepts_to_automate:
+                    self.phase = Phase.AUTO
+                    self.report.phase_log.append("auto")
+                continue
+            # Phase.AUTO
+            if not predictions:
+                # the program finished its loop (e.g. P1 at the end of
+                # page one): hand control back to the user
+                self.phase = Phase.DEMO
+                self.report.phase_log.append("demo")
+                consecutive_accepts = 0
+                continue
+            prediction = predictions[0]
+            if not self._execute(prediction, authorized=False):
+                self.report.interruptions += 1
+                self.phase = Phase.DEMO
+                self.report.phase_log.append("demo")
+                consecutive_accepts = 0
+        self.report.completed = self.user.done
+        self.report.total_actions = (
+            self.report.demonstrated + self.report.authorized + self.report.automated
+        )
+        return self.report
+
+    # ------------------------------------------------------------------
+    def _synthesize(self) -> list[Action]:
+        actions, snapshots = self.browser.trace()
+        if not actions:
+            return []
+        result = self.synthesizer.synthesize(actions, snapshots, timeout=self.synth_timeout)
+        return result.predictions
+
+    def _demonstrate(self) -> None:
+        action = self.user.demonstrate()
+        self.browser.perform(action)
+        if not self.user.observe(self.browser.recorded_actions[-1]):
+            raise ReplayError("oracle user failed to observe own demonstration")
+        self.report.demonstrated += 1
+
+    def _execute(self, action: Action, authorized: bool) -> bool:
+        """Execute a prediction; returns False on user interrupt.
+
+        The user inspects the visualised action *before* it runs (the
+        approve step), so wrong predictions never corrupt the browser
+        state or the recorded trace.
+        """
+        if not self.user.approves(action):
+            return False
+        try:
+            self.browser.perform(action)
+        except ReplayError:
+            return False
+        if not self.user.observe(self.browser.recorded_actions[-1]):
+            return False
+        self.report.authorized += authorized
+        self.report.automated += not authorized
+        return True

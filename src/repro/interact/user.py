@@ -1,0 +1,113 @@
+"""Simulated users for the human-in-the-loop experiments (Q3).
+
+The paper's study participants demonstrate a task, inspect predicted
+actions, accept/reject them, and interrupt the automation when it goes
+wrong.  :class:`OracleUser` models a careful user who knows the intended
+action sequence (the ground-truth recording); :class:`NoisyUser` adds the
+novices' mis-click behaviour observed in §7.3 ("novice users make
+mistakes"), which forces session restarts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.browser.recorder import Recording
+from repro.dom.node import DOMNode
+from repro.lang.actions import Action
+from repro.semantics.consistency import actions_consistent
+from repro.util.rng import DetRng
+
+
+class OracleUser:
+    """A simulated user following the intended action sequence exactly.
+
+    The user's "intent" is the ground-truth recording: at every point
+    they demonstrate the next intended action, accept exactly the
+    predictions consistent with it, and interrupt automation on any
+    deviation.
+    """
+
+    def __init__(self, recording: Recording) -> None:
+        self.recording = recording
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True once every intended action has happened."""
+        return self.position >= self.recording.length
+
+    def intended_action(self) -> Optional[Action]:
+        """The action the user wants to happen next."""
+        if self.done:
+            return None
+        return self.recording.actions[self.position]
+
+    def intended_dom(self) -> Optional[DOMNode]:
+        """The snapshot the next intended action executes on."""
+        if self.done:
+            return None
+        return self.recording.snapshots[self.position]
+
+    # ------------------------------------------------------------------
+    def demonstrate(self) -> Action:
+        """Perform the next intended action manually."""
+        action = self.intended_action()
+        if action is None:
+            raise RuntimeError("demonstrating past the end of the task")
+        return action
+
+    def judge(self, predictions: Sequence[Action]) -> Optional[int]:
+        """Pick the prediction matching the intent (the paper's
+        navigation-arrows disambiguation), or None to reject all."""
+        intended = self.intended_action()
+        dom = self.intended_dom()
+        if intended is None or dom is None:
+            return None
+        for index, prediction in enumerate(predictions):
+            if actions_consistent(prediction, intended, dom):
+                return index
+        return None
+
+    def approves(self, action: Action) -> bool:
+        """Inspect an action *about to be executed*; True = as intended.
+
+        The front end visualises each predicted action before it runs, so
+        a watchful user stops the robot right before a deviation (§2: "if
+        at any point the user spots anything abnormal, they can still
+        interrupt").
+        """
+        intended = self.intended_action()
+        dom = self.intended_dom()
+        if intended is None or dom is None:
+            return False
+        return actions_consistent(action, intended, dom)
+
+    def observe(self, action: Action) -> bool:
+        """Watch one executed action; True = as intended, advance."""
+        if self.approves(action):
+            self.position += 1
+            return True
+        return False
+
+
+class NoisyUser(OracleUser):
+    """An oracle user who occasionally mis-judges a prediction.
+
+    With probability ``mistake_rate`` a correct prediction is rejected
+    (novice hesitation) — a conservative mistake that costs demonstrations
+    but never corrupts the trace, mirroring how §7.3's mis-clicking
+    participants were restarted rather than left on a wrong path.
+    """
+
+    def __init__(self, recording: Recording, mistake_rate: float = 0.1, seed: int = 0) -> None:
+        super().__init__(recording)
+        self.mistake_rate = mistake_rate
+        self._rng = DetRng(seed)
+
+    def judge(self, predictions: Sequence[Action]) -> Optional[int]:
+        choice = super().judge(predictions)
+        if choice is not None and self._rng.next_u32() % 1000 < self.mistake_rate * 1000:
+            return None
+        return choice

@@ -1,0 +1,191 @@
+"""JSON (de)serialization for demonstrations, programs, and snapshots.
+
+A recorded demonstration — actions, DOM snapshots, scraped outputs — can
+be saved to a JSON document and reloaded later, so synthesis can run
+offline from stored sessions (the shape a production recorder extension
+would ship to a backend).  Programs round-trip through the concrete
+syntax; selectors and value paths through their string forms.
+
+Top-level entry points: :func:`recording_to_json` /
+:func:`recording_from_json` and the ``dump``/``load`` file helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Optional, Union
+
+from repro.browser.recorder import Recording
+from repro.dom.node import DOMNode
+from repro.dom.xpath import ConcreteSelector, parse_selector
+from repro.lang.actions import Action
+from repro.lang.ast import Program, ValuePath
+from repro.lang.parser import parse_program
+from repro.lang.pretty import format_program
+from repro.util.errors import ParseError
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# DOM snapshots
+# ----------------------------------------------------------------------
+def dom_to_json(node: DOMNode) -> dict:
+    """A JSON-ready tree for one snapshot."""
+    payload: dict[str, Any] = {"tag": node.tag}
+    if node.attrs:
+        payload["attrs"] = dict(node.attrs)
+    if node.text:
+        payload["text"] = node.text
+    if node.children:
+        payload["children"] = [dom_to_json(child) for child in node.children]
+    return payload
+
+
+def dom_from_json(payload: dict) -> DOMNode:
+    """Rebuild (and freeze) a snapshot from :func:`dom_to_json` output."""
+    node = _dom_from_json(payload)
+    return node.freeze()
+
+
+def _dom_from_json(payload: dict) -> DOMNode:
+    if "tag" not in payload:
+        raise ParseError("snapshot node missing 'tag'")
+    return DOMNode(
+        payload["tag"],
+        payload.get("attrs"),
+        payload.get("text", ""),
+        [_dom_from_json(child) for child in payload.get("children", ())],
+    )
+
+
+# ----------------------------------------------------------------------
+# Actions
+# ----------------------------------------------------------------------
+def _path_to_json(path: ValuePath) -> list:
+    return list(path.accessors)
+
+
+def _path_from_json(payload: list) -> ValuePath:
+    accessors = []
+    for accessor in payload:
+        if not isinstance(accessor, (str, int)):
+            raise ParseError(f"bad value-path accessor {accessor!r}")
+        accessors.append(accessor)
+    return ValuePath(None, tuple(accessors))
+
+
+def action_to_json(action: Action) -> dict:
+    """One action as a JSON object."""
+    payload: dict[str, Any] = {"kind": action.kind}
+    if action.selector is not None:
+        payload["selector"] = str(action.selector)
+    if action.text is not None:
+        payload["text"] = action.text
+    if action.path is not None:
+        payload["path"] = _path_to_json(action.path)
+    return payload
+
+
+def action_from_json(payload: dict) -> Action:
+    """Rebuild an action from :func:`action_to_json` output."""
+    if "kind" not in payload:
+        raise ParseError("action missing 'kind'")
+    selector: Optional[ConcreteSelector] = None
+    if "selector" in payload:
+        selector = parse_selector(payload["selector"])
+    path = _path_from_json(payload["path"]) if "path" in payload else None
+    return Action(payload["kind"], selector, payload.get("text"), path)
+
+
+# ----------------------------------------------------------------------
+# Programs
+# ----------------------------------------------------------------------
+def program_to_json(program: Program) -> dict:
+    """A program as its concrete syntax plus a format marker."""
+    return {"version": FORMAT_VERSION, "program": format_program(program)}
+
+
+def program_from_json(payload: dict) -> Program:
+    """Rebuild a program serialized by :func:`program_to_json`."""
+    if "program" not in payload:
+        raise ParseError("payload missing 'program'")
+    return parse_program(payload["program"])
+
+
+# ----------------------------------------------------------------------
+# Recordings
+# ----------------------------------------------------------------------
+def recording_to_json(recording: Recording) -> dict:
+    """A full demonstration as one JSON document.
+
+    Consecutive identical snapshots (scrapes do not mutate the page) are
+    stored once and referenced by index, which keeps documents compact.
+    """
+    snapshots: list[dict] = []
+    indices: list[int] = []
+    seen: dict[int, int] = {}
+    for snapshot in recording.snapshots:
+        key = id(snapshot)
+        if key not in seen:
+            seen[key] = len(snapshots)
+            snapshots.append(dom_to_json(snapshot))
+        indices.append(seen[key])
+    return {
+        "version": FORMAT_VERSION,
+        "actions": [action_to_json(action) for action in recording.actions],
+        "snapshots": snapshots,
+        "snapshot_indices": indices,
+        "outputs": list(recording.outputs),
+        "truncated": recording.truncated,
+    }
+
+
+def recording_from_json(payload: dict) -> Recording:
+    """Rebuild a demonstration serialized by :func:`recording_to_json`."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ParseError(f"unsupported recording format version {version!r}")
+    actions = [action_from_json(item) for item in payload.get("actions", [])]
+    snapshot_pool = [dom_from_json(item) for item in payload.get("snapshots", [])]
+    indices = payload.get("snapshot_indices", [])
+    if len(indices) != len(actions) + 1:
+        raise ParseError(
+            f"need {len(actions) + 1} snapshot references, got {len(indices)}"
+        )
+    try:
+        snapshots = [snapshot_pool[index] for index in indices]
+    except (IndexError, TypeError) as exc:
+        raise ParseError("snapshot index out of range") from exc
+    return Recording(
+        actions=actions,
+        snapshots=snapshots,
+        outputs=list(payload.get("outputs", [])),
+        truncated=bool(payload.get("truncated", False)),
+    )
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+Serializable = Union[Recording, Program]
+
+
+def dump(value: Serializable, fp: IO[str]) -> None:
+    """Write a recording or program as JSON to an open text file."""
+    if isinstance(value, Recording):
+        json.dump(recording_to_json(value), fp)
+    elif isinstance(value, Program):
+        json.dump(program_to_json(value), fp)
+    else:
+        raise TypeError(f"cannot serialize {type(value).__name__}")
+
+
+def load(fp: IO[str]) -> Serializable:
+    """Read back a JSON document written by :func:`dump`."""
+    payload = json.load(fp)
+    if not isinstance(payload, dict):
+        raise ParseError("expected a JSON object")
+    if "actions" in payload:
+        return recording_from_json(payload)
+    return program_from_json(payload)

@@ -1,0 +1,136 @@
+"""Concrete actions — the trace alphabet (§3.2 of the paper).
+
+An action is a loop-free interaction with *concrete* arguments: a concrete
+selector ρ for node-addressing actions, a literal string for ``SendKeys``,
+and a concrete value path θ (rooted at ``x``) for ``EnterData``.  User
+demonstrations, recorded executions, and the trace semantics all speak in
+actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dom.xpath import ConcreteSelector
+from repro.lang.ast import (
+    ACTION_KINDS,
+    CLICK,
+    DOWNLOAD,
+    ENTER_DATA,
+    EXTRACT_URL,
+    GO_BACK,
+    SCRAPE_LINK,
+    SCRAPE_TEXT,
+    SEND_KEYS,
+    ActionStmt,
+    Selector,
+    ValuePath,
+    selector_of,
+)
+
+
+@dataclass(frozen=True)
+class Action:
+    """One concrete action ``a`` (see the action grammar in §3.2)."""
+
+    kind: str
+    selector: Optional[ConcreteSelector] = None
+    text: Optional[str] = None
+    path: Optional[ValuePath] = None
+
+    def __post_init__(self) -> None:
+        shape = ACTION_KINDS.get(self.kind)
+        if shape is None:
+            raise ValueError(f"unknown action kind {self.kind!r}")
+        if (self.selector is not None) != (shape != "none"):
+            raise ValueError(f"bad selector argument for {self.kind}")
+        if (self.text is not None) != (shape == "node+text"):
+            raise ValueError(f"bad text argument for {self.kind}")
+        if shape == "node+value":
+            if self.path is None or not self.path.is_concrete:
+                raise ValueError(f"{self.kind} requires a concrete value path")
+        elif self.path is not None:
+            raise ValueError(f"bad value argument for {self.kind}")
+
+    def __str__(self) -> str:
+        if self.kind in (GO_BACK, EXTRACT_URL):
+            return self.kind
+        if self.kind == SEND_KEYS:
+            return f'{self.kind}({self.selector}, "{self.text}")'
+        if self.kind == ENTER_DATA:
+            return f"{self.kind}({self.selector}, {self.path})"
+        return f"{self.kind}({self.selector})"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def click(selector: ConcreteSelector) -> Action:
+    """Build a ``Click`` action."""
+    return Action(CLICK, selector)
+
+
+def scrape_text(selector: ConcreteSelector) -> Action:
+    """Build a ``ScrapeText`` action."""
+    return Action(SCRAPE_TEXT, selector)
+
+
+def scrape_link(selector: ConcreteSelector) -> Action:
+    """Build a ``ScrapeLink`` action."""
+    return Action(SCRAPE_LINK, selector)
+
+
+def download(selector: ConcreteSelector) -> Action:
+    """Build a ``Download`` action."""
+    return Action(DOWNLOAD, selector)
+
+
+def go_back() -> Action:
+    """Build a ``GoBack`` action."""
+    return Action(GO_BACK)
+
+
+def extract_url() -> Action:
+    """Build an ``ExtractURL`` action."""
+    return Action(EXTRACT_URL)
+
+
+def send_keys(selector: ConcreteSelector, text: str) -> Action:
+    """Build a ``SendKeys`` action."""
+    return Action(SEND_KEYS, selector, text=text)
+
+
+def enter_data(selector: ConcreteSelector, path: ValuePath) -> Action:
+    """Build an ``EnterData`` action."""
+    return Action(ENTER_DATA, selector, path=path)
+
+
+# ----------------------------------------------------------------------
+# Bridging actions and statements
+# ----------------------------------------------------------------------
+def action_to_statement(action: Action) -> ActionStmt:
+    """Lift a concrete action into a (variable-free) statement.
+
+    Algorithm 1 initializes its worklist with the program ``a1; ··; am``:
+    this is the lifting it uses.
+    """
+    target: Optional[Selector] = None
+    if action.selector is not None:
+        target = selector_of(action.selector)
+    return ActionStmt(action.kind, target, action.text, action.path)
+
+
+def statement_to_action(stmt: ActionStmt) -> Action:
+    """Drop a *concrete* statement back to an action.
+
+    Raises ``ValueError`` if the statement still mentions a variable.
+    """
+    selector: Optional[ConcreteSelector] = None
+    if stmt.target is not None:
+        if not stmt.target.is_concrete:
+            raise ValueError(f"statement is not concrete: {stmt}")
+        selector = ConcreteSelector(stmt.target.steps)
+    if stmt.value is not None and not stmt.value.is_concrete:
+        raise ValueError(f"statement is not concrete: {stmt}")
+    return Action(stmt.kind, selector, stmt.text, stmt.value)

@@ -1,0 +1,272 @@
+"""Static well-formedness checking for web RPA programs.
+
+The dataclass constructors in :mod:`repro.lang.ast` enforce *local*
+shape invariants (a while loop ends in a Click, action arguments match
+their kind).  This module adds the *global* checks a user-written or
+deserialized program needs before it can be executed or exported:
+
+* every selector/value variable is bound by an enclosing loop of the
+  right kind (no free variables, no cross-kind capture);
+* no loop shadows a variable that is still in scope (the synthesizer
+  never produces shadowing, and the pretty-printer's display names
+  assume it);
+* loop variables are *used* somewhere in their body (an unused loop
+  variable almost always indicates a mis-parametrized program — the
+  paper's rules always produce at least one use);
+* value paths type-check against a concrete :class:`DataSource` when
+  one is supplied: keys exist, integer indices fall inside arrays,
+  ``ValuePaths`` ranges over an actual array, and ``EnterData`` enters
+  a scalar.
+
+Diagnostics are collected, not raised, so a front end can show all of
+them at once; :func:`check_program` returns the list and
+:func:`assert_well_formed` raises :class:`CheckError` on the first
+error for programmatic use.
+
+>>> from repro.lang.parser import parse_program
+>>> check_program(parse_program("ScrapeText(//h3[1])"))
+[]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lang.ast import (
+    ActionStmt,
+    ChildrenOf,
+    DescendantsOf,
+    ForEachSelector,
+    ForEachValue,
+    PaginateLoop,
+    Program,
+    SEL_VAR,
+    Selector,
+    Statement,
+    ValuePath,
+    Var,
+    WhileLoop,
+)
+from repro.lang.data import DataSource
+from repro.util.errors import CheckError
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: severity, a statement path, and a message.
+
+    ``path`` locates the statement inside the program: a sequence of
+    0-based body indices from the top level down (a while loop's
+    terminating click is addressed by its body length).
+    """
+
+    severity: str
+    path: tuple[int, ...]
+    message: str
+
+    def __str__(self) -> str:
+        where = ".".join(str(index) for index in self.path) or "<top>"
+        return f"{self.severity} at {where}: {self.message}"
+
+
+class _Scope:
+    """The variables in scope, with the statement path binding each."""
+
+    def __init__(self) -> None:
+        self._bound: dict[Var, tuple[int, ...]] = {}
+
+    def bind(self, var: Var, path: tuple[int, ...]) -> Optional[tuple[int, ...]]:
+        """Bind ``var``; returns the previous binding path when shadowing."""
+        previous = self._bound.get(var)
+        self._bound[var] = path
+        return previous
+
+    def unbind(self, var: Var, previous: Optional[tuple[int, ...]]) -> None:
+        """Restore the scope on loop exit."""
+        if previous is None:
+            del self._bound[var]
+        else:
+            self._bound[var] = previous
+
+    def __contains__(self, var: Var) -> bool:
+        return var in self._bound
+
+
+class _Checker:
+    """Single-pass walker collecting diagnostics."""
+
+    def __init__(self, data: Optional[DataSource]) -> None:
+        self.data = data
+        self.diagnostics: list[Diagnostic] = []
+        self.scope = _Scope()
+
+    # ------------------------------------------------------------------
+    def error(self, path: tuple[int, ...], message: str) -> None:
+        self.diagnostics.append(Diagnostic(ERROR, path, message))
+
+    def warning(self, path: tuple[int, ...], message: str) -> None:
+        self.diagnostics.append(Diagnostic(WARNING, path, message))
+
+    # ------------------------------------------------------------------
+    def check_program(self, program: Program) -> None:
+        for index, stmt in enumerate(program.statements):
+            self.check_statement(stmt, (index,))
+
+    def check_statement(self, stmt: Statement, path: tuple[int, ...]) -> None:
+        if isinstance(stmt, ActionStmt):
+            self.check_action(stmt, path)
+        elif isinstance(stmt, ForEachSelector):
+            self.check_selector_loop(stmt, path)
+        elif isinstance(stmt, ForEachValue):
+            self.check_value_loop(stmt, path)
+        elif isinstance(stmt, WhileLoop):
+            self.check_while(stmt, path)
+        elif isinstance(stmt, PaginateLoop):
+            self.check_paginate(stmt, path)
+        else:  # pragma: no cover - exhaustive over Statement
+            self.error(path, f"unknown statement type {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    def check_action(self, stmt: ActionStmt, path: tuple[int, ...]) -> None:
+        if stmt.target is not None:
+            self.check_selector(stmt.target, path)
+        if stmt.value is not None:
+            self.check_value_path(stmt.value, path, entering=True)
+
+    def check_selector(self, selector: Selector, path: tuple[int, ...]) -> None:
+        if selector.base is not None and selector.base not in self.scope:
+            self.error(path, f"free selector variable {selector.base}")
+
+    def check_value_path(
+        self, value: ValuePath, path: tuple[int, ...], entering: bool = False
+    ) -> None:
+        if value.base is not None:
+            if value.base not in self.scope:
+                self.error(path, f"free value variable {value.base}")
+            return  # symbolic: data typing is checked at the binding loop
+        if self.data is None:
+            return
+        if not self.data.contains(value):
+            self.error(path, f"value path {value} does not resolve in the data source")
+            return
+        if entering:
+            resolved = self.data.resolve(value)
+            if isinstance(resolved, (dict, list)):
+                self.error(
+                    path,
+                    f"EnterData needs a scalar but {value} denotes a "
+                    f"{type(resolved).__name__}",
+                )
+
+    # ------------------------------------------------------------------
+    def check_selector_loop(self, stmt: ForEachSelector, path: tuple[int, ...]) -> None:
+        self.check_selector(stmt.collection.base, path)
+        if not isinstance(stmt.collection, (ChildrenOf, DescendantsOf)):
+            self.error(path, f"bad selector collection {stmt.collection!r}")
+        self._check_loop_body(stmt.var, stmt.body, path)
+
+    def check_value_loop(self, stmt: ForEachValue, path: tuple[int, ...]) -> None:
+        source = stmt.collection.path
+        if source.base is not None:
+            if source.base not in self.scope:
+                self.error(path, f"free value variable {source.base}")
+        elif self.data is not None:
+            try:
+                self.data.get_array(source)
+            except Exception as exc:
+                self.error(path, f"ValuePaths({source}): {exc}")
+        self._check_loop_body(stmt.var, stmt.body, path)
+
+    def check_while(self, stmt: WhileLoop, path: tuple[int, ...]) -> None:
+        if not stmt.body:
+            self.warning(path, "while loop with empty body clicks forever")
+        for index, child in enumerate(stmt.body):
+            self.check_statement(child, path + (index,))
+        self.check_action(stmt.click, path + (len(stmt.body),))
+
+    def check_paginate(self, stmt: PaginateLoop, path: tuple[int, ...]) -> None:
+        if stmt.template.attr is None:
+            self.error(path, "paginate template hole must sit in an attribute value")
+        if stmt.start == 0:
+            self.warning(path, "paginate counter starts at 0 — pagers usually count from 1")
+        if stmt.advance is not None:
+            self.check_selector(stmt.advance, path)
+        for index, child in enumerate(stmt.body):
+            self.check_statement(child, path + (index,))
+
+    def _check_loop_body(
+        self,
+        var: Var,
+        body: tuple[Statement, ...],
+        path: tuple[int, ...],
+    ) -> None:
+        previous = self.scope.bind(var, path)
+        if previous is not None:
+            self.error(path, f"loop variable {var} shadows an enclosing binding")
+        for index, child in enumerate(body):
+            self.check_statement(child, path + (index,))
+        if not _uses_var(body, var):
+            self.warning(path, f"loop variable {var} is never used in the body")
+        self.scope.unbind(var, previous)
+
+
+# ----------------------------------------------------------------------
+# Variable-usage analysis
+# ----------------------------------------------------------------------
+def _selector_uses(selector: Optional[Selector], var: Var) -> bool:
+    return selector is not None and selector.base == var
+
+
+def _path_uses(value: Optional[ValuePath], var: Var) -> bool:
+    return value is not None and value.base == var
+
+
+def _stmt_uses(stmt: Statement, var: Var) -> bool:
+    if isinstance(stmt, ActionStmt):
+        return _selector_uses(stmt.target, var) or _path_uses(stmt.value, var)
+    if isinstance(stmt, ForEachSelector):
+        return _selector_uses(stmt.collection.base, var) or _uses_var(stmt.body, var)
+    if isinstance(stmt, ForEachValue):
+        return _path_uses(stmt.collection.path, var) or _uses_var(stmt.body, var)
+    if isinstance(stmt, WhileLoop):
+        return _uses_var(stmt.body, var) or _stmt_uses(stmt.click, var)
+    if isinstance(stmt, PaginateLoop):
+        return _uses_var(stmt.body, var)
+    return False
+
+
+def _uses_var(body: tuple[Statement, ...], var: Var) -> bool:
+    """True when any statement in ``body`` mentions ``var``."""
+    return any(_stmt_uses(stmt, var) for stmt in body)
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def check_program(
+    program: Program, data: Optional[DataSource] = None
+) -> list[Diagnostic]:
+    """All diagnostics for ``program`` (empty list = well-formed).
+
+    With ``data`` supplied, value paths are additionally type-checked
+    against the concrete data source.
+    """
+    checker = _Checker(data)
+    checker.check_program(program)
+    return checker.diagnostics
+
+
+def errors_only(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """Filter diagnostics down to hard errors."""
+    return [diag for diag in diagnostics if diag.severity == ERROR]
+
+
+def assert_well_formed(program: Program, data: Optional[DataSource] = None) -> None:
+    """Raise :class:`CheckError` on the first error-severity diagnostic."""
+    problems = errors_only(check_program(program, data))
+    if problems:
+        raise CheckError(str(problems[0]))

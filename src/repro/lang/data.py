@@ -1,0 +1,89 @@
+"""Input data sources (the ``I`` of the paper, §3.1).
+
+A data source is any JSON-like value built from dicts, lists, strings and
+integers.  Concrete value paths θ (``x["zips"][3]``) address values inside
+it; integer indices are **1-based**, matching the paper's trace language
+where ``ValuePaths(θ)`` evaluates to ``[θ[1], ··, θ[|arr|]]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from repro.lang.ast import ValuePath
+from repro.util.errors import DataPathError
+
+JSONValue = Union[str, int, list, dict]
+
+
+class DataSource:
+    """Wraps a JSON-like value and resolves concrete value paths against it."""
+
+    def __init__(self, value: JSONValue) -> None:
+        self._value = value
+
+    @property
+    def value(self) -> JSONValue:
+        """The wrapped JSON-like value."""
+        return self._value
+
+    def resolve(self, path: ValuePath) -> JSONValue:
+        """Resolve a concrete value path to the value it denotes.
+
+        Raises
+        ------
+        DataPathError
+            If the path mentions a variable, indexes out of range, or uses
+            a key absent from the data.
+        """
+        if not path.is_concrete:
+            raise DataPathError(f"cannot resolve symbolic path {path}")
+        current: JSONValue = self._value
+        for accessor in path.accessors:
+            current = self._step(current, accessor, path)
+        return current
+
+    def get_array(self, path: ValuePath) -> list:
+        """The paper's ``GetArray``: resolve ``path`` and require a list."""
+        value = self.resolve(path)
+        if not isinstance(value, list):
+            raise DataPathError(f"path {path} denotes a {type(value).__name__}, not an array")
+        return value
+
+    def value_paths(self, path: ValuePath) -> list[ValuePath]:
+        """Evaluate ``ValuePaths(path)``: ``[path[1], ··, path[len]]``."""
+        array = self.get_array(path)
+        return [path.extend(index) for index in range(1, len(array) + 1)]
+
+    def contains(self, path: ValuePath) -> bool:
+        """True when the path resolves without error."""
+        try:
+            self.resolve(path)
+        except DataPathError:
+            return False
+        return True
+
+    @staticmethod
+    def _step(current: JSONValue, accessor: Union[str, int], path: ValuePath) -> JSONValue:
+        if isinstance(accessor, int):
+            if not isinstance(current, list):
+                raise DataPathError(f"integer index on non-array in {path}")
+            if not 1 <= accessor <= len(current):
+                raise DataPathError(f"index {accessor} out of range in {path}")
+            return current[accessor - 1]
+        if not isinstance(current, dict):
+            raise DataPathError(f"key access on non-object in {path}")
+        if accessor not in current:
+            raise DataPathError(f"missing key {accessor!r} in {path}")
+        return current[accessor]
+
+
+#: A data source with no content; ``EnterData`` fails against it.
+EMPTY_DATA = DataSource({})
+
+
+def as_text(value: JSONValue) -> str:
+    """Render a scalar data value the way the browser would type it."""
+    if isinstance(value, (dict, list)):
+        raise DataPathError("cannot enter a composite value into a field")
+    return str(value)

@@ -1,0 +1,346 @@
+"""Robustness and intent lints for web RPA programs.
+
+:mod:`repro.lang.check` answers "is this program well-formed?"; this
+module answers "will this robot do what its author meant, and keep
+doing it?".  Each rule flags a pattern that is legal but usually wrong
+in practice:
+
+``brittle-selector``
+    An action addresses a node by a long absolute tag-indexed path —
+    exactly the selector shape that breaks when the page drifts.  The
+    fix is an attribute-anchored alternative selector (what the
+    synthesizer's selector search produces) or replay with
+    :class:`repro.browser.repair.RepairingReplayer`.
+``constant-entry-in-loop``
+    ``SendKeys`` with constant text inside a value-path loop: every
+    iteration types the same string, which almost always means the
+    demonstration's drag-and-drop was recorded as a keystroke — the
+    author wanted ``EnterData`` with the loop variable.
+``loop-invariant-entry``
+    ``EnterData`` inside a value-path loop whose value path ignores the
+    loop variable: each iteration re-enters the same datum.
+``duplicate-extraction``
+    The same scrape statement appears twice in one body — the output
+    will contain every value twice.
+``mergeable-loops``
+    Two consecutive loops over the *same* collection.  A single pass is
+    smaller, faster, and likelier the intended program; the paper's b9
+    discussion shows exactly this shape arising as a mis-generalization
+    (a sequence of per-page loops instead of one pagination loop).
+``unrolled-repetition``
+    Three or more consecutive actions identical up to one selector
+    index counting 1, 2, 3, … — an unrolled loop.  The synthesizer
+    would roll it; a hand-written program should use ``foreach``.
+``deep-nesting``
+    Loop nesting beyond three levels.  The paper's 76-benchmark corpus
+    tops out at three; deeper almost always indicates an accidental
+    nesting during manual editing.
+``no-extraction``
+    The program performs no ``ScrapeText``/``ScrapeLink``/``Download``/
+    ``ExtractURL`` — the robot runs and produces nothing observable.
+
+:func:`lint_program` runs every rule (minus an optional ``disable``
+set) and returns findings sorted by position.
+
+>>> from repro.lang.parser import parse_program
+>>> [f.rule for f in lint_program(parse_program("Click(//a[1])"))]
+['no-extraction']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.lang.ast import (
+    ActionStmt,
+    DOWNLOAD,
+    ENTER_DATA,
+    EXTRACT_URL,
+    ForEachSelector,
+    ForEachValue,
+    PaginateLoop,
+    Program,
+    SCRAPE_LINK,
+    SCRAPE_TEXT,
+    SEND_KEYS,
+    Selector,
+    Statement,
+    Var,
+    WhileLoop,
+    program_depth,
+)
+
+INFO = "info"
+WARNING = "warning"
+
+#: Kinds whose execution yields an observable output.
+_EXTRACTING_KINDS = (SCRAPE_TEXT, SCRAPE_LINK, DOWNLOAD, EXTRACT_URL)
+
+#: Absolute selectors at least this long with no attribute anchor are
+#: considered brittle.
+_BRITTLE_STEPS = 4
+
+#: Minimum run length for the unrolled-repetition rule.
+_UNROLL_RUN = 3
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint result: rule id, severity, statement path, message."""
+
+    rule: str
+    severity: str
+    path: tuple[int, ...]
+    message: str
+
+    def __str__(self) -> str:
+        where = ".".join(str(index) for index in self.path) or "<top>"
+        return f"{self.severity}[{self.rule}] at {where}: {self.message}"
+
+
+# ----------------------------------------------------------------------
+# Walking
+# ----------------------------------------------------------------------
+def _walk_bodies(
+    body: tuple[Statement, ...], path: tuple[int, ...], loops: tuple[Statement, ...]
+) -> Iterator[tuple[tuple[int, ...], tuple[Statement, ...], tuple[Statement, ...]]]:
+    """Yield every statement sequence with its path prefix and loop stack.
+
+    The while loop's terminating click participates in its body sequence
+    (it executes after the body every iteration), so rules over bodies
+    see it at index ``len(body)``.
+    """
+    yield path, body, loops
+    for index, stmt in enumerate(body):
+        inner_path = path + (index,)
+        if isinstance(stmt, (ForEachSelector, ForEachValue, PaginateLoop)):
+            yield from _walk_bodies(stmt.body, inner_path, loops + (stmt,))
+        elif isinstance(stmt, WhileLoop):
+            yield from _walk_bodies(
+                stmt.body + (stmt.click,), inner_path, loops + (stmt,)
+            )
+
+
+def _walk_statements(
+    program: Program,
+) -> Iterator[tuple[tuple[int, ...], Statement, tuple[Statement, ...]]]:
+    """Yield ``(path, statement, enclosing loops)`` for every statement."""
+    for path, body, loops in _walk_bodies(program.statements, (), ()):
+        for index, stmt in enumerate(body):
+            yield path + (index,), stmt, loops
+
+
+def _value_loop_vars(loops: tuple[Statement, ...]) -> list[Var]:
+    """The value-path loop variables bound by the enclosing loop stack."""
+    return [loop.var for loop in loops if isinstance(loop, ForEachValue)]
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+def _rule_brittle_selector(program: Program) -> Iterator[LintFinding]:
+    for path, stmt, _loops in _walk_statements(program):
+        if not isinstance(stmt, ActionStmt) or stmt.target is None:
+            continue
+        selector = stmt.target
+        if selector.base is not None or len(selector.steps) < _BRITTLE_STEPS:
+            continue
+        if any(step.pred.attr is not None for step in selector.steps):
+            continue
+        yield LintFinding(
+            "brittle-selector",
+            INFO,
+            path,
+            f"{stmt.kind} addresses {selector} by absolute position only; "
+            "an attribute-anchored selector (or repair-mode replay) survives "
+            "page drift",
+        )
+
+
+def _rule_constant_entry(program: Program) -> Iterator[LintFinding]:
+    for path, stmt, loops in _walk_statements(program):
+        if not isinstance(stmt, ActionStmt):
+            continue
+        value_vars = _value_loop_vars(loops)
+        if not value_vars:
+            continue
+        if stmt.kind == SEND_KEYS:
+            yield LintFinding(
+                "constant-entry-in-loop",
+                WARNING,
+                path,
+                f'SendKeys types the constant "{stmt.text}" on every iteration '
+                f"of the loop over {value_vars[-1]}; EnterData with the loop "
+                "variable is almost always what was demonstrated",
+            )
+        elif stmt.kind == ENTER_DATA and stmt.value is not None and stmt.value.base is None:
+            yield LintFinding(
+                "loop-invariant-entry",
+                WARNING,
+                path,
+                f"EnterData re-enters {stmt.value} on every iteration of the "
+                f"loop over {value_vars[-1]}; did you mean a path rooted at "
+                "the loop variable?",
+            )
+
+
+def _rule_duplicate_extraction(program: Program) -> Iterator[LintFinding]:
+    for path, body, _loops in _walk_bodies(program.statements, (), ()):
+        seen: dict[ActionStmt, int] = {}
+        for index, stmt in enumerate(body):
+            if not isinstance(stmt, ActionStmt) or stmt.kind not in _EXTRACTING_KINDS:
+                continue
+            if stmt in seen:
+                yield LintFinding(
+                    "duplicate-extraction",
+                    WARNING,
+                    path + (index,),
+                    f"{stmt} already extracted at position {seen[stmt]} of the "
+                    "same body; outputs will repeat",
+                )
+            else:
+                seen[stmt] = index
+
+
+def _same_collection(a: Statement, b: Statement) -> bool:
+    return (
+        isinstance(a, ForEachSelector)
+        and isinstance(b, ForEachSelector)
+        and a.collection == b.collection
+    ) or (
+        isinstance(a, ForEachValue)
+        and isinstance(b, ForEachValue)
+        and a.collection == b.collection
+    )
+
+
+def _rule_mergeable_loops(program: Program) -> Iterator[LintFinding]:
+    for path, body, _loops in _walk_bodies(program.statements, (), ()):
+        for index in range(len(body) - 1):
+            if _same_collection(body[index], body[index + 1]):
+                yield LintFinding(
+                    "mergeable-loops",
+                    INFO,
+                    path + (index + 1,),
+                    "consecutive loops over the same collection; one pass is "
+                    "smaller and likelier intended (the paper's b9 reports this "
+                    "shape arising as a mis-generalization)",
+                )
+
+
+def _index_successor(first: Selector, second: Selector) -> bool:
+    """Do the selectors differ in exactly one step index, counting up by 1?"""
+    if first.base != second.base or len(first.steps) != len(second.steps):
+        return False
+    deltas = [
+        position
+        for position, (a, b) in enumerate(zip(first.steps, second.steps))
+        if a != b
+    ]
+    if len(deltas) != 1:
+        return False
+    a, b = first.steps[deltas[0]], second.steps[deltas[0]]
+    return a.axis == b.axis and a.pred == b.pred and b.index == a.index + 1
+
+
+def _is_successor(first: Statement, second: Statement) -> bool:
+    return (
+        isinstance(first, ActionStmt)
+        and isinstance(second, ActionStmt)
+        and first.kind == second.kind
+        and first.text == second.text
+        and first.value == second.value
+        and first.target is not None
+        and second.target is not None
+        and _index_successor(first.target, second.target)
+    )
+
+
+def _rule_unrolled_repetition(program: Program) -> Iterator[LintFinding]:
+    for path, body, _loops in _walk_bodies(program.statements, (), ()):
+        run_start = 0
+        index = 1
+        # a run of k statements covers k occurrences; report once per run
+        while index <= len(body):
+            extending = index < len(body) and _is_successor(body[index - 1], body[index])
+            if not extending:
+                if index - run_start >= _UNROLL_RUN:
+                    yield LintFinding(
+                        "unrolled-repetition",
+                        WARNING,
+                        path + (run_start,),
+                        f"{index - run_start} consecutive {body[run_start].kind} "
+                        "statements step through indices 1, 2, 3, …; a foreach "
+                        "loop expresses this in one statement",
+                    )
+                run_start = index
+            index += 1
+
+
+def _rule_deep_nesting(program: Program) -> Iterator[LintFinding]:
+    depth = program_depth(program)
+    if depth > 3:
+        yield LintFinding(
+            "deep-nesting",
+            INFO,
+            (),
+            f"loop nesting reaches depth {depth}; the paper's corpus tops out "
+            "at 3 — check for accidental nesting",
+        )
+
+
+def _rule_no_extraction(program: Program) -> Iterator[LintFinding]:
+    for _path, stmt, _loops in _walk_statements(program):
+        if isinstance(stmt, ActionStmt) and stmt.kind in _EXTRACTING_KINDS:
+            return
+    yield LintFinding(
+        "no-extraction",
+        WARNING,
+        (),
+        "the program extracts nothing (no ScrapeText/ScrapeLink/Download/"
+        "ExtractURL); the robot will run and produce no output",
+    )
+
+
+#: Registered rules, in reporting-priority order.
+RULES: dict[str, Callable[[Program], Iterator[LintFinding]]] = {
+    "constant-entry-in-loop": _rule_constant_entry,
+    "loop-invariant-entry": _rule_constant_entry,
+    "duplicate-extraction": _rule_duplicate_extraction,
+    "unrolled-repetition": _rule_unrolled_repetition,
+    "mergeable-loops": _rule_mergeable_loops,
+    "brittle-selector": _rule_brittle_selector,
+    "deep-nesting": _rule_deep_nesting,
+    "no-extraction": _rule_no_extraction,
+}
+
+
+def lint_program(
+    program: Program, disable: Optional[set[str]] = None
+) -> list[LintFinding]:
+    """All lint findings for ``program``, sorted by statement position.
+
+    ``disable`` suppresses rules by id (both entry-rule ids map to the
+    same checker, so disabling one still reports the other).
+    """
+    disabled = disable or set()
+    unknown = disabled - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown lint rules: {', '.join(sorted(unknown))}")
+    findings: list[LintFinding] = []
+    seen_rules: set[Callable] = set()
+    for name, rule in RULES.items():
+        if name in disabled or rule in seen_rules:
+            continue
+        seen_rules.add(rule)
+        findings.extend(
+            finding for finding in rule(program) if finding.rule not in disabled
+        )
+    findings.sort(key=lambda finding: (finding.path, finding.rule))
+    return findings
+
+
+def warnings_only(findings: list[LintFinding]) -> list[LintFinding]:
+    """Filter findings down to warning severity."""
+    return [finding for finding in findings if finding.severity == WARNING]

@@ -1,0 +1,385 @@
+"""Parser for the line-oriented web RPA concrete syntax.
+
+This is the inverse of :mod:`repro.lang.pretty`.  Benchmarks write their
+ground-truth programs as text, which keeps them readable and close to the
+paper's figures.
+
+Grammar (indentation-sensitive, two spaces per level)::
+
+    stmt    := action | foreach | while
+    action  := Kind '(' args ')' | GoBack | ExtractURL
+    foreach := 'foreach' NAME 'in' collection 'do' NEWLINE block
+    while   := 'while true do' NEWLINE block       -- last stmt must be Click
+    collection := ('Children'|'Dscts') '(' selector ',' predicate ')'
+                | 'ValuePaths' '(' valuepath ')'
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.dom.xpath import Predicate, parse_selector
+from repro.lang.ast import (
+    ACTION_KINDS,
+    CLICK,
+    SEL_VAR,
+    VAL_VAR,
+    ActionStmt,
+    ChildrenOf,
+    CounterTemplate,
+    DescendantsOf,
+    ForEachSelector,
+    ForEachValue,
+    PaginateLoop,
+    Program,
+    Selector,
+    Statement,
+    ValuePath,
+    ValuePathsOf,
+    Var,
+    WhileLoop,
+    fresh_var,
+)
+from repro.util.errors import ParseError
+
+_FOREACH_RE = re.compile(r"^foreach\s+(\w+)\s+in\s+(.+)\s+do$")
+_WHILE_RE = re.compile(r"^while\s+true\s+do$")
+_PAGINATE_RE = re.compile(r"^paginate\s+(\w+)\s+from\s+(\d+)\s+do$")
+_CALL_RE = re.compile(r"^(\w+)\((.*)\)$")
+
+
+def _split_args(text: str) -> list[str]:
+    """Split on top-level commas, respecting quotes and brackets."""
+    parts: list[str] = []
+    depth = 0
+    quote: Optional[str] = None
+    current: list[str] = []
+    for char in text:
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "'\"":
+            quote = char
+            current.append(char)
+        elif char in "([":
+            depth += 1
+            current.append(char)
+        elif char in ")]":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class _Scope:
+    """Maps surface variable names to :class:`Var` objects during parsing.
+
+    Bindings shadow lexically: a loop re-using a sibling loop's variable
+    name gets a fresh :class:`Var`, and the old binding is restored once
+    the loop body has been parsed.
+    """
+
+    def __init__(self) -> None:
+        self._vars: dict[str, Var] = {}
+
+    def bind(self, name: str, kind: str) -> tuple[Var, Optional[Var]]:
+        """Bind ``name``; returns ``(new_var, shadowed_var_or_None)``."""
+        if name == "x":
+            raise ParseError("'x' is reserved for the input data source")
+        previous = self._vars.get(name)
+        var = fresh_var(kind)
+        self._vars[name] = var
+        return var, previous
+
+    def restore(self, name: str, previous: Optional[Var]) -> None:
+        """Undo a :meth:`bind` after its block has been parsed."""
+        if previous is None:
+            del self._vars[name]
+        else:
+            self._vars[name] = previous
+
+    def lookup(self, name: str) -> Var:
+        if name not in self._vars:
+            raise ParseError(f"unbound variable {name!r}")
+        return self._vars[name]
+
+
+def _parse_symbolic_selector(text: str, scope: _Scope) -> Selector:
+    text = text.strip()
+    if text.startswith("/"):
+        return Selector(None, parse_selector(text).steps)
+    match = re.match(r"^(\w+)(.*)$", text)
+    if not match:
+        raise ParseError(f"bad selector {text!r}")
+    name, rest = match.groups()
+    var = scope.lookup(name)
+    if var.kind != SEL_VAR:
+        raise ParseError(f"{name!r} is not a selector variable")
+    steps = parse_selector(rest).steps if rest else ()
+    return Selector(var, steps)
+
+
+_ACCESSOR_RE = re.compile(r"\[\s*(?:\"([^\"]*)\"|'([^']*)'|(\d+))\s*\]")
+
+
+def _parse_value_path(text: str, scope: _Scope) -> ValuePath:
+    text = text.strip()
+    match = re.match(r"^(\w+)", text)
+    if not match:
+        raise ParseError(f"bad value path {text!r}")
+    name = match.group(1)
+    rest = text[match.end():]
+    if name == "x":
+        base: Optional[Var] = None
+    else:
+        base = scope.lookup(name)
+        if base.kind != VAL_VAR:
+            raise ParseError(f"{name!r} is not a value-path variable")
+    accessors: list = []
+    pos = 0
+    while pos < len(rest):
+        acc = _ACCESSOR_RE.match(rest, pos)
+        if not acc:
+            raise ParseError(f"bad accessor syntax in {text!r}")
+        key_dq, key_sq, index = acc.groups()
+        if index is not None:
+            accessors.append(int(index))
+        else:
+            accessors.append(key_dq if key_dq is not None else key_sq)
+        pos = acc.end()
+    return ValuePath(base, tuple(accessors))
+
+
+def _parse_predicate(text: str) -> Predicate:
+    text = text.strip()
+    match = re.match(r"^(\w+)(?:\[@(\w+)\s*=\s*(?:'([^']*)'|\"([^\"]*)\")\])?$", text)
+    if not match:
+        raise ParseError(f"bad predicate {text!r}")
+    tag, attr, value_sq, value_dq = match.groups()
+    if attr is None:
+        return Predicate(tag)
+    return Predicate(tag, attr, value_sq if value_sq is not None else value_dq)
+
+
+def _parse_action(line: str, scope: _Scope) -> ActionStmt:
+    if line in ("GoBack", "ExtractURL"):
+        return ActionStmt(line)
+    match = _CALL_RE.match(line)
+    if not match:
+        raise ParseError(f"cannot parse statement {line!r}")
+    kind, raw_args = match.groups()
+    if kind not in ACTION_KINDS:
+        raise ParseError(f"unknown statement {kind!r}")
+    args = _split_args(raw_args)
+    shape = ACTION_KINDS[kind]
+    if shape == "node":
+        if len(args) != 1:
+            raise ParseError(f"{kind} expects 1 argument, got {len(args)}")
+        return ActionStmt(kind, _parse_symbolic_selector(args[0], scope))
+    if shape == "node+text":
+        if len(args) != 2:
+            raise ParseError(f"{kind} expects 2 arguments, got {len(args)}")
+        text = args[1].strip()
+        if len(text) < 2 or text[0] not in "'\"" or text[-1] != text[0]:
+            raise ParseError(f"{kind} text argument must be quoted: {text!r}")
+        return ActionStmt(kind, _parse_symbolic_selector(args[0], scope), text=text[1:-1])
+    if shape == "node+value":
+        if len(args) != 2:
+            raise ParseError(f"{kind} expects 2 arguments, got {len(args)}")
+        return ActionStmt(
+            kind,
+            _parse_symbolic_selector(args[0], scope),
+            value=_parse_value_path(args[1], scope),
+        )
+    raise ParseError(f"{kind} takes no arguments")
+
+
+def _parse_collection(text: str, scope: _Scope, var_name: str):
+    match = _CALL_RE.match(text.strip())
+    if not match:
+        raise ParseError(f"bad collection {text!r}")
+    name, raw_args = match.groups()
+    args = _split_args(raw_args)
+    if name in ("Children", "Dscts"):
+        if len(args) != 2:
+            raise ParseError(f"{name} expects 2 arguments")
+        base = _parse_symbolic_selector(args[0], scope)
+        pred = _parse_predicate(args[1])
+        var, previous = scope.bind(var_name, SEL_VAR)
+        cls = ChildrenOf if name == "Children" else DescendantsOf
+        return var, cls(base, pred), previous
+    if name == "ValuePaths":
+        if len(args) != 1:
+            raise ParseError("ValuePaths expects 1 argument")
+        path = _parse_value_path(args[0], scope)
+        var, previous = scope.bind(var_name, VAL_VAR)
+        return var, ValuePathsOf(path), previous
+    raise ParseError(f"unknown collection {name!r}")
+
+
+def _template_from_steps(steps: tuple, marker: str) -> CounterTemplate:
+    """Build a template from concrete steps with one ``marker`` hole.
+
+    The marker must appear exactly once, inside an attribute value, e.g.
+    ``//button[@data-page='{k}'][1]``.
+    """
+    hole_positions = [
+        position
+        for position, step in enumerate(steps)
+        if step.pred.value is not None and marker in step.pred.value
+    ]
+    if len(hole_positions) != 1:
+        rendered = "".join(str(step) for step in steps)
+        raise ParseError(
+            f"paginate template needs exactly one {marker} hole in an "
+            f"attribute value: {rendered!r}"
+        )
+    hole = hole_positions[0]
+    step = steps[hole]
+    value_prefix, _, value_suffix = step.pred.value.partition(marker)
+    return CounterTemplate(
+        prefix_steps=tuple(steps[:hole]),
+        axis=step.axis,
+        tag=step.pred.tag,
+        attr=step.pred.attr,
+        value_prefix=value_prefix,
+        value_suffix=value_suffix,
+        index=step.index,
+        suffix_steps=tuple(steps[hole + 1 :]),
+    )
+
+
+def _finish_paginate(counter_name: str, start: int, body: list) -> PaginateLoop:
+    """Assemble a paginate loop from its parsed block.
+
+    The block must end with a Click whose selector carries the counter
+    hole, optionally followed by one ``Advance(selector)`` line (parsed
+    into a sentinel by :func:`_parse_block`).
+    """
+    marker = "{" + counter_name + "}"
+    advance: Optional[Selector] = None
+    if body and isinstance(body[-1], tuple) and body[-1][0] == "advance":
+        advance = body[-1][1]
+        body = body[:-1]
+    if not body:
+        raise ParseError("paginate block needs a templated Click line")
+    click = body[-1]
+    if not (
+        isinstance(click, ActionStmt)
+        and click.kind == CLICK
+        and click.target is not None
+        and click.target.is_concrete
+        and any(
+            step.pred.value is not None and marker in step.pred.value
+            for step in click.target.steps
+        )
+    ):
+        raise ParseError(
+            "paginate block must end with a Click whose selector contains "
+            f"the counter hole {marker} (then optionally Advance)"
+        )
+    template = _template_from_steps(click.target.steps, marker)
+    statements = body[:-1]
+    if not statements:
+        raise ParseError("paginate body must contain at least one statement")
+    if any(isinstance(stmt, tuple) for stmt in statements):
+        raise ParseError("Advance must be the last line of a paginate block")
+    return PaginateLoop(tuple(statements), template, advance, start)
+
+
+def _parse_block(
+    lines: list[tuple[int, str]],
+    pos: int,
+    depth: int,
+    scope: _Scope,
+    counter: Optional[str] = None,
+) -> tuple[list, int]:
+    """Parse statements at ``depth``.
+
+    ``counter`` names the active paginate counter: inside such a block,
+    an ``Advance(selector)`` line parses into an ``("advance", sel)``
+    sentinel (resolved by :func:`_finish_paginate`) and Click selectors
+    may carry the counter hole.
+    """
+    statements: list = []
+    while pos < len(lines):
+        indent, content = lines[pos]
+        if indent < depth:
+            break
+        if indent > depth:
+            raise ParseError(f"unexpected indentation at line {content!r}")
+        foreach = _FOREACH_RE.match(content)
+        if foreach:
+            var_name, coll_text = foreach.groups()
+            var, collection, previous = _parse_collection(coll_text, scope, var_name)
+            body, pos = _parse_block(lines, pos + 1, depth + 1, scope)
+            scope.restore(var_name, previous)
+            if not body:
+                raise ParseError(f"empty loop body for {content!r}")
+            if isinstance(collection, ValuePathsOf):
+                statements.append(ForEachValue(var, collection, tuple(body)))
+            else:
+                statements.append(ForEachSelector(var, collection, tuple(body)))
+            continue
+        if _WHILE_RE.match(content):
+            body, pos = _parse_block(lines, pos + 1, depth + 1, scope)
+            if not body:
+                raise ParseError("empty while body")
+            last = body[-1]
+            if not isinstance(last, ActionStmt) or last.kind != CLICK:
+                raise ParseError("while body must end with a Click statement")
+            statements.append(WhileLoop(tuple(body[:-1]), last))
+            continue
+        paginate = _PAGINATE_RE.match(content)
+        if paginate:
+            counter_name, start_text = paginate.groups()
+            body, pos = _parse_block(
+                lines, pos + 1, depth + 1, scope, counter=counter_name
+            )
+            statements.append(
+                _finish_paginate(counter_name, int(start_text), body)
+            )
+            continue
+        if counter is not None and content.startswith("Advance("):
+            match = _CALL_RE.match(content)
+            if not match or match.group(1) != "Advance":
+                raise ParseError(f"cannot parse {content!r}")
+            selector = _parse_symbolic_selector(match.group(2), scope)
+            if selector.base is not None:
+                raise ParseError("Advance selector must be concrete")
+            statements.append(("advance", selector))
+            pos += 1
+            continue
+        statements.append(_parse_action(content, scope))
+        pos += 1
+    return statements, pos
+
+
+def parse_program(text: str) -> Program:
+    """Parse program text into a :class:`Program`.
+
+    Raises :class:`ParseError` on malformed input.
+    """
+    lines: list[tuple[int, str]] = []
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        leading = len(raw) - len(raw.lstrip(" "))
+        if leading % 2:
+            raise ParseError(f"odd indentation in line {raw!r}")
+        lines.append((leading // 2, stripped))
+    statements, pos = _parse_block(lines, 0, 0, _Scope())
+    if pos != len(lines):
+        raise ParseError(f"unparsed trailing line {lines[pos][1]!r}")
+    return Program(tuple(statements))

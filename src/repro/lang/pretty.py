@@ -1,0 +1,125 @@
+"""Pretty-printer for web RPA programs.
+
+Produces the line-oriented concrete syntax used throughout this repo (and
+accepted back by :mod:`repro.lang.parser`)::
+
+    EnterData(/html[1]/body[1]//input[@name='search'][1], x["zips"][1])
+    Click(//button[@class='go'][1])
+    while true do
+      foreach r1 in Dscts(/, div[@class='card']) do
+        ScrapeText(r1//h3[1])
+      Click(//button[@class='next'][1])
+
+Loop variables are displayed with names assigned in binding order (``r1``,
+``r2``, ... for selector variables; ``d1``, ``d2``, ... for value-path
+variables), so printing is stable under re-parsing even though internal
+variable uids are globally fresh.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast import (
+    SEL_VAR,
+    ActionStmt,
+    ForEachSelector,
+    ForEachValue,
+    PaginateLoop,
+    Program,
+    Selector,
+    Statement,
+    ValuePath,
+    Var,
+    WhileLoop,
+)
+
+INDENT = "  "
+
+
+class _Namer:
+    """Assigns stable display names to loop variables in binding order."""
+
+    def __init__(self) -> None:
+        self._names: dict[Var, str] = {}
+        self._counts = {SEL_VAR: 0, "val": 0}
+
+    def bind(self, var: Var) -> str:
+        self._counts[var.kind] += 1
+        prefix = "r" if var.kind == SEL_VAR else "d"
+        name = f"{prefix}{self._counts[var.kind]}"
+        self._names[var] = name
+        return name
+
+    def name(self, var: Var) -> str:
+        return self._names.get(var, str(var))
+
+
+def _format_selector(selector: Selector, namer: _Namer) -> str:
+    prefix = namer.name(selector.base) if selector.base is not None else ""
+    suffix = "".join(str(step) for step in selector.steps)
+    return (prefix + suffix) or "/"
+
+
+def _format_path(path: ValuePath, namer: _Namer) -> str:
+    prefix = namer.name(path.base) if path.base is not None else "x"
+    parts = [
+        f"[{acc}]" if isinstance(acc, int) else f'["{acc}"]' for acc in path.accessors
+    ]
+    return prefix + "".join(parts)
+
+
+def _format_action(stmt: ActionStmt, namer: _Namer) -> str:
+    if stmt.kind in ("GoBack", "ExtractURL"):
+        return stmt.kind
+    target = _format_selector(stmt.target, namer)
+    if stmt.kind == "SendKeys":
+        return f'{stmt.kind}({target}, "{stmt.text}")'
+    if stmt.kind == "EnterData":
+        return f"{stmt.kind}({target}, {_format_path(stmt.value, namer)})"
+    return f"{stmt.kind}({target})"
+
+
+def _format_stmt(stmt: Statement, depth: int, namer: _Namer) -> str:
+    pad = INDENT * depth
+    if isinstance(stmt, ActionStmt):
+        return pad + _format_action(stmt, namer)
+    if isinstance(stmt, ForEachSelector):
+        base = _format_selector(stmt.collection.base, namer)
+        coll_name = type(stmt.collection).__name__
+        keyword = "Children" if coll_name == "ChildrenOf" else "Dscts"
+        var_name = namer.bind(stmt.var)
+        head = f"{pad}foreach {var_name} in {keyword}({base}, {stmt.collection.pred}) do"
+        body = [_format_stmt(child, depth + 1, namer) for child in stmt.body]
+        return "\n".join([head, *body])
+    if isinstance(stmt, ForEachValue):
+        path = _format_path(stmt.collection.path, namer)
+        var_name = namer.bind(stmt.var)
+        head = f"{pad}foreach {var_name} in ValuePaths({path}) do"
+        body = [_format_stmt(child, depth + 1, namer) for child in stmt.body]
+        return "\n".join([head, *body])
+    if isinstance(stmt, WhileLoop):
+        head = f"{pad}while true do"
+        body = [_format_stmt(child, depth + 1, namer) for child in stmt.body]
+        body.append(_format_stmt(stmt.click, depth + 1, namer))
+        return "\n".join([head, *body])
+    if isinstance(stmt, PaginateLoop):
+        head = f"{pad}paginate k from {stmt.start} do"
+        body = [_format_stmt(child, depth + 1, namer) for child in stmt.body]
+        inner = INDENT * (depth + 1)
+        body.append(f"{inner}Click({stmt.template.hole_text('{k}')})")
+        if stmt.advance is not None:
+            body.append(f"{inner}Advance({_format_selector(stmt.advance, namer)})")
+        return "\n".join([head, *body])
+    raise TypeError(f"not a statement: {stmt!r}")
+
+
+def format_statement(stmt: Statement, depth: int = 0, namer: Optional[_Namer] = None) -> str:
+    """Render one statement (and its body, for loops) at ``depth``."""
+    return _format_stmt(stmt, depth, namer or _Namer())
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program as newline-joined statements."""
+    namer = _Namer()
+    return "\n".join(_format_stmt(stmt, 0, namer) for stmt in program.statements)

@@ -1,0 +1,21 @@
+"""Trace semantics: simulated execution, environments, consistency."""
+
+from repro.semantics.env import Env
+from repro.semantics.trace import ActionTrace, DOMTrace
+from repro.semantics.evaluator import EvalResult, execute
+from repro.semantics.consistency import (
+    actions_consistent,
+    consistent_prefix_length,
+    traces_consistent,
+)
+
+__all__ = [
+    "Env",
+    "ActionTrace",
+    "DOMTrace",
+    "EvalResult",
+    "execute",
+    "actions_consistent",
+    "consistent_prefix_length",
+    "traces_consistent",
+]

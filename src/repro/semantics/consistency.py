@@ -1,0 +1,68 @@
+"""Action- and trace-consistency (Definition 4.1's auxiliary notions).
+
+Two actions are consistent *given a DOM snapshot* when they have the same
+type and their arguments match; XPath arguments match when they refer to
+the same DOM node on that snapshot.  Two traces are consistent given a DOM
+trace when they are pointwise consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dom.node import DOMNode
+from repro.dom.xpath import resolve
+from repro.lang.actions import Action
+from repro.semantics.trace import DOMTrace
+
+
+def actions_consistent(first: Action, second: Action, dom: DOMNode) -> bool:
+    """Consistency of two actions on one snapshot.
+
+    Selector arguments are compared by the node they denote on ``dom`` —
+    this is what lets a synthesized ``//h3[1]`` match a recorded absolute
+    XPath.  Non-selector arguments (strings, value paths) compare
+    structurally.
+    """
+    if first.kind != second.kind:
+        return False
+    if (first.selector is None) != (second.selector is None):
+        return False
+    if first.selector is not None:
+        node_a = resolve(first.selector, dom)
+        if node_a is None:
+            return False
+        node_b = resolve(second.selector, dom)
+        if node_b is None or node_a is not node_b:
+            return False
+    return first.text == second.text and first.path == second.path
+
+
+def consistent_prefix_length(
+    produced: Sequence[Action],
+    reference: Sequence[Action],
+    doms: DOMTrace,
+) -> int:
+    """Length of the longest pointwise-consistent prefix.
+
+    ``doms[i]`` is the snapshot the *i*-th actions of both traces execute
+    upon.  The result is capped by all three sequence lengths.
+    """
+    limit = min(len(produced), len(reference), len(doms))
+    for index in range(limit):
+        if not actions_consistent(produced[index], reference[index], doms[index]):
+            return index
+    return limit
+
+
+def traces_consistent(
+    first: Sequence[Action],
+    second: Sequence[Action],
+    doms: DOMTrace,
+) -> bool:
+    """Full-trace consistency: equal length and pointwise consistent."""
+    if len(first) != len(second):
+        return False
+    if len(doms) < len(first):
+        return False
+    return consistent_prefix_length(first, second, doms) == len(first)

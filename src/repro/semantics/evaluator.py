@@ -1,0 +1,310 @@
+"""The trace semantics of the web RPA language (Figure 7 of the paper).
+
+This module implements the simulated execution judgment::
+
+    Π, Σ ⊢ P ⇝ A′, Π′, Σ′
+
+A program runs against a *recorded* DOM trace instead of a live browser:
+every emitted action consumes the head snapshot ("angelic" transition), and
+loop continuation is decided by ``valid(ρ, π₁)`` checks against the current
+head snapshot only.  Executing a program this way is side-effect free, which
+is what lets the synthesizer evaluate candidate programs that would be
+dangerous to run for real.
+
+Rule correspondence
+-------------------
+========================  =============================================
+Paper rule                Implementation
+========================  =============================================
+Term                      the ``doms.is_empty`` guards
+Seq                       :func:`_eval_sequence`
+Click/EnterData/...       :func:`_eval_action`
+S-Init / S-Cont / S-Term  :func:`_eval_selector_loop`
+VP-Loop                   :func:`_eval_value_loop`
+While-Init/Cont/Term      :func:`_eval_while_loop`
+Figure 8 (1)-(8)          :meth:`repro.semantics.env.Env.resolve_selector`
+                          / ``resolve_path``
+Figure 8 (9)-(11)         collection expansion inside the loop rules
+========================  =============================================
+
+One point where the paper's prose and its figure diverge: Example 3.1 says
+that executing ``Click(ϱ/b)`` when ``//a[1]/b`` does not denote a node in
+π₁ "produces a shorter action trace", while the Click rule in Figure 7
+emits unconditionally.  We follow the example: node-addressing actions
+check ``valid(ρ, π₁)`` (and ``EnterData`` checks that its value path
+resolves in ``I``) before emitting, and execution halts when the check
+fails.  For any program that actually corresponds to the recorded trace
+the check never fires — it only makes wrong candidates fail earlier, so
+satisfaction (Definition 4.1) is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.dom.node import DOMNode
+from repro.dom.xpath import valid
+from repro.lang.actions import Action
+from repro.lang.ast import (
+    ActionStmt,
+    CLICK,
+    ChildrenOf,
+    ForEachSelector,
+    ForEachValue,
+    PaginateLoop,
+    Program,
+    Statement,
+    WhileLoop,
+)
+from repro.lang.data import DataSource
+from repro.semantics.env import Env
+from repro.semantics.trace import DOMTrace
+from repro.util.errors import DataPathError
+
+
+@dataclass
+class EvalResult:
+    """Outcome of a simulated execution: A′, Π′ and Σ′."""
+
+    actions: list[Action]
+    remaining: DOMTrace
+    env: Env
+
+
+class _Context:
+    """Per-execution configuration: data source, action budget, halt flag."""
+
+    __slots__ = ("data", "budget", "stuck")
+
+    def __init__(self, data: DataSource, max_actions: Optional[int]) -> None:
+        self.data = data
+        self.budget = max_actions if max_actions is not None else float("inf")
+        self.stuck = False
+
+    def spend(self) -> None:
+        self.budget -= 1
+
+    @property
+    def halted(self) -> bool:
+        """True once the budget is spent or an action failed validity."""
+        return self.stuck or self.budget <= 0
+
+
+def execute(
+    program: Program | Sequence[Statement],
+    doms: DOMTrace,
+    data: DataSource,
+    env: Optional[Env] = None,
+    max_actions: Optional[int] = None,
+) -> EvalResult:
+    """Run ``program`` under the trace semantics.
+
+    Parameters
+    ----------
+    program:
+        A :class:`Program` or a raw statement sequence.
+    doms:
+        The DOM trace Π guiding the simulation.  One snapshot is consumed
+        per emitted action.
+    data:
+        The input data source ``I``.
+    env:
+        Initial environment (defaults to empty — the ``Eval`` rule).
+    max_actions:
+        Optional hard cap on emitted actions.  The synthesizer uses
+        ``m + 1`` to avoid simulating past the first prediction.
+    """
+    statements = tuple(program) if isinstance(program, Program) else tuple(program)
+    context = _Context(data, max_actions)
+    actions: list[Action] = []
+    remaining, final_env = _eval_sequence(
+        statements, doms, env or Env.empty(), context, actions
+    )
+    return EvalResult(actions, remaining, final_env)
+
+
+# ----------------------------------------------------------------------
+# Statement dispatch
+# ----------------------------------------------------------------------
+def _eval_sequence(
+    statements: Sequence[Statement],
+    doms: DOMTrace,
+    env: Env,
+    context: _Context,
+    out: list[Action],
+) -> tuple[DOMTrace, Env]:
+    for statement in statements:
+        if doms.is_empty or context.halted:  # Term
+            break
+        doms, env = _eval_statement(statement, doms, env, context, out)
+    return doms, env
+
+
+def _eval_statement(
+    statement: Statement,
+    doms: DOMTrace,
+    env: Env,
+    context: _Context,
+    out: list[Action],
+) -> tuple[DOMTrace, Env]:
+    if isinstance(statement, ActionStmt):
+        return _eval_action(statement, doms, env, context, out)
+    if isinstance(statement, ForEachSelector):
+        return _eval_selector_loop(statement, doms, env, context, out)
+    if isinstance(statement, ForEachValue):
+        return _eval_value_loop(statement, doms, env, context, out)
+    if isinstance(statement, WhileLoop):
+        return _eval_while_loop(statement, doms, env, context, out)
+    if isinstance(statement, PaginateLoop):
+        return _eval_paginate_loop(statement, doms, env, context, out)
+    raise TypeError(f"not a statement: {statement!r}")
+
+
+def _eval_action(
+    statement: ActionStmt,
+    doms: DOMTrace,
+    env: Env,
+    context: _Context,
+    out: list[Action],
+) -> tuple[DOMTrace, Env]:
+    """Base rules (Click, ScrapeText, ..., EnterData).
+
+    The *transition* is angelic — the head snapshot is consumed without
+    performing the action — but, following Example 3.1, the resolved
+    selector must denote a node on the head snapshot (and an ``EnterData``
+    path must resolve in the data source), otherwise execution halts.
+    """
+    selector = env.resolve_selector(statement.target) if statement.target else None
+    if selector is not None and not valid(selector, doms.head()):
+        context.stuck = True
+        return doms, env
+    path = env.resolve_path(statement.value) if statement.value else None
+    if path is not None and not context.data.contains(path):
+        context.stuck = True
+        return doms, env
+    out.append(Action(statement.kind, selector, statement.text, path))
+    context.spend()
+    return doms.tail(), env
+
+
+def _eval_selector_loop(
+    loop: ForEachSelector,
+    doms: DOMTrace,
+    env: Env,
+    context: _Context,
+    out: list[Action],
+) -> tuple[DOMTrace, Env]:
+    """S-Init / S-Cont / S-Term: lazy iteration over matching nodes.
+
+    The collection base resolves once (Figure 8 rules (9)/(10) substitute
+    the resolved base into the continuation); each iteration materialises
+    the *i*-th element selector and checks ``valid`` against the current
+    head snapshot, which is what makes lazily loaded pages work.
+    """
+    base = env.resolve_selector(loop.collection.base)
+    extend = base.child if isinstance(loop.collection, ChildrenOf) else base.desc
+    pred = loop.collection.pred
+    index = 1
+    while True:
+        if doms.is_empty or context.halted:  # Term
+            break
+        element = extend(pred, index)
+        if not valid(element, doms.head()):  # S-Term
+            break
+        env = env.bind(loop.var, element)  # S-Cont
+        doms, env = _eval_sequence(loop.body, doms, env, context, out)
+        index += 1
+    return doms, env
+
+
+def _eval_value_loop(
+    loop: ForEachValue,
+    doms: DOMTrace,
+    env: Env,
+    context: _Context,
+    out: list[Action],
+) -> tuple[DOMTrace, Env]:
+    """VP-Loop: eager iteration over the value paths of an input array.
+
+    A collection path that does not denote an array makes the loop stuck;
+    we render "stuck" as zero iterations, which validation then rejects
+    (the s-rewrite cannot reproduce any action).
+    """
+    path = env.resolve_path(loop.collection.path)
+    try:
+        element_paths = context.data.value_paths(path)
+    except DataPathError:
+        return doms, env
+    for element_path in element_paths:
+        if doms.is_empty or context.halted:  # Term
+            break
+        env = env.bind(loop.var, element_path)
+        doms, env = _eval_sequence(loop.body, doms, env, context, out)
+    return doms, env
+
+
+def _eval_while_loop(
+    loop: WhileLoop,
+    doms: DOMTrace,
+    env: Env,
+    context: _Context,
+    out: list[Action],
+) -> tuple[DOMTrace, Env]:
+    """While-Init / While-Cont / While-Term: click-terminated pagination.
+
+    Each round runs the body, then re-checks the terminating Click's
+    selector on the new head snapshot; if it still denotes a node the click
+    is emitted and the loop continues, otherwise the loop ends.
+    """
+    while True:
+        if doms.is_empty or context.halted:  # Term
+            break
+        doms, env = _eval_sequence(loop.body, doms, env, context, out)
+        if doms.is_empty or context.halted:  # Term
+            break
+        selector = env.resolve_selector(loop.click.target)
+        if not valid(selector, doms.head()):  # While-Term
+            break
+        out.append(Action(loop.click.kind, selector))  # While-Cont
+        context.spend()
+        doms = doms.tail()
+    return doms, env
+
+
+def _eval_paginate_loop(
+    loop: PaginateLoop,
+    doms: DOMTrace,
+    env: Env,
+    context: _Context,
+    out: list[Action],
+) -> tuple[DOMTrace, Env]:
+    """Numbered pagination (extension, see :class:`PaginateLoop`).
+
+    Each round runs the body, then navigates: the counter-templated
+    selector is clicked when it denotes a node on the head snapshot;
+    otherwise the advance control is clicked when present and valid (it
+    lands on page κ, so the counter still increments); otherwise the
+    loop terminates.
+    """
+    counter = loop.start
+    advance = (
+        env.resolve_selector(loop.advance) if loop.advance is not None else None
+    )
+    while True:
+        if doms.is_empty or context.halted:  # Term
+            break
+        doms, env = _eval_sequence(loop.body, doms, env, context, out)
+        if doms.is_empty or context.halted:  # Term
+            break
+        numbered = loop.template.instantiate(counter)
+        if valid(numbered, doms.head()):
+            out.append(Action(CLICK, numbered))
+        elif advance is not None and valid(advance, doms.head()):
+            out.append(Action(CLICK, advance))
+        else:
+            break
+        context.spend()
+        doms = doms.tail()
+        counter += 1
+    return doms, env

@@ -1,0 +1,350 @@
+"""Provenance-tracking execution: which statement produced which action.
+
+The plain evaluator (:mod:`repro.semantics.evaluator`) answers *what*
+actions a program produces; this module additionally answers *where
+from*: each emitted action is tagged with
+
+* the **statement path** — body indices from the program root down to
+  the emitting statement (a while loop's terminating click is addressed
+  one past its body);
+* the **iteration stack** — for every enclosing loop, its statement
+  path and the 1-based iteration the action was emitted in;
+* the **bindings** — what each in-scope loop variable resolved to;
+* the **snapshot index** — the position in the master DOM trace the
+  action consumed.
+
+This powers the ``repro explain`` CLI command and the session
+inspector: after synthesis, a user can see that action 17 of their
+demonstration corresponds to iteration 4 of the scraping loop.
+
+The traversal intentionally duplicates the evaluator's recursion rather
+than threading callbacks through its hot path (the synthesizer executes
+candidate programs thousands of times per call; explanation runs once
+per user request).  ``tests/test_provenance.py`` pins the two
+implementations together: the projected action sequence must be
+identical on arbitrary programs and traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.dom.xpath import valid
+from repro.lang.actions import Action
+from repro.lang.ast import (
+    ActionStmt,
+    CLICK,
+    ChildrenOf,
+    ForEachSelector,
+    ForEachValue,
+    PaginateLoop,
+    Program,
+    Statement,
+    Var,
+    WhileLoop,
+)
+from repro.lang.data import DataSource
+from repro.semantics.env import Env
+from repro.semantics.trace import DOMTrace
+from repro.util.errors import DataPathError
+
+StatementPath = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """One emitted action with its origin inside the program."""
+
+    action: Action
+    path: StatementPath
+    iterations: tuple[tuple[StatementPath, int], ...]
+    bindings: tuple[tuple[Var, str], ...]
+    snapshot_index: int
+
+    @property
+    def depth(self) -> int:
+        """How many loops enclose the emitting statement."""
+        return len(self.iterations)
+
+
+@dataclass
+class ProvenanceResult:
+    """All records of one provenance run."""
+
+    records: list[ProvenanceRecord]
+
+    @property
+    def actions(self) -> list[Action]:
+        """The plain action trace (must match the evaluator's)."""
+        return [record.action for record in self.records]
+
+    def by_statement(self) -> dict[StatementPath, list[ProvenanceRecord]]:
+        """Group records by their emitting statement."""
+        groups: dict[StatementPath, list[ProvenanceRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.path, []).append(record)
+        return groups
+
+    def iteration_counts(self) -> dict[StatementPath, int]:
+        """For each loop, how many iterations contributed actions."""
+        counts: dict[StatementPath, int] = {}
+        for record in self.records:
+            for loop_path, iteration in record.iterations:
+                counts[loop_path] = max(counts.get(loop_path, 0), iteration)
+        return counts
+
+
+class _Walker:
+    """Recursive interpreter mirroring the evaluator, tagging emissions."""
+
+    def __init__(self, data: DataSource, max_actions: Optional[int]) -> None:
+        self.data = data
+        self.budget = max_actions if max_actions is not None else float("inf")
+        self.stuck = False
+        self.records: list[ProvenanceRecord] = []
+        self.iterations: list[tuple[StatementPath, int]] = []
+        self.bindings: list[tuple[Var, str]] = []
+
+    @property
+    def halted(self) -> bool:
+        return self.stuck or self.budget <= 0
+
+    # ------------------------------------------------------------------
+    def sequence(
+        self, statements: Sequence[Statement], path: StatementPath, doms: DOMTrace, env: Env
+    ) -> tuple[DOMTrace, Env]:
+        for index, statement in enumerate(statements):
+            if doms.is_empty or self.halted:
+                break
+            doms, env = self.statement(statement, path + (index,), doms, env)
+        return doms, env
+
+    def statement(
+        self, statement: Statement, path: StatementPath, doms: DOMTrace, env: Env
+    ) -> tuple[DOMTrace, Env]:
+        if isinstance(statement, ActionStmt):
+            return self.action(statement, path, doms, env)
+        if isinstance(statement, ForEachSelector):
+            return self.selector_loop(statement, path, doms, env)
+        if isinstance(statement, ForEachValue):
+            return self.value_loop(statement, path, doms, env)
+        if isinstance(statement, WhileLoop):
+            return self.while_loop(statement, path, doms, env)
+        if isinstance(statement, PaginateLoop):
+            return self.paginate_loop(statement, path, doms, env)
+        raise TypeError(f"not a statement: {statement!r}")
+
+    # ------------------------------------------------------------------
+    def emit(self, action: Action, path: StatementPath, doms: DOMTrace) -> DOMTrace:
+        self.records.append(
+            ProvenanceRecord(
+                action,
+                path,
+                tuple(self.iterations),
+                tuple(self.bindings),
+                doms.start,
+            )
+        )
+        self.budget -= 1
+        return doms.tail()
+
+    def action(
+        self, statement: ActionStmt, path: StatementPath, doms: DOMTrace, env: Env
+    ) -> tuple[DOMTrace, Env]:
+        selector = env.resolve_selector(statement.target) if statement.target else None
+        if selector is not None and not valid(selector, doms.head()):
+            self.stuck = True
+            return doms, env
+        value_path = env.resolve_path(statement.value) if statement.value else None
+        if value_path is not None and not self.data.contains(value_path):
+            self.stuck = True
+            return doms, env
+        action = Action(statement.kind, selector, statement.text, value_path)
+        return self.emit(action, path, doms), env
+
+    def selector_loop(
+        self, loop: ForEachSelector, path: StatementPath, doms: DOMTrace, env: Env
+    ) -> tuple[DOMTrace, Env]:
+        base = env.resolve_selector(loop.collection.base)
+        extend = base.child if isinstance(loop.collection, ChildrenOf) else base.desc
+        pred = loop.collection.pred
+        index = 1
+        while True:
+            if doms.is_empty or self.halted:
+                break
+            element = extend(pred, index)
+            if not valid(element, doms.head()):
+                break
+            env = env.bind(loop.var, element)
+            self.iterations.append((path, index))
+            self.bindings.append((loop.var, str(element)))
+            doms, env = self.sequence(loop.body, path, doms, env)
+            self.iterations.pop()
+            self.bindings.pop()
+            index += 1
+        return doms, env
+
+    def value_loop(
+        self, loop: ForEachValue, path: StatementPath, doms: DOMTrace, env: Env
+    ) -> tuple[DOMTrace, Env]:
+        collection_path = env.resolve_path(loop.collection.path)
+        try:
+            element_paths = self.data.value_paths(collection_path)
+        except DataPathError:
+            return doms, env
+        for index, element_path in enumerate(element_paths, start=1):
+            if doms.is_empty or self.halted:
+                break
+            env = env.bind(loop.var, element_path)
+            self.iterations.append((path, index))
+            self.bindings.append((loop.var, str(element_path)))
+            doms, env = self.sequence(loop.body, path, doms, env)
+            self.iterations.pop()
+            self.bindings.pop()
+        return doms, env
+
+    def while_loop(
+        self, loop: WhileLoop, path: StatementPath, doms: DOMTrace, env: Env
+    ) -> tuple[DOMTrace, Env]:
+        iteration = 1
+        while True:
+            if doms.is_empty or self.halted:
+                break
+            self.iterations.append((path, iteration))
+            doms, env = self.sequence(loop.body, path, doms, env)
+            if doms.is_empty or self.halted:
+                self.iterations.pop()
+                break
+            selector = env.resolve_selector(loop.click.target)
+            if not valid(selector, doms.head()):
+                self.iterations.pop()
+                break
+            doms = self.emit(
+                Action(loop.click.kind, selector), path + (len(loop.body),), doms
+            )
+            self.iterations.pop()
+            iteration += 1
+        return doms, env
+
+    def paginate_loop(
+        self, loop: PaginateLoop, path: StatementPath, doms: DOMTrace, env: Env
+    ) -> tuple[DOMTrace, Env]:
+        counter = loop.start
+        advance = (
+            env.resolve_selector(loop.advance) if loop.advance is not None else None
+        )
+        iteration = 1
+        while True:
+            if doms.is_empty or self.halted:
+                break
+            self.iterations.append((path, iteration))
+            doms, env = self.sequence(loop.body, path, doms, env)
+            if doms.is_empty or self.halted:
+                self.iterations.pop()
+                break
+            numbered = loop.template.instantiate(counter)
+            click_path = path + (len(loop.body),)
+            if valid(numbered, doms.head()):
+                doms = self.emit(Action(CLICK, numbered), click_path, doms)
+            elif advance is not None and valid(advance, doms.head()):
+                doms = self.emit(Action(CLICK, advance), click_path, doms)
+            else:
+                self.iterations.pop()
+                break
+            self.iterations.pop()
+            counter += 1
+            iteration += 1
+        return doms, env
+
+
+def explain(
+    program: Program | Sequence[Statement],
+    doms: DOMTrace,
+    data: DataSource,
+    max_actions: Optional[int] = None,
+) -> ProvenanceResult:
+    """Execute ``program`` under the trace semantics with provenance.
+
+    The emitted action sequence is identical to
+    :func:`repro.semantics.evaluator.execute`'s on the same inputs; each
+    action additionally carries its origin.
+    """
+    statements = tuple(program) if isinstance(program, Program) else tuple(program)
+    walker = _Walker(data, max_actions)
+    walker.sequence(statements, (), doms, Env.empty())
+    return ProvenanceResult(walker.records)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def statement_at(program: Program, path: StatementPath) -> Statement:
+    """Look up the statement a path addresses (while-click aware)."""
+    container: Sequence[Statement] = program.statements
+    current: Optional[Statement] = None
+    for index in path:
+        if isinstance(current, WhileLoop) and index == len(current.body):
+            return current.click
+        if isinstance(current, PaginateLoop) and index == len(current.body):
+            return current  # the loop's templated click is synthetic
+        current = container[index]
+        container = _body_of(current)
+    if current is None:
+        raise ValueError("empty statement path")
+    return current
+
+
+def _body_of(stmt: Statement) -> Sequence[Statement]:
+    if isinstance(stmt, (ForEachSelector, ForEachValue, WhileLoop, PaginateLoop)):
+        return stmt.body
+    return ()
+
+
+def render_explanation(program: Program, result: ProvenanceResult) -> str:
+    """A per-action listing aligning the trace with the program.
+
+    Example line::
+
+        17  ScrapeText(//div[@class='card'][4]/h3[1])  <- stmt 2.0.0  [iter 2/4]
+
+    where ``stmt 2.0.0`` is the statement path and ``[iter 2/4]`` lists
+    the enclosing loops' iteration numbers outermost-first.
+    """
+    lines = []
+    for position, record in enumerate(result.records, start=1):
+        where = ".".join(str(index) for index in record.path)
+        iters = "/".join(str(iteration) for _, iteration in record.iterations)
+        suffix = f"  [iter {iters}]" if iters else ""
+        lines.append(f"{position:4d}  {record.action}  <- stmt {where}{suffix}")
+    return "\n".join(lines)
+
+
+def _describe(stmt: Statement) -> str:
+    """A one-word description of a statement for summary lines."""
+    if isinstance(stmt, ActionStmt):
+        return stmt.kind
+    if isinstance(stmt, ForEachSelector):
+        return "foreach-selector"
+    if isinstance(stmt, ForEachValue):
+        return "foreach-value"
+    if isinstance(stmt, PaginateLoop):
+        return "paginate"
+    return "while"
+
+
+def render_summary(program: Program, result: ProvenanceResult) -> str:
+    """Per-statement totals: actions emitted and loop iteration counts."""
+    groups = result.by_statement()
+    counts = result.iteration_counts()
+    lines = ["actions per statement:"]
+    for path in sorted(groups):
+        where = ".".join(str(index) for index in path)
+        kind = _describe(statement_at(program, path))
+        lines.append(f"  stmt {where} ({kind}): {len(groups[path])} actions")
+    if counts:
+        lines.append("loop iterations reached:")
+        for path in sorted(counts):
+            where = ".".join(str(index) for index in path)
+            lines.append(f"  loop {where}: {counts[path]} iterations")
+    return "\n".join(lines)

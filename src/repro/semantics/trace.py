@@ -1,0 +1,80 @@
+"""Action traces and DOM traces.
+
+A DOM trace Π is a window over a master list of snapshots.  Windows share
+the underlying list, so taking tails (which the semantics does once per
+action) and slicing partitions (which the synthesizer does constantly) are
+O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.dom.node import DOMNode
+from repro.lang.actions import Action
+
+ActionTrace = tuple[Action, ...]
+
+
+class DOMTrace:
+    """An immutable window ``snapshots[start:stop]`` over recorded DOMs."""
+
+    __slots__ = ("_snapshots", "start", "stop")
+
+    def __init__(
+        self,
+        snapshots: Sequence[DOMNode],
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> None:
+        if isinstance(snapshots, DOMTrace):
+            raise TypeError("wrap raw snapshot lists, not DOMTrace objects")
+        self._snapshots = snapshots
+        self.start = start
+        self.stop = len(snapshots) if stop is None else stop
+        if not 0 <= self.start <= self.stop <= len(snapshots):
+            raise ValueError(
+                f"bad window [{self.start}, {self.stop}) over {len(snapshots)} snapshots"
+            )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __bool__(self) -> bool:
+        return self.stop > self.start
+
+    def __getitem__(self, index: int) -> DOMNode:
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._snapshots[self.start + index]
+
+    def __iter__(self) -> Iterator[DOMNode]:
+        for position in range(self.start, self.stop):
+            yield self._snapshots[position]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no snapshots remain (the Term rule fires)."""
+        return self.stop == self.start
+
+    def head(self) -> DOMNode:
+        """The snapshot the next action executes upon (π₁)."""
+        if self.is_empty:
+            raise IndexError("head of empty DOM trace")
+        return self._snapshots[self.start]
+
+    def tail(self) -> "DOMTrace":
+        """The trace after consuming one snapshot ([π₂, ··, πₘ])."""
+        if self.is_empty:
+            raise IndexError("tail of empty DOM trace")
+        return DOMTrace(self._snapshots, self.start + 1, self.stop)
+
+    def window(self, start: int, stop: Optional[int] = None) -> "DOMTrace":
+        """A sub-window with indices relative to this window."""
+        absolute_stop = self.stop if stop is None else self.start + stop
+        return DOMTrace(self._snapshots, self.start + start, absolute_stop)
+
+    def shares_base_with(self, other: "DOMTrace") -> bool:
+        """True when both windows view the same master snapshot list."""
+        return self._snapshots is other._snapshots

@@ -1,0 +1,146 @@
+"""Synthesizer configuration.
+
+The defaults correspond to the full-fledged WebRobot configuration used in
+Q1; the ablation variants of Table 1 are obtained through
+:func:`no_selector_config` and :func:`no_incremental_config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Tunable knobs of the synthesis engine.
+
+    Attributes
+    ----------
+    timeout:
+        Wall-clock budget per ``synthesize`` call in seconds (the paper
+        uses 1 second per prediction test).
+    use_alternative_selectors:
+        When False, ``AlternativeSelectors`` degenerates to the identity —
+        the "No selector" ablation of Table 1.
+    use_token_predicates:
+        Opt-in extension beyond the paper: whitespace-token class
+        predicates (``div[@class~='match']``), which solve the paper's
+        "disjunctive selector" failure case b6.  Off by default to match
+        the published system.
+    use_numbered_pagination:
+        Opt-in extension beyond the paper: speculate
+        :class:`~repro.lang.ast.PaginateLoop` rewrites for numbered
+        pagers (counter-templated page clicks plus an optional
+        next-block button), the paper's b9 failure case.  Off by
+        default to match the published system.
+    max_paginate_advance_alternatives:
+        Cap on advance-button selector candidates per paginate span.
+    incremental:
+        When False, every call rebuilds the worklist from scratch — the
+        "No incremental" ablation of Table 1 (§5.4).
+    max_body:
+        Maximum number of statements in a speculated first iteration
+        (bounds the span enumeration in Algorithm 2).
+    max_loop_bodies_per_span:
+        Cap on the Cartesian product of parametrized bodies generated for
+        one ``(i, p, j, q)`` span.
+    max_decompositions:
+        Cap on selector decompositions considered per concrete selector.
+    max_suffix_child_steps:
+        Longest child-step chain allowed after a descendant anchor step in
+        generated suffixes.
+    max_pivot_unifications:
+        Cap on anti-unification results per pivot pair.
+    max_parametrize_variants:
+        Cap on parametrized variants per non-pivot statement (the
+        unchanged statement is always among them).
+    max_rewrites_per_span:
+        Per popped tuple, keep only this many validated rewrites covering
+        the same trace slice (smallest statements win).
+    max_while_click_alternatives:
+        Cap on the common alternative selectors tried for a while loop's
+        terminating click.
+    max_generalizing_programs:
+        Stop collecting once this many generalizing programs are known.
+    max_store_tuples:
+        Upper bound on tuples carried across incremental calls; the
+        largest programs are dropped first when the cap is hit.
+    max_worklist_pops:
+        Safety valve on worklist processing per call (None = unbounded,
+        the deadline is then the only stop).
+    ranking:
+        Name of the ranking strategy applied to generalizing programs
+        (see :mod:`repro.synth.ranking`); the default is the paper's
+        smallest-program heuristic.
+    use_shape_gates:
+        Skip anti-unification of pivot pairs whose statement *shapes*
+        differ (see :mod:`repro.synth.periodicity`).  Shape inequality
+        is a necessary condition of the Figure 10 rules, so this is a
+        behaviour-preserving speedup; on by default.
+    use_window_periodicity:
+        Additionally require a span's whole first iteration to repeat
+        shape-wise one period later before speculating on it.  Prunes
+        harder but changes the exploration order on tuples whose two
+        exhibited iterations are in different rewriting states; off by
+        default (the ablation bench measures the trade).
+    """
+
+    timeout: float = 1.0
+    use_alternative_selectors: bool = True
+    use_token_predicates: bool = False
+    use_numbered_pagination: bool = False
+    max_paginate_advance_alternatives: int = 4
+    incremental: bool = True
+    max_body: int = 8
+    max_loop_bodies_per_span: int = 16
+    max_decompositions: int = 64
+    max_suffix_child_steps: int = 2
+    max_pivot_unifications: int = 6
+    max_parametrize_variants: int = 4
+    max_rewrites_per_span: int = 3
+    max_while_click_alternatives: int = 4
+    max_generalizing_programs: int = 128
+    max_store_tuples: int = 256
+    max_worklist_pops: int | None = None
+    ranking: str = "size"
+    use_shape_gates: bool = True
+    use_window_periodicity: bool = False
+
+
+#: The full-fledged configuration (Table 1 row 1).
+DEFAULT_CONFIG = SynthesisConfig()
+
+
+def no_selector_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
+    """Table 1's "No selector" ablation: raw XPaths only."""
+    return replace(base, use_alternative_selectors=False)
+
+
+def token_predicate_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
+    """The disjunctive-selector extension switched on (beyond the paper)."""
+    return replace(base, use_token_predicates=True)
+
+
+def numbered_pagination_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
+    """The numbered-pagination extension switched on (beyond the paper)."""
+    return replace(base, use_numbered_pagination=True)
+
+
+def no_incremental_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
+    """Table 1's "No incremental" ablation: fresh worklist per call."""
+    return replace(base, incremental=False)
+
+
+def ranking_config(strategy: str, base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
+    """A configuration using the named ranking strategy (ablation helper)."""
+    return replace(base, ranking=strategy)
+
+
+def no_shape_gates_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
+    """Pivot shape gate disabled (ablation: measures its speedup)."""
+    return replace(base, use_shape_gates=False)
+
+
+def window_periodicity_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
+    """Window-periodicity span gate enabled (ablation: harder pruning)."""
+    return replace(base, use_window_periodicity=True)

@@ -1,0 +1,134 @@
+"""Shape-periodicity gates for span enumeration (optimization).
+
+Algorithm 2 enumerates every span ``(i, p, j, q)`` of a tuple's program
+and anti-unifies each pivot pair — but most pairs cannot anti-unify at
+all (a Click never unifies with a ScrapeText; a loop never unifies with
+an action), and most spans cannot survive validation (the loop's second
+iteration must re-execute statements of the same shapes).  Both facts
+are visible in a cheap abstraction of the statement list: its *shape
+sequence*.
+
+:func:`statement_shape` maps a statement to a hashable key such that
+shape inequality implies :func:`~repro.synth.anti_unify.
+anti_unify_statements` returns nothing (the key captures exactly the
+non-selector conditions the rules require: action kinds and constant
+arguments, loop collection type and predicate, body kind trees).  Two
+gates build on it:
+
+* the **pivot gate** skips anti-unification whenever the pivot pair's
+  shapes differ.  This is behaviour-preserving — it precomputes a
+  necessary condition of the rules — and is on by default
+  (``SynthesisConfig.use_shape_gates``).
+* the **window gate** (:func:`window_periodic`) additionally requires
+  the whole conjectured first iteration to repeat shape-wise one period
+  later, which a validated rewrite exhibits whenever both iterations are
+  in the same rewriting state.  Tuples in *asymmetric* states (one
+  occurrence of an inner loop rolled, the next still raw) can validate
+  spans this gate prunes, so it changes the exploration order; the
+  symmetric sibling tuple always exists on the worklist (rewrites of
+  independent slices commute), so Theorem 5.5 is unaffected.  Opt-in via
+  ``SynthesisConfig.use_window_periodicity``; the ablation bench
+  measures its effect.
+
+:func:`trace_periods` reports the statement-level periods a whole
+program window exhibits — a cheap diagnostic for seeing what the gates
+would prune on a given trace.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.lang.ast import (
+    ActionStmt,
+    ForEachSelector,
+    ForEachValue,
+    PaginateLoop,
+    Statement,
+    WhileLoop,
+)
+
+Shape = tuple
+
+
+def statement_shape(stmt: Statement) -> Shape:
+    """A hashable key whose inequality refutes anti-unifiability.
+
+    Soundness contract (checked by the tests): for any two statements
+    ``a``, ``b`` and any snapshots, ``statement_shape(a) !=
+    statement_shape(b)`` implies ``anti_unify_statements(a, …, b, …) ==
+    []``.  The key therefore contains only what the Figure 10 rules
+    require to *agree* between iterations — never the selectors, which
+    are exactly what varies.
+    """
+    if isinstance(stmt, ActionStmt):
+        # rule (1)/(3): same kind, same constant text, value pivots only
+        # between concrete paths of equal accessor length
+        value_key = None
+        if stmt.value is not None:
+            value_key = (stmt.value.base is None, len(stmt.value.accessors))
+        return ("a", stmt.kind, stmt.text, value_key)
+    if isinstance(stmt, ForEachSelector):
+        # rule (2): same collection type and predicate, alpha-equivalent
+        # bodies (body kind trees are a necessary condition)
+        return (
+            "fs",
+            type(stmt.collection).__name__,
+            stmt.collection.pred,
+            _body_shape(stmt.body),
+        )
+    if isinstance(stmt, ForEachValue):
+        return ("fv", len(stmt.collection.path.accessors), _body_shape(stmt.body))
+    if isinstance(stmt, WhileLoop):
+        # no rule lifts while loops; the shape still distinguishes them
+        # from everything else so the gate never mixes categories
+        return ("w", _body_shape(stmt.body), statement_shape(stmt.click))
+    if isinstance(stmt, PaginateLoop):
+        return ("pg", _body_shape(stmt.body))
+    raise TypeError(f"not a statement: {stmt!r}")
+
+
+def _body_shape(body: tuple[Statement, ...]) -> Shape:
+    return tuple(statement_shape(child) for child in body)
+
+
+def shape_sequence(statements: Sequence[Statement]) -> list[Shape]:
+    """The shape of every statement, in order (one tuple-program pass)."""
+    return [statement_shape(stmt) for stmt in statements]
+
+
+def window_periodic(shapes: Sequence[Shape], start: int, period: int) -> bool:
+    """Does the window ``[start, start+period)`` repeat one period later?
+
+    True exactly when ``shapes[k] == shapes[k + period]`` for every
+    ``k`` in the window — the statement-level footprint of two aligned
+    loop iterations.  Windows running past the end are not periodic.
+    """
+    if start < 0 or period < 1 or start + 2 * period > len(shapes):
+        return False
+    return all(
+        shapes[position] == shapes[position + period]
+        for position in range(start, start + period)
+    )
+
+
+def trace_periods(
+    shapes: Sequence[Shape], max_period: int | None = None
+) -> dict[int, int]:
+    """Window counts per period: how much repetition the trace exhibits.
+
+    Maps each period ``L`` (up to ``max_period``, default ``len // 2``)
+    to the number of start positions whose ``L``-window repeats.  Purely
+    diagnostic — it shows what the window gate would see on a trace.
+    """
+    limit = max_period if max_period is not None else len(shapes) // 2
+    counts: dict[int, int] = {}
+    for period in range(1, limit + 1):
+        windows = sum(
+            1
+            for start in range(0, len(shapes) - 2 * period + 1)
+            if window_periodic(shapes, start, period)
+        )
+        if windows:
+            counts[period] = windows
+    return counts

@@ -1,0 +1,92 @@
+"""The web RPA program synthesis problem (Definitions 4.1—4.3).
+
+* A program *satisfies* a trace ``A`` when its simulated execution
+  reproduces ``A`` (``A`` is consistent with a prefix of the produced
+  trace).
+* A program *generalizes* ``A`` when it reproduces ``A`` **and** produces
+  at least one further action — the prediction shown to the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.lang.actions import Action
+from repro.lang.ast import Program
+from repro.lang.data import DataSource
+from repro.semantics.consistency import consistent_prefix_length
+from repro.semantics.evaluator import execute
+from repro.semantics.trace import DOMTrace
+from repro.util.errors import SynthesisError
+
+
+@dataclass(frozen=True)
+class SynthesisProblem:
+    """Inputs of Definition 4.3: actions A, DOM trace Π (|Π| = |A| + 1), I.
+
+    ``doms[i]`` is the snapshot action ``actions[i]`` was performed on; the
+    final snapshot is the current page, on which the next action is to be
+    predicted.
+    """
+
+    actions: tuple[Action, ...]
+    doms: DOMTrace
+    data: DataSource
+
+    def __post_init__(self) -> None:
+        if len(self.doms) != len(self.actions) + 1:
+            raise SynthesisError(
+                f"DOM trace must have one more element than the action trace "
+                f"(got {len(self.doms)} DOMs for {len(self.actions)} actions)"
+            )
+
+    @property
+    def trace_length(self) -> int:
+        """Number of demonstrated actions (m)."""
+        return len(self.actions)
+
+
+def produced_actions(
+    program: Program,
+    problem: SynthesisProblem,
+    extra: int = 1,
+) -> list[Action]:
+    """Run ``program`` under the trace semantics over the problem's DOMs.
+
+    ``extra`` caps how far past the demonstration the simulation may run
+    (1 suffices to decide generalization and obtain the prediction).
+    """
+    result = execute(
+        program,
+        problem.doms,
+        problem.data,
+        max_actions=problem.trace_length + extra,
+    )
+    return result.actions
+
+
+def satisfies(program: Program, problem: SynthesisProblem) -> bool:
+    """Definition 4.1: the program reproduces the demonstrated actions."""
+    produced = produced_actions(program, problem, extra=0)
+    if len(produced) < problem.trace_length:
+        return False
+    return (
+        consistent_prefix_length(produced, problem.actions, problem.doms)
+        == problem.trace_length
+    )
+
+
+def generalizes(program: Program, problem: SynthesisProblem) -> Optional[Action]:
+    """Definition 4.2: reproduce A and predict at least one more action.
+
+    Returns the predicted next action (the ``m+1``-st produced action) when
+    the program generalizes, else ``None``.
+    """
+    produced = produced_actions(program, problem, extra=1)
+    m = problem.trace_length
+    if len(produced) <= m:
+        return None
+    if consistent_prefix_length(produced, problem.actions, problem.doms) != m:
+        return None
+    return produced[m]

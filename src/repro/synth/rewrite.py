@@ -1,0 +1,126 @@
+"""Worklist rewrite tuples — the ``(P, ®A, ®Π)`` triples of Algorithm 1.
+
+A :class:`RewriteTuple` pairs a program with the partition of the action
+trace its statements cover.  Partitions are stored as cumulative *bounds*
+into the master action trace: statement ``k`` covers actions
+``[bounds[k], bounds[k+1])`` — invariant I1.  Invariant I2 (each statement
+satisfies its slice) is maintained by construction: singleton statements
+trivially reproduce their action and loop statements are only installed
+after validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.lang.actions import Action, action_to_statement
+from repro.lang.ast import (
+    ActionStmt,
+    ForEachSelector,
+    ForEachValue,
+    PaginateLoop,
+    Program,
+    Statement,
+    WhileLoop,
+    canonical_program,
+    program_size,
+)
+
+
+def is_loop(stmt: Statement) -> bool:
+    """True for the loop statement forms (incl. the paginate extension)."""
+    return isinstance(stmt, (ForEachSelector, ForEachValue, WhileLoop, PaginateLoop))
+
+
+@dataclass
+class RewriteTuple:
+    """One worklist entry.
+
+    Attributes
+    ----------
+    statements:
+        The program ``P = S₁; ··; S_l``.
+    bounds:
+        ``l + 1`` cumulative action indices; statement ``k`` covers
+        ``actions[bounds[k]:bounds[k+1]]``.
+    spec_start:
+        Statement index below which spans were already speculated by an
+        ancestor tuple (incrementality, §5.4).  Only spans whose
+        second-iteration end reaches ``spec_start`` or beyond are
+        (re-)explored.
+    processed:
+        Whether Algorithm 1 already popped this tuple (line 4).
+    """
+
+    statements: tuple[Statement, ...]
+    bounds: tuple[int, ...]
+    spec_start: int = 0
+    processed: bool = False
+    _key: Optional[tuple] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.bounds) != len(self.statements) + 1:
+            raise ValueError("bounds must have one more entry than statements")
+        if any(b > a for a, b in zip(self.bounds[1:], self.bounds)):
+            raise ValueError("bounds must be non-decreasing")
+
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of statements (l)."""
+        return len(self.statements)
+
+    @property
+    def covered(self) -> int:
+        """Number of trace actions the tuple covers (= bounds[-1])."""
+        return self.bounds[-1]
+
+    def slice_bounds(self, index: int) -> tuple[int, int]:
+        """Action-index range covered by statement ``index``."""
+        return self.bounds[index], self.bounds[index + 1]
+
+    def program(self) -> Program:
+        """The tuple's program."""
+        return Program(self.statements)
+
+    def size(self) -> int:
+        """AST size of the program (ranking key)."""
+        return program_size(self.program())
+
+    def key(self) -> tuple:
+        """Dedup key: alpha-canonical program plus its trace partition."""
+        if self._key is None:
+            self._key = (canonical_program(self.program()), self.bounds)
+        return self._key
+
+    def ends_with_loop(self) -> bool:
+        """Only tuples whose final statement is a loop can generalize."""
+        return bool(self.statements) and is_loop(self.statements[-1])
+
+
+def initial_tuple(actions: Sequence[Action]) -> RewriteTuple:
+    """Algorithm 1 line 1: ``P₀ = a₁; ··; a_m`` with singleton slices."""
+    statements = tuple(action_to_statement(action) for action in actions)
+    bounds = tuple(range(len(actions) + 1))
+    return RewriteTuple(statements, bounds, spec_start=0)
+
+
+def extend_with_singletons(
+    base: RewriteTuple, new_actions: Sequence[Action], start_index: int
+) -> RewriteTuple:
+    """Append newly demonstrated actions as singleton statements.
+
+    ``start_index`` is the action index of the first new action (i.e. the
+    old trace length).  The extension inherits ``spec_start`` from the
+    base when the base was never processed; otherwise spans inside the
+    base were all explored, so only spans reaching the new suffix remain.
+    """
+    statements = base.statements + tuple(
+        action_to_statement(action) for action in new_actions
+    )
+    bounds = base.bounds + tuple(
+        start_index + offset + 1 for offset in range(len(new_actions))
+    )
+    spec_start = base.length if base.processed else base.spec_start
+    return RewriteTuple(statements, bounds, spec_start=spec_start)

@@ -1,0 +1,359 @@
+"""The top-level synthesis algorithm (Algorithm 1) with incrementality (§5.4).
+
+The synthesizer maintains a *store* of rewrite tuples across calls.  Each
+``synthesize`` call receives the full demonstration so far (actions plus
+one more DOM snapshot); stored tuples are first *extended* to cover the
+new suffix — trailing loops absorb the new actions they correctly predict,
+everything else is appended as singleton statements, and tuples whose
+trailing loop mispredicted are dropped.  The worklist then pops tuples
+smallest-program-first, records the ones that generalize, and grows the
+store through speculate-and-validate.
+
+The per-call wall-clock budget mirrors the paper's 1-second timeout per
+prediction test.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.dom.node import DOMNode
+from repro.dom.xpath import resolve
+from repro.lang.actions import Action
+from repro.lang.ast import Program, statement_size
+from repro.lang.data import DataSource
+from repro.semantics.consistency import consistent_prefix_length
+from repro.semantics.evaluator import execute
+from repro.semantics.trace import DOMTrace
+from repro.synth.alternatives import SelectorSearch
+from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig
+from repro.synth.ranking import Candidate, rank
+from repro.synth.rewrite import RewriteTuple, extend_with_singletons, initial_tuple
+from repro.synth.speculate import SpeculationContext, speculate
+from repro.synth.validate import validate
+from repro.util.errors import SynthesisError
+from repro.util.timer import Deadline
+
+
+@dataclass
+class SynthesisStats:
+    """Bookkeeping for the experiment harnesses."""
+
+    trace_length: int = 0
+    pops: int = 0
+    speculated: int = 0
+    validated: int = 0
+    tuples: int = 0
+    elapsed: float = 0.0
+    timed_out: bool = False
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one ``synthesize`` call.
+
+    ``programs`` are the generalizing programs ranked smallest-first;
+    ``predictions`` are their distinct next actions in rank order (the
+    front end shows these for authorization).
+    """
+
+    programs: list[Program] = field(default_factory=list)
+    predictions: list[Action] = field(default_factory=list)
+    stats: SynthesisStats = field(default_factory=SynthesisStats)
+
+    @property
+    def best_program(self) -> Optional[Program]:
+        """The top-ranked generalizing program, if any."""
+        return self.programs[0] if self.programs else None
+
+    @property
+    def best_prediction(self) -> Optional[Action]:
+        """The top-ranked predicted next action, if any."""
+        return self.predictions[0] if self.predictions else None
+
+
+class Synthesizer:
+    """Interactive web RPA program synthesizer.
+
+    One instance serves one demonstration session: call
+    :meth:`synthesize` after every recorded action with the full trace so
+    far.  With ``config.incremental`` (default) the rewrite store is
+    shared across calls; otherwise every call starts from scratch.
+    """
+
+    def __init__(self, data: DataSource, config: SynthesisConfig = DEFAULT_CONFIG) -> None:
+        self.data = data
+        self.config = config
+        self._actions: list[Action] = []
+        self._snapshots: list[DOMNode] = []
+        self._store: dict[tuple, RewriteTuple] = {}
+        self._search = self._new_search()
+
+    def _new_search(self) -> SelectorSearch:
+        return SelectorSearch(
+            use_alternatives=self.config.use_alternative_selectors,
+            max_suffix_child_steps=self.config.max_suffix_child_steps,
+            max_decompositions=self.config.max_decompositions,
+            token_predicates=self.config.use_token_predicates,
+        )
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget all state from previous calls."""
+        self._actions = []
+        self._snapshots = []
+        self._store = {}
+        self._search = self._new_search()
+
+    def synthesize(
+        self,
+        actions: Sequence[Action],
+        snapshots: Sequence[DOMNode],
+        timeout: Optional[float] = None,
+    ) -> SynthesisResult:
+        """Find programs that generalize the demonstration (Definition 4.3).
+
+        Parameters
+        ----------
+        actions:
+            The recorded action trace ``A = [a₁, ··, a_m]``.
+        snapshots:
+            The recorded DOM trace ``Π = [π₁, ··, π_{m+1}]``.
+        timeout:
+            Optional per-call override of ``config.timeout`` seconds.
+        """
+        if len(snapshots) != len(actions) + 1:
+            raise SynthesisError(
+                f"need m+1 snapshots for m actions, got {len(snapshots)} for {len(actions)}"
+            )
+        deadline = Deadline(self.config.timeout if timeout is None else timeout)
+        if not self.config.incremental:
+            self.reset()
+        old_length = len(self._actions)
+        if old_length and (
+            len(actions) < old_length
+            or list(actions[:old_length]) != self._actions
+        ):
+            # Not a continuation of the stored demonstration.
+            self.reset()
+            old_length = 0
+        had_store = bool(self._store)
+        self._actions = list(actions)
+        self._snapshots = list(snapshots)
+        trace_length = len(actions)
+        stats = SynthesisStats(trace_length=trace_length)
+        result = SynthesisResult(stats=stats)
+        if trace_length == 0:
+            return result
+
+        context = SpeculationContext(
+            self._actions, self._snapshots, self.data, self.config, self._search
+        )
+        generalizing: list[Candidate] = []
+        heap: list[tuple[int, int, RewriteTuple]] = []
+        sequence = itertools.count()
+        store: dict[tuple, RewriteTuple] = {}
+
+        def push(tuple_: RewriteTuple) -> None:
+            key = tuple_.key()
+            if key in store:
+                return
+            store[key] = tuple_
+            heapq.heappush(heap, (tuple_.length, next(sequence), tuple_))
+            prediction = self._try_generalize(tuple_, context)
+            if prediction is not None and len(generalizing) < self.config.max_generalizing_programs:
+                generalizing.append(
+                    Candidate.of(tuple_.program(), prediction, tuple_.length)
+                )
+
+        if had_store:
+            for stored in self._store.values():
+                extended = self._extend(stored, old_length, trace_length, context)
+                if extended is not None:
+                    push(extended)
+        else:
+            push(initial_tuple(self._actions))
+        self._store = store
+
+        # --------------------------------------------------------------
+        # Algorithm 1 main loop.
+        # --------------------------------------------------------------
+        while heap:
+            if deadline.expired():
+                stats.timed_out = True
+                break
+            if (
+                self.config.max_worklist_pops is not None
+                and stats.pops >= self.config.max_worklist_pops
+            ):
+                break
+            _, _, current = heapq.heappop(heap)
+            if current.processed:
+                continue
+            current.processed = True
+            stats.pops += 1
+            candidates = speculate(current, context)
+            stats.speculated += len(candidates)
+            # Validate smallest statements first so the per-span cap keeps
+            # the most-parametrized (hence smallest) true rewrites — e.g.
+            # a loop whose body fully uses the loop variable beats one that
+            # kept a raw first-iteration selector.
+            candidates.sort(key=lambda item: (item.start, item.end, statement_size(item.stmt)))
+            per_span: dict[tuple, int] = {}
+            for candidate in candidates:
+                if deadline.expired():
+                    stats.timed_out = True
+                    break
+                span_key = (candidate.start, candidate.end)
+                if per_span.get(span_key, 0) >= self.config.max_rewrites_per_span:
+                    continue
+                rewritten = validate(candidate, current, context)
+                if rewritten is not None:
+                    per_span[span_key] = per_span.get(span_key, 0) + 1
+                    stats.validated += 1
+                    push(rewritten)
+
+        self._prune_store()
+        stats.tuples = len(self._store)
+        stats.elapsed = deadline.elapsed()
+        self._collect(result, generalizing)
+        return result
+
+    def _prune_store(self) -> None:
+        """Bound the tuples carried into the next incremental call.
+
+        Smaller programs are both the ranking winners and the cheapest to
+        extend, so the largest tuples are dropped first.  P₀'s extension
+        is always preserved through the all-singleton tuple, which has the
+        largest statement count but is the ancestor of every rewrite —
+        drop everything else first.
+        """
+        cap = self.config.max_store_tuples
+        if len(self._store) <= cap:
+            return
+        entries = sorted(self._store.items(), key=lambda item: item[1].length)
+        keep = dict(entries[: cap - 1])
+        # the all-singleton tuple (maximal length) must survive: it seeds
+        # spans no rewritten tuple can express
+        tail_key, tail_tuple = entries[-1]
+        keep[tail_key] = tail_tuple
+        self._store = keep
+
+    # ------------------------------------------------------------------
+    # Extension across calls (§5.4)
+    # ------------------------------------------------------------------
+    def _extend(
+        self,
+        stored: RewriteTuple,
+        old_length: int,
+        new_length: int,
+        context: SpeculationContext,
+    ) -> Optional[RewriteTuple]:
+        """Re-fit a stored tuple to the grown trace.
+
+        A trailing loop absorbs exactly the actions its continued execution
+        reproduces; if it produces an action inconsistent with what the
+        user actually did, the tuple's program no longer satisfies the
+        trace and the tuple dies.  Remaining new actions are appended as
+        singleton statements.
+        """
+        if old_length == new_length:
+            return stored
+        absorbed_end = old_length
+        base = stored
+        if stored.ends_with_loop():
+            slice_start = stored.bounds[-2]
+            window = DOMTrace(self._snapshots, slice_start, new_length)
+            produced = execute(
+                [stored.statements[-1]], window, self.data, max_actions=len(window)
+            ).actions
+            reference = self._actions[slice_start : slice_start + len(produced)]
+            consistent = consistent_prefix_length(produced, reference, window)
+            if consistent < len(produced):
+                return None  # the trailing loop mispredicted: program is dead
+            if len(produced) < old_length - slice_start:
+                return None  # defensive: the loop no longer covers its slice
+            absorbed_end = slice_start + len(produced)
+            spec_start = stored.length if stored.processed else stored.spec_start
+            base = RewriteTuple(
+                stored.statements,
+                stored.bounds[:-1] + (absorbed_end,),
+                spec_start=spec_start,
+                processed=stored.processed,
+            )
+        remaining = self._actions[absorbed_end:new_length]
+        if not remaining:
+            extended = base
+            extended.processed = False
+            return extended
+        return extend_with_singletons(base, remaining, absorbed_end)
+
+    # ------------------------------------------------------------------
+    # Generalization check (Algorithm 1 line 5)
+    # ------------------------------------------------------------------
+    def _try_generalize(
+        self, tuple_: RewriteTuple, context: SpeculationContext
+    ) -> Optional[Action]:
+        """Tail-based generalization check.
+
+        Invariant I2 guarantees every statement reproduces its slice
+        exactly, and statements are closed terms, so only the *final*
+        statement can extend past the demonstration.  It is re-executed on
+        its slice plus the latest snapshot; producing one extra action is
+        exactly Definition 4.2.
+        """
+        if not tuple_.ends_with_loop():
+            return None
+        trace_length = len(self._actions)
+        slice_start = tuple_.bounds[-2]
+        needed = trace_length - slice_start
+        window = DOMTrace(self._snapshots, slice_start, trace_length + 1)
+        produced = execute(
+            [tuple_.statements[-1]],
+            window,
+            self.data,
+            max_actions=needed + 1,
+        ).actions
+        if len(produced) <= needed:
+            return None
+        reference = self._actions[slice_start:trace_length]
+        if consistent_prefix_length(produced, reference, window) != needed:
+            return None
+        return produced[needed]
+
+    # ------------------------------------------------------------------
+    # Ranking (Algorithm 1 line 8)
+    # ------------------------------------------------------------------
+    def _collect(
+        self,
+        result: SynthesisResult,
+        generalizing: list[Candidate],
+    ) -> None:
+        """Rank generalizing programs (Algorithm 1 line 8); dedup predictions.
+
+        The strategy is ``config.ranking`` (default: the paper's
+        smallest-program heuristic — see :mod:`repro.synth.ranking`).
+        Predictions are deduplicated by the node they address on the
+        latest snapshot (plus non-selector arguments), so semantically
+        identical predictions from different programs collapse into one
+        authorization option.
+        """
+        last_dom = self._snapshots[-1] if self._snapshots else None
+        seen_predictions: set = set()
+        for candidate in rank(generalizing, self.config.ranking):
+            result.programs.append(candidate.program)
+            key = self._prediction_key(candidate.prediction, last_dom)
+            if key not in seen_predictions:
+                seen_predictions.add(key)
+                result.predictions.append(candidate.prediction)
+
+    @staticmethod
+    def _prediction_key(action: Action, dom: Optional[DOMNode]) -> tuple:
+        node_id = None
+        if action.selector is not None and dom is not None:
+            node = resolve(action.selector, dom)
+            node_id = id(node) if node is not None else str(action.selector)
+        return (action.kind, node_id, action.text, action.path)

@@ -1,0 +1,22 @@
+"""Shared utilities: error types, deterministic timers, small helpers."""
+
+from repro.util.errors import (
+    ReproError,
+    SelectorError,
+    DataPathError,
+    ParseError,
+    ReplayError,
+    SynthesisError,
+)
+from repro.util.timer import Stopwatch, Deadline
+
+__all__ = [
+    "ReproError",
+    "SelectorError",
+    "DataPathError",
+    "ParseError",
+    "ReplayError",
+    "SynthesisError",
+    "Stopwatch",
+    "Deadline",
+]

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subclasses signal which
+subsystem failed.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SelectorError(ReproError):
+    """A concrete selector failed to resolve against a DOM."""
+
+
+class DataPathError(ReproError):
+    """A value path failed to resolve against the input data source."""
+
+
+class ParseError(ReproError):
+    """A DSL program or selector string could not be parsed."""
+
+
+class ReplayError(ReproError):
+    """Real (side-effectful) execution of a program failed."""
+
+
+class SynthesisError(ReproError):
+    """The synthesizer was invoked with an ill-formed problem."""
+
+
+class ExportError(ReproError):
+    """A program could not be exported as an external script."""
+
+
+class CheckError(ReproError):
+    """A program failed static well-formedness checking."""

@@ -1,0 +1,48 @@
+"""Deterministic pseudo-randomness for synthetic site content.
+
+Python's built-in ``hash`` is salted per process, so synthetic sites seed
+a tiny LCG from CRC32 instead — page content is then stable across runs,
+machines, and processes, which keeps recorded traces and experiment
+numbers reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Sequence, TypeVar, Union
+
+T = TypeVar("T")
+
+_MULTIPLIER = 6364136223846793005
+_INCREMENT = 1442695040888963407
+_MASK = (1 << 64) - 1
+
+
+class DetRng:
+    """A 64-bit LCG with string-or-int seeding."""
+
+    def __init__(self, seed: Union[str, int]) -> None:
+        if isinstance(seed, str):
+            seed = zlib.crc32(seed.encode("utf-8"))
+        self._state = (seed * _MULTIPLIER + _INCREMENT) & _MASK
+
+    def next_u32(self) -> int:
+        """The next raw 32-bit value."""
+        self._state = (self._state * _MULTIPLIER + _INCREMENT) & _MASK
+        return self._state >> 32
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` (inclusive)."""
+        if high < low:
+            raise ValueError("empty range")
+        return low + self.next_u32() % (high - low + 1)
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        if not items:
+            raise ValueError("empty sequence")
+        return items[self.next_u32() % len(items)]
+
+    def sample_words(self, words: Sequence[str], count: int) -> list[str]:
+        """``count`` words drawn with replacement."""
+        return [self.choice(words) for _ in range(count)]

@@ -1,0 +1,56 @@
+"""Timing helpers used by the synthesizer and the experiment harnesses."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Measures wall-clock time in seconds.
+
+    >>> sw = Stopwatch()
+    >>> sw.elapsed() >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def restart(self) -> None:
+        """Reset the start point to now."""
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds elapsed since construction or the last :meth:`restart`."""
+        return time.perf_counter() - self._start
+
+
+class Deadline:
+    """A soft deadline: cheap ``expired()`` checks against a time budget.
+
+    A budget of ``None`` means "never expires", which keeps call sites free
+    of conditionals.
+    """
+
+    def __init__(self, budget_seconds: float | None) -> None:
+        self._budget = budget_seconds
+        self._start = time.perf_counter()
+
+    @property
+    def budget(self) -> float | None:
+        """The configured budget in seconds (``None`` = unlimited)."""
+        return self._budget
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was armed."""
+        return time.perf_counter() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (``inf`` when unlimited)."""
+        if self._budget is None:
+            return float("inf")
+        return self._budget - self.elapsed()
+
+    def expired(self) -> bool:
+        """True once the budget has been consumed."""
+        return self.remaining() <= 0.0

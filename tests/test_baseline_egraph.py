@@ -1,0 +1,181 @@
+"""Unit + property tests for the mini e-graph library."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baseline import EGraph, ENode, PatternVar
+
+
+class TestHashcons:
+    def test_same_term_same_class(self):
+        egraph = EGraph()
+        a1 = egraph.add_term(("f", ("a",), ("b",)))
+        a2 = egraph.add_term(("f", ("a",), ("b",)))
+        assert egraph.equal(a1, a2)
+
+    def test_different_terms_different_classes(self):
+        egraph = EGraph()
+        a = egraph.add_term(("f", ("a",)))
+        b = egraph.add_term(("f", ("b",)))
+        assert not egraph.equal(a, b)
+
+    def test_counts(self):
+        egraph = EGraph()
+        egraph.add_term(("f", ("a",), ("b",)))
+        assert egraph.class_count() == 3  # a, b, f(a,b)
+        assert egraph.node_count() == 3
+
+
+class TestMergeAndCongruence:
+    def test_merge_makes_equal(self):
+        egraph = EGraph()
+        a = egraph.add("a")
+        b = egraph.add("b")
+        egraph.merge(a, b)
+        egraph.rebuild()
+        assert egraph.equal(a, b)
+
+    def test_congruence_propagates_up(self):
+        egraph = EGraph()
+        a, b = egraph.add("a"), egraph.add("b")
+        fa = egraph.add("f", (a,))
+        fb = egraph.add("f", (b,))
+        assert not egraph.equal(fa, fb)
+        egraph.merge(a, b)
+        egraph.rebuild()
+        assert egraph.equal(fa, fb)
+
+    def test_congruence_two_levels(self):
+        egraph = EGraph()
+        a, b = egraph.add("a"), egraph.add("b")
+        fa = egraph.add("f", (a,))
+        fb = egraph.add("f", (b,))
+        gfa = egraph.add("g", (fa,))
+        gfb = egraph.add("g", (fb,))
+        egraph.merge(a, b)
+        egraph.rebuild()
+        assert egraph.equal(gfa, gfb)
+
+    def test_adding_after_merge_canonicalizes(self):
+        egraph = EGraph()
+        a, b = egraph.add("a"), egraph.add("b")
+        egraph.merge(a, b)
+        egraph.rebuild()
+        fa = egraph.add("f", (a,))
+        fb = egraph.add("f", (b,))
+        assert egraph.equal(fa, fb)
+
+    def test_merge_idempotent(self):
+        egraph = EGraph()
+        a, b = egraph.add("a"), egraph.add("b")
+        first = egraph.merge(a, b)
+        second = egraph.merge(a, b)
+        assert egraph.find(first) == egraph.find(second)
+
+
+class TestEMatch:
+    def test_leaf_pattern(self):
+        egraph = EGraph()
+        a = egraph.add("a")
+        egraph.add("b")
+        matches = egraph.ematch(("a",))
+        assert [(cid, sub) for cid, sub in matches] == [(egraph.find(a), {})]
+
+    def test_variable_binds_children(self):
+        egraph = EGraph()
+        fa = egraph.add_term(("f", ("a",)))
+        matches = egraph.ematch(("f", PatternVar("x")))
+        assert len(matches) == 1
+        class_id, subst = matches[0]
+        assert class_id == egraph.find(fa)
+        assert egraph.find(subst["x"]) == egraph.find(egraph.add("a"))
+
+    def test_nonlinear_variable(self):
+        egraph = EGraph()
+        egraph.add_term(("f", ("a",), ("a",)))
+        egraph.add_term(("f", ("a",), ("b",)))
+        matches = egraph.ematch(("f", PatternVar("x"), PatternVar("x")))
+        assert len(matches) == 1
+
+    def test_match_across_merged_classes(self):
+        egraph = EGraph()
+        a, b = egraph.add("a"), egraph.add("b")
+        egraph.add("f", (a,))
+        egraph.merge(a, b)
+        egraph.rebuild()
+        matches = egraph.ematch(("f", ("b",)))
+        assert len(matches) == 1
+
+
+@st.composite
+def merge_scripts(draw):
+    """A batch of leaf names, unary applications, and merge pairs."""
+    leaves = draw(st.lists(st.sampled_from("abcdef"), min_size=2, max_size=6, unique=True))
+    apps = draw(st.lists(st.sampled_from("fg"), min_size=0, max_size=4))
+    merges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, len(leaves) - 1), st.integers(0, len(leaves) - 1)
+            ),
+            max_size=5,
+        )
+    )
+    return leaves, apps, merges
+
+
+class TestProperties:
+    @given(merge_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_congruence_invariant(self, script):
+        """After rebuild: equal-children same-op nodes share a class."""
+        leaves, apps, merges = script
+        egraph = EGraph()
+        leaf_ids = [egraph.add(name) for name in leaves]
+        app_ids = []
+        for index, op in enumerate(apps):
+            child = leaf_ids[index % len(leaf_ids)]
+            app_ids.append((op, child, egraph.add(op, (child,))))
+        for first, second in merges:
+            egraph.merge(leaf_ids[first], leaf_ids[second])
+        egraph.rebuild()
+        # rebuild restores congruence: re-adding any application must land
+        # in the same class as the original
+        for op, child, app_id in app_ids:
+            assert egraph.equal(egraph.add(op, (child,)), app_id)
+
+    @given(merge_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_find_is_idempotent_and_closed(self, script):
+        leaves, apps, merges = script
+        egraph = EGraph()
+        leaf_ids = [egraph.add(name) for name in leaves]
+        for first, second in merges:
+            egraph.merge(leaf_ids[first], leaf_ids[second])
+        egraph.rebuild()
+        for class_id in leaf_ids:
+            root = egraph.find(class_id)
+            assert egraph.find(root) == root
+
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_transitivity(self, pairs):
+        egraph = EGraph()
+        ids = [egraph.add(f"leaf{i}") for i in range(5)]
+        for first, second in pairs:
+            egraph.merge(ids[first], ids[second])
+        egraph.rebuild()
+        # union-find transitivity: build expected partition naively
+        parent = list(range(5))
+
+        def find(i):
+            while parent[i] != i:
+                i = parent[i]
+            return i
+
+        for first, second in pairs:
+            ra, rb = find(first), find(second)
+            if ra != rb:
+                parent[rb] = ra
+        for i in range(5):
+            for j in range(5):
+                assert egraph.equal(ids[i], ids[j]) == (find(i) == find(j))

@@ -1,0 +1,155 @@
+"""Tests for the Split/Reroll/Unsplit baseline synthesizer (§7.4)."""
+
+import pytest
+
+from repro.baseline import substitute, synthesize_baseline, unroll
+from repro.benchmarks import TABLE2_IDS, benchmark_by_id
+from repro.benchmarks.sites.plain_lists import NestedListSite, PlainListSite
+from repro.browser import record_ground_truth
+from repro.browser.replayer import Replayer
+from repro.dom import Predicate, parse_selector
+from repro.lang import (
+    ActionStmt,
+    ChildrenOf,
+    ForEachSelector,
+    Selector,
+    canonical_program,
+    fresh_var,
+    parse_program,
+    selector_of,
+)
+from repro.lang.ast import SEL_VAR
+
+FLAT_GT = parse_program(
+    "foreach i in Children(/html[1]/body[1]/ul[1], li) do\n"
+    "  ScrapeText(i/span[1])\n  ScrapeText(i/b[1])"
+)
+NESTED_GT = parse_program(
+    "foreach g in Children(/html[1]/body[1], div) do\n"
+    "  foreach i in Children(g/ul[1], li) do\n    ScrapeText(i)"
+)
+
+
+def replays_like_ground_truth(benchmark_site_factory, program, expected_outputs):
+    from repro.browser import Browser
+
+    browser = Browser(benchmark_site_factory())
+    result = Replayer(browser, raise_errors=False).run(program)
+    return result.error is None and result.outputs == expected_outputs
+
+
+class TestSubstituteAndUnroll:
+    def test_substitute_action(self):
+        var = fresh_var(SEL_VAR)
+        stmt = ActionStmt("ScrapeText", Selector(var, parse_selector("/span[1]").steps))
+        binding = parse_selector("//li[2]")
+        result = substitute(stmt, var, binding)
+        assert str(result.target) == "//li[2]/span[1]"
+
+    def test_substitute_ignores_other_vars(self):
+        var, other = fresh_var(SEL_VAR), fresh_var(SEL_VAR)
+        stmt = ActionStmt("ScrapeText", Selector(other, ()))
+        assert substitute(stmt, var, parse_selector("//li[1]")) == stmt
+
+    def test_substitute_nested_loop_base(self):
+        outer, inner = fresh_var(SEL_VAR), fresh_var(SEL_VAR)
+        loop = ForEachSelector(
+            inner,
+            ChildrenOf(Selector(outer, parse_selector("/ul[1]").steps), Predicate("li")),
+            (ActionStmt("ScrapeText", Selector(inner, ())),),
+        )
+        result = substitute(loop, outer, parse_selector("/html[1]/body[1]/div[2]"))
+        assert str(result.collection.base) == "/html[1]/body[1]/div[2]/ul[1]"
+
+    def test_unroll_flat_loop(self):
+        var = fresh_var(SEL_VAR)
+        loop = ForEachSelector(
+            var,
+            ChildrenOf(selector_of(parse_selector("/html[1]/body[1]/ul[1]")), Predicate("li")),
+            (ActionStmt("ScrapeText", Selector(var, ())),),
+        )
+        statements = unroll(loop, 3)
+        assert [str(stmt.target) for stmt in statements] == [
+            "/html[1]/body[1]/ul[1]/li[1]",
+            "/html[1]/body[1]/ul[1]/li[2]",
+            "/html[1]/body[1]/ul[1]/li[3]",
+        ]
+
+
+class TestBaselineSynthesis:
+    def test_flat_list_rerolls(self):
+        site = PlainListSite(6, fields=2)
+        recording = record_ground_truth(site, FLAT_GT)
+        result = synthesize_baseline(recording.actions, recording.snapshots)
+        assert result.program is not None
+        assert len(result.program.statements) == 1
+        assert isinstance(result.program.statements[0], ForEachSelector)
+
+    def test_flat_program_replays(self):
+        site = PlainListSite(6, fields=2)
+        recording = record_ground_truth(site, FLAT_GT)
+        result = synthesize_baseline(recording.actions, recording.snapshots)
+        assert replays_like_ground_truth(
+            lambda: PlainListSite(6, fields=2), result.program, recording.outputs
+        )
+
+    def test_nested_list_rerolls_to_nested_loop(self):
+        site = NestedListSite(3, 3)
+        recording = record_ground_truth(site, NESTED_GT)
+        result = synthesize_baseline(recording.actions, recording.snapshots)
+        assert result.program is not None
+        best = result.program.statements
+        assert len(best) == 1
+        outer = best[0]
+        assert isinstance(outer, ForEachSelector)
+
+    def test_non_loop_trace_stays_sequence(self):
+        site = PlainListSite(4, fields=2)
+        recording = record_ground_truth(site, FLAT_GT)
+        # take a non-repetitive prefix: a single scrape
+        result = synthesize_baseline(recording.actions[:1], recording.snapshots[:2])
+        assert result.program is not None
+        assert len(result.program.statements) == 1
+        assert isinstance(result.program.statements[0], ActionStmt)
+
+    def test_empty_trace(self):
+        result = synthesize_baseline([], [])
+        assert result.program is not None
+        assert result.program.statements == ()
+
+    def test_timeout_reported(self):
+        benchmark = benchmark_by_id("b56")
+        recording = benchmark.record()
+        result = synthesize_baseline(
+            recording.actions, recording.snapshots, timeout=0.05
+        )
+        assert result.timed_out
+        assert result.program is None
+
+    def test_deterministic(self):
+        site = PlainListSite(5, fields=1)
+        gt = parse_program(
+            "foreach i in Children(/html[1]/body[1]/ul[1], li) do\n  ScrapeText(i/span[1])"
+        )
+        recording = record_ground_truth(site, gt)
+        first = synthesize_baseline(recording.actions, recording.snapshots)
+        second = synthesize_baseline(recording.actions, recording.snapshots)
+        assert canonical_program(first.program) == canonical_program(second.program)
+
+
+class TestBaselineScalingShape:
+    """The Table 2 claim: cost explodes with nesting depth."""
+
+    def test_nested_costs_more_than_flat(self):
+        flat_site = PlainListSite(8, fields=2)  # 16 actions
+        flat_rec = record_ground_truth(flat_site, FLAT_GT)
+        flat = synthesize_baseline(flat_rec.actions, flat_rec.snapshots, timeout=30)
+
+        nested_site = NestedListSite(4, 4)  # 16 actions
+        nested_rec = record_ground_truth(nested_site, NESTED_GT)
+        nested = synthesize_baseline(nested_rec.actions, nested_rec.snapshots, timeout=30)
+
+        assert flat.program is not None and nested.program is not None
+        # same trace length, substantially more work for the nested shape
+        assert nested.item_lists > flat.item_lists
+        assert nested.elapsed > flat.elapsed

@@ -1,0 +1,241 @@
+"""Tests for the 76-benchmark suite: statistics, recordings, ground truths."""
+
+import pytest
+
+from repro.benchmarks import (
+    ENTRY,
+    EXTRACTION,
+    NAVIGATION,
+    PAGINATION,
+    TABLE2_IDS,
+    Benchmark,
+    ScriptedDemo,
+    all_benchmarks,
+    benchmark_by_id,
+)
+from repro.lang import ActionStmt, ForEachValue, Program, WhileLoop
+from repro.lang.ast import ForEachSelector
+
+
+class TestSuiteStatistics:
+    """The paper's §7 'Statistics of benchmarks', asserted exactly."""
+
+    def setup_method(self):
+        self.suite = all_benchmarks()
+
+    def test_seventy_six_benchmarks(self):
+        assert len(self.suite) == 76
+
+    def test_ids_sequential(self):
+        assert [b.bid for b in self.suite] == [f"b{i}" for i in range(1, 77)]
+
+    def test_all_involve_extraction(self):
+        assert all(EXTRACTION in b.features for b in self.suite)
+
+    def test_29_involve_entry(self):
+        assert sum(ENTRY in b.features for b in self.suite) == 29
+
+    def test_60_involve_navigation(self):
+        assert sum(NAVIGATION in b.features for b in self.suite) == 60
+
+    def test_33_involve_pagination(self):
+        assert sum(PAGINATION in b.features for b in self.suite) == 33
+
+    def test_28_involve_entry_extraction_navigation(self):
+        triple = {ENTRY, EXTRACTION, NAVIGATION}
+        assert sum(triple <= b.features for b in self.suite) == 28
+
+    def test_unsupported_cases_present(self):
+        unsupported = [b.bid for b in self.suite if not b.expected_supported]
+        assert unsupported == ["b6", "b9", "b10"]
+
+    def test_table2_ids_exist_and_are_plain(self):
+        for bid in TABLE2_IDS:
+            assert benchmark_by_id(bid).family == "plain"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_by_id("b99")
+
+
+class TestGroundTruthShapes:
+    def test_pagination_ground_truths_use_while_loops(self):
+        for benchmark in all_benchmarks():
+            if PAGINATION in benchmark.features and benchmark.expected_supported:
+                program = benchmark.ground_truth
+                assert isinstance(program, Program)
+                has_while = any(
+                    isinstance(stmt, WhileLoop) for stmt in program.statements
+                ) or any(
+                    isinstance(inner, WhileLoop)
+                    for stmt in program.statements
+                    if isinstance(stmt, (ForEachValue, ForEachSelector))
+                    for inner in stmt.body
+                )
+                assert has_while, f"{benchmark.bid} should paginate with while"
+
+    def test_entry_ground_truths_use_value_loops(self):
+        for benchmark in all_benchmarks():
+            if ENTRY in benchmark.features:
+                program = benchmark.ground_truth
+                assert isinstance(program, Program)
+                assert any(
+                    isinstance(stmt, ForEachValue) for stmt in program.statements
+                ), f"{benchmark.bid} should iterate the data source"
+
+    def test_unsupported_use_scripted_demos(self):
+        for benchmark in all_benchmarks():
+            if not benchmark.expected_supported:
+                assert isinstance(benchmark.ground_truth, ScriptedDemo)
+
+    def test_table2_ground_truths_are_selector_loops_only(self):
+        def only_selector_loops(statements):
+            for stmt in statements:
+                if isinstance(stmt, ForEachSelector):
+                    if not only_selector_loops(stmt.body):
+                        return False
+                elif isinstance(stmt, ActionStmt):
+                    if stmt.kind in ("EnterData",):
+                        return False
+                else:
+                    return False
+            return True
+
+        for bid in TABLE2_IDS:
+            program = benchmark_by_id(bid).ground_truth
+            assert only_selector_loops(program.statements), bid
+
+
+class TestRecordings:
+    def test_every_benchmark_records(self):
+        for benchmark in all_benchmarks():
+            recording = benchmark.record()
+            assert recording.length >= 4, benchmark.bid
+            assert len(recording.snapshots) == recording.length + 1
+            assert recording.outputs, benchmark.bid
+
+    def test_recording_cached(self):
+        benchmark = benchmark_by_id("b73")
+        assert benchmark.record() is benchmark.record()
+
+    def test_recordings_deterministic(self):
+        benchmark = benchmark_by_id("b73")
+        first = benchmark._record(benchmark.make_site, 500)
+        second = benchmark._record(benchmark.make_site, 500)
+        assert [str(a) for a in first.actions] == [str(a) for a in second.actions]
+        assert first.outputs == second.outputs
+
+    def test_paper_cap_of_500_actions(self):
+        for benchmark in all_benchmarks():
+            recording = benchmark.record()
+            assert recording.length <= 500
+
+    def test_truncated_flag_set_for_long_tasks(self):
+        recording = benchmark_by_id("b21").record()  # 100 zips: way over cap
+        assert recording.truncated and recording.length == 500
+
+
+class TestFamilyOutputs:
+    """Recordings agree with the sites' own expected-content oracles."""
+
+    def test_store_fixed_outputs(self):
+        benchmark = benchmark_by_id("b33")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        assert recording.outputs == site.expected_fields("48104", ("name", "phone"))
+
+    def test_plain_list_outputs(self):
+        benchmark = benchmark_by_id("b73")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        assert recording.outputs == site.expected_fields()
+
+    def test_nested_list_outputs(self):
+        benchmark = benchmark_by_id("b12")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        assert recording.outputs == site.expected_fields()
+
+    def test_triple_list_outputs(self):
+        benchmark = benchmark_by_id("b56")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        assert recording.outputs == site.expected_fields()
+
+    def test_forum_outputs(self):
+        benchmark = benchmark_by_id("b19")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        assert recording.outputs == site.expected_fields(("title", "replies"))
+
+    def test_job_next_outputs(self):
+        benchmark = benchmark_by_id("b38")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        assert recording.outputs == site.expected_fields(
+            ("title", "company", "experience")
+        )
+
+    def test_catalog_outputs(self):
+        benchmark = benchmark_by_id("b44")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        assert recording.outputs == site.expected_fields(("price", "stock", "sku"))
+
+    def test_sectioned_outputs(self):
+        benchmark = benchmark_by_id("b52")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        assert recording.outputs == site.expected_fields(("what", "when"))
+
+    def test_wiki_outputs(self):
+        benchmark = benchmark_by_id("b11")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        assert recording.outputs == site.expected_fields(
+            ("name", "capital", "population")
+        )
+
+    def test_numbered_job_outputs(self):
+        benchmark = benchmark_by_id("b9")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        assert recording.outputs == site.expected_fields(("title", "company"))
+
+    def test_match_outputs(self):
+        benchmark = benchmark_by_id("b6")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        assert recording.outputs == site.expected_fields(("score", "star"))
+
+    def test_unicorn_outputs(self):
+        benchmark = benchmark_by_id("b57")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        customers = benchmark.data.value["customers"]
+        expected = site.expected_names(customers)
+        # truncation-aware comparison
+        assert recording.outputs == expected[: len(recording.outputs)]
+        assert recording.outputs
+
+    def test_calculator_outputs(self):
+        benchmark = benchmark_by_id("b55")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        values = benchmark.data.value["miles"]
+        assert recording.outputs == site.expected_results(values)[: len(recording.outputs)]
+
+    def test_search_outputs(self):
+        benchmark = benchmark_by_id("b69")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        keywords = benchmark.data.value["keywords"]
+        expected = site.expected_fields(keywords, ("name", "street", "rating"))
+        assert recording.outputs == expected[: len(recording.outputs)]
+
+    def test_news_click_outputs(self):
+        benchmark = benchmark_by_id("b1")
+        recording = benchmark.record()
+        site = benchmark.make_site()
+        expected = [site.body_text(i) for i in range(1, site.articles + 1)]
+        assert recording.outputs == expected

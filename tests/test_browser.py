@@ -1,0 +1,221 @@
+"""Unit tests for the virtual browser, replayer, and recorder."""
+
+import pytest
+
+from repro.browser import Browser, Recording, Replayer, record_ground_truth
+from repro.benchmarks.sites.store_locator import StoreLocatorSite
+from repro.dom import parse_selector, resolve
+from repro.lang import (
+    DataSource,
+    X,
+    click,
+    enter_data,
+    extract_url,
+    go_back,
+    parse_program,
+    scrape_link,
+    scrape_text,
+    send_keys,
+)
+from repro.util import ReplayError
+
+ZIPS = DataSource({"zips": ["48104", "48105"]})
+
+SCRAPE_ALL = """
+EnterData(//input[@name='search'][1], x["zips"][1])
+Click(//button[@class='squareButton btnDoSearch'][1])
+while true do
+  foreach r in Dscts(/, div[@class='rightContainer']) do
+    ScrapeText(r//h3[1])
+    ScrapeText(r//div[@class='locatorPhone'][1])
+  Click(//button[@class='sprite-next-page-arrow'][1]/span[1])
+"""
+
+
+def small_site():
+    return StoreLocatorSite(pages_per_zip=2, stores_per_page=3)
+
+
+class TestBrowserBasics:
+    def test_initial_state_home(self):
+        browser = Browser(small_site())
+        assert browser.state == ("home", "")
+        assert "storelocator" in browser.current_url()
+
+    def test_send_keys_updates_input_value(self):
+        browser = Browser(small_site())
+        browser.perform(send_keys(parse_selector("//input[@name='search'][1]"), "48104"))
+        node = resolve(parse_selector("//input[@name='search'][1]"), browser.dom)
+        assert node.get("value") == "48104"
+
+    def test_enter_data_resolves_from_source(self):
+        browser = Browser(small_site(), ZIPS)
+        browser.perform(
+            enter_data(parse_selector("//input[@name='search'][1]"), X.extend("zips").extend(2))
+        )
+        node = resolve(parse_selector("//input[@name='search'][1]"), browser.dom)
+        assert node.get("value") == "48105"
+
+    def test_search_click_navigates(self):
+        browser = Browser(small_site(), ZIPS)
+        browser.perform(
+            enter_data(parse_selector("//input[@name='search'][1]"), X.extend("zips").extend(1))
+        )
+        browser.perform(click(parse_selector("//button[@class='squareButton btnDoSearch'][1]")))
+        assert browser.state == ("results", "48104", 1, "48104")
+        assert "page=1" in browser.current_url()
+
+    def test_empty_query_click_is_inert(self):
+        browser = Browser(small_site())
+        before = browser.state
+        browser.perform(click(parse_selector("//button[@class='squareButton btnDoSearch'][1]")))
+        assert browser.state == before
+
+    def test_scrape_text_collects_output(self):
+        browser = Browser(small_site(), ZIPS)
+        browser.perform(
+            enter_data(parse_selector("//input[@name='search'][1]"), X.extend("zips").extend(1))
+        )
+        browser.perform(click(parse_selector("//button[@class='squareButton btnDoSearch'][1]")))
+        browser.perform(scrape_text(parse_selector("//div[@class='rightContainer'][1]//h3[1]")))
+        expected = small_site().store("48104", 1, 1)["name"]
+        assert browser.outputs == [expected]
+
+    def test_scrape_link_collects_href(self):
+        browser = Browser(small_site())
+        browser.perform(scrape_link(parse_selector("//a[1]")))
+        assert browser.outputs == ["/ads/banner"]
+
+    def test_extract_url_and_go_back(self):
+        browser = Browser(small_site(), ZIPS)
+        browser.perform(
+            enter_data(parse_selector("//input[@name='search'][1]"), X.extend("zips").extend(1))
+        )
+        browser.perform(click(parse_selector("//button[@class='squareButton btnDoSearch'][1]")))
+        browser.perform(extract_url())
+        browser.perform(go_back())
+        assert browser.urls == ["virtual://storelocator/search?zip=48104&page=1"]
+        # back to the (typed-into) home page
+        assert browser.state[0] == "home"
+
+    def test_go_back_without_history_raises(self):
+        browser = Browser(small_site())
+        with pytest.raises(ReplayError):
+            browser.perform(go_back())
+
+    def test_missing_selector_raises(self):
+        browser = Browser(small_site())
+        with pytest.raises(ReplayError):
+            browser.perform(click(parse_selector("//button[@class='nope'][1]")))
+
+    def test_typing_into_non_input_raises(self):
+        browser = Browser(small_site())
+        with pytest.raises(ReplayError):
+            browser.perform(send_keys(parse_selector("//h3[1]"), "x"))
+
+    def test_recording_normalises_to_raw_paths(self):
+        browser = Browser(small_site())
+        browser.perform(scrape_text(parse_selector("//h3[1]")))
+        recorded = browser.recorded_actions[0]
+        assert str(recorded.selector).startswith("/html[1]/body[1]/")
+
+    def test_trace_has_final_snapshot(self):
+        browser = Browser(small_site(), ZIPS)
+        browser.perform(
+            enter_data(parse_selector("//input[@name='search'][1]"), X.extend("zips").extend(1))
+        )
+        actions, snapshots = browser.trace()
+        assert len(snapshots) == len(actions) + 1
+        assert snapshots[-1] is browser.dom
+
+    def test_render_cache_shares_snapshots(self):
+        site = small_site()
+        browser = Browser(site)
+        first = browser.dom
+        browser.perform(scrape_text(parse_selector("//h3[1]")))
+        assert browser.dom is first  # scraping does not re-render
+
+
+class TestPagination:
+    def test_next_page_via_span_click(self):
+        browser = Browser(small_site(), ZIPS)
+        browser.perform(
+            enter_data(parse_selector("//input[@name='search'][1]"), X.extend("zips").extend(1))
+        )
+        browser.perform(click(parse_selector("//button[@class='squareButton btnDoSearch'][1]")))
+        browser.perform(
+            click(parse_selector("//button[@class='sprite-next-page-arrow'][1]/span[1]"))
+        )
+        assert browser.state[2] == 2
+
+    def test_last_page_has_no_next_button(self):
+        site = small_site()
+        last = site.page(("results", "48104", 2, "48104"))
+        assert resolve(parse_selector("//button[@class='sprite-next-page-arrow'][1]"), last) is None
+        assert resolve(parse_selector("//button[@class='sprite-prev-page-arrow'][1]"), last) is not None
+
+    def test_next_button_raw_path_shifts_after_page_one(self):
+        from repro.dom import raw_path
+
+        site = small_site()
+        page1 = site.page(("results", "48104", 1, "48104"))
+        # page 2 of a 3+-page site has both arrows
+        wide = StoreLocatorSite(pages_per_zip=3, stores_per_page=3)
+        page2 = wide.page(("results", "48104", 2, "48104"))
+        next1 = resolve(parse_selector("//button[@class='sprite-next-page-arrow'][1]"), page1)
+        next2 = resolve(parse_selector("//button[@class='sprite-next-page-arrow'][1]"), page2)
+        assert raw_path(next1) != raw_path(next2)
+
+
+class TestReplayer:
+    def test_ground_truth_scrapes_everything(self):
+        site = small_site()
+        recording = record_ground_truth(site, parse_program(SCRAPE_ALL), ZIPS)
+        expected = site.expected_fields("48104", ("name", "phone"))
+        assert recording.outputs == expected
+        assert not recording.truncated
+
+    def test_recording_trace_shape(self):
+        site = small_site()
+        recording = record_ground_truth(site, parse_program(SCRAPE_ALL), ZIPS)
+        # 1 entry + 1 search click + 2 pages x 3 stores x 2 fields + 1 next click
+        assert recording.length == 1 + 1 + 2 * 3 * 2 + 1
+        assert len(recording.snapshots) == recording.length + 1
+
+    def test_prefix_helper(self):
+        site = small_site()
+        recording = record_ground_truth(site, parse_program(SCRAPE_ALL), ZIPS)
+        actions, snapshots = recording.prefix(5)
+        assert len(actions) == 5 and len(snapshots) == 6
+
+    def test_max_actions_truncates(self):
+        site = StoreLocatorSite(pages_per_zip=5, stores_per_page=10)
+        recording = record_ground_truth(site, parse_program(SCRAPE_ALL), ZIPS, max_actions=7)
+        assert recording.truncated
+        assert recording.length == 7
+
+    def test_value_loop_over_zips(self):
+        program = parse_program(
+            """
+foreach z in ValuePaths(x["zips"]) do
+  EnterData(//input[@name='search'][1], z)
+  Click(//button[@class='squareButton btnDoSearch'][1])
+  while true do
+    foreach r in Dscts(/, div[@class='rightContainer']) do
+      ScrapeText(r//h3[1])
+    Click(//button[@class='sprite-next-page-arrow'][1]/span[1])
+"""
+        )
+        site = small_site()
+        recording = record_ground_truth(site, program, ZIPS)
+        expected = site.expected_fields("48104", ("name",)) + site.expected_fields(
+            "48105", ("name",)
+        )
+        assert recording.outputs == expected
+
+    def test_replay_error_captured_when_not_raising(self):
+        browser = Browser(small_site())
+        replayer = Replayer(browser, raise_errors=False)
+        result = replayer.run(parse_program("Click(//button[@class='nope'][1])"))
+        assert result.error is not None
+        assert result.actions == []

@@ -1,0 +1,323 @@
+"""Tests for selector repair (`repro.browser.repair`).
+
+The scenarios model real drift: a banner pushed every sibling index down,
+a promo card appeared ahead of the first result, a button moved inside a
+footer.  Reference pages are the site as demonstrated; live pages are the
+drifted redesign.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.browser import (
+    Browser,
+    RepairingReplayer,
+    Replayer,
+    best_match,
+    fingerprint_node,
+    repair_selector,
+    similarity,
+)
+from repro.browser.virtual import State, VirtualWebsite
+from repro.dom import E, page, parse_selector, raw_path, resolve
+from repro.lang import parse_program
+from repro.util import ReplayError
+
+from helpers import node_at
+
+
+# ----------------------------------------------------------------------
+# Pages
+# ----------------------------------------------------------------------
+def store_page(banner: bool = False, promo: bool = False) -> "DOMNode":
+    """Two store cards; drift flags prepend a banner and/or a promo card."""
+    cards = [
+        E("div", {"class": "card"},
+          E("h3", text="Ann Arbor"),
+          E("div", {"class": "phone"}, text="555-0100")),
+        E("div", {"class": "card"},
+          E("h3", text="Detroit"),
+          E("div", {"class": "phone"}, text="555-0200")),
+    ]
+    inner = []
+    if promo:
+        inner.append(E("div", {"class": "promo"}, E("h3", text="Sponsored")))
+    inner.extend(cards)
+    parts = []
+    if banner:
+        parts.append(E("div", {"class": "banner"}, text="SALE"))
+    parts.append(E("div", {"class": "results"}, *inner))
+    return page(*parts)
+
+
+class StaticSite(VirtualWebsite):
+    """A single inert page."""
+
+    def __init__(self, dom) -> None:
+        super().__init__()
+        self._dom = dom
+
+    def initial_state(self) -> State:
+        return "page"
+
+    def render(self, state: State) -> "DOMNode":
+        return self._dom
+
+
+class TwoPageSite(VirtualWebsite):
+    """Results page with a next button leading to a second page.
+
+    The drifted variant adds a banner and moves the button into a footer
+    div, breaking absolute paths recorded on the original layout.
+    """
+
+    def __init__(self, drifted: bool = False) -> None:
+        super().__init__()
+        self.drifted = drifted
+
+    def initial_state(self) -> State:
+        return 1
+
+    def render(self, state: State) -> "DOMNode":
+        label = "Ann Arbor" if state == 1 else "Ypsilanti"
+        card = E("div", {"class": "card"}, E("h3", text=label))
+        parts = []
+        if self.drifted:
+            parts.append(E("div", {"class": "banner"}, text="SALE"))
+        parts.append(E("div", {"class": "results"}, card))
+        if state == 1:
+            button = E("button", {"class": "next"}, text="more")
+            parts.append(E("div", {"class": "footer"}, button) if self.drifted else button)
+        return page(*parts)
+
+    def on_click(self, state: State, node, dom):
+        if node.tag == "button" and state == 1:
+            return 2
+        return None
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and similarity
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_captures_local_coordinates(self):
+        dom = store_page()
+        node = node_at(dom, "//div[@class='card'][2]/h3[1]")
+        fp = fingerprint_node(node)
+        assert fp.tag == "h3"
+        assert fp.text == "Detroit"
+        assert fp.parent_tag == "div"
+        assert fp.sibling_index == 1
+        assert fp.ancestor_tags[0] == "div"
+
+    def test_self_similarity_is_one(self):
+        dom = store_page()
+        node = node_at(dom, "//div[@class='card'][1]")
+        assert similarity(fingerprint_node(node), node) == pytest.approx(1.0)
+
+    def test_different_tag_scores_zero(self):
+        dom = store_page()
+        h3 = node_at(dom, "//h3[1]")
+        phone = node_at(dom, "//div[@class='phone'][1]")
+        assert similarity(fingerprint_node(h3), phone) == 0.0
+
+    def test_true_counterpart_outscores_sibling(self):
+        old = store_page()
+        new = store_page(banner=True)
+        fp = fingerprint_node(node_at(old, "//h3[1]"))
+        counterpart = node_at(new, "//h3[1]")  # same text
+        sibling = node_at(new, "//h3[2]")  # other card's h3
+        assert similarity(fp, counterpart) > similarity(fp, sibling)
+
+
+class TestBestMatch:
+    def test_finds_moved_node(self):
+        old = store_page()
+        new = store_page(banner=True, promo=True)
+        fp = fingerprint_node(node_at(old, "//div[@class='phone'][2]"))
+        match = best_match(fp, new)
+        assert match is not None
+        node, score = match
+        assert node.text == "555-0200"
+        assert score > 0.9
+
+    def test_returns_none_below_threshold(self):
+        fp = fingerprint_node(node_at(store_page(), "//h3[1]"))
+        unrelated = page(E("table", E("tr", E("td", text="totally different"))))
+        assert best_match(fp, unrelated) is None
+
+    def test_ties_break_toward_document_order(self):
+        twins = page(E("span", text="x"), E("span", text="x"))
+        fp = fingerprint_node(node_at(twins, "//span[1]"))
+        # Both spans have sibling indices 1 and 2; make the fingerprint
+        # equidistant by fingerprinting a fresh identical page's span.
+        node, _score = best_match(fp, twins)
+        assert node is node_at(twins, "//span[1]")
+
+
+# ----------------------------------------------------------------------
+# One-shot repair
+# ----------------------------------------------------------------------
+class TestRepairSelector:
+    def test_reanchors_after_index_shift(self):
+        old = store_page()
+        new = store_page(banner=True)
+        # Absolute path of the first phone number on the old layout; the
+        # banner makes body/div[1] the banner on the new one.
+        brittle = raw_path(node_at(old, "//div[@class='phone'][1]"))
+        assert resolve(brittle, new) is None
+        repair = repair_selector(brittle, old, new)
+        assert repair is not None
+        assert resolve(repair.replacement, new).text == "555-0100"
+        assert repair.score > 0.9
+
+    def test_none_when_reference_lacks_node(self):
+        old = store_page()
+        ghost = parse_selector("//table[1]")
+        assert repair_selector(ghost, old, store_page(banner=True)) is None
+
+    def test_none_when_live_page_has_no_counterpart(self):
+        old = store_page()
+        brittle = raw_path(node_at(old, "//h3[1]"))
+        unrelated = page(E("p", text="gone"))
+        assert repair_selector(brittle, old, unrelated) is None
+
+
+# ----------------------------------------------------------------------
+# Shadow replay
+# ----------------------------------------------------------------------
+def brittle_scrape_program(reference_dom):
+    """Scrape both cards via absolute raw paths from the reference page."""
+    lines = []
+    for index in (1, 2):
+        for inner in ("h3[1]", "div[@class='phone'][1]"):
+            node = node_at(reference_dom, f"//div[@class='card'][{index}]/{inner}")
+            lines.append(f"ScrapeText({raw_path(node)})")
+    return parse_program("\n".join(lines))
+
+
+class TestRepairingReplayer:
+    def test_plain_replay_fails_on_drift(self):
+        reference = store_page()
+        program = brittle_scrape_program(reference)
+        live = Browser(StaticSite(store_page(banner=True)))
+        with pytest.raises(ReplayError):
+            Replayer(live).run(program)
+
+    def test_repairs_missing_selectors(self):
+        reference_dom = store_page()
+        program = brittle_scrape_program(reference_dom)
+        live = Browser(StaticSite(store_page(banner=True, promo=True)))
+        replayer = RepairingReplayer(live, Browser(StaticSite(reference_dom)))
+        result = replayer.run(program)
+        assert result.outputs == ["Ann Arbor", "555-0100", "Detroit", "555-0200"]
+        assert replayer.events
+        assert all(event.reason == "missing" for event in replayer.events)
+        assert replayer.synced
+
+    def test_silent_wrong_node_without_verify(self):
+        # The promo card's h3 hijacks the absolute path: replay succeeds
+        # but scrapes the wrong value.  This is the hazard verify fixes.
+        reference_dom = store_page()
+        first_h3 = raw_path(node_at(reference_dom, "//div[@class='card'][1]/h3[1]"))
+        program = parse_program(f"ScrapeText({first_h3})")
+        live = Browser(StaticSite(store_page(promo=True)))
+        result = Replayer(live).run(program)
+        assert result.outputs == ["Sponsored"]
+
+    def test_verify_retargets_wrong_node(self):
+        reference_dom = store_page()
+        first_h3 = raw_path(node_at(reference_dom, "//div[@class='card'][1]/h3[1]"))
+        program = parse_program(f"ScrapeText({first_h3})")
+        live = Browser(StaticSite(store_page(promo=True)))
+        replayer = RepairingReplayer(
+            live, Browser(StaticSite(reference_dom)), verify=True
+        )
+        result = replayer.run(program)
+        assert result.outputs == ["Ann Arbor"]
+        assert [event.reason for event in replayer.events] == ["verified"]
+
+    def test_repaired_click_still_navigates(self):
+        reference_site = TwoPageSite(drifted=False)
+        reference_dom = reference_site.page(1)
+        button = raw_path(node_at(reference_dom, "//button[1]"))
+        page2_h3 = raw_path(
+            node_at(reference_site.page(2), "//div[@class='card'][1]/h3[1]")
+        )
+        program = parse_program(f"Click({button})\nScrapeText({page2_h3})")
+        live = Browser(TwoPageSite(drifted=True))
+        replayer = RepairingReplayer(live, Browser(TwoPageSite(drifted=False)))
+        result = replayer.run(program)
+        assert result.outputs == ["Ypsilanti"]
+        # both the click (button moved into the footer) and the page-2
+        # scrape (banner shifted indices) needed repair
+        assert len(replayer.events) == 2
+        assert replayer.synced
+
+    def test_desyncs_when_live_outgrows_reference(self):
+        # The live page has three cards, the reference two: the loop's
+        # third iteration goes beyond what the reference can mirror.
+        def n_card_page(count):
+            cards = [
+                E("div", {"class": "card"}, E("h3", text=f"Store {i}"))
+                for i in range(1, count + 1)
+            ]
+            return page(E("div", {"class": "results"}, *cards))
+
+        program = parse_program(
+            "foreach r in Dscts(/, div[@class='card']) do\n  ScrapeText(r//h3[1])"
+        )
+        live = Browser(StaticSite(n_card_page(3)))
+        replayer = RepairingReplayer(live, Browser(StaticSite(n_card_page(2))))
+        result = replayer.run(program)
+        assert result.outputs == ["Store 1", "Store 2", "Store 3"]
+        assert not replayer.synced
+
+    def test_unrepairable_failure_raises(self):
+        reference_dom = store_page()
+        brittle = raw_path(node_at(reference_dom, "//div[@class='phone'][1]"))
+        program = parse_program(f"ScrapeText({brittle})")
+        # live page shares nothing with the reference
+        live = Browser(StaticSite(page(E("p", text="404"))))
+        replayer = RepairingReplayer(live, Browser(StaticSite(reference_dom)))
+        with pytest.raises(ReplayError):
+            replayer.run(program)
+        assert replayer.events == []
+
+    def test_dataless_reference_degrades_instead_of_crashing(self):
+        # A reference browser built without the data source cannot
+        # mirror EnterData; the repairer must desync, not raise.
+        from repro.lang import DataSource, X, enter_data
+
+        class FormSite(VirtualWebsite):
+            def initial_state(self):
+                return ""
+
+            def render(self, state):
+                form = E("input", {"name": "q", "value": state})
+                return page(form, E("h3", text="ready"))
+
+            def on_input(self, state, node, dom, text):
+                return text if node.tag == "input" else None
+
+        data = DataSource({"zips": ["48104"]})
+        live = Browser(FormSite(), data)
+        reference = Browser(FormSite())  # forgot the data source
+        replayer = RepairingReplayer(live, reference)
+        program = parse_program('EnterData(//input[1], x["zips"][1])\nScrapeText(//h3[1])')
+        result = replayer.run(program)
+        assert result.outputs == ["ready"]
+        assert not replayer.synced
+
+    def test_failed_action_leaves_no_trace_entry(self):
+        # Browser.perform records only after the action applies, so a
+        # repaired retry produces exactly one trace entry.
+        reference_dom = store_page()
+        brittle = raw_path(node_at(reference_dom, "//h3[1]"))
+        program = parse_program(f"ScrapeText({brittle})")
+        live = Browser(StaticSite(store_page(banner=True)))
+        replayer = RepairingReplayer(live, Browser(StaticSite(reference_dom)))
+        result = replayer.run(program)
+        assert len(result.actions) == 1
+        assert result.outputs == ["Ann Arbor"]

@@ -1,0 +1,207 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import dump
+from repro.lang import parse_program
+
+
+class TestStats:
+    def test_stats_prints_table(self, capsys):
+        assert main(["stats"]) == 0
+        output = capsys.readouterr().out
+        assert "76" in output and "pagination" in output
+
+
+class TestRecord:
+    def test_record_writes_json(self, tmp_path, capsys):
+        destination = tmp_path / "b74.json"
+        assert main(["record", "b74", "-o", str(destination)]) == 0
+        payload = json.loads(destination.read_text())
+        assert payload["version"] == 1
+        assert payload["actions"]
+        assert "recorded" in capsys.readouterr().out
+
+    def test_record_unknown_benchmark(self, capsys):
+        assert main(["record", "b999"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_record_respects_cap(self, tmp_path):
+        destination = tmp_path / "b21.json"
+        assert main(["record", "b21", "-o", str(destination), "--max-actions", "20"]) == 0
+        payload = json.loads(destination.read_text())
+        assert len(payload["actions"]) == 20
+
+
+class TestSynthesize:
+    def test_synthesize_from_recording(self, tmp_path, capsys):
+        recording_path = tmp_path / "rec.json"
+        assert main(["record", "b74", "-o", str(recording_path)]) == 0
+        assert main(["synthesize", str(recording_path), "--cut", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "foreach" in output
+        assert "predicted next action" in output
+
+    def test_synthesize_too_short_prefix(self, tmp_path, capsys):
+        recording_path = tmp_path / "rec.json"
+        main(["record", "b74", "-o", str(recording_path)])
+        assert main(["synthesize", str(recording_path), "--cut", "1"]) == 1
+        assert "no generalizing program" in capsys.readouterr().out
+
+    def test_synthesize_with_data_source(self, tmp_path, capsys):
+        recording_path = tmp_path / "rec.json"
+        main(["record", "b57", "-o", str(recording_path), "--max-actions", "12"])
+        data_path = tmp_path / "data.json"
+        from repro.benchmarks import benchmark_by_id
+
+        data_path.write_text(json.dumps(benchmark_by_id("b57").data.value))
+        assert main([
+            "synthesize", str(recording_path), "--cut", "7", "--data", str(data_path)
+        ]) == 0
+        assert "ValuePaths" in capsys.readouterr().out
+
+
+class TestReplay:
+    def test_replay_program_against_benchmark(self, tmp_path, capsys):
+        program = parse_program(
+            "foreach i in Children(/html[1]/body[1]/ul[1], li) do\n"
+            "  ScrapeText(i/span[1])"
+        )
+        program_path = tmp_path / "program.json"
+        with open(program_path, "w") as handle:
+            dump(program, handle)
+        assert main(["replay", str(program_path), "--benchmark", "b74"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 12  # b74 has 12 items
+
+    def test_replay_failure_reported(self, tmp_path, capsys):
+        program = parse_program("Click(//button[@class='missing'][1])")
+        program_path = tmp_path / "program.json"
+        with open(program_path, "w") as handle:
+            dump(program, handle)
+        assert main(["replay", str(program_path), "--benchmark", "b74"]) == 1
+        assert "replay failed" in capsys.readouterr().err
+
+
+def write_program(tmp_path, text, name="program.json"):
+    program_path = tmp_path / name
+    with open(program_path, "w") as handle:
+        dump(parse_program(text), handle)
+    return program_path
+
+
+class TestCheck:
+    def test_clean_program_ok(self, tmp_path, capsys):
+        program_path = write_program(tmp_path, "Click(//a[1])\nGoBack")
+        assert main(["check", str(program_path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_warning_still_passes(self, tmp_path, capsys):
+        program_path = write_program(
+            tmp_path, "foreach r in Dscts(/, li) do\n  ScrapeText(//h3[1])"
+        )
+        assert main(["check", str(program_path)]) == 0
+        output = capsys.readouterr().out
+        assert "never used" in output
+        assert "1 warning(s)" in output
+
+    def test_data_typing_error_fails(self, tmp_path, capsys):
+        program_path = write_program(tmp_path, 'EnterData(//input[1], x["nope"][1])')
+        data_path = tmp_path / "data.json"
+        data_path.write_text(json.dumps({"zips": ["48104"]}))
+        assert main(["check", str(program_path), "--data", str(data_path)]) == 1
+        assert "does not resolve" in capsys.readouterr().out
+
+    def test_recording_file_rejected(self, tmp_path, capsys):
+        recording_path = tmp_path / "rec.json"
+        main(["record", "b74", "-o", str(recording_path)])
+        assert main(["check", str(recording_path)]) == 2
+        assert "serialized program" in capsys.readouterr().err
+
+
+class TestLint:
+    def test_clean_program_ok(self, tmp_path, capsys):
+        program_path = write_program(
+            tmp_path, "foreach r in Dscts(/, div[@class='card']) do\n  ScrapeText(r//h3[1])"
+        )
+        assert main(["lint", str(program_path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_warning_fails(self, tmp_path, capsys):
+        program_path = write_program(tmp_path, "Click(//a[1])")
+        assert main(["lint", str(program_path)]) == 1
+        assert "no-extraction" in capsys.readouterr().out
+
+    def test_disable_suppresses(self, tmp_path, capsys):
+        program_path = write_program(tmp_path, "Click(//a[1])")
+        assert main(["lint", str(program_path), "--disable", "no-extraction"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_unknown_rule_rejected(self, tmp_path, capsys):
+        program_path = write_program(tmp_path, "Click(//a[1])")
+        assert main(["lint", str(program_path), "--disable", "bogus"]) == 2
+        assert "unknown lint rules" in capsys.readouterr().err
+
+
+class TestExport:
+    def test_export_to_stdout(self, tmp_path, capsys):
+        program_path = write_program(tmp_path, "ScrapeText(//h3[1])")
+        assert main(["export", str(program_path)]) == 0
+        output = capsys.readouterr().out
+        assert "from selenium import webdriver" in output
+
+    def test_export_imacros(self, tmp_path, capsys):
+        program_path = write_program(tmp_path, "ScrapeText(//h3[1])")
+        assert main(["export", str(program_path), "--target", "imacros"]) == 0
+        assert "iimPlay" in capsys.readouterr().out
+
+    def test_export_playwright_to_file(self, tmp_path, capsys):
+        program_path = write_program(tmp_path, "ScrapeText(//h3[1])")
+        destination = tmp_path / "robot.py"
+        assert main([
+            "export", str(program_path), "--target", "playwright",
+            "-o", str(destination),
+        ]) == 0
+        assert "sync_playwright" in destination.read_text()
+        assert "wrote playwright script" in capsys.readouterr().out
+
+    def test_export_bakes_start_url(self, tmp_path, capsys):
+        program_path = write_program(tmp_path, "ScrapeText(//h3[1])")
+        assert main([
+            "export", str(program_path), "--start-url", "http://example.com",
+        ]) == 0
+        assert "START_URL = 'http://example.com'" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_explain_per_action(self, tmp_path, capsys):
+        recording_path = tmp_path / "rec.json"
+        main(["record", "b74", "-o", str(recording_path)])
+        program_path = write_program(
+            tmp_path,
+            "foreach i in Children(/html[1]/body[1]/ul[1], li) do\n"
+            "  ScrapeText(i/span[1])",
+        )
+        assert main([
+            "explain", str(program_path), "--recording", str(recording_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "stmt 0.0" in output
+        assert "[iter 1]" in output
+
+    def test_explain_summary(self, tmp_path, capsys):
+        recording_path = tmp_path / "rec.json"
+        main(["record", "b74", "-o", str(recording_path)])
+        program_path = write_program(
+            tmp_path,
+            "foreach i in Children(/html[1]/body[1]/ul[1], li) do\n"
+            "  ScrapeText(i/span[1])",
+        )
+        assert main([
+            "explain", str(program_path), "--recording", str(recording_path),
+            "--summary",
+        ]) == 0
+        assert "actions per statement" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Theorem 5.5-style completeness round-trips.
+
+The theorem: if some program generalizes the trace and every loop has at
+least two iterations exhibited, the synthesizer returns a generalizing
+program.  We randomize known task families (sizes, field counts), record
+the ground truth, cut the trace at points where two iterations of every
+loop are visible, and assert a correct prediction appears.
+
+These are slower than unit tests but pin the paper's central guarantee.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.benchmarks.sites.plain_lists import NestedListSite, PlainListSite
+from repro.benchmarks.sites.wiki_table import WikiTableSite
+from repro.browser import record_ground_truth
+from repro.lang import EMPTY_DATA, parse_program
+from repro.semantics import actions_consistent
+from repro.synth import SynthesisProblem, Synthesizer, satisfies
+from repro.semantics.trace import DOMTrace
+
+FLAT_GT_1 = parse_program(
+    "foreach i in Children(/html[1]/body[1]/ul[1], li) do\n  ScrapeText(i/span[1])"
+)
+FLAT_GT_2 = parse_program(
+    "foreach i in Children(/html[1]/body[1]/ul[1], li) do\n"
+    "  ScrapeText(i/span[1])\n  ScrapeText(i/b[1])"
+)
+NESTED_GT = parse_program(
+    "foreach g in Children(/html[1]/body[1], div) do\n"
+    "  foreach i in Children(g/ul[1], li) do\n    ScrapeText(i)"
+)
+WIKI_GT = parse_program(
+    "foreach w in Dscts(/, tr[@class='data']) do\n"
+    "  ScrapeText(w//td[@class='name'][1])\n"
+    "  ScrapeText(w//td[@class='capital'][1])"
+)
+
+
+def check_generalizes_at(recording, data, cut):
+    """Synthesize at ``cut`` and require a correct prediction."""
+    synthesizer = Synthesizer(data)
+    actions, snapshots = recording.prefix(cut)
+    result = synthesizer.synthesize(actions, snapshots)
+    assert result.predictions, f"no prediction at cut {cut}"
+    expected = recording.actions[cut]
+    dom = recording.snapshots[cut]
+    assert any(
+        actions_consistent(option, expected, dom) for option in result.predictions
+    ), f"no correct prediction at cut {cut}"
+    # every returned program must satisfy the demonstration (soundness)
+    problem = SynthesisProblem(tuple(actions), DOMTrace(snapshots), data)
+    for program in result.programs[:5]:
+        assert satisfies(program, problem)
+
+
+class TestCompletenessFlatLists:
+    @given(items=st.integers(3, 8), fields=st.integers(1, 2))
+    @settings(max_examples=10, deadline=None)
+    def test_flat_list_two_iterations_suffice(self, items, fields):
+        site = PlainListSite(items, fields=fields, seed=f"c{items}{fields}")
+        ground_truth = FLAT_GT_2 if fields == 2 else FLAT_GT_1
+        recording = record_ground_truth(site, ground_truth)
+        per_iteration = fields
+        # two full iterations visible, at least one action remains
+        cut = 2 * per_iteration
+        if cut < recording.length:
+            check_generalizes_at(recording, EMPTY_DATA, cut)
+
+    @given(items=st.integers(4, 8))
+    @settings(max_examples=6, deadline=None)
+    def test_flat_list_all_later_cuts_generalize(self, items):
+        site = PlainListSite(items, fields=2, seed=f"l{items}")
+        recording = record_ground_truth(site, FLAT_GT_2)
+        for cut in range(4, recording.length):
+            check_generalizes_at(recording, EMPTY_DATA, cut)
+
+
+class TestCompletenessNested:
+    @given(groups=st.integers(2, 4), per_group=st.integers(2, 4))
+    @settings(max_examples=8, deadline=None)
+    def test_nested_lists_generalize_after_two_groups(self, groups, per_group):
+        site = NestedListSite(groups, per_group, seed=f"n{groups}{per_group}")
+        recording = record_ground_truth(site, NESTED_GT)
+        # two full outer iterations + one more action
+        cut = 2 * per_group
+        if cut < recording.length:
+            check_generalizes_at(recording, EMPTY_DATA, cut)
+
+
+class TestCompletenessAttributeSelectors:
+    @given(rows=st.integers(3, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_wiki_rows_need_attribute_predicates(self, rows):
+        site = WikiTableSite(rows, seed=f"w{rows}", header=True)
+        recording = record_ground_truth(site, WIKI_GT)
+        cut = 4  # two 2-field iterations
+        if cut < recording.length:
+            check_generalizes_at(recording, EMPTY_DATA, cut)

@@ -1,0 +1,97 @@
+"""Tests for the HTML-to-DOM parser."""
+
+import pytest
+
+from repro.dom import parse_selector, resolve, to_html
+from repro.dom.html import parse_fragment, parse_html
+from repro.util import ParseError
+
+CARDS = """
+<html><body>
+  <div class="sidebar">ads</div>
+  <div class="results">
+    <div class="card"><h3>Store One</h3><div class="phone">555-0100</div></div>
+    <div class="card"><h3>Store Two</h3><div class="phone">555-0200</div></div>
+  </div>
+</body></html>
+"""
+
+
+class TestParseHtml:
+    def test_structure_and_selectors(self):
+        dom = parse_html(CARDS)
+        assert dom.tag == "html"
+        assert dom.frozen
+        node = resolve(parse_selector("//div[@class='card'][2]/h3[1]"), dom)
+        assert node.text == "Store Two"
+
+    def test_text_attachment(self):
+        dom = parse_html("<div>hello <b>bold</b> world</div>")
+        assert dom.text == "hello world"
+        assert dom.children[0].text == "bold"
+        assert dom.text_content() == "hello world bold"
+
+    def test_attributes(self):
+        dom = parse_html('<input name="q" value="x" disabled>')
+        assert dom.attrs == {"name": "q", "value": "x", "disabled": ""}
+
+    def test_void_elements_do_not_nest(self):
+        dom = parse_html("<div><br><input name='a'><span>s</span></div>")
+        assert [child.tag for child in dom.children] == ["br", "input", "span"]
+
+    def test_self_closing_syntax(self):
+        dom = parse_html("<div><img src='x'/><span>s</span></div>")
+        assert [child.tag for child in dom.children] == ["img", "span"]
+
+    def test_tags_lowercased(self):
+        dom = parse_html("<DIV><SPAN>x</SPAN></DIV>")
+        assert dom.tag == "div"
+        assert dom.children[0].tag == "span"
+
+    def test_comments_ignored(self):
+        dom = parse_html("<div><!-- hi --><span>x</span></div>")
+        assert len(dom.children) == 1
+
+    def test_implicit_close_is_forgiving(self):
+        dom = parse_html("<div><p>one<p>two</p></div>")
+        # the first <p> is implicitly closed by </p> matching ancestor-wise
+        assert dom.tag == "div"
+
+
+class TestParseHtmlErrors:
+    def test_unclosed_root(self):
+        with pytest.raises(ParseError):
+            parse_html("<div><span>x</span>")
+
+    def test_stray_closing_tag(self):
+        with pytest.raises(ParseError):
+            parse_html("<div></div></span>")
+
+    def test_mismatched_closing_tag(self):
+        with pytest.raises(ParseError):
+            parse_html("<div></span></div>")
+
+    def test_text_outside_root(self):
+        with pytest.raises(ParseError):
+            parse_html("hello <div>x</div>")
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(ParseError):
+            parse_html("<div>a</div><div>b</div>")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_html("   ")
+
+
+class TestParseFragment:
+    def test_multiple_roots(self):
+        roots = parse_fragment("<li>a</li><li>b</li><li>c</li>")
+        assert [node.text for node in roots] == ["a", "b", "c"]
+        assert not roots[0].frozen  # fragments stay buildable
+
+    def test_round_trip_through_to_html(self):
+        dom = parse_html(CARDS)
+        rendered = to_html(dom)
+        reparsed = parse_html(rendered)
+        assert reparsed.structural_key() == dom.structural_key()

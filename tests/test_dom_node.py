@@ -1,0 +1,106 @@
+"""Unit tests for the DOM node model."""
+
+import pytest
+
+from repro.dom import DOMNode, E, page
+
+
+def make_sample():
+    return page(
+        E("div", {"class": "a"}, E("h3", text="one"), E("p", text="hello")),
+        E("div", {"class": "b"}, E("h3", text="two")),
+        E("span", text="tail"),
+    )
+
+
+class TestConstruction:
+    def test_page_builds_html_body(self):
+        root = make_sample()
+        assert root.tag == "html"
+        assert root.children[0].tag == "body"
+
+    def test_freeze_sets_parents(self):
+        root = make_sample()
+        body = root.children[0]
+        assert body.parent is root
+        assert body.children[0].parent is body
+
+    def test_frozen_rejects_append(self):
+        root = make_sample()
+        with pytest.raises(ValueError):
+            root.append(DOMNode("div"))
+
+    def test_builder_attr_dict_and_kwargs(self):
+        node = E("div", {"id": "x"}, cls="y", name="z")
+        assert node.attrs == {"id": "x", "class": "y", "name": "z"}
+
+    def test_builder_rejects_bad_child(self):
+        with pytest.raises(TypeError):
+            E("div", 42)
+
+
+class TestQueries:
+    def test_iter_subtree_document_order(self):
+        root = make_sample()
+        tags = [node.tag for node in root.iter_subtree()]
+        assert tags == ["html", "body", "div", "h3", "p", "div", "h3", "span"]
+
+    def test_iter_descendants_excludes_self(self):
+        root = make_sample()
+        assert all(node is not root for node in root.iter_descendants())
+
+    def test_text_content_concatenates(self):
+        root = make_sample()
+        assert root.text_content() == "one hello two tail"
+
+    def test_root_and_ancestors(self):
+        root = make_sample()
+        h3 = root.children[0].children[0].children[0]
+        assert h3.tag == "h3"
+        assert h3.root() is root
+        assert [a.tag for a in h3.ancestors()] == ["div", "body", "html"]
+
+    def test_is_ancestor_of(self):
+        root = make_sample()
+        body = root.children[0]
+        h3 = body.children[0].children[0]
+        assert body.is_ancestor_of(h3)
+        assert not h3.is_ancestor_of(body)
+
+    def test_child_index_by_tag_counts_same_tag_only(self):
+        root = make_sample()
+        body = root.children[0]
+        second_div = body.children[1]
+        span = body.children[2]
+        assert second_div.child_index_by_tag() == 2
+        assert span.child_index_by_tag() == 1
+
+    def test_root_child_index_is_one(self):
+        root = make_sample()
+        assert root.child_index_by_tag() == 1
+
+    def test_get_attribute_default(self):
+        node = E("div", {"class": "x"})
+        assert node.get("class") == "x"
+        assert node.get("id", "none") == "none"
+
+
+class TestCloneAndIdentity:
+    def test_clone_is_deep_and_unfrozen(self):
+        root = make_sample()
+        copy = root.clone()
+        assert not copy.frozen
+        assert copy is not root
+        assert copy.structural_key() == root.structural_key()
+        copy.children[0].children[0].attrs["class"] = "mutated"
+        assert root.children[0].children[0].attrs["class"] == "a"
+
+    def test_structural_key_distinguishes_text(self):
+        a = E("div", text="x")
+        b = E("div", text="y")
+        assert a.structural_key() != b.structural_key()
+
+    def test_structural_key_ignores_attr_order(self):
+        a = DOMNode("div", {"a": "1", "b": "2"})
+        b = DOMNode("div", {"b": "2", "a": "1"})
+        assert a.structural_key() == b.structural_key()

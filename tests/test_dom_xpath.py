@@ -1,0 +1,205 @@
+"""Unit tests for concrete selector resolution, raw paths, and parsing."""
+
+import pytest
+
+from repro.dom import (
+    CHILD,
+    DESC,
+    EPSILON,
+    ConcreteSelector,
+    E,
+    Predicate,
+    Step,
+    index_among_children,
+    index_among_descendants,
+    page,
+    parse_selector,
+    raw_path,
+    resolve,
+    resolve_relative,
+    valid,
+)
+from repro.util import ParseError
+
+
+def make_store_page():
+    """Two result cards plus an unrelated sidebar div."""
+    return page(
+        E("div", {"class": "sidebar"}, E("h3", text="ads")),
+        E("div", {"class": "results"},
+          E("div", {"class": "card"},
+            E("h3", text="Store One"),
+            E("div", {"class": "phone"}, text="555-0100")),
+          E("div", {"class": "card"},
+            E("h3", text="Store Two"),
+            E("div", {"class": "phone"}, text="555-0200"))),
+    )
+
+
+class TestPredicate:
+    def test_tag_only(self):
+        assert Predicate("div").matches(E("div"))
+        assert not Predicate("div").matches(E("span"))
+
+    def test_attr_equality(self):
+        pred = Predicate("div", "class", "card")
+        assert pred.matches(E("div", cls="card"))
+        assert not pred.matches(E("div", cls="other"))
+        assert not pred.matches(E("div"))
+
+    def test_str_forms(self):
+        assert str(Predicate("div")) == "div"
+        assert str(Predicate("div", "class", "a")) == "div[@class='a']"
+
+
+class TestStepValidation:
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ValueError):
+            Step("sideways", Predicate("div"), 1)
+
+    def test_rejects_zero_index(self):
+        with pytest.raises(ValueError):
+            Step(CHILD, Predicate("div"), 0)
+
+
+class TestResolve:
+    def test_empty_selector_is_root(self):
+        root = make_store_page()
+        assert resolve(EPSILON, root) is root
+
+    def test_absolute_child_path(self):
+        root = make_store_page()
+        sel = parse_selector("/html[1]/body[1]/div[2]/div[1]/h3[1]")
+        node = resolve(sel, root)
+        assert node is not None and node.text == "Store One"
+
+    def test_child_index_counts_matches_only(self):
+        root = make_store_page()
+        sel = parse_selector("/html[1]/body[1]/div[@class='results'][1]")
+        node = resolve(sel, root)
+        assert node is not None and node.attrs["class"] == "results"
+
+    def test_descendant_axis_document_order(self):
+        root = make_store_page()
+        first = resolve(parse_selector("//h3[1]"), root)
+        second = resolve(parse_selector("//h3[2]"), root)
+        third = resolve(parse_selector("//h3[3]"), root)
+        assert first.text == "ads"
+        assert second.text == "Store One"
+        assert third.text == "Store Two"
+
+    def test_descendant_with_attribute(self):
+        root = make_store_page()
+        sel = parse_selector("//div[@class='card'][2]/h3[1]")
+        assert resolve(sel, root).text == "Store Two"
+
+    def test_missing_index_returns_none(self):
+        root = make_store_page()
+        assert resolve(parse_selector("//h3[9]"), root) is None
+        assert not valid(parse_selector("//h3[9]"), root)
+
+    def test_missing_intermediate_returns_none(self):
+        root = make_store_page()
+        assert resolve(parse_selector("/html[1]/nav[1]/h3[1]"), root) is None
+
+    def test_resolve_relative(self):
+        root = make_store_page()
+        results = resolve(parse_selector("//div[@class='results'][1]"), root)
+        steps = parse_selector("//div[@class='phone'][2]").steps
+        node = resolve_relative(steps, results)
+        assert node.text == "555-0200"
+
+    def test_relative_descendants_exclude_base(self):
+        root = make_store_page()
+        card = resolve(parse_selector("//div[@class='card'][1]"), root)
+        steps = parse_selector("//div[1]").steps
+        node = resolve_relative(steps, card)
+        assert node.attrs.get("class") == "phone"
+
+
+class TestRawPath:
+    def test_raw_path_round_trips(self):
+        root = make_store_page()
+        phone = resolve(parse_selector("//div[@class='phone'][2]"), root)
+        path = raw_path(phone)
+        assert resolve(path, root) is phone
+
+    def test_raw_path_string(self):
+        root = make_store_page()
+        card2 = root.children[0].children[1].children[1]
+        assert str(raw_path(card2)) == "/html[1]/body[1]/div[2]/div[2]"
+
+    def test_raw_path_of_root(self):
+        root = make_store_page()
+        assert str(raw_path(root)) == "/html[1]"
+
+
+class TestMatchIndices:
+    def test_index_among_children(self):
+        root = make_store_page()
+        results = root.children[0].children[1]
+        card2 = results.children[1]
+        assert index_among_children(card2, Predicate("div")) == 2
+        assert index_among_children(card2, Predicate("div", "class", "card")) == 2
+        assert index_among_children(card2, Predicate("span")) is None
+
+    def test_index_among_children_of_root(self):
+        root = make_store_page()
+        assert index_among_children(root, Predicate("html")) == 1
+
+    def test_index_among_descendants(self):
+        root = make_store_page()
+        results = root.children[0].children[1]
+        h3_two = results.children[1].children[0]
+        assert index_among_descendants(None, h3_two, Predicate("h3"), root) == 3
+        assert index_among_descendants(results, h3_two, Predicate("h3"), root) == 2
+
+    def test_index_among_descendants_not_contained(self):
+        root = make_store_page()
+        sidebar_h3 = root.children[0].children[0].children[0]
+        results = root.children[0].children[1]
+        assert index_among_descendants(results, sidebar_h3, Predicate("h3"), root) is None
+
+
+class TestParser:
+    def test_parse_and_str_round_trip(self):
+        text = "/html[1]/body[1]//div[@class='card'][2]/h3[1]"
+        sel = parse_selector(text)
+        assert str(sel) == text
+
+    def test_default_index_is_one(self):
+        sel = parse_selector("//h3")
+        assert sel.steps[0].index == 1
+
+    def test_parse_empty_is_epsilon(self):
+        assert parse_selector("/") == EPSILON
+        assert parse_selector("") == EPSILON
+
+    def test_parse_rejects_missing_slash(self):
+        with pytest.raises(ParseError):
+            parse_selector("div[1]")
+
+    def test_parse_rejects_unclosed_bracket(self):
+        with pytest.raises(ParseError):
+            parse_selector("/div[1")
+
+    def test_parse_rejects_bad_index(self):
+        with pytest.raises(ParseError):
+            parse_selector("/div[xyz=1]")
+
+    def test_parse_rejects_missing_tag(self):
+        with pytest.raises(ParseError):
+            parse_selector("//[1]")
+
+    def test_double_quotes_accepted(self):
+        sel = parse_selector('//div[@class="a"][1]')
+        assert sel.steps[0].pred.value == "a"
+
+    def test_selector_str_epsilon(self):
+        assert str(EPSILON) == "/"
+
+    def test_concat_and_extend(self):
+        sel = EPSILON.desc(Predicate("div"), 1).child(Predicate("h3"), 2)
+        assert str(sel) == "//div[1]/h3[2]"
+        extended = sel.concat(parse_selector("/p[1]").steps)
+        assert str(extended) == "//div[1]/h3[2]/p[1]"

@@ -1,0 +1,52 @@
+"""Integration: every example script runs end-to-end and says what it should.
+
+The examples double as documentation; if one stops working the README's
+promises are broken, so each is executed as a subprocess (the way a
+user would run it) and checked for its key output marker.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: script name → a line fragment its output must contain.
+MARKERS = {
+    "quickstart.py": "Scraped dataset",
+    "store_scraper.py": "P4",
+    "unicorn_names.py": "unicorn",
+    "custom_site.py": "Program in effect",
+    "baseline_comparison.py": "WebRobot",
+    "numbered_pagination.py": "paginate",
+    "export_codegen.py": "imacros script",
+    "drift_repair.py": "Unrepairable page correctly refused",
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
+    return result.stdout
+
+
+def test_every_example_has_a_marker():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(MARKERS), "examples/ and MARKERS out of sync"
+
+
+@pytest.mark.parametrize("name", sorted(MARKERS))
+def test_example_runs(name):
+    output = run_example(name)
+    assert MARKERS[name].lower() in output.lower(), (
+        f"{name} ran but its output lacks {MARKERS[name]!r}"
+    )

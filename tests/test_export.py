@@ -1,0 +1,348 @@
+"""Tests for the script exporters (repro.export).
+
+The generated scripts cannot be *run* here (no Selenium/Playwright, no
+network), so the tests check three layers: the emitted source is valid
+Python (``compile``), the structural skeleton matches the program
+(loops, finds, accumulators), and the XPath translation preserves our
+selector semantics on tricky cases (descendant indices, token
+predicates, quote-bearing attribute values).
+"""
+
+import ast
+
+import pytest
+
+from repro.dom.xpath import (
+    CHILD,
+    DESC,
+    Predicate,
+    Step,
+    TokenPredicate,
+)
+from repro.export import TARGETS, export_program, to_imacros, to_playwright, to_selenium
+from repro.export.common import (
+    CodeWriter,
+    VarNames,
+    predicate_to_xpath,
+    steps_to_xpath,
+    value_path_expr,
+    xpath_string_literal,
+)
+from repro.lang import ValuePath, parse_program
+from repro.util.errors import ExportError
+
+SUBWAY_P4 = """
+foreach d1 in ValuePaths(x["zips"]) do
+  EnterData(//input[@name='search'][1], d1)
+  Click(//button[@class='go'][1])
+  while true do
+    foreach r1 in Dscts(/, div[@class='rightContainer']) do
+      ScrapeText(r1//h3[1])
+      ScrapeText(r1//div[@class='locatorPhone'][1])
+    Click(//button[@class='next'][1]/span[1])
+"""
+
+ALL_KINDS = """
+Click(/html[1]/body[1]/a[2])
+ScrapeText(//h3[1])
+ScrapeLink(//a[@class='detail'][1])
+Download(//a[@class='pdf'][1])
+GoBack
+ExtractURL
+SendKeys(//input[1], "hello")
+EnterData(//input[@name='q'][1], x["terms"][1])
+"""
+
+
+def compiles(source: str) -> bool:
+    compile(source, "<generated>", "exec")
+    return True
+
+
+def balanced_braces(source: str) -> bool:
+    """Crude JS sanity check: braces balance outside string literals."""
+    depth = 0
+    in_string: str = ""
+    previous = ""
+    for char in source:
+        if in_string:
+            if char == in_string and previous != "\\":
+                in_string = ""
+        elif char in "'\"":
+            in_string = char
+        elif char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+            if depth < 0:
+                return False
+        previous = char
+    return depth == 0
+
+
+# ----------------------------------------------------------------------
+# XPath translation
+# ----------------------------------------------------------------------
+class TestXPathTranslation:
+    def test_child_steps_verbatim(self):
+        steps = (
+            Step(CHILD, Predicate("html"), 1),
+            Step(CHILD, Predicate("body"), 1),
+            Step(CHILD, Predicate("div"), 3),
+        )
+        assert steps_to_xpath(steps, "") == "/html[1]/body[1]/div[3]"
+
+    def test_descendant_step_wrapped_for_document_order(self):
+        # Our //div[2] is "2nd div in document order"; real XPath needs
+        # the parenthesized node-set index.
+        steps = (Step(DESC, Predicate("div", "class", "card"), 2),)
+        assert steps_to_xpath(steps, "") == "(//div[@class='card'])[2]"
+
+    def test_mixed_axes_nest_parentheses(self):
+        steps = (
+            Step(CHILD, Predicate("html"), 1),
+            Step(DESC, Predicate("div"), 2),
+            Step(CHILD, Predicate("h3"), 1),
+        )
+        assert steps_to_xpath(steps, "") == "(/html[1]//div)[2]/h3[1]"
+
+    def test_relative_origin(self):
+        steps = (Step(DESC, Predicate("h3"), 1),)
+        assert steps_to_xpath(steps, ".") == "(.//h3)[1]"
+
+    def test_empty_steps_fall_back_to_root(self):
+        assert steps_to_xpath((), "") == "/*"
+
+    def test_token_predicate_uses_contains(self):
+        xpath = predicate_to_xpath(TokenPredicate("div", "class", "match"))
+        assert "contains(concat(' ', normalize-space(@class), ' '), ' match ')" in xpath
+
+    def test_plain_attribute_predicate(self):
+        assert predicate_to_xpath(Predicate("a", "id", "go")) == "a[@id='go']"
+
+
+class TestXPathLiterals:
+    def test_plain(self):
+        assert xpath_string_literal("abc") == "'abc'"
+
+    def test_single_quote_switches_to_double(self):
+        assert xpath_string_literal("it's") == '"it\'s"'
+
+    def test_both_quotes_use_concat(self):
+        literal = xpath_string_literal("a'b\"c")
+        assert literal.startswith("concat(")
+        assert "'a'" in literal and "\"'\"" in literal
+
+    def test_literal_embeds_in_valid_python(self):
+        # the generated scripts embed these inside Python string reprs
+        value = "mixed 'single' and \"double\""
+        literal = xpath_string_literal(value)
+        assert compiles(f"x = {literal!r}")
+
+
+# ----------------------------------------------------------------------
+# Value paths
+# ----------------------------------------------------------------------
+class TestValuePathExpr:
+    def test_absolute_path_indexes_data(self):
+        path = ValuePath(None, ("zips", 2))
+        assert value_path_expr(path, VarNames()) == "data['zips'][1]"
+
+    def test_unbound_variable_raises(self):
+        from repro.lang.ast import VAL_VAR, fresh_var
+
+        path = ValuePath(fresh_var(VAL_VAR), ("name",))
+        with pytest.raises(ExportError):
+            value_path_expr(path, VarNames())
+
+
+# ----------------------------------------------------------------------
+# Whole-script generation
+# ----------------------------------------------------------------------
+class TestSeleniumExport:
+    def test_p4_compiles(self):
+        source = to_selenium(parse_program(SUBWAY_P4))
+        assert compiles(source)
+
+    def test_all_action_kinds_compile_and_appear(self):
+        source = to_selenium(parse_program(ALL_KINDS))
+        assert compiles(source)
+        assert "driver.back()" in source
+        assert "urls.append(driver.current_url)" in source
+        assert ".click()" in source
+        assert 'get_attribute("href")' in source
+        assert "send_keys('hello')" in source
+        assert "send_keys(str(data['terms'][0]))" in source
+
+    def test_collections_requery_lazily(self):
+        source = to_selenium(parse_program(SUBWAY_P4))
+        # the selector loop re-queries its collection every iteration
+        assert source.count("find_all(") >= 2  # loop collection + while button
+        assert "while True:" in source
+
+    def test_while_loop_click_terminated(self):
+        source = to_selenium(parse_program(SUBWAY_P4))
+        assert "if not buttons_1:" in source
+        assert "buttons_1[0].click()" in source
+
+    def test_nested_value_loop_binds_value(self):
+        source = to_selenium(parse_program(SUBWAY_P4))
+        assert "for value_1 in data['zips']:" in source
+        assert "send_keys(str(value_1))" in source
+
+    def test_source_program_embedded_as_comment(self):
+        source = to_selenium(parse_program(SUBWAY_P4))
+        assert "#   foreach d1 in ValuePaths" in source
+
+    def test_start_url_baked_in(self):
+        source = to_selenium(parse_program("ScrapeText(//h3[1])"), start_url="http://x")
+        assert "START_URL = 'http://x'" in source
+
+    def test_defines_run_and_main(self):
+        tree = ast.parse(to_selenium(parse_program("ScrapeText(//h3[1])")))
+        names = {node.name for node in tree.body if isinstance(node, ast.FunctionDef)}
+        assert {"run", "main", "find", "find_all"} <= names
+
+
+class TestPlaywrightExport:
+    def test_p4_compiles(self):
+        source = to_playwright(parse_program(SUBWAY_P4))
+        assert compiles(source)
+
+    def test_all_action_kinds_compile_and_appear(self):
+        source = to_playwright(parse_program(ALL_KINDS))
+        assert compiles(source)
+        assert "page.go_back()" in source
+        assert "urls.append(page.url)" in source
+        assert ".inner_text()" in source
+        assert ".fill(str(data['terms'][0]))" in source
+        assert ".press_sequentially('hello')" in source
+
+    def test_locators_use_xpath_engine(self):
+        source = to_playwright(parse_program(SUBWAY_P4))
+        assert 'locator("xpath=' in source
+
+    def test_while_loop_counts_buttons(self):
+        source = to_playwright(parse_program(SUBWAY_P4))
+        assert ".count() == 0:" in source
+
+    def test_nested_loop_uses_nth(self):
+        source = to_playwright(parse_program(SUBWAY_P4))
+        assert ".nth(index_1 - 1)" in source
+
+
+class TestIMacrosExport:
+    def test_p4_structure(self):
+        source = to_imacros(parse_program(SUBWAY_P4))
+        assert balanced_braces(source)
+        # value loop + while loop + selector loop all present
+        assert "for (var vi_1 = 0;" in source
+        assert source.count("while (true) {") == 2
+        assert "if (!probe(" in source
+
+    def test_all_action_kinds_appear(self):
+        source = to_imacros(parse_program(ALL_KINDS))
+        assert balanced_braces(source)
+        assert 'play("BACK");' in source
+        assert "urls.push(currentUrl());" in source
+        assert '"TXT"' in source and '"HREF"' in source
+        assert "content(\"hello\")" in source
+        assert "content(data['terms'][0])" in source
+
+    def test_loop_variables_hold_xpath_strings(self):
+        source = to_imacros(parse_program(SUBWAY_P4))
+        # the loop element is an XPath string assembled per iteration...
+        assert 'var element_1 = "(//div[@class=\'rightContainer\'])[" + index_1 + "]";' in source
+        # ...and relative selectors splice into it via `under`
+        assert 'under(element_1, "({origin}//h3)[1]")' in source
+
+    def test_while_loop_probes_before_click(self):
+        source = to_imacros(parse_program(SUBWAY_P4))
+        probe_at = source.index("if (!probe(button_1))")
+        click_at = source.index("play('TAG XPATH=\"' + button_1 + '\"');")
+        assert probe_at < click_at
+
+    def test_children_collection_indexes_among_children(self):
+        source = to_imacros(
+            parse_program("foreach r in Children(//ul[1], li) do\n  ScrapeText(r/span[1])")
+        )
+        assert '"(//ul)[1]/li[" + index_1 + "]"' in source
+
+    def test_source_program_embedded_as_comment(self):
+        source = to_imacros(parse_program(SUBWAY_P4))
+        assert "//   foreach d1 in ValuePaths" in source
+
+    def test_start_url_plays_goto(self):
+        source = to_imacros(parse_program("GoBack"), start_url="http://x")
+        assert 'var START_URL = "http://x";' in source
+        assert 'play("URL GOTO=" + START_URL);' in source
+
+    def test_double_quoted_attribute_value_rejected(self):
+        program = parse_program("Click(//a[@class='it\"s'][1])")
+        with pytest.raises(ExportError, match="double quotes"):
+            to_imacros(program)
+
+
+class TestExportDispatch:
+    def test_targets_registry(self):
+        assert set(TARGETS) == {"selenium", "playwright", "imacros"}
+
+    @pytest.mark.parametrize("target", ["selenium", "playwright"])
+    def test_dispatch_produces_python(self, target):
+        source = export_program(parse_program("ScrapeText(//h3[1])"), target=target)
+        assert compiles(source)
+
+    def test_dispatch_produces_imacros_js(self):
+        source = export_program(parse_program("ScrapeText(//h3[1])"), target="imacros")
+        assert "iimPlay" in source
+        assert balanced_braces(source)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown export target"):
+            export_program(parse_program("GoBack"), target="puppeteer")
+
+
+class TestCodeWriter:
+    def test_blocks_indent_and_dedent(self):
+        writer = CodeWriter()
+        with writer.block("if x:"):
+            writer.line("y = 1")
+        writer.line("z = 2")
+        assert writer.render() == "if x:\n    y = 1\nz = 2\n"
+
+    def test_blank_lines_carry_no_indentation(self):
+        writer = CodeWriter()
+        with writer.block("if x:"):
+            writer.line()
+            writer.line("pass")
+        assert "\n\n" in writer.render()
+
+    def test_unbalanced_dedent_rejected(self):
+        with pytest.raises(ExportError):
+            CodeWriter().dedent()
+
+
+class TestExportedSemantics:
+    """Exported scripts must mirror the program we would replay locally."""
+
+    def test_selenium_matches_virtual_replay_structure(self):
+        # The exported loop structure must visit items in the same order
+        # as the trace semantics: one find per body statement, indexed
+        # from 1, collection re-queried between iterations.
+        program = parse_program(
+            "foreach r in Dscts(/, div[@class='card']) do\n"
+            "  ScrapeText(r//h3[1])\n"
+            "  ScrapeText(r//div[@class='phone'][1])"
+        )
+        source = to_selenium(program)
+        body_start = source.index("while True:")
+        body = source[body_start:]
+        first = body.index("(.//h3)[1]")
+        second = body.index("(.//div[@class='phone'])[1]")
+        assert first < second
+
+    def test_quotes_in_attribute_values_survive(self):
+        program = parse_program('Click(//a[@class="it\'s"][1])')
+        source = to_selenium(program)
+        assert compiles(source)
+        assert "it's" in source

@@ -1,0 +1,93 @@
+"""Focused tests: iMacros export of the harder loop shapes.
+
+`test_export.py` covers dispatch and the common shapes; these tests pin
+down the translations that are easy to get subtly wrong — nested
+selector loops (variable-based collection bases), paginate loops
+(counter substitution), and value loops nested inside selector loops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.export import to_imacros
+from repro.lang import parse_program
+from repro.lang.ast import (
+    ActionStmt,
+    CounterTemplate,
+    PaginateLoop,
+    Program,
+    SCRAPE_TEXT,
+    Selector,
+)
+from repro.dom.xpath import CHILD, DESC, Predicate, Step
+
+from test_export import balanced_braces
+
+NESTED = """
+foreach g in Dscts(/, div[@class='group']) do
+  foreach r in Children(g, li) do
+    ScrapeText(r/span[1])
+"""
+
+
+class TestNestedLoops:
+    def test_inner_collection_base_is_the_outer_element(self):
+        source = to_imacros(parse_program(NESTED))
+        assert balanced_braces(source)
+        # inner Children collection splices the outer element's path
+        assert 'element_1 + "/li[" + index_2 + "]"' in source
+
+    def test_inner_body_uses_inner_element(self):
+        source = to_imacros(parse_program(NESTED))
+        assert 'under(element_2, "{origin}/span[1]")' in source
+
+    def test_probe_guards_both_loops(self):
+        source = to_imacros(parse_program(NESTED))
+        assert source.count("if (!probe(element_") == 2
+
+
+class TestValueLoopNesting:
+    def test_value_loop_inside_selector_loop(self):
+        text = (
+            "foreach r in Dscts(/, form) do\n"
+            '  foreach d in ValuePaths(x["terms"]) do\n'
+            "    EnterData(r//input[1], d)"
+        )
+        source = to_imacros(parse_program(text))
+        assert balanced_braces(source)
+        assert "for (var vi_1 = 0; vi_1 < data['terms'].length; vi_1++)" in source
+        assert "content(value_1)" in source
+
+
+class TestPaginateExport:
+    def make_paginate(self) -> Program:
+        template = CounterTemplate(
+            prefix_steps=(Step(CHILD, Predicate("html"), 1),),
+            axis=DESC,
+            tag="a",
+            attr="data-page",
+            value_prefix="",
+            value_suffix="",
+        )
+        body = (ActionStmt(SCRAPE_TEXT, Selector(None, (Step(DESC, Predicate("h3"), 1),))),)
+        advance = Selector(None, (Step(DESC, Predicate("a", "class", "next-block"), 1),))
+        return Program((PaginateLoop(body, template, advance, start=2),))
+
+    def test_counter_substituted_at_runtime(self):
+        source = to_imacros(self.make_paginate())
+        assert balanced_braces(source)
+        assert "var page_1 = 2;" in source
+        assert '.split("{k}").join(String(page_1));' in source
+
+    def test_advance_button_is_second_choice(self):
+        source = to_imacros(self.make_paginate())
+        numbered_at = source.index("if (probe(numbered_1))")
+        advance_at = source.index("if (probe(advance_1))")
+        assert numbered_at < advance_at
+        assert source.index("break;") > advance_at
+
+    def test_template_hole_marker_survives_quoting(self):
+        source = to_imacros(self.make_paginate())
+        assert "{k}" in source
+        assert '@data-page=\'{k}\'' in source

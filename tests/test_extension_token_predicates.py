@@ -1,0 +1,136 @@
+"""Tests for the disjunctive-selector extension (beyond the paper).
+
+§7.1 reports b6 unsolved because scraping rows of class ``match`` *or*
+``match highlight`` needs disjunctive selector logic.  The extension adds
+CSS-style whitespace-token predicates (``div[@class~='match']``), gated
+behind ``SynthesisConfig.use_token_predicates``; with it on, the b6 shape
+becomes synthesizable while the default configuration still fails —
+preserving the paper's reported behaviour out of the box.
+"""
+
+import pytest
+
+from repro.benchmarks.sites.match_list import MatchListSite
+from repro.dom import E, page, parse_selector, raw_path, resolve
+from repro.dom.xpath import Predicate, TokenPredicate
+from repro.lang import EMPTY_DATA, scrape_text
+from repro.semantics import actions_consistent
+from repro.synth import (
+    DEFAULT_CONFIG,
+    Synthesizer,
+    node_predicates,
+    token_predicate_config,
+)
+
+
+class TestTokenPredicate:
+    def test_matches_token_sets(self):
+        pred = TokenPredicate("div", "class", "match")
+        assert pred.matches(E("div", cls="match"))
+        assert pred.matches(E("div", cls="match highlight"))
+        assert not pred.matches(E("div", cls="mismatch"))
+        assert not pred.matches(E("div", cls="ad"))
+        assert not pred.matches(E("span", cls="match"))
+
+    def test_parse_print_round_trip(self):
+        text = "//div[@class~='match'][3]"
+        selector = parse_selector(text)
+        assert isinstance(selector.steps[0].pred, TokenPredicate)
+        assert str(selector) == text
+
+    def test_resolution_counts_matching_tokens_only(self):
+        dom = page(
+            E("div", cls="match"),
+            E("div", cls="ad"),
+            E("div", cls="match highlight"),
+        )
+        second = resolve(parse_selector("//div[@class~='match'][2]"), dom)
+        assert second is not None
+        assert second.attrs["class"] == "match highlight"
+
+    def test_distinct_from_plain_predicate(self):
+        # equal fields but different semantics must not collide in caches
+        plain = Predicate("div", "class", "match")
+        token = TokenPredicate("div", "class", "match")
+        assert plain != token
+        assert str(plain) != str(token)
+
+
+class TestPredicateGeneration:
+    def test_tokens_generated_only_with_flag(self):
+        node = E("div", cls="match highlight")
+        without = node_predicates(node)
+        assert not any(isinstance(pred, TokenPredicate) for pred in without)
+        with_flag = node_predicates(node, token_predicates=True)
+        tokens = {
+            pred.value for pred in with_flag if isinstance(pred, TokenPredicate)
+        }
+        assert tokens == {"match", "highlight"}
+
+    def test_single_token_class_gets_one_token_predicate(self):
+        node = E("div", cls="match")
+        preds = node_predicates(node, token_predicates=True)
+        tokens = [pred for pred in preds if isinstance(pred, TokenPredicate)]
+        assert tokens == [TokenPredicate("div", "class", "match")]
+
+
+def record_match_scrapes(count: int):
+    """Scrape the teams line of the first ``count`` match rows (skipping
+    the interleaved ads), exactly as a user would demonstrate b6."""
+    site = MatchListSite(8, seed="ext")
+    dom = site.page(site.initial_state())
+    actions = []
+    for position in range(1, count + 1):
+        node = resolve(
+            parse_selector(f"//div[@data-pos='{position}'][1]/span[1]"), dom
+        )
+        actions.append(scrape_text(raw_path(node)))
+    snapshots = [dom] * (len(actions) + 1)
+    return site, dom, actions, snapshots
+
+
+class TestB6ShapeSynthesis:
+    def test_default_config_cannot_generalize_past_ads(self):
+        # rows 2 and 3: class "match" and "match highlight", with an ad
+        # between them — no paper-DSL loop reading covers both
+        site, dom, actions, snapshots = record_match_scrapes(3)
+        result = Synthesizer(EMPTY_DATA).synthesize(actions, snapshots)
+        expected = scrape_text(
+            raw_path(resolve(parse_selector("//div[@data-pos='4'][1]/span[1]"), dom))
+        )
+        assert not any(
+            actions_consistent(option, expected, dom) for option in result.predictions
+        )
+
+    def test_token_config_synthesizes_the_match_loop(self):
+        site, dom, actions, snapshots = record_match_scrapes(3)
+        result = Synthesizer(EMPTY_DATA, token_predicate_config()).synthesize(
+            actions, snapshots
+        )
+        expected = scrape_text(
+            raw_path(resolve(parse_selector("//div[@data-pos='4'][1]/span[1]"), dom))
+        )
+        assert result.predictions
+        assert any(
+            actions_consistent(option, expected, dom) for option in result.predictions
+        )
+
+    def test_token_program_scrapes_exactly_the_matches(self):
+        from repro.browser import Browser
+        from repro.browser.replayer import Replayer
+
+        site, dom, actions, snapshots = record_match_scrapes(3)
+        result = Synthesizer(EMPTY_DATA, token_predicate_config()).synthesize(
+            actions, snapshots
+        )
+        # find a generalizing program that uses a token predicate
+        program = result.best_program
+        assert program is not None
+        assert "~=" in str(program.statements[0].collection.pred) or any(
+            "~=" in line for line in [str(program.statements[0])]
+        )
+        browser = Browser(MatchListSite(8, seed="ext"))
+        outcome = Replayer(browser, raise_errors=False).run(program)
+        assert outcome.error is None
+        expected_teams = [site.match(i)["teams"] for i in range(1, 9)]
+        assert outcome.outputs == expected_teams

@@ -1,0 +1,137 @@
+"""Tests for the experiment harnesses (report plumbing + small runs)."""
+
+import pytest
+
+from repro.benchmarks import benchmark_by_id
+from repro.harness.q1 import (
+    BenchmarkResult,
+    evaluate_benchmark,
+    nesting_depth,
+    run_q1,
+    statement_count,
+)
+from repro.harness.q2 import VariantResult
+from repro.harness.q3 import run_session
+from repro.harness.q4 import EngineMeasurement, measure_webrobot
+from repro.harness.report import fmt_ms, fmt_pct, quartiles, render_table
+from repro.harness.stats import suite_statistics
+from repro.lang import parse_program
+
+
+class TestReportHelpers:
+    def test_render_table_aligns(self):
+        table = render_table(["a", "bbb"], [["x", 1], ["yyyy", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_quartiles_on_known_data(self):
+        lo, q1, med, q3, hi = quartiles([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert (lo, q1, med, q3, hi) == (1.0, 2.0, 3.0, 4.0, 5.0)
+
+    def test_quartiles_empty(self):
+        assert quartiles([]) == (0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_fmt_helpers(self):
+        assert fmt_ms(0.1234) == "123ms"
+        assert fmt_ms(0.0234).endswith("ms")
+        assert fmt_pct(0.875) == "88%"
+
+
+class TestProgramShapeHelpers:
+    def test_nesting_depth(self):
+        program = parse_program(
+            "foreach a in Dscts(/, div) do\n"
+            "  foreach b in Children(a, li) do\n"
+            "    ScrapeText(b)"
+        )
+        assert nesting_depth(program) == 2
+
+    def test_nesting_depth_with_while(self):
+        program = parse_program(
+            "while true do\n"
+            "  foreach a in Dscts(/, div) do\n"
+            "    ScrapeText(a)\n"
+            "  Click(//a[1])"
+        )
+        assert nesting_depth(program) == 2
+
+    def test_statement_count_counts_while_click(self):
+        program = parse_program(
+            "while true do\n  ScrapeText(//h3[1])\n  Click(//a[1])"
+        )
+        assert statement_count(program) == 3  # while + scrape + click
+
+
+class TestQ1Harness:
+    def test_evaluate_simple_benchmark(self):
+        result = evaluate_benchmark(benchmark_by_id("b74"), trace_cap=40)
+        assert result.intended
+        assert result.accuracy >= 0.8
+        assert result.tests == min(40, benchmark_by_id("b74").record().length - 1)
+
+    def test_unsupported_benchmark_not_intended(self):
+        result = evaluate_benchmark(benchmark_by_id("b9"), trace_cap=40)
+        assert not result.intended
+
+    def test_report_rendering(self):
+        report = run_q1(subset=["b74"], trace_cap=20)
+        figure = report.render_figure12()
+        aggregates = report.render_aggregates()
+        assert "b74" in figure
+        assert "intended" in figure
+        assert "95% accuracy" in aggregates
+
+
+class TestQ2Plumbing:
+    def _result(self, accuracy, intended):
+        result = BenchmarkResult(bid="x", family="f")
+        result.tests = 10
+        result.correct = int(accuracy * 10)
+        result.intended = intended
+        result.prediction_times = [0.01] * result.correct
+        return result
+
+    def test_variant_aggregates(self):
+        variant = VariantResult(
+            "v", [self._result(1.0, True), self._result(0.5, False)]
+        )
+        assert variant.solved == 1
+        assert variant.average_accuracy == pytest.approx(0.75)
+        assert variant.median_accuracy == pytest.approx(0.75)
+        assert variant.average_time == pytest.approx(0.01)
+
+    def test_median_odd_count(self):
+        variant = VariantResult(
+            "v",
+            [self._result(0.2, False), self._result(0.6, True), self._result(1.0, True)],
+        )
+        assert variant.median_accuracy == pytest.approx(0.6)
+
+
+class TestQ4Cells:
+    def test_cells(self):
+        empty = EngineMeasurement()
+        assert empty.cell_shortest() == "–/–"
+        assert empty.cell_full() == "–"
+        found = EngineMeasurement(shortest_length=6, shortest_time=0.012, full_time=1.5)
+        assert found.cell_shortest().endswith("/6")
+        timed = EngineMeasurement(full_timed_out=True)
+        assert timed.cell_full() == "timeout"
+
+    def test_measure_webrobot_on_flat_list(self):
+        measurement = measure_webrobot(benchmark_by_id("b74"), target_length=4)
+        assert measurement.shortest_length == 4
+        assert measurement.shortest_time is not None
+
+
+class TestQ3Session:
+    def test_session_on_quick_benchmark(self):
+        report = run_session(benchmark_by_id("b74"), cap=12)
+        assert report.completed
+        assert report.total_actions == 12  # capped recording length
+
+    def test_statistics_dict(self):
+        stats = suite_statistics()
+        assert stats["total"] == 76
+        assert stats["unsupported"] == ["b6", "b9", "b10"]

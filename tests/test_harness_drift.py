@@ -1,0 +1,83 @@
+"""Tests for the drift-robustness harness (`repro.harness.drift`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.browser import Browser, Replayer
+from repro.harness.drift import (
+    DRIFT_LEVELS,
+    DriftedCardsSite,
+    brittle_program,
+    expected_outputs,
+    render_drift,
+    replay_plain,
+    replay_repaired,
+    run_drift_study,
+    synthesized_program,
+)
+from repro.lang.ast import program_depth
+
+
+class TestDriftSite:
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown drift level"):
+            DriftedCardsSite("tsunami")
+
+    def test_clean_page_scrapes_expected(self):
+        result = Replayer(Browser(DriftedCardsSite("clean"))).run(brittle_program())
+        assert result.outputs == expected_outputs()
+
+    def test_banner_shifts_raw_indices(self):
+        clean = DriftedCardsSite("clean").page("clean")
+        bannered = DriftedCardsSite("banner").page("banner")
+        assert len(bannered.children[0].children) == len(clean.children[0].children) + 1
+
+    def test_promo_prepends_sponsored_card(self):
+        from repro.dom import parse_selector, resolve
+
+        dom = DriftedCardsSite("promo").page("promo")
+        first = resolve(parse_selector("//div[@class='card'][1]"), dom)
+        assert first.get("data-sponsored") == "1"
+
+    def test_renamed_kills_class_anchors(self):
+        from repro.dom import parse_selector, resolve
+
+        dom = DriftedCardsSite("renamed").page("renamed")
+        assert resolve(parse_selector("//div[@class='card'][1]"), dom) is None
+        assert resolve(parse_selector("//div[@class='x-card'][1]"), dom) is not None
+
+
+class TestPrograms:
+    def test_brittle_program_is_loop_free(self):
+        program = brittle_program()
+        assert program_depth(program) == 0
+        assert len(program) == 2 * 5  # two scrapes per store
+
+    def test_synthesized_program_has_a_loop(self):
+        assert program_depth(synthesized_program()) == 1
+
+
+class TestOutcomes:
+    def test_plain_raw_fails_on_banner(self):
+        assert replay_plain(brittle_program(), "banner").verdict == "failed"
+
+    def test_repair_rescues_raw_on_banner(self):
+        outcome = replay_repaired(brittle_program(), "banner")
+        assert outcome.verdict == "ok"
+        assert outcome.repairs > 0
+
+    def test_synth_survives_banner_unrepaired(self):
+        assert replay_plain(synthesized_program(), "banner").verdict == "ok"
+
+    def test_promo_corrupts_plain_synth_replay(self):
+        assert replay_plain(synthesized_program(), "promo").verdict == "wrong"
+
+    def test_verify_repair_recovers_promo_data(self):
+        outcome = replay_repaired(synthesized_program(), "promo")
+        assert outcome.succeeded
+
+    def test_render_mentions_every_level(self):
+        text = render_drift(run_drift_study())
+        for level in DRIFT_LEVELS:
+            assert level in text

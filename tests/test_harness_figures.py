@@ -1,0 +1,92 @@
+"""Tests for the text chart renderers (repro.harness.figures)."""
+
+from repro.harness.figures import (
+    FULL,
+    _bar,
+    figure12_chart,
+    horizontal_bars,
+    interval_bars,
+)
+
+
+class TestBar:
+    def test_empty_and_full(self):
+        assert _bar(0.0, 10).strip() == ""
+        assert _bar(1.0, 10) == FULL * 10
+
+    def test_half(self):
+        assert _bar(0.5, 10).rstrip() == FULL * 5
+
+    def test_clamps_out_of_range(self):
+        assert _bar(2.0, 4) == FULL * 4
+        assert _bar(-1.0, 4).strip() == ""
+
+    def test_partial_cells(self):
+        # 1/16 of width 2 = one eighth of the first cell
+        assert _bar(1 / 16, 2)[0] in "▏▎▍▌▋▊▉█"
+
+
+class TestHorizontalBars:
+    def test_labels_aligned(self):
+        chart = horizontal_bars([("b9", 0.5), ("b101", 1.0)], width=8)
+        lines = chart.splitlines()
+        assert lines[0].startswith("  b9 |")
+        assert lines[1].startswith("b101 |")
+
+    def test_scaling_to_max(self):
+        chart = horizontal_bars([("a", 2.0), ("b", 4.0)], width=4)
+        top, bottom = chart.splitlines()
+        assert bottom.count(FULL) == 4
+        assert top.count(FULL) == 2
+
+    def test_explicit_max(self):
+        chart = horizontal_bars([("a", 0.5)], width=4, max_value=1.0)
+        assert chart.count(FULL) == 2
+
+    def test_all_zero_safe(self):
+        assert "0.00" in horizontal_bars([("a", 0.0)])
+
+    def test_empty(self):
+        assert horizontal_bars([]) == "(no data)"
+
+
+class TestIntervalBars:
+    def test_median_marked(self):
+        chart = interval_bars([("a", (0.0, 0.2, 0.5, 0.8, 1.0))], width=20)
+        assert "#" in chart
+        assert "med 0.500" in chart
+
+    def test_whiskers_cover_range(self):
+        chart = interval_bars([("a", (0.0, 0.4, 0.5, 0.6, 1.0))], width=20)
+        body = chart.split("|")[1]
+        assert body[0] == "·"
+        assert body[-1] == "·"
+        assert "═" in body
+
+    def test_degenerate_point(self):
+        chart = interval_bars([("a", (0.5, 0.5, 0.5, 0.5, 0.5))], width=10)
+        assert chart.count("#") == 1
+
+    def test_empty(self):
+        assert interval_bars([]) == "(no data)"
+
+
+class TestFigure12Chart:
+    def test_combines_both_series(self):
+        rows = [
+            ("b1", 0.8, (0.01, 0.02, 0.03, 0.04, 0.05)),
+            ("b2", 1.0, (0.001, 0.002, 0.003, 0.004, 0.005)),
+        ]
+        chart = figure12_chart(rows)
+        assert "accuracy per benchmark" in chart
+        assert "synthesis time per benchmark" in chart
+        assert chart.count("b1") == 2  # appears in both charts
+
+    def test_q1_report_renders_chart(self):
+        from repro.harness.q1 import BenchmarkResult, Q1Report
+
+        result = BenchmarkResult(bid="b1", family="f", tests=10, correct=8)
+        result.prediction_times.extend([0.01, 0.02, 0.03])
+        report = Q1Report([result], trace_cap=10, timeout=1.0)
+        chart = report.render_figure12_chart()
+        assert "b1" in chart and "#" in chart

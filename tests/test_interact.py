@@ -1,0 +1,119 @@
+"""Tests for the demo-auth-auto interactive session (§6)."""
+
+import pytest
+
+from repro.benchmarks.sites.store_locator import StoreLocatorSite
+from repro.browser import Browser, record_ground_truth
+from repro.interact import InteractiveSession, NoisyUser, OracleUser, Phase
+from repro.lang import DataSource, parse_program
+from repro.synth import Synthesizer
+
+ZIPS = DataSource({"zips": ["48104"]})
+
+SCRAPE_NAMES = """
+EnterData(//input[@name='search'][1], x["zips"][1])
+Click(//button[@class='squareButton btnDoSearch'][1])
+while true do
+  foreach r in Dscts(/, div[@class='rightContainer']) do
+    ScrapeText(r//h3[1])
+    ScrapeText(r//div[@class='locatorPhone'][1])
+  Click(//button[@class='sprite-next-page-arrow'][1]/span[1])
+"""
+
+
+def make_task(pages=2, stores=3):
+    site_for_recording = StoreLocatorSite(pages_per_zip=pages, stores_per_page=stores)
+    recording = record_ground_truth(site_for_recording, parse_program(SCRAPE_NAMES), ZIPS)
+    live_site = StoreLocatorSite(pages_per_zip=pages, stores_per_page=stores)
+    return recording, live_site
+
+
+class TestOracleUser:
+    def test_follows_recording(self):
+        recording, _ = make_task()
+        user = OracleUser(recording)
+        assert not user.done
+        first = user.demonstrate()
+        assert first.kind == "EnterData"
+        assert user.observe(first)
+        assert user.position == 1
+
+    def test_rejects_wrong_action(self):
+        recording, _ = make_task()
+        user = OracleUser(recording)
+        wrong = recording.actions[3]
+        assert not user.approves(wrong)
+        assert not user.observe(wrong)
+        assert user.position == 0
+
+    def test_judge_picks_matching_prediction(self):
+        recording, _ = make_task()
+        user = OracleUser(recording)
+        intended = recording.actions[0]
+        wrong = recording.actions[5]
+        assert user.judge([wrong, intended]) == 1
+        assert user.judge([wrong]) is None
+        assert user.judge([]) is None
+
+    def test_done_after_all_actions(self):
+        recording, _ = make_task()
+        user = OracleUser(recording)
+        for action in recording.actions:
+            assert user.observe(action)
+        assert user.done
+        assert user.intended_action() is None
+
+
+class TestInteractiveSession:
+    def run_session(self, user_cls=OracleUser, **user_kwargs):
+        recording, live_site = make_task()
+        browser = Browser(live_site, ZIPS)
+        synthesizer = Synthesizer(ZIPS)
+        user = user_cls(recording, **user_kwargs)
+        session = InteractiveSession(browser, synthesizer, user)
+        report = session.run()
+        return recording, browser, report
+
+    def test_completes_task(self):
+        recording, browser, report = self.run_session()
+        assert report.completed
+        assert report.total_actions == recording.length
+
+    def test_most_actions_automated(self):
+        # A 3-page x 4-store task (28 actions): the paper's users
+        # demonstrate ~6-10 actions and the robot does the rest.
+        recording, live_site = make_task(pages=3, stores=4)
+        browser = Browser(live_site, ZIPS)
+        session = InteractiveSession(browser, Synthesizer(ZIPS), OracleUser(recording))
+        report = session.run()
+        assert report.completed
+        assert report.demonstrated <= 12
+        assert report.automated + report.authorized > report.demonstrated
+
+    def test_outputs_match_ground_truth(self):
+        recording, browser, report = self.run_session()
+        assert browser.outputs == recording.outputs
+
+    def test_phases_progress(self):
+        _, _, report = self.run_session()
+        assert "auth" in report.phase_log
+        assert "auto" in report.phase_log
+
+    def test_noisy_user_still_completes(self):
+        recording, browser, report = self.run_session(
+            user_cls=NoisyUser, mistake_rate=0.2, seed=7
+        )
+        assert report.completed
+        assert browser.outputs == recording.outputs
+        # rejecting correct predictions costs extra demonstrations
+        oracle_report = self.run_session()[2]
+        assert report.demonstrated >= oracle_report.demonstrated
+
+    def test_max_steps_bounds_runtime(self):
+        recording, live_site = make_task()
+        browser = Browser(live_site, ZIPS)
+        session = InteractiveSession(
+            browser, Synthesizer(ZIPS), OracleUser(recording), max_steps=3
+        )
+        report = session.run()
+        assert not report.completed

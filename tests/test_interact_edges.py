@@ -1,0 +1,99 @@
+"""Edge cases for the interaction model: rejections, interrupts, phases."""
+
+import pytest
+
+from repro.benchmarks import benchmark_by_id
+from repro.browser import Browser, record_ground_truth
+from repro.interact import InteractiveSession, OracleUser, Phase, SessionReport
+from repro.interact.user import NoisyUser
+from repro.lang import DataSource, parse_program
+from repro.synth import Synthesizer
+
+from repro.benchmarks.sites.plain_lists import PlainListSite
+
+FLAT_GT = parse_program(
+    "foreach i in Children(/html[1]/body[1]/ul[1], li) do\n"
+    "  ScrapeText(i/span[1])\n  ScrapeText(i/b[1])"
+)
+
+
+def flat_task(items=6):
+    site = PlainListSite(items, fields=2, seed="ie")
+    recording = record_ground_truth(site, FLAT_GT)
+    live = PlainListSite(items, fields=2, seed="ie")
+    return recording, live
+
+
+class TestSessionReportMetrics:
+    def test_automation_fraction(self):
+        report = SessionReport(total_actions=10, automated=6)
+        assert report.automation_fraction == 0.6
+
+    def test_automation_fraction_empty(self):
+        assert SessionReport().automation_fraction == 0.0
+
+
+class TestAuthorizationFlow:
+    def test_authorized_before_automation(self):
+        recording, live = flat_task()
+        session = InteractiveSession(
+            Browser(live), Synthesizer(DataSource({})), OracleUser(recording),
+            auth_accepts_to_automate=3,
+        )
+        report = session.run()
+        assert report.completed
+        assert report.authorized >= 3  # threshold accepted one-by-one
+
+    def test_high_threshold_stays_in_auth(self):
+        recording, live = flat_task(items=4)
+        session = InteractiveSession(
+            Browser(live), Synthesizer(DataSource({})), OracleUser(recording),
+            auth_accepts_to_automate=999,
+        )
+        report = session.run()
+        assert report.completed
+        assert report.automated == 0  # never reached the auto phase
+        assert report.authorized > 0
+
+    def test_always_rejecting_user_demonstrates_everything(self):
+        recording, live = flat_task(items=4)
+
+        class Contrarian(OracleUser):
+            def judge(self, predictions):
+                return None  # rejects every prediction
+
+        session = InteractiveSession(
+            Browser(live), Synthesizer(DataSource({})), Contrarian(recording)
+        )
+        report = session.run()
+        assert report.completed
+        assert report.automated == 0 and report.authorized == 0
+        assert report.demonstrated == recording.length
+        assert report.rejected > 0
+
+
+class TestNoisyUserSeeds:
+    def test_mistake_rate_zero_equals_oracle(self):
+        recording, live = flat_task()
+        noisy = NoisyUser(recording, mistake_rate=0.0, seed=3)
+        oracle_report = InteractiveSession(
+            Browser(live), Synthesizer(DataSource({})), noisy
+        ).run()
+        assert oracle_report.completed
+        assert oracle_report.rejected == 0
+
+    def test_seeded_noise_is_deterministic(self):
+        first_counts = []
+        for _ in range(2):
+            recording, live = flat_task()
+            report = InteractiveSession(
+                Browser(live), Synthesizer(DataSource({})),
+                NoisyUser(recording, mistake_rate=0.3, seed=11),
+            ).run()
+            first_counts.append((report.demonstrated, report.rejected))
+        assert first_counts[0] == first_counts[1]
+
+
+class TestPhaseEnum:
+    def test_phase_values(self):
+        assert {phase.value for phase in Phase} == {"demo", "auth", "auto", "done"}

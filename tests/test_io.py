@@ -1,0 +1,170 @@
+"""Tests for JSON serialization of recordings, actions, and programs."""
+
+import io
+import json
+
+import pytest
+
+from repro.benchmarks import benchmark_by_id
+from repro.io import (
+    action_from_json,
+    action_to_json,
+    dom_from_json,
+    dom_to_json,
+    dump,
+    load,
+    program_from_json,
+    program_to_json,
+    recording_from_json,
+    recording_to_json,
+)
+from repro.lang import (
+    EMPTY_DATA,
+    X,
+    canonical_program,
+    click,
+    enter_data,
+    go_back,
+    parse_program,
+    scrape_text,
+    send_keys,
+)
+from repro.dom import E, page, parse_selector
+from repro.semantics import DOMTrace, actions_consistent
+from repro.synth import Synthesizer
+from repro.util import ParseError
+
+
+class TestDomJson:
+    def test_round_trip_structure(self):
+        dom = page(
+            E("div", {"class": "card", "id": "one"},
+              E("h3", text="hello"), E("p", text="world")),
+        )
+        rebuilt = dom_from_json(dom_to_json(dom))
+        assert rebuilt.structural_key() == dom.structural_key()
+        assert rebuilt.frozen
+
+    def test_missing_tag_rejected(self):
+        with pytest.raises(ParseError):
+            dom_from_json({"attrs": {}})
+
+    def test_minimal_node(self):
+        payload = dom_to_json(E("br"))
+        assert payload == {"tag": "br"}
+
+
+class TestActionJson:
+    @pytest.mark.parametrize(
+        "action",
+        [
+            click(parse_selector("//a[1]")),
+            scrape_text(parse_selector("/html[1]/body[1]/div[2]/h3[1]")),
+            send_keys(parse_selector("//input[@name='q'][1]"), "hello, world"),
+            enter_data(parse_selector("//input[1]"), X.extend("rows").extend(3).extend("zip")),
+            go_back(),
+        ],
+    )
+    def test_round_trip(self, action):
+        assert action_from_json(action_to_json(action)) == action
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ParseError):
+            action_from_json({"selector": "//a[1]"})
+
+    def test_bad_accessor_rejected(self):
+        with pytest.raises(ParseError):
+            action_from_json(
+                {"kind": "EnterData", "selector": "//a[1]", "path": [None]}
+            )
+
+
+class TestProgramJson:
+    def test_round_trip(self):
+        program = parse_program(
+            "foreach r in Dscts(/, div[@class='card']) do\n  ScrapeText(r//h3[1])"
+        )
+        rebuilt = program_from_json(program_to_json(program))
+        assert canonical_program(rebuilt) == canonical_program(program)
+
+    def test_missing_program_key(self):
+        with pytest.raises(ParseError):
+            program_from_json({"version": 1})
+
+
+class TestRecordingJson:
+    def test_round_trip_preserves_synthesis_behavior(self):
+        benchmark = benchmark_by_id("b73")
+        recording = benchmark.record()
+        rebuilt = recording_from_json(recording_to_json(recording))
+        assert [str(a) for a in rebuilt.actions] == [str(a) for a in recording.actions]
+        assert rebuilt.outputs == recording.outputs
+        # synthesis from the reloaded demonstration behaves identically
+        cut = 4
+        original = Synthesizer(EMPTY_DATA).synthesize(*recording.prefix(cut))
+        reloaded = Synthesizer(EMPTY_DATA).synthesize(*rebuilt.prefix(cut))
+        assert original.best_prediction is not None
+        assert actions_consistent(
+            original.best_prediction, reloaded.best_prediction, rebuilt.snapshots[cut]
+        )
+
+    def test_snapshot_sharing_is_compact(self):
+        benchmark = benchmark_by_id("b73")  # single page: 1 unique snapshot
+        payload = recording_to_json(benchmark.record())
+        assert len(payload["snapshots"]) == 1
+        assert len(payload["snapshot_indices"]) == benchmark.record().length + 1
+
+    def test_shared_snapshots_rebuilt_shared(self):
+        benchmark = benchmark_by_id("b73")
+        rebuilt = recording_from_json(recording_to_json(benchmark.record()))
+        assert rebuilt.snapshots[0] is rebuilt.snapshots[1]
+
+    def test_version_checked(self):
+        payload = recording_to_json(benchmark_by_id("b73").record())
+        payload["version"] = 99
+        with pytest.raises(ParseError):
+            recording_from_json(payload)
+
+    def test_index_count_checked(self):
+        payload = recording_to_json(benchmark_by_id("b73").record())
+        payload["snapshot_indices"] = payload["snapshot_indices"][:-1]
+        with pytest.raises(ParseError):
+            recording_from_json(payload)
+
+    def test_index_range_checked(self):
+        payload = recording_to_json(benchmark_by_id("b73").record())
+        payload["snapshot_indices"] = [99] * len(payload["snapshot_indices"])
+        with pytest.raises(ParseError):
+            recording_from_json(payload)
+
+
+class TestFileHelpers:
+    def test_dump_load_recording(self):
+        recording = benchmark_by_id("b74").record()
+        buffer = io.StringIO()
+        dump(recording, buffer)
+        buffer.seek(0)
+        loaded = load(buffer)
+        assert loaded.outputs == recording.outputs
+
+    def test_dump_load_program(self):
+        program = parse_program("Click(//a[1])\nGoBack")
+        buffer = io.StringIO()
+        dump(program, buffer)
+        buffer.seek(0)
+        loaded = load(buffer)
+        assert canonical_program(loaded) == canonical_program(program)
+
+    def test_dump_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            dump(42, io.StringIO())
+
+    def test_load_rejects_non_object(self):
+        with pytest.raises(ParseError):
+            load(io.StringIO("[1, 2, 3]"))
+
+    def test_json_is_plain(self):
+        buffer = io.StringIO()
+        dump(benchmark_by_id("b74").record(), buffer)
+        payload = json.loads(buffer.getvalue())
+        assert payload["version"] == 1

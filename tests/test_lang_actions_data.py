@@ -1,0 +1,130 @@
+"""Unit tests for concrete actions and data sources."""
+
+import pytest
+
+from repro.dom import parse_selector
+from repro.lang import (
+    X,
+    Action,
+    ActionStmt,
+    DataSource,
+    ValuePath,
+    action_to_statement,
+    as_text,
+    click,
+    enter_data,
+    extract_url,
+    fresh_var,
+    go_back,
+    scrape_text,
+    send_keys,
+    statement_to_action,
+)
+from repro.lang.ast import SEL_VAR, VAL_VAR, Selector
+from repro.util import DataPathError
+
+
+class TestAction:
+    def test_constructors(self):
+        sel = parse_selector("//a[1]")
+        assert click(sel).kind == "Click"
+        assert scrape_text(sel).kind == "ScrapeText"
+        assert go_back().selector is None
+        assert extract_url().kind == "ExtractURL"
+        assert send_keys(sel, "hi").text == "hi"
+        assert enter_data(sel, X.extend("k").extend(1)).path.accessors == ("k", 1)
+
+    def test_enter_data_requires_concrete_path(self):
+        sel = parse_selector("//input[1]")
+        symbolic = ValuePath(fresh_var(VAL_VAR), ())
+        with pytest.raises(ValueError):
+            Action("EnterData", sel, path=symbolic)
+
+    def test_selector_shape_enforced(self):
+        with pytest.raises(ValueError):
+            Action("Click")
+        with pytest.raises(ValueError):
+            Action("GoBack", parse_selector("//a[1]"))
+
+    def test_str(self):
+        sel = parse_selector("//a[1]")
+        assert str(click(sel)) == "Click(//a[1])"
+        assert str(go_back()) == "GoBack"
+
+
+class TestActionStatementBridge:
+    def test_round_trip(self):
+        sel = parse_selector("//div[2]/h3[1]")
+        for action in (click(sel), scrape_text(sel), send_keys(sel, "q"), go_back()):
+            assert statement_to_action(action_to_statement(action)) == action
+
+    def test_enter_data_round_trip(self):
+        action = enter_data(parse_selector("//input[1]"), X.extend("zips").extend(2))
+        assert statement_to_action(action_to_statement(action)) == action
+
+    def test_symbolic_statement_rejected(self):
+        var = fresh_var(SEL_VAR)
+        stmt = ActionStmt("Click", Selector(var, ()))
+        with pytest.raises(ValueError):
+            statement_to_action(stmt)
+
+
+class TestDataSource:
+    def setup_method(self):
+        self.data = DataSource(
+            {"zips": ["48104", "48105", "48109"], "people": [{"name": "Ada"}, {"name": "Bob"}]}
+        )
+
+    def test_resolve_key_and_index(self):
+        path = X.extend("zips").extend(2)
+        assert self.data.resolve(path) == "48105"
+
+    def test_resolve_nested(self):
+        path = X.extend("people").extend(2).extend("name")
+        assert self.data.resolve(path) == "Bob"
+
+    def test_missing_key_raises(self):
+        with pytest.raises(DataPathError):
+            self.data.resolve(X.extend("missing"))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(DataPathError):
+            self.data.resolve(X.extend("zips").extend(4))
+
+    def test_zero_index_raises(self):
+        with pytest.raises(DataPathError):
+            self.data.resolve(X.extend("zips").extend(0))
+
+    def test_index_on_object_raises(self):
+        with pytest.raises(DataPathError):
+            self.data.resolve(X.extend(1))
+
+    def test_key_on_array_raises(self):
+        with pytest.raises(DataPathError):
+            self.data.resolve(X.extend("zips").extend("k"))
+
+    def test_symbolic_path_rejected(self):
+        with pytest.raises(DataPathError):
+            self.data.resolve(ValuePath(fresh_var(VAL_VAR), ()))
+
+    def test_get_array(self):
+        assert self.data.get_array(X.extend("zips")) == ["48104", "48105", "48109"]
+
+    def test_get_array_on_scalar_raises(self):
+        with pytest.raises(DataPathError):
+            self.data.get_array(X.extend("zips").extend(1))
+
+    def test_value_paths_enumerates_one_based(self):
+        paths = self.data.value_paths(X.extend("zips"))
+        assert [p.accessors[-1] for p in paths] == [1, 2, 3]
+        assert all(p.accessors[0] == "zips" for p in paths)
+
+    def test_contains(self):
+        assert self.data.contains(X.extend("zips").extend(1))
+        assert not self.data.contains(X.extend("zips").extend(9))
+
+    def test_as_text(self):
+        assert as_text("abc") == "abc"
+        assert as_text(42) == "42"
+        with pytest.raises(DataPathError):
+            as_text(["a"])

@@ -1,0 +1,216 @@
+"""Unit tests for the DSL AST: construction, sizes, alpha-equivalence."""
+
+import pytest
+
+from repro.dom import Predicate, parse_selector
+from repro.lang import (
+    CLICK,
+    SCRAPE_TEXT,
+    SEL_VAR,
+    VAL_VAR,
+    X,
+    ActionStmt,
+    ChildrenOf,
+    DescendantsOf,
+    ForEachSelector,
+    ForEachValue,
+    Program,
+    Selector,
+    ValuePath,
+    ValuePathsOf,
+    WhileLoop,
+    alpha_equivalent,
+    alpha_equivalent_bodies,
+    canonical_program,
+    fresh_var,
+    program_size,
+    selector_of,
+    statement_size,
+)
+
+
+def sel(text):
+    return selector_of(parse_selector(text))
+
+
+def click_stmt(text):
+    return ActionStmt(CLICK, sel(text))
+
+
+def scrape_stmt(target):
+    return ActionStmt(SCRAPE_TEXT, target)
+
+
+class TestVars:
+    def test_fresh_vars_distinct(self):
+        a = fresh_var(SEL_VAR)
+        b = fresh_var(SEL_VAR)
+        assert a != b
+
+    def test_str_prefixes(self):
+        assert str(fresh_var(SEL_VAR)).startswith("r")
+        assert str(fresh_var(VAL_VAR)).startswith("d")
+
+
+class TestSelector:
+    def test_concrete_flag(self):
+        assert sel("//div[1]").is_concrete
+        assert not Selector(fresh_var(SEL_VAR), ()).is_concrete
+
+    def test_base_must_be_selector_var(self):
+        with pytest.raises(ValueError):
+            Selector(fresh_var(VAL_VAR), ())
+
+    def test_str_with_var_base(self):
+        var = fresh_var(SEL_VAR)
+        s = Selector(var, parse_selector("//h3[1]").steps)
+        assert str(s) == f"{var}//h3[1]"
+
+    def test_epsilon_str(self):
+        assert str(Selector()) == "/"
+
+
+class TestValuePath:
+    def test_base_must_be_value_var(self):
+        with pytest.raises(ValueError):
+            ValuePath(fresh_var(SEL_VAR), ())
+
+    def test_extend_and_str(self):
+        path = X.extend("zips").extend(3)
+        assert str(path) == 'x["zips"][3]'
+        assert path.is_concrete
+
+    def test_symbolic_str(self):
+        var = fresh_var(VAL_VAR)
+        path = ValuePath(var, ("name",))
+        assert str(path) == f'{var}["name"]'
+        assert not path.is_concrete
+
+
+class TestActionStmt:
+    def test_node_kind_requires_selector(self):
+        with pytest.raises(ValueError):
+            ActionStmt(CLICK)
+
+    def test_parameterless_rejects_selector(self):
+        with pytest.raises(ValueError):
+            ActionStmt("GoBack", sel("//a[1]"))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ActionStmt("Hover", sel("//a[1]"))
+
+    def test_send_keys_requires_text(self):
+        with pytest.raises(ValueError):
+            ActionStmt("SendKeys", sel("//input[1]"))
+
+    def test_enter_data_requires_value(self):
+        with pytest.raises(ValueError):
+            ActionStmt("EnterData", sel("//input[1]"))
+
+    def test_str_forms(self):
+        assert str(ActionStmt("GoBack")) == "GoBack"
+        stmt = ActionStmt("SendKeys", sel("//input[1]"), text="hi")
+        assert str(stmt) == 'SendKeys(//input[1], "hi")'
+        entry = ActionStmt("EnterData", sel("//input[1]"), value=X.extend("a").extend(1))
+        assert str(entry) == 'EnterData(//input[1], x["a"][1])'
+
+
+class TestLoops:
+    def test_selector_loop_var_kind_checked(self):
+        with pytest.raises(ValueError):
+            ForEachSelector(
+                fresh_var(VAL_VAR),
+                DescendantsOf(Selector(), Predicate("div")),
+                (click_stmt("//a[1]"),),
+            )
+
+    def test_value_loop_var_kind_checked(self):
+        with pytest.raises(ValueError):
+            ForEachValue(fresh_var(SEL_VAR), ValuePathsOf(X), (click_stmt("//a[1]"),))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            ForEachSelector(
+                fresh_var(SEL_VAR), DescendantsOf(Selector(), Predicate("div")), ()
+            )
+
+    def test_while_requires_click(self):
+        with pytest.raises(ValueError):
+            WhileLoop((click_stmt("//a[1]"),), scrape_stmt(sel("//a[1]")))
+
+
+class TestSizes:
+    def test_action_size_counts_selector(self):
+        assert statement_size(click_stmt("//div[1]/h3[1]")) == 4  # stmt + base + 2 steps
+
+    def test_loop_size_includes_body(self):
+        var = fresh_var(SEL_VAR)
+        loop = ForEachSelector(
+            var,
+            DescendantsOf(Selector(), Predicate("div")),
+            (scrape_stmt(Selector(var, parse_selector("//h3[1]").steps)),),
+        )
+        assert statement_size(loop) == 2 + 1 + (1 + 2)
+
+    def test_program_size_sums(self):
+        prog = Program((click_stmt("//a[1]"), click_stmt("//b[1]")))
+        assert program_size(prog) == 2 * statement_size(click_stmt("//a[1]"))
+
+
+class TestAlphaEquivalence:
+    def _loop_with_var(self):
+        var = fresh_var(SEL_VAR)
+        body = (scrape_stmt(Selector(var, parse_selector("//h3[1]").steps)),)
+        return ForEachSelector(var, DescendantsOf(Selector(), Predicate("div")), body), var
+
+    def test_loops_differing_only_in_var_are_equivalent(self):
+        loop_a, _ = self._loop_with_var()
+        loop_b, _ = self._loop_with_var()
+        assert loop_a != loop_b  # different Var uids
+        assert alpha_equivalent(loop_a, loop_b)
+
+    def test_different_predicates_not_equivalent(self):
+        loop_a, _ = self._loop_with_var()
+        var = fresh_var(SEL_VAR)
+        loop_b = ForEachSelector(
+            var,
+            DescendantsOf(Selector(), Predicate("span")),
+            (scrape_stmt(Selector(var, parse_selector("//h3[1]").steps)),),
+        )
+        assert not alpha_equivalent(loop_a, loop_b)
+
+    def test_bodies_equivalent_relative_to_vars(self):
+        var_a = fresh_var(SEL_VAR)
+        var_b = fresh_var(SEL_VAR)
+        body_a = (scrape_stmt(Selector(var_a, parse_selector("//h3[1]").steps)),)
+        body_b = (scrape_stmt(Selector(var_b, parse_selector("//h3[1]").steps)),)
+        assert alpha_equivalent_bodies(body_a, var_a, body_b, var_b)
+
+    def test_bodies_with_free_var_mismatch(self):
+        var_a = fresh_var(SEL_VAR)
+        var_b = fresh_var(SEL_VAR)
+        other = fresh_var(SEL_VAR)
+        body_a = (scrape_stmt(Selector(var_a, ())),)
+        body_b = (scrape_stmt(Selector(other, ())),)
+        assert not alpha_equivalent_bodies(body_a, var_a, body_b, var_b)
+
+    def test_canonical_program_stable_across_var_renaming(self):
+        loop_a, _ = self._loop_with_var()
+        loop_b, _ = self._loop_with_var()
+        assert canonical_program(Program((loop_a,))) == canonical_program(Program((loop_b,)))
+
+    def test_nested_loops_canonicalized(self):
+        def nested():
+            outer = fresh_var(SEL_VAR)
+            inner = fresh_var(SEL_VAR)
+            inner_loop = ForEachSelector(
+                inner,
+                ChildrenOf(Selector(outer, ()), Predicate("li")),
+                (scrape_stmt(Selector(inner, ())),),
+            )
+            return ForEachSelector(
+                outer, DescendantsOf(Selector(), Predicate("ul")), (inner_loop,)
+            )
+
+        assert alpha_equivalent(nested(), nested())

@@ -1,0 +1,188 @@
+"""Tests for the static well-formedness checker (repro.lang.check)."""
+
+import pytest
+
+from repro.lang import DataSource, parse_program
+from repro.lang.ast import (
+    SCRAPE_TEXT,
+    SEL_VAR,
+    ActionStmt,
+    DescendantsOf,
+    ForEachSelector,
+    Program,
+    Selector,
+    Var,
+)
+from repro.dom.xpath import Predicate
+from repro.lang.check import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    assert_well_formed,
+    check_program,
+    errors_only,
+)
+from repro.util.errors import CheckError
+
+DATA = DataSource({"zips": ["48104", "48105"], "profile": {"name": "Ellie"}})
+
+
+def program(text: str):
+    from repro.lang.parser import parse_program
+
+    return parse_program(text)
+
+
+class TestCleanPrograms:
+    def test_straight_line_clean(self):
+        assert check_program(program("Click(//a[1])\nGoBack\nExtractURL")) == []
+
+    def test_full_p4_clean(self):
+        p4 = program(
+            'foreach d1 in ValuePaths(x["zips"]) do\n'
+            "  EnterData(//input[1], d1)\n"
+            "  Click(//button[1])\n"
+            "  while true do\n"
+            "    foreach r1 in Dscts(/, div[@class='card']) do\n"
+            "      ScrapeText(r1//h3[1])\n"
+            "    Click(//button[@class='next'][1])"
+        )
+        assert check_program(p4, DATA) == []
+
+    def test_value_paths_against_data(self):
+        clean = program('EnterData(//input[1], x["zips"][2])')
+        assert check_program(clean, DATA) == []
+
+
+class TestVariableScoping:
+    def test_free_selector_variable(self):
+        loop = program("foreach r in Dscts(/, li) do\n  ScrapeText(r/span[1])")
+        inner = loop.statements[0].body[0]
+        # hoist the body statement out of its binder
+        broken = Program((inner,))
+        diags = check_program(broken)
+        assert any("free selector variable" in d.message for d in errors_only(diags))
+
+    def test_free_value_variable(self):
+        loop = program('foreach d in ValuePaths(x["zips"]) do\n  EnterData(//input[1], d)')
+        inner = loop.statements[0].body[0]
+        broken = Program((inner,))
+        diags = check_program(broken, DATA)
+        assert any("free value variable" in d.message for d in errors_only(diags))
+
+    def test_shadowing_same_variable_object(self):
+        var = Var(SEL_VAR, 999)
+        inner = ForEachSelector(
+            var,
+            DescendantsOf(Selector(var), Predicate("li")),
+            (ActionStmt(SCRAPE_TEXT, Selector(var)),),
+        )
+        outer = ForEachSelector(
+            var,
+            DescendantsOf(Selector(), Predicate("ul")),
+            (inner,),
+        )
+        diags = check_program(Program((outer,)))
+        assert any("shadows" in d.message for d in errors_only(diags))
+
+    def test_unused_loop_variable_warns(self):
+        loop = program("foreach r in Dscts(/, li) do\n  ScrapeText(//h3[1])")
+        diags = check_program(loop)
+        assert errors_only(diags) == []
+        assert any(d.severity == WARNING and "never used" in d.message for d in diags)
+
+    def test_nested_use_counts_as_use(self):
+        loop = program(
+            "foreach r in Dscts(/, ul) do\n"
+            "  foreach s in Children(r, li) do\n"
+            "    ScrapeText(s/span[1])"
+        )
+        diags = check_program(loop)
+        # outer var used as inner collection base; inner var used in body
+        assert [d for d in diags if "never used" in d.message] == []
+
+    def test_while_click_use_counts(self):
+        loop = program(
+            "foreach r in Dscts(/, div) do\n"
+            "  while true do\n"
+            "    ScrapeText(//h3[1])\n"
+            "    Click(r/button[1])"
+        )
+        diags = check_program(loop)
+        assert [d for d in diags if "never used" in d.message] == []
+
+
+class TestDataTyping:
+    def test_missing_key(self):
+        bad = program('EnterData(//input[1], x["nope"][1])')
+        diags = check_program(bad, DATA)
+        assert any("does not resolve" in d.message for d in errors_only(diags))
+
+    def test_index_out_of_range(self):
+        bad = program('EnterData(//input[1], x["zips"][9])')
+        diags = check_program(bad, DATA)
+        assert any("does not resolve" in d.message for d in errors_only(diags))
+
+    def test_entering_composite_value(self):
+        bad = program('EnterData(//input[1], x["profile"])')
+        diags = check_program(bad, DATA)
+        assert any("needs a scalar" in d.message for d in errors_only(diags))
+
+    def test_value_loop_over_non_array(self):
+        bad = program(
+            'foreach d in ValuePaths(x["profile"]) do\n  EnterData(//input[1], d)'
+        )
+        diags = check_program(bad, DATA)
+        assert any("ValuePaths" in d.message for d in errors_only(diags))
+
+    def test_no_data_skips_typing(self):
+        # without a data source, path checks are skipped entirely
+        maybe = program('EnterData(//input[1], x["nope"][1])')
+        assert check_program(maybe) == []
+
+
+class TestWhileLoops:
+    def test_empty_body_warns(self):
+        from repro.lang.ast import CLICK, WhileLoop
+
+        loop = WhileLoop((), ActionStmt(CLICK, Selector()))
+        diags = check_program(Program((loop,)))
+        assert any("clicks forever" in d.message for d in diags)
+
+    def test_click_path_addressed_past_body(self):
+        loop = program("while true do\n  ScrapeText(//h3[1])\n  Click(//b[1])")
+        # make the click site ill-formed by hoisting it under a fake var
+        from repro.lang.ast import CLICK, WhileLoop, fresh_var
+
+        var = fresh_var(SEL_VAR)
+        bad = WhileLoop(
+            loop.statements[0].body,
+            ActionStmt(CLICK, Selector(var)),
+        )
+        diags = check_program(Program((bad,)))
+        errors = errors_only(diags)
+        assert errors and errors[0].path == (0, 1)
+
+
+class TestPublicHelpers:
+    def test_assert_well_formed_passes_clean(self):
+        assert_well_formed(program("Click(//a[1])"))
+
+    def test_assert_well_formed_raises(self):
+        loop = program("foreach r in Dscts(/, li) do\n  ScrapeText(r/span[1])")
+        broken = Program((loop.statements[0].body[0],))
+        with pytest.raises(CheckError, match="free selector variable"):
+            assert_well_formed(broken)
+
+    def test_diagnostic_str_shows_path(self):
+        diag = Diagnostic(ERROR, (0, 2), "boom")
+        assert str(diag) == "error at 0.2: boom"
+
+    def test_diagnostic_str_top_level(self):
+        diag = Diagnostic(WARNING, (), "hmm")
+        assert "<top>" in str(diag)
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.check_program is check_program

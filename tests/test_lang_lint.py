@@ -1,0 +1,227 @@
+"""Tests for the program linter (`repro.lang.lint`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import parse_program
+from repro.lang.lint import LintFinding, RULES, lint_program, warnings_only
+
+
+def rules_of(program_text: str, disable=None) -> list[str]:
+    return [f.rule for f in lint_program(parse_program(program_text), disable=disable)]
+
+
+CLEAN = """
+foreach d in ValuePaths(x["zips"]) do
+  EnterData(//input[@name='q'][1], d)
+  Click(//button[@class='go'][1])
+  foreach r in Dscts(/, div[@class='card']) do
+    ScrapeText(r//h3[1])
+"""
+
+
+class TestCleanPrograms:
+    def test_idiomatic_program_is_clean(self):
+        assert rules_of(CLEAN) == []
+
+    def test_attribute_anchored_selector_not_brittle(self):
+        assert rules_of("ScrapeText(/html[1]/body[1]/div[@class='x'][1]/h3[1]/span[1])") == []
+
+    def test_short_raw_path_not_brittle(self):
+        assert rules_of("ScrapeText(/html[1]/body[1]/h3[1])") == []
+
+
+class TestBrittleSelector:
+    def test_long_raw_path_flagged(self):
+        rules = rules_of("ScrapeText(/html[1]/body[1]/div[2]/div[1]/h3[1])")
+        assert "brittle-selector" in rules
+
+    def test_finding_is_info_severity(self):
+        findings = lint_program(
+            parse_program("ScrapeText(/html[1]/body[1]/div[2]/div[1]/h3[1])")
+        )
+        brittle = [f for f in findings if f.rule == "brittle-selector"]
+        assert brittle and all(f.severity == "info" for f in brittle)
+
+    def test_loop_relative_selector_not_flagged(self):
+        text = (
+            "foreach r in Dscts(/, div[@class='card']) do\n"
+            "  ScrapeText(r/div[1]/div[1]/div[1]/h3[1])"
+        )
+        assert "brittle-selector" not in rules_of(text)
+
+
+class TestEntryRules:
+    def test_sendkeys_in_value_loop_flagged(self):
+        text = (
+            'foreach d in ValuePaths(x["zips"]) do\n'
+            '  SendKeys(//input[1], "48104")\n'
+            "  EnterData(//input[1], d)"
+        )
+        assert "constant-entry-in-loop" in rules_of(text)
+
+    def test_sendkeys_outside_loop_unflagged(self):
+        assert "constant-entry-in-loop" not in rules_of(
+            'SendKeys(//input[1], "x")\nScrapeText(//h3[1])'
+        )
+
+    def test_loop_invariant_enterdata_flagged(self):
+        text = (
+            'foreach d in ValuePaths(x["zips"]) do\n'
+            '  EnterData(//input[1], x["zips"][1])'
+        )
+        rules = rules_of(text)
+        assert "loop-invariant-entry" in rules
+
+    def test_enterdata_with_loop_var_unflagged(self):
+        assert "loop-invariant-entry" not in rules_of(CLEAN)
+
+    def test_sendkeys_in_selector_loop_only_unflagged(self):
+        # constant keystrokes inside a *selector* loop are a normal
+        # pattern (e.g. clearing a field per row); only value loops flag
+        text = (
+            "foreach r in Dscts(/, div[@class='row']) do\n"
+            '  SendKeys(r//input[1], "reset")\n'
+            "  ScrapeText(r//h3[1])"
+        )
+        assert "constant-entry-in-loop" not in rules_of(text)
+
+
+class TestDuplicateExtraction:
+    def test_same_scrape_twice_flagged(self):
+        assert "duplicate-extraction" in rules_of(
+            "ScrapeText(//h3[1])\nClick(//a[1])\nScrapeText(//h3[1])"
+        )
+
+    def test_different_scrapes_unflagged(self):
+        assert "duplicate-extraction" not in rules_of(
+            "ScrapeText(//h3[1])\nScrapeText(//h3[2])"
+        )
+
+    def test_duplicate_across_bodies_unflagged(self):
+        # the same scrape in two *different* loops addresses different
+        # pages/iterations; only duplicates within one body repeat output
+        text = (
+            "foreach r in Dscts(/, div) do\n  ScrapeText(r//h3[1])\n"
+            "foreach r in Dscts(/, span) do\n  ScrapeText(r//h3[1])"
+        )
+        assert "duplicate-extraction" not in rules_of(text)
+
+
+class TestMergeableLoops:
+    def test_consecutive_same_collection_flagged(self):
+        text = (
+            "foreach r in Dscts(/, div[@class='card']) do\n  ScrapeText(r//h3[1])\n"
+            "foreach r in Dscts(/, div[@class='card']) do\n  ScrapeText(r//b[1])"
+        )
+        assert "mergeable-loops" in rules_of(text)
+
+    def test_different_collections_unflagged(self):
+        text = (
+            "foreach r in Dscts(/, div[@class='card']) do\n  ScrapeText(r//h3[1])\n"
+            "foreach r in Dscts(/, div[@class='row']) do\n  ScrapeText(r//b[1])"
+        )
+        assert "mergeable-loops" not in rules_of(text)
+
+    def test_value_loops_over_same_array_flagged(self):
+        text = (
+            'foreach d in ValuePaths(x["zips"]) do\n  EnterData(//input[1], d)\n'
+            'foreach d in ValuePaths(x["zips"]) do\n  EnterData(//input[2], d)'
+        )
+        assert "mergeable-loops" in rules_of(text)
+
+
+class TestUnrolledRepetition:
+    def test_three_in_a_row_flagged(self):
+        text = "\n".join(f"ScrapeText(//li[{i}]/span[1])" for i in (1, 2, 3))
+        findings = lint_program(parse_program(text))
+        unrolled = [f for f in findings if f.rule == "unrolled-repetition"]
+        assert len(unrolled) == 1
+        assert unrolled[0].path == (0,)
+
+    def test_two_in_a_row_unflagged(self):
+        text = "\n".join(f"ScrapeText(//li[{i}]/span[1])" for i in (1, 2))
+        assert "unrolled-repetition" not in rules_of(text)
+
+    def test_gap_breaks_the_run(self):
+        assert "unrolled-repetition" not in rules_of(
+            "ScrapeText(//li[1])\nScrapeText(//li[2])\nScrapeText(//li[4])"
+        )
+
+    def test_mixed_kinds_break_the_run(self):
+        assert "unrolled-repetition" not in rules_of(
+            "ScrapeText(//li[1])\nScrapeLink(//li[2])\nScrapeText(//li[3])"
+        )
+
+    def test_interleaved_pattern_not_matched(self):
+        # h3/phone interleavings are the synthesizer's job (period 2);
+        # the lint rule only handles stride-1 runs and must not misfire
+        text = (
+            "ScrapeText(//li[1]/h3[1])\nScrapeText(//li[1]/b[1])\n"
+            "ScrapeText(//li[2]/h3[1])\nScrapeText(//li[2]/b[1])"
+        )
+        assert "unrolled-repetition" not in rules_of(text)
+
+
+class TestStructuralRules:
+    def test_deep_nesting_flagged(self):
+        text = (
+            'foreach a in ValuePaths(x["a"]) do\n'
+            '  foreach b in ValuePaths(x["b"]) do\n'
+            '    foreach c in ValuePaths(x["c"]) do\n'
+            '      foreach d in ValuePaths(x["d"]) do\n'
+            "        EnterData(//input[1], d)\n"
+            "        ScrapeText(//h3[1])"
+        )
+        assert "deep-nesting" in rules_of(text)
+
+    def test_triple_nesting_unflagged(self):
+        assert "deep-nesting" not in rules_of(
+            'foreach a in ValuePaths(x["a"]) do\n'
+            "  while true do\n"
+            "    foreach r in Dscts(/, div) do\n"
+            "      ScrapeText(r//h3[1])\n"
+            "    Click(//button[1])"
+        )
+
+    def test_no_extraction_flagged(self):
+        assert "no-extraction" in rules_of("Click(//a[1])\nGoBack")
+
+    def test_extract_url_counts_as_output(self):
+        assert "no-extraction" not in rules_of("Click(//a[1])\nExtractURL")
+
+
+class TestAPI:
+    def test_disable_suppresses_rule(self):
+        text = "Click(//a[1])"
+        assert rules_of(text) == ["no-extraction"]
+        assert rules_of(text, disable={"no-extraction"}) == []
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint rules"):
+            lint_program(parse_program("GoBack"), disable={"bogus"})
+
+    def test_findings_sorted_by_path(self):
+        text = (
+            "ScrapeText(/html[1]/body[1]/div[2]/div[1]/h3[1])\n"
+            "ScrapeText(/html[1]/body[1]/div[2]/div[1]/h3[1])"
+        )
+        findings = lint_program(parse_program(text))
+        assert [f.path for f in findings] == sorted(f.path for f in findings)
+
+    def test_warnings_only_filters_info(self):
+        findings = [
+            LintFinding("brittle-selector", "info", (0,), "m"),
+            LintFinding("no-extraction", "warning", (), "m"),
+        ]
+        assert [f.rule for f in warnings_only(findings)] == ["no-extraction"]
+
+    def test_str_rendering(self):
+        finding = LintFinding("no-extraction", "warning", (), "nothing scraped")
+        assert str(finding) == "warning[no-extraction] at <top>: nothing scraped"
+
+    def test_every_registered_rule_has_docs(self):
+        module_doc = __import__("repro.lang.lint", fromlist=["__doc__"]).__doc__
+        for rule in RULES:
+            assert f"``{rule}``" in module_doc

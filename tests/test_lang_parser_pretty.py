@@ -1,0 +1,176 @@
+"""Round-trip tests for the DSL parser and pretty-printer."""
+
+import pytest
+
+from repro.lang import (
+    ActionStmt,
+    ForEachSelector,
+    ForEachValue,
+    WhileLoop,
+    canonical_program,
+    format_program,
+    parse_program,
+)
+from repro.util import ParseError
+
+SUBWAY_P4 = """
+foreach d1 in ValuePaths(x["zips"]) do
+  EnterData(//input[@name='search'][1], d1)
+  Click(//button[@class='go'][1])
+  while true do
+    foreach r1 in Dscts(/, div[@class='rightContainer']) do
+      ScrapeText(r1//h3[1])
+      ScrapeText(r1//div[@class='locatorPhone'][1])
+    Click(//button[@class='next'][1]/span[1])
+"""
+
+
+class TestParseBasics:
+    def test_single_actions(self):
+        prog = parse_program("Click(//a[1])\nGoBack\nExtractURL")
+        kinds = [stmt.kind for stmt in prog.statements]
+        assert kinds == ["Click", "GoBack", "ExtractURL"]
+
+    def test_send_keys_text(self):
+        prog = parse_program('SendKeys(//input[1], "hello, world")')
+        stmt = prog.statements[0]
+        assert stmt.text == "hello, world"
+
+    def test_enter_data_path(self):
+        prog = parse_program('EnterData(//input[1], x["zips"][2])')
+        stmt = prog.statements[0]
+        assert stmt.value.accessors == ("zips", 2)
+
+    def test_comments_and_blanks_skipped(self):
+        prog = parse_program("# header\n\nClick(//a[1])\n")
+        assert len(prog) == 1
+
+
+class TestParseLoops:
+    def test_selector_loop(self):
+        prog = parse_program(
+            "foreach r in Dscts(/, div[@class='card']) do\n  ScrapeText(r//h3[1])"
+        )
+        loop = prog.statements[0]
+        assert isinstance(loop, ForEachSelector)
+        assert loop.collection.pred.attr == "class"
+        body_stmt = loop.body[0]
+        assert body_stmt.target.base == loop.var
+
+    def test_children_loop(self):
+        prog = parse_program(
+            "foreach r in Children(//ul[1], li) do\n  ScrapeText(r/span[1])"
+        )
+        loop = prog.statements[0]
+        assert type(loop.collection).__name__ == "ChildrenOf"
+
+    def test_value_loop(self):
+        prog = parse_program(
+            'foreach d in ValuePaths(x["zips"]) do\n  EnterData(//input[1], d)'
+        )
+        loop = prog.statements[0]
+        assert isinstance(loop, ForEachValue)
+        assert loop.body[0].value.base == loop.var
+
+    def test_while_loop_splits_trailing_click(self):
+        prog = parse_program(
+            "while true do\n  ScrapeText(//h3[1])\n  Click(//button[1])"
+        )
+        loop = prog.statements[0]
+        assert isinstance(loop, WhileLoop)
+        assert len(loop.body) == 1
+        assert loop.click.kind == "Click"
+
+    def test_nested_full_program(self):
+        prog = parse_program(SUBWAY_P4)
+        outer = prog.statements[0]
+        assert isinstance(outer, ForEachValue)
+        assert isinstance(outer.body[2], WhileLoop)
+        inner = outer.body[2].body[0]
+        assert isinstance(inner, ForEachSelector)
+
+    def test_sibling_loops_can_reuse_names(self):
+        text = (
+            "foreach r in Dscts(/, div) do\n  ScrapeText(r//h3[1])\n"
+            "foreach r in Dscts(/, span) do\n  ScrapeText(r//b[1])"
+        )
+        prog = parse_program(text)
+        assert prog.statements[0].var != prog.statements[1].var
+
+    def test_shadowing_restores_outer_binding(self):
+        text = (
+            "foreach r in Dscts(/, ul) do\n"
+            "  foreach r in Children(r, li) do\n"
+            "    ScrapeText(r/span[1])\n"
+            "  ScrapeText(r//h2[1])"
+        )
+        prog = parse_program(text)
+        outer = prog.statements[0]
+        inner = outer.body[0]
+        trailing = outer.body[1]
+        assert inner.collection.base.base == outer.var
+        assert trailing.target.base == outer.var
+
+
+class TestParseErrors:
+    def test_unbound_variable(self):
+        with pytest.raises(ParseError):
+            parse_program("ScrapeText(r//h3[1])")
+
+    def test_while_without_click(self):
+        with pytest.raises(ParseError):
+            parse_program("while true do\n  ScrapeText(//h3[1])")
+
+    def test_empty_loop_body(self):
+        with pytest.raises(ParseError):
+            parse_program("foreach r in Dscts(/, div) do\nClick(//a[1])")
+
+    def test_bad_indentation(self):
+        with pytest.raises(ParseError):
+            parse_program("Click(//a[1])\n    Click(//b[1])")
+
+    def test_odd_indent(self):
+        with pytest.raises(ParseError):
+            parse_program(" Click(//a[1])")
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse_program("Hover(//a[1])")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ParseError):
+            parse_program("Click(//a[1], //b[1])")
+
+    def test_unquoted_send_keys(self):
+        with pytest.raises(ParseError):
+            parse_program("SendKeys(//input[1], hello)")
+
+    def test_x_cannot_be_loop_var(self):
+        with pytest.raises(ParseError):
+            parse_program('foreach x in ValuePaths(x["a"]) do\n  EnterData(//i[1], x)')
+
+    def test_value_var_in_selector_position(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                'foreach d in ValuePaths(x["a"]) do\n  ScrapeText(d//h3[1])'
+            )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Click(//a[1])",
+            "GoBack",
+            'SendKeys(//input[1], "q")',
+            'EnterData(//input[1], x["zips"][1])',
+            "foreach r in Dscts(/, div[@class='card']) do\n  ScrapeText(r//h3[1])",
+            SUBWAY_P4,
+        ],
+    )
+    def test_parse_format_parse_fixpoint(self, text):
+        prog = parse_program(text)
+        printed = format_program(prog)
+        reparsed = parse_program(printed)
+        assert canonical_program(reparsed) == canonical_program(prog)
+        assert format_program(reparsed) == printed

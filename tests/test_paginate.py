@@ -1,0 +1,329 @@
+"""Tests for the numbered-pagination extension.
+
+The paper's §7.1 reports b9 (page-number pagination with a "next 10
+pages" button) as unsupported; this extension adds the
+:class:`PaginateLoop` statement and its speculation.  These tests cover
+the counter-detection algebra, the new statement's semantics in all
+three executors (trace semantics, provenance, real replay), parser and
+pretty-printer round-trips, exporter output, and the end-to-end
+synthesis of the intended program — plus the guarantee that the
+*default* configuration still fails exactly as the paper describes.
+"""
+
+import pytest
+
+from repro.benchmarks.sites.job_board import JobBoardSite
+from repro.browser import Browser, Replayer
+from repro.dom.xpath import parse_selector
+from repro.lang import EMPTY_DATA, parse_program
+from repro.lang.ast import (
+    CounterTemplate,
+    PaginateLoop,
+    canonical_program,
+    program_depth,
+    program_size,
+)
+from repro.lang.pretty import format_program
+from repro.semantics import DOMTrace, execute
+from repro.synth.config import DEFAULT_CONFIG, numbered_pagination_config
+from repro.synth.paginate import counter_pair
+from repro.synth.synthesizer import Synthesizer
+from repro.util.errors import ParseError
+
+PAGINATE_TEXT = """
+paginate k from 2 do
+  foreach r in Dscts(/, li[@class='job-bx']) do
+    ScrapeText(r/h2[1])
+  Click(//button[@data-page='{k}'][1])
+  Advance(//button[@class='nextBlock'][1])
+"""
+
+NO_ADVANCE_TEXT = """
+paginate k from 2 do
+  ScrapeText(//h2[1])
+  Click(//a[@href='?page={k}'][1])
+"""
+
+
+class TestCounterPair:
+    def test_plain_integers(self):
+        assert counter_pair("2", "3") == ("", 2, "")
+
+    def test_prefixed(self):
+        assert counter_pair("page-2", "page-3") == ("page-", 2, "")
+
+    def test_suffixed_query(self):
+        assert counter_pair("?p=2&sort=asc", "?p=3&sort=asc") == ("?p=", 2, "&sort=asc")
+
+    def test_multi_digit_boundary(self):
+        # common textual prefix "page-1" must not swallow the digit run
+        assert counter_pair("page-12", "page-13") == ("page-", 12, "")
+
+    def test_digit_run_crossing_ten(self):
+        assert counter_pair("9", "10") == ("", 9, "")
+
+    def test_non_consecutive_rejected(self):
+        assert counter_pair("2", "4") is None
+
+    def test_decreasing_rejected(self):
+        assert counter_pair("3", "2") is None
+
+    def test_equal_rejected(self):
+        assert counter_pair("2", "2") is None
+
+    def test_non_numeric_rejected(self):
+        assert counter_pair("alpha", "beta") is None
+
+    def test_leading_zeros_rejected(self):
+        # "02" -> 2 -> "2" does not round-trip: template would not match
+        assert counter_pair("02", "03") is None
+
+
+class TestCounterTemplate:
+    def test_instantiate(self):
+        template = CounterTemplate((), "desc", "button", "data-page", "", "", 1)
+        assert str(template.instantiate(7)) == "//button[@data-page='7'][1]"
+
+    def test_instantiate_with_prefix_suffix(self):
+        template = CounterTemplate((), "desc", "a", "href", "?p=", "&s=1", 2)
+        assert str(template.instantiate(3)) == "//a[@href='?p=3&s=1'][2]"
+
+    def test_hole_text(self):
+        template = CounterTemplate((), "desc", "button", "data-page", "", "", 1)
+        assert template.hole_text() == "//button[@data-page='{k}'][1]"
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(ValueError):
+            CounterTemplate((), "desc", "button", "data-page", "", "", 0)
+
+
+class TestPaginateAst:
+    def test_empty_body_rejected(self):
+        template = CounterTemplate((), "desc", "button", "data-page", "", "", 1)
+        with pytest.raises(ValueError, match="non-empty"):
+            PaginateLoop((), template)
+
+    def test_symbolic_advance_rejected(self):
+        from repro.lang.ast import ActionStmt, SCRAPE_TEXT, SEL_VAR, Selector, fresh_var
+
+        template = CounterTemplate((), "desc", "button", "data-page", "", "", 1)
+        body = (ActionStmt(SCRAPE_TEXT, Selector()),)
+        with pytest.raises(ValueError, match="concrete"):
+            PaginateLoop(body, template, advance=Selector(fresh_var(SEL_VAR)))
+
+    def test_counts_as_loop_depth(self):
+        program = parse_program(PAGINATE_TEXT)
+        assert program_depth(program) == 2  # paginate > foreach
+
+    def test_size_includes_template_and_advance(self):
+        with_advance = parse_program(PAGINATE_TEXT)
+        without = parse_program(NO_ADVANCE_TEXT)
+        assert program_size(with_advance) > program_size(without)
+
+
+class TestParsePretty:
+    def test_round_trip_with_advance(self):
+        program = parse_program(PAGINATE_TEXT)
+        again = parse_program(format_program(program))
+        assert canonical_program(again) == canonical_program(program)
+
+    def test_round_trip_without_advance(self):
+        program = parse_program(NO_ADVANCE_TEXT)
+        assert "Advance" not in format_program(program)
+        again = parse_program(format_program(program))
+        assert canonical_program(again) == canonical_program(program)
+
+    def test_missing_hole_rejected(self):
+        with pytest.raises(ParseError, match="counter hole"):
+            parse_program(
+                "paginate k from 2 do\n  ScrapeText(//h2[1])\n  Click(//button[1])"
+            )
+
+    def test_advance_outside_paginate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("Advance(//button[1])")
+
+    def test_advance_must_be_last(self):
+        with pytest.raises(ParseError, match="last line"):
+            parse_program(
+                "paginate k from 2 do\n"
+                "  Advance(//button[1])\n"
+                "  ScrapeText(//h2[1])\n"
+                "  Click(//button[@data-page='{k}'][1])"
+            )
+
+    def test_two_holes_rejected(self):
+        with pytest.raises(ParseError, match="exactly one"):
+            parse_program(
+                "paginate k from 2 do\n"
+                "  ScrapeText(//h2[1])\n"
+                "  Click(//div[@id='{k}'][1]/button[@data-page='{k}'][1])"
+            )
+
+
+GT = parse_program(
+    "paginate k from 2 do\n"
+    "  foreach r in Dscts(/, li[@class='job-bx']) do\n"
+    "    ScrapeText(r/h2[1])\n"
+    "    ScrapeText(r//h3[1])\n"
+    "  Click(//button[@data-page='{k}'][1])\n"
+    "  Advance(//button[@class='nextBlock'][1])"
+)
+
+
+class TestRealReplay:
+    def test_scrapes_every_page_including_last(self):
+        site = JobBoardSite(5, 3, mode="numbered", seed="px")
+        browser = Browser(site, EMPTY_DATA)
+        Replayer(browser).run(GT)
+        assert browser.outputs == site.expected_fields(("title", "company"))
+
+    def test_single_block_site_without_advance(self):
+        # 3 pages fit one block: the advance button never exists
+        site = JobBoardSite(3, 2, mode="numbered", seed="py")
+        browser = Browser(site, EMPTY_DATA)
+        Replayer(browser).run(GT)
+        assert browser.outputs == site.expected_fields(("title", "company"))
+
+    def test_advance_crosses_blocks(self):
+        # 7 pages, block size 3: two advance clicks needed
+        site = JobBoardSite(7, 2, mode="numbered", seed="pz")
+        browser = Browser(site, EMPTY_DATA)
+        result = Replayer(browser).run(GT)
+        assert browser.outputs == site.expected_fields(("title", "company"))
+        advance_clicks = sum(
+            1 for action in result.actions
+            if action.kind == "Click"
+            and "nextBlock" in str(action.selector)
+        )
+        assert advance_clicks == 0  # raw-normalised; count page transitions instead
+        assert len([a for a in result.actions if a.kind == "Click"]) == 6  # 7 pages
+
+
+class TestTraceSemantics:
+    def setup_method(self):
+        site = JobBoardSite(5, 3, mode="numbered", seed="ts")
+        browser = Browser(site, EMPTY_DATA)
+        Replayer(browser).run(GT)
+        self.recording_actions, self.recording_snapshots = browser.trace()
+        self.expected = browser.outputs
+
+    def test_reproduces_recorded_trace(self):
+        from repro.semantics import traces_consistent
+
+        doms = DOMTrace(self.recording_snapshots)
+        result = execute(GT, doms, EMPTY_DATA)
+        assert traces_consistent(result.actions, self.recording_actions, doms)
+
+    def test_provenance_matches_evaluator(self):
+        from repro.semantics.provenance import explain
+
+        doms = DOMTrace(self.recording_snapshots)
+        plain = execute(GT, doms, EMPTY_DATA)
+        traced = explain(GT, doms, EMPTY_DATA)
+        assert traced.actions == plain.actions
+
+    def test_provenance_click_path_past_body(self):
+        from repro.semantics.provenance import explain
+
+        traced = explain(GT, DOMTrace(self.recording_snapshots), EMPTY_DATA)
+        click_paths = {
+            record.path for record in traced.records if record.action.kind == "Click"
+        }
+        assert click_paths == {(0, 1)}
+
+
+class TestSynthesisEndToEnd:
+    def record(self, site):
+        browser = Browser(site, EMPTY_DATA)
+        Replayer(browser).run(GT)
+        return browser
+
+    def synthesize_final(self, actions, snapshots, config):
+        """The Q1 protocol: prefixes up to n-1 actions (a completed task
+        no longer *generalizes* — Definition 4.2 needs a strict prefix)."""
+        synth = Synthesizer(EMPTY_DATA, config)
+        final = None
+        for cut in range(1, len(actions)):
+            result = synth.synthesize(actions[:cut], snapshots[: cut + 1], timeout=2.0)
+            if result.best_program is not None:
+                final = result.best_program
+        return final
+
+    def test_paginate_loop_synthesized(self):
+        site = JobBoardSite(5, 2, mode="numbered", seed="se")
+        browser = self.record(site)
+        actions, snapshots = browser.trace()
+        final = self.synthesize_final(actions, snapshots, numbered_pagination_config())
+        assert final is not None
+        assert any(isinstance(stmt, PaginateLoop) for stmt in final.statements)
+
+    def test_synthesized_program_replays_on_scaled_site(self):
+        site = JobBoardSite(5, 2, mode="numbered", seed="se")
+        browser = self.record(site)
+        actions, snapshots = browser.trace()
+        final = self.synthesize_final(actions, snapshots, numbered_pagination_config())
+        scaled = JobBoardSite(8, 2, mode="numbered", seed="se")
+        scaled_browser = Browser(scaled, EMPTY_DATA)
+        outcome = Replayer(scaled_browser, raise_errors=False).run(final)
+        assert outcome.error is None
+        assert scaled_browser.outputs == scaled.expected_fields(("title", "company"))
+
+    def test_default_config_still_fails_as_paper(self):
+        """Without the extension, no synthesized program survives scaling."""
+        site = JobBoardSite(5, 2, mode="numbered", seed="se")
+        browser = self.record(site)
+        actions, snapshots = browser.trace()
+        final = self.synthesize_final(actions, snapshots, DEFAULT_CONFIG)
+        if final is None:
+            return  # nothing generalized at all: the paper's failure mode
+        assert not any(isinstance(stmt, PaginateLoop) for stmt in final.statements)
+        scaled = JobBoardSite(8, 2, mode="numbered", seed="se")
+        scaled_browser = Browser(scaled, EMPTY_DATA)
+        outcome = Replayer(scaled_browser, raise_errors=False).run(final)
+        solved = outcome.error is None and scaled_browser.outputs == scaled.expected_fields(
+            ("title", "company")
+        )
+        assert not solved
+
+
+class TestExportPaginate:
+    def test_selenium_compiles_with_counter(self):
+        from repro.export import to_selenium
+
+        source = to_selenium(parse_program(PAGINATE_TEXT))
+        compile(source, "<generated>", "exec")
+        assert 'replace("{k}", str(page_1))' in source
+        assert "page_1 += 1" in source
+
+    def test_playwright_compiles_with_counter(self):
+        from repro.export import to_playwright
+
+        source = to_playwright(parse_program(PAGINATE_TEXT))
+        compile(source, "<generated>", "exec")
+        assert 'replace("{k}", str(page_no_1))' in source
+
+    def test_advance_emitted_after_numbered(self):
+        from repro.export import to_selenium
+
+        source = to_selenium(parse_program(PAGINATE_TEXT))
+        assert source.index("numbered_1") < source.index("advance_1")
+        assert "break" in source
+
+
+class TestCheckPaginate:
+    def test_clean(self):
+        from repro.lang.check import check_program
+
+        assert check_program(parse_program(PAGINATE_TEXT)) == []
+
+    def test_start_zero_warns(self):
+        from repro.lang.check import check_program
+
+        program = parse_program(
+            "paginate k from 0 do\n"
+            "  ScrapeText(//h2[1])\n"
+            "  Click(//button[@data-page='{k}'][1])"
+        )
+        diags = check_program(program)
+        assert any("starts at 0" in d.message for d in diags)

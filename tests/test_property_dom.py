@@ -1,0 +1,87 @@
+"""Property-based tests for the DOM substrate (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dom import (
+    E,
+    parse_selector,
+    raw_path,
+    resolve,
+)
+from repro.dom.xpath import CHILD, DESC, ConcreteSelector, Predicate, Step
+
+TAGS = ("div", "span", "li", "h3", "a", "p")
+CLASSES = ("", "card", "row", "item", "meta")
+
+
+@st.composite
+def dom_trees(draw, max_depth=3):
+    """Random small frozen pages."""
+
+    def node(depth):
+        tag = draw(st.sampled_from(TAGS))
+        cls = draw(st.sampled_from(CLASSES))
+        attrs = {"class": cls} if cls else {}
+        children = []
+        if depth < max_depth:
+            for _ in range(draw(st.integers(0, 3))):
+                children.append(node(depth + 1))
+        text = draw(st.sampled_from(["", "x", "hello"]))
+        return E(tag, attrs, *children, text=text)
+
+    body = node(0)
+    root = E("html", E("body", body))
+    return root.freeze()
+
+
+@st.composite
+def selectors(draw):
+    """Random concrete selectors (not necessarily resolvable)."""
+    steps = []
+    for _ in range(draw(st.integers(1, 4))):
+        axis = draw(st.sampled_from([CHILD, DESC]))
+        tag = draw(st.sampled_from(TAGS))
+        cls = draw(st.sampled_from(CLASSES))
+        pred = Predicate(tag, "class", cls) if cls and draw(st.booleans()) else Predicate(tag)
+        steps.append(Step(axis, pred, draw(st.integers(1, 3))))
+    return ConcreteSelector(tuple(steps))
+
+
+class TestDomProperties:
+    @given(dom_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_raw_path_round_trips_for_every_node(self, root):
+        for node in root.iter_subtree():
+            assert resolve(raw_path(node), root) is node
+
+    @given(dom_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_document_order_is_stable(self, root):
+        nodes = list(root.iter_subtree())
+        assert nodes[0] is root
+        # each node appears exactly once
+        assert len({id(node) for node in nodes}) == len(nodes)
+
+    @given(dom_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_structural_key_equal_for_clones(self, root):
+        assert root.clone().structural_key() == root.structural_key()
+
+    @given(selectors())
+    @settings(max_examples=80, deadline=None)
+    def test_selector_parse_print_round_trip(self, selector):
+        assert parse_selector(str(selector)) == selector
+
+    @given(dom_trees(), selectors())
+    @settings(max_examples=80, deadline=None)
+    def test_resolution_is_deterministic_and_cached(self, root, selector):
+        first = resolve(selector, root)
+        second = resolve(selector, root)
+        assert first is second  # including the None case
+
+    @given(dom_trees(), selectors())
+    @settings(max_examples=60, deadline=None)
+    def test_resolved_node_belongs_to_tree(self, root, selector):
+        node = resolve(selector, root)
+        if node is not None:
+            assert node.root() is root

@@ -1,0 +1,57 @@
+"""Property-based tests for the exporters over random programs.
+
+Every well-formed program must export to *syntactically valid* output
+on all three targets — the generators may never emit code that breaks
+on an unusual (but legal) combination of loops, variables, and
+selectors.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.export import to_imacros, to_playwright, to_selenium
+from repro.lang import format_program
+
+from test_export import balanced_braces
+from test_property_lang import programs
+
+
+class TestExportProperties:
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_selenium_always_compiles(self, program):
+        compile(to_selenium(program), "<selenium>", "exec")
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_playwright_always_compiles(self, program):
+        compile(to_playwright(program), "<playwright>", "exec")
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_imacros_braces_balance(self, program):
+        source = to_imacros(program)
+        assert balanced_braces(source)
+        # the DSL source survives as a comment, line for line
+        for line in format_program(program).splitlines():
+            assert line.rstrip() in source
+
+    @given(programs())
+    @settings(max_examples=40, deadline=None)
+    def test_every_scrape_exports_an_extraction(self, program):
+        from repro.lang.ast import ActionStmt, SCRAPE_TEXT
+
+        def count_scrapes(statements):
+            total = 0
+            for stmt in statements:
+                if isinstance(stmt, ActionStmt):
+                    total += stmt.kind == SCRAPE_TEXT
+                elif hasattr(stmt, "body"):
+                    total += count_scrapes(stmt.body)
+            return total
+
+        scrapes = count_scrapes(program.statements)
+        # one emission site per scrape statement, whatever the nesting
+        assert to_selenium(program).count("outputs.append(") >= scrapes
+        assert to_imacros(program).count("grab(") >= scrapes

@@ -1,0 +1,132 @@
+"""Property-based tests for the DSL: printing, parsing, canonical forms."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dom.xpath import CHILD, DESC, ConcreteSelector, Predicate, Step
+from repro.lang import (
+    DataSource,
+    Program,
+    X,
+    canonical_program,
+    format_program,
+    parse_program,
+    program_size,
+)
+from repro.lang.ast import (
+    SEL_VAR,
+    ActionStmt,
+    ChildrenOf,
+    DescendantsOf,
+    ForEachSelector,
+    ForEachValue,
+    Selector,
+    ValuePath,
+    ValuePathsOf,
+    WhileLoop,
+    fresh_var,
+)
+
+TAGS = ("div", "span", "li", "a")
+
+
+@st.composite
+def concrete_steps(draw, min_size=1, max_size=3):
+    steps = []
+    for _ in range(draw(st.integers(min_size, max_size))):
+        axis = draw(st.sampled_from([CHILD, DESC]))
+        tag = draw(st.sampled_from(TAGS))
+        if draw(st.booleans()):
+            pred = Predicate(tag, "class", draw(st.sampled_from(["a", "b"])))
+        else:
+            pred = Predicate(tag)
+        steps.append(Step(axis, pred, draw(st.integers(1, 5))))
+    return tuple(steps)
+
+
+@st.composite
+def programs(draw, depth=0):
+    """Random well-formed programs (bounded nesting)."""
+    statements = []
+    for _ in range(draw(st.integers(1, 3))):
+        statements.append(draw(statement(depth)))
+    return Program(tuple(statements))
+
+
+@st.composite
+def statement(draw, depth=0, bound_var=None):
+    kind = draw(st.sampled_from(["action", "action", "sel-loop", "val-loop", "while"]))
+    if kind == "action" or depth >= 2:
+        base = bound_var if (bound_var and draw(st.booleans())) else None
+        target = Selector(base, draw(concrete_steps()))
+        which = draw(st.sampled_from(["Click", "ScrapeText", "ScrapeLink", "GoBack"]))
+        if which == "GoBack":
+            return ActionStmt("GoBack")
+        return ActionStmt(which, target)
+    if kind == "sel-loop":
+        var = fresh_var(SEL_VAR)
+        collection_type = draw(st.sampled_from([ChildrenOf, DescendantsOf]))
+        collection = collection_type(
+            Selector(None, draw(concrete_steps())), Predicate(draw(st.sampled_from(TAGS)))
+        )
+        body = tuple(
+            draw(statement(depth + 1, var)) for _ in range(draw(st.integers(1, 2)))
+        )
+        return ForEachSelector(var, collection, body)
+    if kind == "val-loop":
+        var = fresh_var("val")
+        collection = ValuePathsOf(ValuePath(None, ("rows",)))
+        inner = ActionStmt(
+            "EnterData",
+            Selector(None, draw(concrete_steps())),
+            value=ValuePath(var, ()),
+        )
+        return ForEachValue(var, collection, (inner,))
+    # while loop
+    body = (draw(statement(depth + 1)),)
+    click = ActionStmt("Click", Selector(None, draw(concrete_steps())))
+    return WhileLoop(body, click)
+
+
+class TestLangProperties:
+    @given(programs())
+    @settings(max_examples=80, deadline=None)
+    def test_pretty_parse_round_trip(self, program):
+        printed = format_program(program)
+        reparsed = parse_program(printed)
+        assert canonical_program(reparsed) == canonical_program(program)
+        # printing is a fixpoint after one round
+        assert format_program(reparsed) == printed
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_program_size_positive_and_stable(self, program):
+        assert program_size(program) >= len(program.statements)
+        assert program_size(program) == program_size(program)
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_form_is_alpha_invariant(self, program):
+        # re-parsing allocates fresh variables everywhere: canonical forms
+        # must still agree
+        clone = parse_program(format_program(program))
+        assert canonical_program(clone) == canonical_program(program)
+
+
+class TestDataSourceProperties:
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.lists(st.text(alphabet="xyz", min_size=1, max_size=3), min_size=1, max_size=5),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_value_paths_all_resolve(self, payload):
+        source = DataSource(payload)
+        for key in payload:
+            base = X.extend(key)
+            paths = source.value_paths(base)
+            assert len(paths) == len(payload[key])
+            for index, path in enumerate(paths):
+                assert source.resolve(path) == payload[key][index]

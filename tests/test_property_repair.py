@@ -1,0 +1,110 @@
+"""Property-based tests for selector repair (hypothesis).
+
+The invariants that make repair trustworthy:
+
+* similarity is bounded in [0, 1], with 1 exactly on self;
+* on an *unchanged* page, repair is the identity — it re-finds the very
+  node the selector already denotes;
+* the best match is deterministic (same inputs, same node);
+* repairing onto a clone of the reference page lands on the structural
+  counterpart of the intended node.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.browser.repair import (
+    best_match,
+    fingerprint_node,
+    repair_selector,
+    similarity,
+)
+from repro.dom import E, raw_path, resolve
+
+TAGS = ("div", "span", "li", "h3", "a", "p")
+CLASSES = ("", "card", "row", "item", "meta")
+
+
+@st.composite
+def dom_trees(draw, max_depth=3):
+    """Random small frozen pages (mirrors test_property_dom)."""
+
+    def node(depth):
+        tag = draw(st.sampled_from(TAGS))
+        cls = draw(st.sampled_from(CLASSES))
+        attrs = {"class": cls} if cls else {}
+        children = []
+        if depth < max_depth:
+            for _ in range(draw(st.integers(0, 3))):
+                children.append(node(depth + 1))
+        text = draw(st.sampled_from(["", "x", "hello"]))
+        return E(tag, attrs, *children, text=text)
+
+    body = node(0)
+    root = E("html", E("body", body))
+    return root.freeze()
+
+
+class TestSimilarityProperties:
+    @given(dom_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_and_reflexive(self, root):
+        for node in root.iter_subtree():
+            fingerprint = fingerprint_node(node)
+            for candidate in root.iter_subtree():
+                score = similarity(fingerprint, candidate)
+                assert 0.0 <= score <= 1.0 + 1e-9
+            assert abs(similarity(fingerprint, node) - 1.0) < 1e-9
+
+    @given(dom_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_self_is_never_beaten(self, root):
+        # no other node can score strictly above the fingerprinted one
+        for node in root.iter_subtree():
+            fingerprint = fingerprint_node(node)
+            own = similarity(fingerprint, node)
+            for candidate in root.iter_subtree():
+                assert similarity(fingerprint, candidate) <= own + 1e-9
+
+
+class TestRepairProperties:
+    @given(dom_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_identity_on_unchanged_page_up_to_twins(self, root):
+        # On an unchanged page repair re-finds the intended node — or an
+        # indistinguishable twin (same subtree, same local context),
+        # which no fingerprint can separate.
+        for node in root.iter_subtree():
+            fingerprint = fingerprint_node(node)
+            repair = repair_selector(raw_path(node), root, root, min_score=0.5)
+            assert repair is not None
+            landed = resolve(repair.replacement, root)
+            assert landed.structural_key() == node.structural_key()
+            assert similarity(fingerprint, landed) >= similarity(fingerprint, node) - 1e-9
+
+    @given(dom_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_clone_lands_on_counterpart(self, root):
+        clone = root.clone().freeze()
+        for node in root.iter_subtree():
+            selector = raw_path(node)
+            repair = repair_selector(selector, root, clone, min_score=0.5)
+            assert repair is not None
+            counterpart = resolve(selector, clone)
+            landed = resolve(repair.replacement, clone)
+            # the landing node is structurally identical to the intended
+            # one (ties may pick an identical twin elsewhere on the page)
+            assert landed.structural_key() == counterpart.structural_key()
+
+    @given(dom_trees(), dom_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_best_match_deterministic(self, reference, live):
+        for node in list(reference.iter_subtree())[:5]:
+            fingerprint = fingerprint_node(node)
+            first = best_match(fingerprint, live, min_score=0.3)
+            second = best_match(fingerprint, live, min_score=0.3)
+            if first is None:
+                assert second is None
+            else:
+                assert second is not None and first[0] is second[0]

@@ -1,0 +1,101 @@
+"""Property-based tests for the trace semantics and the synthesis problem.
+
+The central soundness facts:
+
+* executing the lifted singleton program P₀ of any recorded trace
+  reproduces that trace exactly (Algorithm 1's starting invariant);
+* the trace semantics never emits more actions than there are snapshots;
+* satisfaction (Definition 4.1) holds for the ground truth on every
+  prefix of its own recording.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.benchmarks.sites.plain_lists import NestedListSite, PlainListSite
+from repro.benchmarks.sites.store_locator import StoreLocatorSite
+from repro.browser import record_ground_truth
+from repro.lang import DataSource, EMPTY_DATA, Program, action_to_statement, parse_program
+from repro.semantics import DOMTrace, execute, traces_consistent
+from repro.synth import SynthesisProblem, satisfies
+
+FLAT_GT = parse_program(
+    "foreach i in Children(/html[1]/body[1]/ul[1], li) do\n"
+    "  ScrapeText(i/span[1])\n  ScrapeText(i/b[1])"
+)
+NESTED_GT = parse_program(
+    "foreach g in Children(/html[1]/body[1], div) do\n"
+    "  foreach i in Children(g/ul[1], li) do\n    ScrapeText(i)"
+)
+STORE_GT = parse_program("""
+while true do
+  foreach r in Dscts(/, div[@class='rightContainer']) do
+    ScrapeText(r//h3[1])
+  Click(//button[@class='sprite-next-page-arrow'][1]/span[1])
+""")
+
+
+@st.composite
+def recordings(draw):
+    """A recording from a randomly parameterized known family."""
+    family = draw(st.sampled_from(["flat", "nested", "store"]))
+    if family == "flat":
+        site = PlainListSite(draw(st.integers(2, 7)), fields=2,
+                             seed=f"ps{draw(st.integers(0, 5))}")
+        return record_ground_truth(site, FLAT_GT), EMPTY_DATA
+    if family == "nested":
+        site = NestedListSite(draw(st.integers(2, 4)), draw(st.integers(2, 4)),
+                              seed=f"pn{draw(st.integers(0, 5))}")
+        return record_ground_truth(site, NESTED_GT), EMPTY_DATA
+    site = StoreLocatorSite(draw(st.integers(2, 3)), draw(st.integers(2, 4)),
+                            fixed_zip=f"48{draw(st.integers(100, 120))}")
+    return record_ground_truth(site, STORE_GT), EMPTY_DATA
+
+
+class TestTraceSemanticsProperties:
+    @given(recordings())
+    @settings(max_examples=25, deadline=None)
+    def test_singleton_program_reproduces_trace(self, payload):
+        recording, data = payload
+        program = Program(
+            tuple(action_to_statement(action) for action in recording.actions)
+        )
+        doms = DOMTrace(recording.snapshots)
+        result = execute(program, doms, data)
+        assert traces_consistent(result.actions, recording.actions, doms)
+
+    @given(recordings(), st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_production_bounded_by_snapshots(self, payload, cut):
+        recording, data = payload
+        cut = min(cut, recording.length)
+        program = Program(
+            tuple(action_to_statement(action) for action in recording.actions)
+        )
+        doms = DOMTrace(recording.snapshots, 0, cut)
+        result = execute(program, doms, data)
+        assert len(result.actions) <= cut
+
+    @given(recordings(), st.integers(1, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_ground_truth_satisfies_every_prefix(self, payload, cut):
+        recording, data = payload
+        cut = min(cut, recording.length - 1)
+        if cut < 1:
+            return
+        actions, snapshots = recording.prefix(cut)
+        problem = SynthesisProblem(tuple(actions), DOMTrace(snapshots), data)
+        # P0 (the singleton lift) always satisfies its own prefix
+        program = Program(tuple(action_to_statement(action) for action in actions))
+        assert satisfies(program, problem)
+
+    @given(recordings())
+    @settings(max_examples=15, deadline=None)
+    def test_execution_is_deterministic(self, payload):
+        recording, data = payload
+        program = Program(
+            tuple(action_to_statement(action) for action in recording.actions)
+        )
+        doms = DOMTrace(recording.snapshots)
+        first = execute(program, doms, data)
+        second = execute(program, doms, data)
+        assert [str(a) for a in first.actions] == [str(a) for a in second.actions]

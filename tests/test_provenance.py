@@ -1,0 +1,170 @@
+"""Tests for provenance-tracking execution (repro.semantics.provenance).
+
+The load-bearing invariant: the provenance walker is a *decorated* copy
+of the evaluator, so its projected action sequence must be identical to
+``execute``'s on the same inputs — checked here property-style over
+randomly parameterized recordings.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.benchmarks.sites.plain_lists import NestedListSite, PlainListSite
+from repro.benchmarks.sites.store_locator import StoreLocatorSite
+from repro.browser import record_ground_truth
+from repro.lang import DataSource, EMPTY_DATA, parse_program
+from repro.semantics import DOMTrace, execute
+from repro.semantics.provenance import (
+    explain,
+    render_explanation,
+    render_summary,
+    statement_at,
+)
+
+FLAT_GT = parse_program(
+    "foreach i in Children(/html[1]/body[1]/ul[1], li) do\n"
+    "  ScrapeText(i/span[1])\n  ScrapeText(i/b[1])"
+)
+NESTED_GT = parse_program(
+    "foreach g in Children(/html[1]/body[1], div) do\n"
+    "  foreach i in Children(g/ul[1], li) do\n    ScrapeText(i)"
+)
+STORE_GT = parse_program("""
+while true do
+  foreach r in Dscts(/, div[@class='rightContainer']) do
+    ScrapeText(r//h3[1])
+  Click(//button[@class='sprite-next-page-arrow'][1]/span[1])
+""")
+
+
+@st.composite
+def cases(draw):
+    """(program, recording, data) triples from known site families."""
+    family = draw(st.sampled_from(["flat", "nested", "store"]))
+    if family == "flat":
+        site = PlainListSite(draw(st.integers(2, 7)), fields=2,
+                             seed=f"pv{draw(st.integers(0, 5))}")
+        return FLAT_GT, record_ground_truth(site, FLAT_GT), EMPTY_DATA
+    if family == "nested":
+        site = NestedListSite(draw(st.integers(2, 4)), draw(st.integers(2, 4)),
+                              seed=f"pw{draw(st.integers(0, 5))}")
+        return NESTED_GT, record_ground_truth(site, NESTED_GT), EMPTY_DATA
+    site = StoreLocatorSite(draw(st.integers(2, 3)), draw(st.integers(2, 4)),
+                            fixed_zip=f"48{draw(st.integers(100, 120))}")
+    return STORE_GT, record_ground_truth(site, STORE_GT), EMPTY_DATA
+
+
+class TestMatchesEvaluator:
+    @given(cases())
+    @settings(max_examples=25, deadline=None)
+    def test_projected_actions_equal_execute(self, case):
+        program, recording, data = case
+        doms = DOMTrace(recording.snapshots)
+        plain = execute(program, doms, data)
+        traced = explain(program, doms, data)
+        assert traced.actions == plain.actions
+
+    @given(cases(), st.integers(0, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_max_actions_cap_matches(self, case, cap):
+        program, recording, data = case
+        doms = DOMTrace(recording.snapshots)
+        plain = execute(program, doms, data, max_actions=cap)
+        traced = explain(program, doms, data, max_actions=cap)
+        assert traced.actions == plain.actions
+
+    @given(cases())
+    @settings(max_examples=25, deadline=None)
+    def test_snapshot_indices_increase_one_per_action(self, case):
+        program, recording, data = case
+        traced = explain(program, DOMTrace(recording.snapshots), data)
+        indices = [record.snapshot_index for record in traced.records]
+        assert indices == list(range(len(indices)))
+
+
+class TestProvenanceStructure:
+    def setup_method(self):
+        site = NestedListSite(3, 2, seed="prov")
+        self.recording = record_ground_truth(site, NESTED_GT)
+        self.result = explain(
+            NESTED_GT, DOMTrace(self.recording.snapshots), EMPTY_DATA
+        )
+
+    def test_every_action_from_inner_scrape(self):
+        # the only emitting statement is the inner loop's ScrapeText
+        assert set(record.path for record in self.result.records) == {(0, 0, 0)}
+
+    def test_iteration_stack_outermost_first(self):
+        first = self.result.records[0]
+        assert [loop_path for loop_path, _ in first.iterations] == [(0,), (0, 0)]
+        assert [iteration for _, iteration in first.iterations] == [1, 1]
+
+    def test_iteration_counts_cover_groups_and_items(self):
+        counts = self.result.iteration_counts()
+        assert counts[(0,)] == 3  # 3 groups
+        assert counts[(0, 0)] == 2  # 2 items each
+
+    def test_bindings_name_both_loop_variables(self):
+        record = self.result.records[-1]
+        assert len(record.bindings) == 2
+        rendered = [text for _, text in record.bindings]
+        assert all("/" in text for text in rendered)
+
+    def test_by_statement_groups_everything(self):
+        groups = self.result.by_statement()
+        assert sum(len(group) for group in groups.values()) == len(self.result.records)
+
+    def test_depth_matches_nesting(self):
+        assert all(record.depth == 2 for record in self.result.records)
+
+
+class TestWhileProvenance:
+    def setup_method(self):
+        site = StoreLocatorSite(3, 2, fixed_zip="48104")
+        self.recording = record_ground_truth(site, STORE_GT)
+        self.result = explain(
+            STORE_GT, DOMTrace(self.recording.snapshots), EMPTY_DATA
+        )
+
+    def test_terminating_click_addressed_past_body(self):
+        click_paths = {
+            record.path
+            for record in self.result.records
+            if record.action.kind == "Click"
+        }
+        assert click_paths == {(0, 1)}  # body length 1, click at index 1
+
+    def test_while_iterations_advance(self):
+        pages = {
+            iteration
+            for record in self.result.records
+            for loop_path, iteration in record.iterations
+            if loop_path == (0,)
+        }
+        assert pages == {1, 2, 3}
+
+
+class TestRendering:
+    def test_explanation_lists_every_action(self):
+        site = PlainListSite(3, fields=2, seed="render")
+        recording = record_ground_truth(site, FLAT_GT)
+        result = explain(FLAT_GT, DOMTrace(recording.snapshots), EMPTY_DATA)
+        text = render_explanation(FLAT_GT, result)
+        assert len(text.splitlines()) == len(result.records)
+        assert "stmt 0.0" in text
+        assert "[iter 1]" in text
+
+    def test_summary_describes_statements(self):
+        site = PlainListSite(3, fields=2, seed="render2")
+        recording = record_ground_truth(site, FLAT_GT)
+        result = explain(FLAT_GT, DOMTrace(recording.snapshots), EMPTY_DATA)
+        text = render_summary(FLAT_GT, result)
+        assert "(ScrapeText)" in text
+        assert "loop 0: 3 iterations" in text
+
+    def test_statement_at_resolves_while_click(self):
+        click = statement_at(STORE_GT, (0, 1))
+        assert click.kind == "Click"
+
+    def test_statement_at_resolves_nested(self):
+        stmt = statement_at(NESTED_GT, (0, 0, 0))
+        assert stmt.kind == "ScrapeText"

@@ -1,0 +1,89 @@
+"""Unit tests for action/trace consistency (Definition 4.1 auxiliaries)."""
+
+from repro.dom import E, page, parse_selector
+from repro.lang import X, click, enter_data, go_back, scrape_text, send_keys
+from repro.semantics import (
+    DOMTrace,
+    actions_consistent,
+    consistent_prefix_length,
+    traces_consistent,
+)
+
+
+def sample_page():
+    return page(
+        E("div", {"class": "card"}, E("h3", text="one")),
+        E("div", {"class": "card"}, E("h3", text="two")),
+    )
+
+
+class TestActionConsistency:
+    def setup_method(self):
+        self.dom = sample_page()
+
+    def test_same_node_different_selectors(self):
+        raw = parse_selector("/html[1]/body[1]/div[1]/h3[1]")
+        alt = parse_selector("//div[@class='card'][1]/h3[1]")
+        assert actions_consistent(scrape_text(raw), scrape_text(alt), self.dom)
+
+    def test_different_nodes_inconsistent(self):
+        first = parse_selector("//h3[1]")
+        second = parse_selector("//h3[2]")
+        assert not actions_consistent(scrape_text(first), scrape_text(second), self.dom)
+
+    def test_kind_mismatch(self):
+        sel = parse_selector("//h3[1]")
+        assert not actions_consistent(click(sel), scrape_text(sel), self.dom)
+
+    def test_unresolvable_selector_inconsistent(self):
+        ok = parse_selector("//h3[1]")
+        missing = parse_selector("//h3[9]")
+        assert not actions_consistent(scrape_text(missing), scrape_text(ok), self.dom)
+        assert not actions_consistent(scrape_text(ok), scrape_text(missing), self.dom)
+
+    def test_parameterless_actions(self):
+        assert actions_consistent(go_back(), go_back(), self.dom)
+
+    def test_send_keys_text_compared(self):
+        sel = parse_selector("//h3[1]")
+        assert actions_consistent(send_keys(sel, "a"), send_keys(sel, "a"), self.dom)
+        assert not actions_consistent(send_keys(sel, "a"), send_keys(sel, "b"), self.dom)
+
+    def test_enter_data_paths_compared_structurally(self):
+        sel = parse_selector("//h3[1]")
+        path_a = X.extend("zips").extend(1)
+        path_b = X.extend("zips").extend(2)
+        assert actions_consistent(enter_data(sel, path_a), enter_data(sel, path_a), self.dom)
+        assert not actions_consistent(enter_data(sel, path_a), enter_data(sel, path_b), self.dom)
+
+
+class TestTraceConsistency:
+    def setup_method(self):
+        self.dom = sample_page()
+        self.doms = DOMTrace([self.dom] * 3)
+        self.raw = [
+            scrape_text(parse_selector("/html[1]/body[1]/div[1]/h3[1]")),
+            scrape_text(parse_selector("/html[1]/body[1]/div[2]/h3[1]")),
+        ]
+        self.alt = [
+            scrape_text(parse_selector("//div[@class='card'][1]/h3[1]")),
+            scrape_text(parse_selector("//div[@class='card'][2]/h3[1]")),
+        ]
+
+    def test_pointwise_consistency(self):
+        assert traces_consistent(self.raw, self.alt, self.doms)
+
+    def test_length_mismatch(self):
+        assert not traces_consistent(self.raw, self.alt[:1], self.doms)
+
+    def test_prefix_length(self):
+        mixed = [self.alt[0], scrape_text(parse_selector("//h3[1]"))]
+        assert consistent_prefix_length(mixed, self.raw, self.doms) == 1
+
+    def test_prefix_capped_by_doms(self):
+        doms = DOMTrace([self.dom])
+        assert consistent_prefix_length(self.raw, self.alt, doms) == 1
+
+    def test_insufficient_doms_fails_full_consistency(self):
+        doms = DOMTrace([self.dom])
+        assert not traces_consistent(self.raw, self.alt, doms)

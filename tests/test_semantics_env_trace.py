@@ -1,0 +1,117 @@
+"""Unit tests for environments and DOM-trace windows."""
+
+import pytest
+
+from repro.dom import ConcreteSelector, E, page, parse_selector
+from repro.lang import SEL_VAR, VAL_VAR, X, Selector, ValuePath, fresh_var
+from repro.semantics import DOMTrace, Env
+from repro.util import ReproError
+
+
+class TestEnv:
+    def test_empty_is_shared(self):
+        assert Env.empty() is Env.empty()
+        assert len(Env.empty()) == 0
+
+    def test_bind_is_persistent(self):
+        var = fresh_var(SEL_VAR)
+        sel = parse_selector("//a[1]")
+        env = Env.empty().bind(var, sel)
+        assert var in env
+        assert var not in Env.empty()
+        assert env.lookup(var) == sel
+
+    def test_lookup_unbound_raises(self):
+        with pytest.raises(ReproError):
+            Env.empty().lookup(fresh_var(SEL_VAR))
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            Env.empty().bind(fresh_var(SEL_VAR), X)
+        with pytest.raises(ReproError):
+            Env.empty().bind(fresh_var(VAL_VAR), parse_selector("//a[1]"))
+
+    def test_value_binding_must_be_concrete(self):
+        symbolic = ValuePath(fresh_var(VAL_VAR), ())
+        with pytest.raises(ReproError):
+            Env.empty().bind(fresh_var(VAL_VAR), symbolic)
+
+    def test_resolve_selector_substitutes_base(self):
+        var = fresh_var(SEL_VAR)
+        env = Env.empty().bind(var, parse_selector("//div[2]"))
+        symbolic = Selector(var, parse_selector("//h3[1]").steps)
+        assert str(env.resolve_selector(symbolic)) == "//div[2]//h3[1]"
+
+    def test_resolve_selector_epsilon(self):
+        symbolic = Selector(None, parse_selector("/html[1]").steps)
+        assert env_resolves_to(symbolic, "/html[1]")
+
+    def test_resolve_path_substitutes_base(self):
+        var = fresh_var(VAL_VAR)
+        env = Env.empty().bind(var, X.extend("zips").extend(2))
+        symbolic = ValuePath(var, ("inner",))
+        resolved = env.resolve_path(symbolic)
+        assert resolved.is_concrete
+        assert resolved.accessors == ("zips", 2, "inner")
+
+    def test_resolve_concrete_path_identity(self):
+        path = X.extend("zips").extend(1)
+        assert Env.empty().resolve_path(path) is path
+
+
+def env_resolves_to(symbolic, expected):
+    return str(Env.empty().resolve_selector(symbolic)) == expected
+
+
+class TestDOMTrace:
+    def setup_method(self):
+        self.pages = [page(E("p", text=str(i))) for i in range(4)]
+        self.trace = DOMTrace(self.pages)
+
+    def test_len_and_bool(self):
+        assert len(self.trace) == 4
+        assert self.trace
+        assert not DOMTrace([])
+
+    def test_head_tail(self):
+        assert self.trace.head() is self.pages[0]
+        assert self.trace.tail().head() is self.pages[1]
+        assert len(self.trace.tail()) == 3
+
+    def test_head_of_empty_raises(self):
+        empty = DOMTrace([])
+        with pytest.raises(IndexError):
+            empty.head()
+        with pytest.raises(IndexError):
+            empty.tail()
+
+    def test_getitem_bounds(self):
+        assert self.trace[3] is self.pages[3]
+        with pytest.raises(IndexError):
+            self.trace[4]
+        with pytest.raises(IndexError):
+            self.trace[-1]
+
+    def test_window_relative(self):
+        sub = self.trace.window(1, 3)
+        assert len(sub) == 2
+        assert sub.head() is self.pages[1]
+        subsub = sub.window(1)
+        assert subsub.head() is self.pages[2]
+        assert subsub.stop == sub.stop
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            self.trace.window(3, 2)
+
+    def test_iteration(self):
+        assert list(self.trace.window(2)) == self.pages[2:]
+
+    def test_shares_base(self):
+        assert self.trace.shares_base_with(self.trace.window(1, 2))
+        other = DOMTrace(list(self.pages))
+        assert not self.trace.shares_base_with(other)
+
+    def test_rejects_nested_trace(self):
+        with pytest.raises(TypeError):
+            DOMTrace(self.trace)

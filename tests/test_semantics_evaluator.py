@@ -1,0 +1,254 @@
+"""Unit tests for the trace semantics (Figure 7 rules)."""
+
+import pytest
+
+from repro.dom import E, page, parse_selector
+from repro.lang import (
+    EMPTY_DATA,
+    DataSource,
+    X,
+    parse_program,
+)
+from repro.semantics import DOMTrace, execute
+
+
+def run(text, snapshots, data=EMPTY_DATA, max_actions=None):
+    program = parse_program(text)
+    return execute(program, DOMTrace(snapshots), data, max_actions=max_actions)
+
+
+def links_page(count):
+    return page(*[E("a", text=f"link{i}") for i in range(1, count + 1)])
+
+
+class TestStraightLine:
+    def test_actions_emitted_in_order(self):
+        doms = [links_page(2)] * 3
+        result = run("Click(//a[1])\nScrapeText(//a[2])\nGoBack", doms)
+        assert [a.kind for a in result.actions] == ["Click", "ScrapeText", "GoBack"]
+        assert result.remaining.is_empty
+
+    def test_each_action_consumes_one_snapshot(self):
+        doms = [links_page(2)] * 4
+        result = run("Click(//a[1])\nGoBack", doms)
+        assert len(result.remaining) == 2
+
+    def test_invalid_action_selector_halts_execution(self):
+        # Following Example 3.1: an action whose selector does not denote a
+        # node on the head snapshot halts execution with a shorter trace.
+        doms = [links_page(1)] * 2
+        result = run("Click(//button[7])\nGoBack", doms)
+        assert result.actions == []
+        assert len(result.remaining) == 2
+
+    def test_invalid_enter_data_path_halts_execution(self):
+        data = DataSource({"names": ["ada"]})
+        doms = [links_page(1)] * 2
+        result = run('EnterData(//a[1], x["names"][5])\nGoBack', doms, data)
+        assert result.actions == []
+
+    def test_term_rule_empty_trace(self):
+        result = run("Click(//a[1])\nGoBack", [])
+        assert result.actions == []
+
+    def test_term_rule_mid_sequence(self):
+        doms = [links_page(1)]
+        result = run("Click(//a[1])\nGoBack\nExtractURL", doms)
+        assert [a.kind for a in result.actions] == ["Click"]
+
+    def test_send_keys_and_enter_data_arguments(self):
+        data = DataSource({"names": ["ada", "bob"]})
+        doms = [links_page(1)] * 2
+        result = run(
+            'SendKeys(//a[1], "hi")\nEnterData(//a[1], x["names"][2])', doms, data
+        )
+        assert result.actions[0].text == "hi"
+        assert result.actions[1].path.accessors == ("names", 2)
+
+
+class TestSelectorLoop:
+    def test_example_3_1_two_iterations(self):
+        # foreach r in Dscts(/, a) do Click(r)  over two snapshots
+        doms = [links_page(2), links_page(2)]
+        result = run("foreach r in Dscts(/, a) do\n  Click(r)", doms)
+        assert [str(a.selector) for a in result.actions] == ["//a[1]", "//a[2]"]
+        assert result.remaining.is_empty
+
+    def test_s_term_stops_on_invalid_element(self):
+        # Three snapshots but only two matching nodes: S-Term fires.
+        doms = [links_page(2)] * 3
+        result = run("foreach r in Dscts(/, a) do\n  Click(r)", doms)
+        assert len(result.actions) == 2
+        assert len(result.remaining) == 1
+
+    def test_example_3_1_variant_invalid_child(self):
+        # Click(r/b[1]) — //a[1]/b[1] does not exist, so zero iterations.
+        doms = [links_page(2)] * 2
+        result = run("foreach r in Dscts(/, a) do\n  Click(r/b[1])", doms)
+        assert result.actions == []
+        assert len(result.remaining) == 2
+
+    def test_validity_checked_against_current_head(self):
+        # The second snapshot has only one link: iteration 2's check fails
+        # even though the first snapshot had two links (lazy S-Cont).
+        doms = [links_page(2), links_page(1)]
+        result = run("foreach r in Dscts(/, a) do\n  Click(r)", doms)
+        assert len(result.actions) == 1
+
+    def test_children_axis_loop(self):
+        doms = [page(E("ul", E("li", text="a"), E("li", text="b")))] * 2
+        result = run(
+            "foreach r in Children(/html[1]/body[1]/ul[1], li) do\n  ScrapeText(r)",
+            doms,
+        )
+        assert [str(a.selector) for a in result.actions] == [
+            "/html[1]/body[1]/ul[1]/li[1]",
+            "/html[1]/body[1]/ul[1]/li[2]",
+        ]
+
+    def test_multi_statement_body(self):
+        snapshot = page(
+            E("div", cls="card", *[E("h3", text="n1")], text=""),
+            E("div", cls="card", *[E("h3", text="n2")]),
+        )
+        doms = [snapshot] * 4
+        text = (
+            "foreach r in Dscts(/, div[@class='card']) do\n"
+            "  ScrapeText(r/h3[1])\n"
+            "  ScrapeText(r)"
+        )
+        result = run(text, doms)
+        assert [str(a.selector) for a in result.actions] == [
+            "//div[@class='card'][1]/h3[1]",
+            "//div[@class='card'][1]",
+            "//div[@class='card'][2]/h3[1]",
+            "//div[@class='card'][2]",
+        ]
+
+    def test_nested_selector_loops(self):
+        snapshot = page(
+            E("ul", E("li", text="a"), E("li", text="b")),
+            E("ul", E("li", text="c")),
+        )
+        doms = [snapshot] * 5
+        text = (
+            "foreach u in Dscts(/, ul) do\n"
+            "  foreach l in Children(u, li) do\n"
+            "    ScrapeText(l)"
+        )
+        result = run(text, doms)
+        assert [str(a.selector) for a in result.actions] == [
+            "//ul[1]/li[1]",
+            "//ul[1]/li[2]",
+            "//ul[2]/li[1]",
+        ]
+
+
+class TestValueLoop:
+    def test_eager_iteration_over_paths(self):
+        data = DataSource({"zips": ["1", "2", "3"]})
+        doms = [links_page(1)] * 3
+        text = 'foreach d in ValuePaths(x["zips"]) do\n  EnterData(//a[1], d)'
+        result = run(text, doms, data)
+        assert [a.path.accessors for a in result.actions] == [
+            ("zips", 1),
+            ("zips", 2),
+            ("zips", 3),
+        ]
+
+    def test_stuck_collection_yields_nothing(self):
+        data = DataSource({"zips": "not-an-array"})
+        doms = [links_page(1)]
+        text = 'foreach d in ValuePaths(x["zips"]) do\n  EnterData(//a[1], d)'
+        result = run(text, doms, data)
+        assert result.actions == []
+
+    def test_term_stops_value_loop(self):
+        data = DataSource({"zips": ["1", "2", "3"]})
+        doms = [links_page(1)] * 2  # fewer snapshots than paths
+        text = 'foreach d in ValuePaths(x["zips"]) do\n  EnterData(//a[1], d)'
+        result = run(text, doms, data)
+        assert len(result.actions) == 2
+
+    def test_nested_accessor_paths(self):
+        data = DataSource({"rows": [{"q": "a"}, {"q": "b"}]})
+        doms = [links_page(1)] * 2
+        text = 'foreach d in ValuePaths(x["rows"]) do\n  EnterData(//a[1], d["q"])'
+        result = run(text, doms, data)
+        assert [a.path.accessors for a in result.actions] == [
+            ("rows", 1, "q"),
+            ("rows", 2, "q"),
+        ]
+
+
+class TestWhileLoop:
+    def paginated(self, pages_with_next, last_page):
+        doms = []
+        for snapshot in pages_with_next:
+            doms.extend([snapshot, snapshot])  # scrape + click consume two
+        doms.append(last_page)
+        doms.append(last_page)  # head for the final (failing) click check
+        return doms
+
+    def test_terminates_when_click_invalid(self):
+        with_next = page(E("h3", text="page"), E("button", cls="next"))
+        last = page(E("h3", text="last"))
+        doms = self.paginated([with_next, with_next], last)
+        text = (
+            "while true do\n"
+            "  ScrapeText(//h3[1])\n"
+            "  Click(//button[@class='next'][1])"
+        )
+        result = run(text, doms)
+        kinds = [a.kind for a in result.actions]
+        assert kinds == ["ScrapeText", "Click", "ScrapeText", "Click", "ScrapeText"]
+        # one unconsumed snapshot remains: the failing click check does not
+        # consume the head
+        assert len(result.remaining) == 1
+
+    def test_term_rule_ends_while(self):
+        with_next = page(E("h3", text="page"), E("button", cls="next"))
+        doms = [with_next, with_next, with_next]
+        text = (
+            "while true do\n"
+            "  ScrapeText(//h3[1])\n"
+            "  Click(//button[@class='next'][1])"
+        )
+        result = run(text, doms)
+        assert [a.kind for a in result.actions] == ["ScrapeText", "Click", "ScrapeText"]
+        assert result.remaining.is_empty
+
+    def test_while_with_inner_selector_loop(self):
+        def results_page(names, has_next):
+            cards = [E("div", {"class": "card"}, E("h3", text=n)) for n in names]
+            extra = [E("button", cls="next")] if has_next else []
+            return page(*cards, *extra)
+
+        page1 = results_page(["a", "b"], True)
+        page2 = results_page(["c"], False)
+        doms = [page1, page1, page1, page2, page2]
+        text = (
+            "while true do\n"
+            "  foreach r in Dscts(/, div[@class='card']) do\n"
+            "    ScrapeText(r/h3[1])\n"
+            "  Click(//button[@class='next'][1])"
+        )
+        result = run(text, doms)
+        assert [a.kind for a in result.actions] == [
+            "ScrapeText",
+            "ScrapeText",
+            "Click",
+            "ScrapeText",
+        ]
+
+
+class TestBudget:
+    def test_max_actions_caps_output(self):
+        doms = [links_page(3)] * 10
+        result = run("foreach r in Dscts(/, a) do\n  Click(r)", doms, max_actions=2)
+        assert len(result.actions) == 2
+
+    def test_budget_zero_emits_nothing(self):
+        doms = [links_page(1)]
+        result = run("Click(//a[1])", doms, max_actions=0)
+        assert result.actions == []

@@ -1,0 +1,282 @@
+"""Per-family tests for the synthetic site substrate.
+
+Each site is a deterministic state machine; these tests pin rendering
+structure (what the selector search relies on), transition behaviour,
+and determinism across instances.
+"""
+
+import pytest
+
+from repro.benchmarks.sites.calculator import CalculatorSite
+from repro.benchmarks.sites.forum import ForumSite
+from repro.benchmarks.sites.job_board import JobBoardSite
+from repro.benchmarks.sites.match_list import MatchListSite
+from repro.benchmarks.sites.news_list import NewsListSite
+from repro.benchmarks.sites.plain_lists import (
+    NestedListSite,
+    PlainListSite,
+    TripleListSite,
+)
+from repro.benchmarks.sites.product_catalog import ProductCatalogSite
+from repro.benchmarks.sites.search_directory import SearchDirectorySite
+from repro.benchmarks.sites.sectioned_catalog import SectionedCatalogSite
+from repro.benchmarks.sites.store_locator import StoreLocatorSite
+from repro.benchmarks.sites.unicorn_namer import UnicornNamerSite
+from repro.benchmarks.sites.wiki_table import WikiTableSite
+from repro.browser import Browser
+from repro.dom import parse_selector, resolve
+from repro.lang import DataSource, X, click, enter_data, scrape_text
+from repro.util import ReplayError
+
+
+def count(dom, selector_text):
+    total = 0
+    index = 1
+    while resolve(parse_selector(f"{selector_text}[{index}]"), dom) is not None:
+        total += 1
+        index += 1
+    return total
+
+
+class TestStoreLocator:
+    def test_render_is_memoised_and_deterministic(self):
+        site = StoreLocatorSite(2, 3)
+        state = ("results", "48104", 1, "48104")
+        assert site.page(state) is site.page(state)
+        other = StoreLocatorSite(2, 3)
+        assert other.page(state).structural_key() == site.page(state).structural_key()
+
+    def test_card_count_matches_config(self):
+        site = StoreLocatorSite(2, 7)
+        dom = site.page(("results", "48104", 1, "48104"))
+        assert count(dom, "//div[@class='rightContainer']") == 7
+
+    def test_store_records_stable_across_instances(self):
+        first = StoreLocatorSite().store("48104", 2, 3)
+        second = StoreLocatorSite().store("48104", 2, 3)
+        assert first == second
+
+    def test_prev_button_only_after_page_one(self):
+        site = StoreLocatorSite(3, 2)
+        page1 = site.page(("results", "48104", 1, "48104"))
+        page2 = site.page(("results", "48104", 2, "48104"))
+        assert count(page1, "//button[@class='sprite-prev-page-arrow']") == 0
+        assert count(page2, "//button[@class='sprite-prev-page-arrow']") == 1
+
+    def test_prev_click_goes_back_a_page(self):
+        site = StoreLocatorSite(3, 2)
+        browser = Browser(site)
+        browser._state = ("results", "48104", 2, "48104")
+        browser.perform(click(parse_selector(
+            "//button[@class='sprite-prev-page-arrow'][1]/span[1]")))
+        assert browser.state[2] == 1
+
+    def test_fixed_zip_starts_on_results(self):
+        site = StoreLocatorSite(2, 2, fixed_zip="48220")
+        assert site.initial_state() == ("results", "48220", 1, "48220")
+
+
+class TestNewsList:
+    def test_noisy_inserts_sponsored_rows(self):
+        clean = NewsListSite(9, seed="t")
+        noisy = NewsListSite(9, seed="t", noisy=True)
+        clean_dom = clean.page("front")
+        noisy_dom = noisy.page("front")
+        assert count(clean_dom, "//div[@class='sponsored']") == 0
+        assert count(noisy_dom, "//div[@class='sponsored']") == 3
+
+    def test_click_through_and_article_url(self):
+        site = NewsListSite(4, seed="t")
+        browser = Browser(site)
+        browser.perform(click(parse_selector("//div[@class='story'][2]//a[1]")))
+        assert browser.state == ("article", 2)
+        assert "story/2" in browser.current_url()
+
+    def test_article_body_deterministic(self):
+        assert NewsListSite(4, seed="t").body_text(3) == NewsListSite(4, seed="t").body_text(3)
+
+
+class TestJobBoard:
+    def test_next_mode_last_page_has_no_link(self):
+        site = JobBoardSite(2, 3, mode="next")
+        last = site.page(("page", 2))
+        assert count(last, "//a[@class='nextLink']") == 0
+
+    def test_numbered_mode_blocks(self):
+        site = JobBoardSite(5, 2, mode="numbered")
+        page2 = site.page(("page", 2))
+        # block 1 shows pages 1..3 plus the next-block button
+        assert count(page2, "//button[@class='pageNo']") == 2  # non-current
+        assert count(page2, "//button[@class='nextBlock']") == 1
+        page4 = site.page(("page", 4))
+        assert count(page4, "//button[@class='nextBlock']") == 0
+
+    def test_clicking_current_page_is_inert(self):
+        site = JobBoardSite(5, 2, mode="numbered")
+        browser = Browser(site)
+        before = browser.state
+        browser.perform(click(parse_selector("//button[@data-page='1'][1]")))
+        assert browser.state == before
+
+    def test_next_block_jumps(self):
+        site = JobBoardSite(5, 2, mode="numbered")
+        browser = Browser(site)
+        browser._state = ("page", 3)
+        browser.perform(click(parse_selector("//button[@class='nextBlock'][1]")))
+        assert browser.state == ("page", 4)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            JobBoardSite(mode="infinite")
+
+    def test_promoted_shifts_raw_indices(self):
+        plain = JobBoardSite(2, 2, seed="t")
+        promoted = JobBoardSite(2, 2, seed="t", promoted=True)
+        plain_first = resolve(parse_selector("//ul[@class='new-joblist'][1]/li[1]"),
+                              plain.page(("page", 1)))
+        promoted_first = resolve(parse_selector("//ul[@class='new-joblist'][1]/li[1]"),
+                                 promoted.page(("page", 1)))
+        assert "job-bx" in plain_first.get("class")
+        assert "promo" in promoted_first.get("class")
+
+
+class TestProductCatalog:
+    def test_click_opens_detail_and_back_returns(self):
+        site = ProductCatalogSite(3, seed="t")
+        browser = Browser(site)
+        browser.perform(click(parse_selector("//li[@class='product'][2]/a[1]")))
+        assert browser.state == ("detail", 2)
+        browser.perform(scrape_text(parse_selector("//span[@class='price'][1]")))
+        assert browser.outputs == [site.product(2)["price"]]
+        from repro.lang import go_back
+
+        browser.perform(go_back())
+        assert browser.state == ("list",)
+
+    def test_featured_banner_inside_list(self):
+        site = ProductCatalogSite(2, seed="t", featured=True)
+        first = resolve(parse_selector("//ul[@class='productList'][1]/li[1]"),
+                        site.page(("list",)))
+        assert first.get("class") == "banner"
+
+
+class TestUnicornAndCalculator:
+    def test_generate_requires_input(self):
+        browser = Browser(UnicornNamerSite())
+        before = browser.state
+        browser.perform(click(parse_selector("//button[@class='generate'][1]")))
+        assert browser.state == before  # no name typed: click is inert
+
+    def test_generate_flow(self):
+        site = UnicornNamerSite(seed="t")
+        data = DataSource({"customers": ["ada"]})
+        browser = Browser(site, data)
+        browser.perform(enter_data(parse_selector("//input[@name='customer'][1]"),
+                                   X.extend("customers").extend(1)))
+        browser.perform(click(parse_selector("//button[@class='generate'][1]")))
+        browser.perform(scrape_text(parse_selector("//div[@class='unicornName'][1]")))
+        assert browser.outputs == [site.unicorn_name("ada")]
+        assert "result" in browser.current_url()
+
+    def test_calculator_is_single_url(self):
+        site = CalculatorSite()
+        browser = Browser(site, DataSource({"miles": ["3"]}))
+        url_before = browser.current_url()
+        browser.perform(enter_data(parse_selector("//input[@name='miles'][1]"),
+                                   X.extend("miles").extend(1)))
+        browser.perform(click(parse_selector("//button[@class='convert'][1]")))
+        assert browser.current_url() == url_before
+        browser.perform(scrape_text(parse_selector("//div[@class='converted'][1]")))
+        assert browser.outputs == [site.convert("3")]
+
+    def test_calculator_bad_input(self):
+        assert CalculatorSite().convert("not a number") == "?"
+
+
+class TestSearchDirectory:
+    def test_search_keeps_form_on_results(self):
+        site = SearchDirectorySite(3, seed="t")
+        data = DataSource({"keywords": ["coffee"]})
+        browser = Browser(site, data)
+        browser.perform(enter_data(parse_selector("//input[@name='q'][1]"),
+                                   X.extend("keywords").extend(1)))
+        browser.perform(click(parse_selector("//button[@class='doSearch'][1]")))
+        dom = browser.dom
+        assert count(dom, "//div[@class='hit']") == 3
+        assert resolve(parse_selector("//input[@name='q'][1]"), dom) is not None
+
+    def test_retyping_on_results_page(self):
+        site = SearchDirectorySite(2, seed="t")
+        data = DataSource({"keywords": ["a", "b"]})
+        browser = Browser(site, data)
+        for index in (1, 2):
+            browser.perform(enter_data(parse_selector("//input[@name='q'][1]"),
+                                       X.extend("keywords").extend(index)))
+            browser.perform(click(parse_selector("//button[@class='doSearch'][1]")))
+        assert browser.state == ("results", "b", "b")
+
+
+class TestSectionedAndForum:
+    def test_sectioned_inline_ads_between_venues(self):
+        site = SectionedCatalogSite(2, 3, 2, seed="t", inline_ads=True)
+        dom = site.page(("page", 1))
+        assert count(dom, "//div[@class='promo']") == 2  # between 3 venues
+
+    def test_sectioned_more_link_absent_on_last_page(self):
+        site = SectionedCatalogSite(2, 2, 2, seed="t")
+        assert count(site.page(("page", 2)), "//a[@class='moreLink']") == 0
+
+    def test_forum_pinned_row_first(self):
+        site = ForumSite(2, 3, seed="t", pinned=True)
+        first = resolve(parse_selector("//ul[@class='topiclist'][1]/li[1]"),
+                        site.page(("index", 1)))
+        assert first.get("class") == "announce"
+
+    def test_forum_pagination(self):
+        site = ForumSite(2, 2, seed="t")
+        browser = Browser(site)
+        browser.perform(click(parse_selector("//a[@class='olderLink'][1]")))
+        assert browser.state == ("index", 2)
+
+
+class TestPlainAndWikiAndMatch:
+    def test_plain_list_fields(self):
+        one = PlainListSite(3, fields=1)
+        two = PlainListSite(3, fields=2)
+        assert count(one.page("list"), "//li[1]/b") == 0
+        assert resolve(parse_selector("//li[1]/b[1]"), two.page("list")) is not None
+
+    def test_nested_structure(self):
+        site = NestedListSite(3, 2)
+        dom = site.page("groups")
+        assert count(dom, "/html[1]/body[1]/div") == 3
+        assert count(dom, "//li") == 6
+
+    def test_triple_structure(self):
+        site = TripleListSite(2, 3, 2)
+        dom = site.page("blocks")
+        assert count(dom, "/html[1]/body[1]/div") == 2
+        assert count(dom, "//ul") == 6
+        assert count(dom, "//li") == 12
+
+    def test_wiki_header_row_uses_th(self):
+        site = WikiTableSite(3, header=True)
+        dom = site.page("table")
+        assert count(dom, "//tr") == 4
+        assert count(dom, "//th") == 3
+        headerless = WikiTableSite(3, header=False)
+        assert count(headerless.page("table"), "//tr") == 3
+
+    def test_match_rows_and_ads_interleaved(self):
+        site = MatchListSite(4, seed="t")
+        dom = site.page(("list",))
+        assert count(dom, "//div[@class='ad']") == 2
+        # highlight rows every third match
+        third = resolve(parse_selector("//div[@data-pos='3'][1]"), dom)
+        assert third.get("class") == "match highlight"
+
+    def test_match_click_via_child_span(self):
+        site = MatchListSite(4, seed="t")
+        browser = Browser(site)
+        browser.perform(click(parse_selector("//div[@data-pos='2'][1]/span[1]")))
+        assert browser.state == ("match", 2)

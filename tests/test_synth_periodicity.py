@@ -1,0 +1,227 @@
+"""Tests for the shape-periodicity gates (`repro.synth.periodicity`).
+
+The load-bearing property is the pivot gate's soundness contract:
+whenever two statements' shapes differ, anti-unification must return
+nothing — otherwise the default-on gate would prune real rewrites.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dom import E, page
+from repro.lang import parse_program
+from repro.lang.ast import Program
+from repro.synth import (
+    DEFAULT_CONFIG,
+    Synthesizer,
+    anti_unify_statements,
+    no_shape_gates_config,
+    shape_sequence,
+    statement_shape,
+    trace_periods,
+    window_periodic,
+    window_periodicity_config,
+)
+from repro.lang.data import DataSource, EMPTY_DATA
+
+from helpers import cards_page, scrape_cards_trace
+
+
+def stmts(text: str):
+    return parse_program(text).statements
+
+
+DOM = page(E("div", E("h3", text="x")))
+
+
+# ----------------------------------------------------------------------
+# Shapes
+# ----------------------------------------------------------------------
+class TestStatementShape:
+    def test_same_kind_different_selectors_share_shape(self):
+        a, b = stmts("ScrapeText(//li[1])\nScrapeText(//li[7]/b[1])")
+        assert statement_shape(a) == statement_shape(b)
+
+    def test_kinds_distinguish(self):
+        a, b = stmts("ScrapeText(//li[1])\nScrapeLink(//li[1])")
+        assert statement_shape(a) != statement_shape(b)
+
+    def test_sendkeys_text_distinguishes(self):
+        a, b = stmts('SendKeys(//input[1], "a")\nSendKeys(//input[1], "b")')
+        assert statement_shape(a) != statement_shape(b)
+
+    def test_enterdata_same_length_paths_share_shape(self):
+        a, b = stmts(
+            'EnterData(//input[1], x["zips"][1])\nEnterData(//input[1], x["zips"][2])'
+        )
+        assert statement_shape(a) == statement_shape(b)
+
+    def test_enterdata_different_length_paths_distinguish(self):
+        a, b = stmts(
+            'EnterData(//input[1], x["zips"][1])\nEnterData(//input[1], x["zips"])'
+        )
+        assert statement_shape(a) != statement_shape(b)
+
+    def test_loop_collection_predicate_distinguishes(self):
+        a = stmts("foreach r in Dscts(/, div[@class='a']) do\n  ScrapeText(r//h3[1])")[0]
+        b = stmts("foreach r in Dscts(/, div[@class='b']) do\n  ScrapeText(r//h3[1])")[0]
+        assert statement_shape(a) != statement_shape(b)
+
+    def test_loop_body_kinds_distinguish(self):
+        a = stmts("foreach r in Dscts(/, div) do\n  ScrapeText(r//h3[1])")[0]
+        b = stmts("foreach r in Dscts(/, div) do\n  ScrapeLink(r//h3[1])")[0]
+        assert statement_shape(a) != statement_shape(b)
+
+    def test_loop_bases_do_not_distinguish(self):
+        a = stmts("foreach r in Dscts(//ul[1], li) do\n  ScrapeText(r//b[1])")[0]
+        b = stmts("foreach r in Dscts(//ul[2], li) do\n  ScrapeText(r//b[1])")[0]
+        assert statement_shape(a) == statement_shape(b)
+
+    def test_while_and_paginate_have_distinct_categories(self):
+        loop = stmts("while true do\n  ScrapeText(//h3[1])\n  Click(//b[1])")[0]
+        assert statement_shape(loop)[0] == "w"
+
+
+# ----------------------------------------------------------------------
+# Pivot-gate soundness: shape inequality refutes anti-unifiability
+# ----------------------------------------------------------------------
+_KINDS = st.sampled_from(["ScrapeText", "ScrapeLink", "Click", "Download"])
+_INDICES = st.integers(min_value=1, max_value=3)
+
+
+@st.composite
+def action_texts(draw):
+    kind = draw(_KINDS)
+    first = draw(_INDICES)
+    second = draw(_INDICES)
+    return f"{kind}(//li[{first}]/span[{second}])"
+
+
+class TestPivotGateSoundness:
+    @settings(max_examples=120, deadline=None)
+    @given(action_texts(), action_texts())
+    def test_shape_mismatch_implies_no_unification(self, text_a, text_b):
+        (a,) = stmts(text_a)
+        (b,) = stmts(text_b)
+        if statement_shape(a) != statement_shape(b):
+            assert anti_unify_statements(a, DOM, b, DOM, DEFAULT_CONFIG) == []
+
+    def test_enterdata_value_pivot_not_gated(self):
+        # the rule-(3) pivot pair must share a shape or the gate would
+        # break data-entry loops
+        a, b = stmts(
+            'EnterData(//input[1], x["zips"][1])\nEnterData(//input[1], x["zips"][2])'
+        )
+        assert statement_shape(a) == statement_shape(b)
+        dom = page(E("input", {"name": "q"}))
+        results = anti_unify_statements(a, dom, b, dom, DEFAULT_CONFIG)
+        assert results  # rule (3) fires
+
+
+# ----------------------------------------------------------------------
+# Windows and periods
+# ----------------------------------------------------------------------
+class TestWindowPeriodic:
+    def test_perfect_repetition(self):
+        shapes = shape_sequence(
+            stmts(
+                "ScrapeText(//li[1]/h3[1])\nScrapeLink(//li[1]/a[1])\n"
+                "ScrapeText(//li[2]/h3[1])\nScrapeLink(//li[2]/a[1])"
+            )
+        )
+        assert window_periodic(shapes, 0, 2)
+        assert not window_periodic(shapes, 0, 1)
+
+    def test_window_running_past_end(self):
+        shapes = shape_sequence(stmts("ScrapeText(//li[1])\nScrapeText(//li[2])"))
+        assert window_periodic(shapes, 0, 1)
+        assert not window_periodic(shapes, 1, 1)
+        assert not window_periodic(shapes, 0, 2)
+
+    def test_degenerate_inputs(self):
+        assert not window_periodic([], 0, 1)
+        assert not window_periodic([("a",)], 0, 0)
+        assert not window_periodic([("a",), ("a",)], -1, 1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.sampled_from("ab"), min_size=2, max_size=12), st.integers(1, 6))
+    def test_matches_bruteforce(self, symbols, period):
+        shapes = [(symbol,) for symbol in symbols]
+        for start in range(len(shapes)):
+            expected = start + 2 * period <= len(shapes) and all(
+                shapes[k] == shapes[k + period] for k in range(start, start + period)
+            )
+            assert window_periodic(shapes, start, period) == expected
+
+
+class TestTracePeriods:
+    def test_pure_repetition_reports_period(self):
+        shapes = [("a",), ("b",)] * 4
+        periods = trace_periods(shapes)
+        assert periods[2] == len(shapes) - 4 + 1
+        assert 1 not in periods  # a,b alternate: period 1 never holds
+
+    def test_aperiodic_trace_reports_nothing(self):
+        shapes = [("a",), ("b",), ("c",), ("d",)]
+        assert trace_periods(shapes) == {}
+
+    def test_max_period_caps_search(self):
+        shapes = [("a",)] * 10
+        assert set(trace_periods(shapes, max_period=2)) == {1, 2}
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the gates do not change synthesis results
+# ----------------------------------------------------------------------
+def synthesize_with(config, dom, count=3):
+    actions, snapshots = scrape_cards_trace(dom, count)
+    return Synthesizer(EMPTY_DATA, config=config).synthesize(actions, snapshots)
+
+
+class TestGateEquivalence:
+    def test_pivot_gate_preserves_best_program(self):
+        from repro.lang.ast import canonical_program
+
+        dom = cards_page(6)
+        gated = synthesize_with(DEFAULT_CONFIG, dom)
+        ungated = synthesize_with(no_shape_gates_config(), dom)
+        assert gated.best_program is not None
+        # fresh loop variables differ between runs; compare alpha-classes
+        assert canonical_program(gated.best_program) == canonical_program(
+            ungated.best_program
+        )
+
+    def test_window_gate_still_solves_uniform_traces(self):
+        dom = cards_page(6)
+        windowed = synthesize_with(window_periodicity_config(), dom)
+        assert windowed.best_program is not None
+        assert windowed.best_prediction is not None
+
+    def test_window_gate_handles_data_entry(self):
+        # a trace mixing entry and scraping still rolls under the gate
+        data = DataSource({"zips": ["48104", "48105", "48106"]})
+        from repro.benchmarks.sites.store_locator import StoreLocatorSite
+        from repro.browser import Browser
+        from repro.dom import parse_selector
+        from repro.lang import X, click, enter_data
+
+        site = StoreLocatorSite(pages_per_zip=1, stores_per_page=4)
+        browser = Browser(site, data)
+        for index in (1, 2):
+            browser.perform(
+                enter_data(
+                    parse_selector("//input[@name='search'][1]"),
+                    X.extend("zips").extend(index),
+                )
+            )
+            browser.perform(
+                click(parse_selector("//button[@class='squareButton btnDoSearch'][1]"))
+            )
+        actions, snapshots = browser.trace()
+        result = Synthesizer(data, config=window_periodicity_config()).synthesize(
+            actions, snapshots
+        )
+        assert result.best_program is not None
+        assert result.best_prediction is not None

@@ -1,0 +1,334 @@
+"""End-to-end tests of the synthesis engine on hand-recorded traces."""
+
+import pytest
+
+from repro.dom import E, page, parse_selector, raw_path, resolve
+from repro.lang import (
+    EMPTY_DATA,
+    DataSource,
+    ForEachSelector,
+    ForEachValue,
+    WhileLoop,
+    click,
+    enter_data,
+    format_program,
+    scrape_text,
+    X,
+)
+from repro.semantics import actions_consistent
+from repro.synth import (
+    DEFAULT_CONFIG,
+    Synthesizer,
+    no_incremental_config,
+    no_selector_config,
+)
+
+from helpers import cards_page, node_at, plain_list_page, raw_action, scrape_cards_trace
+
+
+def predict(synth, actions, snapshots):
+    return synth.synthesize(actions, snapshots)
+
+
+class TestSinglePageLoop:
+    def test_scrape_two_cards_generalizes(self):
+        dom = cards_page(4)
+        actions, snapshots = scrape_cards_trace(dom, 2)
+        result = Synthesizer(EMPTY_DATA).synthesize(actions, snapshots)
+        assert result.programs, "expected a generalizing program"
+        best = result.best_program
+        assert isinstance(best.statements[0], ForEachSelector)
+        assert len(best.statements) == 1
+
+    def test_prediction_is_third_card_h3(self):
+        dom = cards_page(4)
+        actions, snapshots = scrape_cards_trace(dom, 2)
+        result = Synthesizer(EMPTY_DATA).synthesize(actions, snapshots)
+        expected = raw_action(scrape_text, dom, "//div[@class='card'][3]/h3[1]")
+        assert result.best_prediction is not None
+        assert actions_consistent(result.best_prediction, expected, dom)
+
+    def test_sidebar_requires_alternative_selectors(self):
+        # Cards start at body div[2]; raw child indices (2, 3) admit no
+        # (1, 2) loop reading, so the no-selector ablation fails here.
+        dom = cards_page(4)
+        actions, snapshots = scrape_cards_trace(dom, 2)
+        result = Synthesizer(EMPTY_DATA, no_selector_config()).synthesize(
+            actions, snapshots
+        )
+        assert result.best_prediction is None
+
+    def test_plain_list_works_without_alternatives(self):
+        dom = plain_list_page(4)
+        actions = []
+        for index in (1, 2):
+            actions.append(raw_action(scrape_text, dom, f"//li[{index}]/span[1]"))
+            actions.append(raw_action(scrape_text, dom, f"//li[{index}]/b[1]"))
+        snapshots = [dom] * 5
+        result = Synthesizer(EMPTY_DATA, no_selector_config()).synthesize(
+            actions, snapshots
+        )
+        expected = raw_action(scrape_text, dom, "//li[3]/span[1]")
+        assert result.best_prediction is not None
+        assert actions_consistent(result.best_prediction, expected, dom)
+
+    def test_too_short_trace_no_prediction(self):
+        dom = cards_page(4)
+        actions, snapshots = scrape_cards_trace(dom, 2)
+        for cut in (1, 2):
+            result = Synthesizer(EMPTY_DATA).synthesize(
+                actions[:cut], snapshots[: cut + 1]
+            )
+            assert result.best_prediction is None, f"no loop visible after {cut} actions"
+
+    def test_partial_second_iteration_suffices(self):
+        # Validation accepts r = j + 1: one statement beyond the first
+        # iteration (Algorithm 3 line 4), so the third action already
+        # admits a correct prediction of the fourth.
+        dom = cards_page(4)
+        actions, snapshots = scrape_cards_trace(dom, 2)
+        result = Synthesizer(EMPTY_DATA).synthesize(actions[:3], snapshots[:4])
+        assert result.best_prediction is not None
+        assert actions_consistent(result.best_prediction, actions[3], snapshots[3])
+
+    def test_empty_trace(self):
+        dom = cards_page(1)
+        result = Synthesizer(EMPTY_DATA).synthesize([], [dom])
+        assert result.programs == [] and result.predictions == []
+
+    def test_synthesized_program_satisfies_trace(self):
+        from repro.synth import SynthesisProblem, satisfies
+        from repro.semantics import DOMTrace
+
+        dom = cards_page(4)
+        actions, snapshots = scrape_cards_trace(dom, 2)
+        result = Synthesizer(EMPTY_DATA).synthesize(actions, snapshots)
+        problem = SynthesisProblem(tuple(actions), DOMTrace(snapshots), EMPTY_DATA)
+        for program in result.programs:
+            assert satisfies(program, problem)
+
+
+class TestIncrementalSession:
+    def test_predictions_flow_after_first_repetition(self):
+        dom = cards_page(6)
+        actions, snapshots = scrape_cards_trace(dom, 6)
+        synth = Synthesizer(EMPTY_DATA)
+        correct = 0
+        for k in range(1, len(actions)):
+            result = synth.synthesize(actions[:k], snapshots[: k + 1])
+            if result.best_prediction is not None and actions_consistent(
+                result.best_prediction, actions[k], snapshots[k]
+            ):
+                correct += 1
+        # predictions are possible from k=3 on (first pair + one more)
+        assert correct >= len(actions) - 4
+
+    def test_store_shrinks_via_absorption(self):
+        dom = cards_page(6)
+        actions, snapshots = scrape_cards_trace(dom, 6)
+        synth = Synthesizer(EMPTY_DATA)
+        # Stop one action short of the end: after the full demonstration
+        # there is nothing left to predict, so no program generalizes.
+        for k in range(4, len(actions)):
+            result = synth.synthesize(actions[:k], snapshots[: k + 1])
+        best = result.best_program
+        assert len(best.statements) == 1
+        assert isinstance(best.statements[0], ForEachSelector)
+
+    def test_exhausted_page_stops_generalizing(self):
+        dom = cards_page(6)
+        actions, snapshots = scrape_cards_trace(dom, 6)
+        synth = Synthesizer(EMPTY_DATA)
+        for k in range(4, len(actions) + 1):
+            result = synth.synthesize(actions[:k], snapshots[: k + 1])
+        assert result.programs == []
+
+    def test_non_incremental_matches_incremental_result(self):
+        dom = cards_page(5)
+        actions, snapshots = scrape_cards_trace(dom, 3)
+        inc = Synthesizer(EMPTY_DATA).synthesize(actions, snapshots)
+        non_inc = Synthesizer(EMPTY_DATA, no_incremental_config()).synthesize(
+            actions, snapshots
+        )
+        assert inc.best_prediction is not None
+        assert non_inc.best_prediction is not None
+        assert actions_consistent(
+            inc.best_prediction, non_inc.best_prediction, snapshots[-1]
+        )
+
+    def test_divergent_trace_resets_store(self):
+        dom = cards_page(4)
+        actions, snapshots = scrape_cards_trace(dom, 2)
+        synth = Synthesizer(EMPTY_DATA)
+        synth.synthesize(actions, snapshots)
+        other_dom = plain_list_page(3)
+        other_actions = [raw_action(scrape_text, other_dom, "//li[1]/span[1]")]
+        result = synth.synthesize(other_actions, [other_dom] * 2)
+        assert result.stats.trace_length == 1
+
+
+class TestPagination:
+    def make_site(self):
+        page1 = cards_page(2, with_next=True)
+        page2 = page(
+            E("div", {"class": "sidebar"}, text="ads"),
+            E("div", {"class": "card"}, E("h3", text="Store A"),
+              E("div", {"class": "phone"}, text="555-1000")),
+            E("div", {"class": "card"}, E("h3", text="Store B"),
+              E("div", {"class": "phone"}, text="555-2000")),
+            E("button", {"class": "next"}, text="next"),
+        )
+        page3 = page(
+            E("div", {"class": "sidebar"}, text="ads"),
+            E("div", {"class": "card"}, E("h3", text="Store C"),
+              E("div", {"class": "phone"}, text="555-3000")),
+            E("div", {"class": "card"}, E("h3", text="Store D"),
+              E("div", {"class": "phone"}, text="555-4000")),
+        )
+        return page1, page2, page3
+
+    def record(self, pages, scraped_on_last):
+        actions, snapshots = [], []
+        for page_index, current in enumerate(pages):
+            is_last = page_index == len(pages) - 1
+            count = scraped_on_last if is_last else 2
+            for card in range(1, count + 1):
+                for field in (f"//div[@class='card'][{card}]/h3[1]",
+                              f"//div[@class='card'][{card}]/div[@class='phone'][1]"):
+                    snapshots.append(current)
+                    actions.append(raw_action(scrape_text, current, field))
+            if not is_last:
+                snapshots.append(current)
+                actions.append(raw_action(click, current, "//button[@class='next'][1]"))
+        snapshots.append(pages[len(pages) - 1])
+        return actions, snapshots
+
+    def test_while_loop_synthesized(self):
+        page1, page2, page3 = self.make_site()
+        actions, snapshots = self.record([page1, page2, page3], scraped_on_last=1)
+        result = Synthesizer(EMPTY_DATA).synthesize(actions, snapshots)
+        assert result.programs
+        best = result.best_program
+        assert len(best.statements) == 1
+        assert isinstance(best.statements[0], WhileLoop)
+        inner = best.statements[0].body[0]
+        assert isinstance(inner, ForEachSelector)
+
+    def test_while_prediction_continues_third_page(self):
+        page1, page2, page3 = self.make_site()
+        actions, snapshots = self.record([page1, page2, page3], scraped_on_last=1)
+        result = Synthesizer(EMPTY_DATA).synthesize(actions, snapshots)
+        expected = raw_action(scrape_text, page3, "//div[@class='card'][2]/h3[1]")
+        assert actions_consistent(result.best_prediction, expected, page3)
+
+    def test_incremental_pagination_session(self):
+        page1, page2, page3 = self.make_site()
+        actions, snapshots = self.record([page1, page2, page3], scraped_on_last=2)
+        synth = Synthesizer(EMPTY_DATA)
+        outcomes = {}
+        for k in range(1, len(actions)):
+            result = synth.synthesize(actions[:k], snapshots[: k + 1])
+            outcomes[k] = result.best_prediction is not None and actions_consistent(
+                result.best_prediction, actions[k], snapshots[k]
+            )
+        # Mirrors the paper's interaction flow: scraping continuations are
+        # predicted once one repetition is visible (k=3 on page 1, k=8 on
+        # page 2 — P2's analogue) and everywhere after the while loop
+        # emerges at the second "next page" click (k≥10 — P3's analogue).
+        for k in (3, 8, 10, 11, 12, 13):
+            assert outcomes[k], f"expected a correct prediction at k={k}"
+        # Pagination clicks are unpredictable before the while loop exists
+        # (the paper's user demonstrates them manually), as is the very
+        # first action of page 2.
+        for k in (1, 2, 4, 5, 9):
+            assert not outcomes[k], f"no correct prediction expected at k={k}"
+
+
+class TestDataEntryLoop:
+    def make_generator_site(self):
+        def entry_page(value="", result=None):
+            parts = [
+                E("input", {"name": "who", "value": value}),
+                E("button", {"class": "go"}, text="generate"),
+            ]
+            if result:
+                parts.append(E("div", {"class": "result"}, text=result))
+            return page(*parts)
+
+        return entry_page
+
+    def record(self, names, scrape_last=True):
+        entry_page = self.make_generator_site()
+        data = DataSource({"names": names})
+        actions, snapshots = [], []
+        current = entry_page()
+        for index, name in enumerate(names, start=1):
+            snapshots.append(current)
+            actions.append(
+                raw_action(enter_data, current, "//input[@name='who'][1]",
+                           path=X.extend("names").extend(index))
+            )
+            current = self.make_generator_site()(value=name)
+            snapshots.append(current)
+            actions.append(raw_action(click, current, "//button[@class='go'][1]"))
+            current = self.make_generator_site()(result=f"unicorn-{name}")
+            if index < len(names) or scrape_last:
+                snapshots.append(current)
+                actions.append(raw_action(scrape_text, current, "//div[@class='result'][1]"))
+        snapshots.append(current)
+        return data, actions, snapshots
+
+    def test_value_loop_synthesized(self):
+        data, actions, snapshots = self.record(["ada", "bob", "cyd"])
+        cut = 6  # two full iterations demonstrated, third remains
+        result = Synthesizer(data).synthesize(actions[:cut], snapshots[: cut + 1])
+        assert result.programs
+        best = result.best_program
+        assert len(best.statements) == 1
+        loop = best.statements[0]
+        assert isinstance(loop, ForEachValue)
+        assert loop.collection.path.accessors == ("names",)
+        assert len(loop.body) == 3
+
+    def test_value_loop_predicts_third_entry(self):
+        data, actions, snapshots = self.record(["ada", "bob", "cyd"])
+        cut = 6  # stop right after the second scrape
+        result = Synthesizer(data).synthesize(actions[:cut], snapshots[: cut + 1])
+        prediction = result.best_prediction
+        assert prediction is not None
+        assert prediction.kind == "EnterData"
+        assert prediction.path.accessors == ("names", 3)
+
+    def test_fully_demonstrated_data_stops_generalizing(self):
+        data, actions, snapshots = self.record(["ada", "bob"])
+        result = Synthesizer(data).synthesize(actions, snapshots)
+        assert result.programs == []
+
+
+class TestRankingAndStats:
+    def test_programs_ranked_smallest_first(self):
+        from repro.lang import program_size
+
+        dom = cards_page(5)
+        actions, snapshots = scrape_cards_trace(dom, 3)
+        result = Synthesizer(EMPTY_DATA).synthesize(actions, snapshots)
+        sizes = [program_size(program) for program in result.programs]
+        assert sizes == sorted(sizes)
+
+    def test_stats_populated(self):
+        dom = cards_page(4)
+        actions, snapshots = scrape_cards_trace(dom, 2)
+        result = Synthesizer(EMPTY_DATA).synthesize(actions, snapshots)
+        stats = result.stats
+        assert stats.trace_length == 4
+        assert stats.pops > 0
+        assert stats.speculated > 0
+        assert stats.validated > 0
+        assert stats.elapsed >= 0.0
+
+    def test_snapshot_count_validated(self):
+        from repro.util import SynthesisError
+
+        dom = cards_page(1)
+        with pytest.raises(SynthesisError):
+            Synthesizer(EMPTY_DATA).synthesize([], [dom, dom])
