@@ -1,15 +1,15 @@
-"""Legacy setup shim.
+"""Legacy setup shim — pyproject.toml is the packaging source of truth.
 
-The execution environment has no network access and no ``wheel`` package,
-so PEP 517 editable installs fail.  ``python setup.py develop`` uses this
-file instead (mirroring pyproject.toml).
+Kept only because the offline execution environment has no ``wheel``
+package, so PEP 517 editable installs fail; ``python setup.py develop``
+uses this file instead.  Keep the metadata mirroring pyproject.toml.
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of WebRobot: web RPA via interactive "
         "programming-by-demonstration (PLDI 2022)"

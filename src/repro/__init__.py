@@ -27,6 +27,7 @@ from repro.browser import (
     VirtualWebsite,
     record_ground_truth,
 )
+from repro.engine import ExecutionEngine
 from repro.export import export_program
 from repro.interact import InteractiveSession, NoisyUser, OracleUser, SessionReport
 from repro.lang import (
@@ -48,9 +49,10 @@ from repro.synth import (
     satisfies,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ExecutionEngine",
     "Browser",
     "Recording",
     "Replayer",

@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 
 from repro.browser.virtual import Browser
 from repro.dom.node import DOMNode
-from repro.dom.xpath import valid
+from repro.engine.engine import ExecutionEngine
 from repro.lang.actions import Action
 from repro.lang.ast import (
     ActionStmt,
@@ -68,12 +68,16 @@ class Replayer:
         browser: Browser,
         max_actions: int = 500,
         raise_errors: bool = True,
+        engine: Optional[ExecutionEngine] = None,
     ) -> None:
         self.browser = browser
         self.max_actions = max_actions
         self.raise_errors = raise_errors
         self._performed = 0
         self._truncated = False
+        # Loop-continuation checks go through the engine seam; live
+        # pages are one-shot, so the default engine skips memoization.
+        self._engine = engine or ExecutionEngine(browser.data, use_cache=False)
 
     # ------------------------------------------------------------------
     def run(self, program: Program | Sequence[Statement]) -> ReplayResult:
@@ -138,7 +142,7 @@ class Replayer:
             element = extend(loop.collection.pred, index)
             # lazy continuation check against the *live* page, which may
             # have changed while the body executed (S-Cont's rationale)
-            if not valid(element, self.browser.dom):
+            if not self._engine.valid(element, self.browser.dom):
                 return env
             env = env.bind(loop.var, element)
             env = self._run_sequence(loop.body, env)
@@ -155,7 +159,7 @@ class Replayer:
         while True:
             env = self._run_sequence(loop.body, env)
             selector = env.resolve_selector(loop.click.target)
-            if not valid(selector, self.browser.dom):
+            if not self._engine.valid(selector, self.browser.dom):
                 return env
             self._perform(Action(loop.click.kind, selector))
 
@@ -167,9 +171,9 @@ class Replayer:
         while True:
             env = self._run_sequence(loop.body, env)
             numbered = loop.template.instantiate(counter)
-            if valid(numbered, self.browser.dom):
+            if self._engine.valid(numbered, self.browser.dom):
                 self._perform(Action(CLICK, numbered))
-            elif advance is not None and valid(advance, self.browser.dom):
+            elif advance is not None and self._engine.valid(advance, self.browser.dom):
                 self._perform(Action(CLICK, advance))
             else:
                 return env

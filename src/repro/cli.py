@@ -7,9 +7,11 @@ Commands
 ``record <bid> [-o FILE]``
     Instrument a benchmark's ground truth and write the recorded
     demonstration as JSON.
-``synthesize <FILE> [--cut K] [--data JSON]``
+``synthesize <FILE> [--cut K] [--data JSON] [--stats]``
     Load a recorded demonstration, synthesize at prefix ``K`` (default:
     all but the last action), print the best program and prediction.
+    ``--stats`` also prints synthesis + execution-engine telemetry
+    (worklist activity, cache hits/misses, DOM index builds).
 ``replay <PROGRAM-FILE> --benchmark <bid>``
     Run a serialized program for real against a benchmark's site and
     print the scraped outputs.
@@ -76,6 +78,8 @@ def _build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--data", default=None,
                        help="JSON file with the input data source")
     synth.add_argument("--timeout", type=float, default=1.0)
+    synth.add_argument("--stats", action="store_true",
+                       help="print synthesis + execution-engine telemetry")
 
     replay = commands.add_parser("replay", help="run a serialized program")
     replay.add_argument("program", help="JSON file with a serialized program")
@@ -140,7 +144,7 @@ def _cmd_record(bid: str, output: Optional[str], max_actions: int) -> int:
 
 
 def _cmd_synthesize(path: str, cut: Optional[int], data_path: Optional[str],
-                    timeout: float) -> int:
+                    timeout: float, show_stats: bool = False) -> int:
     with open(path, encoding="utf-8") as handle:
         recording = repro_io.load(handle)
     data = EMPTY_DATA
@@ -151,6 +155,11 @@ def _cmd_synthesize(path: str, cut: Optional[int], data_path: Optional[str],
     prefix = max(1, min(prefix, recording.length - 1))
     actions, snapshots = recording.prefix(prefix)
     result = Synthesizer(data).synthesize(actions, snapshots, timeout=timeout)
+    if show_stats:
+        from repro.harness.report import render_synthesis_stats
+
+        print(render_synthesis_stats(result.stats))
+        print()
     if result.best_program is None:
         print(f"no generalizing program after {prefix} actions")
         return 1
@@ -274,7 +283,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_record(arguments.bid, arguments.output, arguments.max_actions)
     if arguments.command == "synthesize":
         return _cmd_synthesize(
-            arguments.recording, arguments.cut, arguments.data, arguments.timeout
+            arguments.recording, arguments.cut, arguments.data,
+            arguments.timeout, arguments.stats,
         )
     if arguments.command == "replay":
         return _cmd_replay(arguments.program, arguments.benchmark)

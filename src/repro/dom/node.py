@@ -36,7 +36,16 @@ class DOMNode:
         Child elements in document order.
     """
 
-    __slots__ = ("tag", "attrs", "text", "children", "parent", "_frozen", "_resolve_cache")
+    __slots__ = (
+        "tag",
+        "attrs",
+        "text",
+        "children",
+        "parent",
+        "_frozen",
+        "_resolve_cache",
+        "_snapshot_index",
+    )
 
     def __init__(
         self,
@@ -54,6 +63,8 @@ class DOMNode:
         # Selector-resolution memo, populated lazily on root nodes only.
         # Snapshots are immutable once frozen, so caching is sound.
         self._resolve_cache: Optional[dict] = None
+        # Per-snapshot DOM index (repro.engine.index), same discipline.
+        self._snapshot_index = None
 
     # ------------------------------------------------------------------
     # Construction helpers

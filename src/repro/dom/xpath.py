@@ -31,11 +31,25 @@ SELECTOR_ATTRIBUTES = ("id", "class", "name")
 
 @dataclass(frozen=True)
 class Predicate:
-    """A node test: tag name plus optional attribute equality."""
+    """A node test: tag name plus optional attribute equality.
+
+    Predicates sit inside every :class:`Step` of every selector the
+    synthesizer hashes (cache keys, dedup sets, index buckets), so the
+    hash is computed once at construction rather than recursively per
+    lookup — the same trick :class:`ConcreteSelector` uses.
+    """
 
     tag: str
     attr: Optional[str] = None
     value: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((type(self).__name__, self.tag, self.attr, self.value))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return self._hash
 
     def matches(self, node: DOMNode) -> bool:
         """True when ``node`` satisfies this predicate."""
@@ -69,6 +83,11 @@ class TokenPredicate(Predicate):
             return False
         return self.value in node.attrs.get(self.attr, "").split()
 
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        # re-declared: @dataclass would otherwise regenerate __hash__
+        # for the subclass, discarding the cached one
+        return self._hash
+
     def __str__(self) -> str:
         return f"{self.tag}[@{self.attr}~='{self.value}']"
 
@@ -86,6 +105,12 @@ class Step:
             raise ValueError(f"unknown axis {self.axis!r}")
         if self.index < 1:
             raise ValueError("step indices are 1-based")
+        # steps are shared across the selectors built from them; caching
+        # the hash keeps selector hashing from recursing into predicates
+        object.__setattr__(self, "_hash", hash((self.axis, self.pred, self.index)))
+
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return self._hash
 
     def __str__(self) -> str:
         sep = "/" if self.axis == CHILD else "//"
@@ -153,7 +178,29 @@ def _candidates(root: DOMNode, current: Optional[DOMNode], axis: str) -> Iterato
             yield from current.iter_descendants()
 
 
+#: Lazily bound accessors for the per-snapshot index (avoids importing
+#: :mod:`repro.engine.index` — which imports this module — at load time).
+_index_for = None
+_UNSUPPORTED = None
+
+
+def _snapshot_index(root: DOMNode):
+    global _index_for, _UNSUPPORTED
+    if _index_for is None:
+        from repro.engine.index import UNSUPPORTED, index_for
+
+        _index_for = index_for
+        _UNSUPPORTED = UNSUPPORTED
+    return _index_for(root)
+
+
 def _apply_step(root: DOMNode, current: Optional[DOMNode], step: Step) -> Optional[DOMNode]:
+    if step.axis == DESC:
+        index = _snapshot_index(root)
+        if index is not None:
+            found = index.nth(step.pred, step.index, current)
+            if found is not _UNSUPPORTED:
+                return found
     remaining = step.index
     for node in _candidates(root, current, step.axis):
         if step.pred.matches(node):
@@ -257,6 +304,11 @@ def index_among_descendants(
     """
     if not pred.matches(node):
         return None
+    snapshot_index = _snapshot_index(root)
+    if snapshot_index is not None:
+        rank = snapshot_index.rank(pred, node, anchor)
+        if rank is not _UNSUPPORTED:
+            return rank
     pool = root.iter_subtree() if anchor is None else anchor.iter_descendants()
     index = 0
     for candidate in pool:

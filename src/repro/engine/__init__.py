@@ -1,0 +1,33 @@
+"""The memoizing execution engine (caching, DOM indexing, one exec seam).
+
+Public surface:
+
+* :class:`repro.engine.engine.ExecutionEngine` — the facade every
+  synthesizer-stack module executes through.
+* :class:`repro.engine.cache.ExecutionCache` — bounded LRU memoization
+  of simulated execution, with exact-window and terminal-prefix tables.
+* :mod:`repro.engine.index` — lazy per-snapshot DOM indexes powering
+  descendant-axis selector steps.
+"""
+
+from repro.engine.cache import CacheCounters, ExecutionCache
+from repro.engine.engine import EngineCounters, ExecutionEngine
+from repro.engine.index import (
+    SnapshotIndex,
+    build_count,
+    dom_indexes_enabled,
+    index_for,
+    set_dom_indexes,
+)
+
+__all__ = [
+    "CacheCounters",
+    "EngineCounters",
+    "ExecutionCache",
+    "ExecutionEngine",
+    "SnapshotIndex",
+    "build_count",
+    "dom_indexes_enabled",
+    "index_for",
+    "set_dom_indexes",
+]

@@ -1,0 +1,189 @@
+"""Memoization of simulated execution results.
+
+The speculate-and-validate loop executes the *same* statements over the
+*same* DOM windows many times: every popped worklist tuple re-validates
+candidates its siblings already produced, every pushed tuple re-runs its
+trailing loop for the generalization check, and each incremental
+``synthesize`` call re-executes stored tuples over windows that extend
+the previous call's.  :class:`ExecutionCache` makes each distinct
+execution happen once, through two tables:
+
+Exact table
+    Keyed on ``(statements, env, data, window snapshots, action
+    budget)``.  Hits replay the recorded outcome verbatim.
+
+Terminal table
+    An execution that ends with snapshots *and* budget to spare
+    terminated on its own terms — every loop-continuation and validity
+    decision was made on a snapshot it actually examined, namely the
+    first ``len(actions) + 1`` of its window.  Its outcome is therefore
+    identical on **any** window extending that examined prefix, which is
+    exactly what the next incremental call presents.  The terminal table
+    keys such results by ``(statements, env, data, first snapshot)`` and
+    matches by examined-prefix comparison.
+
+Keys use value identity for statements (alpha-canonical form) and
+environments, and object identity for snapshots and the data source —
+snapshots are immutable and shared across calls, and each entry pins its
+identity-keyed referents so ids cannot be recycled.  Both tables are
+bounded LRUs; hit/miss/eviction counters feed
+:class:`repro.synth.synthesizer.SynthesisStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.semantics.env import Env
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss/eviction telemetry.
+
+    ``hits = exact_hits + prefix_hits + consistency_hits`` — the first
+    two are execution lookups, the third is the consistency-check memo
+    that rides the same cache.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    exact_hits: int = 0
+    prefix_hits: int = 0
+    consistency_hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over all lookups (0.0 when the cache was never consulted)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Entry:
+    """One memoized outcome.  ``pins`` keeps id-keyed referents alive."""
+
+    __slots__ = ("actions", "env", "examined", "pins")
+
+    def __init__(
+        self,
+        actions: tuple,
+        env: Env,
+        examined: Optional[tuple[int, ...]],
+        pins: tuple,
+    ) -> None:
+        self.actions = actions
+        self.env = env
+        self.examined = examined
+        self.pins = pins
+
+
+class ExecutionCache:
+    """Bounded LRU over execution outcomes (see the module docstring).
+
+    ``base`` below is the window-independent part of the key:
+    ``(statements key, env key, data key)``.  ``window_ids`` is the
+    window's snapshots by ``id``; ``budget`` the effective action budget
+    (already clamped to the window length by the engine).
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError("cache size must be positive")
+        self.max_entries = max_entries
+        # recency reordering only pays off once a table could actually
+        # evict something hot; below half capacity a hit is left in place
+        self._touch_floor = max(1, max_entries // 2)
+        self.counters = CacheCounters()
+        # dicts preserve insertion order: pop + reinsert makes them LRUs
+        self._exact: dict[tuple, _Entry] = {}
+        self._terminal: dict[tuple, _Entry] = {}
+        self._consistency: dict[tuple, tuple[int, tuple]] = {}
+
+    def __len__(self) -> int:
+        return len(self._exact) + len(self._terminal) + len(self._consistency)
+
+    # ------------------------------------------------------------------
+    def get(
+        self, base: tuple, window_ids: tuple[int, ...], budget: int
+    ) -> Optional[tuple[tuple, Env]]:
+        """The memoized ``(actions, final env)``, or ``None`` on a miss."""
+        exact_key = (base, window_ids, budget)
+        entry = self._exact.get(exact_key)
+        if entry is not None:
+            if len(self._exact) >= self._touch_floor:
+                self._touch(self._exact, exact_key)
+            self.counters.hits += 1
+            self.counters.exact_hits += 1
+            return entry.actions, entry.env
+        terminal_key = (base, window_ids[0])
+        entry = self._terminal.get(terminal_key)
+        if (
+            entry is not None
+            and len(entry.examined) <= len(window_ids)
+            and budget > len(entry.actions)
+            and window_ids[: len(entry.examined)] == entry.examined
+        ):
+            if len(self._terminal) >= self._touch_floor:
+                self._touch(self._terminal, terminal_key)
+            self.counters.hits += 1
+            self.counters.prefix_hits += 1
+            return entry.actions, entry.env
+        self.counters.misses += 1
+        return None
+
+    def put(
+        self,
+        base: tuple,
+        window_ids: tuple[int, ...],
+        budget: int,
+        actions: tuple,
+        env: Env,
+        pins: tuple,
+    ) -> None:
+        """Record one execution outcome in both applicable tables."""
+        self._insert(self._exact, (base, window_ids, budget), _Entry(actions, env, None, pins))
+        count = len(actions)
+        if count < len(window_ids) and count < budget:
+            # terminated on its own terms: reusable on any extension of
+            # the examined prefix (consumed snapshots + the final head)
+            examined = window_ids[: count + 1]
+            self._insert(
+                self._terminal,
+                (base, window_ids[0]),
+                _Entry(actions, env, examined, pins),
+            )
+
+    # ------------------------------------------------------------------
+    def get_consistency(self, key: tuple) -> Optional[int]:
+        """Memoized ``consistent_prefix_length`` result, or ``None``."""
+        hit = self._consistency.get(key)
+        if hit is None:
+            self.counters.misses += 1
+            return None
+        if len(self._consistency) >= self._touch_floor:
+            self._touch(self._consistency, key)
+        self.counters.hits += 1
+        self.counters.consistency_hits += 1
+        return hit[0]
+
+    def put_consistency(self, key: tuple, value: int, pins: tuple) -> None:
+        """Record one consistency-check outcome."""
+        self._insert_value(self._consistency, key, (value, pins))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _touch(table: dict, key: tuple) -> None:
+        table[key] = table.pop(key)
+
+    def _insert(self, table: dict, key: tuple, entry: _Entry) -> None:
+        self._insert_value(table, key, entry)
+
+    def _insert_value(self, table: dict, key: tuple, value) -> None:
+        if key in table:
+            del table[key]
+        elif len(table) >= self.max_entries:
+            table.pop(next(iter(table)))
+            self.counters.evictions += 1
+        table[key] = value

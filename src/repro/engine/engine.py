@@ -1,0 +1,233 @@
+"""The memoizing execution engine: one seam for all simulated execution.
+
+:class:`ExecutionEngine` fronts the trace semantics
+(:mod:`repro.semantics.evaluator`), consistency checking, and selector
+resolution behind a single object.  The synthesizer stack
+(:mod:`repro.synth.synthesizer`, :mod:`repro.synth.validate`,
+:mod:`repro.synth.speculate`, :mod:`repro.synth.problem`) and the
+replayer go through an engine instead of reaching into the evaluator
+directly, which buys three things:
+
+* **Memoization.**  Identical ``(statements, window, env, data,
+  budget)`` executions — across worklist pops and across incremental
+  calls — are computed once (see :mod:`repro.engine.cache`).
+* **Indexing.**  Engine-resolved selectors ride the per-snapshot DOM
+  indexes of :mod:`repro.engine.index`.
+* **A concurrency seam.**  The engine is the single place where
+  sharded or cross-session execution sharing can later be introduced
+  without touching the synthesis algorithms again.
+
+A cached :meth:`execute` replays the actions and remaining-window shape
+of the first structurally equivalent execution.  Statement keys are
+alpha-canonical, so the returned environment's *loop-variable names* may
+come from that first execution; the bindings' values, the action trace,
+and the consumed-snapshot count — everything the synthesizer consumes —
+are identical for alpha-equivalent programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.dom.node import DOMNode
+from repro.dom.xpath import ConcreteSelector, resolve as _resolve
+from repro.engine import index as dom_index
+from repro.engine.cache import CacheCounters, ExecutionCache
+from repro.lang.actions import Action
+from repro.lang.ast import Program, Statement, canonical_statement
+from repro.lang.data import DataSource
+from repro.semantics import evaluator
+from repro.semantics.consistency import (
+    consistent_prefix_length as _consistent_prefix_length,
+)
+from repro.semantics.env import Env
+from repro.semantics.evaluator import EvalResult
+from repro.semantics.trace import DOMTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.synth.config import SynthesisConfig
+
+
+@dataclass(frozen=True)
+class EngineCounters:
+    """A point-in-time snapshot of one engine's telemetry.
+
+    ``index_builds`` counts process-wide snapshot-index constructions
+    (indexes live on snapshots, not engines); the synthesizer reports
+    per-call deltas, which attribute builds to the call that forced them.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    exact_hits: int = 0
+    prefix_hits: int = 0
+    index_builds: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits over all lookups."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ExecutionEngine:
+    """Facade owning all simulated execution for one data source."""
+
+    def __init__(
+        self,
+        data: Optional[DataSource] = None,
+        *,
+        cache_size: int = 4096,
+        use_cache: bool = True,
+    ) -> None:
+        self.data = data
+        self._cache = ExecutionCache(cache_size) if use_cache and cache_size > 0 else None
+        # canonical-statement memo: statement objects are shared between
+        # tuples and their rewrites, so id-keyed lookup hits constantly;
+        # the pin list keeps referenced statements alive.
+        self._canon: dict[int, tuple] = {}
+        self._canon_pins: list[Statement] = []
+
+    @classmethod
+    def for_config(
+        cls, data: Optional[DataSource], config: "SynthesisConfig"
+    ) -> "ExecutionEngine":
+        """An engine honouring the config's cache knobs."""
+        return cls(
+            data,
+            cache_size=config.max_cache_entries,
+            use_cache=config.use_execution_cache,
+        )
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether execution memoization is active."""
+        return self._cache is not None
+
+    def counters(self) -> EngineCounters:
+        """Current telemetry (cache counters + global index builds)."""
+        cache = self._cache.counters if self._cache is not None else CacheCounters()
+        return EngineCounters(
+            hits=cache.hits,
+            misses=cache.misses,
+            evictions=cache.evictions,
+            exact_hits=cache.exact_hits,
+            prefix_hits=cache.prefix_hits,
+            index_builds=dom_index.build_count(),
+        )
+
+    # ------------------------------------------------------------------
+    # Simulated execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        program: Program | Sequence[Statement],
+        doms: DOMTrace,
+        env: Optional[Env] = None,
+        max_actions: Optional[int] = None,
+        data: Optional[DataSource] = None,
+    ) -> EvalResult:
+        """Memoized :func:`repro.semantics.evaluator.execute`.
+
+        ``data`` overrides the engine's data source for this call (used
+        by the problem-level helpers, which carry their own source).
+        """
+        source = self.data if data is None else data
+        window_length = len(doms)
+        budget = (
+            window_length
+            if max_actions is None
+            else min(max_actions, window_length)
+        )
+        if self._cache is None or window_length == 0 or budget <= 0:
+            return evaluator.execute(program, doms, source, env, max_actions)
+        statements = tuple(program)
+        base = (self._statements_key(statements), _env_key(env), id(source))
+        window_ids = doms.id_key()
+        hit = self._cache.get(base, window_ids, budget)
+        if hit is not None:
+            actions, final_env = hit
+            return EvalResult(list(actions), doms.window(len(actions)), final_env)
+        result = evaluator.execute(statements, doms, source, env, max_actions)
+        self._cache.put(
+            base,
+            window_ids,
+            budget,
+            tuple(result.actions),
+            result.env,
+            pins=(source, doms.pin_key()),
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Consistency and resolution (delegates — index-accelerated)
+    # ------------------------------------------------------------------
+    def consistent_prefix_length(
+        self,
+        produced: Sequence[Action],
+        reference: Sequence[Action],
+        doms: DOMTrace,
+    ) -> int:
+        """Memoized :func:`repro.semantics.consistency.consistent_prefix_length`.
+
+        Validation re-checks the same produced trace against the same
+        recorded slice whenever the underlying execution repeats; the
+        memo is keyed by object identity of the actions and snapshots
+        (all stable across calls), with the entries pinning them.
+        """
+        if self._cache is None or not produced:
+            return _consistent_prefix_length(produced, reference, doms)
+        key = (
+            tuple(map(id, produced)),
+            tuple(map(id, reference)),
+            doms.id_key(),
+        )
+        hit = self._cache.get_consistency(key)
+        if hit is not None:
+            return hit
+        value = _consistent_prefix_length(produced, reference, doms)
+        self._cache.put_consistency(
+            key, value, pins=(tuple(produced), tuple(reference), doms.pin_key())
+        )
+        return value
+
+    def resolve(self, selector: ConcreteSelector, dom: DOMNode) -> Optional[DOMNode]:
+        """Delegate to :func:`repro.dom.xpath.resolve`."""
+        return _resolve(selector, dom)
+
+    def valid(self, selector: ConcreteSelector, dom: DOMNode) -> bool:
+        """The paper's ``valid(ρ, π)`` through the engine seam."""
+        return _resolve(selector, dom) is not None
+
+    # ------------------------------------------------------------------
+    def _statements_key(self, statements: tuple[Statement, ...]) -> tuple:
+        return tuple(self.statement_key(stmt) for stmt in statements)
+
+    #: Flush threshold for the canonical-statement memo: keeps the pin
+    #: list from growing without bound over very long sessions (a flush
+    #: only costs recomputation, never correctness).
+    _CANON_LIMIT = 1 << 16
+
+    def statement_key(self, stmt: Statement) -> tuple:
+        """Id-memoized :func:`repro.lang.ast.canonical_statement`.
+
+        Statement objects are shared between worklist tuples and their
+        rewrites, so identity-keyed lookups hit constantly; referents
+        are pinned so their ids stay valid while memoized.
+        """
+        key = self._canon.get(id(stmt))
+        if key is None:
+            if len(self._canon) >= self._CANON_LIMIT:
+                self._canon.clear()
+                self._canon_pins.clear()
+            key = self._canon[id(stmt)] = canonical_statement(stmt)
+            self._canon_pins.append(stmt)
+        return key
+
+
+def _env_key(env: Optional[Env]) -> tuple:
+    if env is None or len(env) == 0:
+        return ()
+    return env.fingerprint()

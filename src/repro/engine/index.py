@@ -1,0 +1,206 @@
+"""Per-snapshot DOM indexes: O(log n) descendant-axis selector steps.
+
+The hot operations of the selector machinery are "the *i*-th descendant
+of an anchor matching φ" (:func:`repro.dom.xpath._apply_step` on the
+``desc`` axis) and its inverse "which index addresses this node"
+(:func:`repro.dom.xpath.index_among_descendants`).  Both walk the whole
+subtree in the naive implementation, and the synthesizer issues them
+millions of times per session — once per selector step per candidate
+execution.
+
+A :class:`SnapshotIndex` is built lazily, once per frozen snapshot, by a
+single pre-order walk that records
+
+* each node's pre-order position and the last position inside its
+  subtree (so "is a descendant of" becomes one interval check), and
+* document-order *buckets* of nodes per predicate family: tag, exact
+  ``(tag, attr, value)`` for every attribute in
+  :data:`repro.dom.xpath.SELECTOR_ATTRIBUTES`, and whitespace-token
+  buckets for the token predicates.
+
+With buckets sorted by pre-order position, the *i*-th match under an
+anchor is a binary search plus an index, and ranking a node is a binary
+search.  Predicates outside the indexed families (e.g. the counter
+attributes of numbered pagination templates) answer
+:data:`UNSUPPORTED`, telling the caller to fall back to the linear walk.
+
+Indexes attach to the snapshot root (``DOMNode._snapshot_index``), the
+same lifetime discipline as the resolve memo; :func:`build_count` feeds
+the engine's telemetry.  ``REPRO_DOM_INDEX=0`` (or
+:func:`set_dom_indexes`) disables the machinery for A/B measurements.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left, bisect_right
+from typing import Optional
+
+from repro.dom.node import DOMNode
+from repro.dom.xpath import SELECTOR_ATTRIBUTES, Predicate, TokenPredicate
+
+#: Sentinel answer: the predicate family is not indexed — use the
+#: linear fallback.  Distinct from ``None``, which means "no match".
+UNSUPPORTED = object()
+
+_ENABLED = os.environ.get("REPRO_DOM_INDEX", "1") != "0"
+_BUILDS = 0
+
+
+def set_dom_indexes(enabled: bool) -> bool:
+    """Globally enable/disable index use; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = enabled
+    return previous
+
+
+def dom_indexes_enabled() -> bool:
+    """Whether snapshot indexes are consulted at all."""
+    return _ENABLED
+
+
+def build_count() -> int:
+    """Process-wide number of snapshot indexes built so far."""
+    return _BUILDS
+
+
+def bucket_key(pred: Predicate) -> Optional[tuple]:
+    """The index bucket a predicate's matches live in, or ``None``.
+
+    Exact subclass checks matter: a future ``Predicate`` subclass with
+    different ``matches`` semantics must not silently reuse these
+    buckets.
+    """
+    kind = type(pred)
+    if kind is Predicate:
+        if pred.attr is None:
+            return ("tag", pred.tag)
+        # falsy values are not bucketed by _file (and value=None matches
+        # *absent* attributes), so they must take the linear fallback
+        if pred.attr in SELECTOR_ATTRIBUTES and pred.value:
+            return ("attr", pred.tag, pred.attr, pred.value)
+        return None
+    if kind is TokenPredicate:
+        if pred.attr in SELECTOR_ATTRIBUTES and pred.value:
+            return ("token", pred.tag, pred.attr, pred.value)
+        return None
+    return None
+
+
+class SnapshotIndex:
+    """Document-order predicate buckets plus pre-order intervals."""
+
+    __slots__ = ("_pre", "_end", "_buckets")
+
+    def __init__(self, root: DOMNode) -> None:
+        global _BUILDS
+        _BUILDS += 1
+        pre: dict[int, int] = {}
+        end: dict[int, int] = {}
+        buckets: dict[tuple, tuple[list[DOMNode], list[int]]] = {}
+        position = 0
+        stack: list[tuple[DOMNode, bool]] = [(root, False)]
+        while stack:
+            node, closing = stack.pop()
+            if closing:
+                end[id(node)] = position - 1
+                continue
+            pre[id(node)] = position
+            self._file(buckets, node, position)
+            position += 1
+            stack.append((node, True))
+            for child in reversed(node.children):
+                stack.append((child, False))
+        self._pre = pre
+        self._end = end
+        self._buckets = buckets
+
+    @staticmethod
+    def _file(
+        buckets: dict[tuple, tuple[list[DOMNode], list[int]]],
+        node: DOMNode,
+        position: int,
+    ) -> None:
+        keys = [("tag", node.tag)]
+        for attr in SELECTOR_ATTRIBUTES:
+            value = node.attrs.get(attr)
+            if not value:
+                continue
+            keys.append(("attr", node.tag, attr, value))
+            for token in value.split():
+                keys.append(("token", node.tag, attr, token))
+        for key in keys:
+            bucket = buckets.get(key)
+            if bucket is None:
+                bucket = buckets[key] = ([], [])
+            bucket[0].append(node)
+            bucket[1].append(position)
+
+    # ------------------------------------------------------------------
+    def nth(self, pred: Predicate, index: int, anchor: Optional[DOMNode]):
+        """The ``index``-th match of ``pred`` in the anchor's pool.
+
+        ``anchor is None`` is the virtual document (the whole snapshot,
+        root included); otherwise the pool is the anchor's proper
+        descendants.  Returns the node, ``None`` when there is no
+        ``index``-th match, or :data:`UNSUPPORTED`.
+        """
+        key = bucket_key(pred)
+        if key is None:
+            return UNSUPPORTED
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return None
+        nodes, positions = bucket
+        if anchor is None:
+            return nodes[index - 1] if index <= len(nodes) else None
+        anchor_pre = self._pre.get(id(anchor))
+        if anchor_pre is None:
+            return UNSUPPORTED  # anchor is not in this snapshot
+        at = bisect_right(positions, anchor_pre) + index - 1
+        if at >= len(positions) or positions[at] > self._end[id(anchor)]:
+            return None
+        return nodes[at]
+
+    def rank(self, pred: Predicate, node: DOMNode, anchor: Optional[DOMNode]):
+        """1-based index of ``node`` among ``pred``'s matches in the pool.
+
+        Same pool convention as :meth:`nth`.  Returns ``None`` when the
+        node is not a matching member of the pool, or
+        :data:`UNSUPPORTED`.
+        """
+        key = bucket_key(pred)
+        if key is None:
+            return UNSUPPORTED
+        node_pre = self._pre.get(id(node))
+        if node_pre is None:
+            return UNSUPPORTED
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return None
+        _, positions = bucket
+        at = bisect_left(positions, node_pre)
+        if at >= len(positions) or positions[at] != node_pre:
+            return None  # the predicate does not match the node
+        if anchor is None:
+            return at + 1
+        anchor_pre = self._pre.get(id(anchor))
+        if anchor_pre is None:
+            return UNSUPPORTED
+        if not anchor_pre < node_pre <= self._end[id(anchor)]:
+            return None  # node is outside the anchor's subtree
+        return at - bisect_right(positions, anchor_pre) + 1
+
+
+def index_for(root: DOMNode) -> Optional[SnapshotIndex]:
+    """The (lazily built) index of a frozen snapshot, else ``None``.
+
+    Mutable snapshots are never indexed: the buckets would go stale.
+    """
+    if not _ENABLED or not root.frozen:
+        return None
+    index = root._snapshot_index
+    if index is None:
+        index = root._snapshot_index = SnapshotIndex(root)
+    return index

@@ -111,6 +111,9 @@ class BenchmarkResult:
     max_predictions: int = 0
     timed_out_tests: int = 0
     expected_supported: bool = True
+    cache_hits: int = 0
+    cache_misses: int = 0
+    index_builds: int = 0
 
     @property
     def accuracy(self) -> float:
@@ -153,6 +156,9 @@ def evaluate_benchmark(
         elapsed = time.perf_counter() - started
         result.tests += 1
         result.timed_out_tests += synthesis.stats.timed_out
+        result.cache_hits += synthesis.stats.cache_hits
+        result.cache_misses += synthesis.stats.cache_misses
+        result.index_builds += synthesis.stats.index_builds
         result.max_programs = max(result.max_programs, len(synthesis.programs))
         result.max_predictions = max(result.max_predictions, len(synthesis.predictions))
         expected = recording.actions[k]
@@ -276,6 +282,14 @@ class Q1Report:
             f"  max programs for one test: {max((r.max_programs for r in results), default=0)} (101); "
             f"max predictions: {max((r.max_predictions for r in results), default=0)} (6)",
         ]
+        hits = sum(result.cache_hits for result in results)
+        misses = sum(result.cache_misses for result in results)
+        if hits or misses:
+            lines.append(
+                f"  execution-cache hit rate: {fmt_pct(hits / (hits + misses))} "
+                f"({hits} hits / {misses} misses; "
+                f"{sum(r.index_builds for r in results)} DOM indexes built)"
+            )
         return "\n".join(lines)
 
 

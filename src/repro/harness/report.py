@@ -50,3 +50,26 @@ def fmt_ms(seconds: float) -> str:
 def fmt_pct(fraction: float) -> str:
     """A percentage out of a 0..1 fraction."""
     return f"{fraction * 100:.0f}%"
+
+
+def render_synthesis_stats(stats) -> str:
+    """Engine/search telemetry of one ``synthesize`` call as a table.
+
+    ``stats`` is a :class:`repro.synth.synthesizer.SynthesisStats`; the
+    cache and index rows surface the execution engine's per-call deltas.
+    """
+    rows = [
+        ["trace length", stats.trace_length],
+        ["worklist pops", stats.pops],
+        ["speculated", stats.speculated],
+        ["validated", stats.validated],
+        ["store tuples", stats.tuples],
+        ["exec cache hits", stats.cache_hits],
+        ["exec cache misses", stats.cache_misses],
+        ["exec cache hit rate", fmt_pct(stats.cache_hit_rate)],
+        ["exec cache evictions", stats.cache_evictions],
+        ["DOM index builds", stats.index_builds],
+        ["elapsed", fmt_ms(stats.elapsed)],
+        ["timed out", "yes" if stats.timed_out else "no"],
+    ]
+    return render_table(["metric", "value"], rows)

@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.benchmarks.suite import benchmark_by_id
 from repro.harness.figures import horizontal_bars
 from repro.harness.report import fmt_ms, render_table
-from repro.synth.config import DEFAULT_CONFIG, no_incremental_config
+from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig, no_incremental_config
 from repro.synth.synthesizer import Synthesizer
 
 #: Default subject: a doubly-nested scrape whose traces grow long.
@@ -31,11 +31,25 @@ DEFAULT_BENCHMARK = "b12"
 
 @dataclass
 class ScalingSeries:
-    """Per-call synthesis times for one engine variant."""
+    """Per-call synthesis times (and engine telemetry) for one variant."""
 
     name: str
     lengths: list[int] = field(default_factory=list)
     times: list[float] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    index_builds: int = 0
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock sum over all synthesize calls."""
+        return sum(self.times)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Execution-cache hits over all lookups across the run."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     def bucket_means(self, bucket: int) -> list[tuple[str, float]]:
         """Mean call time per trace-length bucket, as chart rows."""
@@ -54,15 +68,22 @@ def run_scaling(
     bid: str = DEFAULT_BENCHMARK,
     max_length: int = 80,
     timeout: float = 1.0,
+    variants: Optional[Sequence[tuple[str, SynthesisConfig]]] = None,
 ) -> list[ScalingSeries]:
-    """Measure per-call time vs. trace length for both variants."""
+    """Measure per-call time vs. trace length for each variant.
+
+    The default variant pair is the incremental-vs-from-scratch
+    comparison; the engine-cache bench passes cache-on/cache-off
+    configurations instead.
+    """
     benchmark = benchmark_by_id(bid)
     recording = benchmark.record()
     length = min(recording.length - 1, max_length)
-    variants = [
-        ("incremental", DEFAULT_CONFIG),
-        ("from scratch", no_incremental_config()),
-    ]
+    if variants is None:
+        variants = [
+            ("incremental", DEFAULT_CONFIG),
+            ("from scratch", no_incremental_config()),
+        ]
     series = []
     for name, config in variants:
         synthesizer = Synthesizer(benchmark.data, config)
@@ -70,9 +91,12 @@ def run_scaling(
         for cut in range(1, length + 1):
             actions, snapshots = recording.prefix(cut)
             started = time.perf_counter()
-            synthesizer.synthesize(actions, snapshots, timeout=timeout)
+            result = synthesizer.synthesize(actions, snapshots, timeout=timeout)
             current.lengths.append(cut)
             current.times.append(time.perf_counter() - started)
+            current.cache_hits += result.stats.cache_hits
+            current.cache_misses += result.stats.cache_misses
+            current.index_builds += result.stats.index_builds
         series.append(current)
     return series
 

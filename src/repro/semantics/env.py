@@ -54,6 +54,20 @@ class Env:
     def __len__(self) -> int:
         return len(self._bindings)
 
+    def fingerprint(self) -> tuple:
+        """A hashable value identity of the bindings.
+
+        Two environments with equal fingerprints make every program
+        execute identically; the execution engine uses this as its cache
+        key component for Σ.
+        """
+        return tuple(
+            sorted(
+                self._bindings.items(),
+                key=lambda item: (item[0].kind, item[0].uid),
+            )
+        )
+
     # ------------------------------------------------------------------
     # Substitution (Figure 8 rules (1)-(8))
     # ------------------------------------------------------------------

@@ -15,6 +15,10 @@ from repro.lang.actions import Action
 
 ActionTrace = tuple[Action, ...]
 
+#: Master-list id tuples for :meth:`DOMTrace.id_key`, keyed by list
+#: identity with the list itself held to guard against id recycling.
+_ID_KEYS: dict[int, tuple] = {}
+
 
 class DOMTrace:
     """An immutable window ``snapshots[start:stop]`` over recorded DOMs."""
@@ -74,6 +78,27 @@ class DOMTrace:
         """A sub-window with indices relative to this window."""
         absolute_stop = self.stop if stop is None else self.start + stop
         return DOMTrace(self._snapshots, self.start + start, absolute_stop)
+
+    def id_key(self) -> tuple[int, ...]:
+        """The window's snapshots by object id (an execution-cache key).
+
+        Snapshots are frozen and shared across incremental calls, so id
+        tuples give content identity as long as the caller pins them.
+        The full master list's id tuple is computed once and sliced per
+        window — thousands of windows per call view the same master.
+        """
+        snapshots = self._snapshots
+        entry = _ID_KEYS.get(id(snapshots))
+        if entry is None or entry[0] is not snapshots:
+            if len(_ID_KEYS) >= 8:
+                _ID_KEYS.pop(next(iter(_ID_KEYS)))
+            entry = (snapshots, tuple(map(id, snapshots)))
+            _ID_KEYS[id(snapshots)] = entry
+        return entry[1][self.start : self.stop]
+
+    def pin_key(self) -> tuple[DOMNode, ...]:
+        """The window's snapshots themselves (keeps :meth:`id_key` valid)."""
+        return tuple(self._snapshots[self.start : self.stop])
 
     def shares_base_with(self, other: "DOMTrace") -> bool:
         """True when both windows view the same master snapshot list."""

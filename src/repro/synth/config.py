@@ -68,6 +68,15 @@ class SynthesisConfig:
     max_worklist_pops:
         Safety valve on worklist processing per call (None = unbounded,
         the deadline is then the only stop).
+    use_execution_cache:
+        Memoize simulated execution in the
+        :class:`~repro.engine.engine.ExecutionEngine` (identical
+        ``(statement, window)`` executions across worklist pops and
+        across incremental calls run once).  Behaviour-preserving; the
+        engine-cache bench measures the speedup.
+    max_cache_entries:
+        Bound on entries per execution-cache table; least-recently-used
+        outcomes are evicted first.
     ranking:
         Name of the ranking strategy applied to generalizing programs
         (see :mod:`repro.synth.ranking`); the default is the paper's
@@ -102,6 +111,8 @@ class SynthesisConfig:
     max_generalizing_programs: int = 128
     max_store_tuples: int = 256
     max_worklist_pops: int | None = None
+    use_execution_cache: bool = True
+    max_cache_entries: int = 4096
     ranking: str = "size"
     use_shape_gates: bool = True
     use_window_periodicity: bool = False
@@ -129,6 +140,11 @@ def numbered_pagination_config(base: SynthesisConfig = DEFAULT_CONFIG) -> Synthe
 def no_incremental_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
     """Table 1's "No incremental" ablation: fresh worklist per call."""
     return replace(base, incremental=False)
+
+
+def no_execution_cache_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
+    """Execution memoization off: every simulated run recomputed."""
+    return replace(base, use_execution_cache=False)
 
 
 def ranking_config(strategy: str, base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:

@@ -12,13 +12,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.engine.engine import ExecutionEngine
 from repro.lang.actions import Action
 from repro.lang.ast import Program
 from repro.lang.data import DataSource
 from repro.semantics.consistency import consistent_prefix_length
-from repro.semantics.evaluator import execute
 from repro.semantics.trace import DOMTrace
 from repro.util.errors import SynthesisError
+
+#: Shared pass-through engine for the one-shot helpers below.  Callers
+#: with a session-lived engine (the synthesizer) pass their own; the
+#: default keeps memoization off, so nothing pins one-off snapshots.
+_DEFAULT_ENGINE = ExecutionEngine(use_cache=False)
 
 
 @dataclass(frozen=True)
@@ -51,24 +56,31 @@ def produced_actions(
     program: Program,
     problem: SynthesisProblem,
     extra: int = 1,
+    engine: Optional[ExecutionEngine] = None,
 ) -> list[Action]:
     """Run ``program`` under the trace semantics over the problem's DOMs.
 
     ``extra`` caps how far past the demonstration the simulation may run
     (1 suffices to decide generalization and obtain the prediction).
+    Execution goes through ``engine`` (a pass-through one by default);
+    pass a memoizing engine to share results across repeated checks.
     """
-    result = execute(
+    result = (engine or _DEFAULT_ENGINE).execute(
         program,
         problem.doms,
-        problem.data,
         max_actions=problem.trace_length + extra,
+        data=problem.data,
     )
     return result.actions
 
 
-def satisfies(program: Program, problem: SynthesisProblem) -> bool:
+def satisfies(
+    program: Program,
+    problem: SynthesisProblem,
+    engine: Optional[ExecutionEngine] = None,
+) -> bool:
     """Definition 4.1: the program reproduces the demonstrated actions."""
-    produced = produced_actions(program, problem, extra=0)
+    produced = produced_actions(program, problem, extra=0, engine=engine)
     if len(produced) < problem.trace_length:
         return False
     return (
@@ -77,13 +89,17 @@ def satisfies(program: Program, problem: SynthesisProblem) -> bool:
     )
 
 
-def generalizes(program: Program, problem: SynthesisProblem) -> Optional[Action]:
+def generalizes(
+    program: Program,
+    problem: SynthesisProblem,
+    engine: Optional[ExecutionEngine] = None,
+) -> Optional[Action]:
     """Definition 4.2: reproduce A and predict at least one more action.
 
     Returns the predicted next action (the ``m+1``-st produced action) when
     the program generalizes, else ``None``.
     """
-    produced = produced_actions(program, problem, extra=1)
+    produced = produced_actions(program, problem, extra=1, engine=engine)
     m = problem.trace_length
     if len(produced) <= m:
         return None

@@ -88,10 +88,21 @@ class RewriteTuple:
         """AST size of the program (ranking key)."""
         return program_size(self.program())
 
-    def key(self) -> tuple:
-        """Dedup key: alpha-canonical program plus its trace partition."""
+    def key(self, canon=None) -> tuple:
+        """Dedup key: alpha-canonical program plus its trace partition.
+
+        ``canon`` optionally supplies a per-statement canonicalizer
+        (e.g. the execution engine's id-memoized one); statements are
+        shared between tuples and their rewrites, so memoized
+        canonicalization turns the O(program) key into O(statements)
+        dictionary lookups.
+        """
         if self._key is None:
-            self._key = (canonical_program(self.program()), self.bounds)
+            if canon is None:
+                program_key = canonical_program(self.program())
+            else:
+                program_key = tuple(canon(stmt) for stmt in self.statements)
+            self._key = (program_key, self.bounds)
         return self._key
 
     def ends_with_loop(self) -> bool:

@@ -21,6 +21,7 @@ from typing import Sequence
 
 from repro.dom.node import DOMNode
 from repro.dom.xpath import ConcreteSelector
+from repro.engine.engine import ExecutionEngine
 from repro.lang.actions import Action
 from repro.lang.ast import (
     CLICK,
@@ -32,6 +33,7 @@ from repro.lang.ast import (
     WhileLoop,
     canonical_statement,
     selector_of,
+    statement_size,
 )
 from repro.lang.data import DataSource
 from repro.synth.anti_unify import StatementAU, anti_unify_statements
@@ -61,7 +63,10 @@ class SpeculationContext:
 
     Holds the master recorded traces and per-call configuration.  The
     snapshot a statement's slice starts on (its *context DOM*) is where
-    its selectors are decomposed and resolved.
+    its selectors are decomposed and resolved.  ``engine`` is the
+    memoizing :class:`~repro.engine.engine.ExecutionEngine` validation
+    executes through — the only simulated-execution entry point for the
+    whole synthesis stack.
     """
 
     def __init__(
@@ -71,11 +76,13 @@ class SpeculationContext:
         data: DataSource,
         config: SynthesisConfig,
         search: "SelectorSearch | None" = None,
+        engine: "ExecutionEngine | None" = None,
     ) -> None:
         self.actions = actions
         self.snapshots = snapshots
         self.data = data
         self.config = config
+        self.engine = engine or ExecutionEngine.for_config(data, config)
         self.search = search or SelectorSearch(
             use_alternatives=config.use_alternative_selectors,
             max_suffix_child_steps=config.max_suffix_child_steps,
@@ -85,7 +92,8 @@ class SpeculationContext:
         # tuple and its extensions, so id-keyed caching hits across spans
         # and across incremental calls; the search object pins referents.
         if not hasattr(self.search, "stmt_caches"):
-            self.search.stmt_caches = ({}, {})  # (anti-unify, parametrize)
+            # (anti-unify, parametrize, canonical-statement, statement-size)
+            self.search.stmt_caches = ({}, {}, {}, {})
 
     def context_dom(self, tuple_: RewriteTuple, stmt_index: int) -> DOMNode:
         """The snapshot the statement's first action executed on."""
@@ -109,6 +117,53 @@ class SpeculationContext:
             )
             cache[key] = hit
             self.search._pin(first, first_dom, second, second_dom)
+        return hit
+
+    @staticmethod
+    def _composite_key(stmt: Statement) -> "tuple | None":
+        """A component-identity key for freshly assembled loops.
+
+        Speculated loops are constructed anew per span, but their
+        variables, collections, and body statements all come out of
+        memos and are shared objects — equal component ids imply equal
+        loops.  ``None`` means the statement form has no such key.
+        """
+        if isinstance(stmt, (ForEachSelector, ForEachValue)):
+            return (
+                type(stmt).__name__,
+                id(stmt.var),
+                id(stmt.collection),
+                tuple(map(id, stmt.body)),
+            )
+        if isinstance(stmt, WhileLoop):
+            # the click statement is rebuilt per emission, but its step
+            # tuple is shared with the memoised common-selector result
+            return ("while", tuple(map(id, stmt.body)), id(stmt.click.target.steps))
+        return None
+
+    def canonical_key(self, stmt: Statement) -> tuple:
+        """Memoised :func:`repro.lang.ast.canonical_statement` for dedup."""
+        key = self._composite_key(stmt)
+        if key is None:
+            return canonical_statement(stmt)
+        cache = self.search.stmt_caches[2]
+        hit = cache.get(key)
+        if hit is None:
+            hit = canonical_statement(stmt)
+            cache[key] = hit
+            self.search._pin(stmt)
+        return hit
+
+    def statement_size(self, stmt: Statement) -> int:
+        """Memoised :func:`repro.lang.ast.statement_size` (ranking key)."""
+        key = self._composite_key(stmt)
+        if key is None:
+            return statement_size(stmt)
+        cache = self.search.stmt_caches[3]
+        hit = cache.get(key)
+        if hit is None:
+            hit = cache[key] = statement_size(stmt)
+            self.search._pin(stmt)
         return hit
 
     def parametrize(self, stmt, candidate: StatementAU, dom) -> list[Statement]:
@@ -137,7 +192,9 @@ def speculate(tuple_: RewriteTuple, ctx: SpeculationContext) -> list[SRewrite]:
     seen: set[tuple] = set()
     if ctx.config.use_numbered_pagination:
         speculate_paginate(
-            tuple_, ctx, lambda stmt, start, end: _emit(results, seen, stmt, start, end)
+            tuple_,
+            ctx,
+            lambda stmt, start, end: _emit(ctx, results, seen, stmt, start, end),
         )
     if tuple_.spec_start >= tuple_.length:
         # every possible second-iteration position was already explored
@@ -154,13 +211,14 @@ def speculate(tuple_: RewriteTuple, ctx: SpeculationContext) -> list[SRewrite]:
 
 
 def _emit(
+    ctx: SpeculationContext,
     results: list[SRewrite],
     seen: set[tuple],
     stmt: Statement,
     start: int,
     end: int,
 ) -> None:
-    key = (canonical_statement(stmt), start, end)
+    key = (ctx.canonical_key(stmt), start, end)
     if key not in seen:
         seen.add(key)
         results.append(SRewrite(stmt, start, end))
@@ -240,7 +298,7 @@ def _assemble_loops(
             loop: Statement = ForEachValue(candidate.var, candidate.collection, tuple(body))
         else:
             loop = ForEachSelector(candidate.var, candidate.collection, tuple(body))
-        _emit(results, seen, loop, start, end)
+        _emit(ctx, results, seen, loop, start, end)
 
 
 def _speculate_while(
@@ -298,4 +356,4 @@ def _speculate_while(
                     statements[start:pivot],
                     ActionStmt(CLICK, selector_of(selector)),
                 )
-                _emit(results, seen, loop, start, pivot)
+                _emit(ctx, results, seen, loop, start, pivot)

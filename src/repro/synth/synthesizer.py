@@ -21,12 +21,10 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.dom.node import DOMNode
-from repro.dom.xpath import resolve
+from repro.engine.engine import ExecutionEngine
 from repro.lang.actions import Action
-from repro.lang.ast import Program, statement_size
+from repro.lang.ast import Program
 from repro.lang.data import DataSource
-from repro.semantics.consistency import consistent_prefix_length
-from repro.semantics.evaluator import execute
 from repro.semantics.trace import DOMTrace
 from repro.synth.alternatives import SelectorSearch
 from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig
@@ -40,7 +38,13 @@ from repro.util.timer import Deadline
 
 @dataclass
 class SynthesisStats:
-    """Bookkeeping for the experiment harnesses."""
+    """Bookkeeping for the experiment harnesses.
+
+    The ``cache_*`` and ``index_builds`` fields are per-call deltas of
+    the execution engine's telemetry: how many simulated executions were
+    served from memo, recomputed, or evicted, and how many per-snapshot
+    DOM indexes this call forced to be built.
+    """
 
     trace_length: int = 0
     pops: int = 0
@@ -49,6 +53,16 @@ class SynthesisStats:
     tuples: int = 0
     elapsed: float = 0.0
     timed_out: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    index_builds: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Execution-cache hits over all lookups this call."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
 
 @dataclass
@@ -91,6 +105,12 @@ class Synthesizer:
         self._snapshots: list[DOMNode] = []
         self._store: dict[tuple, RewriteTuple] = {}
         self._search = self._new_search()
+        self._engine = ExecutionEngine.for_config(data, config)
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The memoizing execution engine serving this session."""
+        return self._engine
 
     def _new_search(self) -> SelectorSearch:
         return SelectorSearch(
@@ -107,6 +127,7 @@ class Synthesizer:
         self._snapshots = []
         self._store = {}
         self._search = self._new_search()
+        self._engine = ExecutionEngine.for_config(self.data, self.config)
 
     def synthesize(
         self,
@@ -148,9 +169,15 @@ class Synthesizer:
         result = SynthesisResult(stats=stats)
         if trace_length == 0:
             return result
+        engine_before = self._engine.counters()
 
         context = SpeculationContext(
-            self._actions, self._snapshots, self.data, self.config, self._search
+            self._actions,
+            self._snapshots,
+            self.data,
+            self.config,
+            self._search,
+            engine=self._engine,
         )
         generalizing: list[Candidate] = []
         heap: list[tuple[int, int, RewriteTuple]] = []
@@ -158,7 +185,7 @@ class Synthesizer:
         store: dict[tuple, RewriteTuple] = {}
 
         def push(tuple_: RewriteTuple) -> None:
-            key = tuple_.key()
+            key = tuple_.key(self._engine.statement_key)
             if key in store:
                 return
             store[key] = tuple_
@@ -201,7 +228,9 @@ class Synthesizer:
             # the most-parametrized (hence smallest) true rewrites — e.g.
             # a loop whose body fully uses the loop variable beats one that
             # kept a raw first-iteration selector.
-            candidates.sort(key=lambda item: (item.start, item.end, statement_size(item.stmt)))
+            candidates.sort(
+                key=lambda item: (item.start, item.end, context.statement_size(item.stmt))
+            )
             per_span: dict[tuple, int] = {}
             for candidate in candidates:
                 if deadline.expired():
@@ -219,6 +248,11 @@ class Synthesizer:
         self._prune_store()
         stats.tuples = len(self._store)
         stats.elapsed = deadline.elapsed()
+        engine_after = self._engine.counters()
+        stats.cache_hits = engine_after.hits - engine_before.hits
+        stats.cache_misses = engine_after.misses - engine_before.misses
+        stats.cache_evictions = engine_after.evictions - engine_before.evictions
+        stats.index_builds = engine_after.index_builds - engine_before.index_builds
         self._collect(result, generalizing)
         return result
 
@@ -267,11 +301,19 @@ class Synthesizer:
         if stored.ends_with_loop():
             slice_start = stored.bounds[-2]
             window = DOMTrace(self._snapshots, slice_start, new_length)
-            produced = execute(
-                [stored.statements[-1]], window, self.data, max_actions=len(window)
-            ).actions
+            # Execute over the generalization window (one snapshot past
+            # the trace) and truncate: when the loop consumes the whole
+            # extension window its behaviour there is a prefix of the
+            # lookahead run, and ``_try_generalize`` on the extended
+            # tuple then reuses this execution from the engine cache.
+            lookahead = DOMTrace(self._snapshots, slice_start, new_length + 1)
+            produced = self._engine.execute(
+                [stored.statements[-1]], lookahead, max_actions=len(lookahead)
+            ).actions[: len(window)]
             reference = self._actions[slice_start : slice_start + len(produced)]
-            consistent = consistent_prefix_length(produced, reference, window)
+            consistent = self._engine.consistent_prefix_length(
+                produced, reference, window
+            )
             if consistent < len(produced):
                 return None  # the trailing loop mispredicted: program is dead
             if len(produced) < old_length - slice_start:
@@ -311,16 +353,15 @@ class Synthesizer:
         slice_start = tuple_.bounds[-2]
         needed = trace_length - slice_start
         window = DOMTrace(self._snapshots, slice_start, trace_length + 1)
-        produced = execute(
+        produced = self._engine.execute(
             [tuple_.statements[-1]],
             window,
-            self.data,
             max_actions=needed + 1,
         ).actions
         if len(produced) <= needed:
             return None
         reference = self._actions[slice_start:trace_length]
-        if consistent_prefix_length(produced, reference, window) != needed:
+        if self._engine.consistent_prefix_length(produced, reference, window) != needed:
             return None
         return produced[needed]
 
@@ -350,10 +391,9 @@ class Synthesizer:
                 seen_predictions.add(key)
                 result.predictions.append(candidate.prediction)
 
-    @staticmethod
-    def _prediction_key(action: Action, dom: Optional[DOMNode]) -> tuple:
+    def _prediction_key(self, action: Action, dom: Optional[DOMNode]) -> tuple:
         node_id = None
         if action.selector is not None and dom is not None:
-            node = resolve(action.selector, dom)
+            node = self._engine.resolve(action.selector, dom)
             node_id = id(node) if node is not None else str(action.selector)
         return (action.kind, node_id, action.text, action.path)

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.semantics.consistency import consistent_prefix_length
-from repro.semantics.evaluator import execute
 from repro.semantics.trace import DOMTrace
 from repro.synth.rewrite import RewriteTuple
 from repro.synth.speculate import SpeculationContext, SRewrite
@@ -34,12 +32,14 @@ def validate(
     Implements Algorithm 3 for a single Ω element: line 3 executes ``S'``
     against ``Π_i ++ ·· ++ Π_l`` (a contiguous window of the master DOM
     trace, by invariant I1), line 4 finds the matched slice end ``r``.
+    Execution goes through the context's memoizing engine: identical
+    candidates conjectured from different worklist tuples run once.
     """
     start_action = tuple_.bounds[candidate.start]
     trace_end = tuple_.covered
     window = DOMTrace(ctx.snapshots, start_action, trace_end)
-    produced = execute(
-        [candidate.stmt], window, ctx.data, max_actions=len(window)
+    produced = ctx.engine.execute(
+        [candidate.stmt], window, max_actions=len(window)
     ).actions
     count = len(produced)
     if count == 0:
@@ -47,7 +47,7 @@ def validate(
 
     # The produced actions must reproduce the recorded slice exactly.
     reference = ctx.actions[start_action : start_action + count]
-    if consistent_prefix_length(produced, reference, window) != count:
+    if ctx.engine.consistent_prefix_length(produced, reference, window) != count:
         return None
 
     # The matched slice must end on a statement boundary strictly beyond

@@ -1,0 +1,138 @@
+"""Unit tests for the per-snapshot DOM indexes (repro.engine.index)."""
+
+import pytest
+
+from repro.dom import E, page, parse_selector, raw_path, resolve
+from repro.dom.xpath import (
+    DESC,
+    Predicate,
+    Step,
+    TokenPredicate,
+    index_among_descendants,
+    valid,
+)
+from repro.engine.index import (
+    UNSUPPORTED,
+    SnapshotIndex,
+    index_for,
+    set_dom_indexes,
+)
+
+from helpers import cards_page, node_at
+
+
+@pytest.fixture
+def dom():
+    return cards_page(4)
+
+
+class TestIndexLifecycle:
+    def test_frozen_snapshot_gets_an_index(self, dom):
+        index = index_for(dom)
+        assert index is not None
+        assert index_for(dom) is index  # built once, cached on the root
+
+    def test_unfrozen_snapshot_is_never_indexed(self):
+        assert index_for(E("div")) is None
+
+    def test_disable_flag_bypasses_indexes(self, dom):
+        previous = set_dom_indexes(False)
+        try:
+            assert index_for(dom) is None
+        finally:
+            set_dom_indexes(previous)
+
+
+class TestNth:
+    def test_matches_linear_scan_for_tag_predicates(self, dom):
+        index = index_for(dom)
+        pred = Predicate("div")
+        linear = [n for n in dom.iter_subtree() if pred.matches(n)]
+        for position, expected in enumerate(linear, start=1):
+            assert index.nth(pred, position, None) is expected
+        assert index.nth(pred, len(linear) + 1, None) is None
+
+    def test_anchored_lookup_excludes_other_subtrees(self, dom):
+        index = index_for(dom)
+        card2 = node_at(dom, "//div[@class='card'][2]")
+        h3 = index.nth(Predicate("h3"), 1, card2)
+        assert h3 is card2.children[0]
+        assert index.nth(Predicate("h3"), 2, card2) is None
+
+    def test_attribute_and_token_buckets(self, dom):
+        index = index_for(dom)
+        attr = Predicate("div", "class", "phone")
+        assert index.nth(attr, 1, None).text == "555-0101"
+        token = TokenPredicate("div", "class", "card")
+        assert index.nth(token, 3, None) is node_at(dom, "//div[@class='card'][3]")
+
+    def test_unindexed_attribute_is_unsupported(self, dom):
+        index = index_for(dom)
+        assert index.nth(Predicate("div", "data-x", "1"), 1, None) is UNSUPPORTED
+
+    def test_falsy_attribute_values_fall_back_to_linear(self):
+        # empty values are not bucketed (and value=None matches *absent*
+        # attributes), so such predicates must take the linear path
+        snapshot = page(E("div", {"class": ""}, text="bare"))
+        index = index_for(snapshot)
+        assert index.nth(Predicate("div", "class", ""), 1, None) is UNSUPPORTED
+        assert index.nth(Predicate("div", "class", None), 1, None) is UNSUPPORTED
+        node = resolve(parse_selector("//div[@class=''][1]"), snapshot)
+        assert node is not None and node.text == "bare"
+
+    def test_absent_bucket_means_no_match(self, dom):
+        # 'table' is indexed (tag family) but absent: a definitive miss
+        assert index_for(dom).nth(Predicate("table"), 1, None) is None
+
+
+class TestRank:
+    def test_agrees_with_linear_index_among_descendants(self, dom):
+        set_dom_indexes(False)
+        try:
+            expectations = []
+            for pred in (Predicate("div"), Predicate("div", "class", "card")):
+                for node in dom.iter_subtree():
+                    if pred.matches(node):
+                        expectations.append(
+                            (pred, node, index_among_descendants(None, node, pred, dom))
+                        )
+        finally:
+            set_dom_indexes(True)
+        index = index_for(dom)
+        for pred, node, expected in expectations:
+            assert index.rank(pred, node, None) == expected
+
+    def test_rank_outside_anchor_subtree_is_none(self, dom):
+        index = index_for(dom)
+        card1 = node_at(dom, "//div[@class='card'][1]")
+        h3_of_card2 = node_at(dom, "//div[@class='card'][2]/h3[1]")
+        assert index.rank(Predicate("h3"), h3_of_card2, card1) is None
+
+
+class TestResolutionEquivalence:
+    def test_descendant_steps_resolve_identically(self, dom):
+        selectors = [
+            "//div[@class='card'][2]/h3[1]",
+            "//h3[3]",
+            "//div[@class='sidebar'][1]",
+            "//div[@class='card'][2]//div[@class='phone'][1]",
+            "//span[1]",  # no match either way
+        ]
+        for text in selectors:
+            selector = parse_selector(text)
+            fresh = cards_page(4)  # indexed resolution
+            previous = set_dom_indexes(False)
+            try:
+                plain = cards_page(4)
+                linear = resolve(selector, plain)
+            finally:
+                set_dom_indexes(previous)
+            indexed = resolve(selector, fresh)
+            if linear is None:
+                assert indexed is None
+            else:
+                assert raw_path(indexed) == raw_path(linear)
+
+    def test_valid_uses_the_index(self, dom):
+        assert valid(parse_selector("//div[@class='phone'][4]"), dom)
+        assert not valid(parse_selector("//div[@class='phone'][5]"), dom)
