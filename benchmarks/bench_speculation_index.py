@@ -1,0 +1,110 @@
+"""Speculation-index bench: bucket-driven vs ancestor-walk enumeration.
+
+Runs the incremental scaling workload — every prefix of a recorded
+demonstration, session after session, exactly what the front end does
+for each user on a shared site — over the news-family benchmarks, once
+with ``use_index_enumeration`` on (candidates read off the per-snapshot
+bucket layer of :class:`repro.engine.index.SnapshotIndex`) and once
+with the legacy ancestor-walk enumeration.  On these sites execution is
+almost all engine-cache hits, so speculation's candidate enumeration is
+the dominant cost and the index pays directly.
+
+Two assertions gate the result:
+
+* the synthesized programs of every call are byte-identical between
+  the variants (the flag is behaviour-preserving, not approximate);
+* the wall-clock speedup clears the floor (default 1.3×).
+
+``REPRO_SPEC_BIDS`` picks the subject benchmarks;
+``REPRO_SPEC_SESSIONS`` the demonstration sessions per benchmark;
+``REPRO_SPEC_LEN`` bounds the per-session trace length;
+``REPRO_SPEC_MIN_SPEEDUP`` adjusts the asserted floor (default 1.3).
+``--quick`` shrinks sessions for the CI smoke tier and relaxes the
+floor to 1.15 (shared CI runners are noisy; the full run keeps 1.3).
+"""
+
+import os
+
+from repro.harness.report import fmt_ms, fmt_pct, render_table
+from repro.harness.scaling import run_scaling
+from repro.synth.config import DEFAULT_CONFIG, no_index_enumeration_config
+
+#: News-family subjects: moderate DOMs, loop-heavy traces, and no
+#: pathological worklist blowups that would drown enumeration time.
+DEFAULT_BIDS = "b1,b2,b4,b5,b13"
+
+
+def _run_variant(name, config, bids, sessions, max_length):
+    """Total synthesize wall-clock + per-call programs over the workload."""
+    total = 0.0
+    enum_indexed = enum_fallback = 0
+    programs = []
+    for _ in range(sessions):
+        for bid in bids:
+            series = run_scaling(
+                bid,
+                max_length,
+                timeout=10.0,
+                variants=[(name, config)],
+                collect_programs=True,
+            )[0]
+            total += series.total_time
+            enum_indexed += series.enum_indexed
+            enum_fallback += series.enum_fallback
+            programs.append(series.programs)
+    return total, programs, enum_indexed, enum_fallback
+
+
+def _run_pair(bids, sessions, max_length):
+    indexed = _run_variant("index on", DEFAULT_CONFIG, bids, sessions, max_length)
+    legacy = _run_variant(
+        "index off", no_index_enumeration_config(), bids, sessions, max_length
+    )
+    return indexed, legacy
+
+
+def test_speculation_index_speedup(benchmark, quick):
+    bids = os.environ.get("REPRO_SPEC_BIDS", DEFAULT_BIDS).split(",")
+    sessions = int(os.environ.get("REPRO_SPEC_SESSIONS", "4" if quick else "8"))
+    max_length = int(os.environ.get("REPRO_SPEC_LEN", "120"))
+    min_speedup = float(
+        os.environ.get("REPRO_SPEC_MIN_SPEEDUP", "1.15" if quick else "1.3")
+    )
+    indexed, legacy = benchmark.pedantic(
+        _run_pair, args=(bids, sessions, max_length), rounds=1, iterations=1
+    )
+    indexed_time, indexed_programs, enum_indexed, indexed_fallback = indexed
+    legacy_time, legacy_programs, _, enum_fallback = legacy
+    speedup = legacy_time / indexed_time if indexed_time else 0.0
+    benchmark.extra_info["benchmarks"] = ",".join(bids)
+    benchmark.extra_info["sessions"] = sessions
+    benchmark.extra_info["indexed_seconds"] = round(indexed_time, 4)
+    benchmark.extra_info["legacy_seconds"] = round(legacy_time, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["indexed_enumerations"] = enum_indexed
+    benchmark.extra_info["legacy_enumerations"] = enum_fallback
+    print()
+    print(
+        f"Speculation enumeration on {','.join(bids)} "
+        f"({sessions} sessions per benchmark)"
+    )
+    print(
+        render_table(
+            ["variant", "total", "enumerations"],
+            [
+                ["index on", fmt_ms(indexed_time), enum_indexed],
+                ["index off", fmt_ms(legacy_time), enum_fallback],
+            ],
+        )
+    )
+    print(f"speedup: {speedup:.2f}x")
+    # behaviour preservation first: every call of every session must
+    # synthesize byte-identical program lists under both variants
+    assert indexed_programs == legacy_programs, (
+        "index-backed enumeration changed the synthesized programs"
+    )
+    assert enum_indexed > 0, "the indexed variant never took the indexed path"
+    share = enum_indexed / (enum_indexed + indexed_fallback)
+    print(f"indexed enumeration share: {fmt_pct(share)}")
+    assert share == 1.0, "frozen benchmark snapshots should always be indexable"
+    assert speedup >= min_speedup

@@ -274,6 +274,33 @@ def raw_path(node: DOMNode) -> ConcreteSelector:
     return ConcreteSelector(steps)
 
 
+def predicate_family(node: DOMNode, token_predicates: bool = False) -> list[Predicate]:
+    """The bucket-indexed predicates ``node`` satisfies, in search order.
+
+    This is the single source of truth for which predicates the selector
+    search generates for a node *and* which buckets the snapshot index
+    files it under: attribute equalities over :data:`SELECTOR_ATTRIBUTES`
+    (truthy values only, so every entry has a bucket), then optional
+    whitespace-token ``class`` predicates, then the bare tag test.  Both
+    :func:`repro.synth.alternatives.node_predicates` and
+    :meth:`repro.engine.index.SnapshotIndex.predicates_of` delegate here,
+    which is what keeps index-backed and ancestor-walk enumeration
+    aligned predicate-for-predicate.
+    """
+    preds: list[Predicate] = [
+        Predicate(node.tag, attr, node.attrs[attr])
+        for attr in SELECTOR_ATTRIBUTES
+        if node.attrs.get(attr)
+    ]
+    if token_predicates:
+        preds.extend(
+            TokenPredicate(node.tag, "class", token)
+            for token in node.attrs.get("class", "").split()
+        )
+    preds.append(Predicate(node.tag))
+    return preds
+
+
 def index_among_children(node: DOMNode, pred: Predicate) -> Optional[int]:
     """1-based index of ``node`` among its parent's children matching ``pred``.
 

@@ -62,9 +62,16 @@ class CacheCounters:
 
 
 class _Entry:
-    """One memoized outcome.  ``pins`` keeps id-keyed referents alive."""
+    """One memoized outcome.  ``pins`` keeps id-keyed referents alive.
 
-    __slots__ = ("actions", "env", "examined", "pins")
+    ``exact_budget_ok`` marks terminal entries whose recorded run made
+    no environment binding after its last emitted action, so the
+    outcome also stands in for a run whose budget *equals* the action
+    count (such a run halts right after that action and can never bind
+    again).
+    """
+
+    __slots__ = ("actions", "env", "examined", "pins", "exact_budget_ok")
 
     def __init__(
         self,
@@ -72,11 +79,13 @@ class _Entry:
         env: Env,
         examined: Optional[tuple[int, ...]],
         pins: tuple,
+        exact_budget_ok: bool = False,
     ) -> None:
         self.actions = actions
         self.env = env
         self.examined = examined
         self.pins = pins
+        self.exact_budget_ok = exact_budget_ok
 
 
 class ExecutionCache:
@@ -122,7 +131,14 @@ class ExecutionCache:
         if (
             entry is not None
             and len(entry.examined) <= len(window_ids)
-            and budget > len(entry.actions)
+            # a budget exactly equal to the action count also replays
+            # identically — but only when the recorded run bound nothing
+            # after its last action (exact_budget_ok), since a capped
+            # run halts there and its final env is the last-action env
+            and (
+                budget > len(entry.actions)
+                or (budget == len(entry.actions) and entry.exact_budget_ok)
+            )
             and window_ids[: len(entry.examined)] == entry.examined
         ):
             if len(self._terminal) >= self._touch_floor:
@@ -141,8 +157,15 @@ class ExecutionCache:
         actions: tuple,
         env: Env,
         pins: tuple,
+        exact_budget_ok: bool = False,
     ) -> None:
-        """Record one execution outcome in both applicable tables."""
+        """Record one execution outcome in both applicable tables.
+
+        ``exact_budget_ok`` asserts the final env equals the env as of
+        the last emitted action (see :class:`_Entry`); only the engine,
+        which sees the evaluator's ``env_at_last_action``, can vouch for
+        it, so it defaults to the conservative ``False``.
+        """
         self._insert(self._exact, (base, window_ids, budget), _Entry(actions, env, None, pins))
         count = len(actions)
         if count < len(window_ids) and count < budget:
@@ -152,7 +175,7 @@ class ExecutionCache:
             self._insert(
                 self._terminal,
                 (base, window_ids[0]),
-                _Entry(actions, env, examined, pins),
+                _Entry(actions, env, examined, pins, exact_budget_ok),
             )
 
     # ------------------------------------------------------------------

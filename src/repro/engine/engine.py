@@ -53,9 +53,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class EngineCounters:
     """A point-in-time snapshot of one engine's telemetry.
 
-    ``index_builds`` counts process-wide snapshot-index constructions
-    (indexes live on snapshots, not engines); the synthesizer reports
-    per-call deltas, which attribute builds to the call that forced them.
+    ``hits == exact_hits + prefix_hits + consistency_hits`` — the full
+    breakdown is carried so downstream telemetry can reconcile the
+    aggregate.  ``index_builds`` counts process-wide snapshot-index
+    constructions (indexes live on snapshots, not engines); for
+    attributing builds to one caller use
+    :func:`repro.engine.index.track_builds`, which the synthesizer
+    wraps around each call — raw deltas of this field misattribute
+    builds when two sessions interleave in one process.
     """
 
     hits: int = 0
@@ -63,6 +68,7 @@ class EngineCounters:
     evictions: int = 0
     exact_hits: int = 0
     prefix_hits: int = 0
+    consistency_hits: int = 0
     index_builds: int = 0
 
     @property
@@ -115,6 +121,7 @@ class ExecutionEngine:
             evictions=cache.evictions,
             exact_hits=cache.exact_hits,
             prefix_hits=cache.prefix_hits,
+            consistency_hits=cache.consistency_hits,
             index_builds=dom_index.build_count(),
         )
 
@@ -158,6 +165,7 @@ class ExecutionEngine:
             tuple(result.actions),
             result.env,
             pins=(source, doms.pin_key()),
+            exact_budget_ok=result.env_at_last_action is result.env,
         )
         return result
 

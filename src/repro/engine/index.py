@@ -24,20 +24,41 @@ search.  Predicates outside the indexed families (e.g. the counter
 attributes of numbered pagination templates) answer
 :data:`UNSUPPORTED`, telling the caller to fall back to the linear walk.
 
+On top of the point lookups, the index carries the *bucket enumeration*
+layer the selector search runs on: memoized raw paths, per-node
+predicate families, per-parent child-rank maps, and per-element
+decomposition plans (every ``prefix / step(φ, k)`` reading of one
+element, in the exact order the legacy ancestor walk emits them).  See
+:mod:`repro.synth.alternatives` for the consumers.
+
 Indexes attach to the snapshot root (``DOMNode._snapshot_index``), the
 same lifetime discipline as the resolve memo; :func:`build_count` feeds
-the engine's telemetry.  ``REPRO_DOM_INDEX=0`` (or
+the engine's telemetry and :func:`track_builds` scopes build attribution
+to one caller (thread-local, so concurrent synthesizers do not steal
+each other's builds).  ``REPRO_DOM_INDEX=0`` (or
 :func:`set_dom_indexes`) disables the machinery for A/B measurements.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from bisect import bisect_left, bisect_right
+from contextlib import contextmanager
 from typing import Optional
 
 from repro.dom.node import DOMNode
-from repro.dom.xpath import SELECTOR_ATTRIBUTES, Predicate, TokenPredicate
+from repro.dom.xpath import (
+    CHILD,
+    DESC,
+    EPSILON,
+    SELECTOR_ATTRIBUTES,
+    ConcreteSelector,
+    Predicate,
+    Step,
+    TokenPredicate,
+    predicate_family,
+)
 
 #: Sentinel answer: the predicate family is not indexed — use the
 #: linear fallback.  Distinct from ``None``, which means "no match".
@@ -45,6 +66,7 @@ UNSUPPORTED = object()
 
 _ENABLED = os.environ.get("REPRO_DOM_INDEX", "1") != "0"
 _BUILDS = 0
+_TRACKERS = threading.local()
 
 
 def set_dom_indexes(enabled: bool) -> bool:
@@ -61,8 +83,49 @@ def dom_indexes_enabled() -> bool:
 
 
 def build_count() -> int:
-    """Process-wide number of snapshot indexes built so far."""
+    """Process-wide number of snapshot indexes built so far.
+
+    For attributing builds to one synthesize call use
+    :func:`track_builds` — deltas of this global misattribute builds the
+    moment two sessions interleave in one process.
+    """
     return _BUILDS
+
+
+class BuildTracker:
+    """Counts the snapshot-index builds forced inside one scope."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+
+@contextmanager
+def track_builds():
+    """Attribute index builds on *this thread* to the yielded tracker.
+
+    Scopes nest (an outer scope also counts its inner scopes' builds)
+    and are thread-local, so two synthesizers interleaving — across
+    calls or across threads — each see exactly the builds their own
+    work forced.
+    """
+    stack = getattr(_TRACKERS, "stack", None)
+    if stack is None:
+        stack = _TRACKERS.stack = []
+    tracker = BuildTracker()
+    stack.append(tracker)
+    try:
+        yield tracker
+    finally:
+        stack.remove(tracker)
+
+
+def _record_build() -> None:
+    global _BUILDS
+    _BUILDS += 1
+    for tracker in getattr(_TRACKERS, "stack", ()):
+        tracker.count += 1
 
 
 def bucket_key(pred: Predicate) -> Optional[tuple]:
@@ -89,13 +152,42 @@ def bucket_key(pred: Predicate) -> Optional[tuple]:
 
 
 class SnapshotIndex:
-    """Document-order predicate buckets plus pre-order intervals."""
+    """Document-order predicate buckets plus pre-order intervals.
 
-    __slots__ = ("_pre", "_end", "_buckets")
+    The ``_raw_paths`` / ``_pred_lists`` / ``_child_ranks`` / ``_plans``
+    dicts are lazily filled memo layers for the enumeration APIs below;
+    they live on the index (not on a search object) so every selector
+    search over the same snapshot — within a session and across
+    sessions — shares them.  The buckets pin every node of the
+    snapshot, so id-keyed memo entries can never go stale.
+    """
+
+    __slots__ = (
+        "_pre",
+        "_end",
+        "_buckets",
+        "_root",
+        "_raw_paths",
+        "_pred_lists",
+        "_child_ranks",
+        "_plans",
+        "enum_memo",
+    )
 
     def __init__(self, root: DOMNode) -> None:
-        global _BUILDS
-        _BUILDS += 1
+        _record_build()
+        self._root = root
+        self._raw_paths: dict[int, ConcreteSelector] = {}
+        self._pred_lists: dict[tuple, list[Predicate]] = {}
+        self._child_ranks: dict[tuple, dict[int, int]] = {}
+        self._plans: dict[tuple, tuple] = {}
+        #: Cross-session memo for the enumeration layer: the selector
+        #: search stores full decomposition / relative-step results here
+        #: keyed by target node id + bounds, so every search object over
+        #: this snapshot — including other sessions' — reuses them.
+        #: (Results depend only on the immutable snapshot, never on the
+        #: querying session.)
+        self.enum_memo: dict[tuple, object] = {}
         pre: dict[int, int] = {}
         end: dict[int, int] = {}
         buckets: dict[tuple, tuple[list[DOMNode], list[int]]] = {}
@@ -191,6 +283,132 @@ class SnapshotIndex:
         if not anchor_pre < node_pre <= self._end[id(anchor)]:
             return None  # node is outside the anchor's subtree
         return at - bisect_right(positions, anchor_pre) + 1
+
+    # ------------------------------------------------------------------
+    # Bucket enumeration (the selector-search layer)
+    # ------------------------------------------------------------------
+    def contains(self, node: DOMNode) -> bool:
+        """Whether ``node`` belongs to the indexed snapshot."""
+        return id(node) in self._pre
+
+    def raw_path_of(self, node: DOMNode) -> ConcreteSelector:
+        """Memoized :func:`repro.dom.xpath.raw_path` of an indexed node.
+
+        Walks up only to the nearest memoized ancestor (iteratively, so
+        arbitrarily deep snapshots cannot blow the recursion limit) and
+        extends down, filling the memo for the whole chain — after one
+        chain is paid every sibling's path is a single step extension.
+        """
+        path = self._raw_paths.get(id(node))
+        if path is not None:
+            return path
+        chain: list[DOMNode] = []
+        current: Optional[DOMNode] = node
+        path = EPSILON
+        while current is not None:
+            cached = self._raw_paths.get(id(current))
+            if cached is not None:
+                path = cached
+                break
+            chain.append(current)
+            current = current.parent
+        for item in reversed(chain):
+            path = path.child(Predicate(item.tag), item.child_index_by_tag())
+            self._raw_paths[id(item)] = path
+        return path
+
+    def raw_steps_between(self, base: DOMNode, target: DOMNode) -> tuple[Step, ...]:
+        """The child-axis steps from ``base`` down to ``target``.
+
+        With both raw paths memoized, the chain is a tuple slice — the
+        ancestor walk of the legacy ``_raw_chain`` disappears.
+        """
+        return self.raw_path_of(target).steps[len(self.raw_path_of(base).steps):]
+
+    def predicates_of(
+        self, node: DOMNode, use_alternatives: bool, token_predicates: bool
+    ) -> list[Predicate]:
+        """Memoized predicate family of ``node`` (selector-search order)."""
+        key = (id(node), use_alternatives, token_predicates)
+        preds = self._pred_lists.get(key)
+        if preds is None:
+            if use_alternatives:
+                preds = predicate_family(node, token_predicates)
+            else:
+                preds = [Predicate(node.tag)]
+            self._pred_lists[key] = preds
+        return preds
+
+    def child_rank(self, node: DOMNode, pred: Predicate) -> Optional[int]:
+        """:func:`repro.dom.xpath.index_among_children`, batch-memoized.
+
+        The first query for a ``(parent, predicate)`` pair walks the
+        siblings once and ranks *every* matching child; queries for the
+        siblings — the common case when consecutive actions target list
+        rows — are dict hits.
+        """
+        if not pred.matches(node):
+            return None
+        parent = node.parent
+        if parent is None:
+            return 1  # the virtual document's only child is the root
+        key = (id(parent), bucket_key(pred))
+        if key[1] is None:  # unbucketed predicate: rank without caching
+            rank = 0
+            for sibling in parent.children:
+                if pred.matches(sibling):
+                    rank += 1
+                if sibling is node:
+                    return rank
+            return None
+        ranks = self._child_ranks.get(key)
+        if ranks is None:
+            ranks = {}
+            rank = 0
+            for sibling in parent.children:
+                if pred.matches(sibling):
+                    rank += 1
+                    ranks[id(sibling)] = rank
+            self._child_ranks[key] = ranks
+        return ranks.get(id(node))
+
+    def element_plan(
+        self, element: DOMNode, use_alternatives: bool, token_predicates: bool
+    ) -> tuple:
+        """Every ``(prefix, axis, pred, index)`` element-step reading.
+
+        This is the per-element invariant part of a decomposition — what
+        the legacy ancestor walk recomputes per suffix — in the exact
+        order that walk emits: child axis from the parent prefix, then
+        descendant axis anchored at the document, then at the parent.
+        Cached per element, so it is shared across every target that has
+        ``element`` on its ancestor chain and across search objects.
+        """
+        key = (id(element), use_alternatives, token_predicates)
+        plan = self._plans.get(key)
+        if plan is None:
+            preds = self.predicates_of(element, use_alternatives, token_predicates)
+            parent = element.parent
+            parent_prefix = EPSILON if parent is None else self.raw_path_of(parent)
+            entries = []
+            for pred in preds:
+                index = self.child_rank(element, pred)
+                if index is not None:
+                    entries.append((parent_prefix, CHILD, pred, index))
+            if use_alternatives:
+                anchors: list[Optional[DOMNode]] = [None]
+                if parent is not None:
+                    anchors.append(parent)
+                for anchor in anchors:
+                    prefix = EPSILON if anchor is None else parent_prefix
+                    for pred in preds:
+                        index = self.rank(pred, element, anchor)
+                        if index is UNSUPPORTED:  # pragma: no cover - defensive
+                            index = None
+                        if index is not None:
+                            entries.append((prefix, DESC, pred, index))
+            plan = self._plans[key] = tuple(entries)
+        return plan
 
 
 def index_for(root: DOMNode) -> Optional[SnapshotIndex]:

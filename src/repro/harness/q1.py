@@ -113,7 +113,12 @@ class BenchmarkResult:
     expected_supported: bool = True
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_exact_hits: int = 0
+    cache_prefix_hits: int = 0
+    cache_consistency_hits: int = 0
     index_builds: int = 0
+    enum_indexed: int = 0
+    enum_fallback: int = 0
 
     @property
     def accuracy(self) -> float:
@@ -158,7 +163,12 @@ def evaluate_benchmark(
         result.timed_out_tests += synthesis.stats.timed_out
         result.cache_hits += synthesis.stats.cache_hits
         result.cache_misses += synthesis.stats.cache_misses
+        result.cache_exact_hits += synthesis.stats.cache_exact_hits
+        result.cache_prefix_hits += synthesis.stats.cache_prefix_hits
+        result.cache_consistency_hits += synthesis.stats.cache_consistency_hits
         result.index_builds += synthesis.stats.index_builds
+        result.enum_indexed += synthesis.stats.enum_indexed
+        result.enum_fallback += synthesis.stats.enum_fallback
         result.max_programs = max(result.max_programs, len(synthesis.programs))
         result.max_predictions = max(result.max_predictions, len(synthesis.predictions))
         expected = recording.actions[k]
@@ -285,10 +295,22 @@ class Q1Report:
         hits = sum(result.cache_hits for result in results)
         misses = sum(result.cache_misses for result in results)
         if hits or misses:
+            exact = sum(result.cache_exact_hits for result in results)
+            prefix = sum(result.cache_prefix_hits for result in results)
+            consistency = sum(result.cache_consistency_hits for result in results)
             lines.append(
                 f"  execution-cache hit rate: {fmt_pct(hits / (hits + misses))} "
-                f"({hits} hits / {misses} misses; "
+                f"({hits} hits = {exact} exact + {prefix} prefix + "
+                f"{consistency} consistency / {misses} misses; "
                 f"{sum(r.index_builds for r in results)} DOM indexes built)"
+            )
+        indexed = sum(result.enum_indexed for result in results)
+        fallback = sum(result.enum_fallback for result in results)
+        if indexed or fallback:
+            lines.append(
+                f"  index-backed enumeration share: "
+                f"{fmt_pct(indexed / (indexed + fallback))} "
+                f"({indexed} indexed / {fallback} ancestor-walk)"
             )
         return "\n".join(lines)
 

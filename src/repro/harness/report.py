@@ -65,10 +65,15 @@ def render_synthesis_stats(stats) -> str:
         ["validated", stats.validated],
         ["store tuples", stats.tuples],
         ["exec cache hits", stats.cache_hits],
+        ["  exact hits", stats.cache_exact_hits],
+        ["  prefix hits", stats.cache_prefix_hits],
+        ["  consistency hits", stats.cache_consistency_hits],
         ["exec cache misses", stats.cache_misses],
         ["exec cache hit rate", fmt_pct(stats.cache_hit_rate)],
         ["exec cache evictions", stats.cache_evictions],
         ["DOM index builds", stats.index_builds],
+        ["indexed enumerations", stats.enum_indexed],
+        ["fallback enumerations", stats.enum_fallback],
         ["elapsed", fmt_ms(stats.elapsed)],
         ["timed out", "yes" if stats.timed_out else "no"],
     ]

@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 from repro.benchmarks.suite import benchmark_by_id
 from repro.harness.figures import horizontal_bars
 from repro.harness.report import fmt_ms, render_table
+from repro.lang.pretty import format_program
 from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig, no_incremental_config
 from repro.synth.synthesizer import Synthesizer
 
@@ -31,7 +32,13 @@ DEFAULT_BENCHMARK = "b12"
 
 @dataclass
 class ScalingSeries:
-    """Per-call synthesis times (and engine telemetry) for one variant."""
+    """Per-call synthesis times (and engine telemetry) for one variant.
+
+    ``programs`` is only filled when the run collects them (see
+    :func:`run_scaling`): one tuple of rendered programs per call, in
+    rank order — what the byte-identity comparisons of the ablation
+    benches diff between variants.
+    """
 
     name: str
     lengths: list[int] = field(default_factory=list)
@@ -39,6 +46,9 @@ class ScalingSeries:
     cache_hits: int = 0
     cache_misses: int = 0
     index_builds: int = 0
+    enum_indexed: int = 0
+    enum_fallback: int = 0
+    programs: list[tuple[str, ...]] = field(default_factory=list)
 
     @property
     def total_time(self) -> float:
@@ -69,12 +79,15 @@ def run_scaling(
     max_length: int = 80,
     timeout: float = 1.0,
     variants: Optional[Sequence[tuple[str, SynthesisConfig]]] = None,
+    collect_programs: bool = False,
 ) -> list[ScalingSeries]:
     """Measure per-call time vs. trace length for each variant.
 
     The default variant pair is the incremental-vs-from-scratch
-    comparison; the engine-cache bench passes cache-on/cache-off
-    configurations instead.
+    comparison; the engine-cache and speculation-index benches pass
+    their own configuration pairs instead.  With ``collect_programs``
+    every call's ranked program list is rendered into the series, so
+    behaviour-preserving variants can be diffed byte-for-byte.
     """
     benchmark = benchmark_by_id(bid)
     recording = benchmark.record()
@@ -97,6 +110,12 @@ def run_scaling(
             current.cache_hits += result.stats.cache_hits
             current.cache_misses += result.stats.cache_misses
             current.index_builds += result.stats.index_builds
+            current.enum_indexed += result.stats.enum_indexed
+            current.enum_fallback += result.stats.enum_fallback
+            if collect_programs:
+                current.programs.append(
+                    tuple(format_program(program) for program in result.programs)
+                )
         series.append(current)
     return series
 

@@ -65,22 +65,36 @@ from repro.util.errors import DataPathError
 
 @dataclass
 class EvalResult:
-    """Outcome of a simulated execution: A′, Π′ and Σ′."""
+    """Outcome of a simulated execution: A′, Π′ and Σ′.
+
+    ``env_at_last_action`` is Σ as of the final emitted action (the
+    initial Σ when nothing was emitted).  Once the action budget is
+    exhausted every loop/sequence checks ``halted`` before binding, so
+    this is exactly the final environment of a run whose budget equals
+    the action count — the execution cache uses ``env_at_last_action is
+    env`` to decide whether a memoized outcome may serve such a run.
+    """
 
     actions: list[Action]
     remaining: DOMTrace
     env: Env
+    env_at_last_action: Optional[Env] = None
 
 
 class _Context:
-    """Per-execution configuration: data source, action budget, halt flag."""
+    """Per-execution configuration: data source, action budget, halt flag.
 
-    __slots__ = ("data", "budget", "stuck")
+    ``last_env`` tracks Σ as of the most recent emitted action (see
+    :class:`EvalResult.env_at_last_action`).
+    """
+
+    __slots__ = ("data", "budget", "stuck", "last_env")
 
     def __init__(self, data: DataSource, max_actions: Optional[int]) -> None:
         self.data = data
         self.budget = max_actions if max_actions is not None else float("inf")
         self.stuck = False
+        self.last_env: Optional[Env] = None
 
     def spend(self) -> None:
         self.budget -= 1
@@ -117,11 +131,13 @@ def execute(
     """
     statements = tuple(program) if isinstance(program, Program) else tuple(program)
     context = _Context(data, max_actions)
+    initial_env = env or Env.empty()
+    context.last_env = initial_env
     actions: list[Action] = []
     remaining, final_env = _eval_sequence(
-        statements, doms, env or Env.empty(), context, actions
+        statements, doms, initial_env, context, actions
     )
-    return EvalResult(actions, remaining, final_env)
+    return EvalResult(actions, remaining, final_env, context.last_env)
 
 
 # ----------------------------------------------------------------------
@@ -185,6 +201,7 @@ def _eval_action(
         return doms, env
     out.append(Action(statement.kind, selector, statement.text, path))
     context.spend()
+    context.last_env = env
     return doms.tail(), env
 
 
@@ -268,6 +285,7 @@ def _eval_while_loop(
             break
         out.append(Action(loop.click.kind, selector))  # While-Cont
         context.spend()
+        context.last_env = env
         doms = doms.tail()
     return doms, env
 
@@ -305,6 +323,7 @@ def _eval_paginate_loop(
         else:
             break
         context.spend()
+        context.last_env = env
         doms = doms.tail()
         counter += 1
     return doms, env

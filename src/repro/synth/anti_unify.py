@@ -95,6 +95,7 @@ def anti_unify_selectors(
             use_alternatives=config.use_alternative_selectors,
             max_suffix_child_steps=config.max_suffix_child_steps,
             max_decompositions=config.max_decompositions,
+            use_index_enumeration=config.use_index_enumeration,
         )
     pairings = search.loop_pairings(
         first_sel, first_dom, second_sel, second_dom, config.max_pivot_unifications

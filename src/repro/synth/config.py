@@ -74,6 +74,15 @@ class SynthesisConfig:
         ``(statement, window)`` executions across worklist pops and
         across incremental calls run once).  Behaviour-preserving; the
         engine-cache bench measures the speedup.
+    use_index_enumeration:
+        Enumerate selector decompositions from the per-snapshot DOM
+        index's bucket layer (:mod:`repro.engine.index`) instead of
+        re-walking ancestor chains and sibling lists per query.
+        Behaviour-preserving — both paths produce identical candidate
+        lists in identical order (the parity property tests pin this)
+        — so this is an ablation knob, not a semantics knob; off
+        reproduces the legacy ancestor-walk enumeration exactly.  The
+        speculation-index bench measures the speedup.
     max_cache_entries:
         Bound on entries per execution-cache table; least-recently-used
         outcomes are evicted first.
@@ -112,6 +121,7 @@ class SynthesisConfig:
     max_store_tuples: int = 256
     max_worklist_pops: int | None = None
     use_execution_cache: bool = True
+    use_index_enumeration: bool = True
     max_cache_entries: int = 4096
     ranking: str = "size"
     use_shape_gates: bool = True
@@ -145,6 +155,11 @@ def no_incremental_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisCo
 def no_execution_cache_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
     """Execution memoization off: every simulated run recomputed."""
     return replace(base, use_execution_cache=False)
+
+
+def no_index_enumeration_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
+    """Legacy ancestor-walk candidate enumeration (ablation baseline)."""
+    return replace(base, use_index_enumeration=False)
 
 
 def ranking_config(strategy: str, base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:

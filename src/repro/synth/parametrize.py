@@ -62,6 +62,7 @@ def parametrize_statement(
             use_alternatives=config.use_alternative_selectors,
             max_suffix_child_steps=config.max_suffix_child_steps,
             max_decompositions=config.max_decompositions,
+            use_index_enumeration=config.use_index_enumeration,
         )
     if var.kind == SEL_VAR:
         assert isinstance(first_binding, ConcreteSelector)

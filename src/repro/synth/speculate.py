@@ -87,6 +87,7 @@ class SpeculationContext:
             use_alternatives=config.use_alternative_selectors,
             max_suffix_child_steps=config.max_suffix_child_steps,
             max_decompositions=config.max_decompositions,
+            use_index_enumeration=config.use_index_enumeration,
         )
         # Statement-level memos.  Statement objects are shared between a
         # tuple and its extensions, so id-keyed caching hits across spans

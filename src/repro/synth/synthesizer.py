@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.dom.node import DOMNode
+from repro.engine import index as dom_index
 from repro.engine.engine import ExecutionEngine
 from repro.lang.actions import Action
 from repro.lang.ast import Program
@@ -40,10 +41,16 @@ from repro.util.timer import Deadline
 class SynthesisStats:
     """Bookkeeping for the experiment harnesses.
 
-    The ``cache_*`` and ``index_builds`` fields are per-call deltas of
-    the execution engine's telemetry: how many simulated executions were
-    served from memo, recomputed, or evicted, and how many per-snapshot
-    DOM indexes this call forced to be built.
+    The ``cache_*`` fields are per-call deltas of the execution engine's
+    telemetry: how many simulated executions were served from memo,
+    recomputed, or evicted, with the hit breakdown satisfying
+    ``cache_hits == cache_exact_hits + cache_prefix_hits +
+    cache_consistency_hits``.  ``index_builds`` counts the per-snapshot
+    DOM indexes *this* call forced to be built (scoped via
+    :func:`repro.engine.index.track_builds`, so interleaved sessions do
+    not steal each other's builds).  ``enum_indexed`` / ``enum_fallback``
+    are the selector-search enumeration queries answered by the
+    bucket-driven path vs the legacy ancestor walk.
     """
 
     trace_length: int = 0
@@ -56,7 +63,12 @@ class SynthesisStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    cache_exact_hits: int = 0
+    cache_prefix_hits: int = 0
+    cache_consistency_hits: int = 0
     index_builds: int = 0
+    enum_indexed: int = 0
+    enum_fallback: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -118,6 +130,7 @@ class Synthesizer:
             max_suffix_child_steps=self.config.max_suffix_child_steps,
             max_decompositions=self.config.max_decompositions,
             token_predicates=self.config.use_token_predicates,
+            use_index_enumeration=self.config.use_index_enumeration,
         )
 
     # ------------------------------------------------------------------
@@ -170,90 +183,100 @@ class Synthesizer:
         if trace_length == 0:
             return result
         engine_before = self._engine.counters()
+        enum_before = (self._search.enum_indexed, self._search.enum_fallback)
 
-        context = SpeculationContext(
-            self._actions,
-            self._snapshots,
-            self.data,
-            self.config,
-            self._search,
-            engine=self._engine,
-        )
-        generalizing: list[Candidate] = []
-        heap: list[tuple[int, int, RewriteTuple]] = []
-        sequence = itertools.count()
-        store: dict[tuple, RewriteTuple] = {}
-
-        def push(tuple_: RewriteTuple) -> None:
-            key = tuple_.key(self._engine.statement_key)
-            if key in store:
-                return
-            store[key] = tuple_
-            heapq.heappush(heap, (tuple_.length, next(sequence), tuple_))
-            prediction = self._try_generalize(tuple_, context)
-            if prediction is not None and len(generalizing) < self.config.max_generalizing_programs:
-                generalizing.append(
-                    Candidate.of(tuple_.program(), prediction, tuple_.length)
-                )
-
-        if had_store:
-            for stored in self._store.values():
-                extended = self._extend(stored, old_length, trace_length, context)
-                if extended is not None:
-                    push(extended)
-        else:
-            push(initial_tuple(self._actions))
-        self._store = store
-
-        # --------------------------------------------------------------
-        # Algorithm 1 main loop.
-        # --------------------------------------------------------------
-        while heap:
-            if deadline.expired():
-                stats.timed_out = True
-                break
-            if (
-                self.config.max_worklist_pops is not None
-                and stats.pops >= self.config.max_worklist_pops
-            ):
-                break
-            _, _, current = heapq.heappop(heap)
-            if current.processed:
-                continue
-            current.processed = True
-            stats.pops += 1
-            candidates = speculate(current, context)
-            stats.speculated += len(candidates)
-            # Validate smallest statements first so the per-span cap keeps
-            # the most-parametrized (hence smallest) true rewrites — e.g.
-            # a loop whose body fully uses the loop variable beats one that
-            # kept a raw first-iteration selector.
-            candidates.sort(
-                key=lambda item: (item.start, item.end, context.statement_size(item.stmt))
+        with dom_index.track_builds() as built:
+            context = SpeculationContext(
+                self._actions,
+                self._snapshots,
+                self.data,
+                self.config,
+                self._search,
+                engine=self._engine,
             )
-            per_span: dict[tuple, int] = {}
-            for candidate in candidates:
+            generalizing: list[Candidate] = []
+            heap: list[tuple[int, int, RewriteTuple]] = []
+            sequence = itertools.count()
+            store: dict[tuple, RewriteTuple] = {}
+
+            def push(tuple_: RewriteTuple) -> None:
+                key = tuple_.key(self._engine.statement_key)
+                if key in store:
+                    return
+                store[key] = tuple_
+                heapq.heappush(heap, (tuple_.length, next(sequence), tuple_))
+                prediction = self._try_generalize(tuple_, context)
+                if prediction is not None and len(generalizing) < self.config.max_generalizing_programs:
+                    generalizing.append(
+                        Candidate.of(tuple_.program(), prediction, tuple_.length)
+                    )
+
+            if had_store:
+                for stored in self._store.values():
+                    extended = self._extend(stored, old_length, trace_length, context)
+                    if extended is not None:
+                        push(extended)
+            else:
+                push(initial_tuple(self._actions))
+            self._store = store
+
+            # ----------------------------------------------------------
+            # Algorithm 1 main loop.
+            # ----------------------------------------------------------
+            while heap:
                 if deadline.expired():
                     stats.timed_out = True
                     break
-                span_key = (candidate.start, candidate.end)
-                if per_span.get(span_key, 0) >= self.config.max_rewrites_per_span:
+                if (
+                    self.config.max_worklist_pops is not None
+                    and stats.pops >= self.config.max_worklist_pops
+                ):
+                    break
+                _, _, current = heapq.heappop(heap)
+                if current.processed:
                     continue
-                rewritten = validate(candidate, current, context)
-                if rewritten is not None:
-                    per_span[span_key] = per_span.get(span_key, 0) + 1
-                    stats.validated += 1
-                    push(rewritten)
+                current.processed = True
+                stats.pops += 1
+                candidates = speculate(current, context)
+                stats.speculated += len(candidates)
+                # Validate smallest statements first so the per-span cap
+                # keeps the most-parametrized (hence smallest) true
+                # rewrites — e.g. a loop whose body fully uses the loop
+                # variable beats one that kept a raw first-iteration
+                # selector.
+                candidates.sort(
+                    key=lambda item: (item.start, item.end, context.statement_size(item.stmt))
+                )
+                per_span: dict[tuple, int] = {}
+                for candidate in candidates:
+                    if deadline.expired():
+                        stats.timed_out = True
+                        break
+                    span_key = (candidate.start, candidate.end)
+                    if per_span.get(span_key, 0) >= self.config.max_rewrites_per_span:
+                        continue
+                    rewritten = validate(candidate, current, context)
+                    if rewritten is not None:
+                        per_span[span_key] = per_span.get(span_key, 0) + 1
+                        stats.validated += 1
+                        push(rewritten)
 
-        self._prune_store()
+            self._prune_store()
+            self._collect(result, generalizing)
         stats.tuples = len(self._store)
         stats.elapsed = deadline.elapsed()
         engine_after = self._engine.counters()
         stats.cache_hits = engine_after.hits - engine_before.hits
         stats.cache_misses = engine_after.misses - engine_before.misses
         stats.cache_evictions = engine_after.evictions - engine_before.evictions
-        stats.index_builds = engine_after.index_builds - engine_before.index_builds
-        self._collect(result, generalizing)
+        stats.cache_exact_hits = engine_after.exact_hits - engine_before.exact_hits
+        stats.cache_prefix_hits = engine_after.prefix_hits - engine_before.prefix_hits
+        stats.cache_consistency_hits = (
+            engine_after.consistency_hits - engine_before.consistency_hits
+        )
+        stats.index_builds = built.count
+        stats.enum_indexed = self._search.enum_indexed - enum_before[0]
+        stats.enum_fallback = self._search.enum_fallback - enum_before[1]
         return result
 
     def _prune_store(self) -> None:

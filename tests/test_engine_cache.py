@@ -74,6 +74,54 @@ class TestExecuteMemo:
         assert len(second.actions) == 3
         assert len(second.remaining) == 3  # remaining rebuilt on the long window
 
+    def test_terminal_hit_when_budget_exactly_equals_action_count(self):
+        # regression: the terminal table used to demand budget > count,
+        # so a self-terminated execution missed when the budget equalled
+        # its action count even though the replay is identical
+        dom = cards_page(3)
+        snapshots = [dom] * 6
+        loop = card_loop()
+        reference = ExecutionEngine(EMPTY_DATA, use_cache=False).execute(
+            [loop], DOMTrace(snapshots, 0, 6), max_actions=3
+        )
+        engine = ExecutionEngine(EMPTY_DATA)
+        first = engine.execute([loop], DOMTrace(snapshots, 0, 5), max_actions=5)
+        assert len(first.actions) == 3  # terminated early: terminal entry
+        replay = engine.execute([loop], DOMTrace(snapshots, 0, 6), max_actions=3)
+        assert engine.counters().prefix_hits == 1
+        # the replay pins the uncached outcome: actions, env, and the
+        # consumed-window shape all match a budget-capped fresh run
+        assert [str(a) for a in replay.actions] == [str(a) for a in reference.actions]
+        assert replay.env.fingerprint() == reference.env.fingerprint()
+        assert len(replay.remaining) == len(reference.remaining) == 3
+
+    def test_exact_budget_hit_refused_when_env_moved_after_last_action(self):
+        # a statement after the emitting loop can bind its loop variable
+        # and only then go stuck — the recorded env then differs from a
+        # genuinely budget-capped run's, so the exact-budget replay must
+        # miss rather than serve the wrong environment
+        dom = cards_page(3)
+        snapshots = [dom] * 6
+        var = fresh_var(SEL_VAR)
+        stuck_loop = ForEachSelector(
+            var,
+            DescendantsOf(Selector(), Predicate("div", "class", "sidebar")),
+            # the sidebar exists, so the loop binds its variable — but
+            # the body selector is invalid there, so no action is emitted
+            (ActionStmt(SCRAPE_TEXT, Selector(var, parse_selector("/table[1]").steps)),),
+        )
+        program = [card_loop(), stuck_loop]
+        reference = ExecutionEngine(EMPTY_DATA, use_cache=False).execute(
+            program, DOMTrace(snapshots, 0, 6), max_actions=3
+        )
+        engine = ExecutionEngine(EMPTY_DATA)
+        seeded = engine.execute(program, DOMTrace(snapshots, 0, 5), max_actions=5)
+        assert len(seeded.actions) == 3  # stuck after binding: terminal entry
+        replay = engine.execute(program, DOMTrace(snapshots, 0, 6), max_actions=3)
+        assert engine.counters().prefix_hits == 0  # unsound hit refused
+        assert [str(a) for a in replay.actions] == [str(a) for a in reference.actions]
+        assert replay.env.fingerprint() == reference.env.fingerprint()
+
     def test_budget_is_part_of_the_key(self):
         dom = cards_page(3)
         snapshots = [dom] * 4
@@ -158,6 +206,43 @@ class TestSynthesizerEquivalence:
             assert result.stats.cache_hits + result.stats.cache_misses >= 0
         assert hits > 0, "incremental session should reuse executions"
         assert 0.0 <= result.stats.cache_hit_rate <= 1.0
+
+    def test_hit_breakdown_reconciles_with_the_aggregate(self):
+        # exact + prefix + consistency == hits, both on the engine's own
+        # counters and on every per-call stats delta the user sees
+        dom = cards_page(6)
+        actions, snapshots = scrape_cards_trace(dom, 4)
+        synthesizer = Synthesizer(EMPTY_DATA, DEFAULT_CONFIG)
+        for cut in range(1, len(actions) + 1):
+            stats = synthesizer.synthesize(actions[:cut], snapshots[: cut + 1]).stats
+            assert (
+                stats.cache_exact_hits
+                + stats.cache_prefix_hits
+                + stats.cache_consistency_hits
+                == stats.cache_hits
+            )
+        counters = synthesizer.engine.counters()
+        assert counters.hits > 0
+        assert (
+            counters.exact_hits + counters.prefix_hits + counters.consistency_hits
+            == counters.hits
+        )
+
+    def test_consistency_hits_surface_in_engine_counters(self):
+        dom = cards_page(3)
+        snapshots = [dom] * 4
+        engine = ExecutionEngine(EMPTY_DATA)
+        window = DOMTrace(snapshots, 0, 4)
+        produced = engine.execute([card_loop()], window, max_actions=3).actions
+        reference = list(produced)
+        engine.consistent_prefix_length(produced, reference, window)
+        engine.consistent_prefix_length(produced, reference, window)
+        counters = engine.counters()
+        assert counters.consistency_hits == 1
+        assert (
+            counters.exact_hits + counters.prefix_hits + counters.consistency_hits
+            == counters.hits
+        )
 
     def test_uncached_config_reports_no_activity(self):
         dom = cards_page(6)
