@@ -7,11 +7,15 @@ Commands
 ``record <bid> [-o FILE]``
     Instrument a benchmark's ground truth and write the recorded
     demonstration as JSON.
-``synthesize <FILE> [--cut K] [--data JSON] [--stats]``
+``synthesize <FILE> [--cut K] [--data JSON] [--stats] [--workers N] [--shared-cache]``
     Load a recorded demonstration, synthesize at prefix ``K`` (default:
     all but the last action), print the best program and prediction.
     ``--stats`` also prints synthesis + execution-engine telemetry
-    (worklist activity, cache hits/misses, DOM index builds).
+    (worklist activity, cache hits/misses, DOM index builds, worker and
+    shared-cache counters).  ``--workers N`` validates candidates on an
+    N-thread pool (output stays byte-identical to serial);
+    ``--shared-cache`` joins the process-level execution cache so
+    repeated invocations in one process share executions.
 ``replay <PROGRAM-FILE> --benchmark <bid>``
     Run a serialized program for real against a benchmark's site and
     print the scraped outputs.
@@ -54,6 +58,7 @@ from repro.benchmarks.suite import all_benchmarks, benchmark_by_id
 from repro.browser.replayer import Replayer
 from repro.lang.data import DataSource, EMPTY_DATA
 from repro.lang.pretty import format_program
+from repro.synth.config import DEFAULT_CONFIG
 from repro.synth.synthesizer import Synthesizer
 
 
@@ -80,6 +85,11 @@ def _build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--timeout", type=float, default=1.0)
     synth.add_argument("--stats", action="store_true",
                        help="print synthesis + execution-engine telemetry")
+    synth.add_argument("--workers", type=int, default=None,
+                       help="validation worker threads (default: "
+                            "$REPRO_VALIDATION_WORKERS or serial)")
+    synth.add_argument("--shared-cache", action="store_true",
+                       help="join the process-level shared execution cache")
 
     replay = commands.add_parser("replay", help="run a serialized program")
     replay.add_argument("program", help="JSON file with a serialized program")
@@ -144,7 +154,9 @@ def _cmd_record(bid: str, output: Optional[str], max_actions: int) -> int:
 
 
 def _cmd_synthesize(path: str, cut: Optional[int], data_path: Optional[str],
-                    timeout: float, show_stats: bool = False) -> int:
+                    timeout: float, show_stats: bool = False,
+                    workers: Optional[int] = None,
+                    shared_cache: bool = False) -> int:
     with open(path, encoding="utf-8") as handle:
         recording = repro_io.load(handle)
     data = EMPTY_DATA
@@ -154,7 +166,20 @@ def _cmd_synthesize(path: str, cut: Optional[int], data_path: Optional[str],
     prefix = cut if cut is not None else recording.length - 1
     prefix = max(1, min(prefix, recording.length - 1))
     actions, snapshots = recording.prefix(prefix)
-    result = Synthesizer(data).synthesize(actions, snapshots, timeout=timeout)
+    config = DEFAULT_CONFIG
+    if workers is not None or shared_cache:
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            validation_workers=workers,
+            shared_cache=True if shared_cache else None,
+        )
+    synthesizer = Synthesizer(data, config)
+    try:
+        result = synthesizer.synthesize(actions, snapshots, timeout=timeout)
+    finally:
+        synthesizer.close()
     if show_stats:
         from repro.harness.report import render_synthesis_stats
 
@@ -285,6 +310,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_synthesize(
             arguments.recording, arguments.cut, arguments.data,
             arguments.timeout, arguments.stats,
+            arguments.workers, arguments.shared_cache,
         )
     if arguments.command == "replay":
         return _cmd_replay(arguments.program, arguments.benchmark)

@@ -6,11 +6,22 @@ Public surface:
   synthesizer-stack module executes through.
 * :class:`repro.engine.cache.ExecutionCache` — bounded LRU memoization
   of simulated execution, with exact-window and terminal-prefix tables.
+* :class:`repro.engine.cache.SharedExecutionCache` — the process-level
+  promotion of the cache: lock-striped shards plus snapshot interning,
+  so concurrent sessions over the same site reuse each other's
+  executions (``process_cache()`` holds the process-wide instance).
 * :mod:`repro.engine.index` — lazy per-snapshot DOM indexes powering
   descendant-axis selector steps.
 """
 
-from repro.engine.cache import CacheCounters, ExecutionCache
+from repro.engine.cache import (
+    CacheCounters,
+    ExecutionCache,
+    SharedCacheSession,
+    SharedExecutionCache,
+    process_cache,
+    reset_process_cache,
+)
 from repro.engine.engine import EngineCounters, ExecutionEngine
 from repro.engine.index import (
     SnapshotIndex,
@@ -25,9 +36,13 @@ __all__ = [
     "EngineCounters",
     "ExecutionCache",
     "ExecutionEngine",
+    "SharedCacheSession",
+    "SharedExecutionCache",
     "SnapshotIndex",
     "build_count",
     "dom_indexes_enabled",
     "index_for",
+    "process_cache",
+    "reset_process_cache",
     "set_dom_indexes",
 ]

@@ -28,13 +28,34 @@ snapshots are immutable and shared across calls, and each entry pins its
 identity-keyed referents so ids cannot be recycled.  Both tables are
 bounded LRUs; hit/miss/eviction counters feed
 :class:`repro.synth.synthesizer.SynthesisStats`.
+
+Process-level sharing
+---------------------
+:class:`SharedExecutionCache` promotes the per-engine cache to a
+process-level one: the three tables are *lock-striped* across shards
+(keyed by the same content-addressed keys, so a key always lands on the
+same shard), and a *snapshot-interning* table maps structurally equal
+snapshots from different sessions onto one canonical root — making the
+id-keyed window keys, the per-snapshot :class:`~repro.engine.index.
+SnapshotIndex` (with its ``enum_memo``), and therefore every memoized
+execution shareable across concurrent sessions over the same site.
+Engines join through :meth:`SharedExecutionCache.session`, which hands
+out a :class:`SharedCacheSession` view with per-session counters (so
+interleaved sessions never steal each other's telemetry) and a
+cross-session hit count.  :func:`process_cache` holds the process-wide
+instance behind ``SynthesisConfig.shared_cache`` /
+``REPRO_SHARED_CACHE=1``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import itertools
+import os
+import threading
+from dataclasses import dataclass, fields
+from typing import Optional, Sequence
 
+from repro.dom.node import DOMNode
 from repro.semantics.env import Env
 
 
@@ -44,7 +65,12 @@ class CacheCounters:
 
     ``hits = exact_hits + prefix_hits + consistency_hits`` — the first
     two are execution lookups, the third is the consistency-check memo
-    that rides the same cache.
+    that rides the same cache.  ``cross_session_hits`` counts hits whose
+    entry was recorded by a *different* session of a shared cache (it is
+    always 0 for a private cache).  Counter objects are merged, not
+    shared: each validation worker records into its own instance and the
+    scheduler folds them together at join (:meth:`merge`), so the totals
+    stay exact under concurrent validation.
     """
 
     hits: int = 0
@@ -53,12 +79,18 @@ class CacheCounters:
     exact_hits: int = 0
     prefix_hits: int = 0
     consistency_hits: int = 0
+    cross_session_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
         """Hits over all lookups (0.0 when the cache was never consulted)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def merge(self, other: "CacheCounters") -> None:
+        """Fold another counter set into this one (per-worker join)."""
+        for field in fields(CacheCounters):
+            setattr(self, field.name, getattr(self, field.name) + getattr(other, field.name))
 
 
 class _Entry:
@@ -68,10 +100,12 @@ class _Entry:
     no environment binding after its last emitted action, so the
     outcome also stands in for a run whose budget *equals* the action
     count (such a run halts right after that action and can never bind
-    again).
+    again).  ``owner`` is the session token that recorded the entry
+    (0 for private caches) — hits from other sessions count as
+    cross-session reuse.
     """
 
-    __slots__ = ("actions", "env", "examined", "pins", "exact_budget_ok")
+    __slots__ = ("actions", "env", "examined", "pins", "exact_budget_ok", "owner")
 
     def __init__(
         self,
@@ -80,12 +114,45 @@ class _Entry:
         examined: Optional[tuple[int, ...]],
         pins: tuple,
         exact_budget_ok: bool = False,
+        owner: int = 0,
     ) -> None:
         self.actions = actions
         self.env = env
         self.examined = examined
         self.pins = pins
         self.exact_budget_ok = exact_budget_ok
+        self.owner = owner
+
+
+#: Fixed per-entry overhead estimate: the ``_Entry`` object, its dict
+#: slot, and the key tuple's skeleton.
+_ENTRY_OVERHEAD = 200
+#: Approximate bytes per element of the variable-length parts (an action
+#: object share, a pinned reference, a key id).
+_PER_ITEM = 56
+
+
+def _entry_bytes(key: tuple, entry: _Entry) -> int:
+    """Deterministic size estimate of one execution entry (bytes)."""
+    size = _ENTRY_OVERHEAD + _PER_ITEM * len(entry.actions) + 8 * len(entry.pins)
+    if entry.examined is not None:
+        size += 8 * len(entry.examined)
+    for part in key:
+        if type(part) is tuple:
+            size += 8 * len(part)
+    return size
+
+
+def _consistency_bytes(key: tuple, value: tuple) -> int:
+    """Deterministic size estimate of one consistency-memo entry."""
+    size = _ENTRY_OVERHEAD
+    for part in key:
+        if type(part) is tuple:
+            size += 8 * len(part)
+    for pin in value[1]:
+        if type(pin) is tuple:
+            size += 8 * len(pin)
+    return size
 
 
 class ExecutionCache:
@@ -95,6 +162,16 @@ class ExecutionCache:
     ``(statements key, env key, data key)``.  ``window_ids`` is the
     window's snapshots by ``id``; ``budget`` the effective action budget
     (already clamped to the window length by the engine).
+
+    Lookups and inserts accept an optional per-caller ``counters`` —
+    validation workers and session views pass their own — and a
+    ``session`` token identifying the caller of a shared cache.  The
+    cache's own :attr:`counters` *always* record (they are the
+    shard-level aggregate); a passed recorder records additionally, so
+    per-session and global telemetry stay reconciled.  A *plain*
+    ``ExecutionCache`` is single-threaded by design — concurrent access
+    must go through :class:`SharedExecutionCache`, whose shards wrap
+    each instance in a lock.
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
@@ -105,6 +182,10 @@ class ExecutionCache:
         # evict something hot; below half capacity a hit is left in place
         self._touch_floor = max(1, max_entries // 2)
         self.counters = CacheCounters()
+        #: Approximate bytes held by all three tables (entries + pins
+        #: they uniquely carry; interned snapshots are accounted by the
+        #: shared cache, which owns them).
+        self.approx_bytes = 0
         # dicts preserve insertion order: pop + reinsert makes them LRUs
         self._exact: dict[tuple, _Entry] = {}
         self._terminal: dict[tuple, _Entry] = {}
@@ -115,16 +196,26 @@ class ExecutionCache:
 
     # ------------------------------------------------------------------
     def get(
-        self, base: tuple, window_ids: tuple[int, ...], budget: int
+        self,
+        base: tuple,
+        window_ids: tuple[int, ...],
+        budget: int,
+        counters: Optional[CacheCounters] = None,
+        session: int = 0,
     ) -> Optional[tuple[tuple, Env]]:
         """The memoized ``(actions, final env)``, or ``None`` on a miss."""
+        recorders = self._recorders(counters)
         exact_key = (base, window_ids, budget)
         entry = self._exact.get(exact_key)
         if entry is not None:
             if len(self._exact) >= self._touch_floor:
                 self._touch(self._exact, exact_key)
-            self.counters.hits += 1
-            self.counters.exact_hits += 1
+            cross = entry.owner and entry.owner != session
+            for recorder in recorders:
+                recorder.hits += 1
+                recorder.exact_hits += 1
+                if cross:
+                    recorder.cross_session_hits += 1
             return entry.actions, entry.env
         terminal_key = (base, window_ids[0])
         entry = self._terminal.get(terminal_key)
@@ -143,10 +234,15 @@ class ExecutionCache:
         ):
             if len(self._terminal) >= self._touch_floor:
                 self._touch(self._terminal, terminal_key)
-            self.counters.hits += 1
-            self.counters.prefix_hits += 1
+            cross = entry.owner and entry.owner != session
+            for recorder in recorders:
+                recorder.hits += 1
+                recorder.prefix_hits += 1
+                if cross:
+                    recorder.cross_session_hits += 1
             return entry.actions, entry.env
-        self.counters.misses += 1
+        for recorder in recorders:
+            recorder.misses += 1
         return None
 
     def put(
@@ -158,6 +254,8 @@ class ExecutionCache:
         env: Env,
         pins: tuple,
         exact_budget_ok: bool = False,
+        counters: Optional[CacheCounters] = None,
+        session: int = 0,
     ) -> None:
         """Record one execution outcome in both applicable tables.
 
@@ -166,7 +264,13 @@ class ExecutionCache:
         which sees the evaluator's ``env_at_last_action``, can vouch for
         it, so it defaults to the conservative ``False``.
         """
-        self._insert(self._exact, (base, window_ids, budget), _Entry(actions, env, None, pins))
+        recorders = self._recorders(counters)
+        self._insert(
+            self._exact,
+            (base, window_ids, budget),
+            _Entry(actions, env, None, pins, owner=session),
+            recorders,
+        )
         count = len(actions)
         if count < len(window_ids) and count < budget:
             # terminated on its own terms: reusable on any extension of
@@ -175,38 +279,423 @@ class ExecutionCache:
             self._insert(
                 self._terminal,
                 (base, window_ids[0]),
-                _Entry(actions, env, examined, pins, exact_budget_ok),
+                _Entry(actions, env, examined, pins, exact_budget_ok, owner=session),
+                recorders,
             )
 
     # ------------------------------------------------------------------
-    def get_consistency(self, key: tuple) -> Optional[int]:
+    def get_consistency(
+        self,
+        key: tuple,
+        counters: Optional[CacheCounters] = None,
+        session: int = 0,
+    ) -> Optional[int]:
         """Memoized ``consistent_prefix_length`` result, or ``None``."""
+        recorders = self._recorders(counters)
         hit = self._consistency.get(key)
         if hit is None:
-            self.counters.misses += 1
+            for recorder in recorders:
+                recorder.misses += 1
             return None
         if len(self._consistency) >= self._touch_floor:
             self._touch(self._consistency, key)
-        self.counters.hits += 1
-        self.counters.consistency_hits += 1
+        owner = hit[2]
+        cross = owner and owner != session
+        for recorder in recorders:
+            recorder.hits += 1
+            recorder.consistency_hits += 1
+            if cross:
+                recorder.cross_session_hits += 1
         return hit[0]
 
-    def put_consistency(self, key: tuple, value: int, pins: tuple) -> None:
+    def put_consistency(
+        self,
+        key: tuple,
+        value: int,
+        pins: tuple,
+        counters: Optional[CacheCounters] = None,
+        session: int = 0,
+    ) -> None:
         """Record one consistency-check outcome."""
-        self._insert_value(self._consistency, key, (value, pins))
+        self._insert_value(
+            self._consistency, key, (value, pins, session), self._recorders(counters)
+        )
 
     # ------------------------------------------------------------------
+    def _recorders(self, counters: Optional[CacheCounters]) -> tuple:
+        """The cache's own counters, plus the caller's when distinct."""
+        if counters is None or counters is self.counters:
+            return (self.counters,)
+        return (self.counters, counters)
+
     @staticmethod
     def _touch(table: dict, key: tuple) -> None:
         table[key] = table.pop(key)
 
-    def _insert(self, table: dict, key: tuple, entry: _Entry) -> None:
-        self._insert_value(table, key, entry)
+    def _insert(
+        self, table: dict, key: tuple, entry: _Entry, recorders: tuple
+    ) -> None:
+        self._insert_value(table, key, entry, recorders)
 
-    def _insert_value(self, table: dict, key: tuple, value) -> None:
+    def _insert_value(
+        self, table: dict, key: tuple, value, recorders: Optional[tuple] = None
+    ) -> None:
+        if recorders is None:
+            recorders = (self.counters,)
         if key in table:
-            del table[key]
+            self.approx_bytes -= self._value_bytes(key, table.pop(key))
         elif len(table) >= self.max_entries:
-            table.pop(next(iter(table)))
-            self.counters.evictions += 1
+            old_key = next(iter(table))
+            self.approx_bytes -= self._value_bytes(old_key, table.pop(old_key))
+            for recorder in recorders:
+                recorder.evictions += 1
         table[key] = value
+        self.approx_bytes += self._value_bytes(key, value)
+
+    @staticmethod
+    def _value_bytes(key: tuple, value) -> int:
+        if isinstance(value, _Entry):
+            return _entry_bytes(key, value)
+        return _consistency_bytes(key, value)
+
+
+# ----------------------------------------------------------------------
+# Process-level shared cache
+# ----------------------------------------------------------------------
+
+#: Approximate bytes per interned DOM node: the node object, its attrs
+#: dict, text, child list slot, and its share of the snapshot's index
+#: buckets (snapshots pinned by entries dominate the cache's footprint,
+#: so this coarse figure is what the eviction telemetry reports on).
+_NODE_BYTES = 320
+
+
+def _freeze_json(value) -> tuple:
+    """A hashable, exact canonical form of a JSON-like value."""
+    if isinstance(value, dict):
+        return ("d", tuple((key, _freeze_json(item)) for key, item in sorted(value.items())))
+    if isinstance(value, list):
+        return ("l", tuple(_freeze_json(item) for item in value))
+    return ("v", value)
+
+_session_tokens = itertools.count(1)
+
+
+class _Shard:
+    """One lock-striped slice of a shared cache."""
+
+    __slots__ = ("lock", "cache")
+
+    def __init__(self, max_entries: int) -> None:
+        self.lock = threading.Lock()
+        self.cache = ExecutionCache(max_entries)
+
+
+class SharedExecutionCache:
+    """A process-level execution cache shared by concurrent sessions.
+
+    The three memo tables are striped over ``shards`` independent
+    :class:`ExecutionCache` instances, each behind its own lock; a key
+    always hashes to the same shard, so the per-table LRU discipline and
+    byte accounting carry over per shard.  Content-addressed keys
+    (alpha-canonical statements, env fingerprints, snapshot ids) make
+    entries session-agnostic — the only per-session piece is telemetry,
+    which lives on the :class:`SharedCacheSession` views handed out by
+    :meth:`session`.
+
+    Snapshot interning
+        :meth:`intern_snapshots` maps structurally equal snapshot roots
+        onto one canonical root per structure, so sessions recording the
+        same site share ``SnapshotIndex`` instances (with their
+        ``enum_memo``) and, through the now-identical window id-keys,
+        each other's execution entries.  The interning table is an exact
+        map keyed by :meth:`repro.dom.node.DOMNode.structural_key` (no
+        fingerprint collisions possible) and a bounded LRU: evicting a
+        canonical root only forfeits future sharing — entries that pinned
+        it keep replaying correctly.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 65536,
+        shards: int = 8,
+        max_snapshots: int = 512,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        per_shard = max(1, max_entries // shards)
+        self._shards = tuple(_Shard(per_shard) for _ in range(shards))
+        self.max_snapshots = max_snapshots
+        self._intern_lock = threading.Lock()
+        # structural key -> canonical root (insertion-ordered: an LRU)
+        self._canonical: dict[tuple, DOMNode] = {}
+        # id(root) -> (root pinned so its id stays valid, canonical);
+        # bounded separately — a fast path around re-keying structures
+        self._known: dict[int, tuple[DOMNode, DOMNode]] = {}
+        self._known_limit = max(64, 8 * max_snapshots)
+        self._node_counts: dict[tuple, int] = {}
+        # data-source interning (same discipline as snapshots): frozen
+        # JSON value -> canonical DataSource, plus an id fast path
+        self._data_canonical: dict[tuple, object] = {}
+        self._data_known: dict[int, tuple] = {}
+        #: Approximate bytes held by the interned (canonical) snapshots.
+        self.interned_bytes = 0
+        #: Interning calls answered with an *already canonical* root
+        #: recorded by some other snapshot object — cross-session reuse.
+        self.intern_hits = 0
+        #: Canonical snapshots dropped by the interning LRU.
+        self.snapshot_evictions = 0
+
+    # ------------------------------------------------------------------
+    def session(self) -> "SharedCacheSession":
+        """A per-session view with its own counters and session token."""
+        return SharedCacheSession(self, next(_session_tokens))
+
+    def _shard_for(self, key: tuple) -> _Shard:
+        return self._shards[hash(key) % len(self._shards)]
+
+    # ------------------------------------------------------------------
+    # Aggregate telemetry
+    # ------------------------------------------------------------------
+    def counters(self) -> CacheCounters:
+        """Global shard-level counters merged into one snapshot."""
+        merged = CacheCounters()
+        for shard in self._shards:
+            with shard.lock:
+                merged.merge(shard.cache.counters)
+        return merged
+
+    @property
+    def approx_bytes(self) -> int:
+        """Approximate bytes held by all shards' tables."""
+        return sum(shard.cache.approx_bytes for shard in self._shards)
+
+    @property
+    def interned_snapshots(self) -> int:
+        """Number of canonical snapshots currently interned."""
+        return len(self._canonical)
+
+    def __len__(self) -> int:
+        return sum(len(shard.cache) for shard in self._shards)
+
+    def clear(self) -> None:
+        """Drop every entry and interned snapshot (telemetry included)."""
+        for shard in self._shards:
+            with shard.lock:
+                fresh = ExecutionCache(shard.cache.max_entries)
+                shard.cache = fresh
+        with self._intern_lock:
+            self._canonical.clear()
+            self._known.clear()
+            self._node_counts.clear()
+            self._data_canonical.clear()
+            self._data_known.clear()
+            self.interned_bytes = 0
+            self.intern_hits = 0
+            self.snapshot_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Snapshot interning
+    # ------------------------------------------------------------------
+    def intern_snapshot(self, root: DOMNode) -> DOMNode:
+        """The canonical root structurally equal to ``root``.
+
+        The first caller's root becomes canonical; later structurally
+        equal roots — typically other sessions recording the same site —
+        are mapped onto it.  Unfrozen snapshots are returned unchanged
+        (they may still mutate, so sharing would be unsound).
+        """
+        if not root.frozen:
+            return root
+        known = self._known.get(id(root))
+        if known is not None and known[0] is root:
+            return known[1]
+        key = root.structural_key()  # pure; computed outside the lock
+        with self._intern_lock:
+            canonical = self._canonical.get(key)
+            if canonical is None:
+                if len(self._canonical) >= self.max_snapshots:
+                    old_key = next(iter(self._canonical))
+                    del self._canonical[old_key]
+                    self.interned_bytes -= _NODE_BYTES * self._node_counts.pop(old_key, 0)
+                    self.snapshot_evictions += 1
+                canonical = root
+                self._canonical[key] = canonical
+                nodes = sum(1 for _ in root.iter_subtree())
+                self._node_counts[key] = nodes
+                self.interned_bytes += _NODE_BYTES * nodes
+            else:
+                self._canonical[key] = self._canonical.pop(key)  # LRU touch
+                if canonical is not root:
+                    self.intern_hits += 1
+            if len(self._known) >= self._known_limit:
+                del self._known[next(iter(self._known))]
+            self._known[id(root)] = (root, canonical)
+        return canonical
+
+    def intern_snapshots(self, snapshots: Sequence[DOMNode]) -> list[DOMNode]:
+        """Intern a whole recorded DOM trace (one canonical root each)."""
+        return [self.intern_snapshot(root) for root in snapshots]
+
+    # ------------------------------------------------------------------
+    # Data-source interning
+    # ------------------------------------------------------------------
+    def intern_data(self, source):
+        """The canonical :class:`~repro.lang.data.DataSource` equal to ``source``.
+
+        Execution keys address the data source by ``id``, so two
+        sessions that each loaded the same JSON would never share
+        entries; interning by the frozen value restores content
+        addressing.  (The consistency memo stays id-keyed on *actions*
+        and only shares between sessions that share recording objects —
+        execution sharing, the expensive part, does not depend on it.)
+        """
+        known = self._data_known.get(id(source))
+        if known is not None and known[0] is source:
+            return known[1]
+        key = _freeze_json(source.value)  # pure; computed outside the lock
+        with self._intern_lock:
+            canonical = self._data_canonical.get(key)
+            if canonical is None:
+                if len(self._data_canonical) >= self.max_snapshots:
+                    del self._data_canonical[next(iter(self._data_canonical))]
+                canonical = source
+                self._data_canonical[key] = canonical
+            if len(self._data_known) >= self._known_limit:
+                del self._data_known[next(iter(self._data_known))]
+            self._data_known[id(source)] = (source, canonical)
+        return canonical
+
+
+class SharedCacheSession:
+    """One session's view of a :class:`SharedExecutionCache`.
+
+    Implements the same lookup surface as :class:`ExecutionCache` (the
+    engine cannot tell them apart) but routes every call through the
+    owning shard's lock and records telemetry into this session's
+    :attr:`counters` — or into an explicitly passed per-worker counter
+    set, which the validation scheduler merges back at join.
+    """
+
+    __slots__ = ("_shared", "_token", "counters")
+
+    def __init__(self, shared: SharedExecutionCache, token: int) -> None:
+        self._shared = shared
+        self._token = token
+        self.counters = CacheCounters()
+
+    @property
+    def shared(self) -> SharedExecutionCache:
+        """The process-level cache behind this view."""
+        return self._shared
+
+    def __len__(self) -> int:
+        return len(self._shared)
+
+    @property
+    def approx_bytes(self) -> int:
+        """Approximate bytes of the shared tables (all sessions)."""
+        return self._shared.approx_bytes
+
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        base: tuple,
+        window_ids: tuple[int, ...],
+        budget: int,
+        counters: Optional[CacheCounters] = None,
+    ) -> Optional[tuple[tuple, Env]]:
+        shard = self._shared._shard_for(base)
+        with shard.lock:
+            return shard.cache.get(
+                base,
+                window_ids,
+                budget,
+                counters=self.counters if counters is None else counters,
+                session=self._token,
+            )
+
+    def put(
+        self,
+        base: tuple,
+        window_ids: tuple[int, ...],
+        budget: int,
+        actions: tuple,
+        env: Env,
+        pins: tuple,
+        exact_budget_ok: bool = False,
+        counters: Optional[CacheCounters] = None,
+    ) -> None:
+        shard = self._shared._shard_for(base)
+        with shard.lock:
+            shard.cache.put(
+                base,
+                window_ids,
+                budget,
+                actions,
+                env,
+                pins,
+                exact_budget_ok,
+                counters=self.counters if counters is None else counters,
+                session=self._token,
+            )
+
+    def get_consistency(
+        self, key: tuple, counters: Optional[CacheCounters] = None
+    ) -> Optional[int]:
+        shard = self._shared._shard_for(key)
+        with shard.lock:
+            return shard.cache.get_consistency(
+                key,
+                counters=self.counters if counters is None else counters,
+                session=self._token,
+            )
+
+    def put_consistency(
+        self,
+        key: tuple,
+        value: int,
+        pins: tuple,
+        counters: Optional[CacheCounters] = None,
+    ) -> None:
+        shard = self._shared._shard_for(key)
+        with shard.lock:
+            shard.cache.put_consistency(
+                key,
+                value,
+                pins,
+                counters=self.counters if counters is None else counters,
+                session=self._token,
+            )
+
+
+# ----------------------------------------------------------------------
+# The process-wide instance
+# ----------------------------------------------------------------------
+_PROCESS_CACHE: Optional[SharedExecutionCache] = None
+_PROCESS_LOCK = threading.Lock()
+
+
+def process_cache() -> SharedExecutionCache:
+    """The lazily created process-wide :class:`SharedExecutionCache`.
+
+    Sized by ``REPRO_SHARED_CACHE_ENTRIES`` (default 65536 across all
+    shards), ``REPRO_CACHE_SHARDS`` (default 8), and
+    ``REPRO_SHARED_CACHE_SNAPSHOTS`` (default 512 interned snapshots).
+    """
+    global _PROCESS_CACHE
+    with _PROCESS_LOCK:
+        if _PROCESS_CACHE is None:
+            _PROCESS_CACHE = SharedExecutionCache(
+                max_entries=int(os.environ.get("REPRO_SHARED_CACHE_ENTRIES", "65536")),
+                shards=int(os.environ.get("REPRO_CACHE_SHARDS", "8")),
+                max_snapshots=int(os.environ.get("REPRO_SHARED_CACHE_SNAPSHOTS", "512")),
+            )
+        return _PROCESS_CACHE
+
+
+def reset_process_cache() -> None:
+    """Drop the process-wide cache (benchmark/test isolation)."""
+    global _PROCESS_CACHE
+    with _PROCESS_LOCK:
+        _PROCESS_CACHE = None

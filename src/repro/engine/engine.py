@@ -13,9 +13,13 @@ directly, which buys three things:
   calls — are computed once (see :mod:`repro.engine.cache`).
 * **Indexing.**  Engine-resolved selectors ride the per-snapshot DOM
   indexes of :mod:`repro.engine.index`.
-* **A concurrency seam.**  The engine is the single place where
-  sharded or cross-session execution sharing can later be introduced
-  without touching the synthesis algorithms again.
+* **Concurrency.**  The engine is where execution sharing happens:
+  backed by a :class:`~repro.engine.cache.SharedExecutionCache` it
+  joins the process-level cache as one session, and its per-thread
+  *worker counters* (:meth:`worker_counters` / :meth:`absorb_counters`)
+  let the validation scheduler run candidates on a thread pool while
+  keeping telemetry exact — workers record into private counter sets
+  that are merged at join, never incremented in place across threads.
 
 A cached :meth:`execute` replays the actions and remaining-window shape
 of the first structurally equivalent execution.  Statement keys are
@@ -23,17 +27,34 @@ alpha-canonical, so the returned environment's *loop-variable names* may
 come from that first execution; the bindings' values, the action trace,
 and the consumed-snapshot count — everything the synthesizer consumes —
 are identical for alpha-equivalent programs.
+
+Thread-safety contract: ``execute`` and ``consistent_prefix_length`` are
+safe to call from validation workers *when the engine is backed by a
+shared (lock-striped) cache* — the remaining engine-level memos
+(canonical statements, lazily filled snapshot-index layers) are
+id-keyed, idempotent writes of deterministic values, so a lost race
+recomputes but never corrupts.  A plain private ``ExecutionCache`` is
+single-threaded; :meth:`for_config` picks the right backing
+automatically from the config's ``validation_workers`` /
+``shared_cache`` knobs.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 from repro.dom.node import DOMNode
 from repro.dom.xpath import ConcreteSelector, resolve as _resolve
 from repro.engine import index as dom_index
-from repro.engine.cache import CacheCounters, ExecutionCache
+from repro.engine.cache import (
+    CacheCounters,
+    ExecutionCache,
+    SharedCacheSession,
+    SharedExecutionCache,
+)
 from repro.lang.actions import Action
 from repro.lang.ast import Program, Statement, canonical_statement
 from repro.lang.data import DataSource
@@ -55,12 +76,19 @@ class EngineCounters:
 
     ``hits == exact_hits + prefix_hits + consistency_hits`` — the full
     breakdown is carried so downstream telemetry can reconcile the
-    aggregate.  ``index_builds`` counts process-wide snapshot-index
-    constructions (indexes live on snapshots, not engines); for
-    attributing builds to one caller use
+    aggregate.  ``cross_session_hits`` counts hits served from entries
+    another session of a shared cache recorded.  ``index_builds`` counts
+    process-wide snapshot-index constructions (indexes live on
+    snapshots, not engines); for attributing builds to one caller use
     :func:`repro.engine.index.track_builds`, which the synthesizer
     wraps around each call — raw deltas of this field misattribute
     builds when two sessions interleave in one process.
+
+    The last three fields are *gauges*, not counters: ``cache_bytes``
+    is the approximate byte footprint of the backing cache's tables at
+    snapshot time, and ``interned_snapshots`` / ``interned_bytes``
+    describe the shared cache's snapshot-interning table (0 for private
+    caches).  Deltas of gauges are meaningless — report them as-is.
     """
 
     hits: int = 0
@@ -69,7 +97,11 @@ class EngineCounters:
     exact_hits: int = 0
     prefix_hits: int = 0
     consistency_hits: int = 0
+    cross_session_hits: int = 0
     index_builds: int = 0
+    cache_bytes: int = 0
+    interned_snapshots: int = 0
+    interned_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -87,24 +119,62 @@ class ExecutionEngine:
         *,
         cache_size: int = 4096,
         use_cache: bool = True,
+        shared_cache: Optional[SharedExecutionCache] = None,
     ) -> None:
         self.data = data
-        self._cache = ExecutionCache(cache_size) if use_cache and cache_size > 0 else None
+        if not use_cache or cache_size <= 0:
+            self._cache = None
+        elif shared_cache is not None:
+            # one session view per engine: shared tables, private counters
+            self._cache = shared_cache.session()
+        else:
+            self._cache = ExecutionCache(cache_size)
+        # per-thread counter override installed by validation workers
+        self._worker_tls = threading.local()
         # canonical-statement memo: statement objects are shared between
         # tuples and their rewrites, so id-keyed lookup hits constantly;
-        # the pin list keeps referenced statements alive.
+        # the pin list keeps referenced statements alive.  Writes (and
+        # the occasional flush) are lock-guarded so the "memoized ⇒
+        # pinned" invariant holds under concurrent validation workers.
         self._canon: dict[int, tuple] = {}
         self._canon_pins: list[Statement] = []
+        self._canon_lock = threading.Lock()
 
     @classmethod
     def for_config(
         cls, data: Optional[DataSource], config: "SynthesisConfig"
     ) -> "ExecutionEngine":
-        """An engine honouring the config's cache knobs."""
+        """An engine honouring the config's cache and concurrency knobs.
+
+        With ``shared_cache`` resolved on, the engine joins the
+        process-level cache (:func:`repro.engine.cache.process_cache`).
+        Otherwise, with ``validation_workers`` resolved > 0, it gets a
+        *private* sharded cache — same tables, but lock-striped so the
+        pool scheduler's workers can share it safely.  The default is
+        the plain single-threaded :class:`ExecutionCache`, byte-exact
+        with the pre-concurrency engine.
+        """
+        from repro.engine.cache import process_cache
+        from repro.synth.config import resolved_shared_cache, resolved_validation_workers
+
+        shared: Optional[SharedExecutionCache] = None
+        if config.use_execution_cache and config.max_cache_entries > 0:
+            if resolved_shared_cache(config):
+                shared = process_cache()
+                if data is not None:
+                    # execution keys address the source by id; interning
+                    # maps equal-content sources onto one object so
+                    # sessions that each loaded the same data still share
+                    data = shared.intern_data(data)
+            elif resolved_validation_workers(config) > 0:
+                shared = SharedExecutionCache(
+                    max_entries=config.max_cache_entries, shards=4
+                )
         return cls(
             data,
             cache_size=config.max_cache_entries,
             use_cache=config.use_execution_cache,
+            shared_cache=shared,
         )
 
     @property
@@ -112,9 +182,17 @@ class ExecutionEngine:
         """Whether execution memoization is active."""
         return self._cache is not None
 
+    @property
+    def shared_cache(self) -> Optional[SharedExecutionCache]:
+        """The shared cache behind this engine, if it is backed by one."""
+        if isinstance(self._cache, SharedCacheSession):
+            return self._cache.shared
+        return None
+
     def counters(self) -> EngineCounters:
         """Current telemetry (cache counters + global index builds)."""
         cache = self._cache.counters if self._cache is not None else CacheCounters()
+        shared = self.shared_cache
         return EngineCounters(
             hits=cache.hits,
             misses=cache.misses,
@@ -122,8 +200,41 @@ class ExecutionEngine:
             exact_hits=cache.exact_hits,
             prefix_hits=cache.prefix_hits,
             consistency_hits=cache.consistency_hits,
+            cross_session_hits=cache.cross_session_hits,
             index_builds=dom_index.build_count(),
+            cache_bytes=self._cache.approx_bytes if self._cache is not None else 0,
+            interned_snapshots=shared.interned_snapshots if shared is not None else 0,
+            interned_bytes=shared.interned_bytes if shared is not None else 0,
         )
+
+    # ------------------------------------------------------------------
+    # Worker-scoped counters (merge-based accumulation under pools)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def worker_counters(self) -> Iterator[CacheCounters]:
+        """Record this thread's cache telemetry into a private counter set.
+
+        The validation scheduler wraps each worker task in this scope and
+        merges the yielded counters back on the coordinating thread
+        (:meth:`absorb_counters`) once the task is joined — in-place
+        increments on a shared counter object from several threads would
+        under-count (the read/add/write is not atomic), merging cannot.
+        """
+        counters = CacheCounters()
+        previous = getattr(self._worker_tls, "counters", None)
+        self._worker_tls.counters = counters
+        try:
+            yield counters
+        finally:
+            self._worker_tls.counters = previous
+
+    def absorb_counters(self, counters: CacheCounters) -> None:
+        """Fold one worker's counters into the session totals (at join)."""
+        if self._cache is not None:
+            self._cache.counters.merge(counters)
+
+    def _active_counters(self) -> Optional[CacheCounters]:
+        return getattr(self._worker_tls, "counters", None)
 
     # ------------------------------------------------------------------
     # Simulated execution
@@ -153,7 +264,8 @@ class ExecutionEngine:
         statements = tuple(program)
         base = (self._statements_key(statements), _env_key(env), id(source))
         window_ids = doms.id_key()
-        hit = self._cache.get(base, window_ids, budget)
+        counters = self._active_counters()
+        hit = self._cache.get(base, window_ids, budget, counters=counters)
         if hit is not None:
             actions, final_env = hit
             return EvalResult(list(actions), doms.window(len(actions)), final_env)
@@ -166,6 +278,7 @@ class ExecutionEngine:
             result.env,
             pins=(source, doms.pin_key()),
             exact_budget_ok=result.env_at_last_action is result.env,
+            counters=counters,
         )
         return result
 
@@ -192,12 +305,16 @@ class ExecutionEngine:
             tuple(map(id, reference)),
             doms.id_key(),
         )
-        hit = self._cache.get_consistency(key)
+        counters = self._active_counters()
+        hit = self._cache.get_consistency(key, counters=counters)
         if hit is not None:
             return hit
         value = _consistent_prefix_length(produced, reference, doms)
         self._cache.put_consistency(
-            key, value, pins=(tuple(produced), tuple(reference), doms.pin_key())
+            key,
+            value,
+            pins=(tuple(produced), tuple(reference), doms.pin_key()),
+            counters=counters,
         )
         return value
 
@@ -223,15 +340,23 @@ class ExecutionEngine:
 
         Statement objects are shared between worklist tuples and their
         rewrites, so identity-keyed lookups hit constantly; referents
-        are pinned so their ids stay valid while memoized.
+        are pinned so their ids stay valid while memoized.  The hot
+        lookup is lockless; the write side (including the occasional
+        flush) takes a lock so a flush can never separate an entry from
+        its pin — an unpinned entry whose statement got collected would
+        let a recycled id alias another statement's key.  Concurrent
+        cold misses both compute the same canonical form, so the double
+        insert is idempotent.
         """
         key = self._canon.get(id(stmt))
         if key is None:
-            if len(self._canon) >= self._CANON_LIMIT:
-                self._canon.clear()
-                self._canon_pins.clear()
-            key = self._canon[id(stmt)] = canonical_statement(stmt)
-            self._canon_pins.append(stmt)
+            key = canonical_statement(stmt)  # pure; computed unlocked
+            with self._canon_lock:
+                if len(self._canon) >= self._CANON_LIMIT:
+                    self._canon.clear()
+                    self._canon_pins.clear()
+                self._canon[id(stmt)] = key
+                self._canon_pins.append(stmt)
         return key
 
 

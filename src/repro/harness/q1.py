@@ -116,6 +116,7 @@ class BenchmarkResult:
     cache_exact_hits: int = 0
     cache_prefix_hits: int = 0
     cache_consistency_hits: int = 0
+    cache_cross_session_hits: int = 0
     index_builds: int = 0
     enum_indexed: int = 0
     enum_fallback: int = 0
@@ -152,39 +153,44 @@ def evaluate_benchmark(
         family=benchmark.family,
         expected_supported=benchmark.expected_supported,
     )
-    synthesizer = Synthesizer(benchmark.data, config)
     final_program: Optional[Program] = None
-    for k in range(1, tests + 1):
-        actions, snapshots = recording.prefix(k)
-        started = time.perf_counter()
-        synthesis = synthesizer.synthesize(actions, snapshots, timeout=per_test_timeout)
-        elapsed = time.perf_counter() - started
-        result.tests += 1
-        result.timed_out_tests += synthesis.stats.timed_out
-        result.cache_hits += synthesis.stats.cache_hits
-        result.cache_misses += synthesis.stats.cache_misses
-        result.cache_exact_hits += synthesis.stats.cache_exact_hits
-        result.cache_prefix_hits += synthesis.stats.cache_prefix_hits
-        result.cache_consistency_hits += synthesis.stats.cache_consistency_hits
-        result.index_builds += synthesis.stats.index_builds
-        result.enum_indexed += synthesis.stats.enum_indexed
-        result.enum_fallback += synthesis.stats.enum_fallback
-        result.max_programs = max(result.max_programs, len(synthesis.programs))
-        result.max_predictions = max(result.max_predictions, len(synthesis.predictions))
-        expected = recording.actions[k]
-        dom = recording.snapshots[k]
-        if synthesis.predictions:
-            result.prediction_times.append(elapsed)
-            if actions_consistent(synthesis.predictions[0], expected, dom):
-                result.correct_top1 += 1
-            if any(
-                actions_consistent(option, expected, dom)
-                for option in synthesis.predictions
-            ):
-                result.correct += 1
-        if synthesis.best_program is not None:
-            final_program = synthesis.best_program
-            result.final_programs_count = len(synthesis.programs)
+    with Synthesizer(benchmark.data, config) as synthesizer:
+        for k in range(1, tests + 1):
+            actions, snapshots = recording.prefix(k)
+            started = time.perf_counter()
+            synthesis = synthesizer.synthesize(
+                actions, snapshots, timeout=per_test_timeout
+            )
+            elapsed = time.perf_counter() - started
+            result.tests += 1
+            result.timed_out_tests += synthesis.stats.timed_out
+            result.cache_hits += synthesis.stats.cache_hits
+            result.cache_misses += synthesis.stats.cache_misses
+            result.cache_exact_hits += synthesis.stats.cache_exact_hits
+            result.cache_prefix_hits += synthesis.stats.cache_prefix_hits
+            result.cache_consistency_hits += synthesis.stats.cache_consistency_hits
+            result.cache_cross_session_hits += synthesis.stats.cache_cross_session_hits
+            result.index_builds += synthesis.stats.index_builds
+            result.enum_indexed += synthesis.stats.enum_indexed
+            result.enum_fallback += synthesis.stats.enum_fallback
+            result.max_programs = max(result.max_programs, len(synthesis.programs))
+            result.max_predictions = max(
+                result.max_predictions, len(synthesis.predictions)
+            )
+            expected = recording.actions[k]
+            dom = recording.snapshots[k]
+            if synthesis.predictions:
+                result.prediction_times.append(elapsed)
+                if actions_consistent(synthesis.predictions[0], expected, dom):
+                    result.correct_top1 += 1
+                if any(
+                    actions_consistent(option, expected, dom)
+                    for option in synthesis.predictions
+                ):
+                    result.correct += 1
+            if synthesis.best_program is not None:
+                final_program = synthesis.best_program
+                result.final_programs_count = len(synthesis.programs)
     result.final_program = final_program
     result.intended = _is_intended(benchmark, final_program, recording)
     return result
@@ -304,6 +310,12 @@ class Q1Report:
                 f"{consistency} consistency / {misses} misses; "
                 f"{sum(r.index_builds for r in results)} DOM indexes built)"
             )
+            cross = sum(result.cache_cross_session_hits for result in results)
+            if cross:
+                lines.append(
+                    f"  cross-session cache hits (shared cache): {cross} "
+                    f"= {fmt_pct(cross / hits)} of all hits"
+                )
         indexed = sum(result.enum_indexed for result in results)
         fallback = sum(result.enum_fallback for result in results)
         if indexed or fallback:

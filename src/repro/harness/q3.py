@@ -89,7 +89,10 @@ def run_session(
         max_steps=4 * recording.length + 50,
         synth_timeout=q3_timeout(),
     )
-    return session.run()
+    try:
+        return session.run()
+    finally:
+        synthesizer.close()
 
 
 # ----------------------------------------------------------------------

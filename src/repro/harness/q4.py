@@ -122,19 +122,19 @@ def measure_webrobot(
     config = no_incremental_config()
     length = target_length if target_length is not None else recording.length - 1
     length = max(2, min(length, recording.length - 1))
-    synthesizer = Synthesizer(benchmark.data, config)
     actions, snapshots = recording.prefix(length)
     started = time.perf_counter()
-    result = synthesizer.synthesize(actions, snapshots)
+    with Synthesizer(benchmark.data, config) as synthesizer:
+        result = synthesizer.synthesize(actions, snapshots)
     elapsed = time.perf_counter() - started
     if _intended(benchmark, result.best_program, recording):
         measurement.shortest_length = length
         measurement.shortest_time = elapsed
     # full trace, one shot
-    synthesizer = Synthesizer(benchmark.data, config)
     actions, snapshots = recording.prefix(recording.length - 1)
     started = time.perf_counter()
-    full_result = synthesizer.synthesize(actions, snapshots)
+    with Synthesizer(benchmark.data, config) as synthesizer:
+        full_result = synthesizer.synthesize(actions, snapshots)
     measurement.full_time = time.perf_counter() - started
     measurement.full_timed_out = not _intended(
         benchmark, full_result.best_program, recording

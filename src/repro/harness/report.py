@@ -52,6 +52,16 @@ def fmt_pct(fraction: float) -> str:
     return f"{fraction * 100:.0f}%"
 
 
+def fmt_bytes(count: int) -> str:
+    """A byte count with a binary-unit suffix."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024 or unit == "GiB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
 def render_synthesis_stats(stats) -> str:
     """Engine/search telemetry of one ``synthesize`` call as a table.
 
@@ -63,14 +73,19 @@ def render_synthesis_stats(stats) -> str:
         ["worklist pops", stats.pops],
         ["speculated", stats.speculated],
         ["validated", stats.validated],
+        ["validation workers", stats.validation_workers or "serial"],
         ["store tuples", stats.tuples],
         ["exec cache hits", stats.cache_hits],
         ["  exact hits", stats.cache_exact_hits],
         ["  prefix hits", stats.cache_prefix_hits],
         ["  consistency hits", stats.cache_consistency_hits],
+        ["  cross-session hits", stats.cache_cross_session_hits],
         ["exec cache misses", stats.cache_misses],
         ["exec cache hit rate", fmt_pct(stats.cache_hit_rate)],
         ["exec cache evictions", stats.cache_evictions],
+        ["exec cache bytes", fmt_bytes(stats.cache_bytes)],
+        ["interned snapshots", stats.interned_snapshots],
+        ["interned bytes", fmt_bytes(stats.interned_bytes)],
         ["DOM index builds", stats.index_builds],
         ["indexed enumerations", stats.enum_indexed],
         ["fallback enumerations", stats.enum_fallback],

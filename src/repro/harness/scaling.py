@@ -37,7 +37,10 @@ class ScalingSeries:
     ``programs`` is only filled when the run collects them (see
     :func:`run_scaling`): one tuple of rendered programs per call, in
     rank order — what the byte-identity comparisons of the ablation
-    benches diff between variants.
+    benches diff between variants.  ``cross_session_hits`` accumulates
+    shared-cache reuse from other sessions in the same process;
+    ``cache_bytes`` is the backing cache's footprint gauge after the
+    final call.
     """
 
     name: str
@@ -45,6 +48,8 @@ class ScalingSeries:
     times: list[float] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    cross_session_hits: int = 0
+    cache_bytes: int = 0
     index_builds: int = 0
     enum_indexed: int = 0
     enum_fallback: int = 0
@@ -99,23 +104,25 @@ def run_scaling(
         ]
     series = []
     for name, config in variants:
-        synthesizer = Synthesizer(benchmark.data, config)
         current = ScalingSeries(name)
-        for cut in range(1, length + 1):
-            actions, snapshots = recording.prefix(cut)
-            started = time.perf_counter()
-            result = synthesizer.synthesize(actions, snapshots, timeout=timeout)
-            current.lengths.append(cut)
-            current.times.append(time.perf_counter() - started)
-            current.cache_hits += result.stats.cache_hits
-            current.cache_misses += result.stats.cache_misses
-            current.index_builds += result.stats.index_builds
-            current.enum_indexed += result.stats.enum_indexed
-            current.enum_fallback += result.stats.enum_fallback
-            if collect_programs:
-                current.programs.append(
-                    tuple(format_program(program) for program in result.programs)
-                )
+        with Synthesizer(benchmark.data, config) as synthesizer:
+            for cut in range(1, length + 1):
+                actions, snapshots = recording.prefix(cut)
+                started = time.perf_counter()
+                result = synthesizer.synthesize(actions, snapshots, timeout=timeout)
+                current.lengths.append(cut)
+                current.times.append(time.perf_counter() - started)
+                current.cache_hits += result.stats.cache_hits
+                current.cache_misses += result.stats.cache_misses
+                current.cross_session_hits += result.stats.cache_cross_session_hits
+                current.cache_bytes = result.stats.cache_bytes  # end-of-run gauge
+                current.index_builds += result.stats.index_builds
+                current.enum_indexed += result.stats.enum_indexed
+                current.enum_fallback += result.stats.enum_fallback
+                if collect_programs:
+                    current.programs.append(
+                        tuple(format_program(program) for program in result.programs)
+                    )
         series.append(current)
     return series
 

@@ -7,7 +7,9 @@ Q1; the ablation variants of Table 1 are obtained through
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -86,6 +88,24 @@ class SynthesisConfig:
     max_cache_entries:
         Bound on entries per execution-cache table; least-recently-used
         outcomes are evicted first.
+    validation_workers:
+        Validation concurrency.  0 (or 1) keeps the byte-exact legacy
+        serial loop (:class:`repro.synth.scheduler.SerialScheduler`);
+        N > 1 validates each pop's candidate list on an N-thread pool
+        (:class:`repro.synth.scheduler.PoolScheduler`) with a
+        deterministic rank-order merge — synthesized programs are
+        byte-identical to serial (absent per-call timeouts, which clip
+        the two loops at different points).  ``None`` (the default)
+        resolves from ``REPRO_VALIDATION_WORKERS``, so a deployment or
+        CI matrix can flip the whole stack without code changes.
+    shared_cache:
+        Back the engine with the *process-level*
+        :class:`repro.engine.cache.SharedExecutionCache` instead of a
+        private cache: concurrent sessions over the same site reuse
+        each other's executions and interned snapshots.  ``None`` (the
+        default) resolves from ``REPRO_SHARED_CACHE=1``.  Behaviour-
+        preserving — cache hits replay recorded outcomes verbatim, so
+        this is a throughput knob, not a semantics knob.
     ranking:
         Name of the ranking strategy applied to generalizing programs
         (see :mod:`repro.synth.ranking`); the default is the paper's
@@ -123,6 +143,8 @@ class SynthesisConfig:
     use_execution_cache: bool = True
     use_index_enumeration: bool = True
     max_cache_entries: int = 4096
+    validation_workers: Optional[int] = None
+    shared_cache: Optional[bool] = None
     ranking: str = "size"
     use_shape_gates: bool = True
     use_window_periodicity: bool = False
@@ -160,6 +182,44 @@ def no_execution_cache_config(base: SynthesisConfig = DEFAULT_CONFIG) -> Synthes
 def no_index_enumeration_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
     """Legacy ancestor-walk candidate enumeration (ablation baseline)."""
     return replace(base, use_index_enumeration=False)
+
+
+def resolved_validation_workers(config: SynthesisConfig) -> int:
+    """The effective worker count: the config knob, else the environment.
+
+    ``REPRO_VALIDATION_WORKERS`` lets a CI matrix or deployment flip
+    every synthesizer in the process to pooled validation; an explicit
+    config value always wins (benches pin both variants this way).
+    """
+    if config.validation_workers is not None:
+        return max(0, config.validation_workers)
+    raw = os.environ.get("REPRO_VALIDATION_WORKERS", "").strip()
+    return max(0, int(raw)) if raw else 0
+
+
+def resolved_shared_cache(config: SynthesisConfig) -> bool:
+    """Whether the engine should join the process-level shared cache."""
+    if config.shared_cache is not None:
+        return config.shared_cache
+    return os.environ.get("REPRO_SHARED_CACHE", "").strip() == "1"
+
+
+def serial_validation_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
+    """Serial validation over private caches, pinned against the env.
+
+    The exact pre-concurrency behaviour — the ablation baseline the
+    parallel-validation bench compares against.
+    """
+    return replace(base, validation_workers=0, shared_cache=False)
+
+
+def parallel_validation_config(
+    workers: int = 4,
+    shared: bool = True,
+    base: SynthesisConfig = DEFAULT_CONFIG,
+) -> SynthesisConfig:
+    """Pooled validation over the process-level shared cache."""
+    return replace(base, validation_workers=workers, shared_cache=shared)
 
 
 def ranking_config(strategy: str, base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:

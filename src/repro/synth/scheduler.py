@@ -1,0 +1,300 @@
+"""Validation scheduling: how one pop's candidate list gets validated.
+
+Algorithm 1's inner loop — pop a worklist tuple, speculate candidate
+rewrites, validate each against the trace, push the survivors — used to
+live inline in :mod:`repro.synth.synthesizer`.  The *validation* half is
+embarrassingly parallel: ``validate`` is a pure function of
+``(candidate, tuple, context)`` whose only shared touch-point is the
+execution engine, which is side-effect-free by construction (cache fills
+replay identically).  This module makes the schedule an explicit seam:
+
+:class:`SerialScheduler`
+    The legacy inline loop, moved verbatim.  Byte-exact with the
+    pre-scheduler synthesizer — the default, and the ablation baseline.
+
+:class:`PoolScheduler`
+    Validates the candidate list on a thread pool, then merges results
+    back *in rank order* (the same smallest-statement-first order the
+    serial loop consumes), applying the per-span rewrite cap and the
+    worklist pushes on the coordinating thread only.  Synthesized
+    programs are byte-identical to serial because every decision that
+    depends on order — cap accounting, pushes, generalization checks —
+    happens in the deterministic merge, never in the workers.
+
+Determinism caveat: the two schedulers clip differently under a per-call
+*timeout* (serial can stop mid-list; the pool completes a dispatched
+batch), so byte-identity is guaranteed for calls that finish within
+their deadline — the regime every parity test and bench runs in.
+
+The pool dispatches in *waves* to respect the per-span rewrite cap
+without serializing: each wave submits, per span still in play, only
+the next few candidates the serial loop could possibly validate (the
+cap-sized head, doubling per round so sparse-success spans converge in
+O(log n) waves).  A span retires once its confirmed successes reach the
+cap.  The only speculative work is the tail of the wave in which a span
+hits its cap — bounded by the wave size — and candidate lists below
+``min_batch`` skip the pool entirely: dispatching two futures for a
+three-candidate list costs more than validating it inline.
+
+Telemetry under the pool is merge-based: each worker records engine
+counters into a private :class:`~repro.engine.cache.CacheCounters`
+(:meth:`ExecutionEngine.worker_counters`) and the scheduler folds them
+into the session totals at join, so ``hits == exact + prefix +
+consistency`` holds exactly no matter how the work interleaved.  Index
+builds forced inside workers are attributed to the synthesize call's
+tracker via :func:`repro.engine.index.adopt_trackers`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional, Sequence
+
+from repro.engine import index as dom_index
+from repro.synth.rewrite import RewriteTuple
+from repro.synth.speculate import SpeculationContext, SRewrite
+from repro.synth.validate import validate
+from repro.util.timer import Deadline
+
+#: ``push(rewritten)`` — the synthesizer's worklist/store insertion.
+PushFn = Callable[[RewriteTuple], None]
+
+
+def _rank_order(candidates: list[SRewrite], context: SpeculationContext) -> None:
+    """Sort candidates smallest-statements-first within each span.
+
+    Validating smallest statements first makes the per-span cap keep
+    the most-parametrized (hence smallest) true rewrites — e.g. a loop
+    whose body fully uses the loop variable beats one that kept a raw
+    first-iteration selector.
+    """
+    candidates.sort(
+        key=lambda item: (item.start, item.end, context.statement_size(item.stmt))
+    )
+
+
+class ValidationScheduler:
+    """Strategy for draining one pop's candidate list through validate."""
+
+    #: Worker count the scheduler actually uses (0 = inline/serial).
+    workers: int = 0
+
+    def process_pop(
+        self,
+        current: RewriteTuple,
+        candidates: list[SRewrite],
+        context: SpeculationContext,
+        deadline: Deadline,
+        stats,
+        push: PushFn,
+    ) -> None:
+        """Validate ``candidates`` against ``current``; push survivors.
+
+        Mutates ``stats`` (``validated``, ``timed_out``) and calls
+        ``push`` on the coordinating thread only.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release scheduler resources (worker threads)."""
+
+
+class SerialScheduler(ValidationScheduler):
+    """The legacy inline validation loop (byte-exact, the default)."""
+
+    def process_pop(
+        self,
+        current: RewriteTuple,
+        candidates: list[SRewrite],
+        context: SpeculationContext,
+        deadline: Deadline,
+        stats,
+        push: PushFn,
+    ) -> None:
+        _rank_order(candidates, context)
+        max_per_span = context.config.max_rewrites_per_span
+        per_span: dict[tuple, int] = {}
+        for candidate in candidates:
+            if deadline.expired():
+                stats.timed_out = True
+                break
+            span_key = (candidate.start, candidate.end)
+            if per_span.get(span_key, 0) >= max_per_span:
+                continue
+            rewritten = validate(candidate, current, context)
+            if rewritten is not None:
+                per_span[span_key] = per_span.get(span_key, 0) + 1
+                stats.validated += 1
+                push(rewritten)
+
+
+class PoolScheduler(ValidationScheduler):
+    """Thread-pool validation with a deterministic rank-order merge.
+
+    Each wave's batch is split into at most ``workers`` strided chunks
+    (one future each — submission overhead stays O(workers) per wave,
+    not O(candidates)) and results are written back by candidate index,
+    so the final merge consumes them in exactly the serial loop's order.
+    Workers only ever call ``validate``; wave planning, cap bookkeeping,
+    stats, and pushes stay on the coordinating thread.
+
+    The engine behind ``context`` must be concurrency-safe —
+    :meth:`ExecutionEngine.for_config` backs any config with
+    ``validation_workers > 0`` by a lock-striped
+    :class:`~repro.engine.cache.SharedExecutionCache` (private or
+    process-level) for exactly this reason.
+    """
+
+    def __init__(self, workers: int, min_batch: Optional[int] = None) -> None:
+        if workers < 2:
+            raise ValueError("PoolScheduler needs at least 2 workers")
+        self.workers = workers
+        #: Smallest candidate list worth dispatching; shorter lists run
+        #: inline (dispatch latency would exceed the validation work).
+        self.min_batch = max(2 * workers, 8) if min_batch is None else min_batch
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-validate"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    def process_pop(
+        self,
+        current: RewriteTuple,
+        candidates: list[SRewrite],
+        context: SpeculationContext,
+        deadline: Deadline,
+        stats,
+        push: PushFn,
+    ) -> None:
+        if len(candidates) < self.min_batch:
+            SerialScheduler.process_pop(
+                self, current, candidates, context, deadline, stats, push
+            )
+            return
+        if deadline.expired():
+            stats.timed_out = True
+            return
+        _rank_order(candidates, context)
+        max_per_span = context.config.max_rewrites_per_span
+        results, clipped = self._validate_waves(
+            current, candidates, context, deadline, max_per_span
+        )
+        if clipped:
+            stats.timed_out = True
+
+        # deterministic rank-order merge: cap accounting and pushes see
+        # candidates in exactly the serial loop's order, so the pushed
+        # tuples (and through them the synthesized programs) are
+        # byte-identical to the serial schedule
+        per_span: dict[tuple, int] = {}
+        for candidate, rewritten in zip(candidates, results):
+            if rewritten is None:
+                continue
+            span_key = (candidate.start, candidate.end)
+            if per_span.get(span_key, 0) >= max_per_span:
+                continue
+            per_span[span_key] = per_span.get(span_key, 0) + 1
+            stats.validated += 1
+            push(rewritten)
+
+    def _validate_waves(
+        self,
+        current: RewriteTuple,
+        candidates: list[SRewrite],
+        context: SpeculationContext,
+        deadline: Deadline,
+        max_per_span: int,
+    ) -> tuple[list, bool]:
+        """Validate cap-eligible candidates; results by candidate index.
+
+        The second element reports whether the deadline clipped the
+        wave loop before every eligible candidate was dispatched.
+
+        Spans are worked head-first: a wave takes, per span still in
+        play, the next ``cap - successes`` candidates scaled by a
+        doubling factor (sparse-success spans converge in O(log n)
+        waves), and a span retires once its successes reach the cap —
+        the candidates never taken are exactly the ones the serial loop
+        would have skipped.
+        """
+        engine = context.engine
+        trackers = dom_index.current_trackers()
+
+        def run_chunk(chunk: Sequence[tuple[int, SRewrite]]):
+            # workers re-check the deadline between candidates, so a
+            # wave overruns the per-call budget by at most one validate
+            # per worker — the serial loop's overrun, times the pool
+            with dom_index.adopt_trackers(trackers):
+                with engine.worker_counters() as counters:
+                    validated = []
+                    for index, item in chunk:
+                        if deadline.expired():
+                            break
+                        validated.append((index, validate(item, current, context)))
+                    return validated, counters, len(validated) < len(chunk)
+
+        spans: dict[tuple, list[tuple[int, SRewrite]]] = {}
+        for index, candidate in enumerate(candidates):
+            spans.setdefault((candidate.start, candidate.end), []).append(
+                (index, candidate)
+            )
+        position = {span: 0 for span in spans}
+        successes = {span: 0 for span in spans}
+        results: list = [None] * len(candidates)
+        pool = self._executor()
+        factor = 1
+        while True:
+            batch: list[tuple[int, SRewrite]] = []
+            for span, members in spans.items():
+                want = max_per_span - successes[span]
+                if want <= 0:
+                    continue
+                start = position[span]
+                take = members[start : start + want * factor]
+                position[span] = start + len(take)
+                batch.extend(take)
+            if not batch:
+                break
+            if deadline.expired():
+                return results, True  # merge whatever already finished
+            stride = min(self.workers, len(batch))
+            futures = [
+                pool.submit(run_chunk, batch[offset::stride])
+                for offset in range(stride)
+            ]
+            wave_clipped = False
+            for future in futures:
+                chunk_results, counters, chunk_clipped = future.result()
+                for index, rewritten in chunk_results:
+                    results[index] = rewritten
+                engine.absorb_counters(counters)
+                wave_clipped = wave_clipped or chunk_clipped
+            if wave_clipped:
+                return results, True  # merge whatever already finished
+            for span, members in spans.items():
+                confirmed = 0
+                for index, _ in members[: position[span]]:
+                    if results[index] is not None:
+                        confirmed += 1
+                        if confirmed >= max_per_span:
+                            break
+                successes[span] = confirmed
+            factor *= 2
+        return results, False
+
+
+def scheduler_for(workers: int) -> ValidationScheduler:
+    """The scheduler implementing a resolved ``validation_workers`` count."""
+    if workers > 1:
+        return PoolScheduler(workers)
+    return SerialScheduler()

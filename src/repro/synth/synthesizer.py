@@ -11,6 +11,12 @@ store through speculate-and-validate.
 
 The per-call wall-clock budget mirrors the paper's 1-second timeout per
 prediction test.
+
+How each pop's candidate list is validated is delegated to a
+:mod:`repro.synth.scheduler` scheduler — serially by default, or on a
+worker pool with a deterministic rank-order merge when the config's
+``validation_workers`` resolves above 1.  Either way the algorithm (and
+its output, byte for byte) is the one above; only the schedule differs.
 """
 
 from __future__ import annotations
@@ -28,11 +34,16 @@ from repro.lang.ast import Program
 from repro.lang.data import DataSource
 from repro.semantics.trace import DOMTrace
 from repro.synth.alternatives import SelectorSearch
-from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig
+from repro.synth.config import (
+    DEFAULT_CONFIG,
+    SynthesisConfig,
+    resolved_shared_cache,
+    resolved_validation_workers,
+)
 from repro.synth.ranking import Candidate, rank
 from repro.synth.rewrite import RewriteTuple, extend_with_singletons, initial_tuple
+from repro.synth.scheduler import scheduler_for
 from repro.synth.speculate import SpeculationContext, speculate
-from repro.synth.validate import validate
 from repro.util.errors import SynthesisError
 from repro.util.timer import Deadline
 
@@ -51,6 +62,16 @@ class SynthesisStats:
     not steal each other's builds).  ``enum_indexed`` / ``enum_fallback``
     are the selector-search enumeration queries answered by the
     bucket-driven path vs the legacy ancestor walk.
+
+    Concurrency telemetry: ``validation_workers`` is the pool width the
+    call's scheduler used (0 = serial); ``cache_cross_session_hits`` the
+    per-call delta of hits served from entries *other* sessions of a
+    shared cache recorded.  ``cache_bytes``, ``interned_snapshots`` and
+    ``interned_bytes`` are end-of-call gauges (not deltas) of the
+    backing cache's approximate footprint and its snapshot-interning
+    table.  All counter deltas stay exact under the pool scheduler:
+    workers record into private counter sets merged at join, never into
+    shared fields.
     """
 
     trace_length: int = 0
@@ -66,6 +87,11 @@ class SynthesisStats:
     cache_exact_hits: int = 0
     cache_prefix_hits: int = 0
     cache_consistency_hits: int = 0
+    cache_cross_session_hits: int = 0
+    cache_bytes: int = 0
+    interned_snapshots: int = 0
+    interned_bytes: int = 0
+    validation_workers: int = 0
     index_builds: int = 0
     enum_indexed: int = 0
     enum_fallback: int = 0
@@ -108,6 +134,14 @@ class Synthesizer:
     :meth:`synthesize` after every recorded action with the full trace so
     far.  With ``config.incremental`` (default) the rewrite store is
     shared across calls; otherwise every call starts from scratch.
+
+    Validation is driven through a :mod:`repro.synth.scheduler`
+    scheduler: serial by default, a thread pool when the config's
+    ``validation_workers`` resolves above 1.  With ``shared_cache``
+    resolved on, the engine joins the process-level
+    :class:`~repro.engine.cache.SharedExecutionCache` and every call's
+    snapshots are interned there, so concurrent sessions over the same
+    site reuse each other's executions and DOM indexes.
     """
 
     def __init__(self, data: DataSource, config: SynthesisConfig = DEFAULT_CONFIG) -> None:
@@ -118,11 +152,30 @@ class Synthesizer:
         self._store: dict[tuple, RewriteTuple] = {}
         self._search = self._new_search()
         self._engine = ExecutionEngine.for_config(data, config)
+        self._scheduler = scheduler_for(resolved_validation_workers(config))
+        # interning only pays when the cache is actually shared between
+        # sessions; a private sharded cache skips the structural keys
+        self._use_shared_cache = resolved_shared_cache(config)
 
     @property
     def engine(self) -> ExecutionEngine:
         """The memoizing execution engine serving this session."""
         return self._engine
+
+    @property
+    def scheduler(self):
+        """The validation scheduler draining this session's candidates."""
+        return self._scheduler
+
+    def close(self) -> None:
+        """Release the scheduler's worker threads (pool configs only)."""
+        self._scheduler.close()
+
+    def __enter__(self) -> "Synthesizer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _new_search(self) -> SelectorSearch:
         return SelectorSearch(
@@ -164,6 +217,14 @@ class Synthesizer:
                 f"need m+1 snapshots for m actions, got {len(snapshots)} for {len(actions)}"
             )
         deadline = Deadline(self.config.timeout if timeout is None else timeout)
+        if self._use_shared_cache:
+            shared = self._engine.shared_cache
+            if shared is not None:
+                # structurally equal snapshots from other sessions over
+                # the same site collapse onto one canonical root, making
+                # the id-keyed cache entries and SnapshotIndexes shared;
+                # re-interning the same objects is an O(1) id lookup
+                snapshots = shared.intern_snapshots(snapshots)
         if not self.config.incremental:
             self.reset()
         old_length = len(self._actions)
@@ -239,27 +300,12 @@ class Synthesizer:
                 stats.pops += 1
                 candidates = speculate(current, context)
                 stats.speculated += len(candidates)
-                # Validate smallest statements first so the per-span cap
-                # keeps the most-parametrized (hence smallest) true
-                # rewrites — e.g. a loop whose body fully uses the loop
-                # variable beats one that kept a raw first-iteration
-                # selector.
-                candidates.sort(
-                    key=lambda item: (item.start, item.end, context.statement_size(item.stmt))
+                # The scheduler validates in rank order (smallest
+                # statements first within a span) and pushes survivors;
+                # serial and pooled schedules produce identical pushes.
+                self._scheduler.process_pop(
+                    current, candidates, context, deadline, stats, push
                 )
-                per_span: dict[tuple, int] = {}
-                for candidate in candidates:
-                    if deadline.expired():
-                        stats.timed_out = True
-                        break
-                    span_key = (candidate.start, candidate.end)
-                    if per_span.get(span_key, 0) >= self.config.max_rewrites_per_span:
-                        continue
-                    rewritten = validate(candidate, current, context)
-                    if rewritten is not None:
-                        per_span[span_key] = per_span.get(span_key, 0) + 1
-                        stats.validated += 1
-                        push(rewritten)
 
             self._prune_store()
             self._collect(result, generalizing)
@@ -274,6 +320,13 @@ class Synthesizer:
         stats.cache_consistency_hits = (
             engine_after.consistency_hits - engine_before.consistency_hits
         )
+        stats.cache_cross_session_hits = (
+            engine_after.cross_session_hits - engine_before.cross_session_hits
+        )
+        stats.cache_bytes = engine_after.cache_bytes
+        stats.interned_snapshots = engine_after.interned_snapshots
+        stats.interned_bytes = engine_after.interned_bytes
+        stats.validation_workers = self._scheduler.workers
         stats.index_builds = built.count
         stats.enum_indexed = self._search.enum_indexed - enum_before[0]
         stats.enum_fallback = self._search.enum_fallback - enum_before[1]

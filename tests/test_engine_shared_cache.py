@@ -1,0 +1,284 @@
+"""The process-level shared execution cache (repro.engine.cache).
+
+Covers the concurrency surface PR 3 introduced: lock-striped shards,
+per-session counter views with cross-session hit attribution, snapshot
+interning (including its race behaviour), byte accounting with LRU
+eviction, and the process-wide singleton.
+"""
+
+import threading
+
+from repro.dom import E, page
+from repro.engine.cache import (
+    CacheCounters,
+    ExecutionCache,
+    SharedExecutionCache,
+    process_cache,
+    reset_process_cache,
+)
+from repro.engine.index import index_for
+from repro.lang import EMPTY_DATA
+from repro.lang.data import DataSource
+from repro.lang.ast import canonical_program
+from repro.synth.config import parallel_validation_config, serial_validation_config
+from repro.synth.synthesizer import Synthesizer
+
+from helpers import cards_page, scrape_cards_trace
+
+
+class TestCounters:
+    def test_merge_sums_every_field(self):
+        left = CacheCounters(hits=3, misses=2, evictions=1, exact_hits=1,
+                             prefix_hits=1, consistency_hits=1, cross_session_hits=1)
+        right = CacheCounters(hits=5, misses=1, evictions=0, exact_hits=2,
+                              prefix_hits=2, consistency_hits=1, cross_session_hits=4)
+        left.merge(right)
+        assert left == CacheCounters(hits=8, misses=3, evictions=1, exact_hits=3,
+                                     prefix_hits=3, consistency_hits=2,
+                                     cross_session_hits=5)
+
+    def test_explicit_recorder_counts_alongside_the_cache_aggregate(self):
+        cache = ExecutionCache(8)
+        worker = CacheCounters()
+        cache.put(("base",), (1,), 1, ("a",), None, pins=(), counters=worker)
+        assert cache.get(("base",), (1,), 1, counters=worker) is not None
+        assert cache.get(("other",), (1,), 1, counters=worker) is None
+        # the worker's private recorder and the cache's own (shard-level
+        # aggregate) counters both saw the traffic — merge-based
+        # accumulation never loses counts to either side
+        assert (worker.hits, worker.misses) == (1, 1)
+        assert (cache.counters.hits, cache.counters.misses) == (1, 1)
+        # traffic without an explicit recorder lands on the aggregate only
+        assert cache.get(("base",), (1,), 1) is not None
+        assert cache.counters.hits == 2
+        assert worker.hits == 1
+
+
+class TestByteAccounting:
+    def test_bytes_grow_with_entries_and_shrink_on_eviction(self):
+        cache = ExecutionCache(max_entries=2)
+        assert cache.approx_bytes == 0
+        cache.put(("a",), (1,), 1, ("x",), None, pins=())
+        one_entry = cache.approx_bytes
+        assert one_entry > 0
+        cache.put(("b",), (2,), 1, ("x", "y"), None, pins=())
+        two_entries = cache.approx_bytes
+        assert two_entries > one_entry
+        # third insert evicts the oldest: bytes stay bounded, counted
+        cache.put(("c",), (3,), 1, ("x",), None, pins=())
+        assert cache.counters.evictions == 1
+        assert cache.approx_bytes < two_entries + one_entry
+        assert len(cache) <= 2
+
+    def test_shared_cache_aggregates_shard_bytes(self):
+        shared = SharedExecutionCache(max_entries=64, shards=4)
+        session = shared.session()
+        for index in range(10):
+            session.put((f"k{index}",), (index,), 1, ("a",), None, pins=())
+        assert shared.approx_bytes > 0
+        assert len(shared) == 10
+        shared.clear()
+        assert shared.approx_bytes == 0
+        assert len(shared) == 0
+
+
+class TestSessions:
+    def test_sessions_share_entries_and_attribute_cross_hits(self):
+        shared = SharedExecutionCache(max_entries=64, shards=2)
+        writer, reader = shared.session(), shared.session()
+        writer.put(("base",), (1,), 1, ("a",), None, pins=())
+        assert writer.get(("base",), (1,), 1) is not None
+        assert writer.counters.cross_session_hits == 0  # own entry
+        assert reader.get(("base",), (1,), 1) is not None
+        assert reader.counters.cross_session_hits == 1
+        assert reader.counters.hits == 1
+        # shard-level (global) counters saw both hits
+        assert shared.counters().hits == 2
+
+    def test_consistency_memo_is_shared_too(self):
+        shared = SharedExecutionCache(max_entries=64, shards=2)
+        writer, reader = shared.session(), shared.session()
+        writer.put_consistency(("key",), 3, pins=())
+        assert reader.get_consistency(("key",)) == 3
+        assert reader.counters.consistency_hits == 1
+        assert reader.counters.cross_session_hits == 1
+
+
+class TestInterning:
+    def test_structurally_equal_roots_collapse(self):
+        shared = SharedExecutionCache()
+        first = cards_page(3)
+        second = cards_page(3).clone().freeze()
+        assert first is not second
+        assert shared.intern_snapshot(first) is first
+        assert shared.intern_snapshot(second) is first
+        assert shared.intern_hits == 1
+        assert shared.interned_snapshots == 1
+        assert shared.interned_bytes > 0
+        # interned sessions share one SnapshotIndex (and its enum_memo)
+        assert index_for(shared.intern_snapshot(second)) is index_for(first)
+
+    def test_different_structures_stay_distinct(self):
+        shared = SharedExecutionCache()
+        assert shared.intern_snapshot(cards_page(3)) is not shared.intern_snapshot(
+            cards_page(4)
+        )
+        assert shared.interned_snapshots == 2
+
+    def test_unfrozen_snapshots_pass_through(self):
+        shared = SharedExecutionCache()
+        mutable = E("div")
+        assert shared.intern_snapshot(mutable) is mutable
+        assert shared.interned_snapshots == 0
+
+    def test_interning_lru_evicts_and_counts(self):
+        shared = SharedExecutionCache(max_snapshots=2)
+        shared.intern_snapshot(cards_page(2))
+        shared.intern_snapshot(cards_page(3))
+        before = shared.interned_bytes
+        shared.intern_snapshot(cards_page(4))
+        assert shared.snapshot_evictions == 1
+        assert shared.interned_snapshots == 2
+        assert shared.interned_bytes <= before + 10_000
+
+    def test_concurrent_interning_yields_one_canonical(self):
+        # the race the intern lock exists for: N threads intern distinct
+        # structurally equal clones at once; everyone must get the same
+        # canonical root and the table must hold exactly one entry
+        shared = SharedExecutionCache()
+        template = cards_page(5)
+        clones = [template.clone().freeze() for _ in range(8)]
+        results = [None] * len(clones)
+        barrier = threading.Barrier(len(clones))
+
+        def intern(position, root):
+            barrier.wait()
+            results[position] = shared.intern_snapshot(root)
+
+        threads = [
+            threading.Thread(target=intern, args=(position, root))
+            for position, root in enumerate(clones)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert shared.interned_snapshots == 1
+        canonical = results[0]
+        assert all(result is canonical for result in results)
+        assert shared.intern_hits == len(clones) - 1
+
+    def test_concurrent_shard_traffic_stays_consistent(self):
+        shared = SharedExecutionCache(max_entries=256, shards=4)
+        sessions = [shared.session() for _ in range(4)]
+        errors = []
+
+        def hammer(session, salt):
+            try:
+                for index in range(200):
+                    key = (f"k{(index + salt) % 50}",)
+                    session.put(key, (index % 7,), 1, ("a",), None, pins=())
+                    session.get(key, (index % 7,), 1)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(session, salt))
+            for salt, session in enumerate(sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        merged = shared.counters()
+        assert merged.hits + merged.misses == 4 * 200
+        assert merged.hits == merged.exact_hits + merged.prefix_hits + merged.consistency_hits
+
+
+class TestDataInterning:
+    def test_equal_content_sources_collapse(self):
+        shared = SharedExecutionCache()
+        first = DataSource({"zips": [10001, 10002]})
+        second = DataSource({"zips": [10001, 10002]})
+        other = DataSource({"zips": [90210]})
+        assert shared.intern_data(first) is first
+        assert shared.intern_data(second) is first
+        assert shared.intern_data(other) is other
+
+    def test_sessions_with_separately_loaded_data_still_share(self):
+        # each session 'loads' its own equal-content data source (the
+        # repeated-CLI-invocation shape); execution keys address the
+        # source by id, so sharing depends on for_config interning it
+        reset_process_cache()
+        try:
+            config = parallel_validation_config(workers=0, shared=True)
+            actions, _ = scrape_cards_trace(cards_page(5), 4)
+            snaps_a = [cards_page(5).clone().freeze()] * (len(actions) + 1)
+            snaps_b = [cards_page(5).clone().freeze()] * (len(actions) + 1)
+            session_a = Synthesizer(DataSource({"q": ["a", "b"]}), config)
+            session_b = Synthesizer(DataSource({"q": ["a", "b"]}), config)
+            for cut in range(1, len(actions) + 1):
+                session_a.synthesize(actions[:cut], snaps_a[: cut + 1])
+            cross = 0
+            for cut in range(1, len(actions) + 1):
+                result = session_b.synthesize(actions[:cut], snaps_b[: cut + 1])
+                cross += result.stats.cache_cross_session_hits
+            assert cross > 0
+        finally:
+            reset_process_cache()
+
+
+class TestCrossSessionSynthesis:
+    def test_two_sessions_over_the_same_site_share_executions(self):
+        reset_process_cache()
+        try:
+            config = parallel_validation_config(workers=0, shared=True)
+            actions, _ = scrape_cards_trace(cards_page(5), 4)
+            dom_a = cards_page(5).clone().freeze()
+            dom_b = cards_page(5).clone().freeze()
+            snaps_a = [dom_a] * (len(actions) + 1)
+            snaps_b = [dom_b] * (len(actions) + 1)
+            session_a = Synthesizer(EMPTY_DATA, config)
+            session_b = Synthesizer(EMPTY_DATA, serial_validation_config())
+            baseline = Synthesizer(EMPTY_DATA, config)
+            cross_a = 0
+            for cut in range(1, len(actions) + 1):
+                result_a = session_a.synthesize(actions[:cut], snaps_a[: cut + 1])
+                expected = session_b.synthesize(actions[:cut], snaps_b[: cut + 1])
+                cross_a += result_a.stats.cache_cross_session_hits
+                assert [canonical_program(p) for p in result_a.programs] == [
+                    canonical_program(p) for p in expected.programs
+                ]
+            assert cross_a == 0  # first session over the site: nothing to reuse
+            cross_second = 0
+            for cut in range(1, len(actions) + 1):
+                result = baseline.synthesize(actions[:cut], snaps_b[: cut + 1])
+                cross_second += result.stats.cache_cross_session_hits
+                assert result.stats.interned_snapshots >= 1
+            assert cross_second > 0  # session two hit session one's entries
+        finally:
+            reset_process_cache()
+
+    def test_serial_private_sessions_never_share(self):
+        actions, snapshots = scrape_cards_trace(cards_page(4), 3)
+        first = Synthesizer(EMPTY_DATA, serial_validation_config())
+        second = Synthesizer(EMPTY_DATA, serial_validation_config())
+        for cut in range(1, len(actions) + 1):
+            a = first.synthesize(actions[:cut], snapshots[: cut + 1])
+            b = second.synthesize(actions[:cut], snapshots[: cut + 1])
+            assert a.stats.cache_cross_session_hits == 0
+            assert b.stats.cache_cross_session_hits == 0
+            assert b.stats.interned_snapshots == 0
+
+
+class TestProcessCache:
+    def test_singleton_until_reset(self):
+        reset_process_cache()
+        try:
+            first = process_cache()
+            assert process_cache() is first
+            reset_process_cache()
+            assert process_cache() is not first
+        finally:
+            reset_process_cache()

@@ -1,0 +1,210 @@
+"""Validation schedulers (repro.synth.scheduler).
+
+The scheduler seam must be invisible in the output: ``PoolScheduler``
+has to synthesize byte-identical programs, predictions, and counts to
+``SerialScheduler`` on any demonstration — the pool changes the
+*schedule* of Algorithm 1's validation loop, never its result.  Pinned
+three ways: an exhaustive sweep over a representative benchmark,
+property-based over randomized traces, and the merge-based stats
+invariant under worker threads.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchmarks.suite import benchmark_by_id
+from repro.dom import E, page, raw_path
+from repro.lang import EMPTY_DATA, click, scrape_text
+from repro.lang.ast import canonical_program
+from repro.synth.config import (
+    DEFAULT_CONFIG,
+    parallel_validation_config,
+    resolved_validation_workers,
+    serial_validation_config,
+)
+from repro.synth.scheduler import PoolScheduler, SerialScheduler, scheduler_for
+from repro.synth.synthesizer import Synthesizer
+
+from helpers import cards_page, scrape_cards_trace
+
+#: Generous per-call deadline: scheduler parity is only guaranteed for
+#: calls that finish within their budget (the two schedules clip
+#: differently when the deadline fires mid-list).
+TIMEOUT = 30.0
+
+
+def _session_outputs(synthesizer, actions, snapshots):
+    """Ranked programs + predictions for every prefix of a trace."""
+    outputs = []
+    for cut in range(1, len(actions) + 1):
+        result = synthesizer.synthesize(
+            actions[:cut], snapshots[: cut + 1], timeout=TIMEOUT
+        )
+        outputs.append(
+            (
+                tuple(canonical_program(p) for p in result.programs),
+                tuple(str(a) for a in result.predictions),
+                result.stats.pops,
+                result.stats.speculated,
+                result.stats.validated,
+            )
+        )
+    return outputs
+
+
+class TestSchedulerFactory:
+    def test_serial_below_two_workers(self):
+        assert isinstance(scheduler_for(0), SerialScheduler)
+        assert isinstance(scheduler_for(1), SerialScheduler)
+
+    def test_pool_from_two_workers(self):
+        pool = scheduler_for(3)
+        assert isinstance(pool, PoolScheduler)
+        assert pool.workers == 3
+        pool.close()
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VALIDATION_WORKERS", "4")
+        assert resolved_validation_workers(DEFAULT_CONFIG) == 4
+        # an explicit config value beats the environment
+        assert resolved_validation_workers(serial_validation_config()) == 0
+        monkeypatch.delenv("REPRO_VALIDATION_WORKERS")
+        assert resolved_validation_workers(DEFAULT_CONFIG) == 0
+
+    def test_synthesizer_wires_the_env_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VALIDATION_WORKERS", "2")
+        synthesizer = Synthesizer(EMPTY_DATA)
+        try:
+            assert isinstance(synthesizer.scheduler, PoolScheduler)
+            assert synthesizer.scheduler.workers == 2
+        finally:
+            synthesizer.close()
+
+
+class TestPoolSerialParity:
+    def test_benchmark_sweep(self):
+        """Every prefix of a real benchmark: identical ranked output."""
+        recording = benchmark_by_id("b12").record()
+        length = min(recording.length - 1, 16)
+        actions, snapshots = recording.prefix(length)
+        serial = Synthesizer(benchmark_by_id("b12").data, serial_validation_config())
+        pool = Synthesizer(
+            benchmark_by_id("b12").data, parallel_validation_config(4, shared=False)
+        )
+        # force the pool to dispatch even tiny candidate lists, so the
+        # wave machinery (not the inline fallback) is what's compared
+        pool._scheduler = PoolScheduler(4, min_batch=2)
+        try:
+            assert _session_outputs(serial, actions, snapshots) == _session_outputs(
+                pool, actions, snapshots
+            )
+        finally:
+            pool.close()
+
+    def test_merge_based_stats_stay_exact_under_the_pool(self):
+        dom = cards_page(6)
+        actions, snapshots = scrape_cards_trace(dom, 5)
+        pool = Synthesizer(EMPTY_DATA, parallel_validation_config(4, shared=False))
+        pool._scheduler = PoolScheduler(4, min_batch=2)
+        try:
+            for cut in range(1, len(actions) + 1):
+                stats = pool.synthesize(
+                    actions[:cut], snapshots[: cut + 1], timeout=TIMEOUT
+                ).stats
+                # the exact/prefix/consistency breakdown must reconcile
+                # even though workers recorded concurrently
+                assert stats.cache_hits == (
+                    stats.cache_exact_hits
+                    + stats.cache_prefix_hits
+                    + stats.cache_consistency_hits
+                )
+                assert stats.validation_workers == 4
+            # the last call certainly executed loops through the engine
+            assert stats.cache_hits + stats.cache_misses > 0
+        finally:
+            pool.close()
+
+
+# ----------------------------------------------------------------------
+# Property-based parity over randomized demonstrations
+# ----------------------------------------------------------------------
+CLASSES = ("card", "row", "item")
+
+
+@st.composite
+def random_traces(draw):
+    """A randomized list-scrape demonstration (actions + snapshots).
+
+    Pages vary in item count, per-item fields, sidebar noise, and CSS
+    class; traces scrape a random number of fields of a random number
+    of leading items — the span/pivot structure speculation feeds on.
+    """
+    cls = draw(st.sampled_from(CLASSES))
+    items = draw(st.integers(3, 6))
+    fields = draw(st.integers(1, 2))
+    sidebar = draw(st.booleans())
+    cards = [
+        E(
+            "div",
+            {"class": cls},
+            E("h3", text=f"Item {index}"),
+            *( [E("span", {"class": "meta"}, text=f"meta {index}")] if fields > 1 else [] ),
+        )
+        for index in range(1, items + 1)
+    ]
+    extra = [E("div", {"class": "sidebar"}, text="ads")] if sidebar else []
+    dom = page(*extra, *cards)
+    scraped_items = draw(st.integers(2, items))
+    actions = []
+    targets = []
+    for card in dom.iter_subtree():
+        if card.attrs.get("class") == cls:
+            targets.append(card)
+    for item in targets[:scraped_items]:
+        for child in item.children[:fields]:
+            actions.append(scrape_text(raw_path(child)))
+    snapshots = [dom] * (len(actions) + 1)
+    return actions, snapshots
+
+
+class TestRandomTraceParity:
+    @given(random_traces())
+    @settings(max_examples=15, deadline=None)
+    def test_pool_equals_serial_on_randomized_traces(self, trace):
+        actions, snapshots = trace
+        serial = Synthesizer(EMPTY_DATA, serial_validation_config())
+        pool = Synthesizer(EMPTY_DATA, parallel_validation_config(4, shared=False))
+        pool._scheduler = PoolScheduler(4, min_batch=2)
+        try:
+            assert _session_outputs(serial, actions, snapshots) == _session_outputs(
+                pool, actions, snapshots
+            )
+        finally:
+            pool.close()
+
+
+class TestPoolMechanics:
+    def test_rejects_degenerate_pools(self):
+        with pytest.raises(ValueError):
+            PoolScheduler(1)
+
+    def test_close_is_idempotent(self):
+        pool = PoolScheduler(2)
+        pool.close()
+        pool.close()
+
+    def test_index_builds_attributed_from_workers(self):
+        # recording resolves selectors against the page, which would
+        # pre-build its index — synthesize over fresh clones instead, so
+        # the builds happen inside the synthesize call (pool workers
+        # included) and must land in the call's stats
+        actions, _ = scrape_cards_trace(cards_page(5), 4)
+        dom = cards_page(5).clone().freeze()
+        snapshots = [dom] * (len(actions) + 1)
+        pool = Synthesizer(EMPTY_DATA, parallel_validation_config(4, shared=False))
+        pool._scheduler = PoolScheduler(4, min_batch=2)
+        try:
+            stats = pool.synthesize(actions, snapshots, timeout=TIMEOUT).stats
+            assert stats.index_builds == 1
+        finally:
+            pool.close()
