@@ -32,6 +32,12 @@ Commands
     Execute a program against a recorded demonstration under the trace
     semantics and print per-action provenance (which statement and
     loop iteration produced each action).
+``serve [--host H] [--port P] [--workers N] [--backend memory|file]``
+    Run the multi-process session service: concurrent demonstration
+    sessions over HTTP + JSON (create / record-action / get-candidates
+    / accept / close), sharing the process-level execution cache — and,
+    with ``--backend file``, a persistent store that outlives processes
+    and is shared between workers.  See :mod:`repro.service.server`.
 ``q1|q2|q3|q4``
     Regenerate the corresponding evaluation artifact (same as
     ``python -m repro.harness.qN``).
@@ -90,6 +96,29 @@ def _build_parser() -> argparse.ArgumentParser:
                             "$REPRO_VALIDATION_WORKERS or serial)")
     synth.add_argument("--shared-cache", action="store_true",
                        help="join the process-level shared execution cache")
+    synth.add_argument("--backend", default=None, choices=("memory", "file"),
+                       help="execution-cache persistence backend (default: "
+                            "$REPRO_CACHE_BACKEND or memory)")
+
+    serve = commands.add_parser("serve", help="run the session service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="base port (default 8738; 0 = OS-assigned)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes on consecutive ports, all "
+                            "sharing one cache store")
+    serve.add_argument("--backend", default=None, choices=("memory", "file"),
+                       help="execution-cache persistence backend (default: "
+                            "$REPRO_CACHE_BACKEND or memory)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="directory of the file backend's store "
+                            "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    serve.add_argument("--timeout", type=float, default=1.0,
+                       help="per-action synthesis budget in seconds")
+    serve.add_argument("--synth-workers", type=int, default=None,
+                       help="validation worker threads per session")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every request to stderr")
 
     replay = commands.add_parser("replay", help="run a serialized program")
     replay.add_argument("program", help="JSON file with a serialized program")
@@ -156,7 +185,8 @@ def _cmd_record(bid: str, output: Optional[str], max_actions: int) -> int:
 def _cmd_synthesize(path: str, cut: Optional[int], data_path: Optional[str],
                     timeout: float, show_stats: bool = False,
                     workers: Optional[int] = None,
-                    shared_cache: bool = False) -> int:
+                    shared_cache: bool = False,
+                    backend: Optional[str] = None) -> int:
     with open(path, encoding="utf-8") as handle:
         recording = repro_io.load(handle)
     data = EMPTY_DATA
@@ -167,13 +197,14 @@ def _cmd_synthesize(path: str, cut: Optional[int], data_path: Optional[str],
     prefix = max(1, min(prefix, recording.length - 1))
     actions, snapshots = recording.prefix(prefix)
     config = DEFAULT_CONFIG
-    if workers is not None or shared_cache:
+    if workers is not None or shared_cache or backend is not None:
         from dataclasses import replace
 
         config = replace(
             config,
             validation_workers=workers,
             shared_cache=True if shared_cache else None,
+            cache_backend=backend,
         )
     synthesizer = Synthesizer(data, config)
     try:
@@ -193,6 +224,32 @@ def _cmd_synthesize(path: str, cut: Optional[int], data_path: Optional[str],
     print(format_program(result.best_program))
     print(f"\npredicted next action: {result.best_prediction}")
     return 0
+
+
+def _cmd_serve(arguments) -> int:
+    import os
+    from dataclasses import replace
+
+    from repro.service.server import DEFAULT_PORT, serve
+
+    if arguments.cache_dir is not None:
+        # resolve_backend reads this when building the store path
+        os.environ["REPRO_CACHE_DIR"] = arguments.cache_dir
+    config = replace(
+        DEFAULT_CONFIG,
+        shared_cache=True,
+        cache_backend=arguments.backend,
+        validation_workers=arguments.synth_workers,
+    )
+    port = arguments.port if arguments.port is not None else DEFAULT_PORT
+    return serve(
+        host=arguments.host,
+        port=port,
+        workers=max(1, arguments.workers),
+        config=config,
+        timeout=arguments.timeout,
+        quiet=not arguments.verbose,
+    )
 
 
 def _cmd_replay(program_path: str, bid: str) -> int:
@@ -310,8 +367,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_synthesize(
             arguments.recording, arguments.cut, arguments.data,
             arguments.timeout, arguments.stats,
-            arguments.workers, arguments.shared_cache,
+            arguments.workers, arguments.shared_cache, arguments.backend,
         )
+    if arguments.command == "serve":
+        return _cmd_serve(arguments)
     if arguments.command == "replay":
         return _cmd_replay(arguments.program, arguments.benchmark)
     if arguments.command == "check":

@@ -16,6 +16,7 @@ records actions.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, Optional
 
 
@@ -45,6 +46,7 @@ class DOMNode:
         "_frozen",
         "_resolve_cache",
         "_snapshot_index",
+        "_content_key",
     )
 
     def __init__(
@@ -65,6 +67,8 @@ class DOMNode:
         self._resolve_cache: Optional[dict] = None
         # Per-snapshot DOM index (repro.engine.index), same discipline.
         self._snapshot_index = None
+        # Memoized structural content digest (see content_key).
+        self._content_key: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -169,6 +173,57 @@ class DOMNode:
     # ------------------------------------------------------------------
     # Structural identity
     # ------------------------------------------------------------------
+    def content_key(self) -> int:
+        """A 128-bit structural content digest of the whole subtree.
+
+        Two subtrees have equal content keys exactly when they render
+        identically (collisions are cryptographically negligible), and —
+        unlike Python ``hash`` values or :meth:`structural_key` tuples —
+        the key is *stable across processes and restarts*: it depends
+        only on tags, attributes, text, and child order, never on object
+        ids or the interpreter's hash seed.  The execution cache keys
+        DOM windows with these digests, which is what lets memoized
+        executions survive process boundaries (see
+        :mod:`repro.engine.keys`).
+
+        Keys are memoized on frozen nodes (one post-order walk, ever);
+        unfrozen subtrees are hashed afresh per call since they may
+        still mutate.
+        """
+        cached = self._content_key
+        if cached is not None:
+            return cached
+        digests: dict[int, int] = {}
+        stack: list[tuple["DOMNode", bool]] = [(self, False)]
+        while stack:
+            node, ready = stack.pop()
+            if not ready:
+                cached = node._content_key
+                if cached is not None:
+                    digests[id(node)] = cached
+                    continue
+                stack.append((node, True))
+                for child in node.children:
+                    stack.append((child, False))
+                continue
+            hasher = hashlib.blake2b(digest_size=16)
+            parts = [node.tag, node.text]
+            for name in sorted(node.attrs):
+                parts.append(name)
+                parts.append(node.attrs[name])
+            for part in parts:
+                raw = part.encode("utf-8", "surrogatepass")
+                hasher.update(b"%d:" % len(raw))
+                hasher.update(raw)
+            hasher.update(b"|%d|" % len(node.children))
+            for child in node.children:
+                hasher.update(digests[id(child)].to_bytes(16, "big"))
+            digest = int.from_bytes(hasher.digest(), "big")
+            digests[id(node)] = digest
+            if node._frozen:
+                node._content_key = digest
+        return digests[id(self)]
+
     def structural_key(self) -> tuple:
         """A hashable key capturing the whole subtree's structure.
 
@@ -182,6 +237,33 @@ class DOMNode:
             self.text,
             tuple(child.structural_key() for child in self.children),
         )
+
+    # ------------------------------------------------------------------
+    # Pickling (service API payloads, multi-process workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle only the tree itself, never the per-process caches.
+
+        The resolve memo and snapshot index are keyed by object ids of
+        *this* process — restoring them in another process would alias
+        recycled ids.  Parent pointers are re-derived on restore, which
+        also keeps the pickle free of reference cycles.
+        """
+        return (self.tag, self.attrs, self.text, self.children, self._frozen)
+
+    def __setstate__(self, state) -> None:
+        self.tag, self.attrs, self.text, self.children, frozen = state
+        self.parent = None
+        self._resolve_cache = None
+        self._snapshot_index = None
+        self._content_key = None
+        self._frozen = False
+        if frozen:
+            # children restored their own subtrees already; re-link and
+            # mark without re-walking (freeze() would recurse needlessly)
+            for child in self.children:
+                child.parent = self
+            self._frozen = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         attrs = "".join(f' {k}="{v}"' for k, v in sorted(self.attrs.items()))

@@ -12,6 +12,10 @@ Public surface:
   executions (``process_cache()`` holds the process-wide instance).
 * :mod:`repro.engine.index` — lazy per-snapshot DOM indexes powering
   descendant-axis selector steps.
+* :mod:`repro.engine.keys` — value-addressed key primitives (stable
+  content digests for snapshots, windows, data sources, and composite
+  cache keys) that make entries meaningful across processes and
+  restarts.
 """
 
 from repro.engine.cache import (
@@ -30,6 +34,13 @@ from repro.engine.index import (
     index_for,
     set_dom_indexes,
 )
+from repro.engine.keys import (
+    action_digest,
+    data_key,
+    digest_int,
+    snapshot_key,
+    stable_digest,
+)
 
 __all__ = [
     "CacheCounters",
@@ -39,10 +50,15 @@ __all__ = [
     "SharedCacheSession",
     "SharedExecutionCache",
     "SnapshotIndex",
+    "action_digest",
     "build_count",
+    "data_key",
+    "digest_int",
     "dom_indexes_enabled",
     "index_for",
     "process_cache",
     "reset_process_cache",
     "set_dom_indexes",
+    "snapshot_key",
+    "stable_digest",
 ]

@@ -22,28 +22,43 @@ Terminal table
     keys such results by ``(statements, env, data, first snapshot)`` and
     matches by examined-prefix comparison.
 
-Keys use value identity for statements (alpha-canonical form) and
-environments, and object identity for snapshots and the data source —
-snapshots are immutable and shared across calls, and each entry pins its
-identity-keyed referents so ids cannot be recycled.  Both tables are
-bounded LRUs; hit/miss/eviction counters feed
+Every key component is a **value** (see :mod:`repro.engine.keys`):
+statements by alpha-canonical form, environments by fingerprint, data
+sources and snapshots by structural content digest.  Entries therefore
+need no pinning — a key can never alias recycled object ids — and a key
+computed in one process addresses the same outcome in any other, which
+is what the persistent backends below and the multi-process service
+(:mod:`repro.service`) are built on.  Both tables are bounded LRUs with
+byte-accounted footprints and optional byte-based eviction thresholds;
+hit/miss/eviction counters feed
 :class:`repro.synth.synthesizer.SynthesisStats`.
+
+Backends
+--------
+An optional :class:`~repro.service.backends.CacheBackend` adds a second
+level behind the in-memory tables: lookups that miss in memory consult
+the backend (a hit *warm-starts* the entry back into memory and counts
+as ``warm_hits``), and every recorded outcome is written through,
+addressed by the :func:`~repro.engine.keys.stable_digest` of its full
+value key.  The default in-process backend is a no-op — byte-for-byte
+legacy behavior; the file backend persists executions across process
+boundaries and restarts, and several worker processes pointing at one
+store share each other's work.
 
 Process-level sharing
 ---------------------
 :class:`SharedExecutionCache` promotes the per-engine cache to a
 process-level one: the three tables are *lock-striped* across shards
-(keyed by the same content-addressed keys, so a key always lands on the
+(keyed by the same value-addressed keys, so a key always lands on the
 same shard), and a *snapshot-interning* table maps structurally equal
-snapshots from different sessions onto one canonical root — making the
-id-keyed window keys, the per-snapshot :class:`~repro.engine.index.
-SnapshotIndex` (with its ``enum_memo``), and therefore every memoized
-execution shareable across concurrent sessions over the same site.
-Engines join through :meth:`SharedExecutionCache.session`, which hands
-out a :class:`SharedCacheSession` view with per-session counters (so
-interleaved sessions never steal each other's telemetry) and a
-cross-session hit count.  :func:`process_cache` holds the process-wide
-instance behind ``SynthesisConfig.shared_cache`` /
+snapshots from different sessions onto one canonical root — sessions
+over the same site then share the per-snapshot :class:`~repro.engine.
+index.SnapshotIndex` (with its ``enum_memo``) as well as every memoized
+execution.  Engines join through :meth:`SharedExecutionCache.session`,
+which hands out a :class:`SharedCacheSession` view with per-session
+counters (so interleaved sessions never steal each other's telemetry)
+and a cross-session hit count.  :func:`process_cache` holds the
+process-wide instance behind ``SynthesisConfig.shared_cache`` /
 ``REPRO_SHARED_CACHE=1``.
 """
 
@@ -56,7 +71,11 @@ from dataclasses import dataclass, fields
 from typing import Optional, Sequence
 
 from repro.dom.node import DOMNode
+from repro.engine.keys import stable_digest
 from repro.semantics.env import Env
+
+#: Backend entry kinds (mirrors :mod:`repro.service.backends`).
+_EXACT, _TERMINAL, _CONSISTENCY = 0, 1, 2
 
 
 @dataclass
@@ -67,8 +86,11 @@ class CacheCounters:
     two are execution lookups, the third is the consistency-check memo
     that rides the same cache.  ``cross_session_hits`` counts hits whose
     entry was recorded by a *different* session of a shared cache (it is
-    always 0 for a private cache).  Counter objects are merged, not
-    shared: each validation worker records into its own instance and the
+    always 0 for a private cache); ``warm_hits`` counts hits served from
+    a persistent backend — entries recorded by a prior process (they
+    are included in the exact/prefix/consistency breakdown, never in
+    ``cross_session_hits``).  Counter objects are merged, not shared:
+    each validation worker records into its own instance and the
     scheduler folds them together at join (:meth:`merge`), so the totals
     stay exact under concurrent validation.
     """
@@ -80,6 +102,7 @@ class CacheCounters:
     prefix_hits: int = 0
     consistency_hits: int = 0
     cross_session_hits: int = 0
+    warm_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -94,32 +117,30 @@ class CacheCounters:
 
 
 class _Entry:
-    """One memoized outcome.  ``pins`` keeps id-keyed referents alive.
+    """One memoized outcome.
 
     ``exact_budget_ok`` marks terminal entries whose recorded run made
     no environment binding after its last emitted action, so the
     outcome also stands in for a run whose budget *equals* the action
     count (such a run halts right after that action and can never bind
     again).  ``owner`` is the session token that recorded the entry
-    (0 for private caches) — hits from other sessions count as
-    cross-session reuse.
+    (0 for private caches and for entries restored from a persistent
+    backend) — hits from other sessions count as cross-session reuse.
     """
 
-    __slots__ = ("actions", "env", "examined", "pins", "exact_budget_ok", "owner")
+    __slots__ = ("actions", "env", "examined", "exact_budget_ok", "owner")
 
     def __init__(
         self,
         actions: tuple,
         env: Env,
         examined: Optional[tuple[int, ...]],
-        pins: tuple,
         exact_budget_ok: bool = False,
         owner: int = 0,
     ) -> None:
         self.actions = actions
         self.env = env
         self.examined = examined
-        self.pins = pins
         self.exact_budget_ok = exact_budget_ok
         self.owner = owner
 
@@ -128,18 +149,27 @@ class _Entry:
 #: slot, and the key tuple's skeleton.
 _ENTRY_OVERHEAD = 200
 #: Approximate bytes per element of the variable-length parts (an action
-#: object share, a pinned reference, a key id).
+#: object share, a statement-key share).
 _PER_ITEM = 56
+#: Approximate bytes per content-digest int (the 128-bit snapshot keys
+#: making up window tuples and examined prefixes).
+_KEY_INT = 44
 
 
 def _entry_bytes(key: tuple, entry: _Entry) -> int:
-    """Deterministic size estimate of one execution entry (bytes)."""
-    size = _ENTRY_OVERHEAD + _PER_ITEM * len(entry.actions) + 8 * len(entry.pins)
+    """Deterministic size estimate of one execution entry (bytes).
+
+    Window and examined components scale with the *window length*, so
+    long-window terminal entries weigh proportionally more — the
+    byte-based threshold therefore pressures exactly the entries the
+    old count-based policy undercounted.
+    """
+    size = _ENTRY_OVERHEAD + _PER_ITEM * len(entry.actions)
     if entry.examined is not None:
-        size += 8 * len(entry.examined)
+        size += _KEY_INT * len(entry.examined)
     for part in key:
         if type(part) is tuple:
-            size += 8 * len(part)
+            size += _KEY_INT * len(part)
     return size
 
 
@@ -148,10 +178,7 @@ def _consistency_bytes(key: tuple, value: tuple) -> int:
     size = _ENTRY_OVERHEAD
     for part in key:
         if type(part) is tuple:
-            size += 8 * len(part)
-    for pin in value[1]:
-        if type(pin) is tuple:
-            size += 8 * len(pin)
+            size += _KEY_INT * len(part)
     return size
 
 
@@ -159,9 +186,17 @@ class ExecutionCache:
     """Bounded LRU over execution outcomes (see the module docstring).
 
     ``base`` below is the window-independent part of the key:
-    ``(statements key, env key, data key)``.  ``window_ids`` is the
-    window's snapshots by ``id``; ``budget`` the effective action budget
-    (already clamped to the window length by the engine).
+    ``(statements key, env key, data key)``.  ``window_keys`` is the
+    window's snapshots by content digest; ``budget`` the effective
+    action budget (already clamped to the window length by the engine).
+
+    ``max_entries`` bounds each table by count; ``max_bytes`` (optional)
+    bounds the *summed* approximate footprint of all three tables —
+    when exceeded, oldest entries are evicted table by table until back
+    under, so many small entries and few huge ones meet the same
+    ceiling.  ``backend`` is an optional persistent second level
+    (:mod:`repro.service.backends`), consulted on in-memory misses and
+    written through on every insert.
 
     Lookups and inserts accept an optional per-caller ``counters`` —
     validation workers and session views pass their own — and a
@@ -174,85 +209,188 @@ class ExecutionCache:
     each instance in a lock.
     """
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        max_bytes: Optional[int] = None,
+        backend=None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError("cache size must be positive")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("byte threshold must be positive")
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        # a non-persistent backend is a no-op by contract: drop it so the
+        # hot path never computes store digests for nothing
+        self._backend = backend if backend is not None and backend.persistent else None
+        self.backend_name = backend.name if backend is not None else "memory"
         # recency reordering only pays off once a table could actually
         # evict something hot; below half capacity a hit is left in place
         self._touch_floor = max(1, max_entries // 2)
         self.counters = CacheCounters()
-        #: Approximate bytes held by all three tables (entries + pins
-        #: they uniquely carry; interned snapshots are accounted by the
-        #: shared cache, which owns them).
+        #: Approximate bytes held by all three tables.
         self.approx_bytes = 0
+        # memo of stable_digest(base): the same base (statements, env,
+        # data) is probed against hundreds of windows, and re-hashing
+        # canonical statement forms per probe would dominate backend
+        # lookups.  Value-keyed, so it is correct by construction.
+        self._base_digests: dict[tuple, bytes] = {}
         # dicts preserve insertion order: pop + reinsert makes them LRUs
         self._exact: dict[tuple, _Entry] = {}
         self._terminal: dict[tuple, _Entry] = {}
-        self._consistency: dict[tuple, tuple[int, tuple]] = {}
+        self._consistency: dict[tuple, tuple[int, int]] = {}
+        self._tables = {
+            "exact": self._exact,
+            "terminal": self._terminal,
+            "consistency": self._consistency,
+        }
 
     def __len__(self) -> int:
         return len(self._exact) + len(self._terminal) + len(self._consistency)
+
+    @property
+    def backend(self):
+        """The persistent backend behind this cache, if any."""
+        return self._backend
+
+    @property
+    def persisted_bytes(self) -> int:
+        """Approximate bytes held by the persistent backend (0 without one)."""
+        return self._backend.persisted_bytes if self._backend is not None else 0
 
     # ------------------------------------------------------------------
     def get(
         self,
         base: tuple,
-        window_ids: tuple[int, ...],
+        window_keys: tuple[int, ...],
         budget: int,
         counters: Optional[CacheCounters] = None,
         session: int = 0,
     ) -> Optional[tuple[tuple, Env]]:
         """The memoized ``(actions, final env)``, or ``None`` on a miss."""
         recorders = self._recorders(counters)
-        exact_key = (base, window_ids, budget)
+        exact_key = (base, window_keys, budget)
         entry = self._exact.get(exact_key)
         if entry is not None:
             if len(self._exact) >= self._touch_floor:
                 self._touch(self._exact, exact_key)
-            cross = entry.owner and entry.owner != session
-            for recorder in recorders:
-                recorder.hits += 1
-                recorder.exact_hits += 1
-                if cross:
-                    recorder.cross_session_hits += 1
+            self._record_hit(recorders, "exact_hits", entry.owner, session)
             return entry.actions, entry.env
-        terminal_key = (base, window_ids[0])
+        terminal_key = (base, window_keys[0])
         entry = self._terminal.get(terminal_key)
-        if (
-            entry is not None
-            and len(entry.examined) <= len(window_ids)
-            # a budget exactly equal to the action count also replays
-            # identically — but only when the recorded run bound nothing
-            # after its last action (exact_budget_ok), since a capped
-            # run halts there and its final env is the last-action env
-            and (
-                budget > len(entry.actions)
-                or (budget == len(entry.actions) and entry.exact_budget_ok)
-            )
-            and window_ids[: len(entry.examined)] == entry.examined
-        ):
+        if entry is not None and self._terminal_applies(entry, window_keys, budget):
             if len(self._terminal) >= self._touch_floor:
                 self._touch(self._terminal, terminal_key)
-            cross = entry.owner and entry.owner != session
-            for recorder in recorders:
-                recorder.hits += 1
-                recorder.prefix_hits += 1
-                if cross:
-                    recorder.cross_session_hits += 1
+            self._record_hit(recorders, "prefix_hits", entry.owner, session)
             return entry.actions, entry.env
+        if self._backend is not None:
+            # full in-memory miss: the backend may hold either kind from
+            # a prior process.  An *inapplicable* in-memory terminal
+            # entry only rules out the store's terminal copy (write-
+            # through keeps them equal) — a persisted exact entry for
+            # this very window may still exist, so only the terminal
+            # probe is skipped in that case.
+            warm = self._warm_start(
+                base,
+                window_keys,
+                budget,
+                exact_key,
+                terminal_key,
+                probe_terminal=entry is None,
+            )
+            if warm is not None:
+                kind, result = warm
+                self._record_hit(recorders, kind, 0, session, warm=True)
+                return result
         for recorder in recorders:
             recorder.misses += 1
         return None
 
+    @staticmethod
+    def _terminal_applies(
+        entry: _Entry, window_keys: tuple[int, ...], budget: int
+    ) -> bool:
+        # a budget exactly equal to the action count also replays
+        # identically — but only when the recorded run bound nothing
+        # after its last action (exact_budget_ok), since a capped run
+        # halts there and its final env is the last-action env
+        return (
+            len(entry.examined) <= len(window_keys)
+            and (
+                budget > len(entry.actions)
+                or (budget == len(entry.actions) and entry.exact_budget_ok)
+            )
+            and window_keys[: len(entry.examined)] == entry.examined
+        )
+
+    def _store_digest(self, tag: str, base: tuple, *rest) -> bytes:
+        """The backend address of a key, with the base digest memoized."""
+        base_digest = self._base_digests.get(base)
+        if base_digest is None:
+            if len(self._base_digests) >= 4 * self.max_entries:
+                self._base_digests.clear()
+            base_digest = self._base_digests[base] = stable_digest(base)
+        return stable_digest((tag, base_digest) + rest)
+
+    def _warm_start(
+        self,
+        base: tuple,
+        window_keys: tuple[int, ...],
+        budget: int,
+        exact_key: tuple,
+        terminal_key: tuple,
+        probe_terminal: bool = True,
+    ):
+        """Consult the persistent backend; promote what it knows."""
+        payload = self._backend.load_entry(
+            _EXACT, self._store_digest("exact", base, window_keys, budget)
+        )
+        if payload is not None:
+            actions, env, _, _ = payload
+            self._insert(self._exact, exact_key, _Entry(actions, env, None), ())
+            return "exact_hits", (actions, env)
+        if not probe_terminal:
+            return None
+        payload = self._backend.load_entry(
+            _TERMINAL, self._store_digest("terminal", base, window_keys[0])
+        )
+        if payload is not None:
+            actions, env, examined, exact_budget_ok = payload
+            if examined is None:  # corrupt/foreign payload: ignore
+                return None
+            entry = _Entry(actions, env, examined, exact_budget_ok)
+            # promote even when unusable for *this* lookup: the entry is
+            # exactly what a local put would have recorded
+            self._insert(self._terminal, terminal_key, entry, ())
+            if self._terminal_applies(entry, window_keys, budget):
+                return "prefix_hits", (actions, env)
+        return None
+
+    @staticmethod
+    def _record_hit(
+        recorders: tuple,
+        kind: str,
+        owner: int,
+        session: int,
+        warm: bool = False,
+    ) -> None:
+        cross = owner and owner != session
+        for recorder in recorders:
+            recorder.hits += 1
+            setattr(recorder, kind, getattr(recorder, kind) + 1)
+            if cross:
+                recorder.cross_session_hits += 1
+            if warm:
+                recorder.warm_hits += 1
+
     def put(
         self,
         base: tuple,
-        window_ids: tuple[int, ...],
+        window_keys: tuple[int, ...],
         budget: int,
         actions: tuple,
         env: Env,
-        pins: tuple,
         exact_budget_ok: bool = False,
         counters: Optional[CacheCounters] = None,
         session: int = 0,
@@ -267,21 +405,39 @@ class ExecutionCache:
         recorders = self._recorders(counters)
         self._insert(
             self._exact,
-            (base, window_ids, budget),
-            _Entry(actions, env, None, pins, owner=session),
+            (base, window_keys, budget),
+            _Entry(actions, env, None, owner=session),
             recorders,
         )
+        if self._backend is not None:
+            self._backend.store_entry(
+                _EXACT,
+                self._store_digest("exact", base, window_keys, budget),
+                actions,
+                env,
+                None,
+                False,
+            )
         count = len(actions)
-        if count < len(window_ids) and count < budget:
+        if count < len(window_keys) and count < budget:
             # terminated on its own terms: reusable on any extension of
             # the examined prefix (consumed snapshots + the final head)
-            examined = window_ids[: count + 1]
+            examined = window_keys[: count + 1]
             self._insert(
                 self._terminal,
-                (base, window_ids[0]),
-                _Entry(actions, env, examined, pins, exact_budget_ok, owner=session),
+                (base, window_keys[0]),
+                _Entry(actions, env, examined, exact_budget_ok, owner=session),
                 recorders,
             )
+            if self._backend is not None:
+                self._backend.store_entry(
+                    _TERMINAL,
+                    self._store_digest("terminal", base, window_keys[0]),
+                    actions,
+                    env,
+                    examined,
+                    exact_budget_ok,
+                )
 
     # ------------------------------------------------------------------
     def get_consistency(
@@ -294,32 +450,37 @@ class ExecutionCache:
         recorders = self._recorders(counters)
         hit = self._consistency.get(key)
         if hit is None:
+            if self._backend is not None:
+                value = self._backend.load_consistency(
+                    stable_digest(("consistency", key))
+                )
+                if value is not None:
+                    self._insert_value("consistency", key, (value, 0), ())
+                    self._record_hit(recorders, "consistency_hits", 0, session, warm=True)
+                    return value
             for recorder in recorders:
                 recorder.misses += 1
             return None
         if len(self._consistency) >= self._touch_floor:
             self._touch(self._consistency, key)
-        owner = hit[2]
-        cross = owner and owner != session
-        for recorder in recorders:
-            recorder.hits += 1
-            recorder.consistency_hits += 1
-            if cross:
-                recorder.cross_session_hits += 1
+        self._record_hit(recorders, "consistency_hits", hit[1], session)
         return hit[0]
 
     def put_consistency(
         self,
         key: tuple,
         value: int,
-        pins: tuple,
         counters: Optional[CacheCounters] = None,
         session: int = 0,
     ) -> None:
         """Record one consistency-check outcome."""
         self._insert_value(
-            self._consistency, key, (value, pins, session), self._recorders(counters)
+            "consistency", key, (value, session), self._recorders(counters)
         )
+        if self._backend is not None:
+            self._backend.store_consistency(
+                stable_digest(("consistency", key)), value
+            )
 
     # ------------------------------------------------------------------
     def _recorders(self, counters: Optional[CacheCounters]) -> tuple:
@@ -335,13 +496,17 @@ class ExecutionCache:
     def _insert(
         self, table: dict, key: tuple, entry: _Entry, recorders: tuple
     ) -> None:
-        self._insert_value(table, key, entry, recorders)
+        name = "exact" if table is self._exact else "terminal"
+        self._insert_value(name, key, entry, recorders)
 
     def _insert_value(
-        self, table: dict, key: tuple, value, recorders: Optional[tuple] = None
+        self, name: str, key: tuple, value, recorders: Optional[tuple] = None
     ) -> None:
+        # an explicitly empty recorder tuple (backend promotions) counts
+        # nothing: the entry was not this process's traffic
         if recorders is None:
             recorders = (self.counters,)
+        table = self._tables[name]
         if key in table:
             self.approx_bytes -= self._value_bytes(key, table.pop(key))
         elif len(table) >= self.max_entries:
@@ -351,6 +516,42 @@ class ExecutionCache:
                 recorder.evictions += 1
         table[key] = value
         self.approx_bytes += self._value_bytes(key, value)
+        if self.max_bytes is not None and self.approx_bytes > self.max_bytes:
+            self._enforce_bytes(name, key, recorders)
+
+    def _enforce_bytes(self, fresh_name: str, fresh_key: tuple, recorders) -> None:
+        """Evict until the byte threshold is respected.
+
+        Deliberately per-table priority order, oldest within each: the
+        exact table drains first (its entries are the most redundant —
+        terminal entries cover their extensions), then terminal, then
+        the cheap-to-recompute consistency memos.  Cross-table age is
+        not tracked, so this is not a global LRU; under a byte budget
+        dominated by one table, the earlier tables bear the eviction
+        pressure first by design.
+
+        The just-inserted entry is never the victim: an entry larger
+        than the whole budget parks the cache one entry over threshold
+        until the next insert ages it out, instead of turning the cache
+        into a sieve that drops everything it is handed.
+        """
+        while self.approx_bytes > self.max_bytes:
+            victim = None
+            for name, table in self._tables.items():
+                for key in table:  # first = oldest inserted
+                    if name == fresh_name and key == fresh_key:
+                        continue  # spare the entry being inserted
+                    victim = (name, key)
+                    break
+                if victim is not None:
+                    break
+            if victim is None:
+                return  # only the fresh entry remains
+            name, key = victim
+            table = self._tables[name]
+            self.approx_bytes -= self._value_bytes(key, table.pop(key))
+            for recorder in recorders:
+                recorder.evictions += 1
 
     @staticmethod
     def _value_bytes(key: tuple, value) -> int:
@@ -365,8 +566,9 @@ class ExecutionCache:
 
 #: Approximate bytes per interned DOM node: the node object, its attrs
 #: dict, text, child list slot, and its share of the snapshot's index
-#: buckets (snapshots pinned by entries dominate the cache's footprint,
-#: so this coarse figure is what the eviction telemetry reports on).
+#: buckets (interned snapshots and their indexes dominate the shared
+#: cache's resident footprint, so this coarse figure is what the
+#: eviction telemetry reports on).
 _NODE_BYTES = 320
 
 
@@ -386,9 +588,11 @@ class _Shard:
 
     __slots__ = ("lock", "cache")
 
-    def __init__(self, max_entries: int) -> None:
+    def __init__(
+        self, max_entries: int, max_bytes: Optional[int], backend
+    ) -> None:
         self.lock = threading.Lock()
-        self.cache = ExecutionCache(max_entries)
+        self.cache = ExecutionCache(max_entries, max_bytes=max_bytes, backend=backend)
 
 
 class SharedExecutionCache:
@@ -397,22 +601,25 @@ class SharedExecutionCache:
     The three memo tables are striped over ``shards`` independent
     :class:`ExecutionCache` instances, each behind its own lock; a key
     always hashes to the same shard, so the per-table LRU discipline and
-    byte accounting carry over per shard.  Content-addressed keys
-    (alpha-canonical statements, env fingerprints, snapshot ids) make
-    entries session-agnostic — the only per-session piece is telemetry,
-    which lives on the :class:`SharedCacheSession` views handed out by
-    :meth:`session`.
+    byte accounting carry over per shard (``max_bytes``, when given, is
+    split evenly across shards).  Value-addressed keys (alpha-canonical
+    statements, env fingerprints, snapshot content digests) make entries
+    session-agnostic — the only per-session piece is telemetry, which
+    lives on the :class:`SharedCacheSession` views handed out by
+    :meth:`session`.  An optional persistent ``backend`` is shared by
+    all shards, extending the same sharing across worker processes.
 
     Snapshot interning
         :meth:`intern_snapshots` maps structurally equal snapshot roots
         onto one canonical root per structure, so sessions recording the
         same site share ``SnapshotIndex`` instances (with their
-        ``enum_memo``) and, through the now-identical window id-keys,
-        each other's execution entries.  The interning table is an exact
-        map keyed by :meth:`repro.dom.node.DOMNode.structural_key` (no
-        fingerprint collisions possible) and a bounded LRU: evicting a
-        canonical root only forfeits future sharing — entries that pinned
-        it keep replaying correctly.
+        ``enum_memo``).  The interning table is keyed by
+        :meth:`repro.dom.node.DOMNode.content_key` — the same
+        value-addressed digest the execution keys use (collisions are
+        cryptographically negligible) — and a bounded LRU: evicting a
+        canonical root only forfeits future index sharing, since
+        execution entries reference snapshots by digest, never by
+        object.
     """
 
     def __init__(
@@ -420,20 +627,27 @@ class SharedExecutionCache:
         max_entries: int = 65536,
         shards: int = 8,
         max_snapshots: int = 512,
+        max_bytes: Optional[int] = None,
+        backend=None,
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
         per_shard = max(1, max_entries // shards)
-        self._shards = tuple(_Shard(per_shard) for _ in range(shards))
+        per_shard_bytes = None if max_bytes is None else max(1, max_bytes // shards)
+        self._shards = tuple(
+            _Shard(per_shard, per_shard_bytes, backend) for _ in range(shards)
+        )
+        self._backend = backend
+        self.backend_name = backend.name if backend is not None else "memory"
         self.max_snapshots = max_snapshots
         self._intern_lock = threading.Lock()
-        # structural key -> canonical root (insertion-ordered: an LRU)
-        self._canonical: dict[tuple, DOMNode] = {}
+        # content key -> canonical root (insertion-ordered: an LRU)
+        self._canonical: dict[int, DOMNode] = {}
         # id(root) -> (root pinned so its id stays valid, canonical);
         # bounded separately — a fast path around re-keying structures
         self._known: dict[int, tuple[DOMNode, DOMNode]] = {}
         self._known_limit = max(64, 8 * max_snapshots)
-        self._node_counts: dict[tuple, int] = {}
+        self._node_counts: dict[int, int] = {}
         # data-source interning (same discipline as snapshots): frozen
         # JSON value -> canonical DataSource, plus an id fast path
         self._data_canonical: dict[tuple, object] = {}
@@ -467,8 +681,39 @@ class SharedExecutionCache:
 
     @property
     def approx_bytes(self) -> int:
-        """Approximate bytes held by all shards' tables."""
-        return sum(shard.cache.approx_bytes for shard in self._shards)
+        """Approximate bytes held by all shards' tables, plus the
+        enumeration memos pinned on the interned snapshots' indexes
+        (they are cache state with the same lifetime concerns, so they
+        count toward the same footprint)."""
+        return (
+            sum(shard.cache.approx_bytes for shard in self._shards)
+            + self.enum_bytes
+        )
+
+    @property
+    def enum_bytes(self) -> int:
+        """Approximate bytes of the interned snapshots' enumeration memos."""
+        total = 0
+        with self._intern_lock:
+            roots = list(self._canonical.values())
+        for root in roots:
+            index = root._snapshot_index
+            if index is not None:
+                total += index.enum_memo.approx_bytes
+        return total
+
+    @property
+    def backend(self):
+        """The persistent backend shared by the shards, if any."""
+        return self._backend
+
+    @property
+    def persisted_bytes(self) -> int:
+        """Approximate bytes held by the persistent backend (0 without one)."""
+        backend = self._backend
+        if backend is None or not backend.persistent:
+            return 0
+        return backend.persisted_bytes
 
     @property
     def interned_snapshots(self) -> int:
@@ -482,7 +727,11 @@ class SharedExecutionCache:
         """Drop every entry and interned snapshot (telemetry included)."""
         for shard in self._shards:
             with shard.lock:
-                fresh = ExecutionCache(shard.cache.max_entries)
+                fresh = ExecutionCache(
+                    shard.cache.max_entries,
+                    max_bytes=shard.cache.max_bytes,
+                    backend=self._backend,
+                )
                 shard.cache = fresh
         with self._intern_lock:
             self._canonical.clear()
@@ -510,7 +759,7 @@ class SharedExecutionCache:
         known = self._known.get(id(root))
         if known is not None and known[0] is root:
             return known[1]
-        key = root.structural_key()  # pure; computed outside the lock
+        key = root.content_key()  # pure; computed outside the lock
         with self._intern_lock:
             canonical = self._canonical.get(key)
             if canonical is None:
@@ -543,12 +792,11 @@ class SharedExecutionCache:
     def intern_data(self, source):
         """The canonical :class:`~repro.lang.data.DataSource` equal to ``source``.
 
-        Execution keys address the data source by ``id``, so two
-        sessions that each loaded the same JSON would never share
-        entries; interning by the frozen value restores content
-        addressing.  (The consistency memo stays id-keyed on *actions*
-        and only shares between sessions that share recording objects —
-        execution sharing, the expensive part, does not depend on it.)
+        Execution keys already address the source by content digest
+        (:func:`repro.engine.keys.data_key`), so interning is purely a
+        memory optimization: sessions that each loaded the same JSON
+        share one wrapper object (and its memoized digest) instead of
+        keeping duplicates alive.
         """
         known = self._data_known.get(id(source))
         if known is not None and known[0] is source:
@@ -597,11 +845,21 @@ class SharedCacheSession:
         """Approximate bytes of the shared tables (all sessions)."""
         return self._shared.approx_bytes
 
+    @property
+    def backend_name(self) -> str:
+        """Name of the backend behind the shared cache."""
+        return self._shared.backend_name
+
+    @property
+    def persisted_bytes(self) -> int:
+        """Approximate bytes held by the shared cache's backend."""
+        return self._shared.persisted_bytes
+
     # ------------------------------------------------------------------
     def get(
         self,
         base: tuple,
-        window_ids: tuple[int, ...],
+        window_keys: tuple[int, ...],
         budget: int,
         counters: Optional[CacheCounters] = None,
     ) -> Optional[tuple[tuple, Env]]:
@@ -609,7 +867,7 @@ class SharedCacheSession:
         with shard.lock:
             return shard.cache.get(
                 base,
-                window_ids,
+                window_keys,
                 budget,
                 counters=self.counters if counters is None else counters,
                 session=self._token,
@@ -618,11 +876,10 @@ class SharedCacheSession:
     def put(
         self,
         base: tuple,
-        window_ids: tuple[int, ...],
+        window_keys: tuple[int, ...],
         budget: int,
         actions: tuple,
         env: Env,
-        pins: tuple,
         exact_budget_ok: bool = False,
         counters: Optional[CacheCounters] = None,
     ) -> None:
@@ -630,11 +887,10 @@ class SharedCacheSession:
         with shard.lock:
             shard.cache.put(
                 base,
-                window_ids,
+                window_keys,
                 budget,
                 actions,
                 env,
-                pins,
                 exact_budget_ok,
                 counters=self.counters if counters is None else counters,
                 session=self._token,
@@ -655,7 +911,6 @@ class SharedCacheSession:
         self,
         key: tuple,
         value: int,
-        pins: tuple,
         counters: Optional[CacheCounters] = None,
     ) -> None:
         shard = self._shared._shard_for(key)
@@ -663,7 +918,6 @@ class SharedCacheSession:
             shard.cache.put_consistency(
                 key,
                 value,
-                pins,
                 counters=self.counters if counters is None else counters,
                 session=self._token,
             )
@@ -676,20 +930,32 @@ _PROCESS_CACHE: Optional[SharedExecutionCache] = None
 _PROCESS_LOCK = threading.Lock()
 
 
-def process_cache() -> SharedExecutionCache:
+def process_cache(backend_name: Optional[str] = None) -> SharedExecutionCache:
     """The lazily created process-wide :class:`SharedExecutionCache`.
 
     Sized by ``REPRO_SHARED_CACHE_ENTRIES`` (default 65536 across all
-    shards), ``REPRO_CACHE_SHARDS`` (default 8), and
-    ``REPRO_SHARED_CACHE_SNAPSHOTS`` (default 512 interned snapshots).
+    shards), ``REPRO_CACHE_SHARDS`` (default 8),
+    ``REPRO_SHARED_CACHE_SNAPSHOTS`` (default 512 interned snapshots),
+    and ``REPRO_SHARED_CACHE_BYTES`` (optional byte threshold across all
+    shards; unset = count-bounded only).  The persistent backend is
+    resolved at *first creation* — from ``backend_name`` when the first
+    caller passes one (the engine passes its config's resolved backend),
+    else from ``REPRO_CACHE_BACKEND`` (see
+    :func:`repro.service.backends.resolve_backend`).  Later callers
+    share the instance as-is: one process, one backend.
     """
     global _PROCESS_CACHE
     with _PROCESS_LOCK:
         if _PROCESS_CACHE is None:
+            from repro.service.backends import resolve_backend
+
+            raw_bytes = os.environ.get("REPRO_SHARED_CACHE_BYTES", "").strip()
             _PROCESS_CACHE = SharedExecutionCache(
                 max_entries=int(os.environ.get("REPRO_SHARED_CACHE_ENTRIES", "65536")),
                 shards=int(os.environ.get("REPRO_CACHE_SHARDS", "8")),
                 max_snapshots=int(os.environ.get("REPRO_SHARED_CACHE_SNAPSHOTS", "512")),
+                max_bytes=int(raw_bytes) if raw_bytes else None,
+                backend=resolve_backend(backend_name),
             )
         return _PROCESS_CACHE
 

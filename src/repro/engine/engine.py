@@ -55,6 +55,7 @@ from repro.engine.cache import (
     SharedCacheSession,
     SharedExecutionCache,
 )
+from repro.engine.keys import action_digest, data_key
 from repro.lang.actions import Action
 from repro.lang.ast import Program, Statement, canonical_statement
 from repro.lang.data import DataSource
@@ -84,11 +85,17 @@ class EngineCounters:
     wraps around each call — raw deltas of this field misattribute
     builds when two sessions interleave in one process.
 
-    The last three fields are *gauges*, not counters: ``cache_bytes``
-    is the approximate byte footprint of the backing cache's tables at
-    snapshot time, and ``interned_snapshots`` / ``interned_bytes``
-    describe the shared cache's snapshot-interning table (0 for private
-    caches).  Deltas of gauges are meaningless — report them as-is.
+    ``warm_hits`` counts hits served from a *persistent backend* —
+    executions recorded by a prior process over the same store (always 0
+    for the default in-process backend); ``backend`` names the backend
+    behind the cache.
+
+    ``cache_bytes``, ``interned_snapshots``, ``interned_bytes`` and
+    ``persisted_bytes`` are *gauges*, not counters: the approximate byte
+    footprint of the backing cache's tables, the shared cache's
+    snapshot-interning table (0 for private caches), and the persistent
+    store, all at snapshot time.  Deltas of gauges are meaningless —
+    report them as-is.
     """
 
     hits: int = 0
@@ -98,10 +105,13 @@ class EngineCounters:
     prefix_hits: int = 0
     consistency_hits: int = 0
     cross_session_hits: int = 0
+    warm_hits: int = 0
     index_builds: int = 0
     cache_bytes: int = 0
     interned_snapshots: int = 0
     interned_bytes: int = 0
+    persisted_bytes: int = 0
+    backend: str = "memory"
 
     @property
     def hit_rate(self) -> float:
@@ -120,15 +130,17 @@ class ExecutionEngine:
         cache_size: int = 4096,
         use_cache: bool = True,
         shared_cache: Optional[SharedExecutionCache] = None,
+        backend=None,
     ) -> None:
         self.data = data
         if not use_cache or cache_size <= 0:
             self._cache = None
         elif shared_cache is not None:
             # one session view per engine: shared tables, private counters
+            # (the shared cache owns its own backend)
             self._cache = shared_cache.session()
         else:
-            self._cache = ExecutionCache(cache_size)
+            self._cache = ExecutionCache(cache_size, backend=backend)
         # per-thread counter override installed by validation workers
         self._worker_tls = threading.local()
         # canonical-statement memo: statement objects are shared between
@@ -139,6 +151,12 @@ class ExecutionEngine:
         self._canon: dict[int, tuple] = {}
         self._canon_pins: list[Statement] = []
         self._canon_lock = threading.Lock()
+        # id-memoized per-action content digests for the consistency
+        # memo's value-addressed keys (same discipline as _canon: the
+        # digest is a pure function of the action value, and pinning
+        # keeps memoized ids valid)
+        self._action_keys: dict[int, int] = {}
+        self._action_pins: list[Action] = []
 
     @classmethod
     def for_config(
@@ -152,29 +170,42 @@ class ExecutionEngine:
         *private* sharded cache — same tables, but lock-striped so the
         pool scheduler's workers can share it safely.  The default is
         the plain single-threaded :class:`ExecutionCache`, byte-exact
-        with the pre-concurrency engine.
+        with the pre-concurrency engine.  The config's ``cache_backend``
+        (default: ``REPRO_CACHE_BACKEND``) attaches the resolved
+        persistent backend behind whichever cache is chosen — the
+        process-level cache resolves its backend from the environment at
+        first creation.
         """
         from repro.engine.cache import process_cache
-        from repro.synth.config import resolved_shared_cache, resolved_validation_workers
+        from repro.service.backends import resolve_backend
+        from repro.synth.config import (
+            resolved_cache_backend,
+            resolved_shared_cache,
+            resolved_validation_workers,
+        )
 
         shared: Optional[SharedExecutionCache] = None
+        backend = None
         if config.use_execution_cache and config.max_cache_entries > 0:
+            backend_name = resolved_cache_backend(config)
+            backend = resolve_backend(backend_name)
             if resolved_shared_cache(config):
-                shared = process_cache()
+                shared = process_cache(backend_name)
                 if data is not None:
-                    # execution keys address the source by id; interning
-                    # maps equal-content sources onto one object so
-                    # sessions that each loaded the same data still share
+                    # keys address the source by content digest already;
+                    # interning shares the wrapper object (and its
+                    # memoized digest) between equal-content sessions
                     data = shared.intern_data(data)
             elif resolved_validation_workers(config) > 0:
                 shared = SharedExecutionCache(
-                    max_entries=config.max_cache_entries, shards=4
+                    max_entries=config.max_cache_entries, shards=4, backend=backend
                 )
         return cls(
             data,
             cache_size=config.max_cache_entries,
             use_cache=config.use_execution_cache,
             shared_cache=shared,
+            backend=backend,
         )
 
     @property
@@ -201,10 +232,17 @@ class ExecutionEngine:
             prefix_hits=cache.prefix_hits,
             consistency_hits=cache.consistency_hits,
             cross_session_hits=cache.cross_session_hits,
+            warm_hits=cache.warm_hits,
             index_builds=dom_index.build_count(),
             cache_bytes=self._cache.approx_bytes if self._cache is not None else 0,
             interned_snapshots=shared.interned_snapshots if shared is not None else 0,
             interned_bytes=shared.interned_bytes if shared is not None else 0,
+            persisted_bytes=(
+                self._cache.persisted_bytes if self._cache is not None else 0
+            ),
+            backend=(
+                self._cache.backend_name if self._cache is not None else "memory"
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -262,21 +300,24 @@ class ExecutionEngine:
         if self._cache is None or window_length == 0 or budget <= 0:
             return evaluator.execute(program, doms, source, env, max_actions)
         statements = tuple(program)
-        base = (self._statements_key(statements), _env_key(env), id(source))
-        window_ids = doms.id_key()
+        # every component is a value (see repro.engine.keys): canonical
+        # statement forms, the env fingerprint, the data source's content
+        # digest, and the window's snapshot content digests — so the key
+        # addresses the same outcome in any process
+        base = (self._statements_key(statements), _env_key(env), _data_key(source))
+        window_keys = doms.value_key()
         counters = self._active_counters()
-        hit = self._cache.get(base, window_ids, budget, counters=counters)
+        hit = self._cache.get(base, window_keys, budget, counters=counters)
         if hit is not None:
             actions, final_env = hit
             return EvalResult(list(actions), doms.window(len(actions)), final_env)
         result = evaluator.execute(statements, doms, source, env, max_actions)
         self._cache.put(
             base,
-            window_ids,
+            window_keys,
             budget,
             tuple(result.actions),
             result.env,
-            pins=(source, doms.pin_key()),
             exact_budget_ok=result.env_at_last_action is result.env,
             counters=counters,
         )
@@ -295,27 +336,25 @@ class ExecutionEngine:
 
         Validation re-checks the same produced trace against the same
         recorded slice whenever the underlying execution repeats; the
-        memo is keyed by object identity of the actions and snapshots
-        (all stable across calls), with the entries pinning them.
+        memo is keyed by the actions' content digests and the window's
+        snapshot digests — values, so equal checks from any session (or
+        any process, through a persistent backend) share one entry.
+        The digests themselves are id-memoized per action object
+        (:meth:`action_key`), keeping the hot path a tuple of dict hits.
         """
         if self._cache is None or not produced:
             return _consistent_prefix_length(produced, reference, doms)
         key = (
-            tuple(map(id, produced)),
-            tuple(map(id, reference)),
-            doms.id_key(),
+            tuple(self.action_key(action) for action in produced),
+            tuple(self.action_key(action) for action in reference),
+            doms.value_key(),
         )
         counters = self._active_counters()
         hit = self._cache.get_consistency(key, counters=counters)
         if hit is not None:
             return hit
         value = _consistent_prefix_length(produced, reference, doms)
-        self._cache.put_consistency(
-            key,
-            value,
-            pins=(tuple(produced), tuple(reference), doms.pin_key()),
-            counters=counters,
-        )
+        self._cache.put_consistency(key, value, counters=counters)
         return value
 
     def resolve(self, selector: ConcreteSelector, dom: DOMNode) -> Optional[DOMNode]:
@@ -359,8 +398,33 @@ class ExecutionEngine:
                 self._canon_pins.append(stmt)
         return key
 
+    def action_key(self, action: Action) -> int:
+        """Id-memoized content digest of one action (a pure value).
+
+        Actions are shared between executions and consistency checks of
+        the same trace slice, so identity-keyed lookups hit constantly;
+        the same locking discipline as :meth:`statement_key` keeps the
+        "memoized ⇒ pinned" invariant under concurrent workers.
+        """
+        key = self._action_keys.get(id(action))
+        if key is None:
+            key = action_digest(action)  # pure; computed unlocked
+            with self._canon_lock:
+                if len(self._action_keys) >= self._CANON_LIMIT:
+                    self._action_keys.clear()
+                    self._action_pins.clear()
+                self._action_keys[id(action)] = key
+                self._action_pins.append(action)
+        return key
+
 
 def _env_key(env: Optional[Env]) -> tuple:
     if env is None or len(env) == 0:
         return ()
     return env.fingerprint()
+
+
+def _data_key(source: Optional[DataSource]) -> int:
+    if source is None:
+        return 0
+    return data_key(source)

@@ -64,6 +64,11 @@ from repro.dom.xpath import (
 #: linear fallback.  Distinct from ``None``, which means "no match".
 UNSUPPORTED = object()
 
+#: Per-snapshot byte budget for the enumeration memo (the Decomposition
+#: lists the selector search pins on snapshots) — ``REPRO_ENUM_MEMO_BYTES``
+#: overrides.  8 MiB default: roomy for real pages, bounded for servers.
+_ENUM_MEMO_BYTES = int(os.environ.get("REPRO_ENUM_MEMO_BYTES", str(8 << 20)))
+
 _ENABLED = os.environ.get("REPRO_DOM_INDEX", "1") != "0"
 _BUILDS = 0
 _TRACKERS = threading.local()
@@ -168,6 +173,72 @@ def _record_build() -> None:
         tracker.count += 1
 
 
+#: Approximate bytes per memoized enumeration result element (a
+#: ``Decomposition`` or a step tuple with its share of shared selectors).
+_ENUM_ITEM_BYTES = 112
+#: Fixed per-entry overhead (key tuple + dict slot + list skeleton).
+_ENUM_ENTRY_OVERHEAD = 96
+
+
+class EnumMemo:
+    """A byte-accounted LRU for the enumeration layer's pinned results.
+
+    The selector search memoizes whole decomposition / relative-step
+    lists on the snapshot's index (see :mod:`repro.synth.alternatives`).
+    Those lists pin ``Decomposition`` objects for the snapshot's
+    lifetime — cache state like any other — so this table accounts them
+    in bytes (:attr:`approx_bytes`, surfaced through the shared cache's
+    footprint gauges) and evicts least-recently-written entries once
+    ``max_bytes`` is exceeded, instead of growing without bound over a
+    long-lived server process.
+
+    Exposes the mapping surface the enumeration call sites use
+    (``get`` / item assignment).  Writes take a small lock so concurrent
+    validation workers cannot corrupt the byte account; reads stay
+    lockless (a dict probe of an immutable result).
+    """
+
+    __slots__ = ("_table", "_lock", "max_bytes", "approx_bytes", "evictions")
+
+    def __init__(self, max_bytes: Optional[int] = None) -> None:
+        self._table: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        self.max_bytes = _ENUM_MEMO_BYTES if max_bytes is None else max_bytes
+        self.approx_bytes = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _entry_bytes(value) -> int:
+        try:
+            length = len(value)
+        except TypeError:
+            length = 1
+        return _ENUM_ENTRY_OVERHEAD + _ENUM_ITEM_BYTES * length
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get(self, key: tuple):
+        """The memoized result for ``key``, or ``None``."""
+        return self._table.get(key)
+
+    def __setitem__(self, key: tuple, value) -> None:
+        size = self._entry_bytes(value)
+        with self._lock:
+            previous = self._table.pop(key, None)
+            if previous is not None:
+                self.approx_bytes -= self._entry_bytes(previous)
+            self._table[key] = value
+            self.approx_bytes += size
+            while self.approx_bytes > self.max_bytes and len(self._table) > 1:
+                old_key = next(iter(self._table))
+                if old_key == key:
+                    break  # never evict the entry just written
+                old = self._table.pop(old_key)
+                self.approx_bytes -= self._entry_bytes(old)
+                self.evictions += 1
+
+
 def bucket_key(pred: Predicate) -> Optional[tuple]:
     """The index bucket a predicate's matches live in, or ``None``.
 
@@ -232,8 +303,9 @@ class SnapshotIndex:
         #: keyed by target node id + bounds, so every search object over
         #: this snapshot — including other sessions' — reuses them.
         #: (Results depend only on the immutable snapshot, never on the
-        #: querying session.)
-        self.enum_memo: dict[tuple, object] = {}
+        #: querying session.)  Byte-accounted and evictable — see
+        #: :class:`EnumMemo`.
+        self.enum_memo = EnumMemo()
         pre: dict[int, int] = {}
         end: dict[int, int] = {}
         buckets: dict[tuple, tuple[list[DOMNode], list[int]]] = {}

@@ -117,6 +117,8 @@ class BenchmarkResult:
     cache_prefix_hits: int = 0
     cache_consistency_hits: int = 0
     cache_cross_session_hits: int = 0
+    cache_warm_hits: int = 0
+    cache_backend: str = "memory"
     index_builds: int = 0
     enum_indexed: int = 0
     enum_fallback: int = 0
@@ -170,6 +172,8 @@ def evaluate_benchmark(
             result.cache_prefix_hits += synthesis.stats.cache_prefix_hits
             result.cache_consistency_hits += synthesis.stats.cache_consistency_hits
             result.cache_cross_session_hits += synthesis.stats.cache_cross_session_hits
+            result.cache_warm_hits += synthesis.stats.cache_warm_hits
+            result.cache_backend = synthesis.stats.cache_backend
             result.index_builds += synthesis.stats.index_builds
             result.enum_indexed += synthesis.stats.enum_indexed
             result.enum_fallback += synthesis.stats.enum_fallback
@@ -315,6 +319,14 @@ class Q1Report:
                 lines.append(
                     f"  cross-session cache hits (shared cache): {cross} "
                     f"= {fmt_pct(cross / hits)} of all hits"
+                )
+            warm = sum(result.cache_warm_hits for result in results)
+            if warm:
+                backends = sorted({r.cache_backend for r in results})
+                lines.append(
+                    f"  warm-start cache hits (persistent backend "
+                    f"{'/'.join(backends)}): {warm} = {fmt_pct(warm / hits)} "
+                    f"of all hits"
                 )
         indexed = sum(result.enum_indexed for result in results)
         fallback = sum(result.enum_fallback for result in results)

@@ -75,15 +75,18 @@ def render_synthesis_stats(stats) -> str:
         ["validated", stats.validated],
         ["validation workers", stats.validation_workers or "serial"],
         ["store tuples", stats.tuples],
+        ["cache backend", stats.cache_backend],
         ["exec cache hits", stats.cache_hits],
         ["  exact hits", stats.cache_exact_hits],
         ["  prefix hits", stats.cache_prefix_hits],
         ["  consistency hits", stats.cache_consistency_hits],
         ["  cross-session hits", stats.cache_cross_session_hits],
+        ["  warm-start hits", stats.cache_warm_hits],
         ["exec cache misses", stats.cache_misses],
         ["exec cache hit rate", fmt_pct(stats.cache_hit_rate)],
         ["exec cache evictions", stats.cache_evictions],
         ["exec cache bytes", fmt_bytes(stats.cache_bytes)],
+        ["persisted bytes", fmt_bytes(stats.persisted_bytes)],
         ["interned snapshots", stats.interned_snapshots],
         ["interned bytes", fmt_bytes(stats.interned_bytes)],
         ["DOM index builds", stats.index_builds],

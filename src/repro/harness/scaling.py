@@ -39,8 +39,9 @@ class ScalingSeries:
     rank order — what the byte-identity comparisons of the ablation
     benches diff between variants.  ``cross_session_hits`` accumulates
     shared-cache reuse from other sessions in the same process;
-    ``cache_bytes`` is the backing cache's footprint gauge after the
-    final call.
+    ``warm_hits`` accumulates persistent-backend reuse from prior
+    processes; ``cache_bytes`` is the backing cache's footprint gauge
+    after the final call.
     """
 
     name: str
@@ -49,6 +50,7 @@ class ScalingSeries:
     cache_hits: int = 0
     cache_misses: int = 0
     cross_session_hits: int = 0
+    warm_hits: int = 0
     cache_bytes: int = 0
     index_builds: int = 0
     enum_indexed: int = 0
@@ -115,6 +117,7 @@ def run_scaling(
                 current.cache_hits += result.stats.cache_hits
                 current.cache_misses += result.stats.cache_misses
                 current.cross_session_hits += result.stats.cache_cross_session_hits
+                current.warm_hits += result.stats.cache_warm_hits
                 current.cache_bytes = result.stats.cache_bytes  # end-of-run gauge
                 current.index_builds += result.stats.index_builds
                 current.enum_indexed += result.stats.enum_indexed

@@ -19,6 +19,11 @@ ActionTrace = tuple[Action, ...]
 #: identity with the list itself held to guard against id recycling.
 _ID_KEYS: dict[int, tuple] = {}
 
+#: Master-list content-key tuples for :meth:`DOMTrace.value_key`, same
+#: discipline.  Only fully frozen master lists are memoized — unfrozen
+#: snapshots may still mutate, so their keys must be recomputed.
+_VALUE_KEYS: dict[int, tuple] = {}
+
 
 class DOMTrace:
     """An immutable window ``snapshots[start:stop]`` over recorded DOMs."""
@@ -94,6 +99,30 @@ class DOMTrace:
                 _ID_KEYS.pop(next(iter(_ID_KEYS)))
             entry = (snapshots, tuple(map(id, snapshots)))
             _ID_KEYS[id(snapshots)] = entry
+        return entry[1][self.start : self.stop]
+
+    def value_key(self) -> tuple[int, ...]:
+        """The window's snapshots by content digest (the execution-cache key).
+
+        Unlike :meth:`id_key`, these keys are *values*: equal for
+        structurally equal snapshots in any process, which is what lets
+        executions be shared between worker processes and persisted
+        across restarts (see :mod:`repro.engine.keys`).  Per-snapshot
+        digests are memoized on frozen nodes, and the master list's key
+        tuple is computed once and sliced per window, mirroring
+        :meth:`id_key`'s amortization.
+        """
+        snapshots = self._snapshots
+        entry = _VALUE_KEYS.get(id(snapshots))
+        if entry is None or entry[0] is not snapshots:
+            keys = tuple(snapshot.content_key() for snapshot in snapshots)
+            if not all(snapshot.frozen for snapshot in snapshots):
+                # mutable snapshots: keys may change, never memoize
+                return keys[self.start : self.stop]
+            if len(_VALUE_KEYS) >= 8:
+                _VALUE_KEYS.pop(next(iter(_VALUE_KEYS)))
+            entry = (snapshots, keys)
+            _VALUE_KEYS[id(snapshots)] = entry
         return entry[1][self.start : self.stop]
 
     def pin_key(self) -> tuple[DOMNode, ...]:

@@ -1,0 +1,28 @@
+"""The synthesis service: sessions, server, and cache backends.
+
+This package turns the synthesizer into a servable, multi-process
+system:
+
+* :mod:`repro.service.backends` — the pluggable execution-cache
+  backends (in-process, file-backed persistent, shared across worker
+  processes) behind the value-addressed keys of
+  :mod:`repro.engine.keys`.
+* :mod:`repro.service.sessions` — the session manager driving one
+  incremental :class:`~repro.synth.synthesizer.Synthesizer` per
+  concurrent demonstration session.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  stdlib-HTTP JSON API over the session manager (``repro serve``) and
+  the thin client that speaks it.
+
+Only the dependency-light backends module is imported here; the session
+and server modules pull in the whole synthesizer stack and are imported
+explicitly by their users.
+"""
+
+from repro.service.backends import (  # noqa: F401
+    CacheBackend,
+    FileBackend,
+    InProcessBackend,
+    default_store_path,
+    resolve_backend,
+)

@@ -1,0 +1,506 @@
+"""Pluggable execution-cache backends: the persistence layer of the service.
+
+The in-memory execution cache (:mod:`repro.engine.cache`) keeps every
+key a *value* (content digests for snapshots and data, alpha-canonical
+forms for statements — see :mod:`repro.engine.keys`), so a memoized
+outcome is meaningful in any process.  A :class:`CacheBackend` is the
+seam that exploits this: the cache consults it on an in-memory miss and
+writes every new outcome through it, addressed by the
+:func:`~repro.engine.keys.stable_digest` of the full value key.
+
+Three backends:
+
+:class:`InProcessBackend`
+    The default: nothing beyond the in-memory tables — byte-for-byte
+    today's behavior.  ``persistent`` is False, so the cache skips
+    digest computation entirely.
+
+:class:`FileBackend`
+    A persistent store over one SQLite file (stdlib ``sqlite3``, WAL
+    mode): a cold process warm-starts from executions recorded by prior
+    sessions — or prior *processes*.  Entries are JSON payloads (no
+    pickle: pickled frozen dataclasses would smuggle their
+    seed-dependent cached hashes across process boundaries); eviction
+    is byte-accounted, oldest-write-first, against ``max_bytes``.
+
+Shared use
+    Pointing several worker processes at one store *is* the shared
+    backend: SQLite serializes writers (WAL keeps readers concurrent),
+    :func:`resolve_backend` hands every session in one process the same
+    connection, and ``repro serve`` workers all resolve the same path.
+    I/O failures degrade to cache misses — the store is a cache, never
+    a source of truth.
+
+``REPRO_CACHE_BACKEND`` selects the backend (``memory`` | ``file``),
+``REPRO_CACHE_DIR`` the store directory, and ``REPRO_CACHE_MAX_BYTES``
+the store's eviction threshold.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Optional
+
+from repro.dom.xpath import CHILD, DESC, ConcreteSelector, Predicate, Step, TokenPredicate
+from repro.lang.actions import Action
+from repro.lang.ast import SEL_VAR, ValuePath, Var
+from repro.semantics.env import Env
+
+#: Entry kinds.  Stored in the ``kind`` column for store introspection
+#: (``SELECT kind, COUNT(*) ...``) only — lookups key on the digest
+#: alone, whose input already carries the kind tag, so kinds can never
+#: collide even without a column filter.
+EXACT, TERMINAL, CONSISTENCY = 0, 1, 2
+
+#: Default store eviction threshold: 256 MiB of payload bytes.
+DEFAULT_MAX_BYTES = 256 << 20
+
+
+# ----------------------------------------------------------------------
+# Payload codec (exact structural JSON — no string round-trips)
+# ----------------------------------------------------------------------
+def _steps_to_json(steps: tuple[Step, ...]) -> list:
+    return [
+        [
+            step.axis == DESC,
+            step.pred.tag,
+            step.pred.attr,
+            step.pred.value,
+            type(step.pred) is TokenPredicate,
+            step.index,
+        ]
+        for step in steps
+    ]
+
+
+#: Decode-side interning: restored selectors repeat the same few steps
+#: thousands of times (every card of a list page shares most of its raw
+#: path), and Step/Predicate construction re-validates and re-hashes.
+#: Bounded by wholesale flush; losing entries only costs reconstruction.
+_STEP_INTERN: dict[tuple, Step] = {}
+_STEP_INTERN_LIMIT = 1 << 15
+
+
+def _steps_from_json(payload: list) -> tuple[Step, ...]:
+    steps = []
+    for item in payload:
+        key = tuple(item)
+        step = _STEP_INTERN.get(key)
+        if step is None:
+            desc, tag, attr, value, token, index = item
+            pred_type = TokenPredicate if token else Predicate
+            step = Step(DESC if desc else CHILD, pred_type(tag, attr, value), index)
+            if len(_STEP_INTERN) >= _STEP_INTERN_LIMIT:
+                _STEP_INTERN.clear()
+            _STEP_INTERN[key] = step
+        steps.append(step)
+    return tuple(steps)
+
+
+def action_to_payload(action: Action) -> list:
+    """One action as a JSON-ready value (structural, lossless)."""
+    selector = None if action.selector is None else _steps_to_json(action.selector.steps)
+    path = None if action.path is None else list(action.path.accessors)
+    return [action.kind, selector, action.text, path]
+
+
+def action_from_payload(payload: list) -> Action:
+    """Rebuild an action from :func:`action_to_payload` output."""
+    kind, selector, text, path = payload
+    return Action(
+        kind,
+        None if selector is None else ConcreteSelector(_steps_from_json(selector)),
+        text,
+        None if path is None else ValuePath(None, tuple(path)),
+    )
+
+
+def env_to_payload(env: Optional[Env]) -> Optional[list]:
+    """An environment's bindings as a JSON-ready value."""
+    if env is None:
+        return None
+    bindings = []
+    for var, binding in env.fingerprint():
+        if isinstance(binding, ConcreteSelector):
+            bindings.append([var.kind, var.uid, _steps_to_json(binding.steps)])
+        else:  # a concrete ValuePath
+            bindings.append([var.kind, var.uid, list(binding.accessors)])
+    return bindings
+
+
+def env_from_payload(payload: Optional[list]) -> Optional[Env]:
+    """Rebuild an environment from :func:`env_to_payload` output."""
+    if payload is None:
+        return None
+    bindings = {}
+    for kind, uid, value in payload:
+        var = Var(kind, uid)
+        if kind == SEL_VAR:
+            bindings[var] = ConcreteSelector(_steps_from_json(value))
+        else:
+            bindings[var] = ValuePath(None, tuple(value))
+    return Env(bindings)
+
+
+def entry_to_payload(
+    actions: tuple,
+    env: Env,
+    examined: Optional[tuple[int, ...]],
+    exact_budget_ok: bool,
+) -> dict:
+    """An execution-cache entry as a JSON-ready dict."""
+    payload: dict = {
+        "a": [action_to_payload(action) for action in actions],
+        "e": env_to_payload(env),
+    }
+    if examined is not None:
+        payload["x"] = list(examined)
+    if exact_budget_ok:
+        payload["ok"] = True
+    return payload
+
+
+def entry_from_payload(payload: dict) -> tuple:
+    """``(actions, env, examined, exact_budget_ok)`` back from a payload."""
+    actions = tuple(action_from_payload(item) for item in payload["a"])
+    env = env_from_payload(payload["e"])
+    examined = tuple(payload["x"]) if "x" in payload else None
+    return actions, env, examined, bool(payload.get("ok", False))
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class CacheBackend:
+    """The persistence seam behind the in-memory execution cache.
+
+    The cache addresses the store by the stable digest of a full value
+    key and speaks *decoded* entries — the codec is the backend's
+    business, so the engine layer never depends on a wire format.
+    ``persistent`` tells the cache whether computing those digests is
+    worth anything at all.
+    """
+
+    #: Short name surfaced in telemetry (``repro synthesize --stats``).
+    name: str = "backend"
+    #: Whether the backend can answer across processes/restarts.  False
+    #: lets the cache skip digest computation entirely.
+    persistent: bool = False
+
+    def load_entry(self, kind: int, key: bytes) -> Optional[tuple]:
+        """``(actions, env, examined, exact_budget_ok)`` or ``None``."""
+        raise NotImplementedError
+
+    def store_entry(
+        self,
+        kind: int,
+        key: bytes,
+        actions: tuple,
+        env: Optional[Env],
+        examined: Optional[tuple[int, ...]],
+        exact_budget_ok: bool,
+    ) -> None:
+        """Write one execution entry through to the store (may buffer)."""
+        raise NotImplementedError
+
+    def load_consistency(self, key: bytes) -> Optional[int]:
+        """A stored consistency-memo value, or ``None``."""
+        raise NotImplementedError
+
+    def store_consistency(self, key: bytes, value: int) -> None:
+        """Write one consistency-memo value through to the store."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Make buffered writes visible to other processes."""
+
+    def close(self) -> None:
+        """Flush and release resources."""
+
+    @property
+    def persisted_bytes(self) -> int:
+        """Approximate payload bytes currently held by the store."""
+        return 0
+
+    @property
+    def entries(self) -> int:
+        """Number of entries currently held by the store."""
+        return 0
+
+
+class InProcessBackend(CacheBackend):
+    """Today's behavior: no second level, no digests, no I/O."""
+
+    name = "memory"
+    persistent = False
+
+    def load_entry(self, kind: int, key: bytes) -> Optional[tuple]:
+        return None
+
+    def store_entry(self, kind, key, actions, env, examined, exact_budget_ok) -> None:
+        pass
+
+    def load_consistency(self, key: bytes) -> Optional[int]:
+        return None
+
+    def store_consistency(self, key: bytes, value: int) -> None:
+        pass
+
+
+class FileBackend(CacheBackend):
+    """A byte-accounted persistent store over one SQLite file.
+
+    One connection per process (see :func:`resolve_backend`), guarded by
+    a lock so concurrent sessions and validation workers share it
+    safely; WAL mode plus a busy timeout make one *file* safe to share
+    between worker processes.  Writes are buffered and flushed every
+    ``flush_every`` stores (and at interpreter exit), so other processes
+    see entries with bounded staleness at a fraction of the commit cost.
+
+    Eviction is byte-based: once the summed payload bytes exceed
+    ``max_bytes``, the oldest-written rows are deleted down to 90% of
+    the threshold (``INSERT OR REPLACE`` refreshes a row's age, so
+    rewritten entries survive longest).  Every SQLite error degrades to
+    a miss or a dropped write — the store is a cache, not a ledger.
+    """
+
+    name = "file"
+    persistent = True
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_bytes: Optional[int] = None,
+        flush_every: int = 64,
+    ) -> None:
+        self.path = str(path)
+        if max_bytes is None:
+            max_bytes = int(os.environ.get("REPRO_CACHE_MAX_BYTES", DEFAULT_MAX_BYTES))
+        self.max_bytes = max_bytes
+        self.flush_every = max(1, flush_every)
+        self._lock = threading.Lock()
+        self._pending: list[tuple[bytes, int, bytes, int]] = []
+        #: Telemetry: loads answered / attempted, writes, evicted rows,
+        #: entries dropped because their values were not codec-encodable,
+        #: and I/O errors degraded to misses.
+        self.load_hits = 0
+        self.loads = 0
+        self.stores = 0
+        self.evictions = 0
+        self.encode_errors = 0
+        self.io_errors = 0
+        Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(
+            self.path, check_same_thread=False, timeout=30.0, isolation_level=None
+        )
+        with self._lock:
+            try:
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=OFF")
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS entries ("
+                    " key BLOB PRIMARY KEY,"
+                    " kind INTEGER NOT NULL,"
+                    " payload BLOB NOT NULL,"
+                    " nbytes INTEGER NOT NULL)"
+                )
+            except sqlite3.Error:
+                self.io_errors += 1
+        atexit.register(self.flush)
+
+    # ------------------------------------------------------------------
+    def load_entry(self, kind: int, key: bytes) -> Optional[tuple]:
+        payload = self._load(key)
+        if payload is None:
+            return None
+        try:
+            return entry_from_payload(payload)
+        except (KeyError, TypeError, ValueError, IndexError):
+            return None  # corrupt or foreign payload: a miss
+
+    def store_entry(
+        self, kind, key, actions, env, examined, exact_budget_ok
+    ) -> None:
+        try:
+            payload = entry_to_payload(actions, env, examined, exact_budget_ok)
+        except (TypeError, AttributeError, ValueError):
+            # values outside the codec vocabulary (unit-test stubs,
+            # future extensions): the in-memory tables still hold them
+            self.encode_errors += 1
+            return
+        self._store(kind, key, payload)
+
+    def load_consistency(self, key: bytes) -> Optional[int]:
+        payload = self._load(key)
+        if payload is None or not isinstance(payload.get("v"), int):
+            return None
+        return payload["v"]
+
+    def store_consistency(self, key: bytes, value: int) -> None:
+        self._store(CONSISTENCY, key, {"v": value})
+
+    # ------------------------------------------------------------------
+    def _load(self, key: bytes) -> Optional[dict]:
+        self.loads += 1
+        try:
+            with self._lock:
+                row = self._conn.execute(
+                    "SELECT payload FROM entries WHERE key = ?", (key,)
+                ).fetchone()
+        except sqlite3.Error:
+            self.io_errors += 1
+            return None
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row[0])
+        except (ValueError, TypeError):
+            return None  # corrupt row: a miss, never an error
+        if not isinstance(payload, dict):
+            return None
+        self.load_hits += 1
+        return payload
+
+    def _store(self, kind: int, key: bytes, payload: dict) -> None:
+        try:
+            blob = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError):
+            self.encode_errors += 1
+            return
+        self.stores += 1
+        with self._lock:
+            self._pending.append((key, kind, blob, len(blob) + len(key)))
+            if len(self._pending) < self.flush_every:
+                return
+        self.flush()
+
+    def flush(self) -> None:
+        with self._lock:
+            pending, self._pending = self._pending, []
+            if not pending:
+                return
+            try:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO entries (key, kind, payload, nbytes)"
+                    " VALUES (?, ?, ?, ?)",
+                    pending,
+                )
+                self._evict_locked()
+            except sqlite3.Error:
+                self.io_errors += 1
+
+    def _evict_locked(self) -> None:
+        """Drop oldest-written rows until under the byte threshold."""
+        total = self._conn.execute(
+            "SELECT COALESCE(SUM(nbytes), 0) FROM entries"
+        ).fetchone()[0]
+        if total <= self.max_bytes:
+            return
+        target = int(self.max_bytes * 0.9)
+        cutoff = None
+        for rowid, nbytes in self._conn.execute(
+            "SELECT rowid, nbytes FROM entries ORDER BY rowid"
+        ):
+            cutoff = rowid
+            total -= nbytes
+            if total <= target:
+                break
+        if cutoff is not None:
+            dropped = self._conn.execute(
+                "DELETE FROM entries WHERE rowid <= ?", (cutoff,)
+            ).rowcount
+            self.evictions += max(0, dropped)
+
+    def close(self) -> None:
+        self.flush()
+        try:
+            self._conn.close()
+        except sqlite3.Error:  # pragma: no cover - defensive
+            self.io_errors += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def persisted_bytes(self) -> int:
+        try:
+            with self._lock:
+                total = self._conn.execute(
+                    "SELECT COALESCE(SUM(nbytes), 0) FROM entries"
+                ).fetchone()[0]
+            return int(total) + sum(item[3] for item in self._pending)
+        except sqlite3.Error:
+            self.io_errors += 1
+            return 0
+
+    @property
+    def entries(self) -> int:
+        try:
+            with self._lock:
+                count = self._conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+            return int(count) + len(self._pending)
+        except sqlite3.Error:
+            self.io_errors += 1
+            return 0
+
+
+# ----------------------------------------------------------------------
+# Resolution (one backend object per store per process)
+# ----------------------------------------------------------------------
+_MEMORY_BACKEND = InProcessBackend()
+_FILE_BACKENDS: dict[str, FileBackend] = {}
+_RESOLVE_LOCK = threading.Lock()
+
+
+def default_store_path() -> str:
+    """The store file ``REPRO_CACHE_DIR`` (default ``~/.cache/repro``) names."""
+    directory = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if not directory:
+        directory = os.path.join(os.path.expanduser("~"), ".cache", "repro")
+    return os.path.join(directory, "execution-cache.sqlite")
+
+
+def resolve_backend(
+    name: Optional[str] = None, path: Optional[str] = None
+) -> CacheBackend:
+    """The backend a name (default: ``REPRO_CACHE_BACKEND``) selects.
+
+    ``file`` backends are cached per resolved path, so every session in
+    one process shares a single connection — and worker processes
+    resolving the same path share one store.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_CACHE_BACKEND", "").strip()
+    if name in ("", "memory"):
+        return _MEMORY_BACKEND
+    if name == "file":
+        resolved = os.path.abspath(path or default_store_path())
+        with _RESOLVE_LOCK:
+            backend = _FILE_BACKENDS.get(resolved)
+            if backend is None:
+                backend = _FILE_BACKENDS[resolved] = FileBackend(resolved)
+            return backend
+    raise ValueError(f"unknown cache backend {name!r} (expected 'memory' or 'file')")
+
+
+def flush_backends() -> None:
+    """Flush every resolved file backend's buffered writes to disk.
+
+    Worker processes call this before exiting: ``os._exit`` (the
+    multiprocessing child exit path) skips ``atexit`` hooks, and entries
+    still in the write buffer would otherwise never reach the store.
+    """
+    with _RESOLVE_LOCK:
+        for backend in _FILE_BACKENDS.values():
+            backend.flush()
+
+
+def reset_backends() -> None:
+    """Close and forget every resolved file backend (test isolation)."""
+    with _RESOLVE_LOCK:
+        for backend in _FILE_BACKENDS.values():
+            backend.close()
+        _FILE_BACKENDS.clear()

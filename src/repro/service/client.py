@@ -1,0 +1,161 @@
+"""Thin client for the ``repro serve`` JSON API (stdlib ``http.client``).
+
+Speaks exactly the wire shapes of :mod:`repro.service.server` — DOM
+snapshots and actions serialized as in recorded demonstrations
+(:mod:`repro.io`) — so driving a served synthesizer looks like driving
+a local :class:`~repro.service.sessions.SessionManager`:
+
+>>> client = ServiceClient("http://127.0.0.1:8738")
+>>> sid = client.create_session(first_snapshot)
+>>> summary = client.record_action(sid, action, next_snapshot)
+>>> summary["predictions"]
+['ScrapeText(//div[@class='card'][3]/h3[1])']
+
+:meth:`drive_recording` replays a stored demonstration action by
+action — the shape the warm-start benchmark and the examples use.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Optional
+from urllib.parse import urlsplit
+
+from repro import io as repro_io
+from repro.browser.recorder import Recording
+from repro.util.errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """A non-2xx response (or malformed payload) from the service."""
+
+
+class ServiceClient:
+    """One connection to one service worker."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parts.hostname is None:
+            raise ValueError(f"bad service URL {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+        self._conn: Optional[HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if self._conn is None:
+            self._conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (ConnectionError, OSError) as exc:
+            self.close()
+            if method != "GET":
+                # a dropped connection does not say whether the server
+                # processed the request — replaying a record-action
+                # would append the action twice; only idempotent reads
+                # are safe to retry
+                raise ServiceClientError(
+                    f"{method} {path} failed mid-request ({exc}); check the "
+                    f"session state before retrying"
+                ) from exc
+            # one reconnect: the server may have recycled the keep-alive
+            self._conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise ServiceClientError(f"malformed response from {path}: {raw[:200]!r}") from exc
+        if response.status >= 400:
+            raise ServiceClientError(
+                f"{method} {path} -> {response.status}: {decoded.get('error', decoded)}"
+            )
+        return decoded
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def health(self) -> bool:
+        """Whether the worker answers its health check."""
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (ServiceClientError, OSError):
+            return False
+
+    def create_session(
+        self, snapshot, data=None, timeout: Optional[float] = None
+    ) -> str:
+        """Open a session on an initial DOM snapshot; returns its id."""
+        payload: dict = {"snapshot": repro_io.dom_to_json(snapshot)}
+        if data is not None:
+            payload["data"] = data.value if hasattr(data, "value") else data
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self._request("POST", "/api/sessions", payload)["session"]
+
+    def record_action(self, sid: str, action, snapshot) -> dict:
+        """One per-action round trip; returns the synthesis summary."""
+        return self._request(
+            "POST",
+            f"/api/sessions/{sid}/actions",
+            {
+                "action": repro_io.action_to_json(action),
+                "snapshot": repro_io.dom_to_json(snapshot),
+            },
+        )
+
+    def candidates(self, sid: str) -> list[dict]:
+        """The ranked candidate programs of a session."""
+        return self._request("GET", f"/api/sessions/{sid}/candidates")["candidates"]
+
+    def accept(self, sid: str, index: int = 0) -> str:
+        """Accept one candidate; returns its rendered program."""
+        return self._request(
+            "POST", f"/api/sessions/{sid}/accept", {"index": index}
+        )["program"]
+
+    def close_session(self, sid: str) -> dict:
+        """Close a session; returns its final stats."""
+        return self._request("POST", f"/api/sessions/{sid}/close", {})
+
+    def stats(self) -> dict:
+        """Manager-wide stats of the worker."""
+        return self._request("GET", "/api/stats")
+
+    # ------------------------------------------------------------------
+    def drive_recording(
+        self, recording: Recording, data=None, timeout: Optional[float] = None
+    ) -> tuple[str, list[dict]]:
+        """Replay a stored demonstration through the service.
+
+        Opens a session on the recording's first snapshot, streams every
+        action with its following snapshot, and returns ``(sid,
+        summaries)`` — one per-action summary per call, the session left
+        open for ``candidates``/``accept``.
+        """
+        sid = self.create_session(recording.snapshots[0], data=data, timeout=timeout)
+        summaries = []
+        for position, action in enumerate(recording.actions):
+            summaries.append(
+                self.record_action(sid, action, recording.snapshots[position + 1])
+            )
+        return sid, summaries

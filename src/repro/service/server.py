@@ -1,0 +1,229 @@
+"""``repro serve``: the session manager over stdlib HTTP + JSON.
+
+One worker process = one :class:`~repro.service.sessions.SessionManager`
+behind a :class:`ThreadingHTTPServer` (no dependencies beyond the
+standard library).  Sessions are sticky to the worker that created
+them; what workers share is the *execution cache* — with the file
+backend, every worker (and every restart) warm-starts from the same
+store, which is the point of the value-addressed key scheme.
+
+Routes (all bodies JSON):
+
+========================================  =====================================
+``POST /api/sessions``                    ``{snapshot, data?, timeout?}`` →
+                                          ``{session}``
+``POST /api/sessions/<sid>/actions``      ``{action, snapshot}`` → per-action
+                                          summary (programs, predictions, stats)
+``GET  /api/sessions/<sid>/candidates``   → ``{candidates: [...]}``
+``POST /api/sessions/<sid>/accept``       ``{index?}`` → ``{program}``
+``POST /api/sessions/<sid>/close``        → final session stats
+``GET  /api/stats``                       → manager-wide stats
+``GET  /healthz``                         → ``{ok: true}``
+========================================  =====================================
+
+Snapshots and actions use the same JSON shapes as recorded
+demonstrations (:mod:`repro.io`), so a recorder front end that already
+ships recordings speaks this API natively.  ``--workers N`` forks N
+workers on consecutive ports over one store — the multi-process
+deployment shape; a load balancer (or the client) picks a port.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro import io as repro_io
+from repro.lang.data import DataSource
+from repro.service.backends import flush_backends
+from repro.service.sessions import SessionError, SessionManager
+from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig
+from repro.util.errors import ParseError, ReproError
+
+#: Default service port (consecutive ports for extra workers).
+DEFAULT_PORT = 8738
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the session manager."""
+
+    daemon_threads = True
+
+    def __init__(self, address, manager: SessionManager, quiet: bool = True):
+        self.manager = manager
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.server.quiet:  # pragma: no cover - debug aid
+            sys.stderr.write("%s - %s\n" % (self.address_string(), format % args))
+
+    def _reply(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, message: str, status: int) -> None:
+        self._reply({"error": message}, status)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        if length <= 0:
+            return {}
+        payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ParseError("expected a JSON object body")
+        return payload
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/healthz":
+                self._reply({"ok": True})
+            elif self.path == "/api/stats":
+                self._reply(self.server.manager.stats())
+            elif self.path.startswith("/api/sessions/") and self.path.endswith(
+                "/candidates"
+            ):
+                sid = self.path[len("/api/sessions/") : -len("/candidates")]
+                self._reply({"candidates": self.server.manager.candidates(sid)})
+            else:
+                self._error(f"no route {self.path}", 404)
+        except SessionError as exc:
+            self._error(str(exc), 404)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(f"{type(exc).__name__}: {exc}", 500)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            payload = self._body()
+            manager = self.server.manager
+            if self.path == "/api/sessions":
+                if "snapshot" not in payload:
+                    raise ParseError("session creation requires 'snapshot'")
+                snapshot = repro_io.dom_from_json(payload["snapshot"])
+                data = (
+                    DataSource(payload["data"]) if "data" in payload else None
+                )
+                sid = manager.create(
+                    snapshot, data=data, timeout=payload.get("timeout")
+                )
+                self._reply({"session": sid})
+                return
+            if self.path.startswith("/api/sessions/"):
+                rest = self.path[len("/api/sessions/") :]
+                if rest.endswith("/actions"):
+                    sid = rest[: -len("/actions")]
+                    if "action" not in payload or "snapshot" not in payload:
+                        raise ParseError("recording requires 'action' and 'snapshot'")
+                    action = repro_io.action_from_json(payload["action"])
+                    snapshot = repro_io.dom_from_json(payload["snapshot"])
+                    self._reply(manager.record_action(sid, action, snapshot))
+                    return
+                if rest.endswith("/accept"):
+                    sid = rest[: -len("/accept")]
+                    self._reply(manager.accept(sid, int(payload.get("index", 0))))
+                    return
+                if rest.endswith("/close"):
+                    sid = rest[: -len("/close")]
+                    self._reply(manager.close(sid))
+                    return
+            self._error(f"no route {self.path}", 404)
+        except SessionError as exc:
+            self._error(str(exc), 404)
+        except (ParseError, ReproError, ValueError, KeyError) as exc:
+            self._error(str(exc), 400)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(f"{type(exc).__name__}: {exc}", 500)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    config: SynthesisConfig = DEFAULT_CONFIG,
+    timeout: Optional[float] = None,
+    quiet: bool = True,
+) -> ServiceServer:
+    """Bind one worker's server (tests drive this in a thread)."""
+    manager = SessionManager(config, timeout=timeout)
+    return ServiceServer((host, port), manager, quiet=quiet)
+
+
+def _announce(server: ServiceServer) -> None:
+    host, port = server.server_address[:2]
+    print(f"repro-service listening on http://{host}:{port}", flush=True)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    workers: int = 1,
+    config: SynthesisConfig = DEFAULT_CONFIG,
+    timeout: Optional[float] = None,
+    quiet: bool = True,
+) -> int:
+    """Run the service until interrupted; returns the exit code.
+
+    ``workers > 1`` forks ``workers - 1`` children on consecutive ports
+    (``port+1``, ``port+2``, ...), each with its own session manager —
+    all resolving the same cache store, so they share executions through
+    the persistent backend.  With ``port=0`` the OS picks each worker's
+    port; every worker announces its own URL on stdout.
+    """
+    # bind the parent first: a bad host/port fails fast, before any
+    # worker is forked (a bind failure after forking would orphan them)
+    server = make_server(host, port, config, timeout, quiet)
+    child_pids: list[int] = []
+    worker_port = port
+    try:
+        for _ in range(max(0, workers - 1)):
+            if port != 0:
+                worker_port += 1
+            pid = os.fork()
+            if pid == 0:
+                server.server_close()  # the parent's socket is not ours
+                child = make_server(host, worker_port, config, timeout, quiet)
+                _announce(child)
+                try:
+                    child.serve_forever()
+                except KeyboardInterrupt:  # pragma: no cover - signal path
+                    pass
+                finally:
+                    child.manager.close_all()
+                    child.server_close()
+                    # os._exit skips atexit hooks: push buffered cache
+                    # entries to the store before the worker disappears
+                    flush_backends()
+                os._exit(0)
+            child_pids.append(pid)
+        _announce(server)
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for pid in child_pids:
+            try:
+                os.kill(pid, signal.SIGINT)
+                os.waitpid(pid, 0)
+            except (ProcessLookupError, ChildProcessError):  # pragma: no cover
+                pass
+        server.manager.close_all()
+        server.server_close()
+        flush_backends()
+    return 0

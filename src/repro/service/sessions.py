@@ -1,0 +1,317 @@
+"""Concurrent demonstration sessions over one synthesizer process.
+
+A *session* is one user's interactive PBD loop: the recorder streams an
+action (plus the snapshot it produced) after every demonstrated step,
+and the service answers with the candidate programs and next-action
+predictions synthesized so far — the per-action round trip of the
+paper's interactive model (§5).  :class:`SessionManager` owns the
+sessions of one worker process:
+
+* each session wraps an incremental
+  :class:`~repro.synth.synthesizer.Synthesizer` (store carried across
+  calls, one engine per session) behind a per-session lock, so requests
+  for *different* sessions synthesize concurrently;
+* all sessions share the process-level execution cache by default
+  (``shared_cache=True``), and — with a persistent backend — the cache
+  of every *other* worker process over the same store;
+* per-session and manager-wide statistics aggregate the engine
+  telemetry that ``repro synthesize --stats`` prints per call.
+
+The manager is transport-agnostic: :mod:`repro.service.server` exposes
+it over HTTP, tests and benchmarks drive it directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.dom.node import DOMNode
+from repro.lang.actions import Action
+from repro.lang.data import DataSource, EMPTY_DATA
+from repro.lang.pretty import format_program
+from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig
+from repro.synth.synthesizer import SynthesisResult, Synthesizer
+from repro.util.errors import ReproError
+
+
+class SessionError(ReproError):
+    """Unknown session, bad trace shape, or a closed session."""
+
+
+@dataclass
+class SessionStats:
+    """Aggregated telemetry of one session (or the whole manager)."""
+
+    calls: int = 0
+    actions: int = 0
+    elapsed: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cross_session_hits: int = 0
+    warm_start_hits: int = 0
+    timed_out_calls: int = 0
+
+    def absorb(self, result: SynthesisResult, elapsed: float) -> None:
+        self.calls += 1
+        self.elapsed += elapsed
+        self.cache_hits += result.stats.cache_hits
+        self.cache_misses += result.stats.cache_misses
+        self.cross_session_hits += result.stats.cache_cross_session_hits
+        self.warm_start_hits += result.stats.cache_warm_hits
+        self.timed_out_calls += result.stats.timed_out
+
+    def merge(self, other: "SessionStats") -> None:
+        self.calls += other.calls
+        self.actions += other.actions
+        self.elapsed += other.elapsed
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cross_session_hits += other.cross_session_hits
+        self.warm_start_hits += other.warm_start_hits
+        self.timed_out_calls += other.timed_out_calls
+
+    def to_json(self) -> dict:
+        return {
+            "calls": self.calls,
+            "actions": self.actions,
+            "elapsed": round(self.elapsed, 6),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cross_session_hits": self.cross_session_hits,
+            "warm_start_hits": self.warm_start_hits,
+            "timed_out_calls": self.timed_out_calls,
+        }
+
+
+class DemoSession:
+    """One live demonstration: trace so far + the synthesizer serving it."""
+
+    def __init__(
+        self,
+        sid: str,
+        data: DataSource,
+        config: SynthesisConfig,
+        timeout: Optional[float],
+    ) -> None:
+        self.sid = sid
+        self.timeout = timeout
+        self.lock = threading.Lock()
+        self.synthesizer = Synthesizer(data, config)
+        self.actions: list[Action] = []
+        self.snapshots: list[DOMNode] = []
+        self.last_result: Optional[SynthesisResult] = None
+        self.accepted_index: Optional[int] = None
+        self.stats = SessionStats()
+        self.created = time.time()
+
+    # ------------------------------------------------------------------
+    def record_action(self, action: Action, snapshot: DOMNode) -> SynthesisResult:
+        """Append one demonstrated step and re-synthesize incrementally.
+
+        ``snapshot`` is the page *after* the action (the recorder ships
+        ``π_{k+1}``); the session's first snapshot arrived at creation.
+        """
+        if not self.snapshots:
+            raise SessionError(f"session {self.sid} has no initial snapshot")
+        self.actions.append(action)
+        self.snapshots.append(snapshot)
+        started = time.perf_counter()
+        try:
+            result = self.synthesizer.synthesize(
+                self.actions, self.snapshots, timeout=self.timeout
+            )
+        except Exception:
+            # the step was not recorded: roll the trace back so a retry
+            # (or the next action) does not synthesize over a
+            # demonstration containing a step the caller saw rejected
+            self.actions.pop()
+            self.snapshots.pop()
+            raise
+        self.stats.absorb(result, time.perf_counter() - started)
+        self.stats.actions = len(self.actions)
+        self.last_result = result
+        return result
+
+    def candidates(self) -> list[dict]:
+        """The current ranked candidates, JSON-ready."""
+        if self.last_result is None:
+            return []
+        return [
+            {
+                "index": index,
+                "program": format_program(program),
+                "statements": len(program),
+            }
+            for index, program in enumerate(self.last_result.programs)
+        ]
+
+    def predictions(self) -> list[str]:
+        """The distinct predicted next actions, in rank order."""
+        if self.last_result is None:
+            return []
+        return [str(action) for action in self.last_result.predictions]
+
+    def close(self) -> None:
+        self.synthesizer.close()
+
+
+class SessionManager:
+    """All live sessions of one service worker process.
+
+    ``config`` seeds every session's synthesizer; by default sessions
+    join the process-level shared execution cache (and through its
+    backend, other worker processes).  ``timeout`` is the per-call
+    synthesis budget (the paper's interactive 1s default unless the
+    creator overrides per session).
+    """
+
+    def __init__(
+        self,
+        config: SynthesisConfig = DEFAULT_CONFIG,
+        timeout: Optional[float] = None,
+        share_cache: bool = True,
+    ) -> None:
+        if share_cache and config.shared_cache is None:
+            config = replace(config, shared_cache=True)
+        self.config = config
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._sessions: dict[str, DemoSession] = {}
+        self._ids = itertools.count(1)
+        self._closed_stats = SessionStats()
+        self._closed_count = 0
+
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        snapshot: DOMNode,
+        data: Optional[DataSource] = None,
+        timeout: Optional[float] = None,
+    ) -> str:
+        """Open a session on an initial page snapshot; returns its id."""
+        session_timeout = timeout if timeout is not None else self.timeout
+        # build outside the manager lock: synthesizer construction may
+        # resolve a backend (SQLite connect) and must not stall every
+        # concurrent request on another session
+        sid = f"s{next(self._ids)}"
+        session = DemoSession(
+            sid, data if data is not None else EMPTY_DATA,
+            self.config, session_timeout,
+        )
+        session.snapshots.append(snapshot)
+        with self._lock:
+            self._sessions[sid] = session
+        return sid
+
+    def _session(self, sid: str) -> DemoSession:
+        with self._lock:
+            session = self._sessions.get(sid)
+        if session is None:
+            raise SessionError(f"unknown session {sid!r}")
+        return session
+
+    # ------------------------------------------------------------------
+    def record_action(self, sid: str, action: Action, snapshot: DOMNode) -> dict:
+        """One per-action round trip; returns the JSON-ready summary."""
+        session = self._session(sid)
+        with session.lock:
+            result = session.record_action(action, snapshot)
+            return {
+                "session": sid,
+                "actions": len(session.actions),
+                "programs": len(result.programs),
+                "predictions": session.predictions(),
+                "stats": {
+                    "elapsed": round(result.stats.elapsed, 6),
+                    "timed_out": result.stats.timed_out,
+                    "cache_hits": result.stats.cache_hits,
+                    "cache_misses": result.stats.cache_misses,
+                    "cross_session_hits": result.stats.cache_cross_session_hits,
+                    "warm_start_hits": result.stats.cache_warm_hits,
+                    "backend": result.stats.cache_backend,
+                },
+            }
+
+    def candidates(self, sid: str) -> list[dict]:
+        """The ranked candidate programs of a session, JSON-ready."""
+        session = self._session(sid)
+        with session.lock:
+            return session.candidates()
+
+    def accept(self, sid: str, index: int = 0) -> dict:
+        """Mark one candidate accepted; returns its rendered program."""
+        session = self._session(sid)
+        with session.lock:
+            if session.last_result is None or not session.last_result.programs:
+                raise SessionError(f"session {sid} has no candidate programs")
+            programs = session.last_result.programs
+            if not 0 <= index < len(programs):
+                raise SessionError(
+                    f"candidate index {index} out of range (0..{len(programs) - 1})"
+                )
+            session.accepted_index = index
+            return {
+                "session": sid,
+                "index": index,
+                "program": format_program(programs[index]),
+            }
+
+    def close(self, sid: str) -> dict:
+        """Close a session and fold its stats into the manager totals."""
+        with self._lock:
+            session = self._sessions.pop(sid, None)
+        if session is None:
+            raise SessionError(f"unknown session {sid!r}")
+        with session.lock:
+            session.close()
+            payload = {"session": sid, "stats": session.stats.to_json()}
+        # fold under the manager lock: concurrent closes would otherwise
+        # interleave merge()'s read-modify-writes and lose counts
+        with self._lock:
+            self._closed_stats.merge(session.stats)
+            self._closed_count += 1
+        return payload
+
+    def close_all(self) -> None:
+        """Close every live session (server shutdown)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            with session.lock:
+                session.close()
+            with self._lock:
+                self._closed_stats.merge(session.stats)
+                self._closed_count += 1
+
+    # ------------------------------------------------------------------
+    def session_ids(self) -> Sequence[str]:
+        with self._lock:
+            return tuple(self._sessions)
+
+    def stats(self) -> dict:
+        """Manager-wide stats: live + closed sessions, engine gauges."""
+        totals = SessionStats()
+        with self._lock:
+            live = list(self._sessions.values())
+            totals.merge(self._closed_stats)
+            closed = self._closed_count
+        for session in live:
+            totals.merge(session.stats)
+        # backend identity comes from the config resolution, not from
+        # live sessions — an idle worker must still report its store
+        from repro.service.backends import resolve_backend
+        from repro.synth.config import resolved_cache_backend
+
+        backend = resolve_backend(resolved_cache_backend(self.config))
+        return {
+            "sessions": len(live),
+            "closed_sessions": closed,
+            "backend": backend.name,
+            "persisted_bytes": backend.persisted_bytes if backend.persistent else 0,
+            "totals": totals.to_json(),
+        }

@@ -106,6 +106,16 @@ class SynthesisConfig:
         default) resolves from ``REPRO_SHARED_CACHE=1``.  Behaviour-
         preserving — cache hits replay recorded outcomes verbatim, so
         this is a throughput knob, not a semantics knob.
+    cache_backend:
+        Name of the execution-cache persistence backend
+        (:mod:`repro.service.backends`): ``"memory"`` keeps today's
+        in-process-only tables; ``"file"`` adds a persistent SQLite
+        store so a cold process warm-starts from prior sessions and
+        worker processes share one store.  ``None`` (the default)
+        resolves from ``REPRO_CACHE_BACKEND``.  Behaviour-preserving
+        for the same reason as ``shared_cache``: the cache keys are
+        value-addressed end to end, and hits replay recorded outcomes
+        verbatim.
     ranking:
         Name of the ranking strategy applied to generalizing programs
         (see :mod:`repro.synth.ranking`); the default is the paper's
@@ -145,6 +155,7 @@ class SynthesisConfig:
     max_cache_entries: int = 4096
     validation_workers: Optional[int] = None
     shared_cache: Optional[bool] = None
+    cache_backend: Optional[str] = None
     ranking: str = "size"
     use_shape_gates: bool = True
     use_window_periodicity: bool = False
@@ -204,13 +215,32 @@ def resolved_shared_cache(config: SynthesisConfig) -> bool:
     return os.environ.get("REPRO_SHARED_CACHE", "").strip() == "1"
 
 
+def resolved_cache_backend(config: SynthesisConfig) -> str:
+    """The effective backend name: the config knob, else the environment.
+
+    ``REPRO_CACHE_BACKEND=file`` flips every synthesizer in the process
+    to the persistent store (the CI parity gate runs tier-1 this way);
+    an explicit config value always wins.
+    """
+    if config.cache_backend is not None:
+        return config.cache_backend
+    return os.environ.get("REPRO_CACHE_BACKEND", "").strip() or "memory"
+
+
+def file_backend_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
+    """The persistent file backend switched on (service/warm-start runs)."""
+    return replace(base, cache_backend="file")
+
+
 def serial_validation_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
     """Serial validation over private caches, pinned against the env.
 
     The exact pre-concurrency behaviour — the ablation baseline the
     parallel-validation bench compares against.
     """
-    return replace(base, validation_workers=0, shared_cache=False)
+    return replace(
+        base, validation_workers=0, shared_cache=False, cache_backend="memory"
+    )
 
 
 def parallel_validation_config(

@@ -66,12 +66,15 @@ class SynthesisStats:
     Concurrency telemetry: ``validation_workers`` is the pool width the
     call's scheduler used (0 = serial); ``cache_cross_session_hits`` the
     per-call delta of hits served from entries *other* sessions of a
-    shared cache recorded.  ``cache_bytes``, ``interned_snapshots`` and
-    ``interned_bytes`` are end-of-call gauges (not deltas) of the
-    backing cache's approximate footprint and its snapshot-interning
-    table.  All counter deltas stay exact under the pool scheduler:
-    workers record into private counter sets merged at join, never into
-    shared fields.
+    shared cache recorded; ``cache_warm_hits`` the per-call delta of
+    hits served from a *persistent backend* — executions recorded by a
+    prior process (``cache_backend`` names the backend).
+    ``cache_bytes``, ``interned_snapshots``, ``interned_bytes`` and
+    ``persisted_bytes`` are end-of-call gauges (not deltas) of the
+    backing cache's approximate footprint, its snapshot-interning
+    table, and the persistent store.  All counter deltas stay exact
+    under the pool scheduler: workers record into private counter sets
+    merged at join, never into shared fields.
     """
 
     trace_length: int = 0
@@ -88,9 +91,12 @@ class SynthesisStats:
     cache_prefix_hits: int = 0
     cache_consistency_hits: int = 0
     cache_cross_session_hits: int = 0
+    cache_warm_hits: int = 0
     cache_bytes: int = 0
     interned_snapshots: int = 0
     interned_bytes: int = 0
+    persisted_bytes: int = 0
+    cache_backend: str = "memory"
     validation_workers: int = 0
     index_builds: int = 0
     enum_indexed: int = 0
@@ -323,9 +329,12 @@ class Synthesizer:
         stats.cache_cross_session_hits = (
             engine_after.cross_session_hits - engine_before.cross_session_hits
         )
+        stats.cache_warm_hits = engine_after.warm_hits - engine_before.warm_hits
         stats.cache_bytes = engine_after.cache_bytes
         stats.interned_snapshots = engine_after.interned_snapshots
         stats.interned_bytes = engine_after.interned_bytes
+        stats.persisted_bytes = engine_after.persisted_bytes
+        stats.cache_backend = engine_after.backend
         stats.validation_workers = self._scheduler.workers
         stats.index_builds = built.count
         stats.enum_indexed = self._search.enum_indexed - enum_before[0]

@@ -155,7 +155,7 @@ class TestCacheBounds:
         cache = ExecutionCache(max_entries=2)
         for index in range(3):
             # one action over a one-snapshot window: exact-table only
-            cache.put(("base", index), (index,), 1, ("a",), None, pins=())
+            cache.put(("base", index), (index,), 1, ("a",), None)
         assert cache.counters.evictions == 1
         assert cache.get(("base", 0), (0,), 1) is None  # oldest evicted
         assert cache.get(("base", 2), (2,), 1) is not None

@@ -1,0 +1,229 @@
+"""Value-addressed keys (repro.engine.keys, DOMNode.content_key).
+
+The cache-key scheme's load-bearing property is *stability*: the same
+content must produce the same key in any process, under any hash seed,
+before or after pickling — and different content must produce different
+keys.  These tests pin both directions, including across a
+``multiprocessing`` child and across interpreter invocations with
+different ``PYTHONHASHSEED`` values.
+"""
+
+import multiprocessing
+import os
+import pickle
+import subprocess
+import sys
+
+from repro import io as repro_io
+from repro.dom import E, page
+from repro.dom.xpath import Predicate, Step, TokenPredicate, parse_selector
+from repro.engine.keys import action_digest, data_key, digest_int, stable_digest
+from repro.lang import click, scrape_text
+from repro.lang.ast import SEL_VAR, Var, canonical_statement
+from repro.lang.data import DataSource
+from repro.semantics.env import Env
+from repro.semantics.trace import DOMTrace
+
+from helpers import cards_page, scrape_cards_trace
+
+
+class TestContentKey:
+    def test_same_structure_same_key(self):
+        first = cards_page(3)
+        second = cards_page(3).clone().freeze()
+        assert first is not second
+        assert first.content_key() == second.content_key()
+
+    def test_memoized_on_frozen_roots(self):
+        dom = cards_page(2)
+        assert dom._content_key is None
+        key = dom.content_key()
+        assert dom._content_key == key
+        assert dom.content_key() == key
+
+    def test_near_identical_snapshots_are_distinguished(self):
+        base = cards_page(3)
+        variants = [
+            cards_page(4),                       # one more card
+            page(E("div", {"class": "sidebar"}, text="ads")),  # subtree only
+        ]
+        # one attribute character changed, deep in the tree
+        tweaked = cards_page(3).clone()
+        tweaked.children[0].children[1].attrs["class"] = "cardx"
+        variants.append(tweaked.freeze())
+        # text changed
+        retexted = cards_page(3).clone()
+        retexted.children[0].children[1].children[0].text = "Store X"
+        variants.append(retexted.freeze())
+        keys = {base.content_key()}
+        for variant in variants:
+            assert variant.content_key() not in keys, variant
+            keys.add(variant.content_key())
+
+    def test_attribute_order_is_irrelevant_but_values_are_not(self):
+        one = E("div", {"a": "1", "b": "2"}).freeze()
+        two = E("div", {"b": "2", "a": "1"}).freeze()
+        three = E("div", {"a": "2", "b": "1"}).freeze()
+        assert one.content_key() == two.content_key()
+        assert one.content_key() != three.content_key()
+
+    def test_unfrozen_nodes_rehash_after_mutation(self):
+        node = E("div")
+        before = node.content_key()
+        node.append(E("span"))
+        assert node.content_key() != before
+
+    def test_pickle_round_trip_preserves_key_and_drops_caches(self):
+        dom = cards_page(3)
+        original = dom.content_key()
+        from repro.engine.index import index_for
+
+        index_for(dom)  # populate the per-process caches
+        restored = pickle.loads(pickle.dumps(dom))
+        assert restored.frozen
+        assert restored._snapshot_index is None
+        assert restored._resolve_cache is None
+        assert restored.content_key() == original
+        # parent links re-derived
+        child = restored.children[0]
+        assert child.parent is restored
+
+    def test_trace_value_key_slices_and_matches_ids_in_shape(self):
+        dom_a, dom_b = cards_page(2), cards_page(3)
+        trace = DOMTrace([dom_a, dom_b, dom_a], 0, 3)
+        keys = trace.value_key()
+        assert keys == (dom_a.content_key(), dom_b.content_key(), dom_a.content_key())
+        assert trace.window(1, 2).value_key() == (dom_b.content_key(),)
+
+
+class TestStableDigest:
+    def test_distinguishes_types_and_structures(self):
+        values = [
+            None, True, False, 0, 1, "", "0", b"0", 0.0, (), ("",), ((),)
+        ]
+        digests = [stable_digest(value) for value in values]
+        assert len(set(digests)) == len(values)
+
+    def test_dataclass_subclasses_do_not_collide(self):
+        plain = Predicate("div", "class", "card")
+        token = TokenPredicate("div", "class", "card")
+        assert stable_digest(plain) != stable_digest(token)
+
+    def test_canonical_statements_digest_consistently(self):
+        actions, _ = scrape_cards_trace(cards_page(3), 2)
+        from repro.lang.actions import action_to_statement
+
+        stmts = [action_to_statement(action) for action in actions]
+        keys = [canonical_statement(stmt) for stmt in stmts]
+        assert stable_digest(keys[0]) == stable_digest(canonical_statement(stmts[0]))
+        assert stable_digest(keys[0]) != stable_digest(keys[1])
+
+    def test_env_fingerprints_digest(self):
+        env = Env().bind(Var(SEL_VAR, 7), parse_selector("/html[1]/body[1]"))
+        other = Env().bind(Var(SEL_VAR, 7), parse_selector("/html[1]"))
+        assert stable_digest(env.fingerprint()) != stable_digest(other.fingerprint())
+
+    def test_action_digest_value_memo(self):
+        dom = cards_page(2)
+        first = scrape_text(parse_selector("//h3[1]"))
+        twin = scrape_text(parse_selector("//h3[1]"))
+        assert first is not twin
+        assert action_digest(first) == action_digest(twin) == digest_int(first)
+        assert action_digest(click(parse_selector("//h3[1]"))) != action_digest(first)
+
+    def test_data_key_by_content_not_identity(self):
+        one = DataSource({"zips": [10001, 10002]})
+        two = DataSource({"zips": [10001, 10002]})
+        other = DataSource({"zips": [10001]})
+        assert data_key(one) == data_key(two)
+        assert data_key(one) != data_key(other)
+
+
+def _child_keys(payload, queue):
+    """Recompute every key in a separate process (spawn or fork)."""
+    dom = repro_io.dom_from_json(payload["dom"])
+    unpickled = pickle.loads(payload["pickle"])
+    action = repro_io.action_from_json(payload["action"])
+    queue.put(
+        {
+            "content_key": dom.content_key(),
+            "unpickled_key": unpickled.content_key(),
+            "action_digest": action_digest(action),
+            "data_key": data_key(DataSource(payload["data"])),
+        }
+    )
+
+
+class TestCrossProcessStability:
+    def _expected(self):
+        dom = cards_page(3)
+        action = scrape_text(parse_selector("//div[@class='card'][2]/h3[1]"))
+        data = {"zips": [10001, 10002], "q": ["a"]}
+        payload = {
+            "dom": repro_io.dom_to_json(dom),
+            "pickle": pickle.dumps(dom),
+            "action": repro_io.action_to_json(action),
+            "data": data,
+        }
+        expected = {
+            "content_key": dom.content_key(),
+            "unpickled_key": dom.content_key(),
+            "action_digest": action_digest(action),
+            "data_key": data_key(DataSource(data)),
+        }
+        return payload, expected
+
+    def test_multiprocessing_child_reproduces_keys(self):
+        payload, expected = self._expected()
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        process = context.Process(target=_child_keys, args=(payload, queue))
+        process.start()
+        try:
+            result = queue.get(timeout=60)
+        finally:
+            process.join()
+        assert result == expected
+
+    def test_fresh_interpreter_with_different_hash_seed(self):
+        # the strongest stability claim: a brand-new interpreter, with a
+        # deliberately different string-hash seed, derives the same keys
+        # from the serialized content alone
+        payload, expected = self._expected()
+        script = (
+            "import sys, json, pickle, base64\n"
+            "sys.path.insert(0, %r)\n"
+            "sys.path.insert(0, %r)\n"
+            "from repro import io as repro_io\n"
+            "from repro.engine.keys import action_digest, data_key\n"
+            "from repro.lang.data import DataSource\n"
+            "blob = json.loads(sys.stdin.read())\n"
+            "dom = repro_io.dom_from_json(blob['dom'])\n"
+            "unpickled = pickle.loads(base64.b64decode(blob['pickle']))\n"
+            "action = repro_io.action_from_json(blob['action'])\n"
+            "print(json.dumps({'content_key': dom.content_key(),"
+            " 'unpickled_key': unpickled.content_key(),"
+            " 'action_digest': action_digest(action),"
+            " 'data_key': data_key(DataSource(blob['data']))}))\n"
+        ) % (_SRC_DIR, _TESTS_DIR)
+        import base64
+        import json
+
+        wire = dict(payload)
+        wire["pickle"] = base64.b64encode(payload["pickle"]).decode("ascii")
+        for seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            completed = subprocess.run(
+                [sys.executable, "-c", script],
+                input=json.dumps(wire),
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=120,
+            )
+            assert completed.returncode == 0, completed.stderr
+            assert json.loads(completed.stdout) == expected, f"seed {seed}"
+
+
+_TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+_SRC_DIR = os.path.join(os.path.dirname(_TESTS_DIR), "src")

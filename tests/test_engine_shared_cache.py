@@ -7,6 +7,7 @@ eviction, and the process-wide singleton.
 """
 
 import threading
+from dataclasses import replace
 
 from repro.dom import E, page
 from repro.engine.cache import (
@@ -26,6 +27,20 @@ from repro.synth.synthesizer import Synthesizer
 from helpers import cards_page, scrape_cards_trace
 
 
+def shared_memory_config(workers: int = 0):
+    """Process-shared cache pinned to the in-process backend.
+
+    The cross-session attribution assertions below are about *in-process*
+    sharing semantics; a persistent store left by earlier tests (e.g.
+    under the ``REPRO_CACHE_BACKEND=file`` CI parity run) would turn the
+    expected cross-session hits into warm-start hits.
+    """
+    return replace(
+        parallel_validation_config(workers=workers, shared=True),
+        cache_backend="memory",
+    )
+
+
 class TestCounters:
     def test_merge_sums_every_field(self):
         left = CacheCounters(hits=3, misses=2, evictions=1, exact_hits=1,
@@ -40,7 +55,7 @@ class TestCounters:
     def test_explicit_recorder_counts_alongside_the_cache_aggregate(self):
         cache = ExecutionCache(8)
         worker = CacheCounters()
-        cache.put(("base",), (1,), 1, ("a",), None, pins=(), counters=worker)
+        cache.put(("base",), (1,), 1, ("a",), None, counters=worker)
         assert cache.get(("base",), (1,), 1, counters=worker) is not None
         assert cache.get(("other",), (1,), 1, counters=worker) is None
         # the worker's private recorder and the cache's own (shard-level
@@ -58,14 +73,14 @@ class TestByteAccounting:
     def test_bytes_grow_with_entries_and_shrink_on_eviction(self):
         cache = ExecutionCache(max_entries=2)
         assert cache.approx_bytes == 0
-        cache.put(("a",), (1,), 1, ("x",), None, pins=())
+        cache.put(("a",), (1,), 1, ("x",), None)
         one_entry = cache.approx_bytes
         assert one_entry > 0
-        cache.put(("b",), (2,), 1, ("x", "y"), None, pins=())
+        cache.put(("b",), (2,), 1, ("x", "y"), None)
         two_entries = cache.approx_bytes
         assert two_entries > one_entry
         # third insert evicts the oldest: bytes stay bounded, counted
-        cache.put(("c",), (3,), 1, ("x",), None, pins=())
+        cache.put(("c",), (3,), 1, ("x",), None)
         assert cache.counters.evictions == 1
         assert cache.approx_bytes < two_entries + one_entry
         assert len(cache) <= 2
@@ -74,7 +89,7 @@ class TestByteAccounting:
         shared = SharedExecutionCache(max_entries=64, shards=4)
         session = shared.session()
         for index in range(10):
-            session.put((f"k{index}",), (index,), 1, ("a",), None, pins=())
+            session.put((f"k{index}",), (index,), 1, ("a",), None)
         assert shared.approx_bytes > 0
         assert len(shared) == 10
         shared.clear()
@@ -86,7 +101,7 @@ class TestSessions:
     def test_sessions_share_entries_and_attribute_cross_hits(self):
         shared = SharedExecutionCache(max_entries=64, shards=2)
         writer, reader = shared.session(), shared.session()
-        writer.put(("base",), (1,), 1, ("a",), None, pins=())
+        writer.put(("base",), (1,), 1, ("a",), None)
         assert writer.get(("base",), (1,), 1) is not None
         assert writer.counters.cross_session_hits == 0  # own entry
         assert reader.get(("base",), (1,), 1) is not None
@@ -98,7 +113,7 @@ class TestSessions:
     def test_consistency_memo_is_shared_too(self):
         shared = SharedExecutionCache(max_entries=64, shards=2)
         writer, reader = shared.session(), shared.session()
-        writer.put_consistency(("key",), 3, pins=())
+        writer.put_consistency(("key",), 3)
         assert reader.get_consistency(("key",)) == 3
         assert reader.counters.consistency_hits == 1
         assert reader.counters.cross_session_hits == 1
@@ -177,7 +192,7 @@ class TestInterning:
             try:
                 for index in range(200):
                     key = (f"k{(index + salt) % 50}",)
-                    session.put(key, (index % 7,), 1, ("a",), None, pins=())
+                    session.put(key, (index % 7,), 1, ("a",), None)
                     session.get(key, (index % 7,), 1)
             except Exception as exc:  # pragma: no cover - the assertion
                 errors.append(exc)
@@ -212,7 +227,7 @@ class TestDataInterning:
         # source by id, so sharing depends on for_config interning it
         reset_process_cache()
         try:
-            config = parallel_validation_config(workers=0, shared=True)
+            config = shared_memory_config()
             actions, _ = scrape_cards_trace(cards_page(5), 4)
             snaps_a = [cards_page(5).clone().freeze()] * (len(actions) + 1)
             snaps_b = [cards_page(5).clone().freeze()] * (len(actions) + 1)
@@ -233,7 +248,7 @@ class TestCrossSessionSynthesis:
     def test_two_sessions_over_the_same_site_share_executions(self):
         reset_process_cache()
         try:
-            config = parallel_validation_config(workers=0, shared=True)
+            config = shared_memory_config()
             actions, _ = scrape_cards_trace(cards_page(5), 4)
             dom_a = cards_page(5).clone().freeze()
             dom_b = cards_page(5).clone().freeze()
@@ -282,3 +297,144 @@ class TestProcessCache:
             assert process_cache() is not first
         finally:
             reset_process_cache()
+
+
+class TestByteThresholds:
+    def test_byte_threshold_evicts_oldest_until_under(self):
+        cache = ExecutionCache(max_entries=1024, max_bytes=2000)
+        for index in range(32):
+            cache.put((f"k{index}",), (index,), 1, ("a",) * 8, None)
+        assert cache.counters.evictions > 0
+        assert cache.approx_bytes <= 2000
+        # the most recent entry always survives
+        assert cache.get(("k31",), (31,), 1) is not None
+        assert cache.get(("k0",), (0,), 1) is None
+
+    def test_single_oversized_entry_does_not_wedge_the_cache(self):
+        cache = ExecutionCache(max_entries=8, max_bytes=250)
+        cache.put(("big",), tuple(range(64)), 64, ("a",) * 64, None)
+        # larger than the whole budget: kept as the last entry standing
+        assert len(cache) >= 1
+        assert cache.get(("big",), tuple(range(64)), 64) is not None
+
+    def test_rejects_non_positive_byte_threshold(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ExecutionCache(max_entries=8, max_bytes=0)
+
+    def test_shared_cache_splits_the_threshold_across_shards(self):
+        shared = SharedExecutionCache(max_entries=1024, shards=4, max_bytes=8000)
+        session = shared.session()
+        for index in range(256):
+            session.put((f"k{index}",), (index,), 1, ("a",) * 8, None)
+        assert shared.counters().evictions > 0
+        assert sum(s.cache.approx_bytes for s in shared._shards) <= 8000
+
+    def test_window_length_scales_the_terminal_entry_estimate(self):
+        # the ROADMAP eviction-policy note: terminal entries for long
+        # windows must weigh in proportion to their examined prefix, so
+        # byte thresholds pressure exactly the entries count thresholds
+        # undercounted (value keys already removed the snapshot pinning)
+        small = ExecutionCache(max_entries=8)
+        large = ExecutionCache(max_entries=8)
+        small.put(("b",), tuple(range(4)), 4, ("a",), None)
+        large.put(("b",), tuple(range(40)), 40, ("a",), None)
+        assert large.approx_bytes > small.approx_bytes
+
+
+class TestEnumMemoAccounting:
+    def test_enum_bytes_counted_in_shared_footprint(self):
+        shared = SharedExecutionCache()
+        dom = cards_page(4)
+        canonical = shared.intern_snapshot(dom)
+        index = index_for(canonical)
+        before = shared.approx_bytes
+        index.enum_memo[("decomp", 1, True, 2, 64, False)] = [object()] * 10
+        assert index.enum_memo.approx_bytes > 0
+        assert shared.enum_bytes == index.enum_memo.approx_bytes
+        assert shared.approx_bytes == before + index.enum_memo.approx_bytes
+
+    def test_enum_memo_evicts_when_over_budget(self):
+        from repro.engine.index import EnumMemo
+
+        memo = EnumMemo(max_bytes=3000)
+        for index in range(32):
+            memo[("decomp", index)] = [object()] * 8
+        assert memo.evictions > 0
+        assert memo.approx_bytes <= 3000
+        assert memo.get(("decomp", 31)) is not None  # newest kept
+        assert memo.get(("decomp", 0)) is None  # oldest dropped
+
+    def test_enumeration_results_flow_through_the_accounted_memo(self):
+        dom = cards_page(3)
+        from repro.dom import raw_path
+        from repro.synth.alternatives import decompositions
+        from helpers import node_at
+
+        target = node_at(dom, "//div[@class='card'][2]/h3[1]")
+        index = index_for(dom)
+        before = index.enum_memo.approx_bytes
+        results = decompositions(raw_path(target), dom)
+        assert results
+        assert index.enum_memo.approx_bytes > before
+
+
+class TestWarmStartSynthesis:
+    def test_fresh_process_cache_warm_starts_from_the_store(self, tmp_path):
+        # process boundaries are simulated by dropping every in-process
+        # cache between runs: only the SQLite store survives, exactly
+        # what a restarted worker sees (the service bench does this with
+        # real forked processes; the cross-process key stability is
+        # pinned by test_engine_keys)
+        from repro.service.backends import reset_backends
+
+        store = str(tmp_path / "store.sqlite")
+        def run_once():
+            config = replace(
+                parallel_validation_config(workers=0, shared=True),
+                cache_backend="file",
+            )
+            actions, snapshots = scrape_cards_trace(cards_page(5), 4)
+            synthesizer = Synthesizer(EMPTY_DATA, config)
+            warm = misses = 0
+            programs = []
+            for cut in range(1, len(actions) + 1):
+                result = synthesizer.synthesize(actions[:cut], snapshots[: cut + 1])
+                warm += result.stats.cache_warm_hits
+                misses += result.stats.cache_misses
+                programs.append(
+                    [canonical_program(p) for p in result.programs]
+                )
+            assert result.stats.cache_backend == "file"
+            assert result.stats.persisted_bytes > 0
+            from repro.service.backends import flush_backends
+
+            flush_backends()
+            synthesizer.close()
+            return warm, misses, programs
+
+        import os
+
+        previous = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path)
+        reset_process_cache()
+        reset_backends()
+        try:
+            cold_warm, cold_misses, cold_programs = run_once()
+            assert cold_warm == 0
+            assert cold_misses > 0
+            # "new process": all in-process state dropped, store kept
+            reset_process_cache()
+            reset_backends()
+            warm_warm, warm_misses, warm_programs = run_once()
+            assert warm_warm > 0
+            assert warm_misses == 0
+            assert warm_programs == cold_programs
+        finally:
+            reset_process_cache()
+            reset_backends()
+            if previous is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous

@@ -1,0 +1,268 @@
+"""The persistent cache backends (repro.service.backends).
+
+Covers the codec (exact structural round-trips for actions and
+environments), the SQLite file backend (cross-connection visibility,
+byte-accounted eviction, corruption tolerance), backend resolution, and
+the cache-level warm-start path the backends feed.
+"""
+
+import os
+import sqlite3
+
+import pytest
+
+from repro.dom import E
+from repro.dom.xpath import parse_selector
+from repro.engine.cache import ExecutionCache
+from repro.engine.keys import stable_digest
+from repro.lang import X, click, enter_data, scrape_text, send_keys
+from repro.lang.ast import SEL_VAR, VAL_VAR, Var, ValuePath
+from repro.semantics.env import Env
+from repro.service.backends import (
+    CONSISTENCY,
+    EXACT,
+    TERMINAL,
+    FileBackend,
+    InProcessBackend,
+    action_from_payload,
+    action_to_payload,
+    entry_from_payload,
+    entry_to_payload,
+    env_from_payload,
+    env_to_payload,
+    resolve_backend,
+    reset_backends,
+)
+
+
+class TestCodec:
+    def test_actions_round_trip_exactly(self):
+        actions = [
+            click(parse_selector("/html[1]/body[1]//div[@class='card'][2]")),
+            scrape_text(parse_selector("//div[@class~='match'][1]/h3[1]")),
+            send_keys(parse_selector("//input[@name='q'][1]"), "laptops"),
+            enter_data(parse_selector("//input[1]"), X.extend("zips").extend(3)),
+        ]
+        for action in actions:
+            restored = action_from_payload(action_to_payload(action))
+            assert restored == action
+            # the token-predicate subclass must survive (same fields,
+            # different matching semantics)
+            if action.selector is not None:
+                for original, round_tripped in zip(
+                    action.selector.steps, restored.selector.steps
+                ):
+                    assert type(original.pred) is type(round_tripped.pred)
+
+    def test_env_round_trips_exactly(self):
+        env = (
+            Env()
+            .bind(Var(SEL_VAR, 3), parse_selector("/html[1]/body[1]/div[2]"))
+            .bind(Var(VAL_VAR, 9), ValuePath(None, ("zips", 2)))
+        )
+        restored = env_from_payload(env_to_payload(env))
+        assert restored.fingerprint() == env.fingerprint()
+        assert env_to_payload(None) is None
+        assert env_from_payload(None) is None
+
+    def test_entry_round_trip(self):
+        actions = (scrape_text(parse_selector("//h3[1]")),)
+        env = Env()
+        payload = entry_to_payload(actions, env, (11, 22), True)
+        r_actions, r_env, examined, ok = entry_from_payload(payload)
+        assert r_actions == actions
+        assert r_env.fingerprint() == env.fingerprint()
+        assert examined == (11, 22)
+        assert ok is True
+        # exact-table entries carry no examined prefix
+        _, _, examined, ok = entry_from_payload(entry_to_payload(actions, env, None, False))
+        assert examined is None and ok is False
+
+
+class TestFileBackend:
+    def test_entries_survive_a_new_connection(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        actions = (scrape_text(parse_selector("//h3[1]")),)
+        writer = FileBackend(path, flush_every=1)
+        key = stable_digest(("exact", "k"))
+        writer.store_entry(EXACT, key, actions, Env(), None, False)
+        writer.store_consistency(stable_digest(("consistency", "c")), 5)
+        writer.close()
+        reader = FileBackend(path)  # a different process, morally
+        restored = reader.load_entry(EXACT, key)
+        assert restored is not None
+        assert restored[0] == actions
+        assert reader.load_consistency(stable_digest(("consistency", "c"))) == 5
+        assert reader.load_entry(EXACT, stable_digest(("exact", "other"))) is None
+        assert reader.persisted_bytes > 0
+        assert reader.entries == 2
+        reader.close()
+
+    def test_buffered_writes_flush_by_count_and_on_demand(self, tmp_path):
+        backend = FileBackend(tmp_path / "store.sqlite", flush_every=4)
+        actions = (scrape_text(parse_selector("//h3[1]")),)
+        key = stable_digest(("exact", 1))
+        backend.store_entry(EXACT, key, actions, Env(), None, False)
+        with backend._lock:
+            assert backend._pending  # still buffered
+        backend.flush()
+        with backend._lock:
+            assert not backend._pending
+        assert backend.load_entry(EXACT, key) is not None
+        backend.close()
+
+    def test_byte_accounted_eviction_drops_oldest(self, tmp_path):
+        backend = FileBackend(tmp_path / "store.sqlite", max_bytes=4000, flush_every=1)
+        actions = tuple(
+            scrape_text(parse_selector(f"//div[@class='card'][{i}]/h3[1]"))
+            for i in range(1, 6)
+        )
+        keys = [stable_digest(("exact", index)) for index in range(40)]
+        for key in keys:
+            backend.store_entry(EXACT, key, actions, Env(), None, False)
+        assert backend.evictions > 0
+        assert backend.persisted_bytes <= 4000
+        assert backend.load_entry(EXACT, keys[0]) is None  # oldest gone
+        assert backend.load_entry(EXACT, keys[-1]) is not None  # newest kept
+        backend.close()
+
+    def test_uncodable_values_are_skipped_not_fatal(self, tmp_path):
+        backend = FileBackend(tmp_path / "store.sqlite", flush_every=1)
+        backend.store_entry(EXACT, b"key", ("not an action",), None, None, False)
+        assert backend.encode_errors == 1
+        assert backend.load_entry(EXACT, b"key") is None
+        backend.close()
+
+    def test_corrupt_rows_degrade_to_misses(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        backend = FileBackend(path, flush_every=1)
+        actions = (scrape_text(parse_selector("//h3[1]")),)
+        key = stable_digest(("exact", "x"))
+        backend.store_entry(EXACT, key, actions, Env(), None, False)
+        with backend._lock:
+            backend._conn.execute(
+                "UPDATE entries SET payload = ?", (b"{not json",)
+            )
+        assert backend.load_entry(EXACT, key) is None
+        backend.close()
+
+    def test_terminal_payload_with_examined(self, tmp_path):
+        backend = FileBackend(tmp_path / "store.sqlite", flush_every=1)
+        actions = (scrape_text(parse_selector("//h3[1]")),)
+        key = stable_digest(("terminal", "t"))
+        backend.store_entry(TERMINAL, key, actions, Env(), (7, 8), True)
+        _, _, examined, ok = backend.load_entry(TERMINAL, key)
+        assert examined == (7, 8) and ok is True
+        backend.close()
+
+
+class TestResolution:
+    def test_memory_is_the_default_and_a_no_op(self, monkeypatch):
+        backend = resolve_backend("memory")
+        assert isinstance(backend, InProcessBackend)
+        assert not backend.persistent
+        assert backend.load_entry(EXACT, b"k") is None
+        assert backend.load_consistency(b"k") is None
+        backend.store_entry(EXACT, b"k", (), Env(), None, False)
+        backend.store_consistency(b"k", 1)
+        assert resolve_backend("") is backend
+        monkeypatch.delenv("REPRO_CACHE_BACKEND", raising=False)
+        assert resolve_backend(None) is backend
+
+    def test_file_backends_are_shared_per_path(self, tmp_path):
+        try:
+            first = resolve_backend("file", str(tmp_path / "s.sqlite"))
+            second = resolve_backend("file", str(tmp_path / "s.sqlite"))
+            other = resolve_backend("file", str(tmp_path / "t.sqlite"))
+            assert first is second
+            assert first is not other
+        finally:
+            reset_backends()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("redis")
+
+
+class TestCacheWarmStart:
+    """The ExecutionCache ↔ backend integration (unit level)."""
+
+    def _entry_values(self):
+        actions = (scrape_text(parse_selector("//h3[1]")),)
+        return actions, Env()
+
+    def test_write_through_and_warm_start_counts(self, tmp_path):
+        backend = FileBackend(tmp_path / "store.sqlite", flush_every=1)
+        actions, env = self._entry_values()
+        writer = ExecutionCache(max_entries=16, backend=backend)
+        writer.put(("base",), (101, 102), 2, actions, env)
+        # a cold cache over the same store: in-memory miss, backend hit
+        reader = ExecutionCache(max_entries=16, backend=backend)
+        hit = reader.get(("base",), (101, 102), 2)
+        assert hit is not None
+        assert hit[0] == actions
+        counters = reader.counters
+        assert counters.hits == counters.exact_hits == counters.warm_hits == 1
+        assert counters.misses == 0
+        assert counters.cross_session_hits == 0  # restored entries own no session
+        # promoted: the second lookup is served from memory, not disk
+        loads_before = backend.loads
+        assert reader.get(("base",), (101, 102), 2) is not None
+        assert backend.loads == loads_before
+        assert reader.counters.warm_hits == 1
+        backend.close()
+
+    def test_terminal_entries_warm_start_onto_extended_windows(self, tmp_path):
+        backend = FileBackend(tmp_path / "store.sqlite", flush_every=1)
+        actions, env = self._entry_values()
+        writer = ExecutionCache(max_entries=16, backend=backend)
+        # one action, three snapshots, budget 3: terminal (examined 2)
+        writer.put(("base",), (101, 102, 103), 3, actions, env, exact_budget_ok=True)
+        reader = ExecutionCache(max_entries=16, backend=backend)
+        # an extended window sharing the examined prefix hits via disk
+        hit = reader.get(("base",), (101, 102, 104, 105), 4)
+        assert hit is not None
+        assert reader.counters.prefix_hits == 1
+        assert reader.counters.warm_hits == 1
+        # a window with a different examined prefix must miss
+        fresh = ExecutionCache(max_entries=16, backend=backend)
+        assert fresh.get(("base",), (101, 999, 104), 3) is None
+        backend.close()
+
+    def test_persisted_exact_entry_found_despite_inapplicable_terminal(self, tmp_path):
+        # regression: an in-memory terminal entry that fails the budget
+        # check used to short-circuit the backend probe entirely,
+        # recomputing executions the store already held
+        backend = FileBackend(tmp_path / "store.sqlite", flush_every=1)
+        actions, env = self._entry_values()
+        writer = ExecutionCache(max_entries=16, backend=backend)
+        # a budget-capped exact outcome (1 action over budget 1): the
+        # run did not terminate on its own terms, so no terminal entry
+        writer.put(("base",), (101, 102), 1, actions, env)
+        reader = ExecutionCache(max_entries=16, backend=backend)
+        # seed an in-memory terminal entry that does NOT apply to the
+        # budget-1 lookup (budget == len(actions), exact_budget_ok False)
+        reader.put(("base",), (101, 102, 103), 3, actions, env, exact_budget_ok=False)
+        hit = reader.get(("base",), (101, 102), 1)
+        assert hit is not None
+        assert reader.counters.warm_hits == 1
+        assert reader.counters.exact_hits == 1
+        backend.close()
+
+    def test_consistency_memo_round_trips_through_the_store(self, tmp_path):
+        backend = FileBackend(tmp_path / "store.sqlite", flush_every=1)
+        writer = ExecutionCache(max_entries=16, backend=backend)
+        writer.put_consistency(((1, 2), (3, 4), (5,)), 2)
+        reader = ExecutionCache(max_entries=16, backend=backend)
+        assert reader.get_consistency(((1, 2), (3, 4), (5,))) == 2
+        assert reader.counters.consistency_hits == 1
+        assert reader.counters.warm_hits == 1
+        backend.close()
+
+    def test_memory_backend_never_touches_digests(self):
+        cache = ExecutionCache(max_entries=4, backend=InProcessBackend())
+        assert cache.backend is None  # non-persistent: dropped entirely
+        assert cache.backend_name == "memory"
+        cache.put(("base",), (1,), 1, ("a",), None)
+        assert cache.get(("base",), (1,), 1) is not None
+        assert cache.counters.warm_hits == 0

@@ -1,0 +1,111 @@
+"""The HTTP service (repro.service.server) and its thin client.
+
+Boots a real ThreadingHTTPServer on an ephemeral port (in a thread) and
+drives it through :class:`repro.service.client.ServiceClient` — the
+same wire path ``repro serve`` exposes, minus the process boundary
+(the service bench covers that).
+"""
+
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.engine.cache import reset_process_cache
+from repro.lang.pretty import format_program
+from repro.lang import EMPTY_DATA
+from repro.synth.config import DEFAULT_CONFIG, serial_validation_config
+from repro.synth.synthesizer import Synthesizer
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.server import make_server
+
+from helpers import cards_page, scrape_cards_trace
+
+
+@pytest.fixture
+def service():
+    """A served worker on an ephemeral port, torn down afterwards."""
+    reset_process_cache()
+    server = make_server(
+        port=0,
+        config=replace(DEFAULT_CONFIG, cache_backend="memory"),
+        timeout=5.0,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    try:
+        yield client
+    finally:
+        client.close()
+        server.shutdown()
+        server.manager.close_all()
+        server.server_close()
+        reset_process_cache()
+
+
+class TestRoundTrip:
+    def test_health_and_stats(self, service):
+        assert service.health()
+        stats = service.stats()
+        assert stats["sessions"] == 0
+        assert stats["backend"] == "memory"
+
+    def test_full_session_over_http_matches_local_synthesis(self, service):
+        dom = cards_page(5)
+        actions, snapshots = scrape_cards_trace(dom, 4)
+        sid = service.create_session(snapshots[0])
+        summary = None
+        for position, action in enumerate(actions):
+            summary = service.record_action(sid, action, snapshots[position + 1])
+        assert summary["programs"] > 0
+        assert summary["predictions"]
+        served = [item["program"] for item in service.candidates(sid)]
+        # the session is incremental: compare against an incrementally
+        # driven synthesizer, not a one-shot call
+        direct = Synthesizer(EMPTY_DATA, serial_validation_config())
+        for cut in range(1, len(actions) + 1):
+            expected = direct.synthesize(actions[:cut], snapshots[: cut + 1])
+        direct.close()
+        assert served == [format_program(p) for p in expected.programs]
+        accepted = service.accept(sid, 0)
+        assert accepted == served[0]
+        closed = service.close_session(sid)
+        assert closed["stats"]["calls"] == len(actions)
+        # the wire-level prediction matches the local best prediction
+        assert summary["predictions"][0] == str(expected.best_prediction)
+
+    def test_drive_recording_helper(self, service):
+        from repro.browser.recorder import Recording
+
+        dom = cards_page(4)
+        actions, snapshots = scrape_cards_trace(dom, 3)
+        recording = Recording(
+            actions=actions, snapshots=snapshots, outputs=[], truncated=False
+        )
+        sid, summaries = service.drive_recording(recording)
+        assert len(summaries) == len(actions)
+        assert summaries[-1]["programs"] > 0
+        service.close_session(sid)
+
+
+class TestErrors:
+    def test_unknown_session_is_a_404(self, service):
+        with pytest.raises(ServiceClientError, match="404|unknown"):
+            service.candidates("s999")
+        with pytest.raises(ServiceClientError):
+            service.close_session("s999")
+
+    def test_malformed_creation_is_a_400(self, service):
+        with pytest.raises(ServiceClientError, match="400|snapshot"):
+            service._request("POST", "/api/sessions", {"data": {}})
+
+    def test_unroutable_path_is_a_404(self, service):
+        with pytest.raises(ServiceClientError):
+            service._request("GET", "/api/nothing")
+
+    def test_accept_without_candidates_is_a_404(self, service):
+        sid = service.create_session(cards_page(2))
+        with pytest.raises(ServiceClientError, match="no candidate"):
+            service.accept(sid)
+        service.close_session(sid)

@@ -1,0 +1,183 @@
+"""The session manager (repro.service.sessions).
+
+Covers the session lifecycle (create / record-action / candidates /
+accept / close), parity with driving a Synthesizer directly, concurrent
+sessions, error paths, and the stats aggregation the service reports.
+"""
+
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.engine.cache import reset_process_cache
+from repro.lang import EMPTY_DATA
+from repro.lang.data import DataSource
+from repro.lang.pretty import format_program
+from repro.synth.config import DEFAULT_CONFIG, serial_validation_config
+from repro.synth.synthesizer import Synthesizer
+from repro.service.sessions import SessionError, SessionManager
+
+from helpers import cards_page, scrape_cards_trace
+
+
+def memory_manager(**kwargs):
+    """A manager pinned to the in-process backend (parity-run safe)."""
+    config = replace(DEFAULT_CONFIG, cache_backend="memory")
+    return SessionManager(config, **kwargs)
+
+
+class TestLifecycle:
+    def test_create_record_candidates_accept_close(self):
+        reset_process_cache()
+        try:
+            manager = memory_manager(timeout=5.0)
+            dom = cards_page(5)
+            actions, snapshots = scrape_cards_trace(dom, 4)
+            sid = manager.create(snapshots[0])
+            summary = None
+            for position, action in enumerate(actions):
+                summary = manager.record_action(sid, action, snapshots[position + 1])
+                assert summary["session"] == sid
+                assert summary["actions"] == position + 1
+            assert summary["programs"] > 0
+            assert summary["predictions"]
+            candidates = manager.candidates(sid)
+            assert len(candidates) == summary["programs"]
+            assert candidates[0]["index"] == 0
+            accepted = manager.accept(sid, 0)
+            assert accepted["program"] == candidates[0]["program"]
+            closed = manager.close(sid)
+            assert closed["stats"]["calls"] == len(actions)
+            assert closed["stats"]["actions"] == len(actions)
+            manager.close_all()
+        finally:
+            reset_process_cache()
+
+    def test_matches_a_directly_driven_synthesizer(self):
+        reset_process_cache()
+        try:
+            manager = memory_manager(timeout=5.0)
+            dom = cards_page(5)
+            actions, snapshots = scrape_cards_trace(dom, 4)
+            direct = Synthesizer(EMPTY_DATA, serial_validation_config())
+            sid = manager.create(snapshots[0])
+            for position, action in enumerate(actions):
+                manager.record_action(sid, action, snapshots[position + 1])
+                expected = direct.synthesize(
+                    actions[: position + 1], snapshots[: position + 2]
+                )
+                served = [item["program"] for item in manager.candidates(sid)]
+                assert served == [format_program(p) for p in expected.programs]
+            manager.close_all()
+            direct.close()
+        finally:
+            reset_process_cache()
+
+    def test_sessions_carry_their_own_data_sources(self):
+        reset_process_cache()
+        try:
+            manager = memory_manager(timeout=5.0)
+            dom = cards_page(3)
+            with_data = manager.create(dom, data=DataSource({"q": ["a"]}))
+            without = manager.create(dom)
+            assert with_data != without
+            assert set(manager.session_ids()) == {with_data, without}
+            manager.close_all()
+            assert manager.session_ids() == ()
+        finally:
+            reset_process_cache()
+
+
+class TestErrors:
+    def test_unknown_session_rejected(self):
+        manager = memory_manager()
+        with pytest.raises(SessionError):
+            manager.record_action("nope", None, None)
+        with pytest.raises(SessionError):
+            manager.candidates("nope")
+        with pytest.raises(SessionError):
+            manager.close("nope")
+
+    def test_accept_requires_candidates(self):
+        reset_process_cache()
+        try:
+            manager = memory_manager()
+            sid = manager.create(cards_page(3))
+            with pytest.raises(SessionError):
+                manager.accept(sid)
+        finally:
+            reset_process_cache()
+
+    def test_accept_index_bounds(self):
+        reset_process_cache()
+        try:
+            manager = memory_manager(timeout=5.0)
+            dom = cards_page(5)
+            actions, snapshots = scrape_cards_trace(dom, 4)
+            sid = manager.create(snapshots[0])
+            for position, action in enumerate(actions):
+                manager.record_action(sid, action, snapshots[position + 1])
+            with pytest.raises(SessionError):
+                manager.accept(sid, 10_000)
+        finally:
+            reset_process_cache()
+
+
+class TestConcurrency:
+    def test_concurrent_sessions_synthesize_independently(self):
+        reset_process_cache()
+        try:
+            manager = memory_manager(timeout=5.0)
+            dom = cards_page(5)
+            actions, snapshots = scrape_cards_trace(dom, 3)
+            errors = []
+            served: dict[str, list] = {}
+
+            def drive(worker: int):
+                try:
+                    sid = manager.create(snapshots[0])
+                    for position, action in enumerate(actions):
+                        manager.record_action(sid, action, snapshots[position + 1])
+                    served[sid] = [item["program"] for item in manager.candidates(sid)]
+                    manager.close(sid)
+                except Exception as exc:  # pragma: no cover - the assertion
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=drive, args=(i,)) for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            outputs = list(served.values())
+            assert all(output == outputs[0] for output in outputs)
+            assert outputs[0]  # the workload synthesizes programs
+        finally:
+            reset_process_cache()
+
+
+class TestStats:
+    def test_manager_stats_aggregate_live_and_closed(self):
+        reset_process_cache()
+        try:
+            manager = memory_manager(timeout=5.0)
+            dom = cards_page(5)
+            actions, snapshots = scrape_cards_trace(dom, 3)
+            first = manager.create(snapshots[0])
+            for position, action in enumerate(actions):
+                manager.record_action(first, action, snapshots[position + 1])
+            manager.close(first)
+            second = manager.create(snapshots[0])
+            for position, action in enumerate(actions):
+                manager.record_action(second, action, snapshots[position + 1])
+            stats = manager.stats()
+            assert stats["sessions"] == 1
+            assert stats["closed_sessions"] == 1
+            assert stats["backend"] == "memory"
+            assert stats["totals"]["calls"] == 2 * len(actions)
+            # the second session reuses the first's executions through
+            # the process-level shared cache
+            assert stats["totals"]["cross_session_hits"] > 0
+        finally:
+            reset_process_cache()
