@@ -97,7 +97,9 @@ def _drive_sessions(backend, subjects, sessions):
             for position, action in enumerate(actions):
                 manager.record_action(sid, action, snapshots[position + 1])
                 per_call.append(
-                    tuple(item["program"] for item in manager.candidates(sid))
+                    tuple(
+                        item.program for item in manager.candidates(sid).candidates
+                    )
                 )
             manager.close(sid)
             elapsed += time.perf_counter() - started
@@ -171,11 +173,11 @@ def _serve_leg(store_dir, recording, data, reference_final):
             length = recording.length - 1
             actions, snapshots = recording.prefix(length)
             sid = client.create_session(snapshots[0], data=data)
-            summary = None
+            proposed = None
             for position, action in enumerate(actions):
-                summary = client.record_action(sid, action, snapshots[position + 1])
+                proposed = client.record_action(sid, action, snapshots[position + 1])
             served_final = tuple(
-                item["program"] for item in client.candidates(sid)
+                item.program for item in client.candidates(sid).candidates
             )
             stats = client.stats()
             client.close_session(sid)
@@ -183,7 +185,7 @@ def _serve_leg(store_dir, recording, data, reference_final):
             "served programs diverged from the in-process run"
         )
         assert stats["backend"] == "file"
-        return summary["stats"]["warm_start_hits"], stats
+        return proposed.stats.warm_start_hits, stats
     finally:
         process.terminate()
         process.wait(timeout=30)

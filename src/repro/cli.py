@@ -34,10 +34,17 @@ Commands
     loop iteration produced each action).
 ``serve [--host H] [--port P] [--workers N] [--backend memory|file]``
     Run the multi-process session service: concurrent demonstration
-    sessions over HTTP + JSON (create / record-action / get-candidates
-    / accept / close), sharing the process-level execution cache — and,
-    with ``--backend file``, a persistent store that outlives processes
-    and is shared between workers.  See :mod:`repro.service.server`.
+    sessions over the typed ``/v1`` protocol routes (create /
+    record-action / get-candidates / accept / reject / close / migrate
+    / import), sharing the process-level execution cache — and, with
+    ``--backend file``, a persistent store that outlives processes and
+    is shared between workers.  ``--session-ttl`` evicts idle sessions.
+    See :mod:`repro.service.server`.
+``protocol-schema``
+    Print the interaction protocol's machine-readable wire schema
+    (message types, field specs, ``PROTOCOL_VERSION``).  CI diffs this
+    output against the committed ``src/repro/protocol/schema.json`` so
+    wire changes are always explicit.
 ``q1|q2|q3|q4``
     Regenerate the corresponding evaluation artifact (same as
     ``python -m repro.harness.qN``).
@@ -117,8 +124,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-action synthesis budget in seconds")
     serve.add_argument("--synth-workers", type=int, default=None,
                        help="validation worker threads per session")
+    serve.add_argument("--session-ttl", type=float, default=None,
+                       help="evict sessions idle longer than this many "
+                            "seconds (default: $REPRO_SESSION_TTL or never)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every request to stderr")
+
+    commands.add_parser("protocol-schema",
+                        help="print the interaction protocol wire schema")
 
     replay = commands.add_parser("replay", help="run a serialized program")
     replay.add_argument("program", help="JSON file with a serialized program")
@@ -249,6 +262,7 @@ def _cmd_serve(arguments) -> int:
         config=config,
         timeout=arguments.timeout,
         quiet=not arguments.verbose,
+        max_idle_s=arguments.session_ttl,
     )
 
 
@@ -371,6 +385,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if arguments.command == "serve":
         return _cmd_serve(arguments)
+    if arguments.command == "protocol-schema":
+        from repro.protocol.schema import main as protocol_schema_main
+
+        return protocol_schema_main()
     if arguments.command == "replay":
         return _cmd_replay(arguments.program, arguments.benchmark)
     if arguments.command == "check":

@@ -145,6 +145,43 @@ class _Entry:
         self.owner = owner
 
 
+class _BackendProbe:
+    """A phase-1 miss's pending backend follow-up.
+
+    Carries everything phase 2 needs so the backend read can run with
+    no lock held: the lookup coordinates for the in-memory re-check and
+    the store digests (computed under the lock — the base-digest memo
+    is shard state).  ``terminal_digest`` is ``None`` when an
+    inapplicable in-memory terminal entry already rules the store's
+    terminal copy out.
+    """
+
+    __slots__ = (
+        "window_keys",
+        "budget",
+        "exact_key",
+        "terminal_key",
+        "exact_digest",
+        "terminal_digest",
+    )
+
+    def __init__(
+        self,
+        window_keys: tuple[int, ...],
+        budget: int,
+        exact_key: tuple,
+        terminal_key: tuple,
+        exact_digest: bytes,
+        terminal_digest: Optional[bytes],
+    ) -> None:
+        self.window_keys = window_keys
+        self.budget = budget
+        self.exact_key = exact_key
+        self.terminal_key = terminal_key
+        self.exact_digest = exact_digest
+        self.terminal_digest = terminal_digest
+
+
 #: Fixed per-entry overhead estimate: the ``_Entry`` object, its dict
 #: slot, and the key tuple's skeleton.
 _ENTRY_OVERHEAD = 200
@@ -268,7 +305,38 @@ class ExecutionCache:
         counters: Optional[CacheCounters] = None,
         session: int = 0,
     ) -> Optional[tuple[tuple, Env]]:
-        """The memoized ``(actions, final env)``, or ``None`` on a miss."""
+        """The memoized ``(actions, final env)``, or ``None`` on a miss.
+
+        Single-threaded composition of the two-phase lookup below —
+        callers that hold a lock around the whole cache
+        (:class:`SharedCacheSession`) instead call the phases directly
+        and drop the lock for the backend I/O in between.
+        """
+        result, probe = self.lookup_memory(base, window_keys, budget, counters, session)
+        if result is not None or probe is None:
+            return result
+        exact_payload, terminal_payload = self.probe_backend(probe)
+        return self.promote_backend(
+            probe, exact_payload, terminal_payload, counters, session
+        )
+
+    def lookup_memory(
+        self,
+        base: tuple,
+        window_keys: tuple[int, ...],
+        budget: int,
+        counters: Optional[CacheCounters] = None,
+        session: int = 0,
+    ) -> tuple[Optional[tuple[tuple, Env]], Optional["_BackendProbe"]]:
+        """Phase 1 (under the shard lock): the in-memory probe.
+
+        Returns ``(result, probe)``: a non-``None`` result is a counted
+        hit; a non-``None`` probe means the persistent backend must
+        still be consulted — the miss is *not* counted yet, that is
+        :meth:`promote_backend`'s job, so each lookup counts exactly one
+        hit or one miss whichever phase settles it.  Both ``None`` is a
+        counted miss (no backend).
+        """
         recorders = self._recorders(counters)
         exact_key = (base, window_keys, budget)
         entry = self._exact.get(exact_key)
@@ -276,33 +344,94 @@ class ExecutionCache:
             if len(self._exact) >= self._touch_floor:
                 self._touch(self._exact, exact_key)
             self._record_hit(recorders, "exact_hits", entry.owner, session)
-            return entry.actions, entry.env
+            return (entry.actions, entry.env), None
         terminal_key = (base, window_keys[0])
         entry = self._terminal.get(terminal_key)
         if entry is not None and self._terminal_applies(entry, window_keys, budget):
             if len(self._terminal) >= self._touch_floor:
                 self._touch(self._terminal, terminal_key)
             self._record_hit(recorders, "prefix_hits", entry.owner, session)
+            return (entry.actions, entry.env), None
+        if self._backend is None:
+            for recorder in recorders:
+                recorder.misses += 1
+            return None, None
+        # full in-memory miss: the backend may hold either kind from a
+        # prior process.  An *inapplicable* in-memory terminal entry
+        # only rules out the store's terminal copy (write-through keeps
+        # them equal) — a persisted exact entry for this very window may
+        # still exist, so only the terminal probe is skipped in that
+        # case.  Digests are computed here, under the lock, because the
+        # base-digest memo is shard state.
+        probe = _BackendProbe(
+            window_keys,
+            budget,
+            exact_key,
+            terminal_key,
+            self._store_digest("exact", base, window_keys, budget),
+            None if entry is not None else self._store_digest("terminal", base, window_keys[0]),
+        )
+        return None, probe
+
+    def probe_backend(self, probe: "_BackendProbe") -> tuple:
+        """Phase 2a (no lock): read the store for a phase-1 miss.
+
+        Touches only the backend (which synchronizes itself), never the
+        tables — safe to run while other threads hold the shard lock.
+        """
+        exact_payload = self._backend.load_entry(_EXACT, probe.exact_digest)
+        if exact_payload is not None:
+            return exact_payload, None
+        if probe.terminal_digest is None:
+            return None, None
+        return None, self._backend.load_entry(_TERMINAL, probe.terminal_digest)
+
+    def promote_backend(
+        self,
+        probe: "_BackendProbe",
+        exact_payload: Optional[tuple],
+        terminal_payload: Optional[tuple],
+        counters: Optional[CacheCounters] = None,
+        session: int = 0,
+    ) -> Optional[tuple[tuple, Env]]:
+        """Phase 2b (under the shard lock): promote and settle counting.
+
+        Re-checks the in-memory tables first — while the lock was
+        released another thread may have promoted (or recorded) the very
+        entry, and a hit served from memory counts as a plain hit, not a
+        warm one.  Otherwise the probed payload is promoted exactly as a
+        locked warm start would have, or the miss is finally counted.
+        """
+        recorders = self._recorders(counters)
+        entry = self._exact.get(probe.exact_key)
+        if entry is not None:
+            if len(self._exact) >= self._touch_floor:
+                self._touch(self._exact, probe.exact_key)
+            self._record_hit(recorders, "exact_hits", entry.owner, session)
             return entry.actions, entry.env
-        if self._backend is not None:
-            # full in-memory miss: the backend may hold either kind from
-            # a prior process.  An *inapplicable* in-memory terminal
-            # entry only rules out the store's terminal copy (write-
-            # through keeps them equal) — a persisted exact entry for
-            # this very window may still exist, so only the terminal
-            # probe is skipped in that case.
-            warm = self._warm_start(
-                base,
-                window_keys,
-                budget,
-                exact_key,
-                terminal_key,
-                probe_terminal=entry is None,
-            )
-            if warm is not None:
-                kind, result = warm
-                self._record_hit(recorders, kind, 0, session, warm=True)
-                return result
+        entry = self._terminal.get(probe.terminal_key)
+        if entry is not None and self._terminal_applies(
+            entry, probe.window_keys, probe.budget
+        ):
+            if len(self._terminal) >= self._touch_floor:
+                self._touch(self._terminal, probe.terminal_key)
+            self._record_hit(recorders, "prefix_hits", entry.owner, session)
+            return entry.actions, entry.env
+        if exact_payload is not None:
+            actions, env, _, _ = exact_payload
+            self._insert(self._exact, probe.exact_key, _Entry(actions, env, None), ())
+            self._record_hit(recorders, "exact_hits", 0, session, warm=True)
+            return actions, env
+        if terminal_payload is not None:
+            actions, env, examined, exact_budget_ok = terminal_payload
+            if examined is not None:  # corrupt/foreign payload: ignore
+                promoted = _Entry(actions, env, examined, exact_budget_ok)
+                # promote even when unusable for *this* lookup: the entry
+                # is exactly what a local put would have recorded
+                self._insert(self._terminal, probe.terminal_key, promoted, ())
+                if self._terminal_applies(promoted, probe.window_keys, probe.budget):
+                    self._record_hit(recorders, "prefix_hits", 0, session, warm=True)
+                    return actions, env
         for recorder in recorders:
             recorder.misses += 1
         return None
@@ -332,40 +461,6 @@ class ExecutionCache:
                 self._base_digests.clear()
             base_digest = self._base_digests[base] = stable_digest(base)
         return stable_digest((tag, base_digest) + rest)
-
-    def _warm_start(
-        self,
-        base: tuple,
-        window_keys: tuple[int, ...],
-        budget: int,
-        exact_key: tuple,
-        terminal_key: tuple,
-        probe_terminal: bool = True,
-    ):
-        """Consult the persistent backend; promote what it knows."""
-        payload = self._backend.load_entry(
-            _EXACT, self._store_digest("exact", base, window_keys, budget)
-        )
-        if payload is not None:
-            actions, env, _, _ = payload
-            self._insert(self._exact, exact_key, _Entry(actions, env, None), ())
-            return "exact_hits", (actions, env)
-        if not probe_terminal:
-            return None
-        payload = self._backend.load_entry(
-            _TERMINAL, self._store_digest("terminal", base, window_keys[0])
-        )
-        if payload is not None:
-            actions, env, examined, exact_budget_ok = payload
-            if examined is None:  # corrupt/foreign payload: ignore
-                return None
-            entry = _Entry(actions, env, examined, exact_budget_ok)
-            # promote even when unusable for *this* lookup: the entry is
-            # exactly what a local put would have recorded
-            self._insert(self._terminal, terminal_key, entry, ())
-            if self._terminal_applies(entry, window_keys, budget):
-                return "prefix_hits", (actions, env)
-        return None
 
     @staticmethod
     def _record_hit(
@@ -447,24 +542,56 @@ class ExecutionCache:
         session: int = 0,
     ) -> Optional[int]:
         """Memoized ``consistent_prefix_length`` result, or ``None``."""
+        value, digest = self.lookup_consistency_memory(key, counters, session)
+        if value is not None or digest is None:
+            return value
+        return self.promote_consistency(
+            key, self._backend.load_consistency(digest), counters, session
+        )
+
+    def lookup_consistency_memory(
+        self,
+        key: tuple,
+        counters: Optional[CacheCounters] = None,
+        session: int = 0,
+    ) -> tuple[Optional[int], Optional[bytes]]:
+        """Phase 1 of the consistency lookup (same contract as
+        :meth:`lookup_memory`): ``(value, pending store digest)``."""
         recorders = self._recorders(counters)
         hit = self._consistency.get(key)
         if hit is None:
             if self._backend is not None:
-                value = self._backend.load_consistency(
-                    stable_digest(("consistency", key))
-                )
-                if value is not None:
-                    self._insert_value("consistency", key, (value, 0), ())
-                    self._record_hit(recorders, "consistency_hits", 0, session, warm=True)
-                    return value
+                return None, stable_digest(("consistency", key))
             for recorder in recorders:
                 recorder.misses += 1
-            return None
+            return None, None
         if len(self._consistency) >= self._touch_floor:
             self._touch(self._consistency, key)
         self._record_hit(recorders, "consistency_hits", hit[1], session)
-        return hit[0]
+        return hit[0], None
+
+    def promote_consistency(
+        self,
+        key: tuple,
+        value: Optional[int],
+        counters: Optional[CacheCounters] = None,
+        session: int = 0,
+    ) -> Optional[int]:
+        """Phase 2 (under the shard lock): promote and settle counting."""
+        recorders = self._recorders(counters)
+        hit = self._consistency.get(key)
+        if hit is not None:  # promoted by a racing thread meanwhile
+            if len(self._consistency) >= self._touch_floor:
+                self._touch(self._consistency, key)
+            self._record_hit(recorders, "consistency_hits", hit[1], session)
+            return hit[0]
+        if value is not None:
+            self._insert_value("consistency", key, (value, 0), ())
+            self._record_hit(recorders, "consistency_hits", 0, session, warm=True)
+            return value
+        for recorder in recorders:
+            recorder.misses += 1
+        return None
 
     def put_consistency(
         self,
@@ -864,12 +991,26 @@ class SharedCacheSession:
         counters: Optional[CacheCounters] = None,
     ) -> Optional[tuple[tuple, Env]]:
         shard = self._shared._shard_for(base)
+        recorder = self.counters if counters is None else counters
         with shard.lock:
-            return shard.cache.get(
-                base,
-                window_keys,
-                budget,
-                counters=self.counters if counters is None else counters,
+            result, probe = shard.cache.lookup_memory(
+                base, window_keys, budget, counters=recorder, session=self._token
+            )
+        if result is not None or probe is None:
+            return result
+        # two-phase backend lookup: the SQLite read + JSON decode runs
+        # with *no* shard lock held, so cold-phase same-shard lookups
+        # overlap their I/O instead of serializing behind it; the
+        # promote step re-takes the lock, re-checks memory (a racing
+        # thread may have promoted first), and settles hit/miss counting
+        # exactly once per lookup.
+        exact_payload, terminal_payload = shard.cache.probe_backend(probe)
+        with shard.lock:
+            return shard.cache.promote_backend(
+                probe,
+                exact_payload,
+                terminal_payload,
+                counters=recorder,
                 session=self._token,
             )
 
@@ -900,11 +1041,18 @@ class SharedCacheSession:
         self, key: tuple, counters: Optional[CacheCounters] = None
     ) -> Optional[int]:
         shard = self._shared._shard_for(key)
+        recorder = self.counters if counters is None else counters
         with shard.lock:
-            return shard.cache.get_consistency(
-                key,
-                counters=self.counters if counters is None else counters,
-                session=self._token,
+            value, digest = shard.cache.lookup_consistency_memory(
+                key, counters=recorder, session=self._token
+            )
+        if value is not None or digest is None:
+            return value
+        # same two-phase discipline as `get`: store I/O outside the lock
+        loaded = shard.cache.backend.load_consistency(digest)
+        with shard.lock:
+            return shard.cache.promote_consistency(
+                key, loaded, counters=recorder, session=self._token
             )
 
     def put_consistency(

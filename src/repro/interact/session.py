@@ -13,7 +13,12 @@ A session moves through three phases:
 
 The session drives a live :class:`~repro.browser.virtual.Browser`; the
 *user* is any object with the :class:`~repro.interact.user.OracleUser`
-interface.
+interface.  The synthesis loop itself is not a parallel implementation:
+the simulator is a *driver* over the unified protocol session core
+(:class:`repro.protocol.session.Session`) — the same object the service
+serves over HTTP — fed through :meth:`Session.synthesize_over` with the
+browser-recorded trace, so its reports, its telemetry, and even its
+migratability (``session.export_snapshot()``) are the service's.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import Optional
 from repro.browser.virtual import Browser
 from repro.interact.user import OracleUser
 from repro.lang.actions import Action
+from repro.protocol.session import Session
 from repro.synth.synthesizer import Synthesizer
 from repro.util.errors import ReplayError
 
@@ -87,6 +93,15 @@ class InteractiveSession:
         self.synth_timeout = synth_timeout
         self.phase = Phase.DEMO
         self.report = SessionReport()
+        #: The unified protocol session this simulator drives — the
+        #: same core the service serves (one surface, two transports).
+        self.session = Session(
+            "interactive",
+            synthesizer.data,
+            synthesizer.config,
+            timeout=synth_timeout,
+            synthesizer=synthesizer,
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> SessionReport:
@@ -107,6 +122,7 @@ class InteractiveSession:
                 choice = self.user.judge(predictions) if predictions else None
                 if choice is None:
                     self.report.rejected += 1
+                    self.session.reject()  # the protocol Reject event
                     consecutive_accepts = 0
                     self.phase = Phase.DEMO
                     self.report.phase_log.append("demo")
@@ -145,7 +161,7 @@ class InteractiveSession:
         actions, snapshots = self.browser.trace()
         if not actions:
             return []
-        result = self.synthesizer.synthesize(actions, snapshots, timeout=self.synth_timeout)
+        result = self.session.synthesize_over(actions, snapshots)
         return result.predictions
 
     def _demonstrate(self) -> None:

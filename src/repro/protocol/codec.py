@@ -1,0 +1,73 @@
+"""The protocol codec seam.
+
+A :class:`Codec` turns protocol messages into bytes and back.  The
+shipped implementation is :class:`JsonCodec` — canonical JSON (sorted
+keys, compact separators), so every message has exactly one encoding
+and golden wire fixtures are byte-stable.  This seam is where the
+ROADMAP's binary payload codec lands later: the session, server, and
+client layers speak :class:`Codec`, never ``json`` directly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.protocol.messages import ProtocolError, from_wire, to_wire
+
+
+class Codec:
+    """Encodes protocol messages to bytes and decodes them back."""
+
+    #: Short name surfaced in telemetry and the schema document.
+    name: str = "codec"
+    #: The HTTP content type of this codec's payloads.
+    content_type: str = "application/octet-stream"
+
+    def encode(self, message) -> bytes:
+        """The canonical byte encoding of one message."""
+        raise NotImplementedError
+
+    def decode(self, payload: bytes):
+        """Decode one message; raises :class:`ProtocolError` on bad wire."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def roundtrip(self, message):
+        """Encode → decode → re-encode; assert byte stability.
+
+        Returns the decoded message.  This is the schema round-trip
+        validation used by tests and by ``JsonCodec.selfcheck``-style
+        assertions: a message that cannot survive its own wire format
+        must never leave the process.
+        """
+        encoded = self.encode(message)
+        decoded = self.decode(encoded)
+        again = self.encode(decoded)
+        if again != encoded:
+            raise ProtocolError(
+                f"{type(message).__name__} does not round-trip byte-stably"
+            )
+        return decoded
+
+
+class JsonCodec(Codec):
+    """Canonical JSON: sorted keys, compact separators, UTF-8."""
+
+    name = "json"
+    content_type = "application/json"
+
+    def encode(self, message) -> bytes:
+        return json.dumps(
+            to_wire(message), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def decode(self, payload: bytes):
+        try:
+            wire = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"undecodable payload: {exc}") from exc
+        return from_wire(wire)
+
+
+#: The codec every surface uses today.
+DEFAULT_CODEC = JsonCodec()

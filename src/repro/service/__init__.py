@@ -9,10 +9,13 @@ system:
   :mod:`repro.engine.keys`.
 * :mod:`repro.service.sessions` — the session manager driving one
   incremental :class:`~repro.synth.synthesizer.Synthesizer` per
-  concurrent demonstration session.
-* :mod:`repro.service.server` / :mod:`repro.service.client` — a
-  stdlib-HTTP JSON API over the session manager (``repro serve``) and
-  the thin client that speaks it.
+  concurrent demonstration session (the session state itself is the
+  unified :class:`repro.protocol.session.Session` core), with idle
+  eviction and snapshot export/import for worker migration.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  typed, versioned interaction protocol (:mod:`repro.protocol`) over
+  stdlib HTTP (``repro serve``, ``/v1/...`` routes) and the typed
+  client that speaks it.
 
 Only the dependency-light backends module is imported here; the session
 and server modules pull in the whole synthesizer stack and are imported

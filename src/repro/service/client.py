@@ -1,34 +1,74 @@
-"""Thin client for the ``repro serve`` JSON API (stdlib ``http.client``).
+"""Typed client for the ``repro serve`` protocol API (stdlib ``http.client``).
 
-Speaks exactly the wire shapes of :mod:`repro.service.server` — DOM
-snapshots and actions serialized as in recorded demonstrations
-(:mod:`repro.io`) — so driving a served synthesizer looks like driving
-a local :class:`~repro.service.sessions.SessionManager`:
+Speaks the versioned ``/v1`` routes end to end in protocol messages
+(:mod:`repro.protocol.messages`) encoded by the protocol codec — the
+same typed surface the server decodes, so driving a served synthesizer
+looks like driving a local
+:class:`~repro.service.sessions.SessionManager`:
 
 >>> client = ServiceClient("http://127.0.0.1:8738")
 >>> sid = client.create_session(first_snapshot)
->>> summary = client.record_action(sid, action, next_snapshot)
->>> summary["predictions"]
-['ScrapeText(//div[@class='card'][3]/h3[1])']
+>>> proposed = client.record_action(sid, action, next_snapshot)
+>>> proposed.predictions[0]
+"ScrapeText(//div[@class='card'][3]/h3[1])"
 
 :meth:`drive_recording` replays a stored demonstration action by
-action — the shape the warm-start benchmark and the examples use.
+action; :meth:`export_session` / :meth:`import_session` /
+:meth:`migrate_session` move a live session between workers.
 """
 
 from __future__ import annotations
 
 import json
 from http.client import HTTPConnection
-from typing import Optional
+from typing import Optional, Union
 from urllib.parse import urlsplit
 
-from repro import io as repro_io
 from repro.browser.recorder import Recording
+from repro.protocol.codec import DEFAULT_CODEC
+from repro.protocol.messages import (
+    Accept,
+    Accepted,
+    ActionRecorded,
+    CandidateList,
+    CloseSession,
+    CreateSession,
+    ErrorEnvelope,
+    MigrateSession,
+    Migrated,
+    ProgramProposed,
+    ProtocolError,
+    Reject,
+    Rejected,
+    SessionClosed,
+    SessionCreated,
+    SessionSnapshot,
+    from_wire,
+)
 from repro.util.errors import ReproError
 
 
 class ServiceClientError(ReproError):
-    """A non-2xx response (or malformed payload) from the service."""
+    """A non-2xx response (or malformed payload) from the service.
+
+    Carries the decoded :class:`~repro.protocol.messages.ErrorEnvelope`
+    and HTTP status when the server sent one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        envelope: Optional[ErrorEnvelope] = None,
+        status: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.envelope = envelope
+        self.status = status
+
+    @property
+    def code(self) -> Optional[str]:
+        """The machine-readable error code, when the server sent one."""
+        return self.envelope.code if self.envelope is not None else None
 
 
 class ServiceClient:
@@ -44,18 +84,22 @@ class ServiceClient:
         self._conn: Optional[HTTPConnection] = None
 
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+    def _request(self, method: str, path: str, message=None, raw: Optional[dict] = None):
+        """One round trip; returns the decoded protocol message (or dict)."""
         body = None
         headers = {}
-        if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
+        if message is not None:
+            body = DEFAULT_CODEC.encode(message)
+            headers["Content-Type"] = DEFAULT_CODEC.content_type
+        elif raw is not None:
+            body = json.dumps(raw).encode("utf-8")
             headers["Content-Type"] = "application/json"
         if self._conn is None:
             self._conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             self._conn.request(method, path, body=body, headers=headers)
             response = self._conn.getresponse()
-            raw = response.read()
+            payload = response.read()
         except (ConnectionError, OSError) as exc:
             self.close()
             if method != "GET":
@@ -71,14 +115,35 @@ class ServiceClient:
             self._conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
             self._conn.request(method, path, body=body, headers=headers)
             response = self._conn.getresponse()
-            raw = response.read()
+            payload = response.read()
+        return self._decode(method, path, response.status, payload)
+
+    def _decode(self, method: str, path: str, status: int, payload: bytes):
         try:
-            decoded = json.loads(raw.decode("utf-8"))
-        except ValueError as exc:
-            raise ServiceClientError(f"malformed response from {path}: {raw[:200]!r}") from exc
-        if response.status >= 400:
+            wire = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
             raise ServiceClientError(
-                f"{method} {path} -> {response.status}: {decoded.get('error', decoded)}"
+                f"malformed response from {path}: {payload[:200]!r}", status=status
+            ) from exc
+        decoded = wire
+        if isinstance(wire, dict) and wire.get("type") is not None:
+            try:
+                decoded = from_wire(wire)
+            except ProtocolError as exc:
+                raise ServiceClientError(
+                    f"undecodable protocol message from {path}: {exc}", status=status
+                ) from exc
+        if status >= 400:
+            envelope = decoded if isinstance(decoded, ErrorEnvelope) else None
+            detail = (
+                f"{envelope.code}: {envelope.message}"
+                if envelope is not None
+                else str(wire)
+            )
+            raise ServiceClientError(
+                f"{method} {path} -> {status}: {detail}",
+                envelope=envelope,
+                status=status,
             )
         return decoded
 
@@ -101,61 +166,120 @@ class ServiceClient:
         except (ServiceClientError, OSError):
             return False
 
+    def protocol_version(self) -> Optional[int]:
+        """The protocol version the worker speaks (None if unreachable)."""
+        try:
+            return self._request("GET", "/healthz").get("protocol")
+        except (ServiceClientError, OSError):
+            return None
+
     def create_session(
         self, snapshot, data=None, timeout: Optional[float] = None
     ) -> str:
         """Open a session on an initial DOM snapshot; returns its id."""
-        payload: dict = {"snapshot": repro_io.dom_to_json(snapshot)}
-        if data is not None:
-            payload["data"] = data.value if hasattr(data, "value") else data
-        if timeout is not None:
-            payload["timeout"] = timeout
-        return self._request("POST", "/api/sessions", payload)["session"]
-
-    def record_action(self, sid: str, action, snapshot) -> dict:
-        """One per-action round trip; returns the synthesis summary."""
-        return self._request(
-            "POST",
-            f"/api/sessions/{sid}/actions",
-            {
-                "action": repro_io.action_to_json(action),
-                "snapshot": repro_io.dom_to_json(snapshot),
-            },
+        message = CreateSession(
+            snapshot=snapshot,
+            data=data.value if hasattr(data, "value") else data,
+            timeout=timeout,
         )
+        created = self._request("POST", "/v1/sessions", message)
+        self._expect(created, SessionCreated)
+        return created.session
 
-    def candidates(self, sid: str) -> list[dict]:
+    def record_action(self, sid: str, action, snapshot) -> ProgramProposed:
+        """One per-action round trip; returns the typed synthesis summary."""
+        message = ActionRecorded(session=sid, action=action, snapshot=snapshot)
+        proposed = self._request("POST", f"/v1/sessions/{sid}/actions", message)
+        self._expect(proposed, ProgramProposed)
+        return proposed
+
+    def candidates(self, sid: str) -> CandidateList:
         """The ranked candidate programs of a session."""
-        return self._request("GET", f"/api/sessions/{sid}/candidates")["candidates"]
+        listed = self._request("GET", f"/v1/sessions/{sid}/candidates")
+        self._expect(listed, CandidateList)
+        return listed
 
-    def accept(self, sid: str, index: int = 0) -> str:
-        """Accept one candidate; returns its rendered program."""
-        return self._request(
-            "POST", f"/api/sessions/{sid}/accept", {"index": index}
-        )["program"]
+    def accept(self, sid: str, index: int = 0) -> Accepted:
+        """Accept one candidate; returns it rendered."""
+        accepted = self._request(
+            "POST", f"/v1/sessions/{sid}/accept", Accept(session=sid, index=index)
+        )
+        self._expect(accepted, Accepted)
+        return accepted
 
-    def close_session(self, sid: str) -> dict:
+    def reject(self, sid: str) -> Rejected:
+        """Reject every current proposal; returns the running count."""
+        rejected = self._request(
+            "POST", f"/v1/sessions/{sid}/reject", Reject(session=sid)
+        )
+        self._expect(rejected, Rejected)
+        return rejected
+
+    def close_session(self, sid: str) -> SessionClosed:
         """Close a session; returns its final stats."""
-        return self._request("POST", f"/api/sessions/{sid}/close", {})
+        closed = self._request(
+            "POST", f"/v1/sessions/{sid}/close", CloseSession(session=sid)
+        )
+        self._expect(closed, SessionClosed)
+        return closed
 
     def stats(self) -> dict:
-        """Manager-wide stats of the worker."""
-        return self._request("GET", "/api/stats")
+        """Manager-wide stats of the worker (gauges, not a typed message)."""
+        return self._request("GET", "/v1/stats")
+
+    @staticmethod
+    def _expect(message, cls) -> None:
+        if not isinstance(message, cls):
+            raise ServiceClientError(
+                f"expected a {cls.__name__}, got {type(message).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    def export_session(self, sid: str) -> SessionSnapshot:
+        """Serialize a session off this worker (it stops serving here)."""
+        snapshot = self._request(
+            "POST", f"/v1/sessions/{sid}/migrate", MigrateSession(session=sid)
+        )
+        self._expect(snapshot, SessionSnapshot)
+        return snapshot
+
+    def import_session(self, snapshot: SessionSnapshot) -> str:
+        """Resume an exported session on this worker; returns its new id."""
+        created = self._request("POST", "/v1/sessions/import", snapshot)
+        self._expect(created, SessionCreated)
+        return created.session
+
+    def migrate_session(
+        self, sid: str, target: Union[str, "ServiceClient"]
+    ) -> Migrated:
+        """Move a session to another worker (server-to-server push)."""
+        if isinstance(target, ServiceClient):
+            target = f"http://{target.host}:{target.port}"
+        migrated = self._request(
+            "POST",
+            f"/v1/sessions/{sid}/migrate",
+            MigrateSession(session=sid, target=target),
+        )
+        self._expect(migrated, Migrated)
+        return migrated
 
     # ------------------------------------------------------------------
     def drive_recording(
         self, recording: Recording, data=None, timeout: Optional[float] = None
-    ) -> tuple[str, list[dict]]:
+    ) -> tuple[str, list[ProgramProposed]]:
         """Replay a stored demonstration through the service.
 
         Opens a session on the recording's first snapshot, streams every
         action with its following snapshot, and returns ``(sid,
-        summaries)`` — one per-action summary per call, the session left
-        open for ``candidates``/``accept``.
+        proposals)`` — one :class:`ProgramProposed` per call, the
+        session left open for ``candidates``/``accept``.
         """
         sid = self.create_session(recording.snapshots[0], data=data, timeout=timeout)
-        summaries = []
+        proposals = []
         for position, action in enumerate(recording.actions):
-            summaries.append(
+            proposals.append(
                 self.record_action(sid, action, recording.snapshots[position + 1])
             )
-        return sid, summaries
+        return sid, proposals

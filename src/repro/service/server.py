@@ -1,31 +1,40 @@
-"""``repro serve``: the session manager over stdlib HTTP + JSON.
+"""``repro serve``: the session manager over stdlib HTTP + the protocol.
 
 One worker process = one :class:`~repro.service.sessions.SessionManager`
 behind a :class:`ThreadingHTTPServer` (no dependencies beyond the
-standard library).  Sessions are sticky to the worker that created
-them; what workers share is the *execution cache* — with the file
-backend, every worker (and every restart) warm-starts from the same
-store, which is the point of the value-addressed key scheme.
+standard library).  Every body — request and response — is a typed
+protocol message encoded by the protocol codec
+(:mod:`repro.protocol.codec`); errors are
+:class:`~repro.protocol.messages.ErrorEnvelope` objects, never bare
+strings.  Sessions are sticky to the worker that created them *until
+migrated*: ``POST /v1/sessions/<sid>/migrate`` serializes a session
+(:class:`~repro.protocol.messages.SessionSnapshot`) and either returns
+it to the caller or pushes it straight to another worker's import
+endpoint — de-stickying multi-worker deployments.
 
-Routes (all bodies JSON):
+Versioned routes (all bodies protocol JSON):
 
-========================================  =====================================
-``POST /api/sessions``                    ``{snapshot, data?, timeout?}`` →
-                                          ``{session}``
-``POST /api/sessions/<sid>/actions``      ``{action, snapshot}`` → per-action
-                                          summary (programs, predictions, stats)
-``GET  /api/sessions/<sid>/candidates``   → ``{candidates: [...]}``
-``POST /api/sessions/<sid>/accept``       ``{index?}`` → ``{program}``
-``POST /api/sessions/<sid>/close``        → final session stats
-``GET  /api/stats``                       → manager-wide stats
-``GET  /healthz``                         → ``{ok: true}``
-========================================  =====================================
+==========================================  ===================================
+``POST /v1/sessions``                       ``CreateSession`` → ``SessionCreated``
+``POST /v1/sessions/<sid>/actions``         ``ActionRecorded`` → ``ProgramProposed``
+``GET  /v1/sessions/<sid>/candidates``      → ``CandidateList``
+``POST /v1/sessions/<sid>/accept``          ``Accept`` → ``Accepted``
+``POST /v1/sessions/<sid>/reject``          ``Reject`` → ``Rejected``
+``POST /v1/sessions/<sid>/close``           → ``SessionClosed``
+``POST /v1/sessions/<sid>/migrate``         ``MigrateSession`` →
+                                            ``SessionSnapshot`` | ``Migrated``
+``POST /v1/sessions/import``                ``SessionSnapshot`` → ``SessionCreated``
+``GET  /v1/stats``                          → manager-wide stats (JSON gauges)
+``GET  /healthz``                           → ``{ok, protocol, codec}``
+==========================================  ===================================
 
-Snapshots and actions use the same JSON shapes as recorded
-demonstrations (:mod:`repro.io`), so a recorder front end that already
-ships recordings speaks this API natively.  ``--workers N`` forks N
-workers on consecutive ports over one store — the multi-process
-deployment shape; a load balancer (or the client) picks a port.
+The pre-protocol ``/api/...`` routes remain as a thin deprecated alias
+for one release: same handlers, same protocol responses, plus a
+``Deprecation`` header; their request bodies may be either protocol
+messages or the legacy bare dicts.  ``--workers N`` forks N workers on
+consecutive ports over one store — the multi-process deployment shape;
+a load balancer (or the client) picks a port and may rebalance via
+migration.
 """
 
 from __future__ import annotations
@@ -39,6 +48,22 @@ from typing import Optional
 
 from repro import io as repro_io
 from repro.lang.data import DataSource
+from repro.protocol.codec import DEFAULT_CODEC
+from repro.protocol.messages import (
+    PROTOCOL_VERSION,
+    Accept,
+    ActionRecorded,
+    CloseSession,
+    CreateSession,
+    ErrorEnvelope,
+    Migrated,
+    MigrateSession,
+    ProtocolError,
+    Reject,
+    SessionSnapshot,
+    from_wire,
+)
+from repro.protocol.session import SessionClosedError, UnknownSessionError
 from repro.service.backends import flush_backends
 from repro.service.sessions import SessionError, SessionManager
 from repro.synth.config import DEFAULT_CONFIG, SynthesisConfig
@@ -60,7 +85,7 @@ class ServiceServer(ThreadingHTTPServer):
 
 
 class _Handler(BaseHTTPRequestHandler):
-    server_version = "repro-service/1"
+    server_version = "repro-service/2"
     protocol_version = "HTTP/1.1"
 
     # ------------------------------------------------------------------
@@ -68,16 +93,39 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:  # pragma: no cover - debug aid
             sys.stderr.write("%s - %s\n" % (self.address_string(), format % args))
 
-    def _reply(self, payload: dict, status: int = 200) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _reply_bytes(self, body: bytes, status: int, deprecated: bool) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", DEFAULT_CODEC.content_type)
         self.send_header("Content-Length", str(len(body)))
+        if deprecated:
+            self.send_header("Deprecation", "true")
+            self.send_header("Link", '</v1/>; rel="successor-version"')
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, message: str, status: int) -> None:
-        self._reply({"error": message}, status)
+    def _reply(self, message, status: int = 200, deprecated: bool = False) -> None:
+        """Encode one protocol message (or a plain gauge dict) and send."""
+        if isinstance(message, dict):
+            body = json.dumps(message, sort_keys=True, separators=(",", ":")).encode(
+                "utf-8"
+            )
+        else:
+            body = DEFAULT_CODEC.encode(message)
+        self._reply_bytes(body, status, deprecated)
+
+    def _error(
+        self,
+        code: str,
+        message: str,
+        status: int,
+        session: Optional[str] = None,
+        deprecated: bool = False,
+    ) -> None:
+        self._reply(
+            ErrorEnvelope(code=code, message=message, session=session),
+            status,
+            deprecated,
+        )
 
     def _body(self) -> dict:
         length = int(self.headers.get("Content-Length", "0"))
@@ -89,65 +137,207 @@ class _Handler(BaseHTTPRequestHandler):
         return payload
 
     # ------------------------------------------------------------------
+    # Legacy-body adapters (the /api alias accepts pre-protocol dicts)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_create(payload: dict) -> CreateSession:
+        if payload.get("type") is not None:
+            message = from_wire(payload)
+            if not isinstance(message, CreateSession):
+                raise ProtocolError("expected a create_session message")
+            return message
+        if "snapshot" not in payload:
+            raise ParseError("session creation requires 'snapshot'")
+        return CreateSession(
+            snapshot=repro_io.dom_from_json(payload["snapshot"]),
+            data=payload.get("data"),
+            timeout=payload.get("timeout"),
+        )
+
+    @staticmethod
+    def _as_action(sid: str, payload: dict) -> ActionRecorded:
+        if payload.get("type") is not None:
+            message = from_wire(payload)
+            if not isinstance(message, ActionRecorded):
+                raise ProtocolError("expected an action_recorded message")
+            return ActionRecorded(sid, message.action, message.snapshot)
+        if "action" not in payload or "snapshot" not in payload:
+            raise ParseError("recording requires 'action' and 'snapshot'")
+        return ActionRecorded(
+            sid,
+            repro_io.action_from_json(payload["action"]),
+            repro_io.dom_from_json(payload["snapshot"]),
+        )
+
+    @staticmethod
+    def _as_accept(sid: str, payload: dict) -> Accept:
+        if payload.get("type") is not None:
+            message = from_wire(payload)
+            if not isinstance(message, Accept):
+                raise ProtocolError("expected an accept message")
+            return Accept(sid, message.index)
+        return Accept(sid, int(payload.get("index", 0)))
+
+    @staticmethod
+    def _as_migrate(sid: str, payload: dict) -> MigrateSession:
+        if payload.get("type") is not None:
+            message = from_wire(payload)
+            if not isinstance(message, MigrateSession):
+                raise ProtocolError("expected a migrate_session message")
+            return MigrateSession(sid, message.target)
+        target = payload.get("target")
+        if target is not None and not isinstance(target, str):
+            raise ParseError("'target' must be a worker URL string")
+        return MigrateSession(sid, target)
+
+    # ------------------------------------------------------------------
+    def _route(self, path: str) -> tuple[str, bool]:
+        """Strip the version prefix; report whether it was the legacy one."""
+        if path.startswith("/v1/"):
+            return path[len("/v1") :], False
+        if path.startswith("/api/"):
+            return path[len("/api") :], True
+        return path, False
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path, deprecated = self._route(self.path)
+        sid: Optional[str] = None
         try:
             if self.path == "/healthz":
-                self._reply({"ok": True})
-            elif self.path == "/api/stats":
-                self._reply(self.server.manager.stats())
-            elif self.path.startswith("/api/sessions/") and self.path.endswith(
-                "/candidates"
-            ):
-                sid = self.path[len("/api/sessions/") : -len("/candidates")]
-                self._reply({"candidates": self.server.manager.candidates(sid)})
+                self._reply(
+                    {
+                        "ok": True,
+                        "protocol": PROTOCOL_VERSION,
+                        "codec": DEFAULT_CODEC.name,
+                    }
+                )
+            elif path == "/stats":
+                stats = self.server.manager.stats()
+                stats["protocol"] = PROTOCOL_VERSION
+                self._reply(stats, deprecated=deprecated)
+            elif path.startswith("/sessions/") and path.endswith("/candidates"):
+                sid = path[len("/sessions/") : -len("/candidates")]
+                self._reply(self.server.manager.candidates(sid), deprecated=deprecated)
             else:
-                self._error(f"no route {self.path}", 404)
-        except SessionError as exc:
-            self._error(str(exc), 404)
-        except Exception as exc:  # pragma: no cover - defensive
-            self._error(f"{type(exc).__name__}: {exc}", 500)
+                self._error("no_route", f"no route {self.path}", 404)
+        except Exception as exc:
+            self._handle_error(exc, sid, deprecated)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path, deprecated = self._route(self.path)
+        manager = self.server.manager
+        sid: Optional[str] = None
         try:
             payload = self._body()
-            manager = self.server.manager
-            if self.path == "/api/sessions":
-                if "snapshot" not in payload:
-                    raise ParseError("session creation requires 'snapshot'")
-                snapshot = repro_io.dom_from_json(payload["snapshot"])
-                data = (
-                    DataSource(payload["data"]) if "data" in payload else None
+            if path == "/sessions":
+                self._reply(
+                    manager.create_session(self._as_create(payload)),
+                    deprecated=deprecated,
                 )
-                sid = manager.create(
-                    snapshot, data=data, timeout=payload.get("timeout")
-                )
-                self._reply({"session": sid})
                 return
-            if self.path.startswith("/api/sessions/"):
-                rest = self.path[len("/api/sessions/") :]
+            if path == "/sessions/import":
+                message = from_wire(payload)
+                if not isinstance(message, SessionSnapshot):
+                    raise ProtocolError("expected a session_snapshot message")
+                self._reply(manager.import_snapshot(message), deprecated=deprecated)
+                return
+            if path.startswith("/sessions/"):
+                rest = path[len("/sessions/") :]
                 if rest.endswith("/actions"):
                     sid = rest[: -len("/actions")]
-                    if "action" not in payload or "snapshot" not in payload:
-                        raise ParseError("recording requires 'action' and 'snapshot'")
-                    action = repro_io.action_from_json(payload["action"])
-                    snapshot = repro_io.dom_from_json(payload["snapshot"])
-                    self._reply(manager.record_action(sid, action, snapshot))
+                    message = self._as_action(sid, payload)
+                    self._reply(
+                        manager.record_action(sid, message.action, message.snapshot),
+                        deprecated=deprecated,
+                    )
                     return
                 if rest.endswith("/accept"):
                     sid = rest[: -len("/accept")]
-                    self._reply(manager.accept(sid, int(payload.get("index", 0))))
+                    self._reply(
+                        manager.accept(sid, self._as_accept(sid, payload).index),
+                        deprecated=deprecated,
+                    )
+                    return
+                if rest.endswith("/reject"):
+                    sid = rest[: -len("/reject")]
+                    if payload.get("type") is not None and not isinstance(
+                        from_wire(payload), Reject
+                    ):
+                        raise ProtocolError("expected a reject message")
+                    self._reply(manager.reject(sid), deprecated=deprecated)
                     return
                 if rest.endswith("/close"):
                     sid = rest[: -len("/close")]
-                    self._reply(manager.close(sid))
+                    if payload.get("type") is not None and not isinstance(
+                        from_wire(payload), CloseSession
+                    ):
+                        raise ProtocolError("expected a close_session message")
+                    self._reply(manager.close(sid), deprecated=deprecated)
                     return
-            self._error(f"no route {self.path}", 404)
-        except SessionError as exc:
-            self._error(str(exc), 404)
-        except (ParseError, ReproError, ValueError, KeyError) as exc:
-            self._error(str(exc), 400)
-        except Exception as exc:  # pragma: no cover - defensive
-            self._error(f"{type(exc).__name__}: {exc}", 500)
+                if rest.endswith("/migrate"):
+                    sid = rest[: -len("/migrate")]
+                    self._migrate(self._as_migrate(sid, payload), deprecated)
+                    return
+            self._error("no_route", f"no route {self.path}", 404)
+        except Exception as exc:
+            self._handle_error(exc, sid, deprecated)
+
+    # ------------------------------------------------------------------
+    def _migrate(self, message: MigrateSession, deprecated: bool) -> None:
+        """Export a session; hand it to the caller or push it to a peer.
+
+        Begin/commit/abort discipline: from ``begin_migration`` on, the
+        session refuses new work (a racing ``record_action`` gets 409
+        and retries against the new home — it can never land in the
+        local copy after the snapshot and silently vanish), and the
+        local copy is torn down only after the target acknowledged; a
+        failed push aborts and the session resumes serving here.
+        """
+        manager = self.server.manager
+        if message.target is None:
+            self._reply(
+                manager.export_snapshot(message.session), deprecated=deprecated
+            )
+            return
+        from repro.service.client import ServiceClient, ServiceClientError
+
+        session, snapshot = manager.begin_migration(message.session)
+        try:
+            with ServiceClient(message.target) as peer:
+                target_sid = peer.import_session(snapshot)
+        except (ServiceClientError, OSError, ValueError) as exc:
+            manager.abort_migration(session)
+            self._error(
+                "migration_failed",
+                f"target {message.target} refused the session: {exc}",
+                502,
+                session=message.session,
+                deprecated=deprecated,
+            )
+            return
+        manager.commit_migration(session)
+        self._reply(
+            Migrated(
+                session=message.session,
+                target=message.target,
+                target_session=target_sid,
+            ),
+            deprecated=deprecated,
+        )
+
+    def _handle_error(self, exc: Exception, sid: Optional[str], deprecated: bool) -> None:
+        if isinstance(exc, UnknownSessionError):
+            self._error("unknown_session", str(exc), 404, sid, deprecated)
+        elif isinstance(exc, SessionClosedError):
+            self._error("session_closed", str(exc), 409, sid, deprecated)
+        elif isinstance(exc, SessionError):
+            self._error("session_state", str(exc), 409, sid, deprecated)
+        elif isinstance(
+            exc, (ProtocolError, ParseError, ReproError, ValueError, KeyError)
+        ):
+            self._error("bad_request", str(exc), 400, sid, deprecated)
+        else:  # pragma: no cover - defensive
+            self._error("internal", f"{type(exc).__name__}: {exc}", 500, sid, deprecated)
 
 
 # ----------------------------------------------------------------------
@@ -159,9 +349,10 @@ def make_server(
     config: SynthesisConfig = DEFAULT_CONFIG,
     timeout: Optional[float] = None,
     quiet: bool = True,
+    max_idle_s: Optional[float] = None,
 ) -> ServiceServer:
     """Bind one worker's server (tests drive this in a thread)."""
-    manager = SessionManager(config, timeout=timeout)
+    manager = SessionManager(config, timeout=timeout, max_idle_s=max_idle_s)
     return ServiceServer((host, port), manager, quiet=quiet)
 
 
@@ -177,18 +368,20 @@ def serve(
     config: SynthesisConfig = DEFAULT_CONFIG,
     timeout: Optional[float] = None,
     quiet: bool = True,
+    max_idle_s: Optional[float] = None,
 ) -> int:
     """Run the service until interrupted; returns the exit code.
 
     ``workers > 1`` forks ``workers - 1`` children on consecutive ports
     (``port+1``, ``port+2``, ...), each with its own session manager —
     all resolving the same cache store, so they share executions through
-    the persistent backend.  With ``port=0`` the OS picks each worker's
-    port; every worker announces its own URL on stdout.
+    the persistent backend (and can trade sessions via the migrate
+    endpoint).  With ``port=0`` the OS picks each worker's port; every
+    worker announces its own URL on stdout.
     """
     # bind the parent first: a bad host/port fails fast, before any
     # worker is forked (a bind failure after forking would orphan them)
-    server = make_server(host, port, config, timeout, quiet)
+    server = make_server(host, port, config, timeout, quiet, max_idle_s)
     child_pids: list[int] = []
     worker_port = port
     try:
@@ -198,7 +391,7 @@ def serve(
             pid = os.fork()
             if pid == 0:
                 server.server_close()  # the parent's socket is not ours
-                child = make_server(host, worker_port, config, timeout, quiet)
+                child = make_server(host, worker_port, config, timeout, quiet, max_idle_s)
                 _announce(child)
                 try:
                     child.serve_forever()

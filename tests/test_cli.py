@@ -205,3 +205,26 @@ class TestExplain:
             "--summary",
         ]) == 0
         assert "actions per statement" in capsys.readouterr().out
+
+
+class TestProtocolSchema:
+    def test_prints_the_committed_schema(self, capsys):
+        from repro.cli import main
+        from repro.protocol.schema import SCHEMA_PATH
+
+        assert main(["protocol-schema"]) == 0
+        printed = capsys.readouterr().out
+        assert printed == SCHEMA_PATH.read_text(), (
+            "`repro protocol-schema` output drifted from the committed schema"
+        )
+
+    def test_schema_document_shape(self, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.protocol import PROTOCOL_VERSION
+
+        main(["protocol-schema"])
+        document = json.loads(capsys.readouterr().out)
+        assert document["protocol_version"] == PROTOCOL_VERSION
+        assert "session_snapshot" in document["messages"]

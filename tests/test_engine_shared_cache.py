@@ -438,3 +438,164 @@ class TestWarmStartSynthesis:
                 os.environ.pop("REPRO_CACHE_DIR", None)
             else:
                 os.environ["REPRO_CACHE_DIR"] = previous
+
+
+class _StubBackend:
+    """A persistent-looking backend with scriptable loads.
+
+    ``payload`` is returned for *every* exact-entry load (None = empty
+    store); ``gate`` runs inside ``load_entry`` — the two-phase tests
+    use a barrier there to prove loads from different threads overlap.
+    """
+
+    name = "stub"
+    persistent = True
+
+    def __init__(self, payload=None, gate=None):
+        self.payload = payload
+        self.gate = gate
+        self.loads = 0
+        self.consistency: dict = {}
+
+    def load_entry(self, kind, key):
+        self.loads += 1
+        if self.gate is not None:
+            self.gate()
+        return self.payload
+
+    def store_entry(self, kind, key, actions, env, examined, exact_budget_ok):
+        pass
+
+    def load_consistency(self, key):
+        self.loads += 1
+        if self.gate is not None:
+            self.gate()
+        return self.consistency.get(key)
+
+    def store_consistency(self, key, value):
+        self.consistency[key] = value
+
+    def flush(self):
+        pass
+
+    def close(self):
+        pass
+
+    @property
+    def persisted_bytes(self):
+        return 0
+
+    @property
+    def entries(self):
+        return 0
+
+
+class TestTwoPhaseBackendLookup:
+    """ROADMAP follow-on (d): the store probe must not hold the shard lock."""
+
+    def test_cold_lookups_on_one_shard_overlap_their_backend_io(self):
+        # Both threads miss in memory and fall through to the backend.
+        # The barrier inside load_entry only releases when *both*
+        # threads are inside a backend read at the same time — which is
+        # impossible if the read still happens under the (single) shard
+        # lock, so a regression deadlocks the barrier and fails fast.
+        barrier = threading.Barrier(2)
+        stub = _StubBackend(payload=(("a",), None, None, False), gate=lambda: barrier.wait(timeout=10))
+        shared = SharedExecutionCache(max_entries=64, shards=1, backend=stub)
+        sessions = [shared.session(), shared.session()]
+        failures = []
+
+        def lookup(index):
+            try:
+                result = sessions[index].get((f"base{index}",), (1,), 1)
+                assert result is not None
+            except Exception as exc:  # pragma: no cover - the assertion
+                failures.append(exc)
+
+        threads = [threading.Thread(target=lookup, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        merged = shared.counters()
+        # each lookup settled exactly once: a warm hit, never a miss
+        assert merged.hits == 2
+        assert merged.warm_hits == 2
+        assert merged.misses == 0
+
+    def test_empty_store_misses_count_exactly_once_per_lookup(self):
+        stub = _StubBackend(payload=None)
+        shared = SharedExecutionCache(max_entries=256, shards=1, backend=stub)
+        sessions = [shared.session() for _ in range(4)]
+        lookups_per_session = 8
+
+        def lookup(session, index):
+            for position in range(lookups_per_session):
+                session.get((f"k{index}-{position}",), (1,), 1)
+
+        threads = [
+            threading.Thread(target=lookup, args=(session, index))
+            for index, session in enumerate(sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = 4 * lookups_per_session
+        assert sum(s.counters.misses for s in sessions) == total
+        assert sum(s.counters.hits for s in sessions) == 0
+        merged = shared.counters()
+        assert (merged.hits, merged.misses) == (0, total)
+
+    def test_racing_promotions_of_one_key_each_count_a_hit(self):
+        barrier = threading.Barrier(2)
+        stub = _StubBackend(payload=(("a",), None, None, False), gate=lambda: barrier.wait(timeout=10))
+        shared = SharedExecutionCache(max_entries=64, shards=1, backend=stub)
+        sessions = [shared.session(), shared.session()]
+        failures = []
+
+        def lookup(index):
+            try:
+                assert sessions[index].get(("same",), (1,), 1) is not None
+            except Exception as exc:  # pragma: no cover - the assertion
+                failures.append(exc)
+
+        threads = [threading.Thread(target=lookup, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        merged = shared.counters()
+        # both probed before either promoted; the loser of the promote
+        # race is served from memory by the re-check — still one hit
+        # per lookup, one entry in the table
+        assert (merged.hits, merged.misses) == (2, 0)
+        assert 1 <= merged.warm_hits <= 2
+        assert len(shared) == 1
+
+    def test_warm_entry_is_promoted_once_then_served_from_memory(self):
+        stub = _StubBackend(payload=(("a",), None, None, False))
+        shared = SharedExecutionCache(max_entries=64, shards=2, backend=stub)
+        session = shared.session()
+        assert session.get(("base",), (1,), 1) is not None
+        loads_after_first = stub.loads
+        assert session.get(("base",), (1,), 1) is not None
+        assert stub.loads == loads_after_first  # no second store read
+        assert session.counters.warm_hits == 1
+        assert session.counters.hits == 2
+
+    def test_consistency_memo_rides_the_same_two_phase_path(self):
+        stub = _StubBackend()
+        stub.consistency = {}
+        shared = SharedExecutionCache(max_entries=64, shards=1, backend=stub)
+        writer, reader = shared.session(), shared.session()
+        writer.put_consistency(("key",), 5)
+        # key is in memory: served without a store read
+        loads_before = stub.loads
+        assert reader.get_consistency(("key",)) == 5
+        assert stub.loads == loads_before
+        # a cold key probes the store outside the lock and misses
+        assert reader.get_consistency(("cold",)) is None
+        assert reader.counters.misses == 1

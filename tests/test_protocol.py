@@ -1,0 +1,312 @@
+"""The interaction protocol (repro.protocol): wire format and session core.
+
+Three layers of pinning:
+
+* **golden wire fixtures** — one committed canonical encoding per
+  message type; decode → re-encode must reproduce the committed bytes
+  exactly (byte stability across ``PROTOCOL_VERSION``), and changing
+  any of them is a deliberate wire change;
+* **strictness** — unknown types, missing/unknown fields, nulls in
+  required fields, and foreign versions are all rejected;
+* **property round-trips** — hypothesis-generated random action traces
+  survive encode → decode → encode byte-stably;
+* **schema** — the committed ``schema.json`` equals the generated one
+  (the same gate CI's protocol-compat step applies).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocol import DEFAULT_CODEC, PROTOCOL_VERSION
+from repro.protocol.codec import JsonCodec
+from repro.protocol.messages import (
+    Accept,
+    Accepted,
+    ActionRecorded,
+    CallStats,
+    Candidate,
+    CandidateList,
+    CloseSession,
+    CreateSession,
+    ErrorEnvelope,
+    Migrated,
+    MigrateSession,
+    ProgramProposed,
+    ProtocolError,
+    Reject,
+    Rejected,
+    SessionClosed,
+    SessionCreated,
+    SessionSnapshot,
+    SessionTotals,
+    from_wire,
+    message_types,
+    to_wire,
+)
+from repro.protocol.schema import SCHEMA_PATH, render_schema
+from repro.dom import DOMNode
+from repro.dom.xpath import CHILD, DESC, ConcreteSelector, Predicate, Step
+from repro.lang.actions import Action
+from repro.lang.ast import ValuePath
+
+from helpers import cards_page, scrape_cards_trace
+
+
+#: One committed canonical encoding per message type.  Changing any of
+#: these strings is a wire change: it must come with a PROTOCOL_VERSION
+#: bump (breaking) or at least a regenerated schema.json (additive).
+GOLDEN = {
+    CreateSession: '{"data":{"zips":["48104"]},"snapshot":{"children":[{"children":[{"attrs":{"class":"card"},"children":[{"tag":"h3","text":"Store 1"}],"tag":"div"}],"tag":"body"}],"tag":"html"},"timeout":1.0,"type":"create_session","v":1}',
+    SessionCreated: '{"session":"s1","type":"session_created","v":1}',
+    ActionRecorded: '{"action":{"kind":"Click","selector":"//div[@class=\'card\'][1]/h3[1]"},"session":"s1","snapshot":{"children":[{"children":[{"attrs":{"class":"card"},"children":[{"tag":"h3","text":"Store 1"}],"tag":"div"}],"tag":"body"}],"tag":"html"},"type":"action_recorded","v":1}',
+    ProgramProposed: '{"actions":2,"predictions":["Click(//div[@class=\'card\'][2]/h3[1])"],"programs":1,"session":"s1","stats":{"backend":"memory","cache_hits":3,"cache_misses":1,"cross_session_hits":0,"elapsed":0.25,"timed_out":false,"warm_start_hits":0},"type":"program_proposed","v":1}',
+    CandidateList: '{"candidates":[{"index":0,"program":"ScrapeText(//h3[1])","statements":1}],"session":"s1","type":"candidate_list","v":1}',
+    Accept: '{"index":0,"session":"s1","type":"accept","v":1}',
+    Accepted: '{"index":0,"program":"ScrapeText(//h3[1])","session":"s1","type":"accepted","v":1}',
+    Reject: '{"session":"s1","type":"reject","v":1}',
+    Rejected: '{"rejections":1,"session":"s1","type":"rejected","v":1}',
+    CloseSession: '{"session":"s1","type":"close_session","v":1}',
+    SessionClosed: '{"session":"s1","stats":{"actions":2,"cache_hits":3,"cache_misses":1,"calls":2,"cross_session_hits":0,"elapsed":0.5,"rejections":1,"timed_out_calls":0,"warm_start_hits":0},"type":"session_closed","v":1}',
+    MigrateSession: '{"session":"s1","target":null,"type":"migrate_session","v":1}',
+    Migrated: '{"session":"s1","target":"http://127.0.0.1:8739","target_session":"s7","type":"migrated","v":1}',
+    ErrorEnvelope: '{"code":"unknown_session","message":"unknown session \'s9\'","session":"s9","type":"error","v":1}',
+    SessionSnapshot: '{"accepted_index":0,"actions":[{"kind":"Click","selector":"//div[@class=\'card\'][1]/h3[1]"},{"kind":"EnterData","path":["zips",1],"selector":"//input[@name=\'q\'][1]"}],"created":1700000000.0,"data":{"zips":["48104"]},"session":"s1","snapshots":{"pool":[{"children":[{"children":[{"attrs":{"class":"card"},"children":[{"tag":"h3","text":"Store 1"}],"tag":"div"}],"tag":"body"}],"tag":"html"}],"refs":[0,0,0]},"stats":{"actions":2,"cache_hits":0,"cache_misses":0,"calls":2,"cross_session_hits":0,"elapsed":0.5,"rejections":1,"timed_out_calls":0,"warm_start_hits":0},"timeout":1.0,"type":"session_snapshot","v":1}',
+}
+
+
+class TestGoldenFixtures:
+    def test_every_message_type_has_a_golden(self):
+        assert set(GOLDEN) == set(message_types())
+
+    @pytest.mark.parametrize("cls", list(GOLDEN), ids=lambda c: c.__name__)
+    def test_decode_encode_is_byte_stable(self, cls):
+        golden = GOLDEN[cls].encode("utf-8")
+        message = DEFAULT_CODEC.decode(golden)
+        assert isinstance(message, cls)
+        assert DEFAULT_CODEC.encode(message) == golden
+
+    @pytest.mark.parametrize("cls", list(GOLDEN), ids=lambda c: c.__name__)
+    def test_golden_carries_the_version_envelope(self, cls):
+        wire = json.loads(GOLDEN[cls])
+        assert wire["v"] == PROTOCOL_VERSION
+        assert isinstance(wire["type"], str)
+
+
+class TestStrictness:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            from_wire({"v": PROTOCOL_VERSION, "type": "nope"})
+
+    def test_foreign_version_rejected(self):
+        with pytest.raises(ProtocolError, match="version"):
+            from_wire({"v": PROTOCOL_VERSION + 1, "type": "accept", "session": "s1", "index": 0})
+        with pytest.raises(ProtocolError, match="version"):
+            from_wire({"type": "accept", "session": "s1", "index": 0})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ProtocolError, match="missing field"):
+            from_wire({"v": PROTOCOL_VERSION, "type": "accept", "session": "s1"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown field"):
+            from_wire(
+                {"v": PROTOCOL_VERSION, "type": "accept", "session": "s1",
+                 "index": 0, "extra": 1}
+            )
+
+    def test_null_in_required_field_rejected(self):
+        with pytest.raises(ProtocolError, match="must not be null"):
+            from_wire(
+                {"v": PROTOCOL_VERSION, "type": "accept", "session": None, "index": 0}
+            )
+
+    def test_wrong_scalar_type_rejected(self):
+        with pytest.raises(ProtocolError, match="integer"):
+            from_wire(
+                {"v": PROTOCOL_VERSION, "type": "accept", "session": "s1",
+                 "index": "zero"}
+            )
+        # booleans are not integers on this wire
+        with pytest.raises(ProtocolError):
+            from_wire(
+                {"v": PROTOCOL_VERSION, "type": "accept", "session": "s1",
+                 "index": True}
+            )
+
+    def test_non_message_value_rejected_by_encoder(self):
+        with pytest.raises(ProtocolError, match="not a protocol message"):
+            to_wire({"just": "a dict"})
+
+    def test_codec_roundtrip_helper_returns_the_decoded_message(self):
+        message = Accept(session="s1", index=2)
+        assert DEFAULT_CODEC.roundtrip(message) == message
+
+
+# ----------------------------------------------------------------------
+# Property round-trips over random action traces
+# ----------------------------------------------------------------------
+_TAGS = ("div", "span", "li", "h3", "a")
+_ATTRS = st.one_of(
+    st.none(),
+    st.fixed_dictionaries({"class": st.sampled_from(("card", "row", "x y", "phone"))}),
+)
+
+
+def _steps():
+    return st.lists(
+        st.builds(
+            Step,
+            st.sampled_from((CHILD, DESC)),
+            st.one_of(
+                # tag-only, or tag plus a full attr=value pair — the
+                # two shapes the recorder's raw paths actually produce
+                st.builds(Predicate, st.sampled_from(_TAGS)),
+                st.builds(
+                    Predicate,
+                    st.sampled_from(_TAGS),
+                    st.just("class"),
+                    st.sampled_from(("card", "next", "a b")),
+                ),
+            ),
+            st.integers(min_value=1, max_value=5),
+        ),
+        min_size=1,
+        max_size=4,
+    ).map(lambda steps: ConcreteSelector(tuple(steps)))
+
+
+def _actions():
+    selectors = _steps()
+    return st.one_of(
+        st.builds(lambda s: Action("Click", s), selectors),
+        st.builds(lambda s: Action("ScrapeText", s), selectors),
+        st.builds(
+            lambda s, t: Action("SendKeys", s, t),
+            selectors,
+            st.text(min_size=0, max_size=8),
+        ),
+        st.builds(
+            lambda s, key, idx: Action(
+                "EnterData", s, None, ValuePath(None, (key, idx))
+            ),
+            selectors,
+            st.sampled_from(("zips", "q")),
+            st.integers(min_value=1, max_value=9),
+        ),
+    )
+
+
+def _doms():
+    leaf = st.builds(
+        DOMNode, st.sampled_from(_TAGS), _ATTRS, st.text(max_size=6)
+    )
+    return st.recursive(
+        leaf,
+        lambda children: st.builds(
+            DOMNode,
+            st.sampled_from(_TAGS),
+            _ATTRS,
+            st.just(""),
+            st.lists(children, min_size=1, max_size=3),
+        ),
+        max_leaves=6,
+    ).map(lambda dom: dom.freeze())
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(session=st.from_regex(r"s[0-9]{1,4}", fullmatch=True), action=_actions(), dom=_doms())
+    def test_action_recorded_roundtrips(self, session, action, dom):
+        message = ActionRecorded(session=session, action=action, snapshot=dom)
+        encoded = DEFAULT_CODEC.encode(message)
+        decoded = DEFAULT_CODEC.decode(encoded)
+        assert decoded.action == action
+        assert DEFAULT_CODEC.encode(decoded) == encoded
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        actions=st.lists(_actions(), min_size=0, max_size=5),
+        dom=_doms(),
+        rejections=st.integers(min_value=0, max_value=3),
+        accepted=st.one_of(st.none(), st.integers(min_value=0, max_value=2)),
+    )
+    def test_session_snapshot_roundtrips(self, actions, dom, rejections, accepted):
+        snapshots = tuple([dom] * (len(actions) + 1)) if actions else (dom,)
+        message = SessionSnapshot(
+            session="s1",
+            created=1700000000.5,
+            timeout=None,
+            data=None,
+            actions=tuple(actions),
+            snapshots=snapshots,
+            accepted_index=accepted,
+            stats=SessionTotals(calls=len(actions), rejections=rejections),
+        )
+        encoded = DEFAULT_CODEC.encode(message)
+        decoded = DEFAULT_CODEC.decode(encoded)
+        assert tuple(decoded.actions) == tuple(actions)
+        assert len(decoded.snapshots) == len(snapshots)
+        assert DEFAULT_CODEC.encode(decoded) == encoded
+
+    def test_snapshot_pool_dedups_structurally_equal_objects(self):
+        # the service path decodes every snapshot from its own request:
+        # identical pages arrive as *distinct* objects and must still
+        # pool once (content-key dedup, not object identity)
+        import json as json_module
+
+        from repro import io as repro_io
+
+        first = cards_page(3)
+        second = repro_io.dom_from_json(
+            json_module.loads(json_module.dumps(repro_io.dom_to_json(first)))
+        )
+        assert first is not second
+        message = SessionSnapshot(
+            session="s1",
+            created=0.0,
+            timeout=None,
+            data=None,
+            actions=(),
+            snapshots=(first,),
+            accepted_index=None,
+            stats=SessionTotals(),
+        )
+        from dataclasses import replace as dc_replace
+
+        wire = to_wire(dc_replace(message, snapshots=(first, second)))
+        assert len(wire["snapshots"]["pool"]) == 1
+        assert wire["snapshots"]["refs"] == [0, 0]
+
+    def test_snapshot_pool_dedups_repeated_pages(self):
+        dom = cards_page(3)
+        actions, snapshots = scrape_cards_trace(dom, 2)
+        message = SessionSnapshot(
+            session="s1",
+            created=0.0,
+            timeout=None,
+            data=None,
+            actions=tuple(actions),
+            snapshots=tuple(snapshots),
+            accepted_index=None,
+            stats=SessionTotals(),
+        )
+        wire = to_wire(message)
+        # scrapes do not mutate the page: one pooled snapshot, m+1 refs
+        assert len(wire["snapshots"]["pool"]) == 1
+        assert len(wire["snapshots"]["refs"]) == len(actions) + 1
+
+
+class TestSchemaDocument:
+    def test_committed_schema_matches_generated(self):
+        assert SCHEMA_PATH.read_text() == render_schema(), (
+            "the wire changed without regenerating src/repro/protocol/schema.json "
+            "(run: PYTHONPATH=src python -m repro protocol-schema > src/repro/protocol/schema.json)"
+        )
+
+    def test_schema_names_every_message(self):
+        document = json.loads(render_schema())
+        assert document["protocol_version"] == PROTOCOL_VERSION
+        assert document["codec"] == JsonCodec.name
+        assert len(document["messages"]) == len(message_types())

@@ -1,0 +1,259 @@
+"""Session export/import (worker migration) round trips.
+
+The acceptance bar: a session exported from one worker and imported
+into another — including across a *process* boundary, with nothing
+shared but the wire bytes — produces byte-identical candidate lists for
+the remainder of the demonstration.
+"""
+
+import multiprocessing
+from dataclasses import replace
+
+import pytest
+
+from repro.engine.cache import reset_process_cache
+from repro.lang.data import DataSource
+from repro.protocol import DEFAULT_CODEC
+from repro.protocol.messages import SessionSnapshot
+from repro.protocol.session import Session, SessionClosedError, SessionError
+from repro.synth.config import DEFAULT_CONFIG
+from repro.service.sessions import SessionManager
+
+from helpers import cards_page, scrape_cards_trace
+
+
+def memory_manager(**kwargs):
+    config = replace(DEFAULT_CONFIG, cache_backend="memory")
+    return SessionManager(config, timeout=10.0, **kwargs)
+
+
+def programs(manager, sid):
+    return tuple(item.program for item in manager.candidates(sid).candidates)
+
+
+def _drive_remainder(manager, sid, actions, snapshots, cut):
+    """Feed actions[cut:] and collect the per-call candidate lists."""
+    per_call = []
+    for position in range(cut, len(actions)):
+        manager.record_action(sid, actions[position], snapshots[position + 1])
+        per_call.append(programs(manager, sid))
+    return per_call
+
+
+class TestManagerRoundTrip:
+    def test_imported_session_continues_byte_identically(self):
+        reset_process_cache()
+        try:
+            dom = cards_page(6)
+            actions, snapshots = scrape_cards_trace(dom, 5)
+            cut = 4
+            source = memory_manager()
+            sid = source.create(snapshots[0], data=DataSource({"q": ["a"]}))
+            for position in range(cut):
+                source.record_action(sid, actions[position], snapshots[position + 1])
+            reference_now = programs(source, sid)
+
+            # the snapshot crosses the wire as bytes, like between hosts
+            wire = DEFAULT_CODEC.encode(source.export_snapshot(sid))
+            target = memory_manager()
+            snapshot = DEFAULT_CODEC.decode(wire)
+            assert isinstance(snapshot, SessionSnapshot)
+            new_sid = target.import_snapshot(snapshot).session
+
+            # the replayed session already proposes the same candidates
+            assert programs(target, new_sid) == reference_now
+            # the source keeps serving its *other* path: a fresh session
+            # driven straight through, never migrated
+            control = memory_manager()
+            control_sid = control.create(snapshots[0], data=DataSource({"q": ["a"]}))
+            for position in range(cut):
+                control.record_action(
+                    control_sid, actions[position], snapshots[position + 1]
+                )
+            # ... and the remainder of the trace matches call by call
+            migrated_calls = _drive_remainder(target, new_sid, actions, snapshots, cut)
+            control_calls = _drive_remainder(
+                control, control_sid, actions, snapshots, cut
+            )
+            assert migrated_calls == control_calls
+            # imported stats continue from the exported totals
+            closed = target.close(new_sid)
+            assert closed.stats.calls >= cut + (len(actions) - cut)
+        finally:
+            reset_process_cache()
+
+    def test_migrated_session_stops_serving_at_the_source(self):
+        reset_process_cache()
+        try:
+            manager = memory_manager()
+            sid = manager.create(cards_page(3))
+            manager.export_snapshot(sid)
+            with pytest.raises(SessionClosedError, match="migrated"):
+                manager.candidates(sid)
+            assert manager.stats()["sessions"] == 0
+        finally:
+            reset_process_cache()
+
+    def test_in_flight_migration_blocks_recording_until_aborted(self):
+        # the push-migrate race: once the snapshot is taken, a racing
+        # record_action must 409 (never land in the doomed local copy);
+        # an aborted push puts the session back into service untouched
+        reset_process_cache()
+        try:
+            dom = cards_page(3)
+            actions, snapshots = scrape_cards_trace(dom, 2)
+            manager = memory_manager()
+            sid = manager.create(snapshots[0])
+            session, snapshot = manager.begin_migration(sid)
+            with pytest.raises(SessionClosedError, match="migrated"):
+                manager.record_action(sid, actions[0], snapshots[1])
+            manager.abort_migration(session)
+            proposed = manager.record_action(sid, actions[0], snapshots[1])
+            assert proposed.actions == 1
+            # commit after a successful push tears it down for good
+            session, _ = manager.begin_migration(sid)
+            manager.commit_migration(session)
+            with pytest.raises(SessionClosedError, match="migrated"):
+                manager.candidates(sid)
+        finally:
+            reset_process_cache()
+
+    def test_export_without_evict_keeps_serving(self):
+        reset_process_cache()
+        try:
+            manager = memory_manager()
+            sid = manager.create(cards_page(3))
+            snapshot = manager.export_snapshot(sid, evict=False)
+            assert snapshot.session == sid
+            assert manager.candidates(sid).candidates == ()
+        finally:
+            reset_process_cache()
+
+    def test_empty_session_migrates(self):
+        reset_process_cache()
+        try:
+            source = memory_manager()
+            sid = source.create(cards_page(2))
+            target = memory_manager()
+            new_sid = target.import_snapshot(source.export_snapshot(sid)).session
+            assert programs(target, new_sid) == ()
+            dom = cards_page(2)
+            actions, snapshots = scrape_cards_trace(dom, 1)
+            target.record_action(new_sid, actions[0], snapshots[1])
+        finally:
+            reset_process_cache()
+
+
+class TestSessionCore:
+    def test_malformed_snapshot_rejected(self):
+        dom = cards_page(2)
+        actions, snapshots = scrape_cards_trace(dom, 1)
+        bad = SessionSnapshot(
+            session="s1",
+            created=0.0,
+            timeout=None,
+            data=None,
+            actions=tuple(actions),
+            snapshots=(snapshots[0],),  # m actions need m+1 snapshots
+            accepted_index=None,
+            stats=None,
+        )
+        # build with stats=None is fine at the dataclass level; the
+        # session core validates the trace shape before touching it
+        with pytest.raises(SessionError, match="m\\+1"):
+            Session.from_snapshot(bad, "s1")
+
+    def test_falsy_but_meaningful_data_sources_survive_export(self):
+        # [] / "" / 0 are valid JSON data sources; only the empty-dict
+        # default may collapse to null on the wire
+        for value, expected in (([], []), ("", ""), (0, 0), ({}, None)):
+            session = Session("s1", DataSource(value))
+            try:
+                assert session.export_snapshot().data == expected, value
+            finally:
+                session.close()
+
+    def test_accepted_index_and_rejections_survive(self):
+        reset_process_cache()
+        try:
+            dom = cards_page(5)
+            actions, snapshots = scrape_cards_trace(dom, 4)
+            source = memory_manager()
+            sid = source.create(snapshots[0])
+            for position, action in enumerate(actions):
+                source.record_action(sid, action, snapshots[position + 1])
+            source.reject(sid)
+            source.accept(sid, 0)
+            snapshot = source.export_snapshot(sid)
+            assert snapshot.accepted_index == 0
+            assert snapshot.stats.rejections == 1
+            target = memory_manager()
+            new_sid = target.import_snapshot(snapshot).session
+            closed = target.close(new_sid)
+            assert closed.stats.rejections == 1
+        finally:
+            reset_process_cache()
+
+
+# ----------------------------------------------------------------------
+# Cross-process: nothing shared but the wire bytes
+# ----------------------------------------------------------------------
+def _import_and_continue(wire, actions_wire, snapshots_wire, cut, pipe):
+    """Child-process entry: fresh caches, import, continue, report."""
+    from repro import io as repro_io
+    from repro.engine.cache import reset_process_cache as reset
+    from repro.service.backends import reset_backends
+
+    reset()
+    reset_backends()
+    try:
+        actions = [repro_io.action_from_json(item) for item in actions_wire]
+        snapshots = [repro_io.dom_from_json(item) for item in snapshots_wire]
+        manager = memory_manager()
+        sid = manager.import_snapshot(DEFAULT_CODEC.decode(wire)).session
+        per_call = _drive_remainder(manager, sid, actions, snapshots, cut)
+        pipe.send(per_call)
+    finally:
+        pipe.close()
+
+
+class TestCrossProcess:
+    def test_import_in_a_fresh_process_is_byte_identical(self):
+        reset_process_cache()
+        try:
+            from repro import io as repro_io
+
+            dom = cards_page(6)
+            actions, snapshots = scrape_cards_trace(dom, 5)
+            cut = 4
+            source = memory_manager()
+            sid = source.create(snapshots[0])
+            for position in range(cut):
+                source.record_action(sid, actions[position], snapshots[position + 1])
+            wire = DEFAULT_CODEC.encode(source.export_snapshot(sid, evict=False))
+            # the source worker keeps going — its remaining calls are
+            # the reference the migrated copy must reproduce
+            reference = _drive_remainder(source, sid, actions, snapshots, cut)
+
+            context = multiprocessing.get_context("fork")
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_import_and_continue,
+                args=(
+                    wire,
+                    [repro_io.action_to_json(action) for action in actions],
+                    [repro_io.dom_to_json(snapshot) for snapshot in snapshots],
+                    cut,
+                    child_end,
+                ),
+            )
+            process.start()
+            child_end.close()
+            try:
+                migrated = parent_end.recv()
+            finally:
+                process.join()
+            assert process.exitcode == 0
+            assert migrated == reference
+        finally:
+            reset_process_cache()

@@ -1,9 +1,11 @@
-"""The HTTP service (repro.service.server) and its thin client.
+"""The HTTP service (repro.service.server) and its typed client.
 
 Boots a real ThreadingHTTPServer on an ephemeral port (in a thread) and
 drives it through :class:`repro.service.client.ServiceClient` — the
-same wire path ``repro serve`` exposes, minus the process boundary
-(the service bench covers that).
+``/v1`` protocol wire path ``repro serve`` exposes, minus the process
+boundary (the service and migration benches cover that).  Also pins the
+deprecated ``/api`` alias, the :class:`ErrorEnvelope` status mapping,
+and the server-to-server migrate flow.
 """
 
 import threading
@@ -14,6 +16,8 @@ import pytest
 from repro.engine.cache import reset_process_cache
 from repro.lang.pretty import format_program
 from repro.lang import EMPTY_DATA
+from repro.protocol import PROTOCOL_VERSION
+from repro.protocol.messages import SessionSnapshot
 from repro.synth.config import DEFAULT_CONFIG, serial_validation_config
 from repro.synth.synthesizer import Synthesizer
 from repro.service.client import ServiceClient, ServiceClientError
@@ -22,10 +26,7 @@ from repro.service.server import make_server
 from helpers import cards_page, scrape_cards_trace
 
 
-@pytest.fixture
-def service():
-    """A served worker on an ephemeral port, torn down afterwards."""
-    reset_process_cache()
+def _boot():
     server = make_server(
         port=0,
         config=replace(DEFAULT_CONFIG, cache_backend="memory"),
@@ -34,33 +35,61 @@ def service():
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    return server, client
+
+
+def _teardown(server, client):
+    client.close()
+    server.shutdown()
+    server.manager.close_all()
+    server.server_close()
+
+
+@pytest.fixture
+def service():
+    """A served worker on an ephemeral port, torn down afterwards."""
+    reset_process_cache()
+    server, client = _boot()
     try:
         yield client
     finally:
-        client.close()
-        server.shutdown()
-        server.manager.close_all()
-        server.server_close()
+        _teardown(server, client)
+        reset_process_cache()
+
+
+@pytest.fixture
+def two_workers():
+    """Two independent workers (the migration topology)."""
+    reset_process_cache()
+    server_a, client_a = _boot()
+    server_b, client_b = _boot()
+    try:
+        yield client_a, client_b
+    finally:
+        _teardown(server_a, client_a)
+        _teardown(server_b, client_b)
         reset_process_cache()
 
 
 class TestRoundTrip:
     def test_health_and_stats(self, service):
         assert service.health()
+        assert service.protocol_version() == PROTOCOL_VERSION
         stats = service.stats()
         assert stats["sessions"] == 0
         assert stats["backend"] == "memory"
+        assert stats["protocol"] == PROTOCOL_VERSION
 
     def test_full_session_over_http_matches_local_synthesis(self, service):
         dom = cards_page(5)
         actions, snapshots = scrape_cards_trace(dom, 4)
         sid = service.create_session(snapshots[0])
-        summary = None
+        proposed = None
         for position, action in enumerate(actions):
-            summary = service.record_action(sid, action, snapshots[position + 1])
-        assert summary["programs"] > 0
-        assert summary["predictions"]
-        served = [item["program"] for item in service.candidates(sid)]
+            proposed = service.record_action(sid, action, snapshots[position + 1])
+        assert proposed.programs > 0
+        assert proposed.predictions
+        served = [item.program for item in service.candidates(sid).candidates]
         # the session is incremental: compare against an incrementally
         # driven synthesizer, not a one-shot call
         direct = Synthesizer(EMPTY_DATA, serial_validation_config())
@@ -69,11 +98,17 @@ class TestRoundTrip:
         direct.close()
         assert served == [format_program(p) for p in expected.programs]
         accepted = service.accept(sid, 0)
-        assert accepted == served[0]
+        assert accepted.program == served[0]
         closed = service.close_session(sid)
-        assert closed["stats"]["calls"] == len(actions)
+        assert closed.stats.calls == len(actions)
         # the wire-level prediction matches the local best prediction
-        assert summary["predictions"][0] == str(expected.best_prediction)
+        assert proposed.predictions[0] == str(expected.best_prediction)
+
+    def test_reject_round_trip(self, service):
+        sid = service.create_session(cards_page(3))
+        assert service.reject(sid).rejections == 1
+        assert service.reject(sid).rejections == 2
+        assert service.close_session(sid).stats.rejections == 2
 
     def test_drive_recording_helper(self, service):
         from repro.browser.recorder import Recording
@@ -83,29 +118,138 @@ class TestRoundTrip:
         recording = Recording(
             actions=actions, snapshots=snapshots, outputs=[], truncated=False
         )
-        sid, summaries = service.drive_recording(recording)
-        assert len(summaries) == len(actions)
-        assert summaries[-1]["programs"] > 0
+        sid, proposals = service.drive_recording(recording)
+        assert len(proposals) == len(actions)
+        assert proposals[-1].programs > 0
+        service.close_session(sid)
+
+    def test_legacy_api_alias_still_serves(self, service):
+        """The pre-protocol /api routes: legacy bodies, protocol replies."""
+        dom = cards_page(4)
+        actions, snapshots = scrape_cards_trace(dom, 3)
+        from repro import io as repro_io
+
+        created = service._request(
+            "POST", "/api/sessions", raw={"snapshot": repro_io.dom_to_json(snapshots[0])}
+        )
+        sid = created.session
+        for position, action in enumerate(actions):
+            proposed = service._request(
+                "POST",
+                f"/api/sessions/{sid}/actions",
+                raw={
+                    "action": repro_io.action_to_json(action),
+                    "snapshot": repro_io.dom_to_json(snapshots[position + 1]),
+                },
+            )
+        assert proposed.programs > 0
+        listed = service._request("GET", f"/api/sessions/{sid}/candidates")
+        assert [item.program for item in listed.candidates] == [
+            item.program for item in service.candidates(sid).candidates
+        ]
+        assert service._request("GET", "/api/stats")["sessions"] == 1
+        service._request("POST", f"/api/sessions/{sid}/close", raw={})
+
+
+class TestMigration:
+    def test_export_then_import_between_workers(self, two_workers):
+        source, target = two_workers
+        dom = cards_page(5)
+        actions, snapshots = scrape_cards_trace(dom, 4)
+        cut = len(actions) // 2
+        sid = source.create_session(snapshots[0])
+        for position in range(cut):
+            source.record_action(sid, actions[position], snapshots[position + 1])
+        reference = [item.program for item in source.candidates(sid).candidates]
+
+        snapshot = source.export_session(sid)
+        assert isinstance(snapshot, SessionSnapshot)
+        # the exported session no longer serves on the source (409)
+        with pytest.raises(ServiceClientError, match="migrated") as excinfo:
+            source.candidates(sid)
+        assert excinfo.value.status == 409
+
+        new_sid = target.import_session(snapshot)
+        resumed = [item.program for item in target.candidates(new_sid).candidates]
+        assert resumed == reference
+        # the remainder of the demonstration continues seamlessly
+        for position in range(cut, len(actions)):
+            target.record_action(new_sid, actions[position], snapshots[position + 1])
+        assert target.candidates(new_sid).candidates
+        assert target.stats()["sessions_imported"] == 1
+        target.close_session(new_sid)
+
+    def test_server_to_server_migrate(self, two_workers):
+        source, target = two_workers
+        dom = cards_page(5)
+        actions, snapshots = scrape_cards_trace(dom, 3)
+        sid = source.create_session(snapshots[0])
+        for position, action in enumerate(actions):
+            source.record_action(sid, action, snapshots[position + 1])
+        reference = [item.program for item in source.candidates(sid).candidates]
+
+        migrated = source.migrate_session(sid, target)
+        assert migrated.session == sid
+        assert migrated.target_session
+        moved = [
+            item.program
+            for item in target.candidates(migrated.target_session).candidates
+        ]
+        assert moved == reference
+        assert source.stats()["sessions"] == 0
+        assert target.stats()["sessions"] == 1
+
+    def test_migrate_to_unreachable_target_leaves_session_serving(self, service):
+        sid = service.create_session(cards_page(3))
+        with pytest.raises(ServiceClientError, match="migration_failed") as excinfo:
+            service.migrate_session(sid, "http://127.0.0.1:1")
+        assert excinfo.value.status == 502
+        # the failed push must not have evicted the session
+        assert service.candidates(sid).candidates == ()
         service.close_session(sid)
 
 
 class TestErrors:
-    def test_unknown_session_is_a_404(self, service):
-        with pytest.raises(ServiceClientError, match="404|unknown"):
+    def test_unknown_session_is_a_404_envelope(self, service):
+        with pytest.raises(ServiceClientError, match="unknown") as excinfo:
             service.candidates("s999")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "unknown_session"
         with pytest.raises(ServiceClientError):
             service.close_session("s999")
 
+    def test_closed_session_is_a_409(self, service):
+        dom = cards_page(3)
+        actions, snapshots = scrape_cards_trace(dom, 2)
+        sid = service.create_session(snapshots[0])
+        service.close_session(sid)
+        with pytest.raises(ServiceClientError, match="closed") as excinfo:
+            service.record_action(sid, actions[0], snapshots[1])
+        assert excinfo.value.status == 409
+        assert excinfo.value.code == "session_closed"
+
     def test_malformed_creation_is_a_400(self, service):
-        with pytest.raises(ServiceClientError, match="400|snapshot"):
-            service._request("POST", "/api/sessions", {"data": {}})
+        with pytest.raises(ServiceClientError, match="snapshot") as excinfo:
+            service._request("POST", "/v1/sessions", raw={"data": {}})
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_request"
+
+    def test_version_mismatch_is_a_400(self, service):
+        with pytest.raises(ServiceClientError, match="version") as excinfo:
+            service._request(
+                "POST", "/v1/sessions", raw={"v": 999, "type": "create_session"}
+            )
+        assert excinfo.value.status == 400
 
     def test_unroutable_path_is_a_404(self, service):
-        with pytest.raises(ServiceClientError):
-            service._request("GET", "/api/nothing")
+        with pytest.raises(ServiceClientError) as excinfo:
+            service._request("GET", "/v1/nothing")
+        assert excinfo.value.code == "no_route"
 
-    def test_accept_without_candidates_is_a_404(self, service):
+    def test_accept_without_candidates_is_a_409(self, service):
         sid = service.create_session(cards_page(2))
-        with pytest.raises(ServiceClientError, match="no candidate"):
+        with pytest.raises(ServiceClientError, match="no candidate") as excinfo:
             service.accept(sid)
+        assert excinfo.value.status == 409
+        assert excinfo.value.code == "session_state"
         service.close_session(sid)

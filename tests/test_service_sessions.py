@@ -1,8 +1,9 @@
 """The session manager (repro.service.sessions).
 
 Covers the session lifecycle (create / record-action / candidates /
-accept / close), parity with driving a Synthesizer directly, concurrent
-sessions, error paths, and the stats aggregation the service reports.
+accept / reject / close) over the typed protocol messages, parity with
+driving a Synthesizer directly, concurrent sessions, error paths, idle
+eviction, and the stats aggregation the service reports.
 """
 
 import threading
@@ -14,6 +15,13 @@ from repro.engine.cache import reset_process_cache
 from repro.lang import EMPTY_DATA
 from repro.lang.data import DataSource
 from repro.lang.pretty import format_program
+from repro.protocol.messages import (
+    Accepted,
+    CandidateList,
+    ProgramProposed,
+    SessionClosed,
+)
+from repro.protocol.session import SessionClosedError, UnknownSessionError
 from repro.synth.config import DEFAULT_CONFIG, serial_validation_config
 from repro.synth.synthesizer import Synthesizer
 from repro.service.sessions import SessionError, SessionManager
@@ -27,6 +35,10 @@ def memory_manager(**kwargs):
     return SessionManager(config, **kwargs)
 
 
+def served_programs(manager, sid):
+    return [item.program for item in manager.candidates(sid).candidates]
+
+
 class TestLifecycle:
     def test_create_record_candidates_accept_close(self):
         reset_process_cache()
@@ -35,21 +47,25 @@ class TestLifecycle:
             dom = cards_page(5)
             actions, snapshots = scrape_cards_trace(dom, 4)
             sid = manager.create(snapshots[0])
-            summary = None
+            proposed = None
             for position, action in enumerate(actions):
-                summary = manager.record_action(sid, action, snapshots[position + 1])
-                assert summary["session"] == sid
-                assert summary["actions"] == position + 1
-            assert summary["programs"] > 0
-            assert summary["predictions"]
-            candidates = manager.candidates(sid)
-            assert len(candidates) == summary["programs"]
-            assert candidates[0]["index"] == 0
+                proposed = manager.record_action(sid, action, snapshots[position + 1])
+                assert isinstance(proposed, ProgramProposed)
+                assert proposed.session == sid
+                assert proposed.actions == position + 1
+            assert proposed.programs > 0
+            assert proposed.predictions
+            listed = manager.candidates(sid)
+            assert isinstance(listed, CandidateList)
+            assert len(listed.candidates) == proposed.programs
+            assert listed.candidates[0].index == 0
             accepted = manager.accept(sid, 0)
-            assert accepted["program"] == candidates[0]["program"]
+            assert isinstance(accepted, Accepted)
+            assert accepted.program == listed.candidates[0].program
             closed = manager.close(sid)
-            assert closed["stats"]["calls"] == len(actions)
-            assert closed["stats"]["actions"] == len(actions)
+            assert isinstance(closed, SessionClosed)
+            assert closed.stats.calls == len(actions)
+            assert closed.stats.actions == len(actions)
             manager.close_all()
         finally:
             reset_process_cache()
@@ -67,7 +83,7 @@ class TestLifecycle:
                 expected = direct.synthesize(
                     actions[: position + 1], snapshots[: position + 2]
                 )
-                served = [item["program"] for item in manager.candidates(sid)]
+                served = served_programs(manager, sid)
                 assert served == [format_program(p) for p in expected.programs]
             manager.close_all()
             direct.close()
@@ -88,16 +104,44 @@ class TestLifecycle:
         finally:
             reset_process_cache()
 
+    def test_reject_counts_into_stats(self):
+        reset_process_cache()
+        try:
+            manager = memory_manager(timeout=5.0)
+            dom = cards_page(3)
+            sid = manager.create(dom)
+            rejected = manager.reject(sid)
+            assert rejected.rejections == 1
+            assert manager.reject(sid).rejections == 2
+            closed = manager.close(sid)
+            assert closed.stats.rejections == 2
+            assert manager.stats()["totals"]["rejections"] == 2
+        finally:
+            reset_process_cache()
+
 
 class TestErrors:
     def test_unknown_session_rejected(self):
         manager = memory_manager()
-        with pytest.raises(SessionError):
+        with pytest.raises(UnknownSessionError):
             manager.record_action("nope", None, None)
-        with pytest.raises(SessionError):
+        with pytest.raises(UnknownSessionError):
             manager.candidates("nope")
-        with pytest.raises(SessionError):
+        with pytest.raises(UnknownSessionError):
             manager.close("nope")
+
+    def test_closed_session_is_distinguishable_from_unknown(self):
+        reset_process_cache()
+        try:
+            manager = memory_manager()
+            sid = manager.create(cards_page(2))
+            manager.close(sid)
+            with pytest.raises(SessionClosedError, match="closed"):
+                manager.record_action(sid, None, None)
+            with pytest.raises(SessionClosedError):
+                manager.close(sid)
+        finally:
+            reset_process_cache()
 
     def test_accept_requires_candidates(self):
         reset_process_cache()
@@ -124,6 +168,57 @@ class TestErrors:
             reset_process_cache()
 
 
+class TestEviction:
+    def test_idle_sessions_evicted_and_counted(self):
+        reset_process_cache()
+        try:
+            manager = memory_manager(timeout=5.0, max_idle_s=1000.0)
+            dom = cards_page(5)
+            actions, snapshots = scrape_cards_trace(dom, 2)
+            idle = manager.create(snapshots[0])
+            manager.record_action(idle, actions[0], snapshots[1])
+            fresh = manager.create(snapshots[0])
+            # push the idle session past the TTL without sleeping
+            manager._session(idle).last_used -= 2000.0
+            evicted = manager.evict_idle()
+            assert evicted == 1
+            stats = manager.stats()
+            assert stats["sessions_evicted"] == 1
+            assert stats["sessions"] == 1
+            # the evicted session's work is not lost from the totals
+            assert stats["totals"]["calls"] == 1
+            # and touching it now reports "evicted", not "unknown"
+            with pytest.raises(SessionClosedError, match="evicted"):
+                manager.candidates(idle)
+            assert manager.session_ids() == (fresh,)
+        finally:
+            reset_process_cache()
+
+    def test_ttl_resolution_from_env(self, monkeypatch):
+        from repro.service.sessions import resolved_session_ttl
+
+        monkeypatch.delenv("REPRO_SESSION_TTL", raising=False)
+        assert resolved_session_ttl(None) is None
+        assert resolved_session_ttl(12.5) == 12.5
+        monkeypatch.setenv("REPRO_SESSION_TTL", "30")
+        assert resolved_session_ttl(None) == 30.0
+        monkeypatch.setenv("REPRO_SESSION_TTL", "0")
+        assert resolved_session_ttl(None) is None
+
+    def test_busy_sessions_survive_the_sweep(self):
+        reset_process_cache()
+        try:
+            manager = memory_manager(max_idle_s=0.001)
+            sid = manager.create(cards_page(2))
+            session = manager._session(sid)
+            session.last_used -= 100.0
+            with session.lock:  # mid-request: the sweep must skip it
+                assert manager.evict_idle() == 0
+            assert sid in manager.session_ids()
+        finally:
+            reset_process_cache()
+
+
 class TestConcurrency:
     def test_concurrent_sessions_synthesize_independently(self):
         reset_process_cache()
@@ -139,7 +234,7 @@ class TestConcurrency:
                     sid = manager.create(snapshots[0])
                     for position, action in enumerate(actions):
                         manager.record_action(sid, action, snapshots[position + 1])
-                    served[sid] = [item["program"] for item in manager.candidates(sid)]
+                    served[sid] = served_programs(manager, sid)
                     manager.close(sid)
                 except Exception as exc:  # pragma: no cover - the assertion
                     errors.append(exc)
@@ -174,6 +269,7 @@ class TestStats:
             stats = manager.stats()
             assert stats["sessions"] == 1
             assert stats["closed_sessions"] == 1
+            assert stats["sessions_evicted"] == 0
             assert stats["backend"] == "memory"
             assert stats["totals"]["calls"] == 2 * len(actions)
             # the second session reuses the first's executions through
