@@ -1,0 +1,156 @@
+"""Pipelined + resumable incremental synthesis vs the serial stack.
+
+The interactive workload the streaming work targets: one long
+demonstration (a wide list scrape, the paper's motivating shape) grown
+one action at a time, synthesizing after every action — the
+per-keystroke loop a recorder UI drives.  Two variants:
+
+* **serial**: ``serial_validation_config()`` — the ``SerialScheduler``
+  loop with resumable loops pinned off.  Byte-exact with the
+  pre-pipeline synthesizer; the ablation baseline.
+* **pipelined**: ``pipeline_config()`` — the ``PipelineScheduler``
+  overlapping next-pop speculation with the current pop's validation
+  drain, plus resumable loop execution (continuation entries in the
+  execution cache make extension/generalization cost O(new actions)
+  instead of O(trace²)).
+
+Three assertions gate the result:
+
+* the synthesized program lists of every call are byte-identical
+  between the variants (the pipeline changes the schedule, never the
+  output);
+* end-to-end wall clock clears the speedup floor (default 1.3×);
+* latency stays *flat* as the demonstration grows: the median of the
+  last ten calls is within the flatness factor (default 2×) of the
+  early-call median — the serial baseline degrades super-linearly on
+  the same trace.
+
+``REPRO_PIPE_CARDS`` sets the demonstration width (two actions per
+card); ``REPRO_PIPE_MIN_SPEEDUP`` / ``REPRO_PIPE_MAX_LATE_RATIO``
+adjust the asserted floors.  ``--quick`` shrinks the trace and relaxes
+the floors for the CI smoke tier; the full run is the source of record.
+"""
+
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+from helpers import cards_page, scrape_cards_trace  # noqa: E402
+
+from repro.harness.report import fmt_ms, render_table  # noqa: E402
+from repro.lang import EMPTY_DATA  # noqa: E402
+from repro.lang.pretty import format_program  # noqa: E402
+from repro.synth.config import (  # noqa: E402
+    pipeline_config,
+    serial_validation_config,
+)
+from repro.synth.synthesizer import Synthesizer  # noqa: E402
+
+
+def _drive_session(config, actions, snapshots):
+    """Synthesize after every action; return (total, programs, latencies, stats)."""
+    synthesizer = Synthesizer(EMPTY_DATA, config)
+    programs = []
+    latencies = []
+    resume_hits = 0
+    started = time.perf_counter()
+    for cut in range(1, len(actions) + 1):
+        call_started = time.perf_counter()
+        result = synthesizer.synthesize(
+            actions[:cut], snapshots[: cut + 1], timeout=10.0
+        )
+        latencies.append(time.perf_counter() - call_started)
+        resume_hits += result.stats.cache_resume_hits
+        programs.append(tuple(format_program(p) for p in result.programs))
+    total = time.perf_counter() - started
+    synthesizer.close()
+    return total, programs, latencies, resume_hits
+
+
+def _latency_profile(latencies):
+    """(early median, late median): calls 10–40 vs the last ten.
+
+    The first few calls precede loop formation (no extension work yet),
+    so "early" starts once the loop exists and the steady interactive
+    regime has begun.
+    """
+    early = statistics.median(latencies[10:40])
+    late = statistics.median(latencies[-10:])
+    return early, late
+
+
+def test_pipeline_incremental_speedup(benchmark, quick):
+    cards = int(os.environ.get("REPRO_PIPE_CARDS", "40" if quick else "50"))
+    min_speedup = float(
+        os.environ.get("REPRO_PIPE_MIN_SPEEDUP", "1.15" if quick else "1.3")
+    )
+    max_late_ratio = float(
+        os.environ.get("REPRO_PIPE_MAX_LATE_RATIO", "3.0" if quick else "2.0")
+    )
+    dom = cards_page(cards)
+    actions, snapshots = scrape_cards_trace(dom, cards)
+
+    def run_pair():
+        # untimed warm-up builds the snapshot index both variants see,
+        # so the timed runs differ only in scheduler + resume machinery
+        _drive_session(serial_validation_config(), actions, snapshots)
+        serial = _drive_session(serial_validation_config(), actions, snapshots)
+        pipelined = _drive_session(pipeline_config(), actions, snapshots)
+        return serial, pipelined
+
+    serial, pipelined = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    serial_time, serial_programs, serial_latencies, serial_resume = serial
+    pipe_time, pipe_programs, pipe_latencies, pipe_resume = pipelined
+    speedup = serial_time / pipe_time if pipe_time else 0.0
+    serial_early, serial_late = _latency_profile(serial_latencies)
+    pipe_early, pipe_late = _latency_profile(pipe_latencies)
+    pipe_ratio = pipe_late / pipe_early if pipe_early else 0.0
+    serial_ratio = serial_late / serial_early if serial_early else 0.0
+
+    benchmark.extra_info["cards"] = cards
+    benchmark.extra_info["calls"] = len(actions)
+    benchmark.extra_info["serial_seconds"] = round(serial_time, 4)
+    benchmark.extra_info["pipeline_seconds"] = round(pipe_time, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["serial_late_ratio"] = round(serial_ratio, 2)
+    benchmark.extra_info["pipeline_late_ratio"] = round(pipe_ratio, 2)
+    benchmark.extra_info["resume_hits"] = pipe_resume
+
+    print()
+    print(f"Incremental synthesis over a {len(actions)}-action demonstration")
+    print(
+        render_table(
+            ["variant", "total", "early call", "late call", "late/early"],
+            [
+                [
+                    "serial, no resume",
+                    fmt_ms(serial_time),
+                    fmt_ms(serial_early),
+                    fmt_ms(serial_late),
+                    f"{serial_ratio:.2f}x",
+                ],
+                [
+                    "pipelined + resume",
+                    fmt_ms(pipe_time),
+                    fmt_ms(pipe_early),
+                    fmt_ms(pipe_late),
+                    f"{pipe_ratio:.2f}x",
+                ],
+            ],
+        )
+    )
+    print(f"speedup: {speedup:.2f}x; loop resume hits: {pipe_resume}")
+
+    # behaviour preservation first: every call must synthesize
+    # byte-identical program lists under both variants
+    assert serial_programs == pipe_programs, (
+        "the pipeline changed the synthesized programs"
+    )
+    assert serial_resume == 0, "the serial baseline must not take resume hits"
+    assert pipe_resume > 0, "resumable loops never engaged"
+    assert speedup >= min_speedup
+    # streaming latency: the pipelined variant stays interactive as the
+    # demonstration grows
+    assert pipe_ratio <= max_late_ratio

@@ -103,6 +103,12 @@ class CacheCounters:
     consistency_hits: int = 0
     cross_session_hits: int = 0
     warm_hits: int = 0
+    #: Lookups answered by *resuming* a stored loop continuation instead
+    #: of re-executing from the window start.  Not part of ``hits`` (the
+    #: evaluator still runs, over the suffix) and not part of the
+    #: hit/miss reconciliation — a resumed lookup was already counted as
+    #: a miss by the preceding full-result probe.
+    resume_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -126,9 +132,19 @@ class _Entry:
     again).  ``owner`` is the session token that recorded the entry
     (0 for private caches and for entries restored from a persistent
     backend) — hits from other sessions count as cross-session reuse.
+
+    ``continuation`` distinguishes the terminal table's second entry
+    kind: a run that *absorbed* its window mid-loop (nothing to spare,
+    so no terminated-prefix reuse is possible) instead records the
+    evaluator's resume state (:attr:`repro.semantics.evaluator.
+    EvalResult.continuation`).  For such entries ``actions`` is the
+    prefix emitted before the last started iteration, ``examined`` its
+    consumed window keys, and ``env`` the iteration-top environment.
+    Continuation entries are in-memory only — their env/state hold live
+    objects, so they are never written through to a backend.
     """
 
-    __slots__ = ("actions", "env", "examined", "exact_budget_ok", "owner")
+    __slots__ = ("actions", "env", "examined", "exact_budget_ok", "owner", "continuation")
 
     def __init__(
         self,
@@ -137,12 +153,14 @@ class _Entry:
         examined: Optional[tuple[int, ...]],
         exact_budget_ok: bool = False,
         owner: int = 0,
+        continuation: Optional[tuple] = None,
     ) -> None:
         self.actions = actions
         self.env = env
         self.examined = examined
         self.exact_budget_ok = exact_budget_ok
         self.owner = owner
+        self.continuation = continuation
 
 
 class _BackendProbe:
@@ -443,9 +461,12 @@ class ExecutionCache:
         # a budget exactly equal to the action count also replays
         # identically — but only when the recorded run bound nothing
         # after its last action (exact_budget_ok), since a capped run
-        # halts there and its final env is the last-action env
+        # halts there and its final env is the last-action env.
+        # Continuation entries are not terminated runs — their recorded
+        # prefix is mid-loop, so they never answer a full-result lookup.
         return (
-            len(entry.examined) <= len(window_keys)
+            entry.continuation is None
+            and len(entry.examined) <= len(window_keys)
             and (
                 budget > len(entry.actions)
                 or (budget == len(entry.actions) and entry.exact_budget_ok)
@@ -489,6 +510,7 @@ class ExecutionCache:
         exact_budget_ok: bool = False,
         counters: Optional[CacheCounters] = None,
         session: int = 0,
+        continuation: Optional[tuple] = None,
     ) -> None:
         """Record one execution outcome in both applicable tables.
 
@@ -496,6 +518,12 @@ class ExecutionCache:
         the last emitted action (see :class:`_Entry`); only the engine,
         which sees the evaluator's ``env_at_last_action``, can vouch for
         it, so it defaults to the conservative ``False``.
+
+        ``continuation`` — ``(consumed, env, state)`` from the evaluator
+        — marks a run that absorbed its window mid-loop.  It lands in
+        the terminal slot (the run cannot also qualify as terminated)
+        so later lookups over extended windows can resume instead of
+        re-executing; see :meth:`get_continuation`.
         """
         recorders = self._recorders(counters)
         self._insert(
@@ -533,6 +561,58 @@ class ExecutionCache:
                     examined,
                     exact_budget_ok,
                 )
+        elif continuation is not None and continuation[0] > 0:
+            # absorbed mid-loop: record the resume point.  In-memory
+            # only — the state tuple holds live Env/selector objects
+            # that value-addressed backends cannot round-trip.
+            consumed, cont_env, state = continuation
+            self._insert(
+                self._terminal,
+                (base, window_keys[0]),
+                _Entry(
+                    actions[:consumed],
+                    cont_env,
+                    window_keys[:consumed],
+                    owner=session,
+                    continuation=state,
+                ),
+                recorders,
+            )
+
+    # ------------------------------------------------------------------
+    def get_continuation(
+        self,
+        base: tuple,
+        window_keys: tuple[int, ...],
+        budget: int,
+        counters: Optional[CacheCounters] = None,
+        session: int = 0,
+    ) -> Optional[tuple[tuple, Env, tuple]]:
+        """The stored resume point for this base/window, if usable.
+
+        Returns ``(prefix actions, iteration-top env, state)`` when the
+        terminal slot holds a continuation entry whose consumed prefix
+        is a prefix of ``window_keys`` and whose prefix length leaves
+        budget to spare — i.e. the caller can re-enter the loop over
+        ``window[len(prefix):]`` instead of executing from scratch.
+        Probed only *after* a full-result lookup missed (the miss is
+        counted there; a resume adds to ``resume_hits`` alone).
+        """
+        entry = self._terminal.get((base, window_keys[0]))
+        if entry is None or entry.continuation is None:
+            return None
+        consumed = len(entry.actions)
+        if (
+            consumed >= budget
+            or len(window_keys) < consumed
+            or window_keys[:consumed] != entry.examined
+        ):
+            return None
+        if len(self._terminal) >= self._touch_floor:
+            self._touch(self._terminal, (base, window_keys[0]))
+        for recorder in self._recorders(counters):
+            recorder.resume_hits += 1
+        return entry.actions, entry.env, entry.continuation
 
     # ------------------------------------------------------------------
     def get_consistency(
@@ -1023,6 +1103,7 @@ class SharedCacheSession:
         env: Env,
         exact_budget_ok: bool = False,
         counters: Optional[CacheCounters] = None,
+        continuation: Optional[tuple] = None,
     ) -> None:
         shard = self._shared._shard_for(base)
         with shard.lock:
@@ -1033,6 +1114,24 @@ class SharedCacheSession:
                 actions,
                 env,
                 exact_budget_ok,
+                counters=self.counters if counters is None else counters,
+                session=self._token,
+                continuation=continuation,
+            )
+
+    def get_continuation(
+        self,
+        base: tuple,
+        window_keys: tuple[int, ...],
+        budget: int,
+        counters: Optional[CacheCounters] = None,
+    ) -> Optional[tuple[tuple, Env, tuple]]:
+        shard = self._shared._shard_for(base)
+        with shard.lock:
+            return shard.cache.get_continuation(
+                base,
+                window_keys,
+                budget,
                 counters=self.counters if counters is None else counters,
                 session=self._token,
             )

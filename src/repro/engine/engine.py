@@ -106,6 +106,11 @@ class EngineCounters:
     consistency_hits: int = 0
     cross_session_hits: int = 0
     warm_hits: int = 0
+    #: Executions answered by resuming a stored loop continuation over
+    #: the window suffix (resumable loops); counted alongside the miss
+    #: the preceding full-result probe recorded, so they are *not* part
+    #: of the ``hits`` reconciliation above.
+    resume_hits: int = 0
     index_builds: int = 0
     cache_bytes: int = 0
     interned_snapshots: int = 0
@@ -180,6 +185,7 @@ class ExecutionEngine:
         from repro.service.backends import resolve_backend
         from repro.synth.config import (
             resolved_cache_backend,
+            resolved_pipeline,
             resolved_shared_cache,
             resolved_validation_workers,
         )
@@ -196,7 +202,10 @@ class ExecutionEngine:
                     # interning shares the wrapper object (and its
                     # memoized digest) between equal-content sessions
                     data = shared.intern_data(data)
-            elif resolved_validation_workers(config) > 0:
+            elif resolved_validation_workers(config) > 0 or resolved_pipeline(config):
+                # the pipeline's merge thread shares the cache with the
+                # main thread, so it needs the lock-striped tables even
+                # with zero validation workers
                 shared = SharedExecutionCache(
                     max_entries=config.max_cache_entries, shards=4, backend=backend
                 )
@@ -233,6 +242,7 @@ class ExecutionEngine:
             consistency_hits=cache.consistency_hits,
             cross_session_hits=cache.cross_session_hits,
             warm_hits=cache.warm_hits,
+            resume_hits=cache.resume_hits,
             index_builds=dom_index.build_count(),
             cache_bytes=self._cache.approx_bytes if self._cache is not None else 0,
             interned_snapshots=shared.interned_snapshots if shared is not None else 0,
@@ -284,11 +294,22 @@ class ExecutionEngine:
         env: Optional[Env] = None,
         max_actions: Optional[int] = None,
         data: Optional[DataSource] = None,
+        resumable: bool = False,
     ) -> EvalResult:
         """Memoized :func:`repro.semantics.evaluator.execute`.
 
         ``data`` overrides the engine's data source for this call (used
         by the problem-level helpers, which carry their own source).
+
+        ``resumable`` opts a *single closed statement* into resumable
+        loop execution: a run that absorbs its whole window mid-loop
+        records the evaluator's continuation in the cache, and a later
+        call over an extended window re-enters the loop at the recorded
+        iteration instead of re-executing from the window start — the
+        synthesizer's extension/generalization path uses this to keep
+        per-call cost proportional to the *new* actions.  The stitched
+        result is identical to a from-scratch execution by construction
+        (the iteration-top state fully determines the remainder).
         """
         source = self.data if data is None else data
         window_length = len(doms)
@@ -311,7 +332,50 @@ class ExecutionEngine:
         if hit is not None:
             actions, final_env = hit
             return EvalResult(list(actions), doms.window(len(actions)), final_env)
-        result = evaluator.execute(statements, doms, source, env, max_actions)
+        resumable = resumable and len(statements) == 1
+        if resumable:
+            cont = self._cache.get_continuation(
+                base, window_keys, budget, counters=counters
+            )
+            if cont is not None:
+                prefix_actions, cont_env, state = cont
+                consumed = len(prefix_actions)
+                suffix = evaluator.resume_statement(
+                    statements[0],
+                    state,
+                    doms.window(consumed),
+                    source,
+                    cont_env,
+                    max_actions=budget - consumed,
+                )
+                actions = list(prefix_actions) + suffix.actions
+                result = EvalResult(
+                    actions,
+                    doms.window(len(actions)),
+                    suffix.env,
+                    # the stitched last-action env is only known when the
+                    # suffix emitted; otherwise stay conservative (None
+                    # can never satisfy `is env`)
+                    suffix.env_at_last_action if suffix.actions else None,
+                    _shift_continuation(suffix.continuation, consumed),
+                )
+                self._record_result(base, window_keys, budget, result, counters)
+                return result
+        result = evaluator.execute(
+            statements, doms, source, env, max_actions,
+            record_continuation=resumable,
+        )
+        self._record_result(base, window_keys, budget, result, counters)
+        return result
+
+    def _record_result(
+        self,
+        base: tuple,
+        window_keys: tuple[int, ...],
+        budget: int,
+        result: EvalResult,
+        counters: Optional[CacheCounters],
+    ) -> None:
         self._cache.put(
             base,
             window_keys,
@@ -320,8 +384,8 @@ class ExecutionEngine:
             result.env,
             exact_budget_ok=result.env_at_last_action is result.env,
             counters=counters,
+            continuation=result.continuation,
         )
-        return result
 
     # ------------------------------------------------------------------
     # Consistency and resolution (delegates — index-accelerated)
@@ -353,9 +417,52 @@ class ExecutionEngine:
         hit = self._cache.get_consistency(key, counters=counters)
         if hit is not None:
             return hit
-        value = _consistent_prefix_length(produced, reference, doms)
+        value = self._incremental_prefix_length(
+            key, produced, reference, doms, counters
+        )
+        if value is None:
+            value = _consistent_prefix_length(produced, reference, doms)
         self._cache.put_consistency(key, value, counters=counters)
         return value
+
+    #: How many trailing actions the incremental consistency path will
+    #: look back over for a settled prefix entry (extension adds at most
+    #: a handful of actions between checks; past that, rescanning whole
+    #: is no worse than probing).
+    _CONSISTENCY_LOOKBACK = 4
+
+    def _incremental_prefix_length(
+        self, key, produced, reference, doms, counters
+    ) -> Optional[int]:
+        """Extend a settled shorter check instead of rescanning.
+
+        Incremental synthesis re-checks the same growing traces after
+        every recorded action; the full-sequence memo misses (the key
+        grew) but the previous call's entry is this call's *prefix*.
+        Finding a fully-consistent settled prefix of length ``cut``
+        reduces the scan to the tail beyond it — per-call consistency
+        cost stays O(new actions) on long demonstrations.  A settled
+        prefix that was already inconsistent is the answer outright.
+        """
+        produced_keys, reference_keys, window_keys = key
+        limit = min(len(produced), len(reference), len(doms))
+        floor = max(limit - self._CONSISTENCY_LOOKBACK, 1)
+        for cut in range(limit - 1, floor - 1, -1):
+            prefix_key = (
+                produced_keys[:cut],
+                reference_keys[:cut],
+                window_keys[:cut],
+            )
+            prior = self._cache.get_consistency(prefix_key, counters=counters)
+            if prior is None:
+                continue
+            if prior < cut:
+                return prior
+            tail = _consistent_prefix_length(
+                produced[cut:limit], reference[cut:limit], doms.window(cut)
+            )
+            return cut + tail
+        return None
 
     def resolve(self, selector: ConcreteSelector, dom: DOMNode) -> Optional[DOMNode]:
         """Delegate to :func:`repro.dom.xpath.resolve`."""
@@ -416,6 +523,21 @@ class ExecutionEngine:
                 self._action_keys[id(action)] = key
                 self._action_pins.append(action)
         return key
+
+
+def _shift_continuation(
+    continuation: Optional[tuple], consumed: int
+) -> Optional[tuple]:
+    """Rebase a resumed run's continuation onto the full window.
+
+    The suffix run records consumed-action counts relative to its own
+    (suffix) window; adding the stitched prefix length makes the state
+    valid for the full window's cache entry.
+    """
+    if continuation is None:
+        return None
+    offset, cont_env, state = continuation
+    return (consumed + offset, cont_env, state)
 
 
 def _env_key(env: Optional[Env]) -> tuple:

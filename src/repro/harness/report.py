@@ -82,6 +82,7 @@ def render_synthesis_stats(stats) -> str:
         ["  consistency hits", stats.cache_consistency_hits],
         ["  cross-session hits", stats.cache_cross_session_hits],
         ["  warm-start hits", stats.cache_warm_hits],
+        ["loop resume hits", stats.cache_resume_hits],
         ["exec cache misses", stats.cache_misses],
         ["exec cache hit rate", fmt_pct(stats.cache_hit_rate)],
         ["exec cache evictions", stats.cache_evictions],
@@ -92,6 +93,12 @@ def render_synthesis_stats(stats) -> str:
         ["DOM index builds", stats.index_builds],
         ["indexed enumerations", stats.enum_indexed],
         ["fallback enumerations", stats.enum_fallback],
+        # phase times are wall-clock per phase; under the pipelined
+        # scheduler speculation and validation overlap, so their sum
+        # may exceed ``elapsed`` — the surplus is the overlap won
+        ["speculate time", fmt_ms(stats.speculate_s)],
+        ["validate time", fmt_ms(stats.validate_s)],
+        ["extend time", fmt_ms(stats.extend_s)],
         ["elapsed", fmt_ms(stats.elapsed)],
         ["timed out", "yes" if stats.timed_out else "no"],
     ]

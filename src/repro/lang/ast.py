@@ -481,13 +481,25 @@ def _canon_stmt(stmt: Statement, names: dict[Var, int]) -> tuple:
 
 
 def canonical_statement(stmt: Statement) -> tuple:
-    """A hashable key identifying ``stmt`` up to bound-variable renaming."""
-    return _canon_stmt(stmt, {})
+    """A hashable key identifying ``stmt`` up to bound-variable renaming.
+
+    The key is cached on the statement object itself: statements are
+    frozen (hence immutable) dataclasses, so the digest can never go
+    stale, and the synthesizer re-canonicalizes the same shared
+    statement objects constantly — worklist dedup keys, speculation
+    dedup, ranking ties — making this the cheapest possible memo: no
+    table, no eviction, no pinning.
+    """
+    cached = stmt.__dict__.get("_canonical")
+    if cached is None:
+        cached = _canon_stmt(stmt, {})
+        object.__setattr__(stmt, "_canonical", cached)
+    return cached
 
 
 def canonical_program(program: Program) -> tuple:
     """A hashable key identifying ``program`` up to alpha-equivalence."""
-    return tuple(_canon_stmt(stmt, {}) for stmt in program.statements)
+    return tuple(canonical_statement(stmt) for stmt in program.statements)
 
 
 def alpha_equivalent(a: Statement, b: Statement) -> bool:

@@ -79,6 +79,14 @@ class EvalResult:
     remaining: DOMTrace
     env: Env
     env_at_last_action: Optional[Env] = None
+    #: When continuation recording was armed (see :func:`execute`) and a
+    #: loop was still mid-iteration when the run ended, the resume point:
+    #: ``(consumed, env, state)`` — the number of actions emitted before
+    #: the last iteration that *started*, the environment at that
+    #: iteration's top, and a per-loop-form state tag for
+    #: :func:`resume_statement`.  ``None`` when the run terminated
+    #: normally (every loop ran to completion) or recording was off.
+    continuation: Optional[tuple] = None
 
 
 class _Context:
@@ -88,13 +96,20 @@ class _Context:
     :class:`EvalResult.env_at_last_action`).
     """
 
-    __slots__ = ("data", "budget", "stuck", "last_env")
+    __slots__ = ("data", "budget", "stuck", "last_env", "cont_armed", "cont")
 
     def __init__(self, data: DataSource, max_actions: Optional[int]) -> None:
         self.data = data
         self.budget = max_actions if max_actions is not None else float("inf")
         self.stuck = False
         self.last_env: Optional[Env] = None
+        # Continuation recording (resumable loops): armed by the caller,
+        # *claimed* by the first loop that starts iterating — nested
+        # loops see the flag already cleared, so the recorded state
+        # always belongs to the outermost loop, which is the statement
+        # the engine re-enters on resume.
+        self.cont_armed = False
+        self.cont: Optional[tuple] = None
 
     def spend(self) -> None:
         self.budget -= 1
@@ -111,6 +126,7 @@ def execute(
     data: DataSource,
     env: Optional[Env] = None,
     max_actions: Optional[int] = None,
+    record_continuation: bool = False,
 ) -> EvalResult:
     """Run ``program`` under the trace semantics.
 
@@ -128,16 +144,23 @@ def execute(
     max_actions:
         Optional hard cap on emitted actions.  The synthesizer uses
         ``m + 1`` to avoid simulating past the first prediction.
+    record_continuation:
+        Arm continuation recording: the first loop that starts iterating
+        records, at the top of each iteration, the state needed to
+        re-enter it there later (:attr:`EvalResult.continuation`).  Used
+        by the execution cache to make absorbing-loop re-execution
+        resumable instead of O(window).
     """
     statements = tuple(program) if isinstance(program, Program) else tuple(program)
     context = _Context(data, max_actions)
+    context.cont_armed = record_continuation
     initial_env = env or Env.empty()
     context.last_env = initial_env
     actions: list[Action] = []
     remaining, final_env = _eval_sequence(
         statements, doms, initial_env, context, actions
     )
-    return EvalResult(actions, remaining, final_env, context.last_env)
+    return EvalResult(actions, remaining, final_env, context.last_env, context.cont)
 
 
 # ----------------------------------------------------------------------
@@ -211,6 +234,7 @@ def _eval_selector_loop(
     env: Env,
     context: _Context,
     out: list[Action],
+    start_index: int = 1,
 ) -> tuple[DOMTrace, Env]:
     """S-Init / S-Cont / S-Term: lazy iteration over matching nodes.
 
@@ -219,13 +243,19 @@ def _eval_selector_loop(
     the *i*-th element selector and checks ``valid`` against the current
     head snapshot, which is what makes lazily loaded pages work.
     """
+    recording = context.cont_armed
+    context.cont_armed = False
     base = env.resolve_selector(loop.collection.base)
     extend = base.child if isinstance(loop.collection, ChildrenOf) else base.desc
     pred = loop.collection.pred
-    index = 1
+    index = start_index
     while True:
         if doms.is_empty or context.halted:  # Term
             break
+        if recording:
+            # iteration-top state: everything after this point is a
+            # function of (env, index) and the remaining trace/budget
+            context.cont = (len(out), env, ("sel", index))
         element = extend(pred, index)
         if not valid(element, doms.head()):  # S-Term
             break
@@ -241,6 +271,7 @@ def _eval_value_loop(
     env: Env,
     context: _Context,
     out: list[Action],
+    start_position: int = 0,
 ) -> tuple[DOMTrace, Env]:
     """VP-Loop: eager iteration over the value paths of an input array.
 
@@ -248,15 +279,19 @@ def _eval_value_loop(
     we render "stuck" as zero iterations, which validation then rejects
     (the s-rewrite cannot reproduce any action).
     """
+    recording = context.cont_armed
+    context.cont_armed = False
     path = env.resolve_path(loop.collection.path)
     try:
         element_paths = context.data.value_paths(path)
     except DataPathError:
         return doms, env
-    for element_path in element_paths:
+    for position in range(start_position, len(element_paths)):
         if doms.is_empty or context.halted:  # Term
             break
-        env = env.bind(loop.var, element_path)
+        if recording:
+            context.cont = (len(out), env, ("val", position))
+        env = env.bind(loop.var, element_paths[position])
         doms, env = _eval_sequence(loop.body, doms, env, context, out)
     return doms, env
 
@@ -274,9 +309,13 @@ def _eval_while_loop(
     selector on the new head snapshot; if it still denotes a node the click
     is emitted and the loop continues, otherwise the loop ends.
     """
+    recording = context.cont_armed
+    context.cont_armed = False
     while True:
         if doms.is_empty or context.halted:  # Term
             break
+        if recording:
+            context.cont = (len(out), env, ("while",))
         doms, env = _eval_sequence(loop.body, doms, env, context, out)
         if doms.is_empty or context.halted:  # Term
             break
@@ -296,6 +335,7 @@ def _eval_paginate_loop(
     env: Env,
     context: _Context,
     out: list[Action],
+    start_counter: Optional[int] = None,
 ) -> tuple[DOMTrace, Env]:
     """Numbered pagination (extension, see :class:`PaginateLoop`).
 
@@ -305,13 +345,17 @@ def _eval_paginate_loop(
     lands on page κ, so the counter still increments); otherwise the
     loop terminates.
     """
-    counter = loop.start
+    recording = context.cont_armed
+    context.cont_armed = False
+    counter = loop.start if start_counter is None else start_counter
     advance = (
         env.resolve_selector(loop.advance) if loop.advance is not None else None
     )
     while True:
         if doms.is_empty or context.halted:  # Term
             break
+        if recording:
+            context.cont = (len(out), env, ("pag", counter))
         doms, env = _eval_sequence(loop.body, doms, env, context, out)
         if doms.is_empty or context.halted:  # Term
             break
@@ -327,3 +371,52 @@ def _eval_paginate_loop(
         doms = doms.tail()
         counter += 1
     return doms, env
+
+
+# ----------------------------------------------------------------------
+# Resumption
+# ----------------------------------------------------------------------
+def resume_statement(
+    statement: Statement,
+    state: tuple,
+    doms: DOMTrace,
+    data: DataSource,
+    env: Env,
+    max_actions: Optional[int] = None,
+) -> EvalResult:
+    """Re-enter a loop ``statement`` at a recorded iteration boundary.
+
+    ``state`` and ``env`` come from a prior run's
+    :attr:`EvalResult.continuation`; ``doms`` is the trace *suffix*
+    starting where that run's consumed prefix ended.  The re-entered run
+    records a fresh continuation, so resumes chain as the trace grows.
+
+    Only valid for closed statements (no free variables): the loop's
+    collection/click selectors are re-resolved under the iteration-top
+    environment, which is safe precisely because a top-level statement
+    cannot reference an enclosing loop's variable.
+    """
+    context = _Context(data, max_actions)
+    context.cont_armed = True
+    context.last_env = env
+    out: list[Action] = []
+    tag = state[0]
+    if isinstance(statement, ForEachSelector) and tag == "sel":
+        remaining, final_env = _eval_selector_loop(
+            statement, doms, env, context, out, start_index=state[1]
+        )
+    elif isinstance(statement, ForEachValue) and tag == "val":
+        remaining, final_env = _eval_value_loop(
+            statement, doms, env, context, out, start_position=state[1]
+        )
+    elif isinstance(statement, WhileLoop) and tag == "while":
+        remaining, final_env = _eval_while_loop(statement, doms, env, context, out)
+    elif isinstance(statement, PaginateLoop) and tag == "pag":
+        remaining, final_env = _eval_paginate_loop(
+            statement, doms, env, context, out, start_counter=state[1]
+        )
+    else:
+        raise ValueError(
+            f"continuation state {state!r} does not match statement {statement!r}"
+        )
+    return EvalResult(out, remaining, final_env, context.last_env, context.cont)

@@ -28,10 +28,9 @@ Versioned routes (all bodies protocol JSON):
 ``GET  /healthz``                           → ``{ok, protocol, codec}``
 ==========================================  ===================================
 
-The pre-protocol ``/api/...`` routes remain as a thin deprecated alias
-for one release: same handlers, same protocol responses, plus a
-``Deprecation`` header; their request bodies may be either protocol
-messages or the legacy bare dicts.  ``--workers N`` forks N workers on
+The pre-protocol ``/api/...`` alias is gone: those paths now answer
+404 with an :class:`~repro.protocol.messages.ErrorEnvelope` naming the
+``/v1`` successor route.  ``--workers N`` forks N workers on
 consecutive ports over one store — the multi-process deployment shape;
 a load balancer (or the client) picks a port and may rebalance via
 migration.
@@ -93,17 +92,14 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:  # pragma: no cover - debug aid
             sys.stderr.write("%s - %s\n" % (self.address_string(), format % args))
 
-    def _reply_bytes(self, body: bytes, status: int, deprecated: bool) -> None:
+    def _reply_bytes(self, body: bytes, status: int) -> None:
         self.send_response(status)
         self.send_header("Content-Type", DEFAULT_CODEC.content_type)
         self.send_header("Content-Length", str(len(body)))
-        if deprecated:
-            self.send_header("Deprecation", "true")
-            self.send_header("Link", '</v1/>; rel="successor-version"')
         self.end_headers()
         self.wfile.write(body)
 
-    def _reply(self, message, status: int = 200, deprecated: bool = False) -> None:
+    def _reply(self, message, status: int = 200) -> None:
         """Encode one protocol message (or a plain gauge dict) and send."""
         if isinstance(message, dict):
             body = json.dumps(message, sort_keys=True, separators=(",", ":")).encode(
@@ -111,7 +107,7 @@ class _Handler(BaseHTTPRequestHandler):
             )
         else:
             body = DEFAULT_CODEC.encode(message)
-        self._reply_bytes(body, status, deprecated)
+        self._reply_bytes(body, status)
 
     def _error(
         self,
@@ -119,13 +115,8 @@ class _Handler(BaseHTTPRequestHandler):
         message: str,
         status: int,
         session: Optional[str] = None,
-        deprecated: bool = False,
     ) -> None:
-        self._reply(
-            ErrorEnvelope(code=code, message=message, session=session),
-            status,
-            deprecated,
-        )
+        self._reply(ErrorEnvelope(code=code, message=message, session=session), status)
 
     def _body(self) -> dict:
         length = int(self.headers.get("Content-Length", "0"))
@@ -137,7 +128,7 @@ class _Handler(BaseHTTPRequestHandler):
         return payload
 
     # ------------------------------------------------------------------
-    # Legacy-body adapters (the /api alias accepts pre-protocol dicts)
+    # Body adapters (bare pre-protocol dicts are still tolerated on /v1)
     # ------------------------------------------------------------------
     @staticmethod
     def _as_create(payload: dict) -> CreateSession:
@@ -191,19 +182,35 @@ class _Handler(BaseHTTPRequestHandler):
         return MigrateSession(sid, target)
 
     # ------------------------------------------------------------------
-    def _route(self, path: str) -> tuple[str, bool]:
-        """Strip the version prefix; report whether it was the legacy one."""
+    def _route(self, path: str) -> Optional[str]:
+        """Strip the version prefix; ``None`` marks the removed alias."""
         if path.startswith("/v1/"):
-            return path[len("/v1") :], False
+            return path[len("/v1") :]
         if path.startswith("/api/"):
-            return path[len("/api") :], True
-        return path, False
+            return None
+        return path
+
+    def _gone(self) -> None:
+        """The removed ``/api`` alias: 404 naming the ``/v1`` successor."""
+        # drain any request body first: replying with unread bytes on the
+        # socket would desynchronize the keep-alive connection
+        length = int(self.headers.get("Content-Length", "0"))
+        if length > 0:
+            self.rfile.read(length)
+        successor = "/v1" + self.path[len("/api") :]
+        self._error(
+            "no_route",
+            f"the /api alias was removed; use {successor}",
+            404,
+        )
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        path, deprecated = self._route(self.path)
+        path = self._route(self.path)
         sid: Optional[str] = None
         try:
-            if self.path == "/healthz":
+            if path is None:
+                self._gone()
+            elif self.path == "/healthz":
                 self._reply(
                     {
                         "ok": True,
@@ -214,32 +221,32 @@ class _Handler(BaseHTTPRequestHandler):
             elif path == "/stats":
                 stats = self.server.manager.stats()
                 stats["protocol"] = PROTOCOL_VERSION
-                self._reply(stats, deprecated=deprecated)
+                self._reply(stats)
             elif path.startswith("/sessions/") and path.endswith("/candidates"):
                 sid = path[len("/sessions/") : -len("/candidates")]
-                self._reply(self.server.manager.candidates(sid), deprecated=deprecated)
+                self._reply(self.server.manager.candidates(sid))
             else:
                 self._error("no_route", f"no route {self.path}", 404)
         except Exception as exc:
-            self._handle_error(exc, sid, deprecated)
+            self._handle_error(exc, sid)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        path, deprecated = self._route(self.path)
+        path = self._route(self.path)
         manager = self.server.manager
         sid: Optional[str] = None
         try:
+            if path is None:
+                self._gone()
+                return
             payload = self._body()
             if path == "/sessions":
-                self._reply(
-                    manager.create_session(self._as_create(payload)),
-                    deprecated=deprecated,
-                )
+                self._reply(manager.create_session(self._as_create(payload)))
                 return
             if path == "/sessions/import":
                 message = from_wire(payload)
                 if not isinstance(message, SessionSnapshot):
                     raise ProtocolError("expected a session_snapshot message")
-                self._reply(manager.import_snapshot(message), deprecated=deprecated)
+                self._reply(manager.import_snapshot(message))
                 return
             if path.startswith("/sessions/"):
                 rest = path[len("/sessions/") :]
@@ -247,15 +254,13 @@ class _Handler(BaseHTTPRequestHandler):
                     sid = rest[: -len("/actions")]
                     message = self._as_action(sid, payload)
                     self._reply(
-                        manager.record_action(sid, message.action, message.snapshot),
-                        deprecated=deprecated,
+                        manager.record_action(sid, message.action, message.snapshot)
                     )
                     return
                 if rest.endswith("/accept"):
                     sid = rest[: -len("/accept")]
                     self._reply(
-                        manager.accept(sid, self._as_accept(sid, payload).index),
-                        deprecated=deprecated,
+                        manager.accept(sid, self._as_accept(sid, payload).index)
                     )
                     return
                 if rest.endswith("/reject"):
@@ -264,7 +269,7 @@ class _Handler(BaseHTTPRequestHandler):
                         from_wire(payload), Reject
                     ):
                         raise ProtocolError("expected a reject message")
-                    self._reply(manager.reject(sid), deprecated=deprecated)
+                    self._reply(manager.reject(sid))
                     return
                 if rest.endswith("/close"):
                     sid = rest[: -len("/close")]
@@ -272,18 +277,18 @@ class _Handler(BaseHTTPRequestHandler):
                         from_wire(payload), CloseSession
                     ):
                         raise ProtocolError("expected a close_session message")
-                    self._reply(manager.close(sid), deprecated=deprecated)
+                    self._reply(manager.close(sid))
                     return
                 if rest.endswith("/migrate"):
                     sid = rest[: -len("/migrate")]
-                    self._migrate(self._as_migrate(sid, payload), deprecated)
+                    self._migrate(self._as_migrate(sid, payload))
                     return
             self._error("no_route", f"no route {self.path}", 404)
         except Exception as exc:
-            self._handle_error(exc, sid, deprecated)
+            self._handle_error(exc, sid)
 
     # ------------------------------------------------------------------
-    def _migrate(self, message: MigrateSession, deprecated: bool) -> None:
+    def _migrate(self, message: MigrateSession) -> None:
         """Export a session; hand it to the caller or push it to a peer.
 
         Begin/commit/abort discipline: from ``begin_migration`` on, the
@@ -295,9 +300,7 @@ class _Handler(BaseHTTPRequestHandler):
         """
         manager = self.server.manager
         if message.target is None:
-            self._reply(
-                manager.export_snapshot(message.session), deprecated=deprecated
-            )
+            self._reply(manager.export_snapshot(message.session))
             return
         from repro.service.client import ServiceClient, ServiceClientError
 
@@ -312,7 +315,6 @@ class _Handler(BaseHTTPRequestHandler):
                 f"target {message.target} refused the session: {exc}",
                 502,
                 session=message.session,
-                deprecated=deprecated,
             )
             return
         manager.commit_migration(session)
@@ -321,23 +323,22 @@ class _Handler(BaseHTTPRequestHandler):
                 session=message.session,
                 target=message.target,
                 target_session=target_sid,
-            ),
-            deprecated=deprecated,
+            )
         )
 
-    def _handle_error(self, exc: Exception, sid: Optional[str], deprecated: bool) -> None:
+    def _handle_error(self, exc: Exception, sid: Optional[str]) -> None:
         if isinstance(exc, UnknownSessionError):
-            self._error("unknown_session", str(exc), 404, sid, deprecated)
+            self._error("unknown_session", str(exc), 404, sid)
         elif isinstance(exc, SessionClosedError):
-            self._error("session_closed", str(exc), 409, sid, deprecated)
+            self._error("session_closed", str(exc), 409, sid)
         elif isinstance(exc, SessionError):
-            self._error("session_state", str(exc), 409, sid, deprecated)
+            self._error("session_state", str(exc), 409, sid)
         elif isinstance(
             exc, (ProtocolError, ParseError, ReproError, ValueError, KeyError)
         ):
-            self._error("bad_request", str(exc), 400, sid, deprecated)
+            self._error("bad_request", str(exc), 400, sid)
         else:  # pragma: no cover - defensive
-            self._error("internal", f"{type(exc).__name__}: {exc}", 500, sid, deprecated)
+            self._error("internal", f"{type(exc).__name__}: {exc}", 500, sid)
 
 
 # ----------------------------------------------------------------------

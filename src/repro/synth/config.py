@@ -116,6 +116,28 @@ class SynthesisConfig:
         for the same reason as ``shared_cache``: the cache keys are
         value-addressed end to end, and hits replay recorded outcomes
         verbatim.
+    pipeline:
+        Overlap speculation of the next worklist pop with validation of
+        the current one (:class:`repro.synth.scheduler.
+        PipelineScheduler`): validated rewrites are merged and pushed by
+        a dedicated drain thread in the same deterministic rank order
+        the serial loop uses, so synthesized programs stay
+        byte-identical to :class:`~repro.synth.scheduler.
+        SerialScheduler` (absent per-call timeouts, same caveat as
+        ``validation_workers``).  Composes with ``validation_workers``:
+        with N > 1 workers the drain thread dispatches validation waves
+        to the pool.  ``None`` (the default) resolves from
+        ``REPRO_PIPELINE=1``.
+    resumable_loops:
+        Let the execution cache record *continuations* for loop runs
+        that absorb their whole window, so the synthesizer's extension
+        and generalization checks resume the trailing loop at its last
+        started iteration instead of re-executing it over the grown
+        window — per-call extension cost becomes O(new actions), the
+        §5.4 interactivity requirement.  Behaviour-preserving: the
+        iteration-top state fully determines the remainder, so resumed
+        runs are identical to from-scratch runs.  On by default; the
+        incremental-pipeline bench measures the serial ablation.
     ranking:
         Name of the ranking strategy applied to generalizing programs
         (see :mod:`repro.synth.ranking`); the default is the paper's
@@ -156,6 +178,8 @@ class SynthesisConfig:
     validation_workers: Optional[int] = None
     shared_cache: Optional[bool] = None
     cache_backend: Optional[str] = None
+    pipeline: Optional[bool] = None
+    resumable_loops: bool = True
     ranking: str = "size"
     use_shape_gates: bool = True
     use_window_periodicity: bool = False
@@ -227,6 +251,18 @@ def resolved_cache_backend(config: SynthesisConfig) -> str:
     return os.environ.get("REPRO_CACHE_BACKEND", "").strip() or "memory"
 
 
+def resolved_pipeline(config: SynthesisConfig) -> bool:
+    """Whether the pipelined worklist schedule is in effect.
+
+    ``REPRO_PIPELINE=1`` flips every synthesizer in the process to the
+    pipelined schedule (the CI parity leg runs tier-1 this way); an
+    explicit config value always wins.
+    """
+    if config.pipeline is not None:
+        return config.pipeline
+    return os.environ.get("REPRO_PIPELINE", "").strip() == "1"
+
+
 def file_backend_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
     """The persistent file backend switched on (service/warm-start runs)."""
     return replace(base, cache_backend="file")
@@ -236,10 +272,27 @@ def serial_validation_config(base: SynthesisConfig = DEFAULT_CONFIG) -> Synthesi
     """Serial validation over private caches, pinned against the env.
 
     The exact pre-concurrency behaviour — the ablation baseline the
-    parallel-validation bench compares against.
+    parallel-validation and pipeline benches compare against — so the
+    pipelined schedule and resumable loops are pinned off too.
     """
     return replace(
-        base, validation_workers=0, shared_cache=False, cache_backend="memory"
+        base,
+        validation_workers=0,
+        shared_cache=False,
+        cache_backend="memory",
+        pipeline=False,
+        resumable_loops=False,
+    )
+
+
+def pipeline_config(
+    workers: int = 0,
+    shared: bool = False,
+    base: SynthesisConfig = DEFAULT_CONFIG,
+) -> SynthesisConfig:
+    """The pipelined worklist schedule, optionally over pooled validation."""
+    return replace(
+        base, pipeline=True, validation_workers=workers, shared_cache=shared
     )
 
 

@@ -47,6 +47,7 @@ tracker via :func:`repro.engine.index.adopt_trackers`.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Optional, Sequence
 
@@ -214,6 +215,7 @@ class PoolScheduler(ValidationScheduler):
         context: SpeculationContext,
         deadline: Deadline,
         max_per_span: int,
+        sink=None,
     ) -> tuple[list, bool]:
         """Validate cap-eligible candidates; results by candidate index.
 
@@ -226,8 +228,15 @@ class PoolScheduler(ValidationScheduler):
         waves), and a span retires once its successes reach the cap —
         the candidates never taken are exactly the ones the serial loop
         would have skipped.
+
+        ``sink`` overrides where joined worker counters are folded
+        (default: straight into the engine's session totals).  The
+        pipelined scheduler passes its drain task's private counter
+        merge here, so the session totals are only ever touched by the
+        synthesizer's coordinating thread.
         """
         engine = context.engine
+        absorb = engine.absorb_counters if sink is None else sink
         trackers = dom_index.current_trackers()
 
         def run_chunk(chunk: Sequence[tuple[int, SRewrite]]):
@@ -251,9 +260,31 @@ class PoolScheduler(ValidationScheduler):
         position = {span: 0 for span in spans}
         successes = {span: 0 for span in spans}
         results: list = [None] * len(candidates)
+
+        def recount_successes() -> None:
+            # settle per-span accounting against the merged results —
+            # run after *every* wave join, clipped ones included, so a
+            # resumed wave loop can never re-take (and thereby
+            # double-validate) candidates a merged result already
+            # settled: stale `successes` would make `want` overshoot
+            for span, members in spans.items():
+                confirmed = 0
+                for index, _ in members[: position[span]]:
+                    if results[index] is not None:
+                        confirmed += 1
+                        if confirmed >= max_per_span:
+                            break
+                successes[span] = confirmed
+
         pool = self._executor()
         factor = 1
+        clipped = False
         while True:
+            if deadline.expired():
+                # checked before the batch is carved so `position` never
+                # advances past candidates that were never dispatched
+                clipped = True
+                break
             batch: list[tuple[int, SRewrite]] = []
             for span, members in spans.items():
                 want = max_per_span - successes[span]
@@ -265,8 +296,6 @@ class PoolScheduler(ValidationScheduler):
                 batch.extend(take)
             if not batch:
                 break
-            if deadline.expired():
-                return results, True  # merge whatever already finished
             stride = min(self.workers, len(batch))
             futures = [
                 pool.submit(run_chunk, batch[offset::stride])
@@ -277,20 +306,156 @@ class PoolScheduler(ValidationScheduler):
                 chunk_results, counters, chunk_clipped = future.result()
                 for index, rewritten in chunk_results:
                     results[index] = rewritten
-                engine.absorb_counters(counters)
+                absorb(counters)
                 wave_clipped = wave_clipped or chunk_clipped
+            recount_successes()
             if wave_clipped:
-                return results, True  # merge whatever already finished
-            for span, members in spans.items():
-                confirmed = 0
-                for index, _ in members[: position[span]]:
-                    if results[index] is not None:
-                        confirmed += 1
-                        if confirmed >= max_per_span:
-                            break
-                successes[span] = confirmed
+                clipped = True
+                break
             factor *= 2
-        return results, False
+        return results, clipped
+
+
+class PipelineScheduler(PoolScheduler):
+    """Producer/consumer pipeline across worklist pops.
+
+    :meth:`submit_pop` ranks the candidate list on the coordinating
+    thread (the rank memos are not thread-safe) and hands the whole
+    drain — validation, cap accounting, stats, pushes — to a dedicated
+    single-thread *merge* executor, returning a future.  The
+    synthesizer overlaps speculation of the predicted next pop with
+    that drain, then joins via :meth:`drain_pop` before committing the
+    next pop.
+
+    Byte-identity with :class:`SerialScheduler` survives the overlap
+    because nothing order-dependent moved: candidates are consumed in
+    the same rank order, pushes happen before the next pop is chosen
+    (the join is a barrier per pop), and the overlapped speculation is a
+    pure function of the tuple it speculates on.  With ``workers >= 2``
+    the drain thread dispatches validation waves to the worker pool
+    (one extra hand-off, same wave machinery); below that it validates
+    inline.
+
+    Engine-counter discipline: the drain task runs inside its own
+    :meth:`ExecutionEngine.worker_counters` scope and wave joins fold
+    into that scope (the ``sink`` parameter of ``_validate_waves``), so
+    the session totals are only ever mutated by the coordinating thread
+    — at :meth:`drain_pop`, after the future resolves.
+    """
+
+    def __init__(self, workers: int = 0, min_batch: Optional[int] = None) -> None:
+        # deliberately not PoolScheduler.__init__: the pipeline is
+        # useful with zero validation workers (inline drain validation)
+        self.workers = max(0, workers)
+        self.min_batch = max(2 * self.workers, 8) if min_batch is None else min_batch
+        self._pool = None
+        self._merge: Optional[ThreadPoolExecutor] = None
+
+    def _merger(self) -> ThreadPoolExecutor:
+        if self._merge is None:
+            self._merge = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-pipeline"
+            )
+        return self._merge
+
+    def close(self) -> None:
+        if self._merge is not None:
+            self._merge.shutdown(wait=True)
+            self._merge = None
+        PoolScheduler.close(self)
+
+    # ------------------------------------------------------------------
+    def submit_pop(
+        self,
+        current: RewriteTuple,
+        candidates: list[SRewrite],
+        context: SpeculationContext,
+        deadline: Deadline,
+        stats,
+        push: PushFn,
+    ):
+        """Start draining one pop; returns a future for :meth:`drain_pop`."""
+        _rank_order(candidates, context)
+        engine = context.engine
+        trackers = dom_index.current_trackers()
+        max_per_span = context.config.max_rewrites_per_span
+        use_pool = self.workers >= 2 and len(candidates) >= self.min_batch
+
+        def drain():
+            started = time.perf_counter()
+            with dom_index.adopt_trackers(trackers):
+                with engine.worker_counters() as counters:
+                    if use_pool:
+                        results, clipped = self._validate_waves(
+                            current,
+                            candidates,
+                            context,
+                            deadline,
+                            max_per_span,
+                            sink=counters.merge,
+                        )
+                        if clipped:
+                            stats.timed_out = True
+                        per_span: dict[tuple, int] = {}
+                        for candidate, rewritten in zip(candidates, results):
+                            if rewritten is None:
+                                continue
+                            span_key = (candidate.start, candidate.end)
+                            if per_span.get(span_key, 0) >= max_per_span:
+                                continue
+                            per_span[span_key] = per_span.get(span_key, 0) + 1
+                            stats.validated += 1
+                            push(rewritten)
+                    else:
+                        self._drain_serial(
+                            current, candidates, context, deadline,
+                            max_per_span, stats, push,
+                        )
+            return counters, time.perf_counter() - started
+
+        return self._merger().submit(drain)
+
+    @staticmethod
+    def _drain_serial(
+        current, candidates, context, deadline, max_per_span, stats, push
+    ) -> None:
+        # SerialScheduler's loop minus the (already done) ranking — the
+        # rank memos must never be touched off the coordinating thread
+        per_span: dict[tuple, int] = {}
+        for candidate in candidates:
+            if deadline.expired():
+                stats.timed_out = True
+                break
+            span_key = (candidate.start, candidate.end)
+            if per_span.get(span_key, 0) >= max_per_span:
+                continue
+            rewritten = validate(candidate, current, context)
+            if rewritten is not None:
+                per_span[span_key] = per_span.get(span_key, 0) + 1
+                stats.validated += 1
+                push(rewritten)
+
+    def drain_pop(self, handle, context: SpeculationContext, stats) -> None:
+        """Join one pop's drain: absorb its counters, book its time."""
+        counters, seconds = handle.result()
+        context.engine.absorb_counters(counters)
+        stats.validate_s += seconds
+
+    def process_pop(
+        self,
+        current: RewriteTuple,
+        candidates: list[SRewrite],
+        context: SpeculationContext,
+        deadline: Deadline,
+        stats,
+        push: PushFn,
+    ) -> None:
+        """Synchronous fallback: submit and immediately join (no overlap)."""
+        self.drain_pop(
+            self.submit_pop(current, candidates, context, deadline, stats, push),
+            context,
+            stats,
+        )
 
 
 def scheduler_for(workers: int) -> ValidationScheduler:

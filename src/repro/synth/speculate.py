@@ -289,6 +289,21 @@ def _assemble_loops(
         variants = ctx.parametrize(
             statements[index], candidate, ctx.context_dom(tuple_, index)
         )
+        if len(variants) > 1:
+            # Dedup each slot *before* the Cartesian product: alpha-
+            # equivalent variants would only produce loops `_emit` drops
+            # anyway, but they multiply the product and burn the
+            # `max_loop_bodies_per_span` clip on bodies that cannot
+            # survive dedup.  Pruning per-slot keeps the clip cheap and
+            # spends it on distinct bodies only.
+            unique: list[Statement] = []
+            slot_seen: set[tuple] = set()
+            for variant in variants:
+                variant_key = ctx.canonical_key(variant)
+                if variant_key not in slot_seen:
+                    slot_seen.add(variant_key)
+                    unique.append(variant)
+            variants = unique
         variant_lists.append(variants)
     bodies = itertools.islice(
         itertools.product(*variant_lists), config.max_loop_bodies_per_span

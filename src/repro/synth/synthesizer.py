@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -37,12 +39,13 @@ from repro.synth.alternatives import SelectorSearch
 from repro.synth.config import (
     DEFAULT_CONFIG,
     SynthesisConfig,
+    resolved_pipeline,
     resolved_shared_cache,
     resolved_validation_workers,
 )
 from repro.synth.ranking import Candidate, rank
 from repro.synth.rewrite import RewriteTuple, extend_with_singletons, initial_tuple
-from repro.synth.scheduler import scheduler_for
+from repro.synth.scheduler import PipelineScheduler, scheduler_for
 from repro.synth.speculate import SpeculationContext, speculate
 from repro.util.errors import SynthesisError
 from repro.util.timer import Deadline
@@ -83,6 +86,17 @@ class SynthesisStats:
     validated: int = 0
     tuples: int = 0
     elapsed: float = 0.0
+    #: Phase timings (seconds).  ``speculate_s`` covers Algorithm 2 runs
+    #: (including next-pop speculation the pipeline overlaps);
+    #: ``validate_s`` covers each pop's drain — validation plus the
+    #: rank-order merge, cap accounting, and the pushes' generalization
+    #: checks; ``extend_s`` covers the cross-call store extension
+    #: (§5.4).  Under the pipelined schedule the phases overlap in wall
+    #: clock, so ``speculate_s + validate_s`` may exceed ``elapsed`` —
+    #: that surplus *is* the overlap, observable instead of inferred.
+    speculate_s: float = 0.0
+    validate_s: float = 0.0
+    extend_s: float = 0.0
     timed_out: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
@@ -92,6 +106,10 @@ class SynthesisStats:
     cache_consistency_hits: int = 0
     cache_cross_session_hits: int = 0
     cache_warm_hits: int = 0
+    #: Executions answered by resuming a stored loop continuation over
+    #: the window suffix instead of re-executing from the window start
+    #: (``resumable_loops``); not part of the hit/miss reconciliation.
+    cache_resume_hits: int = 0
     cache_bytes: int = 0
     interned_snapshots: int = 0
     interned_bytes: int = 0
@@ -158,7 +176,14 @@ class Synthesizer:
         self._store: dict[tuple, RewriteTuple] = {}
         self._search = self._new_search()
         self._engine = ExecutionEngine.for_config(data, config)
-        self._scheduler = scheduler_for(resolved_validation_workers(config))
+        workers = resolved_validation_workers(config)
+        if resolved_pipeline(config):
+            self._scheduler = PipelineScheduler(workers)
+        else:
+            self._scheduler = scheduler_for(workers)
+        # resumable loops ride the execution cache's terminal table —
+        # without the cache there is nowhere to keep continuations
+        self._resumable = config.resumable_loops and config.use_execution_cache
         # interning only pays when the cache is actually shared between
         # sessions; a private sharded cache skips the structural keys
         self._use_shared_cache = resolved_shared_cache(config)
@@ -265,19 +290,35 @@ class Synthesizer:
             heap: list[tuple[int, int, RewriteTuple]] = []
             sequence = itertools.count()
             store: dict[tuple, RewriteTuple] = {}
+            pipelined = isinstance(self._scheduler, PipelineScheduler)
+            # The worklist coordinator: under the pipelined schedule the
+            # drain thread pushes while the coordinating thread peeks
+            # and pops, so the heap operations share one lock.  Store
+            # inserts and the generalizing list stay single-writer (only
+            # whichever thread is pushing touches them, and pushes are
+            # serialized: main thread before the loop, drain thread —
+            # one pop at a time — inside it), so the lock covers exactly
+            # the structure both threads touch.
+            heap_lock = threading.Lock() if pipelined else None
 
             def push(tuple_: RewriteTuple) -> None:
                 key = tuple_.key(self._engine.statement_key)
                 if key in store:
                     return
                 store[key] = tuple_
-                heapq.heappush(heap, (tuple_.length, next(sequence), tuple_))
+                entry = (tuple_.length, next(sequence), tuple_)
+                if heap_lock is None:
+                    heapq.heappush(heap, entry)
+                else:
+                    with heap_lock:
+                        heapq.heappush(heap, entry)
                 prediction = self._try_generalize(tuple_, context)
                 if prediction is not None and len(generalizing) < self.config.max_generalizing_programs:
                     generalizing.append(
                         Candidate.of(tuple_.program(), prediction, tuple_.length)
                     )
 
+            extend_started = time.perf_counter()
             if had_store:
                 for stored in self._store.values():
                     extended = self._extend(stored, old_length, trace_length, context)
@@ -285,33 +326,41 @@ class Synthesizer:
                         push(extended)
             else:
                 push(initial_tuple(self._actions))
+            stats.extend_s += time.perf_counter() - extend_started
             self._store = store
 
             # ----------------------------------------------------------
             # Algorithm 1 main loop.
             # ----------------------------------------------------------
-            while heap:
-                if deadline.expired():
-                    stats.timed_out = True
-                    break
-                if (
-                    self.config.max_worklist_pops is not None
-                    and stats.pops >= self.config.max_worklist_pops
-                ):
-                    break
-                _, _, current = heapq.heappop(heap)
-                if current.processed:
-                    continue
-                current.processed = True
-                stats.pops += 1
-                candidates = speculate(current, context)
-                stats.speculated += len(candidates)
-                # The scheduler validates in rank order (smallest
-                # statements first within a span) and pushes survivors;
-                # serial and pooled schedules produce identical pushes.
-                self._scheduler.process_pop(
-                    current, candidates, context, deadline, stats, push
-                )
+            if pipelined:
+                self._run_pipelined(heap, heap_lock, context, deadline, stats, push)
+            else:
+                while heap:
+                    if deadline.expired():
+                        stats.timed_out = True
+                        break
+                    if (
+                        self.config.max_worklist_pops is not None
+                        and stats.pops >= self.config.max_worklist_pops
+                    ):
+                        break
+                    _, _, current = heapq.heappop(heap)
+                    if current.processed:
+                        continue
+                    current.processed = True
+                    stats.pops += 1
+                    spec_started = time.perf_counter()
+                    candidates = speculate(current, context)
+                    stats.speculate_s += time.perf_counter() - spec_started
+                    stats.speculated += len(candidates)
+                    # The scheduler validates in rank order (smallest
+                    # statements first within a span) and pushes survivors;
+                    # serial and pooled schedules produce identical pushes.
+                    validate_started = time.perf_counter()
+                    self._scheduler.process_pop(
+                        current, candidates, context, deadline, stats, push
+                    )
+                    stats.validate_s += time.perf_counter() - validate_started
 
             self._prune_store()
             self._collect(result, generalizing)
@@ -330,6 +379,7 @@ class Synthesizer:
             engine_after.cross_session_hits - engine_before.cross_session_hits
         )
         stats.cache_warm_hits = engine_after.warm_hits - engine_before.warm_hits
+        stats.cache_resume_hits = engine_after.resume_hits - engine_before.resume_hits
         stats.cache_bytes = engine_after.cache_bytes
         stats.interned_snapshots = engine_after.interned_snapshots
         stats.interned_bytes = engine_after.interned_bytes
@@ -340,6 +390,92 @@ class Synthesizer:
         stats.enum_indexed = self._search.enum_indexed - enum_before[0]
         stats.enum_fallback = self._search.enum_fallback - enum_before[1]
         return result
+
+    # ------------------------------------------------------------------
+    # Pipelined schedule (producer/consumer across pops)
+    # ------------------------------------------------------------------
+    def _run_pipelined(
+        self,
+        heap: list,
+        heap_lock: threading.Lock,
+        context: SpeculationContext,
+        deadline: Deadline,
+        stats: SynthesisStats,
+        push,
+    ) -> None:
+        """Algorithm 1's loop with speculation/validation overlapped.
+
+        Each iteration commits one pop, hands its (already ranked)
+        candidates to the scheduler's drain thread, and — while that
+        thread validates, merges, and pushes — speculates on the heap's
+        current best guess for the *next* pop.  The drain join at the
+        end of the iteration is a per-pop barrier, so pops commit in
+        exactly the serial order and every push lands before the next
+        pop is chosen: byte-identical output, overlapped wall clock.
+
+        A rewrite pushed during the drain can outrank the guess; the
+        wasted speculation is kept in ``spec_cache`` (speculation is a
+        pure function of the tuple) and consumed whenever that tuple is
+        actually popped.  All speculation — including the overlapped
+        lookahead — runs on this thread: the selector-search memos are
+        not thread-safe, and the drain thread never touches them.
+        """
+        scheduler = self._scheduler
+        spec_cache: dict[int, tuple[RewriteTuple, list]] = {}
+
+        def timed_speculate(tuple_: RewriteTuple) -> list:
+            started = time.perf_counter()
+            candidates = speculate(tuple_, context)
+            stats.speculate_s += time.perf_counter() - started
+            return candidates
+
+        def pop_next() -> Optional[RewriteTuple]:
+            with heap_lock:
+                while heap:
+                    _, _, current = heapq.heappop(heap)
+                    if not current.processed:
+                        return current
+                return None
+
+        def peek_next() -> Optional[RewriteTuple]:
+            with heap_lock:
+                while heap:
+                    if heap[0][2].processed:
+                        heapq.heappop(heap)
+                        continue
+                    return heap[0][2]
+                return None
+
+        while True:
+            if deadline.expired():
+                stats.timed_out = True
+                break
+            if (
+                self.config.max_worklist_pops is not None
+                and stats.pops >= self.config.max_worklist_pops
+            ):
+                break
+            current = pop_next()
+            if current is None:
+                break
+            current.processed = True
+            stats.pops += 1
+            cached = spec_cache.pop(id(current), None)
+            candidates = cached[1] if cached is not None else timed_speculate(current)
+            stats.speculated += len(candidates)
+            handle = scheduler.submit_pop(
+                current, candidates, context, deadline, stats, push
+            )
+            upcoming = peek_next()
+            if (
+                upcoming is not None
+                and id(upcoming) not in spec_cache
+                and not deadline.expired()
+            ):
+                spec_cache[id(upcoming)] = (upcoming, timed_speculate(upcoming))
+            # the per-pop barrier: every push of this pop is applied
+            # before the next pop is selected
+            scheduler.drain_pop(handle, context, stats)
 
     def _prune_store(self) -> None:
         """Bound the tuples carried into the next incremental call.
@@ -393,7 +529,10 @@ class Synthesizer:
             # tuple then reuses this execution from the engine cache.
             lookahead = DOMTrace(self._snapshots, slice_start, new_length + 1)
             produced = self._engine.execute(
-                [stored.statements[-1]], lookahead, max_actions=len(lookahead)
+                [stored.statements[-1]],
+                lookahead,
+                max_actions=len(lookahead),
+                resumable=self._resumable,
             ).actions[: len(window)]
             reference = self._actions[slice_start : slice_start + len(produced)]
             consistent = self._engine.consistent_prefix_length(
@@ -442,6 +581,7 @@ class Synthesizer:
             [tuple_.statements[-1]],
             window,
             max_actions=needed + 1,
+            resumable=self._resumable,
         ).actions
         if len(produced) <= needed:
             return None

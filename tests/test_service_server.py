@@ -4,8 +4,8 @@ Boots a real ThreadingHTTPServer on an ephemeral port (in a thread) and
 drives it through :class:`repro.service.client.ServiceClient` — the
 ``/v1`` protocol wire path ``repro serve`` exposes, minus the process
 boundary (the service and migration benches cover that).  Also pins the
-deprecated ``/api`` alias, the :class:`ErrorEnvelope` status mapping,
-and the server-to-server migrate flow.
+removed ``/api`` alias's 404 envelope, the :class:`ErrorEnvelope`
+status mapping, and the server-to-server migrate flow.
 """
 
 import threading
@@ -123,32 +123,28 @@ class TestRoundTrip:
         assert proposals[-1].programs > 0
         service.close_session(sid)
 
-    def test_legacy_api_alias_still_serves(self, service):
-        """The pre-protocol /api routes: legacy bodies, protocol replies."""
-        dom = cards_page(4)
-        actions, snapshots = scrape_cards_trace(dom, 3)
+    def test_legacy_api_alias_is_gone(self, service):
+        """/api answers 404 with an ErrorEnvelope naming the /v1 route."""
         from repro import io as repro_io
 
-        created = service._request(
-            "POST", "/api/sessions", raw={"snapshot": repro_io.dom_to_json(snapshots[0])}
-        )
-        sid = created.session
-        for position, action in enumerate(actions):
-            proposed = service._request(
-                "POST",
-                f"/api/sessions/{sid}/actions",
-                raw={
-                    "action": repro_io.action_to_json(action),
-                    "snapshot": repro_io.dom_to_json(snapshots[position + 1]),
-                },
+        dom = cards_page(3)
+        with pytest.raises(ServiceClientError) as excinfo:
+            service._request(
+                "POST", "/api/sessions", raw={"snapshot": repro_io.dom_to_json(dom)}
             )
-        assert proposed.programs > 0
-        listed = service._request("GET", f"/api/sessions/{sid}/candidates")
-        assert [item.program for item in listed.candidates] == [
-            item.program for item in service.candidates(sid).candidates
-        ]
-        assert service._request("GET", "/api/stats")["sessions"] == 1
-        service._request("POST", f"/api/sessions/{sid}/close", raw={})
+        assert excinfo.value.status == 404
+        envelope = excinfo.value.envelope
+        assert envelope is not None
+        assert envelope.code == "no_route"
+        assert "/v1/sessions" in envelope.message
+
+        with pytest.raises(ServiceClientError) as excinfo:
+            service._request("GET", "/api/stats")
+        assert excinfo.value.status == 404
+        assert "/v1/stats" in excinfo.value.envelope.message
+
+        # the removal did not disturb the versioned surface
+        assert service.stats()["sessions"] == 0
 
 
 class TestMigration:
