@@ -1,0 +1,131 @@
+"""Effect summaries: what does replaying this program do to the world?
+
+The abstract domain is a three-bit lattice — *reads* (extracts values
+from the page), *navigates* (changes which page is shown), *mutates*
+(changes state beyond navigation: typed keystrokes, entered data,
+downloaded files) — joined over every statement a program can reach.
+Loop bodies are included unconditionally: an effect inside a loop that
+may run zero times is still a *possible* effect, and the consumers of
+this summary (the service accept-path, the future real-browser bridge)
+need the may-analysis direction.
+
+Classification of the action kinds:
+
+========== =========================================================
+READ       ``ScrapeText``, ``ScrapeLink``, ``ExtractURL`` — observe
+           the page or URL, touch nothing.
+NAVIGATE   ``Click``, ``GoBack`` — change the displayed page.  On the
+           demonstrated sites clicks are navigational; a click that
+           submits a form shows up as entered data *first* (``SendKeys``
+           / ``EnterData``), which is what flips the mutating bit.
+MUTATE     ``SendKeys``, ``EnterData`` — write into the page —
+           and ``Download``, which is externally side-effecting (a
+           file lands on disk; re-running is not idempotent).
+========== =========================================================
+
+Soundness claim (pinned by the property tests): a program classified
+read-only performs no navigation and no mutation during concrete
+replay — its replay leaves every DOM snapshot structurally unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import (
+    CLICK,
+    DOWNLOAD,
+    ENTER_DATA,
+    EXTRACT_URL,
+    GO_BACK,
+    SCRAPE_LINK,
+    SCRAPE_TEXT,
+    SEND_KEYS,
+    ActionStmt,
+    ForEachSelector,
+    ForEachValue,
+    PaginateLoop,
+    Program,
+    Statement,
+    WhileLoop,
+)
+
+#: Action kinds that only observe the page.
+READ_KINDS = frozenset({SCRAPE_TEXT, SCRAPE_LINK, EXTRACT_URL})
+#: Action kinds that change the displayed page but nothing else.
+NAVIGATE_KINDS = frozenset({CLICK, GO_BACK})
+#: Action kinds with effects beyond navigation.
+MUTATE_KINDS = frozenset({SEND_KEYS, ENTER_DATA, DOWNLOAD})
+
+#: Classification labels (worst wins).
+READ_ONLY = "read-only"
+NAVIGATING = "navigating"
+MUTATING = "mutating"
+
+
+@dataclass(frozen=True)
+class EffectSummary:
+    """May-effects of one statement or program."""
+
+    reads: bool = False
+    navigates: bool = False
+    mutates: bool = False
+
+    def join(self, other: "EffectSummary") -> "EffectSummary":
+        """Least upper bound: the union of possible effects."""
+        return EffectSummary(
+            self.reads or other.reads,
+            self.navigates or other.navigates,
+            self.mutates or other.mutates,
+        )
+
+    @property
+    def classification(self) -> str:
+        """The worst effect class: mutating > navigating > read-only."""
+        if self.mutates:
+            return MUTATING
+        if self.navigates:
+            return NAVIGATING
+        return READ_ONLY
+
+    @property
+    def safe_to_replay(self) -> bool:
+        """Whether automatic replay is side-effect-safe (no mutation)."""
+        return not self.mutates
+
+
+#: The bottom element (no effects at all).
+PURE = EffectSummary()
+
+
+def effect_of_kind(kind: str) -> EffectSummary:
+    """The effect of one action kind."""
+    return EffectSummary(
+        reads=kind in READ_KINDS,
+        navigates=kind in NAVIGATE_KINDS,
+        mutates=kind in MUTATE_KINDS,
+    )
+
+
+def effect_of_statement(stmt: Statement) -> EffectSummary:
+    """May-effects of one statement, loop bodies included."""
+    if isinstance(stmt, ActionStmt):
+        return effect_of_kind(stmt.kind)
+    summary = PURE
+    if isinstance(stmt, (ForEachSelector, ForEachValue, PaginateLoop, WhileLoop)):
+        for child in stmt.body:
+            summary = summary.join(effect_of_statement(child))
+    if isinstance(stmt, WhileLoop):
+        summary = summary.join(effect_of_statement(stmt.click))
+    if isinstance(stmt, PaginateLoop):
+        # the template and advance clicks navigate between pages
+        summary = summary.join(effect_of_kind(CLICK))
+    return summary
+
+
+def effect_of_program(program: Program) -> EffectSummary:
+    """May-effects of a whole program."""
+    summary = PURE
+    for stmt in program.statements:
+        summary = summary.join(effect_of_statement(stmt))
+    return summary

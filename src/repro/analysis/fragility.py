@@ -1,0 +1,146 @@
+"""Selector fragility: how many single-node edits break a selector?
+
+The score counts, per step, the structural perturbations of one node
+that change what the step selects — the static twin of
+:mod:`repro.browser.repair`'s dynamic drift repair, which re-finds a
+node *after* such an edit happened:
+
+* a bare-tag step ``/div[i]`` (or ``//div[i]``) breaks when any of the
+  ``i - 1`` preceding same-tag matches is removed, or when one is
+  inserted before the target: fragility ``i``;
+* an attribute-anchored step ``//div[@id='x'][i]`` with ``i == 1`` is
+  keyed to the attribute, not to document position — inserting or
+  removing unrelated nodes cannot move it: fragility ``0``; with
+  ``i > 1`` the anchor narrows the candidate pool but the position
+  among anchored matches still matters: fragility ``i - 1``.
+
+A selector's score is the sum over its steps, so long absolute
+recorder paths (``/html[1]/body[1]/div[3]/...``) score high and the
+synthesizer's attribute-anchored alternatives score near zero — the
+ordering :mod:`repro.lang.lint`'s ``brittle-selector`` rule eyeballs,
+made quantitative.
+
+Against a recording, the analysis also checks that every *concrete*
+selector resolves on at least one demonstrated snapshot (resolution
+goes through the per-snapshot :class:`~repro.engine.index.SnapshotIndex`
+like every other resolve).  A selector that resolves nowhere in the
+demonstration is reported as an error by ``repro analyze``: the
+program references a node that never existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.walk import walk_statements
+from repro.dom.node import DOMNode
+from repro.dom.xpath import ConcreteSelector, Step, valid
+from repro.lang.ast import (
+    ActionStmt,
+    ForEachSelector,
+    PaginateLoop,
+    Program,
+    Selector,
+)
+
+
+@dataclass(frozen=True)
+class SelectorReport:
+    """One selector occurrence: location, role, score, resolvability.
+
+    ``resolves`` is ``None`` when the check does not apply — the
+    selector mentions a loop variable (its base node is unknown
+    statically) or no snapshots were supplied.
+    """
+
+    path: tuple[int, ...]
+    role: str
+    selector: str
+    score: int
+    resolves: Optional[bool]
+
+    def __str__(self) -> str:
+        where = ".".join(str(index) for index in self.path) or "<top>"
+        status = "" if self.resolves in (True, None) else " UNRESOLVED"
+        return f"fragility {self.score} [{self.role}] at {where}: {self.selector}{status}"
+
+
+def step_fragility(step: Step) -> int:
+    """Single-node perturbations that change what ``step`` selects."""
+    if step.pred.attr is None:
+        return step.index
+    return 0 if step.index == 1 else step.index - 1
+
+
+def selector_fragility(steps: Iterable[Step]) -> int:
+    """Sum of step fragilities: the selector's score."""
+    return sum(step_fragility(step) for step in steps)
+
+
+def _resolves_somewhere(
+    steps: tuple[Step, ...], snapshots: Sequence[DOMNode]
+) -> Optional[bool]:
+    if not snapshots:
+        return None
+    concrete = ConcreteSelector(steps)
+    return any(valid(concrete, snapshot) for snapshot in snapshots)
+
+
+def _report(
+    path: tuple[int, ...],
+    role: str,
+    selector: Selector,
+    snapshots: Sequence[DOMNode],
+) -> SelectorReport:
+    resolves = (
+        _resolves_somewhere(selector.steps, snapshots)
+        if selector.base is None
+        else None
+    )
+    return SelectorReport(
+        path, role, str(selector), selector_fragility(selector.steps), resolves
+    )
+
+
+def fragility_of_program(
+    program: Program, snapshots: Sequence[DOMNode] = ()
+) -> list[SelectorReport]:
+    """Score every selector occurrence of ``program``.
+
+    ``snapshots`` (typically a recording's DOM trace) enables the
+    does-it-resolve check for concrete selectors; without it only the
+    structural scores are computed.
+    """
+    reports: list[SelectorReport] = []
+    for path, stmt, _loops in walk_statements(program):
+        if isinstance(stmt, ActionStmt):
+            # while-loop terminating clicks arrive here too (the walker
+            # yields them at index len(body) of their loop)
+            if stmt.target is not None:
+                reports.append(_report(path, "target", stmt.target, snapshots))
+        elif isinstance(stmt, ForEachSelector):
+            reports.append(
+                _report(path, "collection", stmt.collection.base, snapshots)
+            )
+        elif isinstance(stmt, PaginateLoop):
+            template_steps = (
+                stmt.template.prefix_steps + stmt.template.suffix_steps
+            )
+            reports.append(
+                SelectorReport(
+                    path,
+                    "template",
+                    stmt.template.hole_text(),
+                    selector_fragility(template_steps),
+                    None,
+                )
+            )
+            if stmt.advance is not None:
+                reports.append(_report(path, "advance", stmt.advance, snapshots))
+    return reports
+
+
+def max_fragility(reports: Sequence[SelectorReport]) -> int:
+    """The worst selector score (0 for a selector-free program)."""
+    return max((report.score for report in reports), default=0)

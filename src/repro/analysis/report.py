@@ -1,0 +1,244 @@
+"""Aggregated program analysis and the unified diagnostics format.
+
+:func:`analyze_program` runs every abstract domain over one program and
+returns a :class:`ProgramAnalysis`: the effect summary, the termination
+verdict, the cost interval, per-selector fragility reports, and a list
+of :class:`Finding` diagnostics derived from them.
+
+:class:`Finding` is the *shared* machine-readable diagnostic shape:
+``repro check``, ``repro lint``, and ``repro analyze`` all convert
+their native results into it, and :func:`findings_payload` renders the
+one ``--json`` document editors and CI consume — the three commands
+differ only in the ``tool`` tag and which rules can appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.cost import CostInterval, program_cost
+from repro.analysis.effects import EffectSummary, effect_of_program
+from repro.analysis.fragility import (
+    SelectorReport,
+    fragility_of_program,
+    max_fragility,
+)
+from repro.analysis.termination import (
+    LoopVerdict,
+    UNKNOWN,
+    termination_of_program,
+)
+from repro.dom.node import DOMNode
+from repro.lang.ast import Program
+from repro.lang.check import Diagnostic
+from repro.lang.data import DataSource
+from repro.lang.lint import LintFinding
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: Version of the shared ``--json`` findings document.
+FINDINGS_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic in the unified check/lint/analyze shape."""
+
+    tool: str
+    rule: str
+    severity: str
+    path: tuple[int, ...]
+    message: str
+
+    def to_json(self) -> dict[str, object]:
+        """The wire form used by every ``--json`` diagnostics command."""
+        return {
+            "tool": self.tool,
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": list(self.path),
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        where = ".".join(str(index) for index in self.path) or "<top>"
+        return f"{self.severity}[{self.rule}] at {where}: {self.message}"
+
+
+def findings_payload(
+    tool: str,
+    findings: Sequence[Finding],
+    extra: Optional[dict[str, object]] = None,
+) -> dict[str, object]:
+    """The shared ``--json`` document: version, tool, findings, extras."""
+    payload: dict[str, object] = {
+        "version": FINDINGS_VERSION,
+        "tool": tool,
+        "findings": [finding.to_json() for finding in findings],
+        "errors": sum(1 for finding in findings if finding.severity == ERROR),
+        "warnings": sum(1 for finding in findings if finding.severity == WARNING),
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def findings_from_check(diagnostics: Sequence[Diagnostic]) -> list[Finding]:
+    """Lift :mod:`repro.lang.check` diagnostics into the shared shape."""
+    return [
+        Finding("check", "well-formed", diag.severity, diag.path, diag.message)
+        for diag in diagnostics
+    ]
+
+
+def findings_from_lint(lint_findings: Sequence[LintFinding]) -> list[Finding]:
+    """Lift :mod:`repro.lang.lint` findings into the shared shape."""
+    return [
+        Finding("lint", finding.rule, finding.severity, finding.path, finding.message)
+        for finding in lint_findings
+    ]
+
+
+@dataclass(frozen=True)
+class ProgramAnalysis:
+    """Every abstract domain's result for one program."""
+
+    effect: EffectSummary
+    termination: str
+    loops: tuple[LoopVerdict, ...]
+    cost: CostInterval
+    selectors: tuple[SelectorReport, ...]
+    findings: tuple[Finding, ...]
+
+    @property
+    def fragility(self) -> int:
+        """The worst selector fragility score."""
+        return max_fragility(self.selectors)
+
+    @property
+    def clean(self) -> bool:
+        """No error findings and no unknown-termination loops."""
+        return (
+            self.termination != UNKNOWN
+            and all(finding.severity != ERROR for finding in self.findings)
+        )
+
+    def summary_json(self) -> dict[str, object]:
+        """The compact summary block (also the protocol annotation)."""
+        return {
+            "effect": self.effect.classification,
+            "safe_replay": self.effect.safe_to_replay,
+            "termination": self.termination,
+            "cost_min": self.cost.lo,
+            "cost_max": self.cost.hi,
+            "fragility": self.fragility,
+        }
+
+    def to_json(self) -> dict[str, object]:
+        """The full ``repro analyze --json`` analysis block."""
+        document = self.summary_json()
+        document["loops"] = [
+            {
+                "path": list(verdict.path),
+                "form": verdict.form,
+                "verdict": verdict.verdict,
+                "reason": verdict.reason,
+            }
+            for verdict in self.loops
+        ]
+        document["selectors"] = [
+            {
+                "path": list(report.path),
+                "role": report.role,
+                "selector": report.selector,
+                "fragility": report.score,
+                "resolves": report.resolves,
+            }
+            for report in self.selectors
+        ]
+        return document
+
+
+def _analysis_findings(
+    effect: EffectSummary,
+    loops: Sequence[LoopVerdict],
+    cost: CostInterval,
+    selectors: Sequence[SelectorReport],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for report in selectors:
+        if report.resolves is False:
+            findings.append(
+                Finding(
+                    "analyze",
+                    "unresolved-selector",
+                    ERROR,
+                    report.path,
+                    f"{report.selector} resolves on no demonstrated snapshot: "
+                    "the program references a node that never existed",
+                )
+            )
+    for verdict in loops:
+        if verdict.verdict == UNKNOWN:
+            findings.append(
+                Finding(
+                    "analyze",
+                    "possibly-nonterminating",
+                    WARNING,
+                    verdict.path,
+                    verdict.reason,
+                )
+            )
+    if not effect.safe_to_replay:
+        findings.append(
+            Finding(
+                "analyze",
+                "mutating-replay",
+                INFO,
+                (),
+                "replay types keystrokes, enters data, or downloads: "
+                "not side-effect-safe to run automatically",
+            )
+        )
+    if cost.hi is None:
+        findings.append(
+            Finding(
+                "analyze",
+                "unbounded-cost",
+                INFO,
+                (),
+                f"the action count is page-dependent (cost interval {cost})",
+            )
+        )
+    findings.sort(key=lambda finding: (finding.path, finding.rule))
+    return findings
+
+
+def analyze_program(
+    program: Program,
+    data: Optional[DataSource] = None,
+    snapshots: Sequence[DOMNode] = (),
+) -> ProgramAnalysis:
+    """Run every analysis domain over ``program``.
+
+    ``data`` sharpens value-loop cost bounds to exact counts;
+    ``snapshots`` (a recording's DOM trace) enables the selector
+    does-it-resolve check.  Both are optional — without them the
+    analysis is purely structural.
+    """
+    effect = effect_of_program(program)
+    overall, loops = termination_of_program(program)
+    cost = program_cost(program, data)
+    selectors = fragility_of_program(program, snapshots)
+    findings = _analysis_findings(effect, loops, cost, selectors)
+    return ProgramAnalysis(
+        effect=effect,
+        termination=overall,
+        loops=tuple(loops),
+        cost=cost,
+        selectors=tuple(selectors),
+        findings=tuple(findings),
+    )

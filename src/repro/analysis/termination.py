@@ -1,0 +1,135 @@
+"""Termination and progress verdicts for the loop forms.
+
+The bounded loops terminate by construction — ``foreach`` over a
+selector collection visits each matching node of a finite snapshot
+once, ``foreach`` over value paths visits each element of a finite
+input array once.  The unbounded forms need an argument:
+
+``while true do { P ; Click(n) }``
+    Terminates iff the terminating click eventually stops resolving.
+    When ``n`` is *attribute-anchored* (some step tests an attribute
+    equality — the shape of real next-page controls, which disappear
+    on the last page) the loop plausibly makes progress toward that
+    exit: verdict ``progress``.  A purely positional ``n`` (bare
+    tag-indexed steps only) can keep resolving to *some* node on every
+    page, so nothing in the program text argues the loop ever exits:
+    verdict ``unknown``.
+
+``paginate``
+    The counter κ strictly increases every iteration and each template
+    instantiation addresses a *different* page control; the loop exits
+    as soon as neither the next control nor the advance button
+    resolves.  Every page is visited at most once: verdict
+    ``progress``.
+
+Verdicts are ordered ``terminating < progress < unknown``; a program's
+overall verdict is the worst over its loops (``terminating`` when it
+has none).  The suite's golden test pins the precision claim: every
+expected program of the benchmark sites earns at least ``progress``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.walk import walk_statements
+from repro.lang.ast import (
+    ForEachSelector,
+    ForEachValue,
+    PaginateLoop,
+    Program,
+    Selector,
+    WhileLoop,
+)
+
+TERMINATING = "terminating"
+PROGRESS = "progress"
+UNKNOWN = "unknown"
+
+_ORDER = {TERMINATING: 0, PROGRESS: 1, UNKNOWN: 2}
+
+
+@dataclass(frozen=True)
+class LoopVerdict:
+    """One loop's verdict: where it is, what form, why."""
+
+    path: tuple[int, ...]
+    form: str
+    verdict: str
+    reason: str
+
+    def __str__(self) -> str:
+        where = ".".join(str(index) for index in self.path) or "<top>"
+        return f"{self.verdict}[{self.form}] at {where}: {self.reason}"
+
+
+def _anchored(selector: Selector) -> bool:
+    """Does any step of the selector test an attribute equality?"""
+    return any(step.pred.attr is not None for step in selector.steps)
+
+
+def _while_verdict(loop: WhileLoop, path: tuple[int, ...]) -> LoopVerdict:
+    target = loop.click.target
+    if target is not None and _anchored(target):
+        return LoopVerdict(
+            path,
+            "while",
+            PROGRESS,
+            f"terminating click {target} is attribute-anchored: the "
+            "control it names disappears when pagination is exhausted",
+        )
+    rendered = target if target is not None else "<none>"
+    return LoopVerdict(
+        path,
+        "while",
+        UNKNOWN,
+        f"terminating click {rendered} addresses a node by position "
+        "only; nothing in the program argues it ever stops resolving",
+    )
+
+
+def loop_verdicts(program: Program) -> list[LoopVerdict]:
+    """Per-loop verdicts, in statement order."""
+    verdicts: list[LoopVerdict] = []
+    for path, stmt, _loops in walk_statements(program):
+        if isinstance(stmt, ForEachSelector):
+            verdicts.append(
+                LoopVerdict(
+                    path,
+                    "foreach-selector",
+                    TERMINATING,
+                    "iterates once per matching node of a finite snapshot",
+                )
+            )
+        elif isinstance(stmt, ForEachValue):
+            verdicts.append(
+                LoopVerdict(
+                    path,
+                    "foreach-value",
+                    TERMINATING,
+                    "iterates once per element of a finite input array",
+                )
+            )
+        elif isinstance(stmt, WhileLoop):
+            verdicts.append(_while_verdict(stmt, path))
+        elif isinstance(stmt, PaginateLoop):
+            verdicts.append(
+                LoopVerdict(
+                    path,
+                    "paginate",
+                    PROGRESS,
+                    "the page counter strictly increases, so every "
+                    "template instantiation addresses a fresh control",
+                )
+            )
+    return verdicts
+
+
+def termination_of_program(program: Program) -> tuple[str, list[LoopVerdict]]:
+    """The program's overall verdict (worst loop) plus per-loop detail."""
+    verdicts = loop_verdicts(program)
+    overall = TERMINATING
+    for verdict in verdicts:
+        if _ORDER[verdict.verdict] > _ORDER[overall]:
+            overall = verdict.verdict
+    return overall, verdicts

@@ -1,0 +1,43 @@
+"""Statement walking shared by the analysis domains.
+
+Paths follow the convention of :mod:`repro.lang.check` and
+:mod:`repro.lang.lint`: a tuple of body indices from the program root,
+with a while loop's terminating click addressed at index ``len(body)``
+of its loop (it executes after the body on every iteration).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lang.ast import (
+    ForEachSelector,
+    ForEachValue,
+    PaginateLoop,
+    Program,
+    Statement,
+    WhileLoop,
+)
+
+#: One walk entry: (path, statement, enclosing loop statements).
+WalkEntry = tuple[tuple[int, ...], Statement, tuple[Statement, ...]]
+
+
+def _walk_body(
+    body: tuple[Statement, ...],
+    path: tuple[int, ...],
+    loops: tuple[Statement, ...],
+) -> Iterator[WalkEntry]:
+    for index, stmt in enumerate(body):
+        inner = path + (index,)
+        yield inner, stmt, loops
+        if isinstance(stmt, (ForEachSelector, ForEachValue, PaginateLoop)):
+            yield from _walk_body(stmt.body, inner, loops + (stmt,))
+        elif isinstance(stmt, WhileLoop):
+            yield from _walk_body(stmt.body, inner, loops + (stmt,))
+            yield inner + (len(stmt.body),), stmt.click, loops + (stmt,)
+
+
+def walk_statements(program: Program) -> Iterator[WalkEntry]:
+    """Yield ``(path, statement, enclosing loops)`` for every statement."""
+    yield from _walk_body(program.statements, (), ())

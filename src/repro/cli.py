@@ -19,12 +19,23 @@ Commands
 ``replay <PROGRAM-FILE> --benchmark <bid>``
     Run a serialized program for real against a benchmark's site and
     print the scraped outputs.
-``check <PROGRAM-FILE> [--data JSON]``
+``check <PROGRAM-FILE> [--data JSON] [--json]``
     Statically check a serialized program: variable scoping, loop-
     variable usage, and (with ``--data``) value-path typing.
-``lint <PROGRAM-FILE> [--disable RULE,...]``
+``lint <PROGRAM-FILE> [--disable RULE,...] [--json]``
     Flag robustness/intent smells: brittle selectors, mis-parametrized
     data entry, unrolled repetition, mergeable loops, and more.
+``analyze <PROGRAM-FILE> [--recording FILE] [--data JSON] [--json]``
+    Run the abstract-analysis layer over a program: effect summary
+    (read-only / navigating / mutating), termination verdict per loop,
+    symbolic replay-cost interval, and per-selector fragility scores
+    (with ``--recording``, also whether each concrete selector
+    resolves on any demonstrated snapshot).
+
+``check``, ``lint``, and ``analyze`` form one diagnostics pipeline:
+all three emit the same versioned findings document under ``--json``
+(``{"version", "tool", "findings": [...], "errors", "warnings"}``),
+differing only in the ``tool`` tag and the rules that can appear.
 ``export <PROGRAM-FILE> [--target selenium|playwright|imacros] [-o FILE]``
     Generate a standalone Selenium, Playwright, or iMacros script from
     a serialized program.
@@ -141,11 +152,27 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("program", help="JSON file with a serialized program")
     check.add_argument("--data", default=None,
                        help="JSON file with the input data source")
+    check.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the shared findings document as JSON")
 
     lint = commands.add_parser("lint", help="flag robustness/intent smells")
     lint.add_argument("program", help="JSON file with a serialized program")
     lint.add_argument("--disable", default="",
                       help="comma-separated lint rule ids to suppress")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the shared findings document as JSON")
+
+    analyze = commands.add_parser(
+        "analyze", help="abstract analysis: effects, termination, cost, fragility"
+    )
+    analyze.add_argument("program", help="JSON file with a serialized program")
+    analyze.add_argument("--recording", default=None,
+                         help="JSON recording whose snapshots selectors are "
+                              "checked against")
+    analyze.add_argument("--data", default=None,
+                         help="JSON file with the input data source")
+    analyze.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the analysis + findings document as JSON")
 
     export = commands.add_parser("export", help="generate an automation script")
     export.add_argument("program", help="JSON file with a serialized program")
@@ -288,8 +315,12 @@ def _load_data(data_path: Optional[str]) -> DataSource:
 
 
 def _load_program(path: str):
-    with open(path, encoding="utf-8") as handle:
-        loaded = repro_io.load(handle)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            loaded = repro_io.load(handle)
+    except OSError as error:
+        print(f"cannot read {path}: {error.strerror or error}", file=sys.stderr)
+        return None
     from repro.lang.ast import Program
 
     if not isinstance(loaded, Program):
@@ -298,7 +329,9 @@ def _load_program(path: str):
     return loaded
 
 
-def _cmd_check(program_path: str, data_path: Optional[str]) -> int:
+def _cmd_check(program_path: str, data_path: Optional[str],
+               as_json: bool = False) -> int:
+    from repro.analysis.report import findings_from_check, findings_payload
     from repro.lang.check import check_program, errors_only
 
     program = _load_program(program_path)
@@ -306,6 +339,10 @@ def _cmd_check(program_path: str, data_path: Optional[str]) -> int:
         return 2
     data = _load_data(data_path) if data_path is not None else None
     diagnostics = check_program(program, data)
+    if as_json:
+        payload = findings_payload("check", findings_from_check(diagnostics))
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if errors_only(diagnostics) else 0
     for diagnostic in diagnostics:
         print(diagnostic)
     if errors_only(diagnostics):
@@ -314,7 +351,8 @@ def _cmd_check(program_path: str, data_path: Optional[str]) -> int:
     return 0
 
 
-def _cmd_lint(program_path: str, disable: str) -> int:
+def _cmd_lint(program_path: str, disable: str, as_json: bool = False) -> int:
+    from repro.analysis.report import findings_from_lint, findings_payload
     from repro.lang.lint import lint_program, warnings_only
 
     program = _load_program(program_path)
@@ -326,11 +364,52 @@ def _cmd_lint(program_path: str, disable: str) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    if as_json:
+        payload = findings_payload("lint", findings_from_lint(findings))
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if warnings_only(findings) else 0
     for finding in findings:
         print(finding)
     if warnings_only(findings):
         return 1
     print(f"ok: {len(findings)} info finding(s)" if findings else "ok")
+    return 0
+
+
+def _cmd_analyze(program_path: str, recording_path: Optional[str],
+                 data_path: Optional[str], as_json: bool = False) -> int:
+    from repro.analysis.report import ERROR, analyze_program, findings_payload
+
+    program = _load_program(program_path)
+    if program is None:
+        return 2
+    snapshots = ()
+    if recording_path is not None:
+        with open(recording_path, encoding="utf-8") as handle:
+            snapshots = tuple(repro_io.load(handle).snapshots)
+    data = _load_data(data_path)
+    analysis = analyze_program(program, data, snapshots)
+    errors = sum(1 for f in analysis.findings if f.severity == ERROR)
+    if as_json:
+        payload = findings_payload(
+            "analyze", analysis.findings, extra={"analysis": analysis.to_json()}
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if errors else 0
+    replay = "safe to auto-replay" if analysis.effect.safe_to_replay else "side-effecting"
+    print(f"effect:      {analysis.effect.classification} ({replay})")
+    print(f"termination: {analysis.termination}")
+    print(f"cost:        {analysis.cost} actions")
+    print(f"fragility:   {analysis.fragility}")
+    for verdict in analysis.loops:
+        print(f"  {verdict}")
+    for report in analysis.selectors:
+        print(f"  {report}")
+    for finding in analysis.findings:
+        print(finding)
+    if errors:
+        return 1
+    print(f"ok: {len(analysis.findings)} finding(s)" if analysis.findings else "ok")
     return 0
 
 
@@ -392,9 +471,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.command == "replay":
         return _cmd_replay(arguments.program, arguments.benchmark)
     if arguments.command == "check":
-        return _cmd_check(arguments.program, arguments.data)
+        return _cmd_check(arguments.program, arguments.data, arguments.as_json)
     if arguments.command == "lint":
-        return _cmd_lint(arguments.program, arguments.disable)
+        return _cmd_lint(arguments.program, arguments.disable, arguments.as_json)
+    if arguments.command == "analyze":
+        return _cmd_analyze(arguments.program, arguments.recording,
+                            arguments.data, arguments.as_json)
     if arguments.command == "export":
         return _cmd_export(arguments.program, arguments.target,
                            arguments.start_url, arguments.output)

@@ -72,6 +72,8 @@ def render_synthesis_stats(stats) -> str:
         ["trace length", stats.trace_length],
         ["worklist pops", stats.pops],
         ["speculated", stats.speculated],
+        ["statically pruned", stats.pruned],
+        ["validations run", stats.validations],
         ["validated", stats.validated],
         ["validation workers", stats.validation_workers or "serial"],
         ["store tuples", stats.tuples],

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Iterator, Optional, Union
 
 from repro.dom.xpath import CHILD, DESC, ConcreteSelector, Predicate, Step
 
@@ -355,7 +355,7 @@ class Program:
     def __len__(self) -> int:
         return len(self.statements)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Statement]:
         return iter(self.statements)
 
 
@@ -436,7 +436,7 @@ def _canon_path(path: ValuePath, names: dict[Var, int]) -> tuple:
     return (base, path.accessors)
 
 
-def _canon_stmt(stmt: Statement, names: dict[Var, int]) -> tuple:
+def _canon_stmt(stmt: Statement, names: dict[Var, int]) -> tuple[object, ...]:
     if isinstance(stmt, ActionStmt):
         return (
             stmt.kind,
@@ -480,7 +480,7 @@ def _canon_stmt(stmt: Statement, names: dict[Var, int]) -> tuple:
     raise TypeError(f"not a statement: {stmt!r}")
 
 
-def canonical_statement(stmt: Statement) -> tuple:
+def canonical_statement(stmt: Statement) -> tuple[object, ...]:
     """A hashable key identifying ``stmt`` up to bound-variable renaming.
 
     The key is cached on the statement object itself: statements are
@@ -490,14 +490,14 @@ def canonical_statement(stmt: Statement) -> tuple:
     dedup, ranking ties — making this the cheapest possible memo: no
     table, no eviction, no pinning.
     """
-    cached = stmt.__dict__.get("_canonical")
+    cached: Optional[tuple[object, ...]] = stmt.__dict__.get("_canonical")
     if cached is None:
         cached = _canon_stmt(stmt, {})
         object.__setattr__(stmt, "_canonical", cached)
     return cached
 
 
-def canonical_program(program: Program) -> tuple:
+def canonical_program(program: Program) -> tuple[tuple[object, ...], ...]:
     """A hashable key identifying ``program`` up to alpha-equivalence."""
     return tuple(canonical_statement(stmt) for stmt in program.statements)
 

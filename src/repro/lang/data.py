@@ -13,7 +13,7 @@ from typing import Any, Union
 from repro.lang.ast import ValuePath
 from repro.util.errors import DataPathError
 
-JSONValue = Union[str, int, list, dict]
+JSONValue = Union[str, int, list["JSONValue"], dict[str, "JSONValue"]]
 
 
 class DataSource:
@@ -43,7 +43,7 @@ class DataSource:
             current = self._step(current, accessor, path)
         return current
 
-    def get_array(self, path: ValuePath) -> list:
+    def get_array(self, path: ValuePath) -> list[JSONValue]:
         """The paper's ``GetArray``: resolve ``path`` and require a list."""
         value = self.resolve(path)
         if not isinstance(value, list):

@@ -329,7 +329,7 @@ def lint_program(
     if unknown:
         raise ValueError(f"unknown lint rules: {', '.join(sorted(unknown))}")
     findings: list[LintFinding] = []
-    seen_rules: set[Callable] = set()
+    seen_rules: set[Callable[[Program], Iterator[LintFinding]]] = set()
     for name, rule in RULES.items():
         if name in disabled or rule in seen_rules:
             continue

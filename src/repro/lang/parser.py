@@ -17,9 +17,9 @@ Grammar (indentation-sensitive, two spaces per level)::
 from __future__ import annotations
 
 import re
-from typing import Optional
+from typing import Optional, Union
 
-from repro.dom.xpath import Predicate, parse_selector
+from repro.dom.xpath import Predicate, Step, parse_selector
 from repro.lang.ast import (
     ACTION_KINDS,
     CLICK,
@@ -42,6 +42,10 @@ from repro.lang.ast import (
     fresh_var,
 )
 from repro.util.errors import ParseError
+
+#: A parsed block line: a statement, or the ("advance", selector)
+#: sentinel a paginate block's Advance line parses into.
+_BlockItem = Union[Statement, tuple[str, Selector]]
 
 _FOREACH_RE = re.compile(r"^foreach\s+(\w+)\s+in\s+(.+)\s+do$")
 _WHILE_RE = re.compile(r"^while\s+true\s+do$")
@@ -145,7 +149,7 @@ def _parse_value_path(text: str, scope: _Scope) -> ValuePath:
         base = scope.lookup(name)
         if base.kind != VAL_VAR:
             raise ParseError(f"{name!r} is not a value-path variable")
-    accessors: list = []
+    accessors: list[Union[str, int]] = []
     pos = 0
     while pos < len(rest):
         acc = _ACCESSOR_RE.match(rest, pos)
@@ -204,7 +208,9 @@ def _parse_action(line: str, scope: _Scope) -> ActionStmt:
     raise ParseError(f"{kind} takes no arguments")
 
 
-def _parse_collection(text: str, scope: _Scope, var_name: str):
+def _parse_collection(
+    text: str, scope: _Scope, var_name: str
+) -> tuple[Var, Union[ChildrenOf, DescendantsOf, ValuePathsOf], Optional[Var]]:
     match = _CALL_RE.match(text.strip())
     if not match:
         raise ParseError(f"bad collection {text!r}")
@@ -227,7 +233,7 @@ def _parse_collection(text: str, scope: _Scope, var_name: str):
     raise ParseError(f"unknown collection {name!r}")
 
 
-def _template_from_steps(steps: tuple, marker: str) -> CounterTemplate:
+def _template_from_steps(steps: tuple[Step, ...], marker: str) -> CounterTemplate:
     """Build a template from concrete steps with one ``marker`` hole.
 
     The marker must appear exactly once, inside an attribute value, e.g.
@@ -259,7 +265,8 @@ def _template_from_steps(steps: tuple, marker: str) -> CounterTemplate:
     )
 
 
-def _finish_paginate(counter_name: str, start: int, body: list) -> PaginateLoop:
+def _finish_paginate(counter_name: str, start: int,
+                     body: list[_BlockItem]) -> PaginateLoop:
     """Assemble a paginate loop from its parsed block.
 
     The block must end with a Click whose selector carries the counter
@@ -303,7 +310,7 @@ def _parse_block(
     depth: int,
     scope: _Scope,
     counter: Optional[str] = None,
-) -> tuple[list, int]:
+) -> tuple[list[_BlockItem], int]:
     """Parse statements at ``depth``.
 
     ``counter`` names the active paginate counter: inside such a block,
@@ -311,7 +318,7 @@ def _parse_block(
     sentinel (resolved by :func:`_finish_paginate`) and Click selectors
     may carry the counter hole.
     """
-    statements: list = []
+    statements: list[_BlockItem] = []
     while pos < len(lines):
         indent, content = lines[pos]
         if indent < depth:

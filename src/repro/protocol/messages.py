@@ -34,7 +34,7 @@ from repro.lang.actions import Action
 from repro.util.errors import ParseError, ReproError
 
 #: The wire version every message carries.  Bump on any wire change.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 
 class ProtocolError(ReproError):
@@ -73,12 +73,33 @@ class SessionTotals:
 
 
 @dataclass(frozen=True)
+class AnalysisSummary:
+    """The static-analysis verdict block riding proposals and candidates.
+
+    The wire form of :meth:`repro.analysis.report.ProgramAnalysis.summary_json`:
+    effect classification (``read-only`` / ``navigating`` / ``mutating``),
+    whether auto-replay is side-effect-safe, the termination verdict
+    (``terminating`` / ``progress`` / ``unknown``), the symbolic
+    replay-cost interval (``cost_max`` null = unbounded), and the worst
+    selector fragility score.  Added in protocol v2.
+    """
+
+    effect: str
+    safe_replay: bool
+    termination: str
+    cost_min: int
+    cost_max: Optional[int]
+    fragility: int
+
+
+@dataclass(frozen=True)
 class Candidate:
     """One ranked candidate program, rendered for the wire."""
 
     index: int
     program: str
     statements: int
+    analysis: Optional[AnalysisSummary] = None
 
 
 @dataclass(frozen=True)
@@ -115,6 +136,8 @@ class ProgramProposed:
     programs: int
     predictions: tuple[str, ...]
     stats: CallStats
+    #: Static analysis of the top-ranked program (None when no program).
+    analysis: Optional[AnalysisSummary] = None
 
 
 @dataclass(frozen=True)
@@ -278,12 +301,24 @@ _TOTALS_SPEC = _spec(
     FieldSpec("rejections", "int"),
 )
 
+_ANALYSIS_SPEC = _spec(
+    AnalysisSummary,
+    None,
+    FieldSpec("effect", "str"),
+    FieldSpec("safe_replay", "bool"),
+    FieldSpec("termination", "str"),
+    FieldSpec("cost_min", "int"),
+    FieldSpec("cost_max", "int", optional=True),
+    FieldSpec("fragility", "int"),
+)
+
 _CANDIDATE_SPEC = _spec(
     Candidate,
     None,
     FieldSpec("index", "int"),
     FieldSpec("program", "str"),
     FieldSpec("statements", "int"),
+    FieldSpec("analysis", "analysis", optional=True),
 )
 
 _MESSAGE_SPECS: tuple[_MessageSpec, ...] = (
@@ -310,6 +345,7 @@ _MESSAGE_SPECS: tuple[_MessageSpec, ...] = (
         FieldSpec("programs", "int"),
         FieldSpec("predictions", "str_list"),
         FieldSpec("stats", "call_stats"),
+        FieldSpec("analysis", "analysis", optional=True),
     ),
     _spec(
         CandidateList,
@@ -379,6 +415,7 @@ _STRUCT_SPECS = {
     "call_stats": _CALL_STATS_SPEC,
     "totals": _TOTALS_SPEC,
     "candidate": _CANDIDATE_SPEC,
+    "analysis": _ANALYSIS_SPEC,
 }
 
 #: Public view for the schema generator and tests.

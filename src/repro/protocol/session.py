@@ -30,12 +30,15 @@ import time
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import Optional, Sequence
 
+from repro.analysis.report import analyze_program
 from repro.dom.node import DOMNode
 from repro.lang.actions import Action
+from repro.lang.ast import Program
 from repro.lang.data import DataSource, EMPTY_DATA
 from repro.lang.pretty import format_program
 from repro.protocol.messages import (
     Accepted,
+    AnalysisSummary,
     CallStats,
     Candidate,
     CandidateList,
@@ -130,6 +133,24 @@ class SessionStats:
             "timed_out_calls": self.timed_out_calls,
             "rejections": self.rejections,
         }
+
+
+def _analysis_summary(program: Program, data: DataSource) -> AnalysisSummary:
+    """The wire analysis block for one candidate program.
+
+    Structural domains only — no snapshot-resolution checks: the block
+    rides every proposal, so it must stay O(program size), never
+    O(trace size).
+    """
+    analysis = analyze_program(program, data)
+    return AnalysisSummary(
+        effect=analysis.effect.classification,
+        safe_replay=analysis.effect.safe_to_replay,
+        termination=analysis.termination,
+        cost_min=analysis.cost.lo,
+        cost_max=analysis.cost.hi,
+        fragility=analysis.fragility,
+    )
 
 
 class Session:
@@ -268,6 +289,11 @@ class Session:
                 warm_start_hits=stats.cache_warm_hits if stats else 0,
                 backend=stats.cache_backend if stats else "memory",
             ),
+            analysis=(
+                _analysis_summary(result.programs[0], self.data)
+                if result is not None and result.programs
+                else None
+            ),
         )
 
     def candidate_list(self) -> CandidateList:
@@ -280,6 +306,7 @@ class Session:
                     index=index,
                     program=format_program(program),
                     statements=len(program),
+                    analysis=_analysis_summary(program, self.data),
                 )
                 for index, program in enumerate(programs)
             ),
@@ -291,8 +318,15 @@ class Session:
             return []
         return [str(action) for action in self.last_result.predictions]
 
-    def accept(self, index: int = 0) -> Accepted:
-        """Mark one candidate accepted; returns its rendered program."""
+    def accept(self, index: int = 0, require_safe_replay: bool = False) -> Accepted:
+        """Mark one candidate accepted; returns its rendered program.
+
+        With ``require_safe_replay``, a candidate whose static effect
+        summary says replay mutates page or user state (keystrokes,
+        form entries, downloads) is refused — the caller must replay it
+        under explicit supervision instead of accepting it for
+        automatic re-runs.
+        """
         self._require_open()
         if self.last_result is None or not self.last_result.programs:
             raise SessionError(f"session {self.sid} has no candidate programs")
@@ -301,6 +335,14 @@ class Session:
             raise SessionError(
                 f"candidate index {index} out of range (0..{len(programs) - 1})"
             )
+        if require_safe_replay:
+            summary = _analysis_summary(programs[index], self.data)
+            if not summary.safe_replay:
+                raise SessionError(
+                    f"candidate {index} is {summary.effect}: refusing "
+                    "auto-replay of a side-effecting program "
+                    "(accept without require_safe_replay to override)"
+                )
         self.accepted_index = index
         self.touch()
         return Accepted(

@@ -153,6 +153,16 @@ class SynthesisConfig:
         harder but changes the exploration order on tuples whose two
         exhibited iterations are in different rewriting states; off by
         default (the ablation bench measures the trade).
+    static_prune:
+        Statically refute speculated candidates before dispatching
+        validation (:mod:`repro.analysis.feasibility`): a candidate
+        whose emission NFA cannot prefix-match the recorded slice it
+        must reproduce is dropped without an engine execution.  The
+        refutation only fires where Algorithm 3 would certainly
+        reject, so synthesized programs are byte-identical either way
+        (``benchmarks/bench_static_prune.py`` pins identity and
+        measures the saved executions).  ``None`` (the default)
+        resolves from ``REPRO_STATIC_PRUNE`` — on unless it is ``0``.
     """
 
     timeout: float = 1.0
@@ -183,6 +193,7 @@ class SynthesisConfig:
     ranking: str = "size"
     use_shape_gates: bool = True
     use_window_periodicity: bool = False
+    static_prune: Optional[bool] = None
 
 
 #: The full-fledged configuration (Table 1 row 1).
@@ -261,6 +272,23 @@ def resolved_pipeline(config: SynthesisConfig) -> bool:
     if config.pipeline is not None:
         return config.pipeline
     return os.environ.get("REPRO_PIPELINE", "").strip() == "1"
+
+
+def resolved_static_prune(config: SynthesisConfig) -> bool:
+    """Whether static candidate refutation is in effect (default: on).
+
+    ``REPRO_STATIC_PRUNE=0`` disables the pruning pass process-wide (an
+    A/B lever for benches and parity suites); an explicit config value
+    always wins.
+    """
+    if config.static_prune is not None:
+        return config.static_prune
+    return os.environ.get("REPRO_STATIC_PRUNE", "").strip() != "0"
+
+
+def no_static_prune_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:
+    """Static candidate refutation off (ablation/bench baseline)."""
+    return replace(base, static_prune=False)
 
 
 def file_backend_config(base: SynthesisConfig = DEFAULT_CONFIG) -> SynthesisConfig:

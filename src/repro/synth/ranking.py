@@ -18,6 +18,12 @@ suite:
     repetition is real, overfits when it is coincidental.
 ``shallowest``
     Least-nested first — the conservative guess.
+``cost``
+    Cheapest static replay cost first (the analysis layer's symbolic
+    action-count interval, :mod:`repro.analysis.cost`): upper bound
+    with unbounded last, then lower bound, then AST size.  Prefers
+    programs whose replay does provably bounded work — a user-facing
+    "least surprising replay" order rather than a syntax order.
 
 All strategies share the final text tie-break, so ranking is a total
 deterministic order and results are reproducible run to run.
@@ -28,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.analysis.cost import program_cost
 from repro.lang.actions import Action
 from repro.lang.ast import Program, program_depth, program_size
 from repro.lang.pretty import format_program
@@ -83,12 +90,19 @@ def _by_shallowest(candidate: Candidate) -> tuple:
     )
 
 
+def _by_cost(candidate: Candidate) -> tuple:
+    cost = program_cost(candidate.program)
+    upper = float("inf") if cost.hi is None else cost.hi
+    return (upper, cost.lo, program_size(candidate.program), candidate.text)
+
+
 #: Registered strategies by name (``SynthesisConfig.ranking``).
 STRATEGIES: dict[str, Strategy] = {
     "size": _by_size,
     "fewest-statements": _by_fewest_statements,
     "deepest": _by_deepest,
     "shallowest": _by_shallowest,
+    "cost": _by_cost,
 }
 
 DEFAULT_STRATEGY = "size"

@@ -51,7 +51,9 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Optional, Sequence
 
+from repro.analysis.feasibility import infeasible
 from repro.engine import index as dom_index
+from repro.synth.config import resolved_static_prune
 from repro.synth.rewrite import RewriteTuple
 from repro.synth.speculate import SpeculationContext, SRewrite
 from repro.synth.validate import validate
@@ -59,6 +61,55 @@ from repro.util.timer import Deadline
 
 #: ``push(rewritten)`` — the synthesizer's worklist/store insertion.
 PushFn = Callable[[RewriteTuple], None]
+
+
+def _static_prune(
+    current: RewriteTuple,
+    candidates: list[SRewrite],
+    context: SpeculationContext,
+    stats,
+) -> None:
+    """Drop candidates Algorithm 3 provably rejects, before any dispatch.
+
+    Two sound refutations (see :mod:`repro.analysis.feasibility`): the
+    tuple has no statement boundary ``>= end + 2`` for the matched
+    slice to end on, or the candidate's emission NFA cannot
+    prefix-match the ``bounds[end + 2] - bounds[start]`` recorded
+    actions a successful validation must reproduce.  Both only fire
+    where ``validate`` would certainly return ``None``, so the pushed
+    tuples — and the synthesized programs — are byte-identical with
+    pruning on or off; only the engine executions saved differ
+    (``stats.pruned`` counts them).
+
+    Runs on the coordinating thread for every scheduler (the pipeline
+    prunes at submit time), in place, before ranking — a pruned
+    candidate costs neither a rank key nor a wave slot.
+    """
+    if not candidates or not resolved_static_prune(context.config):
+        return
+    bounds = current.bounds
+    last = len(bounds) - 1
+    kept: list[SRewrite] = []
+    for candidate in candidates:
+        boundary = candidate.end + 2
+        if boundary > last:
+            stats.pruned += 1
+            continue
+        start_action = bounds[candidate.start]
+        min_count = bounds[boundary] - start_action
+        if infeasible(
+            candidate.stmt,
+            context.actions,
+            context.snapshots,
+            context.data,
+            start_action,
+            min_count,
+        ):
+            stats.pruned += 1
+            continue
+        kept.append(candidate)
+    if len(kept) != len(candidates):
+        candidates[:] = kept
 
 
 def _rank_order(candidates: list[SRewrite], context: SpeculationContext) -> None:
@@ -91,8 +142,9 @@ class ValidationScheduler:
     ) -> None:
         """Validate ``candidates`` against ``current``; push survivors.
 
-        Mutates ``stats`` (``validated``, ``timed_out``) and calls
-        ``push`` on the coordinating thread only.
+        Mutates ``stats`` (``validated``, ``validations``, ``pruned``,
+        ``timed_out``) and calls ``push`` on the coordinating thread
+        only.
         """
         raise NotImplementedError
 
@@ -112,6 +164,7 @@ class SerialScheduler(ValidationScheduler):
         stats,
         push: PushFn,
     ) -> None:
+        _static_prune(current, candidates, context, stats)
         _rank_order(candidates, context)
         max_per_span = context.config.max_rewrites_per_span
         per_span: dict[tuple, int] = {}
@@ -122,6 +175,7 @@ class SerialScheduler(ValidationScheduler):
             span_key = (candidate.start, candidate.end)
             if per_span.get(span_key, 0) >= max_per_span:
                 continue
+            stats.validations += 1
             rewritten = validate(candidate, current, context)
             if rewritten is not None:
                 per_span[span_key] = per_span.get(span_key, 0) + 1
@@ -185,11 +239,13 @@ class PoolScheduler(ValidationScheduler):
         if deadline.expired():
             stats.timed_out = True
             return
+        _static_prune(current, candidates, context, stats)
         _rank_order(candidates, context)
         max_per_span = context.config.max_rewrites_per_span
-        results, clipped = self._validate_waves(
+        results, clipped, executed = self._validate_waves(
             current, candidates, context, deadline, max_per_span
         )
+        stats.validations += executed
         if clipped:
             stats.timed_out = True
 
@@ -216,11 +272,13 @@ class PoolScheduler(ValidationScheduler):
         deadline: Deadline,
         max_per_span: int,
         sink=None,
-    ) -> tuple[list, bool]:
+    ) -> tuple[list, bool, int]:
         """Validate cap-eligible candidates; results by candidate index.
 
         The second element reports whether the deadline clipped the
-        wave loop before every eligible candidate was dispatched.
+        wave loop before every eligible candidate was dispatched; the
+        third counts the engine validations actually executed (the
+        number the caller adds to ``stats.validations``).
 
         Spans are worked head-first: a wave takes, per span still in
         play, the next ``cap - successes`` candidates scaled by a
@@ -279,6 +337,7 @@ class PoolScheduler(ValidationScheduler):
         pool = self._executor()
         factor = 1
         clipped = False
+        executed = 0
         while True:
             if deadline.expired():
                 # checked before the batch is carved so `position` never
@@ -304,6 +363,7 @@ class PoolScheduler(ValidationScheduler):
             wave_clipped = False
             for future in futures:
                 chunk_results, counters, chunk_clipped = future.result()
+                executed += len(chunk_results)
                 for index, rewritten in chunk_results:
                     results[index] = rewritten
                 absorb(counters)
@@ -313,7 +373,7 @@ class PoolScheduler(ValidationScheduler):
                 clipped = True
                 break
             factor *= 2
-        return results, clipped
+        return results, clipped, executed
 
 
 class PipelineScheduler(PoolScheduler):
@@ -375,6 +435,7 @@ class PipelineScheduler(PoolScheduler):
         push: PushFn,
     ):
         """Start draining one pop; returns a future for :meth:`drain_pop`."""
+        _static_prune(current, candidates, context, stats)
         _rank_order(candidates, context)
         engine = context.engine
         trackers = dom_index.current_trackers()
@@ -386,7 +447,7 @@ class PipelineScheduler(PoolScheduler):
             with dom_index.adopt_trackers(trackers):
                 with engine.worker_counters() as counters:
                     if use_pool:
-                        results, clipped = self._validate_waves(
+                        results, clipped, executed = self._validate_waves(
                             current,
                             candidates,
                             context,
@@ -394,6 +455,7 @@ class PipelineScheduler(PoolScheduler):
                             max_per_span,
                             sink=counters.merge,
                         )
+                        stats.validations += executed
                         if clipped:
                             stats.timed_out = True
                         per_span: dict[tuple, int] = {}
@@ -429,6 +491,7 @@ class PipelineScheduler(PoolScheduler):
             span_key = (candidate.start, candidate.end)
             if per_span.get(span_key, 0) >= max_per_span:
                 continue
+            stats.validations += 1
             rewritten = validate(candidate, current, context)
             if rewritten is not None:
                 per_span[span_key] = per_span.get(span_key, 0) + 1

@@ -84,6 +84,13 @@ class SynthesisStats:
     pops: int = 0
     speculated: int = 0
     validated: int = 0
+    #: Engine validation executions actually run (Algorithm 3 calls) —
+    #: ``validated`` counts only the successes.  ``pruned`` counts the
+    #: speculated candidates the static feasibility analysis
+    #: (:mod:`repro.analysis.feasibility`) refuted before dispatch;
+    #: every pruned candidate is a validation execution saved.
+    validations: int = 0
+    pruned: int = 0
     tuples: int = 0
     elapsed: float = 0.0
     #: Phase timings (seconds).  ``speculate_s`` covers Algorithm 2 runs

@@ -228,3 +228,90 @@ class TestProtocolSchema:
         document = json.loads(capsys.readouterr().out)
         assert document["protocol_version"] == PROTOCOL_VERSION
         assert "session_snapshot" in document["messages"]
+
+
+class TestAnalyze:
+    def test_clean_program_reports_domains(self, tmp_path, capsys):
+        program_path = write_program(
+            tmp_path,
+            "foreach r in Dscts(/, div[@class='card']) do\n  ScrapeText(r//h3[1])",
+        )
+        assert main(["analyze", str(program_path)]) == 0
+        output = capsys.readouterr().out
+        assert "effect:      read-only (safe to auto-replay)" in output
+        assert "termination: terminating" in output
+        assert "cost:" in output and "fragility:" in output
+        assert "ok" in output
+
+    def test_unresolved_selector_fails_with_recording(self, tmp_path, capsys):
+        recording_path = tmp_path / "rec.json"
+        main(["record", "b74", "-o", str(recording_path)])
+        program_path = write_program(
+            tmp_path, "ScrapeText(//div[@class='missing'][1])"
+        )
+        assert main([
+            "analyze", str(program_path), "--recording", str(recording_path)
+        ]) == 1
+        assert "unresolved-selector" in capsys.readouterr().out
+
+    def test_warnings_do_not_fail(self, tmp_path, capsys):
+        program_path = write_program(
+            tmp_path,
+            "while true do\n"
+            "  ScrapeText(/html[1]/body[1]/div[2]/h3[1])\n"
+            "  Click(/html[1]/body[1]/button[1])",
+        )
+        assert main(["analyze", str(program_path)]) == 0
+        assert "possibly-nonterminating" in capsys.readouterr().out
+
+    def test_json_payload(self, tmp_path, capsys):
+        program_path = write_program(
+            tmp_path,
+            "foreach r in Dscts(/, div[@class='card']) do\n  ScrapeText(r//h3[1])",
+        )
+        assert main(["analyze", str(program_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "analyze"
+        assert payload["errors"] == 0
+        analysis = payload["analysis"]
+        assert analysis["effect"] == "read-only"
+        assert analysis["termination"] == "terminating"
+        assert analysis["loops"] and analysis["selectors"]
+
+    def test_load_failure_exits_2(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "missing.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestDiagnosticsJson:
+    def test_check_json_shares_payload_shape(self, tmp_path, capsys):
+        program_path = write_program(
+            tmp_path, "foreach r in Dscts(/, li) do\n  ScrapeText(//h3[1])"
+        )
+        assert main(["check", str(program_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "check"
+        assert payload["warnings"] == 1
+        assert payload["findings"][0]["rule"]
+
+    def test_lint_json_shares_payload_shape(self, tmp_path, capsys):
+        program_path = write_program(tmp_path, "Click(//a[1])")
+        assert main(["lint", str(program_path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "lint"
+        assert any(f["rule"] == "no-extraction" for f in payload["findings"])
+
+    def test_payloads_share_version_and_keys(self, tmp_path, capsys):
+        program_path = write_program(tmp_path, "Click(//a[1])\nScrapeText(//h3[1])")
+        shapes = []
+        for argv in (
+            ["check", str(program_path), "--json"],
+            ["lint", str(program_path), "--json"],
+            ["analyze", str(program_path), "--json"],
+        ):
+            main(argv)
+            payload = json.loads(capsys.readouterr().out)
+            shapes.append((payload["version"], set(payload) >= {
+                "version", "tool", "findings", "errors", "warnings"
+            }))
+        assert shapes == [(1, True)] * 3

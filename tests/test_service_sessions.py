@@ -277,3 +277,55 @@ class TestStats:
             assert stats["totals"]["cross_session_hits"] > 0
         finally:
             reset_process_cache()
+
+
+class TestAnalysisAnnotations:
+    def test_proposal_and_candidates_carry_analysis(self):
+        reset_process_cache()
+        try:
+            manager = memory_manager(timeout=5.0)
+            dom = cards_page(5)
+            actions, snapshots = scrape_cards_trace(dom, 4)
+            sid = manager.create(snapshots[0])
+            proposed = None
+            for position, action in enumerate(actions):
+                proposed = manager.record_action(sid, action, snapshots[position + 1])
+            assert proposed.analysis is not None
+            assert proposed.analysis.effect == "read-only"
+            assert proposed.analysis.safe_replay is True
+            assert proposed.analysis.termination == "terminating"
+            listed = manager.candidates(sid)
+            assert all(item.analysis is not None for item in listed.candidates)
+            manager.close_all()
+        finally:
+            reset_process_cache()
+
+    def test_accept_guard_refuses_mutating_program(self):
+        from repro.lang import parse_program
+        from repro.protocol.session import Session
+        from repro.synth.synthesizer import SynthesisResult
+
+        session = Session("s1", EMPTY_DATA)
+        session.start(cards_page(2))
+        mutating = parse_program('SendKeys(//input[@name=\'q\'][1], "term")')
+        session.last_result = SynthesisResult(programs=[mutating])
+        with pytest.raises(SessionError, match="refusing"):
+            session.accept(0, require_safe_replay=True)
+        # the plain accept is the explicit override
+        accepted = session.accept(0)
+        assert accepted.index == 0
+        session.close()
+
+    def test_accept_guard_passes_read_only_program(self):
+        from repro.lang import parse_program
+        from repro.protocol.session import Session
+        from repro.synth.synthesizer import SynthesisResult
+
+        session = Session("s1", EMPTY_DATA)
+        session.start(cards_page(2))
+        session.last_result = SynthesisResult(
+            programs=[parse_program("ScrapeText(//h3[1])")]
+        )
+        accepted = session.accept(0, require_safe_replay=True)
+        assert accepted.program == "ScrapeText(//h3[1])"
+        session.close()

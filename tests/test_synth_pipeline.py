@@ -278,7 +278,9 @@ class TestDeadlineClipAccounting:
 
             monkeypatch.setattr(scheduler_module, "validate", counting_validate)
             pool = PoolScheduler(2, min_batch=2)
-            stats = types.SimpleNamespace(validated=0, timed_out=False)
+            stats = types.SimpleNamespace(
+                validated=0, validations=0, pruned=0, timed_out=False
+            )
             pushes = []
             try:
                 pool.process_pop(

@@ -40,7 +40,7 @@ CANDIDATES = [
 class TestStrategies:
     def test_registry_names(self):
         assert set(STRATEGIES) == {
-            "size", "fewest-statements", "deepest", "shallowest",
+            "size", "fewest-statements", "deepest", "shallowest", "cost",
         }
         assert DEFAULT_STRATEGY in STRATEGIES
 
