@@ -117,6 +117,9 @@ def _build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--backend", default=None, choices=("memory", "file"),
                        help="execution-cache persistence backend (default: "
                             "$REPRO_CACHE_BACKEND or memory)")
+    synth.add_argument("--codec", default=None, choices=("json", "binary"),
+                       help="payload codec of the persistent store "
+                            "(default: $REPRO_CODEC or binary)")
 
     serve = commands.add_parser("serve", help="run the session service")
     serve.add_argument("--host", default="127.0.0.1")
@@ -131,6 +134,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", default=None,
                        help="directory of the file backend's store "
                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    serve.add_argument("--codec", default=None, choices=("json", "binary"),
+                       help="payload codec of the persistent store "
+                            "(default: $REPRO_CODEC or binary)")
     serve.add_argument("--timeout", type=float, default=1.0,
                        help="per-action synthesis budget in seconds")
     serve.add_argument("--synth-workers", type=int, default=None,
@@ -226,7 +232,13 @@ def _cmd_synthesize(path: str, cut: Optional[int], data_path: Optional[str],
                     timeout: float, show_stats: bool = False,
                     workers: Optional[int] = None,
                     shared_cache: bool = False,
-                    backend: Optional[str] = None) -> int:
+                    backend: Optional[str] = None,
+                    codec: Optional[str] = None) -> int:
+    if codec is not None:
+        import os
+
+        # resolve_codec reads this when the file backend opens its store
+        os.environ["REPRO_CODEC"] = codec
     with open(path, encoding="utf-8") as handle:
         recording = repro_io.load(handle)
     data = EMPTY_DATA
@@ -275,6 +287,9 @@ def _cmd_serve(arguments) -> int:
     if arguments.cache_dir is not None:
         # resolve_backend reads this when building the store path
         os.environ["REPRO_CACHE_DIR"] = arguments.cache_dir
+    if arguments.codec is not None:
+        # resolve_codec reads this when the file backend opens its store
+        os.environ["REPRO_CODEC"] = arguments.codec
     config = replace(
         DEFAULT_CONFIG,
         shared_cache=True,
@@ -461,6 +476,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             arguments.recording, arguments.cut, arguments.data,
             arguments.timeout, arguments.stats,
             arguments.workers, arguments.shared_cache, arguments.backend,
+            arguments.codec,
         )
     if arguments.command == "serve":
         return _cmd_serve(arguments)

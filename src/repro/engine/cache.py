@@ -109,6 +109,13 @@ class CacheCounters:
     #: hit/miss reconciliation — a resumed lookup was already counted as
     #: a miss by the preceding full-result probe.
     resume_hits: int = 0
+    #: Backend probes served by the backend's decoded-entry cache — the
+    #: store read *and* the payload decode were skipped — and the
+    #: encoded payload bytes those hits never re-read.  A subset of
+    #: ``warm_hits``-eligible traffic, not part of the hit/miss
+    #: reconciliation.
+    decode_hits: int = 0
+    decode_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -280,6 +287,20 @@ class ExecutionCache:
         # hot path never computes store digests for nothing
         self._backend = backend if backend is not None and backend.persistent else None
         self.backend_name = backend.name if backend is not None else "memory"
+        # optional backend seams, resolved once: duck-typed backends
+        # (test stubs, third parties) may predate fetch_entry (a
+        # load_entry that also reports decoded-cache telemetry) and
+        # should_persist (the store tier policy)
+        if self._backend is not None:
+            resolved = self._backend
+            self._fetch_entry = getattr(
+                resolved,
+                "fetch_entry",
+                lambda kind, key: (resolved.load_entry(kind, key), 0),
+            )
+            self._should_persist = getattr(
+                resolved, "should_persist", lambda kind, cost: True
+            )
         # recency reordering only pays off once a table could actually
         # evict something hot; below half capacity a hit is left in place
         self._touch_floor = max(1, max_entries // 2)
@@ -333,9 +354,9 @@ class ExecutionCache:
         result, probe = self.lookup_memory(base, window_keys, budget, counters, session)
         if result is not None or probe is None:
             return result
-        exact_payload, terminal_payload = self.probe_backend(probe)
+        exact_payload, terminal_payload, served_bytes = self.probe_backend(probe)
         return self.promote_backend(
-            probe, exact_payload, terminal_payload, counters, session
+            probe, exact_payload, terminal_payload, counters, session, served_bytes
         )
 
     def lookup_memory(
@@ -396,13 +417,20 @@ class ExecutionCache:
 
         Touches only the backend (which synchronizes itself), never the
         tables — safe to run while other threads hold the shard lock.
+        Returns ``(exact_payload, terminal_payload, served_bytes)``;
+        ``served_bytes`` is nonzero when the returned payload came from
+        the backend's decoded-entry cache (see
+        :meth:`~repro.service.backends.CacheBackend.fetch_entry`).
         """
-        exact_payload = self._backend.load_entry(_EXACT, probe.exact_digest)
+        exact_payload, served_bytes = self._fetch_entry(_EXACT, probe.exact_digest)
         if exact_payload is not None:
-            return exact_payload, None
+            return exact_payload, None, served_bytes
         if probe.terminal_digest is None:
-            return None, None
-        return None, self._backend.load_entry(_TERMINAL, probe.terminal_digest)
+            return None, None, 0
+        terminal_payload, served_bytes = self._fetch_entry(
+            _TERMINAL, probe.terminal_digest
+        )
+        return None, terminal_payload, served_bytes
 
     def promote_backend(
         self,
@@ -411,6 +439,7 @@ class ExecutionCache:
         terminal_payload: Optional[tuple],
         counters: Optional[CacheCounters] = None,
         session: int = 0,
+        served_bytes: int = 0,
     ) -> Optional[tuple[tuple, Env]]:
         """Phase 2b (under the shard lock): promote and settle counting.
 
@@ -419,8 +448,14 @@ class ExecutionCache:
         entry, and a hit served from memory counts as a plain hit, not a
         warm one.  Otherwise the probed payload is promoted exactly as a
         locked warm start would have, or the miss is finally counted.
+        ``served_bytes`` is the decoded-cache telemetry the probe
+        reported; it counts here, where the recorders are known.
         """
         recorders = self._recorders(counters)
+        if served_bytes:
+            for recorder in recorders:
+                recorder.decode_hits += 1
+                recorder.decode_bytes += served_bytes
         entry = self._exact.get(probe.exact_key)
         if entry is not None:
             if len(self._exact) >= self._touch_floor:
@@ -511,6 +546,7 @@ class ExecutionCache:
         counters: Optional[CacheCounters] = None,
         session: int = 0,
         continuation: Optional[tuple] = None,
+        cost: Optional[int] = None,
     ) -> None:
         """Record one execution outcome in both applicable tables.
 
@@ -524,6 +560,12 @@ class ExecutionCache:
         the terminal slot (the run cannot also qualify as terminated)
         so later lookups over extended windows can resume instead of
         re-executing; see :meth:`get_continuation`.
+
+        ``cost`` is an upper bound on the simulated actions needed to
+        recompute this outcome (``None`` = unbounded/unknown).  It only
+        feeds the backend's tier policy
+        (:meth:`~repro.service.backends.CacheBackend.should_persist`) —
+        the in-memory tables always record.
         """
         recorders = self._recorders(counters)
         self._insert(
@@ -532,7 +574,7 @@ class ExecutionCache:
             _Entry(actions, env, None, owner=session),
             recorders,
         )
-        if self._backend is not None:
+        if self._backend is not None and self._should_persist(_EXACT, cost):
             self._backend.store_entry(
                 _EXACT,
                 self._store_digest("exact", base, window_keys, budget),
@@ -552,7 +594,7 @@ class ExecutionCache:
                 _Entry(actions, env, examined, exact_budget_ok, owner=session),
                 recorders,
             )
-            if self._backend is not None:
+            if self._backend is not None and self._should_persist(_TERMINAL, None):
                 self._backend.store_entry(
                     _TERMINAL,
                     self._store_digest("terminal", base, window_keys[0]),
@@ -1084,7 +1126,7 @@ class SharedCacheSession:
         # promote step re-takes the lock, re-checks memory (a racing
         # thread may have promoted first), and settles hit/miss counting
         # exactly once per lookup.
-        exact_payload, terminal_payload = shard.cache.probe_backend(probe)
+        exact_payload, terminal_payload, served_bytes = shard.cache.probe_backend(probe)
         with shard.lock:
             return shard.cache.promote_backend(
                 probe,
@@ -1092,6 +1134,7 @@ class SharedCacheSession:
                 terminal_payload,
                 counters=recorder,
                 session=self._token,
+                served_bytes=served_bytes,
             )
 
     def put(
@@ -1104,6 +1147,7 @@ class SharedCacheSession:
         exact_budget_ok: bool = False,
         counters: Optional[CacheCounters] = None,
         continuation: Optional[tuple] = None,
+        cost: Optional[int] = None,
     ) -> None:
         shard = self._shared._shard_for(base)
         with shard.lock:
@@ -1117,6 +1161,7 @@ class SharedCacheSession:
                 counters=self.counters if counters is None else counters,
                 session=self._token,
                 continuation=continuation,
+                cost=cost,
             )
 
     def get_continuation(

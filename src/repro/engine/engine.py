@@ -70,6 +70,10 @@ from repro.semantics.trace import DOMTrace
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.synth.config import SynthesisConfig
 
+#: Sentinel distinguishing "not memoized yet" from a memoized ``None``
+#: (= unbounded cost) in the tier-policy hint table.
+_COST_UNKNOWN = object()
+
 
 @dataclass(frozen=True)
 class EngineCounters:
@@ -111,6 +115,12 @@ class EngineCounters:
     #: the preceding full-result probe recorded, so they are *not* part
     #: of the ``hits`` reconciliation above.
     resume_hits: int = 0
+    #: Warm-start probes served by the persistent backend's
+    #: decoded-entry cache (the store read and the payload decode were
+    #: both skipped) and the encoded payload bytes those hits never
+    #: re-read.  Not part of the ``hits`` reconciliation.
+    decode_hits: int = 0
+    decode_bytes: int = 0
     index_builds: int = 0
     cache_bytes: int = 0
     interned_snapshots: int = 0
@@ -162,6 +172,10 @@ class ExecutionEngine:
         # keeps memoized ids valid)
         self._action_keys: dict[int, int] = {}
         self._action_pins: list[Action] = []
+        # recompute-cost hints for the store tier policy, keyed by the
+        # statements' canonical key (a value, so collisions are
+        # impossible); None = unbounded/unknown = always persist
+        self._cost_hints: dict[tuple, Optional[int]] = {}
 
     @classmethod
     def for_config(
@@ -243,6 +257,8 @@ class ExecutionEngine:
             cross_session_hits=cache.cross_session_hits,
             warm_hits=cache.warm_hits,
             resume_hits=cache.resume_hits,
+            decode_hits=cache.decode_hits,
+            decode_bytes=cache.decode_bytes,
             index_builds=dom_index.build_count(),
             cache_bytes=self._cache.approx_bytes if self._cache is not None else 0,
             interned_snapshots=shared.interned_snapshots if shared is not None else 0,
@@ -359,13 +375,15 @@ class ExecutionEngine:
                     suffix.env_at_last_action if suffix.actions else None,
                     _shift_continuation(suffix.continuation, consumed),
                 )
-                self._record_result(base, window_keys, budget, result, counters)
+                self._record_result(
+                    base, window_keys, budget, result, counters, statements
+                )
                 return result
         result = evaluator.execute(
             statements, doms, source, env, max_actions,
             record_continuation=resumable,
         )
-        self._record_result(base, window_keys, budget, result, counters)
+        self._record_result(base, window_keys, budget, result, counters, statements)
         return result
 
     def _record_result(
@@ -375,7 +393,16 @@ class ExecutionEngine:
         budget: int,
         result: EvalResult,
         counters: Optional[CacheCounters],
+        statements: Optional[tuple] = None,
     ) -> None:
+        cost = None
+        if statements is not None:
+            cost = self._cost_hint(base[0], statements)
+            if cost is None:
+                # the static bound is unbounded (a loop) — but the entry
+                # is value-addressed to these exact snapshots, so its
+                # recompute cost is exactly the execution it records
+                cost = len(result.actions)
         self._cache.put(
             base,
             window_keys,
@@ -385,7 +412,43 @@ class ExecutionEngine:
             exact_budget_ok=result.env_at_last_action is result.env,
             counters=counters,
             continuation=result.continuation,
+            cost=cost,
         )
+
+    def _cost_hint(
+        self, statements_key: tuple, statements: Optional[tuple]
+    ) -> Optional[int]:
+        """A static upper bound on this fragment's recompute cost.
+
+        Feeds the store tier policy: a *bounded* cheap cost means the
+        entry is faster to re-simulate than to read back, so the file
+        backend may skip persisting it.  Computed with ``data=None``
+        (loops stay unbounded; :meth:`_record_result` then falls back
+        to the entry's recorded action count, which is exact for a
+        value-addressed entry) and memoized per canonical statements
+        key.
+        """
+        if statements is None:
+            return None
+        hint = self._cost_hints.get(statements_key, _COST_UNKNOWN)
+        if hint is not _COST_UNKNOWN:
+            return hint
+        try:
+            from repro.analysis.cost import statement_cost
+
+            total: Optional[int] = 0
+            for statement in statements:
+                interval = statement_cost(statement, None)
+                if interval.hi is None:
+                    total = None
+                    break
+                total += interval.hi
+        except Exception:  # stub statements outside the analysis vocabulary
+            total = None
+        if len(self._cost_hints) >= 4096:
+            self._cost_hints.clear()
+        self._cost_hints[statements_key] = total
+        return total
 
     # ------------------------------------------------------------------
     # Consistency and resolution (delegates — index-accelerated)

@@ -18,10 +18,18 @@ Three backends:
 :class:`FileBackend`
     A persistent store over one SQLite file (stdlib ``sqlite3``, WAL
     mode): a cold process warm-starts from executions recorded by prior
-    sessions — or prior *processes*.  Entries are JSON payloads (no
-    pickle: pickled frozen dataclasses would smuggle their
-    seed-dependent cached hashes across process boundaries); eviction
-    is byte-accounted, oldest-write-first, against ``max_bytes``.
+    sessions — or prior *processes*.  Payloads go through the protocol
+    codec seam (:mod:`repro.protocol.codec`) — binary by default for
+    the ~10× payload-size cut, JSON as the ablation fallback; reads
+    sniff the codec per row, so mixed and legacy stores keep working.
+    A byte-accounted decoded-entry LRU sits in front of SQLite so
+    repeat probes of hot keys skip both the read and the decode.  The
+    store is size-tiered: terminal/whole-program outcomes and
+    consistency memos always persist, while cheap exact interior
+    entries (bounded cost at or below the tier threshold) are
+    recomputed rather than stored.  Eviction is byte-accounted against
+    ``max_bytes``, incremental (running totals, no full-table scans)
+    and tier-aware: cheap tiers drop first.
 
 Shared use
     Pointing several worker processes at one store *is* the shared
@@ -32,14 +40,16 @@ Shared use
     a source of truth.
 
 ``REPRO_CACHE_BACKEND`` selects the backend (``memory`` | ``file``),
-``REPRO_CACHE_DIR`` the store directory, and ``REPRO_CACHE_MAX_BYTES``
-the store's eviction threshold.
+``REPRO_CACHE_DIR`` the store directory, ``REPRO_CACHE_MAX_BYTES`` the
+store's eviction threshold, ``REPRO_CODEC`` the payload codec
+(``binary`` | ``json``), ``REPRO_DECODE_CACHE_BYTES`` the decoded-entry
+LRU budget, and ``REPRO_STORE_TIERING`` / ``REPRO_STORE_TIER_COST`` the
+persistence tier policy.
 """
 
 from __future__ import annotations
 
 import atexit
-import json
 import os
 import sqlite3
 import threading
@@ -49,99 +59,175 @@ from typing import Optional
 from repro.dom.xpath import CHILD, DESC, ConcreteSelector, Predicate, Step, TokenPredicate
 from repro.lang.actions import Action
 from repro.lang.ast import SEL_VAR, ValuePath, Var
+from repro.protocol.codec import Codec, ProtocolError, resolve_codec, sniff_codec
 from repro.semantics.env import Env
 
 #: Entry kinds.  Stored in the ``kind`` column for store introspection
-#: (``SELECT kind, COUNT(*) ...``) only — lookups key on the digest
-#: alone, whose input already carries the kind tag, so kinds can never
-#: collide even without a column filter.
+#: and tier-aware eviction — lookups key on the digest alone, whose
+#: input already carries the kind tag, so kinds can never collide even
+#: without a column filter.
 EXACT, TERMINAL, CONSISTENCY = 0, 1, 2
 
 #: Default store eviction threshold: 256 MiB of payload bytes.
 DEFAULT_MAX_BYTES = 256 << 20
 
+#: Default decoded-entry LRU budget: 32 MiB of (encoded) payload bytes.
+DEFAULT_DECODE_CACHE_BYTES = 32 << 20
+
+#: Default tier threshold: exact interior entries whose recompute cost
+#: (the static bound when the analysis can close it, else the entry's
+#: own recorded action count — exact, since entries are value-addressed
+#: to their snapshots) is at or below this many simulated actions are
+#: recomputed rather than persisted.  12 sits just above the short
+#: interior prefixes the synthesis worklist re-probes constantly and
+#: below the long whole-trace executions that dominate wall-clock.
+DEFAULT_TIER_COST = 12
+
 
 # ----------------------------------------------------------------------
-# Payload codec (exact structural JSON — no string round-trips)
+# Payload conversion (exact structural values — no string round-trips)
 # ----------------------------------------------------------------------
-def _steps_to_json(steps: tuple[Step, ...]) -> list:
-    return [
-        [
-            step.axis == DESC,
-            step.pred.tag,
-            step.pred.attr,
-            step.pred.value,
-            type(step.pred) is TokenPredicate,
-            step.index,
-        ]
-        for step in steps
-    ]
+class StepInterner:
+    """A bounded two-way memo between :class:`Step` objects and payload rows.
 
+    Encode side: maps each step to **one shared row list**, so every
+    selector payload that repeats a step emits the same list object —
+    the binary codec's identity memo then collapses the repeat into a
+    two-byte back-reference (the JSON codec simply re-serializes it).
+    Decode side: maps rows back to interned :class:`Step` objects,
+    skipping Predicate/Step re-construction — restored selectors repeat
+    the same few steps thousands of times (every card of a list page
+    shares most of its raw path).
 
-#: Decode-side interning: restored selectors repeat the same few steps
-#: thousands of times (every card of a list page shares most of its raw
-#: path), and Step/Predicate construction re-validates and re-hashes.
-#: Bounded by wholesale flush; losing entries only costs reconstruction.
-_STEP_INTERN: dict[tuple, Step] = {}
-_STEP_INTERN_LIMIT = 1 << 15
+    Bounded as an LRU (hits migrate to the back once the table passes
+    half capacity; the oldest entry drops when full), owned per backend
+    instance: concurrent validation workers each decode through their
+    own backend's interner, so one worker can no longer flush another's
+    hot steps mid-decode the way the old module-global wholesale-clear
+    dict could.  Losing an entry only costs reconstruction.
+    """
 
+    __slots__ = ("capacity", "_rows", "_steps")
 
-def _steps_from_json(payload: list) -> tuple[Step, ...]:
-    steps = []
-    for item in payload:
-        key = tuple(item)
-        step = _STEP_INTERN.get(key)
+    def __init__(self, capacity: int = 1 << 15) -> None:
+        self.capacity = capacity
+        self._rows: dict[Step, list] = {}
+        self._steps: dict[tuple, Step] = {}
+
+    def step_to_row(self, step: Step) -> list:
+        rows = self._rows
+        row = rows.get(step)
+        if row is None:
+            pred = step.pred
+            row = [
+                step.axis == DESC,
+                pred.tag,
+                pred.attr,
+                pred.value,
+                type(pred) is TokenPredicate,
+                step.index,
+            ]
+            if len(rows) >= self.capacity:
+                del rows[next(iter(rows))]
+            rows[step] = row
+        elif len(rows) > (self.capacity >> 1):
+            rows[step] = rows.pop(step)
+        return row
+
+    def row_to_step(self, row: list) -> Step:
+        key = tuple(row)
+        steps = self._steps
+        step = steps.get(key)
         if step is None:
-            desc, tag, attr, value, token, index = item
+            desc, tag, attr, value, token, index = key
             pred_type = TokenPredicate if token else Predicate
             step = Step(DESC if desc else CHILD, pred_type(tag, attr, value), index)
-            if len(_STEP_INTERN) >= _STEP_INTERN_LIMIT:
-                _STEP_INTERN.clear()
-            _STEP_INTERN[key] = step
-        steps.append(step)
-    return tuple(steps)
+            if len(steps) >= self.capacity:
+                del steps[next(iter(steps))]
+            steps[key] = step
+        elif len(steps) > (self.capacity >> 1):
+            steps[key] = steps.pop(key)
+        return step
 
 
-def action_to_payload(action: Action) -> list:
-    """One action as a JSON-ready value (structural, lossless)."""
-    selector = None if action.selector is None else _steps_to_json(action.selector.steps)
+#: Fallback interner behind the module-level conversion functions
+#: (tests and tools call them without a backend).  Backends own their
+#: own instance.
+_DEFAULT_INTERNER = StepInterner()
+
+
+def _steps_to_payload(
+    steps: tuple[Step, ...], interner: StepInterner
+) -> list:
+    row = interner.step_to_row
+    return [row(step) for step in steps]
+
+
+def _steps_from_payload(payload: list, interner: StepInterner) -> tuple[Step, ...]:
+    step = interner.row_to_step
+    return tuple(step(item) for item in payload)
+
+
+def action_to_payload(
+    action: Action, interner: Optional[StepInterner] = None
+) -> list:
+    """One action as a codec-ready value (structural, lossless)."""
+    interner = interner or _DEFAULT_INTERNER
+    selector = (
+        None
+        if action.selector is None
+        else _steps_to_payload(action.selector.steps, interner)
+    )
     path = None if action.path is None else list(action.path.accessors)
     return [action.kind, selector, action.text, path]
 
 
-def action_from_payload(payload: list) -> Action:
+def action_from_payload(
+    payload: list, interner: Optional[StepInterner] = None
+) -> Action:
     """Rebuild an action from :func:`action_to_payload` output."""
+    interner = interner or _DEFAULT_INTERNER
     kind, selector, text, path = payload
     return Action(
         kind,
-        None if selector is None else ConcreteSelector(_steps_from_json(selector)),
+        None
+        if selector is None
+        else ConcreteSelector(_steps_from_payload(selector, interner)),
         text,
         None if path is None else ValuePath(None, tuple(path)),
     )
 
 
-def env_to_payload(env: Optional[Env]) -> Optional[list]:
-    """An environment's bindings as a JSON-ready value."""
+def env_to_payload(
+    env: Optional[Env], interner: Optional[StepInterner] = None
+) -> Optional[list]:
+    """An environment's bindings as a codec-ready value."""
     if env is None:
         return None
+    interner = interner or _DEFAULT_INTERNER
     bindings = []
     for var, binding in env.fingerprint():
         if isinstance(binding, ConcreteSelector):
-            bindings.append([var.kind, var.uid, _steps_to_json(binding.steps)])
+            bindings.append(
+                [var.kind, var.uid, _steps_to_payload(binding.steps, interner)]
+            )
         else:  # a concrete ValuePath
             bindings.append([var.kind, var.uid, list(binding.accessors)])
     return bindings
 
 
-def env_from_payload(payload: Optional[list]) -> Optional[Env]:
+def env_from_payload(
+    payload: Optional[list], interner: Optional[StepInterner] = None
+) -> Optional[Env]:
     """Rebuild an environment from :func:`env_to_payload` output."""
     if payload is None:
         return None
+    interner = interner or _DEFAULT_INTERNER
     bindings = {}
     for kind, uid, value in payload:
         var = Var(kind, uid)
         if kind == SEL_VAR:
-            bindings[var] = ConcreteSelector(_steps_from_json(value))
+            bindings[var] = ConcreteSelector(_steps_from_payload(value, interner))
         else:
             bindings[var] = ValuePath(None, tuple(value))
     return Env(bindings)
@@ -152,11 +238,13 @@ def entry_to_payload(
     env: Env,
     examined: Optional[tuple[int, ...]],
     exact_budget_ok: bool,
+    interner: Optional[StepInterner] = None,
 ) -> dict:
-    """An execution-cache entry as a JSON-ready dict."""
+    """An execution-cache entry as a codec-ready dict."""
+    interner = interner or _DEFAULT_INTERNER
     payload: dict = {
-        "a": [action_to_payload(action) for action in actions],
-        "e": env_to_payload(env),
+        "a": [action_to_payload(action, interner) for action in actions],
+        "e": env_to_payload(env, interner),
     }
     if examined is not None:
         payload["x"] = list(examined)
@@ -165,10 +253,13 @@ def entry_to_payload(
     return payload
 
 
-def entry_from_payload(payload: dict) -> tuple:
+def entry_from_payload(
+    payload: dict, interner: Optional[StepInterner] = None
+) -> tuple:
     """``(actions, env, examined, exact_budget_ok)`` back from a payload."""
-    actions = tuple(action_from_payload(item) for item in payload["a"])
-    env = env_from_payload(payload["e"])
+    interner = interner or _DEFAULT_INTERNER
+    actions = tuple(action_from_payload(item, interner) for item in payload["a"])
+    env = env_from_payload(payload["e"], interner)
     examined = tuple(payload["x"]) if "x" in payload else None
     return actions, env, examined, bool(payload.get("ok", False))
 
@@ -195,6 +286,25 @@ class CacheBackend:
     def load_entry(self, kind: int, key: bytes) -> Optional[tuple]:
         """``(actions, env, examined, exact_budget_ok)`` or ``None``."""
         raise NotImplementedError
+
+    def fetch_entry(self, kind: int, key: bytes) -> tuple[Optional[tuple], int]:
+        """``(entry, cached_bytes)``: :meth:`load_entry` plus telemetry.
+
+        ``cached_bytes`` is the encoded payload size when the entry was
+        served from a decoded-entry cache (the read *and* the decode
+        were skipped), 0 on a store read or a miss.  The base
+        implementation has no such cache, so it always reports 0.
+        """
+        return self.load_entry(kind, key), 0
+
+    def should_persist(self, kind: int, cost: Optional[int]) -> bool:
+        """Whether an entry of this kind and bounded cost is worth storing.
+
+        ``cost`` is an upper bound on the simulated actions needed to
+        recompute the entry, or ``None`` when unbounded/unknown.  The
+        base policy persists everything; tiered backends override.
+        """
+        return True
 
     def store_entry(
         self,
@@ -252,21 +362,46 @@ class InProcessBackend(CacheBackend):
         pass
 
 
+def _tier_cost_from_env() -> int:
+    """The tier threshold the environment selects (-1 disables tiering)."""
+    toggle = os.environ.get("REPRO_STORE_TIERING", "1").strip().lower()
+    if toggle in ("0", "off", "false", "no"):
+        return -1
+    try:
+        return int(os.environ.get("REPRO_STORE_TIER_COST", DEFAULT_TIER_COST))
+    except ValueError:
+        return DEFAULT_TIER_COST
+
+
 class FileBackend(CacheBackend):
     """A byte-accounted persistent store over one SQLite file.
 
     One connection per process (see :func:`resolve_backend`), guarded by
     a lock so concurrent sessions and validation workers share it
     safely; WAL mode plus a busy timeout make one *file* safe to share
-    between worker processes.  Writes are buffered and flushed every
-    ``flush_every`` stores (and at interpreter exit), so other processes
-    see entries with bounded staleness at a fraction of the commit cost.
+    between worker processes.  Writes are buffered (deduplicated by key)
+    and flushed every ``flush_every`` distinct keys (and at interpreter
+    exit), so other processes see entries with bounded staleness at a
+    fraction of the commit cost.
 
-    Eviction is byte-based: once the summed payload bytes exceed
-    ``max_bytes``, the oldest-written rows are deleted down to 90% of
-    the threshold (``INSERT OR REPLACE`` refreshes a row's age, so
-    rewritten entries survive longest).  Every SQLite error degrades to
-    a miss or a dropped write — the store is a cache, not a ledger.
+    Reads go through a decoded-entry LRU (digest → decoded tuple,
+    byte-accounted against ``decode_cache_bytes``) before touching
+    SQLite; hits count into ``decode_hits`` / ``decode_bytes``.  Writes
+    go through the payload codec (binary unless ``REPRO_CODEC``/the
+    ``codec`` argument says otherwise); reads sniff the codec per row,
+    so a store written by either codec — or a mix — always decodes.
+
+    The store is size-tiered: :data:`TERMINAL` outcomes and
+    :data:`CONSISTENCY` memos always persist, while :data:`EXACT`
+    interior entries whose recompute cost is bounded at or below
+    ``tier_cost`` are skipped (the in-memory tables still hold them).
+    Eviction is byte-based and incremental — running totals maintained
+    at flush time, no full-table ``SUM`` scans — and tier-aware: once
+    the total exceeds ``max_bytes``, rows are dropped down to 90% of
+    the threshold cheapest-tier-first (EXACT, then CONSISTENCY, then
+    TERMINAL), oldest-written first within a tier.  Every SQLite error
+    degrades to a miss or a dropped write — the store is a cache, not a
+    ledger.
     """
 
     name = "file"
@@ -277,27 +412,56 @@ class FileBackend(CacheBackend):
         path: str | Path,
         max_bytes: Optional[int] = None,
         flush_every: int = 64,
+        codec: Optional[Codec] = None,
+        decode_cache_bytes: Optional[int] = None,
+        tier_cost: Optional[int] = None,
     ) -> None:
         self.path = str(path)
         if max_bytes is None:
             max_bytes = int(os.environ.get("REPRO_CACHE_MAX_BYTES", DEFAULT_MAX_BYTES))
         self.max_bytes = max_bytes
         self.flush_every = max(1, flush_every)
+        self.codec = codec if codec is not None else resolve_codec(default="binary")
+        if decode_cache_bytes is None:
+            decode_cache_bytes = int(
+                os.environ.get("REPRO_DECODE_CACHE_BYTES", DEFAULT_DECODE_CACHE_BYTES)
+            )
+        self.decode_cache_bytes = decode_cache_bytes
+        #: Tier threshold for :meth:`should_persist`; -1 disables tiering.
+        self.tier_cost = _tier_cost_from_env() if tier_cost is None else tier_cost
+        self.interner = StepInterner()
         self._lock = threading.Lock()
-        self._pending: list[tuple[bytes, int, bytes, int]] = []
+        #: Write buffer, deduplicated by key: a re-store of a pending
+        #: key replaces the buffered row instead of appending a
+        #: double-counted duplicate.
+        self._pending: dict[bytes, tuple[int, bytes, int]] = {}
+        self._pending_bytes = 0
+        #: Decoded-entry LRU: digest → (decoded tuple, encoded bytes).
+        self._decoded: dict[bytes, tuple[tuple, int]] = {}
+        self._decoded_bytes = 0
         #: Telemetry: loads answered / attempted, writes, evicted rows,
         #: entries dropped because their values were not codec-encodable,
-        #: and I/O errors degraded to misses.
+        #: I/O errors degraded to misses, decoded-cache hits and the
+        #: encoded bytes those hits never re-read, and writes the tier
+        #: policy skipped.
         self.load_hits = 0
         self.loads = 0
         self.stores = 0
         self.evictions = 0
         self.encode_errors = 0
         self.io_errors = 0
+        self.decode_hits = 0
+        self.decode_bytes = 0
+        self.tier_skips = 0
         Path(self.path).parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(
             self.path, check_same_thread=False, timeout=30.0, isolation_level=None
         )
+        #: Running store totals (rows / payload bytes on disk), seeded
+        #: once here and maintained incrementally at flush/evict time so
+        #: steady-state accounting never rescans the table.
+        self._db_entries = 0
+        self._db_bytes = 0
         with self._lock:
             try:
                 self._conn.execute("PRAGMA journal_mode=WAL")
@@ -309,25 +473,52 @@ class FileBackend(CacheBackend):
                     " payload BLOB NOT NULL,"
                     " nbytes INTEGER NOT NULL)"
                 )
+                self._resync_totals_locked()
             except sqlite3.Error:
                 self.io_errors += 1
         atexit.register(self.flush)
 
     # ------------------------------------------------------------------
     def load_entry(self, kind: int, key: bytes) -> Optional[tuple]:
-        payload = self._load(key)
+        return self.fetch_entry(kind, key)[0]
+
+    def fetch_entry(self, kind: int, key: bytes) -> tuple[Optional[tuple], int]:
+        with self._lock:
+            cached = self._decoded.get(key)
+            if cached is not None:
+                self._decoded[key] = self._decoded.pop(key)
+                entry, nbytes = cached
+                self.loads += 1
+                self.load_hits += 1
+                self.decode_hits += 1
+                self.decode_bytes += nbytes
+                return entry, nbytes
+        payload, nbytes = self._load(key)
         if payload is None:
-            return None
+            return None, 0
         try:
-            return entry_from_payload(payload)
+            entry = entry_from_payload(payload, self.interner)
         except (KeyError, TypeError, ValueError, IndexError):
-            return None  # corrupt or foreign payload: a miss
+            return None, 0  # corrupt or foreign payload: a miss
+        with self._lock:
+            self._remember_decoded_locked(key, entry, nbytes)
+        return entry, 0
+
+    def should_persist(self, kind: int, cost: Optional[int]) -> bool:
+        if kind != EXACT or self.tier_cost < 0:
+            return True
+        if cost is None or cost > self.tier_cost:
+            return True
+        self.tier_skips += 1
+        return False
 
     def store_entry(
         self, kind, key, actions, env, examined, exact_budget_ok
     ) -> None:
         try:
-            payload = entry_to_payload(actions, env, examined, exact_budget_ok)
+            payload = entry_to_payload(
+                actions, env, examined, exact_budget_ok, self.interner
+            )
         except (TypeError, AttributeError, ValueError):
             # values outside the codec vocabulary (unit-test stubs,
             # future extensions): the in-memory tables still hold them
@@ -336,7 +527,7 @@ class FileBackend(CacheBackend):
         self._store(kind, key, payload)
 
     def load_consistency(self, key: bytes) -> Optional[int]:
-        payload = self._load(key)
+        payload, _ = self._load(key)
         if payload is None or not isinstance(payload.get("v"), int):
             return None
         return payload["v"]
@@ -345,7 +536,18 @@ class FileBackend(CacheBackend):
         self._store(CONSISTENCY, key, {"v": value})
 
     # ------------------------------------------------------------------
-    def _load(self, key: bytes) -> Optional[dict]:
+    def _remember_decoded_locked(self, key: bytes, entry: tuple, nbytes: int) -> None:
+        decoded = self._decoded
+        previous = decoded.pop(key, None)
+        if previous is not None:
+            self._decoded_bytes -= previous[1]
+        decoded[key] = (entry, nbytes)
+        self._decoded_bytes += nbytes
+        while self._decoded_bytes > self.decode_cache_bytes and decoded:
+            oldest = next(iter(decoded))
+            self._decoded_bytes -= decoded.pop(oldest)[1]
+
+    def _load(self, key: bytes) -> tuple[Optional[dict], int]:
         self.loads += 1
         try:
             with self._lock:
@@ -354,67 +556,123 @@ class FileBackend(CacheBackend):
                 ).fetchone()
         except sqlite3.Error:
             self.io_errors += 1
-            return None
+            return None, 0
         if row is None:
-            return None
+            return None, 0
+        blob = bytes(row[0])
         try:
-            payload = json.loads(row[0])
-        except (ValueError, TypeError):
-            return None  # corrupt row: a miss, never an error
+            payload = sniff_codec(blob).decode_payload(blob)
+        except ProtocolError:
+            return None, 0  # corrupt row: a miss, never an error
         if not isinstance(payload, dict):
-            return None
+            return None, 0
         self.load_hits += 1
-        return payload
+        return payload, len(blob) + len(key)
 
     def _store(self, kind: int, key: bytes, payload: dict) -> None:
         try:
-            blob = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-        except (TypeError, ValueError):
+            blob = self.codec.encode_payload(payload)
+        except (ProtocolError, TypeError, ValueError):
             self.encode_errors += 1
             return
         self.stores += 1
+        nbytes = len(blob) + len(key)
         with self._lock:
-            self._pending.append((key, kind, blob, len(blob) + len(key)))
+            previous = self._pending.get(key)
+            if previous is not None:
+                self._pending_bytes -= previous[2]
+            self._pending[key] = (kind, blob, nbytes)
+            self._pending_bytes += nbytes
             if len(self._pending) < self.flush_every:
                 return
         self.flush()
 
     def flush(self) -> None:
         with self._lock:
-            pending, self._pending = self._pending, []
+            pending, self._pending = self._pending, {}
+            pending_bytes, self._pending_bytes = self._pending_bytes, 0
             if not pending:
                 return
             try:
+                replaced_rows = 0
+                replaced_bytes = 0
+                keys = list(pending)
+                for start in range(0, len(keys), 500):
+                    chunk = keys[start : start + 500]
+                    marks = ",".join("?" * len(chunk))
+                    for _, nbytes in self._conn.execute(
+                        f"SELECT key, nbytes FROM entries WHERE key IN ({marks})",
+                        chunk,
+                    ):
+                        replaced_rows += 1
+                        replaced_bytes += nbytes
                 self._conn.executemany(
                     "INSERT OR REPLACE INTO entries (key, kind, payload, nbytes)"
                     " VALUES (?, ?, ?, ?)",
-                    pending,
+                    [
+                        (key, kind, blob, nbytes)
+                        for key, (kind, blob, nbytes) in pending.items()
+                    ],
                 )
+                self._db_entries += len(pending) - replaced_rows
+                self._db_bytes += pending_bytes - replaced_bytes
                 self._evict_locked()
             except sqlite3.Error:
                 self.io_errors += 1
+                self._resync_totals_locked()
+
+    def _resync_totals_locked(self) -> None:
+        """Re-seed the running totals from the table (open, error paths)."""
+        try:
+            count, total = self._conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(nbytes), 0) FROM entries"
+            ).fetchone()
+            self._db_entries, self._db_bytes = int(count), int(total)
+        except sqlite3.Error:
+            self.io_errors += 1
+
+    #: Rows examined per eviction round: bounds each DELETE's scan.
+    _EVICT_BATCH = 256
 
     def _evict_locked(self) -> None:
-        """Drop oldest-written rows until under the byte threshold."""
-        total = self._conn.execute(
-            "SELECT COALESCE(SUM(nbytes), 0) FROM entries"
-        ).fetchone()[0]
-        if total <= self.max_bytes:
+        """Drop rows until under the byte threshold — cheap tiers first.
+
+        EXACT interior entries (recomputable) go before CONSISTENCY
+        memos, which go before TERMINAL whole-program outcomes;
+        oldest-written first within each tier, in bounded batches.  The
+        running byte total replaces the old full-table ``SUM`` +
+        ``ORDER BY rowid`` scan per flush.
+        """
+        if self._db_bytes <= self.max_bytes:
             return
         target = int(self.max_bytes * 0.9)
-        cutoff = None
-        for rowid, nbytes in self._conn.execute(
-            "SELECT rowid, nbytes FROM entries ORDER BY rowid"
-        ):
-            cutoff = rowid
-            total -= nbytes
-            if total <= target:
-                break
-        if cutoff is not None:
-            dropped = self._conn.execute(
-                "DELETE FROM entries WHERE rowid <= ?", (cutoff,)
-            ).rowcount
-            self.evictions += max(0, dropped)
+        for tier in (EXACT, CONSISTENCY, TERMINAL):
+            while self._db_bytes > target:
+                rows = self._conn.execute(
+                    "SELECT rowid, nbytes FROM entries WHERE kind = ?"
+                    " ORDER BY rowid LIMIT ?",
+                    (tier, self._EVICT_BATCH),
+                ).fetchall()
+                if not rows:
+                    break  # tier empty: move on to the next
+                cutoff = rows[-1][0]
+                freed = 0
+                dropped = 0
+                for rowid, nbytes in rows:
+                    cutoff = rowid
+                    freed += nbytes
+                    dropped += 1
+                    if self._db_bytes - freed <= target:
+                        break
+                self._conn.execute(
+                    "DELETE FROM entries WHERE kind = ? AND rowid <= ?",
+                    (tier, cutoff),
+                )
+                self.evictions += dropped
+                self._db_entries -= dropped
+                self._db_bytes -= freed
+            if self._db_bytes <= target:
+                return
 
     def close(self) -> None:
         self.flush()
@@ -426,25 +684,16 @@ class FileBackend(CacheBackend):
     # ------------------------------------------------------------------
     @property
     def persisted_bytes(self) -> int:
-        try:
-            with self._lock:
-                total = self._conn.execute(
-                    "SELECT COALESCE(SUM(nbytes), 0) FROM entries"
-                ).fetchone()[0]
-            return int(total) + sum(item[3] for item in self._pending)
-        except sqlite3.Error:
-            self.io_errors += 1
-            return 0
+        """Store payload bytes: the on-disk running total plus the
+        deduplicated write buffer (a pending key already on disk is
+        counted twice only until the next flush reconciles it)."""
+        with self._lock:
+            return self._db_bytes + self._pending_bytes
 
     @property
     def entries(self) -> int:
-        try:
-            with self._lock:
-                count = self._conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
-            return int(count) + len(self._pending)
-        except sqlite3.Error:
-            self.io_errors += 1
-            return 0
+        with self._lock:
+            return self._db_entries + len(self._pending)
 
 
 # ----------------------------------------------------------------------

@@ -25,7 +25,7 @@ from typing import Optional, Union
 from urllib.parse import urlsplit
 
 from repro.browser.recorder import Recording
-from repro.protocol.codec import DEFAULT_CODEC
+from repro.protocol.codec import Codec, ProtocolError as CodecError, resolve_codec, sniff_codec
 from repro.protocol.messages import (
     Accept,
     Accepted,
@@ -72,25 +72,39 @@ class ServiceClientError(ReproError):
 
 
 class ServiceClient:
-    """One connection to one service worker."""
+    """One connection to one service worker.
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    ``codec`` selects the wire codec — a name (``json`` | ``binary``), a
+    :class:`~repro.protocol.codec.Codec`, or ``None`` for the
+    ``REPRO_CODEC``/JSON default.  Requests carry the codec's media type
+    in ``Content-Type`` and ``Accept``; the server replies in kind, and
+    responses are decoded by sniffing, so a mixed deployment (old JSON
+    worker, new binary client or vice versa) still round-trips.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        codec: Union[str, Codec, None] = None,
+    ) -> None:
         parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
         if parts.hostname is None:
             raise ValueError(f"bad service URL {base_url!r}")
         self.host = parts.hostname
         self.port = parts.port or 80
         self.timeout = timeout
+        self.codec = codec if isinstance(codec, Codec) else resolve_codec(codec)
         self._conn: Optional[HTTPConnection] = None
 
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str, message=None, raw: Optional[dict] = None):
         """One round trip; returns the decoded protocol message (or dict)."""
         body = None
-        headers = {}
+        headers = {"Accept": self.codec.content_type}
         if message is not None:
-            body = DEFAULT_CODEC.encode(message)
-            headers["Content-Type"] = DEFAULT_CODEC.content_type
+            body = self.codec.encode(message)
+            headers["Content-Type"] = self.codec.content_type
         elif raw is not None:
             body = json.dumps(raw).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -120,8 +134,8 @@ class ServiceClient:
 
     def _decode(self, method: str, path: str, status: int, payload: bytes):
         try:
-            wire = json.loads(payload.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as exc:
+            wire = sniff_codec(payload).decode_payload(payload)
+        except CodecError as exc:
             raise ServiceClientError(
                 f"malformed response from {path}: {payload[:200]!r}", status=status
             ) from exc

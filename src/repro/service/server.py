@@ -38,7 +38,6 @@ migration.
 
 from __future__ import annotations
 
-import json
 import os
 import signal
 import sys
@@ -47,7 +46,12 @@ from typing import Optional
 
 from repro import io as repro_io
 from repro.lang.data import DataSource
-from repro.protocol.codec import DEFAULT_CODEC
+from repro.protocol.codec import (
+    CODECS,
+    DEFAULT_CODEC,
+    codec_for_content_type,
+    sniff_codec,
+)
 from repro.protocol.messages import (
     PROTOCOL_VERSION,
     Accept,
@@ -92,22 +96,30 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:  # pragma: no cover - debug aid
             sys.stderr.write("%s - %s\n" % (self.address_string(), format % args))
 
-    def _reply_bytes(self, body: bytes, status: int) -> None:
+    def _response_codec(self):
+        """Content negotiation: ``Accept`` wins, else reply in the
+        request body's codec, else the wire default (JSON)."""
+        return (
+            codec_for_content_type(self.headers.get("Accept"))
+            or getattr(self, "_request_codec", None)
+            or DEFAULT_CODEC
+        )
+
+    def _reply_bytes(self, body: bytes, status: int, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", DEFAULT_CODEC.content_type)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
     def _reply(self, message, status: int = 200) -> None:
         """Encode one protocol message (or a plain gauge dict) and send."""
+        codec = self._response_codec()
         if isinstance(message, dict):
-            body = json.dumps(message, sort_keys=True, separators=(",", ":")).encode(
-                "utf-8"
-            )
+            body = codec.encode_payload(message)
         else:
-            body = DEFAULT_CODEC.encode(message)
-        self._reply_bytes(body, status)
+            body = codec.encode(message)
+        self._reply_bytes(body, status, codec.content_type)
 
     def _error(
         self,
@@ -122,9 +134,16 @@ class _Handler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length", "0"))
         if length <= 0:
             return {}
-        payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        raw = self.rfile.read(length)
+        # negotiate by Content-Type; sniff when absent or unknown, so
+        # bare pre-protocol JSON posts keep working unchanged
+        codec = codec_for_content_type(self.headers.get("Content-Type"))
+        if codec is None:
+            codec = sniff_codec(raw)
+        self._request_codec = codec
+        payload = codec.decode_payload(raw)
         if not isinstance(payload, dict):
-            raise ParseError("expected a JSON object body")
+            raise ParseError("expected an object body")
         return payload
 
     # ------------------------------------------------------------------
@@ -207,6 +226,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         path = self._route(self.path)
         sid: Optional[str] = None
+        self._request_codec = None  # keep-alive: no carry-over negotiation
         try:
             if path is None:
                 self._gone()
@@ -216,6 +236,7 @@ class _Handler(BaseHTTPRequestHandler):
                         "ok": True,
                         "protocol": PROTOCOL_VERSION,
                         "codec": DEFAULT_CODEC.name,
+                        "codecs": sorted(CODECS),
                     }
                 )
             elif path == "/stats":
@@ -234,6 +255,7 @@ class _Handler(BaseHTTPRequestHandler):
         path = self._route(self.path)
         manager = self.server.manager
         sid: Optional[str] = None
+        self._request_codec = None  # keep-alive: no carry-over negotiation
         try:
             if path is None:
                 self._gone()

@@ -378,5 +378,8 @@ class SessionManager:
             "sessions_imported": imported,
             "backend": backend.name,
             "persisted_bytes": backend.persisted_bytes if backend.persistent else 0,
+            "codec": getattr(getattr(backend, "codec", None), "name", None),
+            "decode_hits": getattr(backend, "decode_hits", 0),
+            "decode_bytes": getattr(backend, "decode_bytes", 0),
             "totals": totals.to_json(),
         }

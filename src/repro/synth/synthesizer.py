@@ -117,6 +117,12 @@ class SynthesisStats:
     #: the window suffix instead of re-executing from the window start
     #: (``resumable_loops``); not part of the hit/miss reconciliation.
     cache_resume_hits: int = 0
+    #: Warm-start probes served by the backend's decoded-entry cache
+    #: (SQLite read and payload decode both skipped) and the encoded
+    #: bytes those hits never re-read; not part of the hit/miss
+    #: reconciliation.
+    cache_decode_hits: int = 0
+    cache_decode_bytes: int = 0
     cache_bytes: int = 0
     interned_snapshots: int = 0
     interned_bytes: int = 0
@@ -387,6 +393,10 @@ class Synthesizer:
         )
         stats.cache_warm_hits = engine_after.warm_hits - engine_before.warm_hits
         stats.cache_resume_hits = engine_after.resume_hits - engine_before.resume_hits
+        stats.cache_decode_hits = engine_after.decode_hits - engine_before.decode_hits
+        stats.cache_decode_bytes = (
+            engine_after.decode_bytes - engine_before.decode_bytes
+        )
         stats.cache_bytes = engine_after.cache_bytes
         stats.interned_snapshots = engine_after.interned_snapshots
         stats.interned_bytes = engine_after.interned_bytes

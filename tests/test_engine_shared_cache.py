@@ -381,12 +381,16 @@ class TestEnumMemoAccounting:
 
 
 class TestWarmStartSynthesis:
-    def test_fresh_process_cache_warm_starts_from_the_store(self, tmp_path):
+    def test_fresh_process_cache_warm_starts_from_the_store(self, tmp_path, monkeypatch):
         # process boundaries are simulated by dropping every in-process
         # cache between runs: only the SQLite store survives, exactly
         # what a restarted worker sees (the service bench does this with
         # real forked processes; the cross-process key stability is
-        # pinned by test_engine_keys)
+        # pinned by test_engine_keys).  Tiering off: this test pins the
+        # warm-start plumbing itself, so every entry must persist — the
+        # tier policy's deliberate recompute-misses are covered by
+        # test_codec_binary and the store-codec bench.
+        monkeypatch.setenv("REPRO_STORE_TIERING", "0")
         from repro.service.backends import reset_backends
 
         store = str(tmp_path / "store.sqlite")

@@ -249,3 +249,81 @@ class TestErrors:
         assert excinfo.value.status == 409
         assert excinfo.value.code == "session_state"
         service.close_session(sid)
+
+
+class TestCodecNegotiation:
+    """Binary wire negotiation: Accept/Content-Type, mixed clients."""
+
+    def _raw(self, service, method, path, body=None, headers=None):
+        from http.client import HTTPConnection
+
+        conn = HTTPConnection(service.host, service.port, timeout=5.0)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            return response, response.read()
+        finally:
+            conn.close()
+
+    def test_binary_client_drives_a_full_session(self, service):
+        binary = ServiceClient(
+            f"http://{service.host}:{service.port}", codec="binary"
+        )
+        try:
+            dom = cards_page(4)
+            actions, snapshots = scrape_cards_trace(dom, 3)
+            sid = binary.create_session(snapshots[0])
+            proposed = None
+            for position, action in enumerate(actions):
+                proposed = binary.record_action(sid, action, snapshots[position + 1])
+            assert proposed.programs > 0
+            accepted = binary.accept(sid, 0)
+            assert accepted.program
+            binary.close_session(sid)
+        finally:
+            binary.close()
+
+    def test_accept_header_selects_the_response_codec(self, service):
+        from repro.protocol.codec import BinaryCodec, sniff_codec
+
+        response, payload = self._raw(
+            service,
+            "GET",
+            "/healthz",
+            headers={"Accept": BinaryCodec.content_type},
+        )
+        assert response.status == 200
+        assert response.getheader("Content-Type") == BinaryCodec.content_type
+        document = sniff_codec(payload).decode_payload(payload)
+        assert document["ok"] is True
+        assert "binary" in document["codecs"] and "json" in document["codecs"]
+
+    def test_unlabelled_binary_body_is_sniffed(self, service):
+        from repro.protocol.codec import BinaryCodec, sniff_codec
+        from repro.protocol.messages import CreateSession
+
+        body = BinaryCodec().encode(CreateSession(snapshot=cards_page(2)))
+        # no Content-Type at all: the server sniffs the 0xC3 magic and,
+        # with no Accept either, replies in the request body's codec
+        response, payload = self._raw(service, "POST", "/v1/sessions", body=body)
+        assert response.status == 200
+        assert response.getheader("Content-Type") == BinaryCodec.content_type
+        wire = sniff_codec(payload).decode_payload(payload)
+        assert wire["type"] == "session_created"
+        service.close_session(wire["session"])
+
+    def test_json_and_binary_clients_share_one_session(self, service):
+        binary = ServiceClient(
+            f"http://{service.host}:{service.port}", codec="binary"
+        )
+        try:
+            dom = cards_page(3)
+            actions, snapshots = scrape_cards_trace(dom, 2)
+            sid = service.create_session(snapshots[0])  # json client
+            for position, action in enumerate(actions):
+                binary.record_action(sid, action, snapshots[position + 1])
+            served = service.candidates(sid)  # json again
+            assert served.candidates
+            binary.close_session(sid)
+        finally:
+            binary.close()
