@@ -16,6 +16,12 @@ Commands
     N-thread pool (output stays byte-identical to serial);
     ``--shared-cache`` joins the process-level execution cache so
     repeated invocations in one process share executions.
+    ``--trace-out FILE`` records spans for the run and writes a Chrome
+    trace-event JSON loadable in Perfetto / ``chrome://tracing``.
+``metrics [--url URL]``
+    Print Prometheus text-format metrics: scraped from a running
+    service's ``GET /v1/metrics`` when ``--url`` is given, rendered
+    from this process's registry otherwise.
 ``replay <PROGRAM-FILE> --benchmark <bid>``
     Run a serialized program for real against a benchmark's site and
     print the scraped outputs.
@@ -120,6 +126,16 @@ def _build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--codec", default=None, choices=("json", "binary"),
                        help="payload codec of the persistent store "
                             "(default: $REPRO_CODEC or binary)")
+    synth.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="record spans and write a Chrome trace-event "
+                            "JSON (open in Perfetto)")
+
+    metrics = commands.add_parser(
+        "metrics", help="print Prometheus text-format metrics"
+    )
+    metrics.add_argument("--url", default=None,
+                         help="scrape a running service's /v1/metrics "
+                              "instead of this process's registry")
 
     serve = commands.add_parser("serve", help="run the session service")
     serve.add_argument("--host", default="127.0.0.1")
@@ -233,12 +249,17 @@ def _cmd_synthesize(path: str, cut: Optional[int], data_path: Optional[str],
                     workers: Optional[int] = None,
                     shared_cache: bool = False,
                     backend: Optional[str] = None,
-                    codec: Optional[str] = None) -> int:
+                    codec: Optional[str] = None,
+                    trace_out: Optional[str] = None) -> int:
     if codec is not None:
         import os
 
         # resolve_codec reads this when the file backend opens its store
         os.environ["REPRO_CODEC"] = codec
+    if trace_out is not None:
+        from repro.obs import tracing as obs_tracing
+
+        obs_tracing.enable(path=trace_out)
     with open(path, encoding="utf-8") as handle:
         recording = repro_io.load(handle)
     data = EMPTY_DATA
@@ -258,11 +279,25 @@ def _cmd_synthesize(path: str, cut: Optional[int], data_path: Optional[str],
             shared_cache=True if shared_cache else None,
             cache_backend=backend,
         )
+    from contextlib import nullcontext
+
+    trace_scope = nullcontext()
+    if trace_out is not None:
+        from repro.obs import context as obs_context
+
+        # one root context for the run, so every span shares a trace_id
+        trace_scope = obs_context.use(obs_context.new_root())
     synthesizer = Synthesizer(data, config)
     try:
-        result = synthesizer.synthesize(actions, snapshots, timeout=timeout)
+        with trace_scope:
+            result = synthesizer.synthesize(actions, snapshots, timeout=timeout)
     finally:
         synthesizer.close()
+    if trace_out is not None:
+        from repro.obs import tracing as obs_tracing
+
+        obs_tracing.write(trace_out)
+        print(f"wrote trace -> {trace_out}", file=sys.stderr)
     if show_stats:
         from repro.harness.report import render_synthesis_stats
 
@@ -275,6 +310,37 @@ def _cmd_synthesize(path: str, cut: Optional[int], data_path: Optional[str],
           f"(in {result.stats.elapsed * 1000:.0f} ms)")
     print(format_program(result.best_program))
     print(f"\npredicted next action: {result.best_prediction}")
+    return 0
+
+
+def _cmd_metrics(url: Optional[str]) -> int:
+    """Prometheus text metrics: scrape a server, or render locally."""
+    if url is None:
+        from repro.obs import metrics as obs_metrics
+
+        sys.stdout.write(obs_metrics.registry().render())
+        return 0
+    from http.client import HTTPConnection
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    if parts.hostname is None:
+        print(f"bad service URL {url!r}", file=sys.stderr)
+        return 2
+    connection = HTTPConnection(parts.hostname, parts.port or 80, timeout=10.0)
+    try:
+        connection.request("GET", "/v1/metrics")
+        response = connection.getresponse()
+        body = response.read()
+    except OSError as error:
+        print(f"cannot scrape {url}: {error}", file=sys.stderr)
+        return 1
+    finally:
+        connection.close()
+    if response.status != 200:
+        print(f"GET /v1/metrics -> {response.status}", file=sys.stderr)
+        return 1
+    sys.stdout.write(body.decode("utf-8"))
     return 0
 
 
@@ -476,8 +542,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             arguments.recording, arguments.cut, arguments.data,
             arguments.timeout, arguments.stats,
             arguments.workers, arguments.shared_cache, arguments.backend,
-            arguments.codec,
+            arguments.codec, arguments.trace_out,
         )
+    if arguments.command == "metrics":
+        return _cmd_metrics(arguments.url)
     if arguments.command == "serve":
         return _cmd_serve(arguments)
     if arguments.command == "protocol-schema":

@@ -72,7 +72,23 @@ from typing import Optional, Sequence
 
 from repro.dom.node import DOMNode
 from repro.engine.keys import stable_digest
+from repro.obs import metrics as obs_metrics
 from repro.semantics.env import Env
+
+_promotions = None
+
+
+def _promotion_counter():
+    """Lazy family handle: entries promoted from the persistent backend
+    into the in-memory tables (the store's half of a warm hit)."""
+    global _promotions
+    if _promotions is None:
+        _promotions = obs_metrics.registry().counter(
+            "repro_store_promotions_total",
+            "Backend payloads promoted into the in-memory cache tables.",
+            ("kind",),
+        )
+    return _promotions
 
 #: Backend entry kinds (mirrors :mod:`repro.service.backends`).
 _EXACT, _TERMINAL, _CONSISTENCY = 0, 1, 2
@@ -474,6 +490,7 @@ class ExecutionCache:
             actions, env, _, _ = exact_payload
             self._insert(self._exact, probe.exact_key, _Entry(actions, env, None), ())
             self._record_hit(recorders, "exact_hits", 0, session, warm=True)
+            _promotion_counter().labels(kind="exact").inc()
             return actions, env
         if terminal_payload is not None:
             actions, env, examined, exact_budget_ok = terminal_payload
@@ -482,6 +499,7 @@ class ExecutionCache:
                 # promote even when unusable for *this* lookup: the entry
                 # is exactly what a local put would have recorded
                 self._insert(self._terminal, probe.terminal_key, promoted, ())
+                _promotion_counter().labels(kind="terminal").inc()
                 if self._terminal_applies(promoted, probe.window_keys, probe.budget):
                     self._record_hit(recorders, "prefix_hits", 0, session, warm=True)
                     return actions, env

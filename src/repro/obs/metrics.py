@@ -1,0 +1,362 @@
+"""Process-wide metrics: lock-safe counters, gauges, histograms, and
+Prometheus text exposition.
+
+The registry is dependency-free and cheap enough to sit on synthesis
+hot paths: families are get-or-create (one dict lookup under the
+registry lock), children are cached by label tuple, and each publish
+is one lock'd add.  The process singleton (:func:`registry`) backs the
+``GET /v1/metrics`` route and the ``repro metrics`` CLI.
+
+``REPRO_OBS=off`` (also ``0``/``false``/``no``) turns every publish
+into a shared no-op child so the disabled path can be benchmarked
+honestly (``benchmarks/bench_obs_overhead.py``); the flag is also
+toggleable in-process via :meth:`MetricsRegistry.set_enabled`.
+
+Naming conventions (enforced where cheap, followed everywhere):
+
+* ``repro_<subsystem>_<what>`` with base units spelled out
+  (``_seconds``, ``_bytes``) — never milliseconds;
+* counters always end in ``_total`` (constructor-enforced);
+* labels are low-cardinality enums only (``kind``, ``phase``,
+  ``route``, ``codec``, ``op``, ``code``) — ids never appear in label
+  values (routes are normalised, e.g. ``/v1/sessions/:sid/actions``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from bisect import bisect_left
+
+#: Content type for the classic Prometheus text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_KILL_VALUES = {"0", "off", "false", "no"}
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def env_enabled() -> bool:
+    """Whether ``REPRO_OBS`` leaves publication on (the default)."""
+    return os.environ.get("REPRO_OBS", "").strip().lower() not in _KILL_VALUES
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` log-spaced upper bounds: start, start*factor, ..."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("exponential_buckets needs start>0, factor>1, count>=1")
+    bounds = []
+    bound = float(start)
+    for _ in range(count):
+        bounds.append(bound)
+        bound *= factor
+    return tuple(bounds)
+
+
+#: Default latency buckets: 0.5 ms .. ~8.2 s, doubling.
+DEFAULT_TIME_BUCKETS = exponential_buckets(0.0005, 2.0, 15)
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ValueError(f"invalid metric name: {name!r}")
+    return name
+
+
+def _format_number(value: float) -> str:
+    """Prometheus sample formatting: integral floats without the .0."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_body(names, values, extra: str = "") -> str:
+    parts = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return ",".join(parts)
+
+
+class _NullChild:
+    """Shared no-op child handed out while the registry is disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_CHILD = _NullChild()
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum")
+
+    def __init__(self, bounds: tuple[float, ...]):
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        # One slot per bound plus the +Inf overflow slot.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+
+    def snapshot(self) -> tuple[list[int], float]:
+        with self._lock:
+            return list(self._counts), self._sum
+
+
+class _Family:
+    """One named metric with labelled children."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str, labelnames=()):
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def _new_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labelvalues):
+        """The child for this label combination (created on first use)."""
+        if not self._registry.enabled:
+            return _NULL_CHILD
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, got {tuple(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._new_child())
+        return child
+
+    def _unlabelled(self):
+        if self._registry.enabled and self.labelnames:
+            raise ValueError(f"{self.name} requires labels {self.labelnames}")
+        return self.labels()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._children.clear()
+
+    def _sorted_children(self):
+        with self._lock:
+            return sorted(self._children.items())
+
+    def render(self, lines: list[str]) -> None:
+        lines.append(f"# HELP {self.name} {_escape_help(self.help)}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        self._render_samples(lines)
+
+    def _render_samples(self, lines: list[str]) -> None:
+        for key, child in self._sorted_children():
+            body = _label_body(self.labelnames, key)
+            suffix = f"{{{body}}}" if body else ""
+            lines.append(f"{self.name}{suffix} {_format_number(child.value)}")
+
+
+class CounterFamily(_Family):
+    kind = "counter"
+
+    def __init__(self, registry, name, help, labelnames=()):
+        if not name.endswith("_total"):
+            raise ValueError(f"counter names must end in _total: {name!r}")
+        super().__init__(registry, name, help, labelnames)
+
+    def _new_child(self):
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._unlabelled().inc(amount)
+
+
+class GaugeFamily(_Family):
+    kind = "gauge"
+
+    def _new_child(self):
+        return _GaugeChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._unlabelled().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._unlabelled().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._unlabelled().set(value)
+
+
+class HistogramFamily(_Family):
+    kind = "histogram"
+
+    def __init__(self, registry, name, help, labelnames=(), buckets=DEFAULT_TIME_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histograms need at least one bucket bound")
+        self.buckets = bounds
+        super().__init__(registry, name, help, labelnames)
+
+    def _new_child(self):
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._unlabelled().observe(value)
+
+    def _render_samples(self, lines: list[str]) -> None:
+        for key, child in self._sorted_children():
+            counts, total_sum = child.snapshot()
+            base = _label_body(self.labelnames, key)
+            cumulative = 0
+            for bound, count in zip(self.buckets, counts):
+                cumulative += count
+                body = _label_body(self.labelnames, key, f'le="{_format_number(bound)}"')
+                lines.append(f"{self.name}_bucket{{{body}}} {cumulative}")
+            cumulative += counts[-1]
+            body = _label_body(self.labelnames, key, 'le="+Inf"')
+            lines.append(f"{self.name}_bucket{{{body}}} {cumulative}")
+            suffix = f"{{{base}}}" if base else ""
+            lines.append(f"{self.name}_sum{suffix} {_format_number(total_sum)}")
+            lines.append(f"{self.name}_count{suffix} {cumulative}")
+
+
+class MetricsRegistry:
+    """A named collection of metric families with text exposition.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: repeated
+    registration with the same name returns the same family (kind and
+    labelnames must agree), so instrumented modules can resolve their
+    handles lazily without coordinating import order.
+    """
+
+    def __init__(self, enabled: bool | None = None):
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+        self.enabled = env_enabled() if enabled is None else enabled
+
+    def set_enabled(self, flag: bool) -> None:
+        self.enabled = bool(flag)
+
+    def _get_or_make(self, cls, name, help, labelnames, **kw):
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(self, name, help, labelnames, **kw)
+                self._families[name] = family
+                return family
+        if type(family) is not cls or family.labelnames != tuple(labelnames):
+            raise ValueError(f"metric {name!r} re-registered with a different shape")
+        return family
+
+    def counter(self, name: str, help: str, labelnames=()) -> CounterFamily:
+        return self._get_or_make(CounterFamily, name, help, labelnames)
+
+    def gauge(self, name: str, help: str, labelnames=()) -> GaugeFamily:
+        return self._get_or_make(GaugeFamily, name, help, labelnames)
+
+    def histogram(
+        self, name: str, help: str, labelnames=(), buckets=DEFAULT_TIME_BUCKETS
+    ) -> HistogramFamily:
+        return self._get_or_make(
+            HistogramFamily, name, help, labelnames, buckets=buckets
+        )
+
+    def render(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        lines: list[str] = []
+        for family in families:
+            family.render(lines)
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def reset(self) -> None:
+        """Zero every family in place (family identity is preserved, so
+        handles cached by instrumented modules stay valid)."""
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            family.clear()
+        self.enabled = env_enabled()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry every subsystem publishes into."""
+    return _REGISTRY
+
+
+def reset_registry() -> None:
+    """Test hook: zero all samples and re-read ``REPRO_OBS``."""
+    _REGISTRY.reset()

@@ -1,0 +1,237 @@
+"""Ring-buffered span recorder exporting Chrome trace-event JSON.
+
+Disabled by default: :func:`span` costs one flag check and returns a
+shared no-op context manager, which is what keeps the instrumented
+hot paths inside the <=5% budget gated by
+``benchmarks/bench_obs_overhead.py``.
+
+Enablement is lazy from the environment on first use:
+
+* ``REPRO_TRACE=1`` (or ``on``/``true``/``yes``) — record spans into
+  the in-process ring buffer (drained via :func:`export` or the
+  ``GET /v1/metrics`` span counter);
+* ``REPRO_TRACE=<path>`` — additionally write the Chrome trace JSON
+  to ``<path>`` at interpreter exit;
+* ``repro synthesize --trace-out t.json`` calls :func:`enable`
+  directly and writes explicitly.
+
+Recorded spans are Chrome trace-event *complete* events (``ph="X"``):
+wall-clock ``ts`` microseconds (so spans from forked workers align on
+one Perfetto timeline), ``dur`` from a perf-counter delta, real
+``pid``/``tid``, and ``args`` carrying ``trace_id``/``span_id``/
+``parent_id`` plus whatever the instrumentation noted.  Parentage
+nests via a contextvar inside a thread and falls back to the
+propagated :class:`~repro.obs.context.TraceContext` span id across
+thread/process boundaries.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextvars
+import json
+import os
+import threading
+import time
+from collections import deque
+
+from . import context as trace_context
+from . import metrics
+
+#: Spans kept in the ring buffer; older spans are dropped silently.
+DEFAULT_CAPACITY = 20_000
+
+_TRUE_VALUES = {"1", "on", "true", "yes"}
+_FALSE_VALUES = {"", "0", "off", "false", "no"}
+
+_lock = threading.Lock()
+_events: deque = deque(maxlen=DEFAULT_CAPACITY)
+_enabled = False
+_initialized = False
+_out_path: str | None = None
+_atexit_registered = False
+
+_parent_span: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_parent_span", default=None
+)
+
+_spans_total = None
+
+
+def _span_counter():
+    global _spans_total
+    if _spans_total is None:
+        _spans_total = metrics.registry().counter(
+            "repro_trace_spans_total", "Spans recorded by the tracer."
+        )
+    return _spans_total
+
+
+class _NullSpan:
+    """Shared disabled-path span: enter/exit/note are all no-ops."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def note(self, **args) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One recorded span; use via ``with tracing.span(name): ...``."""
+
+    __slots__ = (
+        "name",
+        "args",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "_start_wall_us",
+        "_start_perf_ns",
+        "_token",
+    )
+
+    def __init__(self, name: str, ctx=None, args=None):
+        self.name = name
+        self.args = dict(args) if args else {}
+        if ctx is None:
+            ctx = trace_context.current()
+        self.trace_id = ctx.trace_id if ctx else None
+        self.span_id = trace_context.new_span_id()
+        # Local nesting wins; a propagated context's span id stitches
+        # the first span on a new thread/process under its caller.
+        self.parent_id = _parent_span.get() or (ctx.span_id if ctx else None)
+        self._start_wall_us = 0
+        self._start_perf_ns = 0
+        self._token = None
+
+    def note(self, **args) -> None:
+        """Attach key/value detail to the span's ``args``."""
+        self.args.update(args)
+
+    def __enter__(self):
+        self._token = _parent_span.set(self.span_id)
+        self._start_wall_us = time.time_ns() // 1000
+        self._start_perf_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        dur_us = (time.perf_counter_ns() - self._start_perf_ns) // 1000
+        _parent_span.reset(self._token)
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        args = self.args
+        args["span_id"] = self.span_id
+        if self.trace_id is not None:
+            args["trace_id"] = self.trace_id
+        if self.parent_id is not None:
+            args["parent_id"] = self.parent_id
+        event = {
+            "name": self.name,
+            "ph": "X",
+            "ts": self._start_wall_us,
+            "dur": dur_us,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": args,
+        }
+        with _lock:
+            _events.append(event)
+        _span_counter().inc()
+        return False
+
+
+def _init_from_env() -> None:
+    global _initialized
+    value = os.environ.get("REPRO_TRACE", "").strip()
+    token = value.lower()
+    if token in _FALSE_VALUES:
+        pass
+    elif token in _TRUE_VALUES:
+        enable()
+    else:
+        enable(path=value)
+    _initialized = True
+
+
+def enabled() -> bool:
+    """Whether spans are being recorded (lazily reads ``REPRO_TRACE``)."""
+    if not _initialized:
+        _init_from_env()
+    return _enabled
+
+
+def span(name: str, ctx=None, **args):
+    """A context manager recording ``name`` if tracing is enabled.
+
+    ``ctx`` overrides the ambient :func:`~repro.obs.context.current`
+    — pass it when entering a span on an executor thread that did not
+    inherit the submitter's contextvars.
+    """
+    if not enabled():
+        return NULL_SPAN
+    return Span(name, ctx=ctx, args=args)
+
+
+def _write_atexit() -> None:
+    if _enabled and _out_path:
+        try:
+            write(_out_path)
+        except OSError:
+            pass
+
+
+def enable(path: str | None = None, capacity: int | None = None) -> None:
+    """Start recording; optionally write to ``path`` at exit."""
+    global _enabled, _initialized, _out_path, _atexit_registered, _events
+    if capacity is not None and capacity != _events.maxlen:
+        with _lock:
+            _events = deque(_events, maxlen=capacity)
+    if path:
+        _out_path = path
+        if not _atexit_registered:
+            atexit.register(_write_atexit)
+            _atexit_registered = True
+    _enabled = True
+    _initialized = True
+
+
+def disable() -> None:
+    """Stop recording (the ring buffer is kept until :func:`reset`)."""
+    global _enabled, _initialized
+    _enabled = False
+    _initialized = True
+
+
+def reset() -> None:
+    """Drop all recorded spans."""
+    with _lock:
+        _events.clear()
+
+
+def events() -> list[dict]:
+    """A snapshot of the recorded trace events, oldest first."""
+    with _lock:
+        return list(_events)
+
+
+def export() -> dict:
+    """The Chrome trace-event JSON object (Perfetto-loadable)."""
+    return {"traceEvents": events(), "displayTimeUnit": "ms"}
+
+
+def write(path: str) -> int:
+    """Write :func:`export` to ``path``; returns the span count."""
+    snapshot = export()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, separators=(",", ":"))
+        handle.write("\n")
+    return len(snapshot["traceEvents"])

@@ -29,7 +29,32 @@ import os
 import struct
 from typing import Optional
 
+from repro.obs import metrics as obs_metrics
 from repro.protocol.messages import ProtocolError, from_wire, to_wire
+
+_codec_ops = None
+_codec_bytes = None
+
+
+def _publish(codec_name: str, op: str, nbytes: int) -> None:
+    """Count one codec operation (lazy family resolution, no-op when
+    ``REPRO_OBS=off``).  ``op`` distinguishes message encode/decode
+    from the store's payload encode/decode."""
+    global _codec_ops, _codec_bytes
+    if _codec_ops is None:
+        registry = obs_metrics.registry()
+        _codec_ops = registry.counter(
+            "repro_codec_ops_total",
+            "Codec operations by codec and op kind.",
+            ("codec", "op"),
+        )
+        _codec_bytes = registry.counter(
+            "repro_codec_bytes_total",
+            "Bytes produced (encode) or consumed (decode) per codec and op.",
+            ("codec", "op"),
+        )
+    _codec_ops.labels(codec=codec_name, op=op).inc()
+    _codec_bytes.labels(codec=codec_name, op=op).inc(nbytes)
 
 
 class Codec:
@@ -83,27 +108,34 @@ class JsonCodec(Codec):
     content_type = "application/json"
 
     def encode(self, message) -> bytes:
-        return json.dumps(
+        raw = json.dumps(
             to_wire(message), sort_keys=True, separators=(",", ":")
         ).encode("utf-8")
+        _publish("json", "encode", len(raw))
+        return raw
 
     def decode(self, payload: bytes):
         try:
             wire = json.loads(payload.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
             raise ProtocolError(f"undecodable payload: {exc}") from exc
+        _publish("json", "decode", len(payload))
         return from_wire(wire)
 
     def encode_payload(self, value) -> bytes:
-        return json.dumps(
+        raw = json.dumps(
             value, sort_keys=True, separators=(",", ":")
         ).encode("utf-8")
+        _publish("json", "encode_payload", len(raw))
+        return raw
 
     def decode_payload(self, payload: bytes):
         try:
-            return json.loads(payload.decode("utf-8"))
+            value = json.loads(payload.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
             raise ProtocolError(f"undecodable payload: {exc}") from exc
+        _publish("json", "decode_payload", len(payload))
+        return value
 
 
 # ---------------------------------------------------------------------------
@@ -855,17 +887,24 @@ class BinaryCodec(Codec):
     content_type = "application/x-repro-binary"
 
     def encode(self, message) -> bytes:
-        return encode_value(to_wire(message))
+        raw = encode_value(to_wire(message))
+        _publish("binary", "encode", len(raw))
+        return raw
 
     def decode(self, payload: bytes):
         wire = decode_value(payload)
+        _publish("binary", "decode", len(payload))
         return from_wire(wire)
 
     def encode_payload(self, value) -> bytes:
-        return encode_value(value)
+        raw = encode_value(value)
+        _publish("binary", "encode_payload", len(raw))
+        return raw
 
     def decode_payload(self, payload: bytes):
-        return decode_value(payload)
+        value = decode_value(payload)
+        _publish("binary", "decode_payload", len(payload))
+        return value
 
 
 #: The codec every wire surface uses by default.  JSON stays the wire

@@ -9,7 +9,11 @@ without CI noticing.
 Wire shape: every message is a JSON object carrying ``"v"``
 (:data:`PROTOCOL_VERSION`) and ``"type"`` (the message tag) plus one
 key per field.  All fields are always present (``null`` for an absent
-optional), so encodings are canonical and byte-stable.  DOM snapshots
+optional), so encodings are canonical and byte-stable.  One envelope
+key is conditional: ``"trace"`` (added in v3) carries the sender's
+``trace_id-span_id`` pair and appears only while a
+:mod:`repro.obs.context` trace context is active — with observability
+off, encodings are unchanged from v2 modulo the version integer.  DOM snapshots
 and actions reuse the recorded-demonstration shapes of
 :mod:`repro.io`; a :class:`SessionSnapshot` stores its DOM trace as a
 deduplicated pool plus per-position references, exactly like a stored
@@ -31,10 +35,11 @@ from typing import Any, Optional
 from repro import io as repro_io
 from repro.dom.node import DOMNode
 from repro.lang.actions import Action
+from repro.obs import context as obs_context
 from repro.util.errors import ParseError, ReproError
 
 #: The wire version every message carries.  Bump on any wire change.
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 
 class ProtocolError(ReproError):
@@ -584,6 +589,9 @@ def to_wire(message) -> dict:
             wire[field.name] = None
         else:
             wire[field.name] = _encode_value(field.kind, value)
+    ctx = obs_context.current()
+    if ctx is not None:
+        wire[obs_context.WIRE_KEY] = ctx.wire_value()
     return wire
 
 
@@ -600,7 +608,10 @@ def from_wire(wire) -> object:
     spec = _SPEC_BY_TAG.get(tag)
     if spec is None:
         raise ProtocolError(f"unknown message type {tag!r}")
-    return spec.cls(**_decode_fields(spec, wire, ("v", "type")))
+    trace = obs_context.parse(wire.get(obs_context.WIRE_KEY))
+    if trace is not None:
+        obs_context.note_received(trace)
+    return spec.cls(**_decode_fields(spec, wire, ("v", "type", obs_context.WIRE_KEY)))
 
 
 def wire_type(message) -> str:

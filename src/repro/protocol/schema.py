@@ -39,7 +39,7 @@ def schema() -> dict:
         "codecs": {
             codec.name: codec.content_type for codec in CODECS.values()
         },
-        "envelope": ["v", "type"],
+        "envelope": ["v", "type", "trace?"],
         "messages": {
             spec.tag: {"class": spec.cls.__name__, "fields": _fields(spec)}
             for spec in MESSAGE_SPECS

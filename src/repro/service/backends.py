@@ -59,6 +59,7 @@ from typing import Optional
 from repro.dom.xpath import CHILD, DESC, ConcreteSelector, Predicate, Step, TokenPredicate
 from repro.lang.actions import Action
 from repro.lang.ast import SEL_VAR, ValuePath, Var
+from repro.obs import metrics as obs_metrics
 from repro.protocol.codec import Codec, ProtocolError, resolve_codec, sniff_codec
 from repro.semantics.env import Env
 
@@ -81,7 +82,72 @@ DEFAULT_DECODE_CACHE_BYTES = 32 << 20
 #: recomputed rather than persisted.  12 sits just above the short
 #: interior prefixes the synthesis worklist re-probes constantly and
 #: below the long whole-trace executions that dominate wall-clock.
+#: This is only the *seed*: unless ``REPRO_STORE_TIER_COST`` (or the
+#: ``tier_cost`` constructor argument) pins an explicit value, each
+#: store derives its threshold from the recompute costs it actually
+#: observes (see ``FileBackend._recalc_tier_cost_locked``).
 DEFAULT_TIER_COST = 12
+
+#: Adaptive tiering: re-derive the threshold every this many observed
+#: bounded EXACT costs.
+TIER_RECALC_EVERY = 128
+
+#: Adaptive tiering: skip the cheapest ~75% of bounded exact entries.
+TIER_PERCENTILE = 0.75
+
+#: Clamp for the derived threshold — never tier away everything (ceil)
+#: and never degenerate into persisting every two-action prefix (floor).
+TIER_COST_FLOOR = 4
+TIER_COST_CEIL = 64
+
+#: Costs above this all land in one overflow bucket of the observed
+#: distribution (they are never near the derived percentile anyway).
+_TIER_COST_CAP = 256
+
+
+class _StoreMetrics:
+    """Lazy handles on the store's registry families (shared by all
+    ``FileBackend`` instances — one process, one store in practice)."""
+
+    _instance = None
+
+    def __init__(self):
+        registry = obs_metrics.registry()
+        self.probes = registry.counter(
+            "repro_store_probes_total",
+            "Persistent-store probe outcomes (decoded = served from the "
+            "decoded-entry LRU without a read).",
+            ("outcome",),
+        )
+        self.stores = registry.counter(
+            "repro_store_writes_total", "Entries written through to the store."
+        )
+        self.evictions = registry.counter(
+            "repro_store_evictions_total", "Rows dropped by byte-based eviction."
+        )
+        self.tier_skips = registry.counter(
+            "repro_store_tier_skips_total",
+            "Writes skipped by the persistence tier policy.",
+        )
+        self.io_errors = registry.counter(
+            "repro_store_io_errors_total", "SQLite errors degraded to misses."
+        )
+        self.bytes = registry.gauge(
+            "repro_store_bytes", "Payload bytes currently on disk."
+        )
+        self.entries = registry.gauge(
+            "repro_store_entries", "Rows currently on disk."
+        )
+        self.tier_cost = registry.gauge(
+            "repro_store_tier_cost",
+            "Effective tier threshold (derived unless pinned; -1 = tiering off).",
+        )
+
+    @classmethod
+    def get(cls) -> "_StoreMetrics":
+        if cls._instance is None:
+            cls._instance = cls()
+        return cls._instance
 
 
 # ----------------------------------------------------------------------
@@ -362,15 +428,23 @@ class InProcessBackend(CacheBackend):
         pass
 
 
-def _tier_cost_from_env() -> int:
-    """The tier threshold the environment selects (-1 disables tiering)."""
+def _tier_cost_from_env() -> Optional[int]:
+    """The tier threshold the environment selects.
+
+    -1 disables tiering (``REPRO_STORE_TIERING=0``); an integer pins an
+    explicit threshold (``REPRO_STORE_TIER_COST``); ``None`` means
+    neither was set — the store derives the threshold adaptively.
+    """
     toggle = os.environ.get("REPRO_STORE_TIERING", "1").strip().lower()
     if toggle in ("0", "off", "false", "no"):
         return -1
+    override = os.environ.get("REPRO_STORE_TIER_COST", "").strip()
+    if not override:
+        return None
     try:
-        return int(os.environ.get("REPRO_STORE_TIER_COST", DEFAULT_TIER_COST))
+        return int(override)
     except ValueError:
-        return DEFAULT_TIER_COST
+        return None
 
 
 class FileBackend(CacheBackend):
@@ -395,6 +469,12 @@ class FileBackend(CacheBackend):
     :data:`CONSISTENCY` memos always persist, while :data:`EXACT`
     interior entries whose recompute cost is bounded at or below
     ``tier_cost`` are skipped (the in-memory tables still hold them).
+    Unless pinned (constructor argument or ``REPRO_STORE_TIER_COST``),
+    ``tier_cost`` is *derived*: the store tracks the distribution of
+    bounded recompute costs it is asked about and re-sets the threshold
+    to its :data:`TIER_PERCENTILE` every :data:`TIER_RECALC_EVERY`
+    observations, clamped to [:data:`TIER_COST_FLOOR`,
+    :data:`TIER_COST_CEIL`].
     Eviction is byte-based and incremental — running totals maintained
     at flush time, no full-table ``SUM`` scans — and tier-aware: once
     the total exceeds ``max_bytes``, rows are dropped down to 90% of
@@ -428,7 +508,18 @@ class FileBackend(CacheBackend):
             )
         self.decode_cache_bytes = decode_cache_bytes
         #: Tier threshold for :meth:`should_persist`; -1 disables tiering.
-        self.tier_cost = _tier_cost_from_env() if tier_cost is None else tier_cost
+        #: An explicit constructor argument or ``REPRO_STORE_TIER_COST``
+        #: pins the value; otherwise it seeds at :data:`DEFAULT_TIER_COST`
+        #: and tracks the :data:`TIER_PERCENTILE` of the bounded
+        #: recompute costs this store actually observes.
+        if tier_cost is None:
+            tier_cost = _tier_cost_from_env()
+        self.tier_adaptive = tier_cost is None
+        self.tier_cost = DEFAULT_TIER_COST if tier_cost is None else tier_cost
+        #: Observed bounded-EXACT recompute costs: cost -> count (costs
+        #: past _TIER_COST_CAP pool in one overflow bucket).
+        self._cost_counts: dict[int, int] = {}
+        self._cost_samples = 0
         self.interner = StepInterner()
         self._lock = threading.Lock()
         #: Write buffer, deduplicated by key: a re-store of a pending
@@ -476,6 +567,7 @@ class FileBackend(CacheBackend):
                 self._resync_totals_locked()
             except sqlite3.Error:
                 self.io_errors += 1
+        _StoreMetrics.get().tier_cost.set(self.tier_cost)
         atexit.register(self.flush)
 
     # ------------------------------------------------------------------
@@ -492,6 +584,7 @@ class FileBackend(CacheBackend):
                 self.load_hits += 1
                 self.decode_hits += 1
                 self.decode_bytes += nbytes
+                _StoreMetrics.get().probes.labels(outcome="decoded").inc()
                 return entry, nbytes
         payload, nbytes = self._load(key)
         if payload is None:
@@ -507,10 +600,47 @@ class FileBackend(CacheBackend):
     def should_persist(self, kind: int, cost: Optional[int]) -> bool:
         if kind != EXACT or self.tier_cost < 0:
             return True
-        if cost is None or cost > self.tier_cost:
+        if cost is None:
+            return True
+        if self.tier_adaptive:
+            with self._lock:
+                self._observe_cost_locked(cost)
+        if cost > self.tier_cost:
             return True
         self.tier_skips += 1
+        _StoreMetrics.get().tier_skips.inc()
         return False
+
+    def _observe_cost_locked(self, cost: int) -> None:
+        bucket = cost if cost < _TIER_COST_CAP else _TIER_COST_CAP
+        counts = self._cost_counts
+        counts[bucket] = counts.get(bucket, 0) + 1
+        self._cost_samples += 1
+        if self._cost_samples % TIER_RECALC_EVERY == 0:
+            self._recalc_tier_cost_locked()
+
+    def _recalc_tier_cost_locked(self) -> None:
+        """Re-derive ``tier_cost`` as the :data:`TIER_PERCENTILE` of the
+        observed bounded recompute costs, clamped to
+        [:data:`TIER_COST_FLOOR`, :data:`TIER_COST_CEIL`].
+
+        The observed distribution is exactly the population the policy
+        splits: entries whose cost the tier decision already had in
+        hand.  A store dominated by short interior prefixes pushes the
+        threshold up (skip more, they are cheap to recompute); a store
+        of long bounded executions pulls it down toward the floor so
+        genuinely expensive entries keep persisting.
+        """
+        target = self._cost_samples * TIER_PERCENTILE
+        cumulative = 0
+        derived = TIER_COST_FLOOR
+        for bucket in sorted(self._cost_counts):
+            cumulative += self._cost_counts[bucket]
+            if cumulative >= target:
+                derived = bucket
+                break
+        self.tier_cost = max(TIER_COST_FLOOR, min(TIER_COST_CEIL, derived))
+        _StoreMetrics.get().tier_cost.set(self.tier_cost)
 
     def store_entry(
         self, kind, key, actions, env, examined, exact_budget_ok
@@ -549,6 +679,7 @@ class FileBackend(CacheBackend):
 
     def _load(self, key: bytes) -> tuple[Optional[dict], int]:
         self.loads += 1
+        metrics = _StoreMetrics.get()
         try:
             with self._lock:
                 row = self._conn.execute(
@@ -556,17 +687,23 @@ class FileBackend(CacheBackend):
                 ).fetchone()
         except sqlite3.Error:
             self.io_errors += 1
+            metrics.io_errors.inc()
+            metrics.probes.labels(outcome="miss").inc()
             return None, 0
         if row is None:
+            metrics.probes.labels(outcome="miss").inc()
             return None, 0
         blob = bytes(row[0])
         try:
             payload = sniff_codec(blob).decode_payload(blob)
         except ProtocolError:
+            metrics.probes.labels(outcome="miss").inc()
             return None, 0  # corrupt row: a miss, never an error
         if not isinstance(payload, dict):
+            metrics.probes.labels(outcome="miss").inc()
             return None, 0
         self.load_hits += 1
+        metrics.probes.labels(outcome="hit").inc()
         return payload, len(blob) + len(key)
 
     def _store(self, kind: int, key: bytes, payload: dict) -> None:
@@ -576,6 +713,7 @@ class FileBackend(CacheBackend):
             self.encode_errors += 1
             return
         self.stores += 1
+        _StoreMetrics.get().stores.inc()
         nbytes = len(blob) + len(key)
         with self._lock:
             previous = self._pending.get(key)
@@ -619,7 +757,11 @@ class FileBackend(CacheBackend):
                 self._evict_locked()
             except sqlite3.Error:
                 self.io_errors += 1
+                _StoreMetrics.get().io_errors.inc()
                 self._resync_totals_locked()
+            metrics = _StoreMetrics.get()
+            metrics.bytes.set(self._db_bytes)
+            metrics.entries.set(self._db_entries)
 
     def _resync_totals_locked(self) -> None:
         """Re-seed the running totals from the table (open, error paths)."""
@@ -669,6 +811,7 @@ class FileBackend(CacheBackend):
                     (tier, cutoff),
                 )
                 self.evictions += dropped
+                _StoreMetrics.get().evictions.inc(dropped)
                 self._db_entries -= dropped
                 self._db_bytes -= freed
             if self._db_bytes <= target:

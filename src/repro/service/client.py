@@ -25,6 +25,7 @@ from typing import Optional, Union
 from urllib.parse import urlsplit
 
 from repro.browser.recorder import Recording
+from repro.obs import context as obs_context
 from repro.protocol.codec import Codec, ProtocolError as CodecError, resolve_codec, sniff_codec
 from repro.protocol.messages import (
     Accept,
@@ -102,6 +103,12 @@ class ServiceClient:
         """One round trip; returns the decoded protocol message (or dict)."""
         body = None
         headers = {"Accept": self.codec.content_type}
+        # propagate the ambient trace context so server-side spans
+        # stitch under the caller's trace — including migration pushes,
+        # where this client runs inside the source worker's request
+        ctx = obs_context.current()
+        if ctx is not None:
+            headers[obs_context.HEADER] = ctx.wire_value()
         if message is not None:
             body = self.codec.encode(message)
             headers["Content-Type"] = self.codec.content_type

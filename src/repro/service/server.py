@@ -25,15 +25,21 @@ Versioned routes (all bodies protocol JSON):
                                             ``SessionSnapshot`` | ``Migrated``
 ``POST /v1/sessions/import``                ``SessionSnapshot`` → ``SessionCreated``
 ``GET  /v1/stats``                          → manager-wide stats (JSON gauges)
+``GET  /v1/metrics``                        → Prometheus text exposition
 ``GET  /healthz``                           → ``{ok, protocol, codec}``
 ==========================================  ===================================
 
-The pre-protocol ``/api/...`` alias is gone: those paths now answer
-404 with an :class:`~repro.protocol.messages.ErrorEnvelope` naming the
-``/v1`` successor route.  ``--workers N`` forks N workers on
-consecutive ports over one store — the multi-process deployment shape;
-a load balancer (or the client) picks a port and may rebalance via
-migration.
+Every request runs under a trace context: the ``X-Repro-Trace`` header
+(``<trace_id>-<span_id>``) is adopted when present — so spans recorded
+here stitch under the caller's trace, including migration pushes to a
+peer worker — and a fresh root is minted otherwise; the active context
+is echoed back on the response.  Per-route latency histograms and
+status counters publish to the process metrics registry, with session
+ids collapsed to ``:sid`` to keep label cardinality bounded.
+
+``--workers N`` forks N workers on consecutive ports over one store —
+the multi-process deployment shape; a load balancer (or the client)
+picks a port and may rebalance via migration.
 """
 
 from __future__ import annotations
@@ -41,11 +47,15 @@ from __future__ import annotations
 import os
 import signal
 import sys
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from repro import io as repro_io
 from repro.lang.data import DataSource
+from repro.obs import context as obs_context
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.protocol.codec import (
     CODECS,
     DEFAULT_CODEC,
@@ -74,6 +84,64 @@ from repro.util.errors import ParseError, ReproError
 
 #: Default service port (consecutive ports for extra workers).
 DEFAULT_PORT = 8738
+
+#: Fixed-path routes allowed verbatim as metric labels.
+_KNOWN_ROUTES = {
+    "/healthz",
+    "/v1/stats",
+    "/v1/metrics",
+    "/v1/sessions",
+    "/v1/sessions/import",
+}
+
+_SESSION_VERBS = {"actions", "candidates", "accept", "reject", "close", "migrate"}
+
+
+def _metric_route(path: str) -> str:
+    """Low-cardinality route label: session ids collapse to ``:sid``,
+    anything unrecognized to ``other`` (404 probes must not mint one
+    label per probed path)."""
+    path = path.split("?", 1)[0]
+    parts = path.split("/")
+    if (
+        len(parts) == 5
+        and parts[1] == "v1"
+        and parts[2] == "sessions"
+        and parts[4] in _SESSION_VERBS
+    ):
+        return "/v1/sessions/:sid/" + parts[4]
+    if path in _KNOWN_ROUTES:
+        return path
+    return "other"
+
+
+class _HttpMetrics:
+    """Per-route request counters and latency histograms.
+
+    Caches *family* handles only (children are re-resolved per publish)
+    so :func:`repro.obs.metrics.reset_registry` keeps working.
+    """
+
+    _instance: Optional["_HttpMetrics"] = None
+
+    def __init__(self) -> None:
+        reg = obs_metrics.registry()
+        self.requests = reg.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by normalized route and status code.",
+            ("route", "code"),
+        )
+        self.latency = reg.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock request latency by normalized route.",
+            ("route",),
+        )
+
+    @classmethod
+    def get(cls) -> "_HttpMetrics":
+        if cls._instance is None:
+            cls._instance = cls()
+        return cls._instance
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -106,8 +174,12 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _reply_bytes(self, body: bytes, status: int, content_type: str) -> None:
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
+        ctx = obs_context.current()
+        if ctx is not None:
+            self.send_header(obs_context.HEADER, ctx.wire_value())
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -201,36 +273,53 @@ class _Handler(BaseHTTPRequestHandler):
         return MigrateSession(sid, target)
 
     # ------------------------------------------------------------------
-    def _route(self, path: str) -> Optional[str]:
-        """Strip the version prefix; ``None`` marks the removed alias."""
+    def _route(self, path: str) -> str:
+        """Strip the version prefix."""
         if path.startswith("/v1/"):
             return path[len("/v1") :]
-        if path.startswith("/api/"):
-            return None
         return path
 
-    def _gone(self) -> None:
-        """The removed ``/api`` alias: 404 naming the ``/v1`` successor."""
-        # drain any request body first: replying with unread bytes on the
-        # socket would desynchronize the keep-alive connection
-        length = int(self.headers.get("Content-Length", "0"))
-        if length > 0:
-            self.rfile.read(length)
-        successor = "/v1" + self.path[len("/api") :]
-        self._error(
-            "no_route",
-            f"the /api alias was removed; use {successor}",
-            404,
-        )
+    def _observe(self, handler) -> None:
+        """Run one request under a trace context and publish route metrics.
+
+        The ``X-Repro-Trace`` header is adopted when present (spans
+        recorded while serving stitch under the caller's trace); a root
+        context is minted otherwise.  Any trace noted by an envelope
+        decode is cleared afterwards so it cannot leak into the next
+        keep-alive request on this thread.
+        """
+        started = time.perf_counter()
+        route = _metric_route(self.path)
+        ctx = obs_context.parse(self.headers.get(obs_context.HEADER))
+        if ctx is None:
+            ctx = obs_context.new_root()
+        self._status = 0
+        try:
+            with obs_context.use(ctx):
+                with obs_tracing.span(
+                    "http_request", route=route, method=self.command
+                ):
+                    handler()
+        finally:
+            obs_context.take_received()
+            metrics = _HttpMetrics.get()
+            metrics.latency.labels(route=route).observe(
+                time.perf_counter() - started
+            )
+            metrics.requests.labels(route=route, code=str(self._status)).inc()
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._observe(self._do_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._observe(self._do_post)
+
+    def _do_get(self) -> None:
         path = self._route(self.path)
         sid: Optional[str] = None
         self._request_codec = None  # keep-alive: no carry-over negotiation
         try:
-            if path is None:
-                self._gone()
-            elif self.path == "/healthz":
+            if self.path == "/healthz":
                 self._reply(
                     {
                         "ok": True,
@@ -243,6 +332,12 @@ class _Handler(BaseHTTPRequestHandler):
                 stats = self.server.manager.stats()
                 stats["protocol"] = PROTOCOL_VERSION
                 self._reply(stats)
+            elif path == "/metrics":
+                self._reply_bytes(
+                    obs_metrics.registry().render().encode("utf-8"),
+                    200,
+                    obs_metrics.CONTENT_TYPE,
+                )
             elif path.startswith("/sessions/") and path.endswith("/candidates"):
                 sid = path[len("/sessions/") : -len("/candidates")]
                 self._reply(self.server.manager.candidates(sid))
@@ -251,15 +346,12 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:
             self._handle_error(exc, sid)
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+    def _do_post(self) -> None:
         path = self._route(self.path)
         manager = self.server.manager
         sid: Optional[str] = None
         self._request_codec = None  # keep-alive: no carry-over negotiation
         try:
-            if path is None:
-                self._gone()
-                return
             payload = self._body()
             if path == "/sessions":
                 self._reply(manager.create_session(self._as_create(payload)))

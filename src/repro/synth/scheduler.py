@@ -53,6 +53,8 @@ from typing import Callable, Optional, Sequence
 
 from repro.analysis.feasibility import infeasible
 from repro.engine import index as dom_index
+from repro.obs import context as obs_context
+from repro.obs import tracing as obs_tracing
 from repro.synth.config import resolved_static_prune
 from repro.synth.rewrite import RewriteTuple
 from repro.synth.speculate import SpeculationContext, SRewrite
@@ -296,12 +298,18 @@ class PoolScheduler(ValidationScheduler):
         engine = context.engine
         absorb = engine.absorb_counters if sink is None else sink
         trackers = dom_index.current_trackers()
+        # captured once so pool threads — which do not inherit the
+        # submitting thread's contextvars — still stitch their spans
+        # under the request's trace
+        trace_ctx = obs_context.current()
 
         def run_chunk(chunk: Sequence[tuple[int, SRewrite]]):
             # workers re-check the deadline between candidates, so a
             # wave overruns the per-call budget by at most one validate
             # per worker — the serial loop's overrun, times the pool
-            with dom_index.adopt_trackers(trackers):
+            with dom_index.adopt_trackers(trackers), obs_tracing.span(
+                "validate_chunk", ctx=trace_ctx, size=len(chunk)
+            ):
                 with engine.worker_counters() as counters:
                     validated = []
                     for index, item in chunk:
@@ -338,6 +346,7 @@ class PoolScheduler(ValidationScheduler):
         factor = 1
         clipped = False
         executed = 0
+        wave = 0
         while True:
             if deadline.expired():
                 # checked before the batch is carved so `position` never
@@ -355,19 +364,23 @@ class PoolScheduler(ValidationScheduler):
                 batch.extend(take)
             if not batch:
                 break
+            wave += 1
             stride = min(self.workers, len(batch))
-            futures = [
-                pool.submit(run_chunk, batch[offset::stride])
-                for offset in range(stride)
-            ]
-            wave_clipped = False
-            for future in futures:
-                chunk_results, counters, chunk_clipped = future.result()
-                executed += len(chunk_results)
-                for index, rewritten in chunk_results:
-                    results[index] = rewritten
-                absorb(counters)
-                wave_clipped = wave_clipped or chunk_clipped
+            with obs_tracing.span(
+                "validate_wave", ctx=trace_ctx, wave=wave, batch=len(batch)
+            ):
+                futures = [
+                    pool.submit(run_chunk, batch[offset::stride])
+                    for offset in range(stride)
+                ]
+                wave_clipped = False
+                for future in futures:
+                    chunk_results, counters, chunk_clipped = future.result()
+                    executed += len(chunk_results)
+                    for index, rewritten in chunk_results:
+                        results[index] = rewritten
+                    absorb(counters)
+                    wave_clipped = wave_clipped or chunk_clipped
             recount_successes()
             if wave_clipped:
                 clipped = True
@@ -441,11 +454,16 @@ class PipelineScheduler(PoolScheduler):
         trackers = dom_index.current_trackers()
         max_per_span = context.config.max_rewrites_per_span
         use_pool = self.workers >= 2 and len(candidates) >= self.min_batch
+        # the merge executor thread does not inherit contextvars: carry
+        # the request's trace context into the drain explicitly
+        trace_ctx = obs_context.current()
 
         def drain():
             started = time.perf_counter()
-            with dom_index.adopt_trackers(trackers):
-                with engine.worker_counters() as counters:
+            with obs_context.use(trace_ctx), dom_index.adopt_trackers(trackers):
+                with obs_tracing.span(
+                    "drain_pop", candidates=len(candidates), pooled=use_pool
+                ), engine.worker_counters() as counters:
                     if use_pool:
                         results, clipped, executed = self._validate_waves(
                             current,

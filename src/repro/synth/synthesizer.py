@@ -34,6 +34,8 @@ from repro.engine.engine import ExecutionEngine
 from repro.lang.actions import Action
 from repro.lang.ast import Program
 from repro.lang.data import DataSource
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.semantics.trace import DOMTrace
 from repro.synth.alternatives import SelectorSearch
 from repro.synth.config import (
@@ -49,6 +51,111 @@ from repro.synth.scheduler import PipelineScheduler, scheduler_for
 from repro.synth.speculate import SpeculationContext, speculate
 from repro.util.errors import SynthesisError
 from repro.util.timer import Deadline
+
+
+class _SynthMetrics:
+    """Lazy handles on the synthesis registry families.
+
+    :class:`SynthesisStats` keeps its shape (the harnesses depend on
+    it); these families are where each call's finished stats *also*
+    land, at the same absorb point that reconciles the engine counter
+    deltas — so ``GET /v1/metrics`` serves exactly the numbers the
+    harness tables would.
+    """
+
+    _instance = None
+
+    def __init__(self):
+        registry = obs_metrics.registry()
+        self.calls = registry.counter(
+            "repro_synth_calls_total", "synthesize() calls completed."
+        )
+        self.timeouts = registry.counter(
+            "repro_synth_timeouts_total", "Calls that hit their deadline."
+        )
+        self.pops = registry.counter(
+            "repro_synth_pops_total", "Worklist tuples popped."
+        )
+        self.speculated = registry.counter(
+            "repro_synth_speculated_total", "Candidates emitted by speculation."
+        )
+        self.validations = registry.counter(
+            "repro_synth_validations_total",
+            "Engine validation executions run (Algorithm 3 calls).",
+        )
+        self.validated = registry.counter(
+            "repro_synth_validated_total", "Candidates that passed validation."
+        )
+        self.pruned = registry.counter(
+            "repro_synth_pruned_total",
+            "Speculated candidates refuted statically before dispatch.",
+        )
+        self.phase_seconds = registry.histogram(
+            "repro_synth_phase_seconds",
+            "Per-call wall clock by synthesis phase (phases overlap under "
+            "the pipelined schedule).",
+            ("phase",),
+        )
+        self.call_seconds = registry.histogram(
+            "repro_synth_call_seconds", "synthesize() wall clock per call."
+        )
+        self.cache_hits = registry.counter(
+            "repro_cache_hits_total",
+            "Execution-cache hits by kind.  exact/prefix/consistency "
+            "partition the reconciling hits; cross_session, warm, resume "
+            "and decode are overlay counts of the same lookups.",
+            ("kind",),
+        )
+        self.cache_misses = registry.counter(
+            "repro_cache_misses_total", "Execution-cache misses."
+        )
+        self.cache_evictions = registry.counter(
+            "repro_cache_evictions_total", "In-memory cache entries evicted."
+        )
+        self.decode_bytes = registry.counter(
+            "repro_cache_decode_bytes_total",
+            "Encoded bytes the decoded-entry cache never re-read.",
+        )
+        self.cache_bytes = registry.gauge(
+            "repro_cache_bytes", "Approximate in-memory cache footprint."
+        )
+        self.interned_bytes = registry.gauge(
+            "repro_cache_interned_bytes",
+            "Approximate bytes held by the snapshot-interning table.",
+        )
+
+    @classmethod
+    def get(cls) -> "_SynthMetrics":
+        if cls._instance is None:
+            cls._instance = cls()
+        return cls._instance
+
+    def publish(self, stats: "SynthesisStats") -> None:
+        self.calls.inc()
+        if stats.timed_out:
+            self.timeouts.inc()
+        self.pops.inc(stats.pops)
+        self.speculated.inc(stats.speculated)
+        self.validations.inc(stats.validations)
+        self.validated.inc(stats.validated)
+        self.pruned.inc(stats.pruned)
+        self.phase_seconds.labels(phase="speculate").observe(stats.speculate_s)
+        self.phase_seconds.labels(phase="validate").observe(stats.validate_s)
+        self.phase_seconds.labels(phase="extend").observe(stats.extend_s)
+        self.call_seconds.observe(stats.elapsed)
+        hits = self.cache_hits
+        hits.labels(kind="exact").inc(stats.cache_exact_hits)
+        hits.labels(kind="prefix").inc(stats.cache_prefix_hits)
+        hits.labels(kind="consistency").inc(stats.cache_consistency_hits)
+        hits.labels(kind="cross_session").inc(stats.cache_cross_session_hits)
+        hits.labels(kind="warm").inc(stats.cache_warm_hits)
+        hits.labels(kind="resume").inc(stats.cache_resume_hits)
+        hits.labels(kind="decode").inc(stats.cache_decode_hits)
+        self.cache_misses.inc(stats.cache_misses)
+        self.cache_evictions.inc(stats.cache_evictions)
+        self.decode_bytes.inc(stats.cache_decode_bytes)
+        self.cache_bytes.set(stats.cache_bytes)
+        self.interned_bytes.set(stats.interned_bytes)
 
 
 @dataclass
@@ -290,7 +397,9 @@ class Synthesizer:
         engine_before = self._engine.counters()
         enum_before = (self._search.enum_indexed, self._search.enum_fallback)
 
-        with dom_index.track_builds() as built:
+        with obs_tracing.span(
+            "synthesize", actions=trace_length
+        ) as call_span, dom_index.track_builds() as built:
             context = SpeculationContext(
                 self._actions,
                 self._snapshots,
@@ -332,13 +441,14 @@ class Synthesizer:
                     )
 
             extend_started = time.perf_counter()
-            if had_store:
-                for stored in self._store.values():
-                    extended = self._extend(stored, old_length, trace_length, context)
-                    if extended is not None:
-                        push(extended)
-            else:
-                push(initial_tuple(self._actions))
+            with obs_tracing.span("extend", stored=len(self._store)):
+                if had_store:
+                    for stored in self._store.values():
+                        extended = self._extend(stored, old_length, trace_length, context)
+                        if extended is not None:
+                            push(extended)
+                else:
+                    push(initial_tuple(self._actions))
             stats.extend_s += time.perf_counter() - extend_started
             self._store = store
 
@@ -363,20 +473,30 @@ class Synthesizer:
                     current.processed = True
                     stats.pops += 1
                     spec_started = time.perf_counter()
-                    candidates = speculate(current, context)
+                    with obs_tracing.span("speculate", pop=stats.pops):
+                        candidates = speculate(current, context)
                     stats.speculate_s += time.perf_counter() - spec_started
                     stats.speculated += len(candidates)
                     # The scheduler validates in rank order (smallest
                     # statements first within a span) and pushes survivors;
                     # serial and pooled schedules produce identical pushes.
                     validate_started = time.perf_counter()
-                    self._scheduler.process_pop(
-                        current, candidates, context, deadline, stats, push
-                    )
+                    with obs_tracing.span(
+                        "validate", pop=stats.pops, candidates=len(candidates)
+                    ):
+                        self._scheduler.process_pop(
+                            current, candidates, context, deadline, stats, push
+                        )
                     stats.validate_s += time.perf_counter() - validate_started
 
             self._prune_store()
             self._collect(result, generalizing)
+            call_span.note(
+                pops=stats.pops,
+                speculated=stats.speculated,
+                programs=len(result.programs),
+                timed_out=stats.timed_out,
+            )
         stats.tuples = len(self._store)
         stats.elapsed = deadline.elapsed()
         engine_after = self._engine.counters()
@@ -406,6 +526,7 @@ class Synthesizer:
         stats.index_builds = built.count
         stats.enum_indexed = self._search.enum_indexed - enum_before[0]
         stats.enum_fallback = self._search.enum_fallback - enum_before[1]
+        _SynthMetrics.get().publish(stats)
         return result
 
     # ------------------------------------------------------------------
@@ -442,7 +563,8 @@ class Synthesizer:
 
         def timed_speculate(tuple_: RewriteTuple) -> list:
             started = time.perf_counter()
-            candidates = speculate(tuple_, context)
+            with obs_tracing.span("speculate"):
+                candidates = speculate(tuple_, context)
             stats.speculate_s += time.perf_counter() - started
             return candidates
 
@@ -492,7 +614,8 @@ class Synthesizer:
                 spec_cache[id(upcoming)] = (upcoming, timed_speculate(upcoming))
             # the per-pop barrier: every push of this pop is applied
             # before the next pop is selected
-            scheduler.drain_pop(handle, context, stats)
+            with obs_tracing.span("validate_drain", pop=stats.pops):
+                scheduler.drain_pop(handle, context, stats)
 
     def _prune_store(self) -> None:
         """Bound the tuples carried into the next incremental call.

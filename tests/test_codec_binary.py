@@ -50,6 +50,9 @@ from repro.service.backends import (
     EXACT,
     TERMINAL,
     DEFAULT_TIER_COST,
+    TIER_COST_CEIL,
+    TIER_COST_FLOOR,
+    TIER_RECALC_EVERY,
     FileBackend,
     StepInterner,
     entry_from_payload,
@@ -338,6 +341,71 @@ class TestTierPolicy:
 
     def test_default_threshold_is_the_environment_default(self, tmp_path):
         assert FileBackend(tmp_path / "s.sqlite").tier_cost == DEFAULT_TIER_COST
+
+
+class TestAdaptiveTierCost:
+    """Unpinned stores derive ``tier_cost`` from observed recompute costs."""
+
+    def _observe(self, backend, cost, count):
+        for _ in range(count):
+            backend.should_persist(EXACT, cost)
+
+    def test_unpinned_stores_adapt_pinned_stores_do_not(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_TIER_COST", raising=False)
+        adaptive = FileBackend(tmp_path / "a.sqlite")
+        assert adaptive.tier_adaptive
+        assert adaptive.tier_cost == DEFAULT_TIER_COST  # the seed
+        pinned = FileBackend(tmp_path / "b.sqlite", tier_cost=5)
+        assert not pinned.tier_adaptive
+        monkeypatch.setenv("REPRO_STORE_TIER_COST", "7")
+        env_pinned = FileBackend(tmp_path / "c.sqlite")
+        assert not env_pinned.tier_adaptive
+        self._observe(pinned, 200, TIER_RECALC_EVERY)
+        self._observe(env_pinned, 200, TIER_RECALC_EVERY)
+        assert pinned.tier_cost == 5
+        assert env_pinned.tier_cost == 7
+
+    def test_expensive_population_raises_the_threshold(self, tmp_path):
+        backend = FileBackend(tmp_path / "s.sqlite")
+        self._observe(backend, 40, TIER_RECALC_EVERY)
+        # p75 of an all-40 population is 40: cheap-relative-to-the-store
+        # entries below it stop persisting
+        assert backend.tier_cost == 40
+        assert backend.should_persist(EXACT, 41)
+        assert not backend.should_persist(EXACT, 13)
+
+    def test_derived_threshold_is_clamped(self, tmp_path):
+        cheap = FileBackend(tmp_path / "cheap.sqlite")
+        self._observe(cheap, 1, TIER_RECALC_EVERY)
+        assert cheap.tier_cost == TIER_COST_FLOOR
+        dear = FileBackend(tmp_path / "dear.sqlite")
+        # pools in the overflow bucket, then clamps to the ceiling —
+        # genuinely expensive entries must keep persisting
+        self._observe(dear, 100_000, TIER_RECALC_EVERY)
+        assert dear.tier_cost == TIER_COST_CEIL
+        assert dear.should_persist(EXACT, TIER_COST_CEIL + 1)
+
+    def test_mixed_population_takes_the_percentile(self, tmp_path):
+        backend = FileBackend(tmp_path / "s.sqlite")
+        # 96 cheap + 32 expensive = 128 samples; p75 lands on the cheap
+        # bucket's cumulative edge
+        self._observe(backend, 5, 96)
+        self._observe(backend, 200, 32)
+        assert backend.tier_cost == 5
+
+    def test_recalc_happens_every_batch_not_every_call(self, tmp_path):
+        backend = FileBackend(tmp_path / "s.sqlite")
+        self._observe(backend, 2, TIER_RECALC_EVERY - 1)
+        assert backend.tier_cost == DEFAULT_TIER_COST  # still the seed
+        backend.should_persist(EXACT, 2)
+        assert backend.tier_cost == TIER_COST_FLOOR
+
+    def test_disabled_tiering_never_observes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_TIERING", "off")
+        backend = FileBackend(tmp_path / "s.sqlite")
+        self._observe(backend, 2, TIER_RECALC_EVERY)
+        assert backend.tier_cost == -1
+        assert backend.tier_skips == 0
 
 
 class TestDecodedEntryCache:

@@ -1,0 +1,202 @@
+"""The metrics registry: exactness under concurrency, exposition golden.
+
+The registry sits on synthesis hot paths, so its contract is pinned
+from three sides: counters/histograms stay *exact* under a thread-pool
+hammer (no lost updates), the Prometheus text rendering matches a
+committed golden byte for byte (the ``GET /v1/metrics`` compatibility
+surface), and the disabled path hands out the shared null child so
+instrumented modules never branch themselves.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    exponential_buckets,
+)
+
+
+@pytest.fixture
+def registry():
+    """A private, enabled registry (the process singleton is left alone)."""
+    return MetricsRegistry(enabled=True)
+
+
+class TestFamilies:
+    def test_counter_names_must_end_in_total(self, registry):
+        with pytest.raises(ValueError, match="_total"):
+            registry.counter("repro_test_ops", "Ops.")
+
+    def test_counters_only_go_up(self, registry):
+        counter = registry.counter("repro_test_ops_total", "Ops.")
+        counter.inc(2)
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_the_same_family(self, registry):
+        first = registry.counter("repro_test_ops_total", "Ops.", ("kind",))
+        again = registry.counter("repro_test_ops_total", "Ops.", ("kind",))
+        assert first is again
+
+    def test_shape_mismatch_is_rejected(self, registry):
+        registry.counter("repro_test_ops_total", "Ops.", ("kind",))
+        with pytest.raises(ValueError, match="different shape"):
+            registry.counter("repro_test_ops_total", "Ops.", ("other",))
+        with pytest.raises(ValueError, match="different shape"):
+            registry.gauge("repro_test_ops_total", "Ops.", ("kind",))
+
+    def test_unknown_labels_are_rejected(self, registry):
+        counter = registry.counter("repro_test_ops_total", "Ops.", ("kind",))
+        with pytest.raises(ValueError, match="expects labels"):
+            counter.labels(other="x")
+
+    def test_invalid_metric_names_are_rejected(self, registry):
+        for bad in ("", "1abc", "with-dash", "with space"):
+            with pytest.raises(ValueError, match="invalid metric name"):
+                registry.gauge(bad, "Bad.")
+
+    def test_gauge_set_inc_dec(self, registry):
+        gauge = registry.gauge("repro_test_depth", "Depth.")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(3)
+        assert gauge.labels().value == 4.0
+
+    def test_histogram_bucket_boundaries_are_le(self, registry):
+        histogram = registry.histogram(
+            "repro_test_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        # an observation exactly on a bound lands in that bucket (le)
+        histogram.observe(0.1)
+        histogram.observe(1.0)
+        histogram.observe(2.0)
+        counts, total = histogram.labels().snapshot()
+        assert counts == [1, 1, 1]
+        assert total == pytest.approx(3.1)
+
+    def test_exponential_buckets(self):
+        assert exponential_buckets(1.0, 2.0, 3) == (1.0, 2.0, 4.0)
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 2.0, 3)
+        assert DEFAULT_TIME_BUCKETS[0] == pytest.approx(0.0005)
+
+    def test_disabled_registry_hands_out_the_null_child(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("repro_test_ops_total", "Ops.", ("kind",))
+        child = counter.labels(kind="a")
+        assert child is counter.labels(kind="b")
+        child.inc()
+        child.observe(1.0)
+        child.set(2.0)
+        child.dec()
+        assert registry.render() == (
+            "# HELP repro_test_ops_total Ops.\n# TYPE repro_test_ops_total counter\n"
+        )
+
+    def test_reset_preserves_family_identity(self, registry):
+        counter = registry.counter("repro_test_ops_total", "Ops.", ("kind",))
+        counter.labels(kind="a").inc(3)
+        registry.reset()
+        assert counter is registry.counter("repro_test_ops_total", "Ops.", ("kind",))
+        assert "repro_test_ops_total{" not in registry.render()
+        counter.labels(kind="a").inc()
+        assert counter.labels(kind="a").value == 1.0
+
+
+class TestConcurrency:
+    def test_counter_totals_are_exact_under_a_thread_hammer(self, registry):
+        counter = registry.counter("repro_test_ops_total", "Ops.", ("kind",))
+        histogram = registry.histogram(
+            "repro_test_seconds", "Latency.", buckets=(0.5,)
+        )
+        gauge = registry.gauge("repro_test_depth", "Depth.")
+        threads, per_thread = 8, 2500
+
+        def hammer(index: int) -> None:
+            kind = "even" if index % 2 == 0 else "odd"
+            for _ in range(per_thread):
+                counter.labels(kind=kind).inc()
+                histogram.observe(0.25)
+                gauge.inc()
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            list(pool.map(hammer, range(threads)))
+
+        expected = threads // 2 * per_thread
+        assert counter.labels(kind="even").value == expected
+        assert counter.labels(kind="odd").value == expected
+        counts, total = histogram.labels().snapshot()
+        assert counts == [threads * per_thread, 0]
+        assert total == pytest.approx(0.25 * threads * per_thread)
+        assert gauge.labels().value == threads * per_thread
+
+
+GOLDEN_TEXT = """\
+# HELP repro_test_depth Current depth.
+# TYPE repro_test_depth gauge
+repro_test_depth 3.5
+# HELP repro_test_ops_total Operations, by kind.
+# TYPE repro_test_ops_total counter
+repro_test_ops_total{kind="a"} 1
+repro_test_ops_total{kind="b"} 2
+# HELP repro_test_seconds Observed latency.
+# TYPE repro_test_seconds histogram
+repro_test_seconds_bucket{le="0.1"} 1
+repro_test_seconds_bucket{le="1"} 2
+repro_test_seconds_bucket{le="+Inf"} 3
+repro_test_seconds_sum 5.55
+repro_test_seconds_count 3
+"""
+
+
+class TestExposition:
+    def test_prometheus_text_golden(self, registry):
+        counter = registry.counter(
+            "repro_test_ops_total", "Operations, by kind.", ("kind",)
+        )
+        counter.labels(kind="a").inc()
+        counter.labels(kind="b").inc(2)
+        gauge = registry.gauge("repro_test_depth", "Current depth.")
+        gauge.set(3.5)
+        histogram = registry.histogram(
+            "repro_test_seconds", "Observed latency.", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert registry.render() == GOLDEN_TEXT
+
+    def test_label_values_are_escaped(self, registry):
+        counter = registry.counter("repro_test_ops_total", "Ops.", ("kind",))
+        counter.labels(kind='we"ird\\va\nlue').inc()
+        rendered = registry.render()
+        assert 'kind="we\\"ird\\\\va\\nlue"' in rendered
+
+    def test_help_text_is_escaped(self, registry):
+        registry.counter("repro_test_ops_total", "line one\nline two", ())
+        assert "# HELP repro_test_ops_total line one\\nline two" in registry.render()
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.render() == ""
+
+    def test_content_type_is_the_text_format(self):
+        assert obs_metrics.CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+
+class TestProcessSingleton:
+    def test_reset_registry_reads_the_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "off")
+        obs_metrics.reset_registry()
+        try:
+            assert not obs_metrics.registry().enabled
+            counter = obs_metrics.registry().counter(
+                "repro_test_singleton_total", "Test.", ("kind",)
+            )
+            assert counter.labels(kind="x") is counter.labels(kind="y")
+        finally:
+            monkeypatch.delenv("REPRO_OBS")
+            obs_metrics.reset_registry()
+        assert obs_metrics.registry().enabled

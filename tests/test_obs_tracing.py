@@ -1,0 +1,239 @@
+"""The span recorder and trace-context plumbing.
+
+Pins the tracer's contract: disabled by default (the shared null span,
+nothing recorded), Chrome trace-event export matching a committed
+golden after normalization (the ``--trace-out`` compatibility
+surface), ring-buffer bounding, parentage nesting inside a thread and
+stitching across threads via an explicit :class:`TraceContext`, and
+lazy ``REPRO_TRACE`` enablement.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import context as obs_context
+from repro.obs import tracing
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Each test starts and ends with a disabled, empty tracer."""
+    tracing.disable()
+    tracing.reset()
+    yield
+    tracing.disable()
+    tracing.reset()
+
+
+class TestContext:
+    def test_wire_value_roundtrip(self):
+        root = obs_context.new_root()
+        assert len(root.trace_id) == 16
+        assert len(root.span_id) == 8
+        parsed = obs_context.parse(root.wire_value())
+        assert parsed == root
+
+    @pytest.mark.parametrize(
+        "value",
+        [None, "", "nonsense", "deadbeef-cafe", "g" * 16 + "-" + "a" * 8, 42],
+    )
+    def test_parse_drops_malformed_values(self, value):
+        assert obs_context.parse(value) is None
+
+    def test_use_scopes_and_restores(self):
+        root = obs_context.new_root()
+        assert obs_context.current() is None
+        with obs_context.use(root):
+            assert obs_context.current() == root
+            inner = obs_context.new_root()
+            with obs_context.use(inner):
+                assert obs_context.current() == inner
+            assert obs_context.current() == root
+        assert obs_context.current() is None
+
+    def test_take_received_clears(self):
+        root = obs_context.new_root()
+        obs_context.note_received(root)
+        assert obs_context.take_received() == root
+        assert obs_context.take_received() is None
+
+    def test_executor_threads_do_not_inherit_the_context(self):
+        """The property the schedulers compensate for with use(ctx)."""
+        root = obs_context.new_root()
+        seen = []
+        with obs_context.use(root):
+            worker = threading.Thread(
+                target=lambda: seen.append(obs_context.current())
+            )
+            worker.start()
+            worker.join()
+        assert seen == [None]
+
+
+class TestRecording:
+    def test_disabled_span_is_the_shared_null(self):
+        assert tracing.span("anything") is tracing.NULL_SPAN
+        with tracing.span("anything") as recorded:
+            recorded.note(key="value")
+        assert tracing.events() == []
+
+    def test_enabled_span_records_a_complete_event(self):
+        tracing.enable()
+        with tracing.span("work", items=3) as recorded:
+            recorded.note(extra=1)
+        (event,) = tracing.events()
+        assert event["name"] == "work"
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+        assert event["args"]["items"] == 3
+        assert event["args"]["extra"] == 1
+        assert event["args"]["span_id"] == recorded.span_id
+
+    def test_nesting_sets_parent_ids(self):
+        tracing.enable()
+        root = obs_context.new_root()
+        with obs_context.use(root):
+            with tracing.span("outer") as outer:
+                with tracing.span("inner"):
+                    pass
+        inner_event, outer_event = tracing.events()
+        assert inner_event["name"] == "inner"
+        assert inner_event["args"]["parent_id"] == outer.span_id
+        assert outer_event["args"]["parent_id"] == root.span_id
+        assert {e["args"]["trace_id"] for e in tracing.events()} == {root.trace_id}
+
+    def test_explicit_ctx_stitches_across_threads(self):
+        tracing.enable()
+        root = obs_context.new_root()
+
+        def worker():
+            # executor threads see no ambient context; the schedulers
+            # pass the captured ctx explicitly
+            with obs_context.use(root):
+                with tracing.span("remote", ctx=root):
+                    pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        (event,) = tracing.events()
+        assert event["args"]["trace_id"] == root.trace_id
+        assert event["args"]["parent_id"] == root.span_id
+
+    def test_exceptions_mark_the_span(self):
+        tracing.enable()
+        with pytest.raises(RuntimeError):
+            with tracing.span("doomed"):
+                raise RuntimeError("boom")
+        (event,) = tracing.events()
+        assert event["args"]["error"] == "RuntimeError"
+
+    def test_ring_buffer_drops_oldest(self):
+        tracing.enable(capacity=4)
+        try:
+            for index in range(6):
+                with tracing.span(f"s{index}"):
+                    pass
+            names = [event["name"] for event in tracing.events()]
+            assert names == ["s2", "s3", "s4", "s5"]
+        finally:
+            tracing.enable(capacity=tracing.DEFAULT_CAPACITY)
+
+
+GOLDEN_TRACE = {
+    "traceEvents": [
+        {
+            "name": "inner",
+            "ph": "X",
+            "ts": 0,
+            "dur": 0,
+            "pid": 1,
+            "tid": 1,
+            "args": {
+                "step": 2,
+                "span_id": "<s1>",
+                "trace_id": "<t1>",
+                "parent_id": "<s2>",
+            },
+        },
+        {
+            "name": "outer",
+            "ph": "X",
+            "ts": 0,
+            "dur": 0,
+            "pid": 1,
+            "tid": 1,
+            "args": {
+                "step": 1,
+                "span_id": "<s2>",
+                "trace_id": "<t1>",
+                "parent_id": "<root>",
+            },
+        },
+    ],
+    "displayTimeUnit": "ms",
+}
+
+
+def _normalized(export: dict, root: obs_context.TraceContext) -> dict:
+    """Strip the nondeterminism (ids, clocks, pids) for golden compare."""
+    span_names = {root.span_id: "<root>", root.trace_id: "<t1>"}
+    document = json.loads(json.dumps(export))
+    for event in document["traceEvents"]:
+        event.update(ts=0, dur=0, pid=1, tid=1)
+        for key in ("span_id", "parent_id", "trace_id"):
+            value = event["args"].get(key)
+            if value is not None and value not in span_names:
+                span_names[value] = f"<s{sum(1 for v in span_names.values() if v.startswith('<s'))+1}>"
+            if value is not None:
+                event["args"][key] = span_names[value]
+    return document
+
+
+class TestExport:
+    def test_chrome_trace_export_golden(self):
+        tracing.enable()
+        root = obs_context.new_root()
+        with obs_context.use(root):
+            with tracing.span("outer", step=1):
+                with tracing.span("inner", step=2):
+                    pass
+        assert _normalized(tracing.export(), root) == GOLDEN_TRACE
+
+    def test_write_emits_loadable_json(self, tmp_path):
+        tracing.enable()
+        with tracing.span("persisted"):
+            pass
+        out = tmp_path / "trace.json"
+        count = tracing.write(str(out))
+        assert count == 1
+        document = json.loads(out.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert document["traceEvents"][0]["name"] == "persisted"
+
+
+class TestEnvInit:
+    @pytest.fixture(autouse=True)
+    def uninitialized(self, monkeypatch):
+        monkeypatch.setattr(tracing, "_enabled", False)
+        monkeypatch.setattr(tracing, "_initialized", False)
+        monkeypatch.setattr(tracing, "_out_path", None)
+
+    @pytest.mark.parametrize("value", ["1", "on", "true", "yes"])
+    def test_truthy_enables_recording(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TRACE", value)
+        assert tracing.enabled()
+        assert tracing._out_path is None
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "false", "no"])
+    def test_falsy_stays_disabled(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TRACE", value)
+        assert not tracing.enabled()
+
+    def test_a_path_enables_and_registers_the_sink(self, monkeypatch, tmp_path):
+        out = tmp_path / "trace.json"
+        monkeypatch.setenv("REPRO_TRACE", str(out))
+        assert tracing.enabled()
+        assert tracing._out_path == str(out)

@@ -58,21 +58,21 @@ from helpers import cards_page, scrape_cards_trace
 #: these strings is a wire change: it must come with a PROTOCOL_VERSION
 #: bump (breaking) or at least a regenerated schema.json (additive).
 GOLDEN = {
-    CreateSession: '{"data":{"zips":["48104"]},"snapshot":{"children":[{"children":[{"attrs":{"class":"card"},"children":[{"tag":"h3","text":"Store 1"}],"tag":"div"}],"tag":"body"}],"tag":"html"},"timeout":1.0,"type":"create_session","v":2}',
-    SessionCreated: '{"session":"s1","type":"session_created","v":2}',
-    ActionRecorded: '{"action":{"kind":"Click","selector":"//div[@class=\'card\'][1]/h3[1]"},"session":"s1","snapshot":{"children":[{"children":[{"attrs":{"class":"card"},"children":[{"tag":"h3","text":"Store 1"}],"tag":"div"}],"tag":"body"}],"tag":"html"},"type":"action_recorded","v":2}',
-    ProgramProposed: '{"actions":2,"analysis":{"cost_max":1,"cost_min":1,"effect":"read-only","fragility":0,"safe_replay":true,"termination":"terminating"},"predictions":["Click(//div[@class=\'card\'][2]/h3[1])"],"programs":1,"session":"s1","stats":{"backend":"memory","cache_hits":3,"cache_misses":1,"cross_session_hits":0,"elapsed":0.25,"timed_out":false,"warm_start_hits":0},"type":"program_proposed","v":2}',
-    CandidateList: '{"candidates":[{"analysis":{"cost_max":1,"cost_min":1,"effect":"read-only","fragility":0,"safe_replay":true,"termination":"terminating"},"index":0,"program":"ScrapeText(//h3[1])","statements":1}],"session":"s1","type":"candidate_list","v":2}',
-    Accept: '{"index":0,"session":"s1","type":"accept","v":2}',
-    Accepted: '{"index":0,"program":"ScrapeText(//h3[1])","session":"s1","type":"accepted","v":2}',
-    Reject: '{"session":"s1","type":"reject","v":2}',
-    Rejected: '{"rejections":1,"session":"s1","type":"rejected","v":2}',
-    CloseSession: '{"session":"s1","type":"close_session","v":2}',
-    SessionClosed: '{"session":"s1","stats":{"actions":2,"cache_hits":3,"cache_misses":1,"calls":2,"cross_session_hits":0,"elapsed":0.5,"rejections":1,"timed_out_calls":0,"warm_start_hits":0},"type":"session_closed","v":2}',
-    MigrateSession: '{"session":"s1","target":null,"type":"migrate_session","v":2}',
-    Migrated: '{"session":"s1","target":"http://127.0.0.1:8739","target_session":"s7","type":"migrated","v":2}',
-    ErrorEnvelope: '{"code":"unknown_session","message":"unknown session \'s9\'","session":"s9","type":"error","v":2}',
-    SessionSnapshot: '{"accepted_index":0,"actions":[{"kind":"Click","selector":"//div[@class=\'card\'][1]/h3[1]"},{"kind":"EnterData","path":["zips",1],"selector":"//input[@name=\'q\'][1]"}],"created":1700000000.0,"data":{"zips":["48104"]},"session":"s1","snapshots":{"pool":[{"children":[{"children":[{"attrs":{"class":"card"},"children":[{"tag":"h3","text":"Store 1"}],"tag":"div"}],"tag":"body"}],"tag":"html"}],"refs":[0,0,0]},"stats":{"actions":2,"cache_hits":0,"cache_misses":0,"calls":2,"cross_session_hits":0,"elapsed":0.5,"rejections":1,"timed_out_calls":0,"warm_start_hits":0},"timeout":1.0,"type":"session_snapshot","v":2}',
+    CreateSession: '{"data":{"zips":["48104"]},"snapshot":{"children":[{"children":[{"attrs":{"class":"card"},"children":[{"tag":"h3","text":"Store 1"}],"tag":"div"}],"tag":"body"}],"tag":"html"},"timeout":1.0,"type":"create_session","v":3}',
+    SessionCreated: '{"session":"s1","type":"session_created","v":3}',
+    ActionRecorded: '{"action":{"kind":"Click","selector":"//div[@class=\'card\'][1]/h3[1]"},"session":"s1","snapshot":{"children":[{"children":[{"attrs":{"class":"card"},"children":[{"tag":"h3","text":"Store 1"}],"tag":"div"}],"tag":"body"}],"tag":"html"},"type":"action_recorded","v":3}',
+    ProgramProposed: '{"actions":2,"analysis":{"cost_max":1,"cost_min":1,"effect":"read-only","fragility":0,"safe_replay":true,"termination":"terminating"},"predictions":["Click(//div[@class=\'card\'][2]/h3[1])"],"programs":1,"session":"s1","stats":{"backend":"memory","cache_hits":3,"cache_misses":1,"cross_session_hits":0,"elapsed":0.25,"timed_out":false,"warm_start_hits":0},"type":"program_proposed","v":3}',
+    CandidateList: '{"candidates":[{"analysis":{"cost_max":1,"cost_min":1,"effect":"read-only","fragility":0,"safe_replay":true,"termination":"terminating"},"index":0,"program":"ScrapeText(//h3[1])","statements":1}],"session":"s1","type":"candidate_list","v":3}',
+    Accept: '{"index":0,"session":"s1","type":"accept","v":3}',
+    Accepted: '{"index":0,"program":"ScrapeText(//h3[1])","session":"s1","type":"accepted","v":3}',
+    Reject: '{"session":"s1","type":"reject","v":3}',
+    Rejected: '{"rejections":1,"session":"s1","type":"rejected","v":3}',
+    CloseSession: '{"session":"s1","type":"close_session","v":3}',
+    SessionClosed: '{"session":"s1","stats":{"actions":2,"cache_hits":3,"cache_misses":1,"calls":2,"cross_session_hits":0,"elapsed":0.5,"rejections":1,"timed_out_calls":0,"warm_start_hits":0},"type":"session_closed","v":3}',
+    MigrateSession: '{"session":"s1","target":null,"type":"migrate_session","v":3}',
+    Migrated: '{"session":"s1","target":"http://127.0.0.1:8739","target_session":"s7","type":"migrated","v":3}',
+    ErrorEnvelope: '{"code":"unknown_session","message":"unknown session \'s9\'","session":"s9","type":"error","v":3}',
+    SessionSnapshot: '{"accepted_index":0,"actions":[{"kind":"Click","selector":"//div[@class=\'card\'][1]/h3[1]"},{"kind":"EnterData","path":["zips",1],"selector":"//input[@name=\'q\'][1]"}],"created":1700000000.0,"data":{"zips":["48104"]},"session":"s1","snapshots":{"pool":[{"children":[{"children":[{"attrs":{"class":"card"},"children":[{"tag":"h3","text":"Store 1"}],"tag":"div"}],"tag":"body"}],"tag":"html"}],"refs":[0,0,0]},"stats":{"actions":2,"cache_hits":0,"cache_misses":0,"calls":2,"cross_session_hits":0,"elapsed":0.5,"rejections":1,"timed_out_calls":0,"warm_start_hits":0},"timeout":1.0,"type":"session_snapshot","v":3}',
 }
 
 

@@ -3,19 +3,26 @@
 Boots a real ThreadingHTTPServer on an ephemeral port (in a thread) and
 drives it through :class:`repro.service.client.ServiceClient` — the
 ``/v1`` protocol wire path ``repro serve`` exposes, minus the process
-boundary (the service and migration benches cover that).  Also pins the
-removed ``/api`` alias's 404 envelope, the :class:`ErrorEnvelope`
-status mapping, and the server-to-server migrate flow.
+boundary (the service and migration benches cover that).  Also pins
+the :class:`ErrorEnvelope` status mapping, the server-to-server
+migrate flow, and the observability surface: the Prometheus
+``/v1/metrics`` route, per-route metric labels, and ``X-Repro-Trace``
+adoption/echo — including that one trace id survives a migration push
+through a second worker.
 """
 
 import threading
 from dataclasses import replace
+from http.client import HTTPConnection
 
 import pytest
 
 from repro.engine.cache import reset_process_cache
 from repro.lang.pretty import format_program
 from repro.lang import EMPTY_DATA
+from repro.obs import context as obs_context
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.protocol import PROTOCOL_VERSION
 from repro.protocol.messages import SessionSnapshot
 from repro.synth.config import DEFAULT_CONFIG, serial_validation_config
@@ -123,28 +130,92 @@ class TestRoundTrip:
         assert proposals[-1].programs > 0
         service.close_session(sid)
 
-    def test_legacy_api_alias_is_gone(self, service):
-        """/api answers 404 with an ErrorEnvelope naming the /v1 route."""
-        from repro import io as repro_io
+def _raw_get(client, path, headers=None):
+    """One GET outside the typed client (non-protocol bodies)."""
+    connection = HTTPConnection(client.host, client.port, timeout=10.0)
+    try:
+        connection.request("GET", path, headers=headers or {})
+        response = connection.getresponse()
+        return response, response.read()
+    finally:
+        connection.close()
 
-        dom = cards_page(3)
-        with pytest.raises(ServiceClientError) as excinfo:
-            service._request(
-                "POST", "/api/sessions", raw={"snapshot": repro_io.dom_to_json(dom)}
-            )
-        assert excinfo.value.status == 404
-        envelope = excinfo.value.envelope
-        assert envelope is not None
-        assert envelope.code == "no_route"
-        assert "/v1/sessions" in envelope.message
 
-        with pytest.raises(ServiceClientError) as excinfo:
-            service._request("GET", "/api/stats")
-        assert excinfo.value.status == 404
-        assert "/v1/stats" in excinfo.value.envelope.message
+class TestObservability:
+    def test_metrics_route_serves_prometheus_text(self, service):
+        obs_metrics.reset_registry()
+        sid = service.create_session(cards_page(3))
+        service.candidates(sid)
+        service.stats()
+        response, body = _raw_get(service, "/v1/metrics")
+        assert response.status == 200
+        assert response.getheader("Content-Type").startswith(
+            "text/plain; version=0.0.4"
+        )
+        text = body.decode("utf-8")
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert 'repro_http_requests_total{route="/v1/stats",code="200"} 1' in text
+        # session ids collapse to :sid — no per-session label cardinality
+        assert (
+            'repro_http_requests_total{route="/v1/sessions/:sid/candidates",code="200"} 1'
+            in text
+        )
+        assert sid not in text
+        # synthesis instrumentation published through the same registry
+        assert "repro_synth_calls_total" in text
 
-        # the removal did not disturb the versioned surface
-        assert service.stats()["sessions"] == 0
+    def test_unknown_routes_do_not_mint_labels(self, service):
+        obs_metrics.reset_registry()
+        response, _ = _raw_get(service, "/v1/definitely/not/a/route")
+        assert response.status == 404
+        _, body = _raw_get(service, "/v1/metrics")
+        text = body.decode("utf-8")
+        assert 'route="other",code="404"' in text
+        assert "definitely" not in text
+
+    def test_trace_header_is_adopted_and_echoed(self, service):
+        root = obs_context.new_root()
+        response, _ = _raw_get(
+            service, "/v1/stats", headers={obs_context.HEADER: root.wire_value()}
+        )
+        assert response.getheader(obs_context.HEADER) == root.wire_value()
+        # without a header the server mints (and echoes) a fresh root
+        response, _ = _raw_get(service, "/v1/stats")
+        minted = obs_context.parse(response.getheader(obs_context.HEADER))
+        assert minted is not None
+        assert minted.trace_id != root.trace_id
+
+    def test_migration_spans_stitch_under_one_trace(self, two_workers):
+        source, target = two_workers
+        obs_tracing.enable()
+        obs_tracing.reset()
+        root = obs_context.new_root()
+        try:
+            dom = cards_page(4)
+            actions, snapshots = scrape_cards_trace(dom, 3)
+            with obs_context.use(root):
+                sid = source.create_session(snapshots[0])
+                source.record_action(sid, actions[0], snapshots[1])
+                migrated = source.migrate_session(sid, target)
+            spans = [
+                e for e in obs_tracing.events() if e["name"] == "http_request"
+            ]
+            routes = {e["args"]["route"] for e in spans}
+            # the client's push and the server-to-server import both ran
+            assert "/v1/sessions/:sid/migrate" in routes
+            assert "/v1/sessions/import" in routes
+            # one demonstration, one trace id — across both workers
+            assert {e["args"]["trace_id"] for e in spans} == {root.trace_id}
+            # synthesis spans recorded on the serving side stitch too
+            synth = [e for e in obs_tracing.events() if e["name"] == "synthesize"]
+            assert synth
+            assert {e["args"]["trace_id"] for e in synth} == {root.trace_id}
+            # the migrated session still serves on the target
+            assert target.candidates(migrated.target_session) is not None
+        finally:
+            obs_tracing.disable()
+            obs_tracing.reset()
 
 
 class TestMigration:
