@@ -1,0 +1,112 @@
+"""Fleet load bench: concurrent sessions against a spawned fleet, with
+warm-start-over-the-wire and byte-identity as correctness gates.
+
+Spawns a real fleet — one ``repro cache-serve`` process plus one
+``repro serve --workers N`` process whose workers persist through
+``remote://`` — then replays suite demonstrations as two waves of
+concurrent sessions (:func:`repro.fleet.loadtest.run_loadtest`):
+
+* **seed wave** → worker 0 only; closing each session flushes its
+  execution-cache entries to the cache tier;
+* **warm wave** → the remaining workers, which have never seen the
+  subjects and can warm-start only through the network.
+
+Assertions (gates, not tolerances):
+
+* no session errored and no request surfaced a 5xx;
+* every session's final candidate programs are **byte-identical** to an
+  in-process :class:`~repro.service.sessions.SessionManager` replaying
+  the same demonstration — the fleet tier must not change synthesis;
+* the warm wave's remote warm-start rate clears
+  ``REPRO_FLEET_MIN_WARM_RATE`` (default 0.5) — the cache tier is
+  actually serving across process boundaries, not decorating them;
+* the shared keep-alive pool reused at least one connection — the
+  satellite win this bench exists to measure.
+
+Reported: p50/p95/p99 per-action latency, throughput, warm rate, pool
+reuse counts; the full report lands in ``BENCH_fleet_load.json``
+(``REPRO_FLEET_OUT`` overrides).  ``REPRO_FLEET_WORKERS`` /
+``REPRO_FLEET_SESSIONS`` / ``REPRO_FLEET_BIDS`` scale the run;
+``--quick`` shrinks it to the CI smoke tier.
+"""
+
+import os
+
+from repro.fleet.loadtest import FleetHarness, run_loadtest, write_report
+from repro.harness.report import fmt_ms, fmt_pct, render_table
+
+DEFAULT_BIDS = "b1,b4"
+
+
+def test_fleet_load(benchmark, quick):
+    spec = os.environ.get("REPRO_FLEET_BIDS", "b1" if quick else DEFAULT_BIDS)
+    subjects = [token.strip() for token in spec.split(",") if token.strip()]
+    workers = int(os.environ.get("REPRO_FLEET_WORKERS", "2"))
+    sessions = int(
+        os.environ.get("REPRO_FLEET_SESSIONS", "2" if quick else "4")
+    )
+    concurrency = int(
+        os.environ.get("REPRO_FLEET_CONCURRENCY", "2" if quick else "4")
+    )
+    min_warm_rate = float(os.environ.get("REPRO_FLEET_MIN_WARM_RATE", "0.5"))
+    out = os.environ.get("REPRO_FLEET_OUT", "BENCH_fleet_load.json")
+
+    def run():
+        with FleetHarness(workers=workers) as fleet:
+            return run_loadtest(
+                fleet.worker_urls,
+                subjects=subjects,
+                sessions_per_wave=sessions,
+                concurrency=concurrency,
+                verify=True,
+                cache_url=fleet.cache_url,
+            )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # correctness gates before any perf claims
+    assert report.errors == [], f"sessions errored: {report.errors}"
+    assert report.verified is True, (
+        "fleet candidates diverged from the in-process reference"
+    )
+    assert report.warm_rate >= min_warm_rate, (
+        f"remote warm rate {report.warm_rate:.2f} below {min_warm_rate}"
+    )
+    assert report.pool.get("reused", 0) > 0, (
+        "the keep-alive pool never reused a connection"
+    )
+
+    path = write_report(report, out)
+    benchmark.extra_info.update(
+        subjects=spec,
+        workers=workers,
+        sessions=sessions * 2,
+        calls=report.calls,
+        p50_ms=round(report.p50_ms, 1),
+        p95_ms=round(report.p95_ms, 1),
+        p99_ms=round(report.p99_ms, 1),
+        throughput_rps=round(report.throughput_rps, 2),
+        warm_rate=round(report.warm_rate, 3),
+        pool_reused=report.pool.get("reused", 0),
+    )
+    print()
+    print(
+        f"Fleet load: {workers} workers, {sessions} sessions/wave "
+        f"× {len(subjects)} subjects (report: {path})"
+    )
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["actions", report.calls],
+                ["elapsed", fmt_ms(report.elapsed_s)],
+                ["throughput", f"{report.throughput_rps:.1f} rps"],
+                ["p50", fmt_ms(report.p50_ms / 1000.0)],
+                ["p95", fmt_ms(report.p95_ms / 1000.0)],
+                ["p99", fmt_ms(report.p99_ms / 1000.0)],
+                ["remote warm rate", fmt_pct(report.warm_rate)],
+                ["pool reuse", report.pool.get("reused", 0)],
+                ["verified", report.verified],
+            ],
+        )
+    )

@@ -80,6 +80,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -120,8 +121,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "$REPRO_VALIDATION_WORKERS or serial)")
     synth.add_argument("--shared-cache", action="store_true",
                        help="join the process-level shared execution cache")
-    synth.add_argument("--backend", default=None, choices=("memory", "file"),
-                       help="execution-cache persistence backend (default: "
+    synth.add_argument("--backend", default=None, metavar="BACKEND",
+                       help="execution-cache persistence backend: memory, "
+                            "file, or remote://host:port (default: "
                             "$REPRO_CACHE_BACKEND or memory)")
     synth.add_argument("--codec", default=None, choices=("json", "binary"),
                        help="payload codec of the persistent store "
@@ -136,6 +138,10 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--url", default=None,
                          help="scrape a running service's /v1/metrics "
                               "instead of this process's registry")
+    metrics.add_argument("--fleet", default=None, metavar="URL,URL,...",
+                         help="scrape every listed worker/cache server and "
+                              "merge the dumps, each sample tagged with an "
+                              "instance label")
 
     serve = commands.add_parser("serve", help="run the session service")
     serve.add_argument("--host", default="127.0.0.1")
@@ -144,8 +150,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="worker processes on consecutive ports, all "
                             "sharing one cache store")
-    serve.add_argument("--backend", default=None, choices=("memory", "file"),
-                       help="execution-cache persistence backend (default: "
+    serve.add_argument("--backend", default=None, metavar="BACKEND",
+                       help="execution-cache persistence backend: memory, "
+                            "file, or remote://host:port (default: "
                             "$REPRO_CACHE_BACKEND or memory)")
     serve.add_argument("--cache-dir", default=None,
                        help="directory of the file backend's store "
@@ -162,6 +169,70 @@ def _build_parser() -> argparse.ArgumentParser:
                             "seconds (default: $REPRO_SESSION_TTL or never)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every request to stderr")
+
+    cache_serve = commands.add_parser(
+        "cache-serve",
+        help="run the execution cache as a standalone fleet server",
+    )
+    cache_serve.add_argument("--host", default="127.0.0.1")
+    cache_serve.add_argument("--port", type=int, default=None,
+                             help="port (default 8799; 0 = OS-assigned)")
+    cache_serve.add_argument("--cache-dir", default=None,
+                             help="directory of the backing store "
+                                  "(default: $REPRO_CACHE_DIR or "
+                                  "~/.cache/repro)")
+    cache_serve.add_argument("--max-bytes", type=int, default=None,
+                             help="store size budget before eviction "
+                                  "(default: $REPRO_CACHE_MAX_BYTES)")
+    cache_serve.add_argument("--codec", default=None,
+                             choices=("json", "binary"),
+                             help="payload codec of the store "
+                                  "(default: binary)")
+    cache_serve.add_argument("--verbose", action="store_true",
+                             help="log every request to stderr")
+
+    rebalance = commands.add_parser(
+        "rebalance", help="drain hot workers toward the fleet average"
+    )
+    rebalance.add_argument("--fleet", required=True, metavar="URL,URL,...",
+                           help="worker base URLs to balance across")
+    rebalance.add_argument("--interval", type=float, default=None,
+                           help="seconds between rounds (default: one shot)")
+    rebalance.add_argument("--skew", type=int, default=None,
+                           help="tolerated session-count spread (default 2)")
+    rebalance.add_argument("--dry-run", action="store_true",
+                           help="plan and print moves without migrating")
+    rebalance.add_argument("--timeout", type=float, default=10.0,
+                           help="per-request timeout when polling/migrating")
+
+    loadtest = commands.add_parser(
+        "loadtest", help="replay concurrent demonstrations against a fleet"
+    )
+    loadtest.add_argument("--fleet", default=None, metavar="URL,URL,...",
+                          help="worker base URLs (default: spawn a local "
+                               "cache server + workers and tear them down)")
+    loadtest.add_argument("--workers", type=int, default=2,
+                          help="workers to spawn when no --fleet is given")
+    loadtest.add_argument("--subjects", default=None, metavar="BID,BID,...",
+                          help="benchmark demonstrations to replay "
+                               "(default: b1,b4; --quick: b1)")
+    loadtest.add_argument("--sessions", type=int, default=None,
+                          help="sessions per wave (default 6; --quick: 2)")
+    loadtest.add_argument("--concurrency", type=int, default=None,
+                          help="sessions in flight at once (default 4)")
+    loadtest.add_argument("--timeout", type=float, default=None,
+                          help="per-action synthesis budget (default 10)")
+    loadtest.add_argument("--quick", action="store_true",
+                          help="CI preset: one subject, two sessions/wave")
+    loadtest.add_argument("--out", default="BENCH_fleet_load.json",
+                          help="trajectory artifact path")
+    loadtest.add_argument("--max-p99-ms", type=float, default=None,
+                          help="fail (exit 1) when p99 exceeds this bound")
+    loadtest.add_argument("--min-warm-rate", type=float, default=None,
+                          help="fail (exit 1) when the remote warm rate "
+                               "falls below this fraction")
+    loadtest.add_argument("--no-verify", action="store_true",
+                          help="skip the in-process byte-identity check")
 
     commands.add_parser("protocol-schema",
                         help="print the interaction protocol wire schema")
@@ -313,8 +384,24 @@ def _cmd_synthesize(path: str, cut: Optional[int], data_path: Optional[str],
     return 0
 
 
-def _cmd_metrics(url: Optional[str]) -> int:
-    """Prometheus text metrics: scrape a server, or render locally."""
+def _cmd_metrics(url: Optional[str], fleet: Optional[str] = None) -> int:
+    """Prometheus text metrics: scrape a server/fleet, or render locally."""
+    if fleet is not None:
+        from repro.fleet.metrics import merge_exposition, scrape_text, split_host_port
+
+        scrapes = []
+        failures = 0
+        for member in (part.strip() for part in fleet.split(",")):
+            if not member:
+                continue
+            host, port = split_host_port(member)
+            try:
+                scrapes.append((f"{host}:{port}", scrape_text(member)))
+            except (OSError, ValueError) as error:
+                failures += 1
+                print(f"cannot scrape {member}: {error}", file=sys.stderr)
+        sys.stdout.write(merge_exposition(scrapes))
+        return 1 if failures else 0
     if url is None:
         from repro.obs import metrics as obs_metrics
 
@@ -371,6 +458,59 @@ def _cmd_serve(arguments) -> int:
         timeout=arguments.timeout,
         quiet=not arguments.verbose,
         max_idle_s=arguments.session_ttl,
+    )
+
+
+def _cmd_cache_serve(arguments) -> int:
+    from repro.fleet.cache_server import DEFAULT_CACHE_PORT, serve_cache
+
+    if arguments.cache_dir is not None:
+        # default_store_path reads this when naming the store file
+        os.environ["REPRO_CACHE_DIR"] = arguments.cache_dir
+    return serve_cache(
+        host=arguments.host,
+        port=arguments.port if arguments.port is not None else DEFAULT_CACHE_PORT,
+        max_bytes=arguments.max_bytes,
+        codec=arguments.codec,
+        quiet=not arguments.verbose,
+    )
+
+
+def _cmd_rebalance(arguments) -> int:
+    from repro.fleet.rebalance import DEFAULT_SKEW, run_rebalancer
+
+    urls = [
+        url if "//" in url else f"http://{url}"
+        for url in (part.strip() for part in arguments.fleet.split(","))
+        if url
+    ]
+    if len(urls) < 2:
+        print("rebalance: need at least two --fleet URLs", file=sys.stderr)
+        return 2
+    return run_rebalancer(
+        urls,
+        interval=arguments.interval,
+        skew=arguments.skew if arguments.skew is not None else DEFAULT_SKEW,
+        dry_run=arguments.dry_run,
+        timeout=arguments.timeout,
+    )
+
+
+def _cmd_loadtest(arguments) -> int:
+    from repro.fleet.loadtest import run_cli_loadtest
+
+    return run_cli_loadtest(
+        fleet=arguments.fleet,
+        workers=arguments.workers,
+        subjects_spec=arguments.subjects,
+        sessions=arguments.sessions,
+        concurrency=arguments.concurrency,
+        timeout=arguments.timeout,
+        quick=arguments.quick,
+        out=arguments.out,
+        max_p99_ms=arguments.max_p99_ms,
+        min_warm_rate=arguments.min_warm_rate,
+        verify=not arguments.no_verify,
     )
 
 
@@ -545,9 +685,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             arguments.codec, arguments.trace_out,
         )
     if arguments.command == "metrics":
-        return _cmd_metrics(arguments.url)
+        return _cmd_metrics(arguments.url, arguments.fleet)
     if arguments.command == "serve":
         return _cmd_serve(arguments)
+    if arguments.command == "cache-serve":
+        return _cmd_cache_serve(arguments)
+    if arguments.command == "rebalance":
+        return _cmd_rebalance(arguments)
+    if arguments.command == "loadtest":
+        return _cmd_loadtest(arguments)
     if arguments.command == "protocol-schema":
         from repro.protocol.schema import main as protocol_schema_main
 

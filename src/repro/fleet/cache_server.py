@@ -1,0 +1,318 @@
+"""``repro cache-serve``: the execution cache as a standalone server.
+
+One process, one :class:`~repro.service.backends.FileBackend`, a
+:class:`ThreadingHTTPServer` in front.  Workers point their sessions at
+it with ``--backend remote://host:port`` and share executions across
+machines the way ``--backend file`` shares them across processes on one
+machine.
+
+The wire protocol is two POST routes carrying *codec payloads* — the
+same codec-ready dicts :func:`~repro.service.backends.entry_to_payload`
+produces, with digests hex-encoded — so the server relays rows without
+ever decoding entries into actions and environments:
+
+==============================  ========================================
+``POST /v1/cache/get``          ``{"k": [[kind, key_hex], ...]}`` →
+                                ``{"e": [payload | null, ...]}``
+                                (same order; a batch of one is a get)
+``POST /v1/cache/put``          ``{"e": [[kind, key_hex, payload], ...]}``
+                                → ``{"stored": n, "entries": total,
+                                "bytes": total}``
+``GET  /healthz``               → ``{ok, role: "cache", codec, codecs}``
+``GET  /v1/stats``              → store gauges (JSON)
+``GET  /v1/metrics``            → Prometheus text exposition
+==============================  ========================================
+
+Bodies and responses speak the protocol codec seam — binary by default,
+negotiated per request via ``Content-Type`` / ``Accept`` with per-row
+sniffing, exactly like the session service.  Reads consult the store's
+write buffer first, so an entry put by one worker is visible to the
+next get even before the SQLite flush.
+
+Storage policy is entirely the ``FileBackend``'s: byte-accounted
+tier-aware eviction, codec-sniffed rows, I/O failures degraded to
+misses.  The server adds only batching, counters
+(``repro_cache_server_requests_total{op,outcome}``) and a per-op
+latency histogram (``repro_cache_server_seconds{op}``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.obs import metrics as obs_metrics
+from repro.protocol.codec import (
+    CODECS,
+    Codec,
+    ProtocolError,
+    codec_for_content_type,
+    resolve_codec,
+    sniff_codec,
+)
+from repro.service.backends import FileBackend, default_store_path
+
+#: Default cache-tier port — well clear of the workers' consecutive
+#: block starting at the service's 8738.
+DEFAULT_CACHE_PORT = 8799
+
+#: Entry kinds a put may carry (EXACT / TERMINAL / CONSISTENCY).
+_VALID_KINDS = (0, 1, 2)
+
+#: Hard per-request row cap: a runaway batch degrades to 400, not OOM.
+MAX_BATCH = 4096
+
+
+class _CacheServerMetrics:
+    """Lazy handles on the cache server's registry families."""
+
+    _instance: Optional["_CacheServerMetrics"] = None
+
+    def __init__(self) -> None:
+        registry = obs_metrics.registry()
+        self.requests = registry.counter(
+            "repro_cache_server_requests_total",
+            "Cache-server operations by outcome (get: hit/miss, put: "
+            "stored, both: bad_request).",
+            ("op", "outcome"),
+        )
+        self.latency = registry.histogram(
+            "repro_cache_server_seconds",
+            "Cache-server request latency by operation.",
+            ("op",),
+        )
+
+    @classmethod
+    def get(cls) -> "_CacheServerMetrics":
+        if cls._instance is None:
+            cls._instance = cls()
+        return cls._instance
+
+
+class CacheServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying one FileBackend store."""
+
+    daemon_threads = True
+
+    def __init__(self, address, store: FileBackend, quiet: bool = True):
+        self.store = store
+        self.quiet = quiet
+        super().__init__(address, _CacheHandler)
+
+
+class _CacheHandler(BaseHTTPRequestHandler):
+    server_version = "repro-cache/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.server.quiet:  # pragma: no cover - debug aid
+            sys.stderr.write("%s - %s\n" % (self.address_string(), format % args))
+
+    def _response_codec(self) -> Codec:
+        return (
+            codec_for_content_type(self.headers.get("Accept"))
+            or getattr(self, "_request_codec", None)
+            or self.server.store.codec
+        )
+
+    def _reply(self, payload: dict, status: int = 200) -> None:
+        codec = self._response_codec()
+        body = codec.encode_payload(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", codec.content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_bytes(self, body: bytes, status: int, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, op: str, message: str, status: int = 400) -> None:
+        _CacheServerMetrics.get().requests.labels(
+            op=op, outcome="bad_request"
+        ).inc()
+        self._reply({"error": "bad_request", "message": message}, status)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length > 0 else b""
+        codec = codec_for_content_type(self.headers.get("Content-Type"))
+        if codec is None:
+            codec = sniff_codec(raw)
+        self._request_codec = codec
+        payload = codec.decode_payload(raw)
+        if not isinstance(payload, dict):
+            raise ProtocolError("expected an object body")
+        return payload
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._request_codec = None
+        store = self.server.store
+        if self.path == "/healthz":
+            self._reply(
+                {
+                    "ok": True,
+                    "role": "cache",
+                    "codec": store.codec.name,
+                    "codecs": sorted(CODECS),
+                }
+            )
+        elif self.path == "/v1/stats":
+            self._reply(
+                {
+                    "role": "cache",
+                    "path": store.path,
+                    "entries": store.entries,
+                    "persisted_bytes": store.persisted_bytes,
+                    "codec": store.codec.name,
+                    "loads": store.loads,
+                    "load_hits": store.load_hits,
+                    "stores": store.stores,
+                    "evictions": store.evictions,
+                    "io_errors": store.io_errors,
+                    "tier_cost": store.tier_cost,
+                }
+            )
+        elif self.path == "/v1/metrics":
+            self._reply_bytes(
+                obs_metrics.registry().render().encode("utf-8"),
+                200,
+                obs_metrics.CONTENT_TYPE,
+            )
+        else:
+            self._error("get", f"no route {self.path}", 404)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._request_codec = None
+        started = time.perf_counter()
+        op = "get" if self.path == "/v1/cache/get" else "put"
+        try:
+            if self.path == "/v1/cache/get":
+                self._get(self._body())
+            elif self.path == "/v1/cache/put":
+                self._put(self._body())
+            else:
+                self._error("post", f"no route {self.path}", 404)
+                return
+        except (ProtocolError, ValueError, TypeError, KeyError) as exc:
+            self._error(op, str(exc))
+            return
+        finally:
+            _CacheServerMetrics.get().latency.labels(op=op).observe(
+                time.perf_counter() - started
+            )
+
+    # ------------------------------------------------------------------
+    def _get(self, payload: dict) -> None:
+        keys = payload.get("k")
+        if not isinstance(keys, list) or len(keys) > MAX_BATCH:
+            raise ProtocolError("'k' must be a list of [kind, key_hex] rows")
+        store = self.server.store
+        metrics = _CacheServerMetrics.get()
+        entries = []
+        for row in keys:
+            kind, key = self._parse_key(row)
+            found = store.load_payload(key)
+            metrics.requests.labels(
+                op="get", outcome="hit" if found is not None else "miss"
+            ).inc()
+            entries.append(found)
+        self._reply({"e": entries})
+
+    def _put(self, payload: dict) -> None:
+        rows = payload.get("e")
+        if not isinstance(rows, list) or len(rows) > MAX_BATCH:
+            raise ProtocolError(
+                "'e' must be a list of [kind, key_hex, payload] rows"
+            )
+        store = self.server.store
+        stored = 0
+        for row in rows:
+            if not isinstance(row, list) or len(row) != 3:
+                raise ProtocolError("each put row is [kind, key_hex, payload]")
+            kind, key = self._parse_key(row[:2])
+            if not isinstance(row[2], dict):
+                raise ProtocolError("row payload must be an object")
+            store.store_payload(kind, key, row[2])
+            stored += 1
+        _CacheServerMetrics.get().requests.labels(op="put", outcome="stored").inc(
+            stored
+        )
+        self._reply(
+            {
+                "stored": stored,
+                "entries": store.entries,
+                "bytes": store.persisted_bytes,
+            }
+        )
+
+    @staticmethod
+    def _parse_key(row) -> tuple[int, bytes]:
+        if not isinstance(row, list) or len(row) < 2:
+            raise ProtocolError("each key row is [kind, key_hex]")
+        kind, key_hex = row[0], row[1]
+        if kind not in _VALID_KINDS:
+            raise ProtocolError(f"unknown entry kind {kind!r}")
+        if not isinstance(key_hex, str):
+            raise ProtocolError("key must be a hex string")
+        try:
+            key = bytes.fromhex(key_hex)
+        except ValueError as exc:
+            raise ProtocolError(f"malformed key {key_hex[:64]!r}") from exc
+        if not key:
+            raise ProtocolError("empty key")
+        return kind, key
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def make_cache_server(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_CACHE_PORT,
+    path: Optional[str] = None,
+    max_bytes: Optional[int] = None,
+    codec: Optional[str] = None,
+    quiet: bool = True,
+) -> CacheServer:
+    """Bind one cache server (tests drive this in a thread).
+
+    The store is owned, not resolved through the per-process backend
+    registry: the cache server is the process whose *job* is this file.
+    """
+    store = FileBackend(
+        path or default_store_path(),
+        max_bytes=max_bytes,
+        codec=resolve_codec(codec, default="binary"),
+    )
+    return CacheServer((host, port), store, quiet=quiet)
+
+
+def serve_cache(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_CACHE_PORT,
+    path: Optional[str] = None,
+    max_bytes: Optional[int] = None,
+    codec: Optional[str] = None,
+    quiet: bool = True,
+) -> int:
+    """Run the cache tier until interrupted; returns the exit code."""
+    server = make_cache_server(host, port, path, max_bytes, codec, quiet)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro-cache listening on http://{bound_host}:{bound_port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - signal path
+        pass
+    finally:
+        server.server_close()
+        server.store.close()
+    return 0

@@ -1,0 +1,563 @@
+"""``repro loadtest``: concurrent protocol sessions against a live fleet.
+
+The harness answers the deployment question the single-process
+benchmarks cannot: with a cache tier between workers, what do
+interactive per-action latencies look like under concurrency, and does
+an execution demonstrated on one worker actually warm-start every
+other?
+
+Shape of a run (two waves, the fleet's end-to-end contract):
+
+1. *seed wave* — N sessions replay suite demonstrations against the
+   **first** worker, populating the cache tier through its remote
+   backend as each session closes;
+2. *warm wave* — N fresh sessions replay the same demonstrations
+   against the **remaining** workers, whose only connection to the seed
+   worker is the cache server.  Their warm-start rate is therefore the
+   remote tier's hit rate, measured from each worker's own
+   ``/v1/stats`` totals (Δ ``warm_start_hits`` / Δ lookups).
+
+Every ``record_action`` round trip is timestamped into a latency
+trajectory; the report carries p50/p95/p99, throughput, the warm rate,
+pool reuse counts, and — unless verification is disabled — a
+``verified`` flag asserting the fleet's candidate programs are
+byte-identical to an in-process :class:`SessionManager` replaying the
+same demonstrations.  ``write_report`` emits the ``BENCH_*.json``
+trajectory consumed by CI's ``fleet-smoke`` job and the perf-smoke
+benchmarks.
+
+Without ``--fleet`` the CLI spawns its own: one ``repro cache-serve``
+process and one ``repro serve --workers N --backend remote://...``
+process group (:class:`FleetHarness`), torn down afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+#: Demonstrations replayed by default (fast suite members).
+DEFAULT_SUBJECTS = ("b1", "b4")
+
+#: ``--quick`` preset: one subject, two sessions per wave.
+QUICK_SUBJECTS = ("b1",)
+
+#: Both the service and the cache server announce this on stdout.  The
+#: pattern is matched per occurrence, not per line: forked workers share
+#: one stdout pipe, so two banners can interleave onto a single line.
+_BANNER = re.compile(r"listening on (http://[\w.\-]+:\d+)")
+
+#: Trajectory points kept in the JSON report (the run keeps them all).
+_TRAJECTORY_CAP = 5000
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by nearest-rank on a sorted copy."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+# ----------------------------------------------------------------------
+# Spawning a fleet
+# ----------------------------------------------------------------------
+class FleetHarness:
+    """Spawn (and tear down) a cache server plus an N-worker service.
+
+    Context manager: on entry two ``python -m repro`` subprocesses come
+    up — ``cache-serve`` first, then ``serve --workers N --backend
+    remote://<cache>`` — and their stdout banners are parsed for the
+    bound URLs (``port 0`` everywhere, so parallel harnesses never
+    collide).  On exit both process groups get SIGINT (the service's
+    graceful path: sessions close, caches flush) with a kill fallback.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        store_dir: Optional[str] = None,
+        synth_timeout: float = 10.0,
+        boot_timeout: float = 60.0,
+    ) -> None:
+        self.workers = max(1, workers)
+        self.store_dir = store_dir
+        self.synth_timeout = synth_timeout
+        self.boot_timeout = boot_timeout
+        self.cache_url: Optional[str] = None
+        self.worker_urls: list[str] = []
+        self._procs: list[subprocess.Popen] = []
+        self._tmp = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FleetHarness":
+        import tempfile
+
+        import repro
+
+        if self.store_dir is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-fleet-")
+            self.store_dir = self._tmp.name
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        try:
+            cache = self._spawn(
+                [
+                    "cache-serve",
+                    "--host", "127.0.0.1",
+                    "--port", "0",
+                    "--cache-dir", self.store_dir,
+                ],
+                env,
+            )
+            self.cache_url = self._await_banners(cache, 1)[0]
+            service = self._spawn(
+                [
+                    "serve",
+                    "--host", "127.0.0.1",
+                    "--port", "0",
+                    "--workers", str(self.workers),
+                    "--backend", "remote://" + self.cache_url.split("//", 1)[1],
+                    "--timeout", str(self.synth_timeout),
+                ],
+                env,
+            )
+            self.worker_urls = self._await_banners(service, self.workers)
+        except BaseException:
+            self.__exit__(None, None, None)
+            raise
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for proc, _lines in self._procs:
+            if proc.poll() is None:
+                try:
+                    proc.send_signal(signal.SIGINT)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        for proc, _lines in self._procs:
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hang path
+                proc.kill()
+                proc.wait(timeout=15)
+        self._procs.clear()
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    # ------------------------------------------------------------------
+    def _spawn(self, args: list[str], env: dict):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+            bufsize=1,
+        )
+        lines: "queue.Queue[Optional[str]]" = queue.Queue()
+
+        def drain() -> None:
+            for line in proc.stdout:
+                lines.put(line.rstrip("\n"))
+            lines.put(None)
+
+        threading.Thread(target=drain, daemon=True).start()
+        handle = (proc, lines)
+        self._procs.append(handle)
+        return handle
+
+    def _await_banners(self, handle, count: int) -> list[str]:
+        proc, lines = handle
+        urls: list[str] = []
+        deadline = time.monotonic() + self.boot_timeout
+        while len(urls) < count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"fleet process announced {len(urls)}/{count} URLs "
+                    f"within {self.boot_timeout}s"
+                )
+            try:
+                line = lines.get(timeout=remaining)
+            except queue.Empty:
+                continue
+            if line is None:
+                raise RuntimeError(
+                    f"fleet process exited during boot (rc={proc.poll()})"
+                )
+            urls.extend(_BANNER.findall(line))
+        return urls
+
+
+# ----------------------------------------------------------------------
+# Driving sessions
+# ----------------------------------------------------------------------
+@dataclass
+class SessionOutcome:
+    """One replayed demonstration: where it ran and what it produced."""
+
+    subject: str
+    worker: str
+    programs: tuple[str, ...] = ()
+    error: Optional[str] = None
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured."""
+
+    workers: list[str]
+    cache_url: Optional[str]
+    subjects: list[str]
+    sessions: int
+    calls: int
+    errors: list[str]
+    elapsed_s: float
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    warm_rate: float
+    verified: Optional[bool]
+    pool: dict
+    per_worker: list[dict]
+    trajectory: list[dict] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "bench": "fleet_load",
+            "workers": self.workers,
+            "cache_url": self.cache_url,
+            "subjects": self.subjects,
+            "sessions": self.sessions,
+            "calls": self.calls,
+            "errors": self.errors,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "warm_rate": round(self.warm_rate, 4),
+            "verified": self.verified,
+            "pool": self.pool,
+            "per_worker": self.per_worker,
+            "trajectory": self.trajectory[:_TRAJECTORY_CAP],
+        }
+
+
+def _drive_session(
+    url: str, subject: str, recording, t0: float, samples: list, lock
+) -> SessionOutcome:
+    """Replay one demonstration over HTTP; collect per-action latencies."""
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(url)
+    try:
+        sid = client.create_session(recording.snapshots[0])
+        for position, action in enumerate(recording.actions):
+            started = time.perf_counter()
+            client.record_action(sid, action, recording.snapshots[position + 1])
+            finished = time.perf_counter()
+            with lock:
+                samples.append((started - t0, finished - started))
+        listed = client.candidates(sid)
+        programs = tuple(candidate.program for candidate in listed.candidates)
+        client.close_session(sid)
+        return SessionOutcome(subject=subject, worker=url, programs=programs)
+    except (ServiceClientError, OSError) as exc:
+        return SessionOutcome(
+            subject=subject,
+            worker=url,
+            error=f"{subject}@{url}: {type(exc).__name__}: {exc}",
+        )
+
+
+def _run_wave(
+    specs: list[tuple[str, str]],
+    recordings: dict,
+    concurrency: int,
+    t0: float,
+    samples: list,
+    lock,
+) -> list[SessionOutcome]:
+    """Drive ``(subject, worker_url)`` sessions, ``concurrency`` at a time."""
+    tasks: "queue.Queue[tuple[str, str]]" = queue.Queue()
+    for spec in specs:
+        tasks.put(spec)
+    outcomes: list[SessionOutcome] = []
+
+    def worker() -> None:
+        while True:
+            try:
+                subject, url = tasks.get_nowait()
+            except queue.Empty:
+                return
+            outcome = _drive_session(
+                url, subject, recordings[subject], t0, samples, lock
+            )
+            with lock:
+                outcomes.append(outcome)
+
+    threads = [
+        threading.Thread(target=worker, daemon=True)
+        for _ in range(max(1, min(concurrency, len(specs))))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return outcomes
+
+
+def _worker_totals(urls: Sequence[str]) -> dict[str, int]:
+    """Summed warm/miss counters across workers (from ``/v1/stats``)."""
+    from repro.service.client import ServiceClient
+
+    warm = miss = 0
+    for url in urls:
+        with ServiceClient(url) as client:
+            totals = client.stats().get("totals", {})
+        warm += int(totals.get("warm_start_hits", 0))
+        miss += int(totals.get("cache_misses", 0))
+    return {"warm": warm, "miss": miss}
+
+
+def _reference_programs(recordings: dict, timeout: float) -> dict[str, tuple]:
+    """Candidate programs from an in-process manager (the ground truth)."""
+    from dataclasses import replace
+
+    from repro.service.sessions import SessionManager
+    from repro.synth.config import DEFAULT_CONFIG
+
+    manager = SessionManager(
+        replace(DEFAULT_CONFIG, cache_backend="memory"), timeout=timeout
+    )
+    reference: dict[str, tuple] = {}
+    for subject, recording in recordings.items():
+        sid = manager.create(recording.snapshots[0])
+        for position, action in enumerate(recording.actions):
+            manager.record_action(sid, action, recording.snapshots[position + 1])
+        reference[subject] = tuple(
+            candidate.program for candidate in manager.candidates(sid).candidates
+        )
+        manager.close(sid)
+    return reference
+
+
+# ----------------------------------------------------------------------
+# The run
+# ----------------------------------------------------------------------
+def run_loadtest(
+    worker_urls: Sequence[str],
+    subjects: Sequence[str] = DEFAULT_SUBJECTS,
+    sessions_per_wave: int = 4,
+    concurrency: int = 4,
+    timeout: float = 10.0,
+    verify: bool = True,
+    cache_url: Optional[str] = None,
+) -> LoadReport:
+    """Two waves of sessions against a running fleet; the measured report.
+
+    ``worker_urls[0]`` seeds the cache tier; the warm wave goes to the
+    remaining workers (or back to the only worker, degrading the warm
+    metric to a same-process measurement with a one-worker fleet).
+    """
+    from repro.benchmarks.suite import benchmark_by_id
+    from repro.fleet.pool import pool
+    from repro.service.client import ServiceClient
+
+    worker_urls = list(worker_urls)
+    if not worker_urls:
+        raise ValueError("need at least one worker URL")
+    recordings = {bid: benchmark_by_id(bid).record() for bid in subjects}
+    seed_url = worker_urls[0]
+    warm_urls = worker_urls[1:] or worker_urls
+
+    wave_seed = [
+        (subjects[i % len(subjects)], seed_url) for i in range(sessions_per_wave)
+    ]
+    wave_warm = [
+        (subjects[i % len(subjects)], warm_urls[i % len(warm_urls)])
+        for i in range(sessions_per_wave)
+    ]
+
+    pool_before = pool().stats()
+    samples: list[tuple[float, float]] = []
+    lock = threading.Lock()
+    t0 = time.perf_counter()
+    outcomes = _run_wave(wave_seed, recordings, concurrency, t0, samples, lock)
+    between = _worker_totals(worker_urls)
+    outcomes += _run_wave(wave_warm, recordings, concurrency, t0, samples, lock)
+    elapsed = time.perf_counter() - t0
+    after = _worker_totals(worker_urls)
+
+    warm = after["warm"] - between["warm"]
+    miss = after["miss"] - between["miss"]
+    warm_rate = warm / (warm + miss) if warm + miss else 0.0
+
+    errors = [outcome.error for outcome in outcomes if outcome.error]
+    verified: Optional[bool] = None
+    if verify:
+        reference = _reference_programs(recordings, timeout)
+        verified = not errors and all(
+            outcome.programs == reference[outcome.subject]
+            for outcome in outcomes
+            if outcome.error is None
+        )
+
+    per_worker = []
+    for url in worker_urls:
+        with ServiceClient(url) as client:
+            stats = client.stats()
+        totals = stats.get("totals", {})
+        per_worker.append(
+            {
+                "url": url,
+                "backend": stats.get("backend"),
+                "closed_sessions": stats.get("closed_sessions"),
+                "warm_start_hits": totals.get("warm_start_hits"),
+                "cache_misses": totals.get("cache_misses"),
+            }
+        )
+
+    pool_after = pool().stats()
+    latencies = [latency for _, latency in samples]
+    return LoadReport(
+        workers=worker_urls,
+        cache_url=cache_url,
+        subjects=list(subjects),
+        sessions=len(outcomes),
+        calls=len(samples),
+        errors=errors,
+        elapsed_s=elapsed,
+        throughput_rps=len(samples) / elapsed if elapsed > 0 else 0.0,
+        p50_ms=percentile(latencies, 50) * 1000.0,
+        p95_ms=percentile(latencies, 95) * 1000.0,
+        p99_ms=percentile(latencies, 99) * 1000.0,
+        warm_rate=warm_rate,
+        verified=verified,
+        pool={
+            key: pool_after[key] - pool_before.get(key, 0)
+            for key in ("created", "reused", "discarded")
+        },
+        per_worker=per_worker,
+        trajectory=[
+            {"t": round(moment, 4), "ms": round(latency * 1000.0, 3)}
+            for moment, latency in samples[:_TRAJECTORY_CAP]
+        ],
+    )
+
+
+def write_report(report: LoadReport, path: str) -> str:
+    """Emit the ``BENCH_*.json`` trajectory artifact; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# CLI entry (``repro loadtest``)
+# ----------------------------------------------------------------------
+def run_cli_loadtest(
+    fleet: Optional[str] = None,
+    workers: int = 2,
+    subjects_spec: Optional[str] = None,
+    sessions: Optional[int] = None,
+    concurrency: Optional[int] = None,
+    timeout: Optional[float] = None,
+    quick: bool = False,
+    out: str = "BENCH_fleet_load.json",
+    max_p99_ms: Optional[float] = None,
+    min_warm_rate: Optional[float] = None,
+    verify: bool = True,
+) -> int:
+    """Drive a loadtest (spawning a fleet unless ``--fleet`` names one)."""
+    from repro.harness.report import fmt_ms, fmt_pct, render_table
+
+    if subjects_spec:
+        subjects = tuple(s.strip() for s in subjects_spec.split(",") if s.strip())
+    else:
+        subjects = QUICK_SUBJECTS if quick else DEFAULT_SUBJECTS
+    sessions = sessions if sessions is not None else (2 if quick else 6)
+    concurrency = concurrency if concurrency is not None else (2 if quick else 4)
+    timeout = timeout if timeout is not None else 10.0
+
+    if fleet:
+        urls = [
+            url if "//" in url else f"http://{url}"
+            for url in (part.strip() for part in fleet.split(","))
+            if url
+        ]
+        report = run_loadtest(
+            urls,
+            subjects=subjects,
+            sessions_per_wave=sessions,
+            concurrency=concurrency,
+            timeout=timeout,
+            verify=verify,
+        )
+    else:
+        with FleetHarness(workers=workers, synth_timeout=timeout) as harness:
+            report = run_loadtest(
+                harness.worker_urls,
+                subjects=subjects,
+                sessions_per_wave=sessions,
+                concurrency=concurrency,
+                timeout=timeout,
+                verify=verify,
+                cache_url=harness.cache_url,
+            )
+
+    print(
+        render_table(
+            ("metric", "value"),
+            [
+                ("workers", len(report.workers)),
+                ("sessions", report.sessions),
+                ("calls", report.calls),
+                ("p50", fmt_ms(report.p50_ms / 1000.0)),
+                ("p95", fmt_ms(report.p95_ms / 1000.0)),
+                ("p99", fmt_ms(report.p99_ms / 1000.0)),
+                ("throughput", f"{report.throughput_rps:.1f} rps"),
+                ("remote warm rate", fmt_pct(report.warm_rate)),
+                ("pool reuse", report.pool.get("reused", 0)),
+                (
+                    "verified",
+                    "skipped" if report.verified is None else report.verified,
+                ),
+                ("errors", len(report.errors)),
+            ],
+        )
+    )
+    written = write_report(report, out)
+    print(f"wrote {written}")
+
+    failures: list[str] = []
+    for error in report.errors:
+        failures.append(f"session failed: {error}")
+    if report.verified is False:
+        failures.append("fleet candidates differ from the in-process reference")
+    if max_p99_ms is not None and report.p99_ms > max_p99_ms:
+        failures.append(f"p99 {report.p99_ms:.1f}ms > bound {max_p99_ms:.1f}ms")
+    if min_warm_rate is not None and report.warm_rate < min_warm_rate:
+        failures.append(
+            f"warm rate {report.warm_rate:.2f} < bound {min_warm_rate:.2f}"
+        )
+    for failure in failures:
+        print(f"loadtest: {failure}", file=sys.stderr)
+    return 1 if failures else 0

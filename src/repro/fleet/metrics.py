@@ -1,0 +1,166 @@
+"""Fleet-wide Prometheus plumbing: scrape, parse, merge.
+
+Three consumers:
+
+* ``repro metrics --fleet URL,URL,...`` scrapes every worker's (and the
+  cache server's) ``/v1/metrics`` and merges the dumps into one stream,
+  each sample tagged ``instance="host:port"`` — fleet health as one
+  command;
+* the rebalancer (:mod:`repro.fleet.rebalance`) parses per-worker dumps
+  for the session gauge and per-route latency sums;
+* tests assert on specific samples without regex-matching raw text.
+
+The parser covers exactly what :meth:`repro.obs.metrics.Registry.render`
+emits (``# HELP`` / ``# TYPE`` comments, ``name{label="v"} value``
+samples, histogram ``_bucket``/``_sum``/``_count`` series) — it is not
+a general exposition-format validator.
+"""
+
+from __future__ import annotations
+
+import re
+from http.client import HTTPConnection
+from typing import Iterable, Optional
+from urllib.parse import urlsplit
+
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)\s*$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: Histogram/summary series suffixes that roll up to their family name.
+_FAMILY_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def split_host_port(url: str) -> tuple[str, int]:
+    """``host, port`` from a base URL (scheme optional)."""
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    if parts.hostname is None:
+        raise ValueError(f"bad URL {url!r}")
+    return parts.hostname, parts.port or 80
+
+
+def scrape_text(url: str, path: str = "/v1/metrics", timeout: float = 10.0) -> str:
+    """One worker's metrics dump as text (raises ``OSError`` on failure)."""
+    host, port = split_host_port(url)
+    connection = HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        body = response.read()
+    finally:
+        connection.close()
+    if response.status != 200:
+        raise OSError(f"GET {url}{path} -> {response.status}")
+    return body.decode("utf-8")
+
+
+def parse_samples(text: str) -> list[tuple[str, dict[str, str], float]]:
+    """``(name, labels, value)`` triples from an exposition dump."""
+    samples = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            continue
+        name, raw_labels, raw_value = match.groups()
+        try:
+            value = float(raw_value)
+        except ValueError:
+            continue
+        labels = (
+            {key: val for key, val in _LABEL.findall(raw_labels)}
+            if raw_labels
+            else {}
+        )
+        samples.append((name, labels, value))
+    return samples
+
+
+def sample_value(
+    samples: Iterable[tuple[str, dict[str, str], float]],
+    name: str,
+    labels: Optional[dict[str, str]] = None,
+) -> Optional[float]:
+    """The first sample matching ``name`` and the given label subset."""
+    wanted = labels or {}
+    for sample_name, sample_labels, value in samples:
+        if sample_name != name:
+            continue
+        if all(sample_labels.get(key) == val for key, val in wanted.items()):
+            return value
+    return None
+
+
+def _family_of(name: str, families: set[str]) -> str:
+    """The family a sample series belongs to (histogram suffixes fold)."""
+    if name in families:
+        return name
+    for suffix in _FAMILY_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return name
+
+
+def _inject_instance(line: str, instance: str) -> str:
+    """Tag one sample line with ``instance="..."`` (first label)."""
+    brace = line.find("{")
+    if brace >= 0:
+        return f'{line[: brace + 1]}instance="{instance}",{line[brace + 1 :]}'
+    space = line.find(" ")
+    if space < 0:
+        return line
+    return f'{line[:space]}{{instance="{instance}"}}{line[space:]}'
+
+
+def merge_exposition(scrapes: list[tuple[str, str]]) -> str:
+    """Merge ``(instance, dump)`` pairs into one labeled exposition.
+
+    ``# HELP`` / ``# TYPE`` headers are emitted once per family (first
+    instance wins — they are identical by construction), samples are
+    grouped under their family and each carries the ``instance`` label
+    in first position.
+    """
+    helps: dict[str, str] = {}
+    types: dict[str, str] = {}
+    order: list[str] = []
+    grouped: dict[str, list[str]] = {}
+    families: set[str] = set()
+    for instance, text in scrapes:
+        for line in text.splitlines():
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith("# HELP ") or stripped.startswith("# TYPE "):
+                parts = stripped.split(" ", 3)
+                if len(parts) < 3:
+                    continue
+                family = parts[2]
+                families.add(family)
+                store = helps if parts[1] == "HELP" else types
+                if family not in store:
+                    store[family] = stripped
+                if family not in grouped:
+                    grouped[family] = []
+                    order.append(family)
+                continue
+            if stripped.startswith("#"):
+                continue
+            match = _SAMPLE.match(stripped)
+            if match is None:
+                continue
+            family = _family_of(match.group(1), families)
+            if family not in grouped:
+                grouped[family] = []
+                order.append(family)
+            grouped[family].append(_inject_instance(stripped, instance))
+    lines: list[str] = []
+    for family in order:
+        if family in helps:
+            lines.append(helps[family])
+        if family in types:
+            lines.append(types[family])
+        lines.extend(grouped[family])
+    return "\n".join(lines) + ("\n" if lines else "")

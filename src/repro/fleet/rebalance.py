@@ -1,0 +1,253 @@
+"""``repro rebalance``: drain hot workers through the migrate-push flow.
+
+Sessions are sticky to the worker that created them; migration
+(``POST /v1/sessions/<sid>/migrate`` with a ``target``) already moves
+one between real processes with byte-identical subsequent candidates —
+but only on demand.  This controller closes the loop: poll every
+worker, compute the session-count skew, and push sessions from the
+hottest worker to the coldest until the spread is within tolerance.
+
+Load signals come from the worker's own telemetry:
+
+* ``GET /v1/stats`` — the live session count (the move policy keys on
+  session counts, the one signal migration directly changes; the
+  ``repro_sessions_live`` gauge exports the same number per worker
+  process for dashboards);
+* ``GET /v1/metrics`` — the per-route latency histogram's
+  ``_sum``/``_count`` for ``/v1/sessions/:sid/actions``, reported for
+  operators alongside the plan.
+
+Session ids to move come from ``GET /v1/sessions``; the newest ids
+drain first (oldest sessions keep their warm engine state in place).
+Unreachable workers are skipped — never drained into, never planned
+around.  Move failures (a session closed mid-plan, a racing client)
+count and continue; the next round re-plans from fresh observations.
+
+Policy: while ``max(sessions) - min(sessions) > skew`` (default 2),
+move half the gap from the hottest to the coldest worker.  One-shot by
+default; ``repro rebalance --interval S`` loops.
+
+Telemetry: ``repro_rebalance_rounds_total``,
+``repro_rebalance_moves_total``, ``repro_rebalance_failures_total``,
+``repro_rebalance_skew`` (last observed spread).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.fleet.metrics import parse_samples, sample_value, scrape_text
+from repro.obs import metrics as obs_metrics
+
+#: Tolerated session-count spread before moves are planned.
+DEFAULT_SKEW = 2
+
+#: The per-route histogram the latency signal reads.
+_ACTIONS_ROUTE = "/v1/sessions/:sid/actions"
+
+
+class _RebalanceMetrics:
+    """Lazy handles on the rebalancer's registry families."""
+
+    _instance: Optional["_RebalanceMetrics"] = None
+
+    def __init__(self) -> None:
+        registry = obs_metrics.registry()
+        self.rounds = registry.counter(
+            "repro_rebalance_rounds_total", "Rebalance polling rounds completed."
+        )
+        self.moves = registry.counter(
+            "repro_rebalance_moves_total", "Sessions migrated by the rebalancer."
+        )
+        self.failures = registry.counter(
+            "repro_rebalance_failures_total",
+            "Session moves that failed (re-planned next round).",
+        )
+        self.skew = registry.gauge(
+            "repro_rebalance_skew",
+            "Last observed session-count spread across reachable workers.",
+        )
+
+    @classmethod
+    def get(cls) -> "_RebalanceMetrics":
+        if cls._instance is None:
+            cls._instance = cls()
+        return cls._instance
+
+
+@dataclass(frozen=True)
+class WorkerLoad:
+    """One worker's observed load."""
+
+    url: str
+    sessions: int
+    session_ids: tuple[str, ...]
+    #: Mean /actions latency in seconds (None before the first request
+    #: or when the registry is disabled).
+    action_latency_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Move:
+    """Drain ``sessions`` from ``source`` to ``target``."""
+
+    source: str
+    target: str
+    sessions: tuple[str, ...]
+
+
+@dataclass
+class RebalanceRound:
+    """What one polling round saw and did."""
+
+    loads: list[WorkerLoad] = field(default_factory=list)
+    unreachable: list[str] = field(default_factory=list)
+    moves: list[Move] = field(default_factory=list)
+    moved: int = 0
+    failed: int = 0
+
+    @property
+    def skew(self) -> int:
+        if len(self.loads) < 2:
+            return 0
+        counts = [load.sessions for load in self.loads]
+        return max(counts) - min(counts)
+
+
+def scrape_load(url: str, timeout: float = 10.0) -> WorkerLoad:
+    """Poll one worker's session gauge, latency, and session ids."""
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(url, timeout=timeout) as client:
+        session_ids = tuple(client.session_ids())
+        sessions = int(client.stats().get("sessions", len(session_ids)))
+        latency: Optional[float] = None
+        try:
+            samples = parse_samples(scrape_text(url, timeout=timeout))
+        except (OSError, ValueError):
+            samples = []
+        total = sample_value(
+            samples,
+            "repro_http_request_seconds_sum",
+            {"route": _ACTIONS_ROUTE},
+        )
+        count = sample_value(
+            samples,
+            "repro_http_request_seconds_count",
+            {"route": _ACTIONS_ROUTE},
+        )
+        if total is not None and count:
+            latency = total / count
+    return WorkerLoad(
+        url=url,
+        sessions=sessions,
+        session_ids=session_ids,
+        action_latency_s=latency,
+    )
+
+
+def plan_moves(
+    loads: Sequence[WorkerLoad], skew: int = DEFAULT_SKEW
+) -> list[Move]:
+    """Hot-to-cold moves that bring the spread within ``skew``.
+
+    Pure planning over the observed counts — no I/O — so the policy is
+    unit-testable.  Repeatedly halves the hottest/coldest gap; newest
+    session ids drain first.
+    """
+    if len(loads) < 2:
+        return []
+    counts = {load.url: load.sessions for load in loads}
+    drainable = {load.url: list(load.session_ids) for load in loads}
+    moves: list[Move] = []
+    while True:
+        hot = max(counts, key=lambda url: counts[url])
+        cold = min(counts, key=lambda url: counts[url])
+        gap = counts[hot] - counts[cold]
+        # a spread of 1 is unavoidable for odd totals; tolerating it
+        # also keeps skew=0 from ping-ponging one session forever
+        if gap <= max(1, skew):
+            break
+        batch = drainable[hot][-max(1, gap // 2) :]
+        if not batch:
+            break  # the gauge says hot, but no drainable ids remain
+        del drainable[hot][-len(batch) :]
+        moves.append(Move(source=hot, target=cold, sessions=tuple(reversed(batch))))
+        counts[hot] -= len(batch)
+        counts[cold] += len(batch)
+        drainable[cold].extend(batch)
+    return moves
+
+
+def rebalance_once(
+    urls: Sequence[str],
+    skew: int = DEFAULT_SKEW,
+    dry_run: bool = False,
+    timeout: float = 10.0,
+) -> RebalanceRound:
+    """One poll-plan-drain round across the fleet."""
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    metrics = _RebalanceMetrics.get()
+    outcome = RebalanceRound()
+    for url in urls:
+        try:
+            outcome.loads.append(scrape_load(url, timeout=timeout))
+        except (ServiceClientError, OSError, ValueError):
+            outcome.unreachable.append(url)
+    outcome.moves = plan_moves(outcome.loads, skew=skew)
+    if not dry_run:
+        for move in outcome.moves:
+            with ServiceClient(move.source, timeout=timeout) as source:
+                for sid in move.sessions:
+                    try:
+                        source.migrate_session(sid, move.target)
+                        outcome.moved += 1
+                    except (ServiceClientError, OSError) as exc:
+                        outcome.failed += 1
+                        print(
+                            f"rebalance: {sid} {move.source} -> "
+                            f"{move.target} failed: {exc}",
+                            file=sys.stderr,
+                        )
+    metrics.rounds.inc()
+    if outcome.moved:
+        metrics.moves.inc(outcome.moved)
+    if outcome.failed:
+        metrics.failures.inc(outcome.failed)
+    metrics.skew.set(outcome.skew)
+    return outcome
+
+
+def run_rebalancer(
+    urls: Sequence[str],
+    interval: Optional[float] = None,
+    skew: int = DEFAULT_SKEW,
+    dry_run: bool = False,
+    timeout: float = 10.0,
+) -> int:
+    """One-shot (``interval=None``) or looped rebalancing; exit code."""
+    while True:
+        outcome = rebalance_once(urls, skew=skew, dry_run=dry_run, timeout=timeout)
+        counts = " ".join(
+            f"{load.url}={load.sessions}" for load in outcome.loads
+        )
+        planned = sum(len(move.sessions) for move in outcome.moves)
+        verb = "planned" if dry_run else "moved"
+        print(
+            f"rebalance: skew={outcome.skew} {verb}="
+            f"{planned if dry_run else outcome.moved}"
+            + (f" failed={outcome.failed}" if outcome.failed else "")
+            + (f" unreachable={len(outcome.unreachable)}" if outcome.unreachable else "")
+            + (f" [{counts}]" if counts else ""),
+            flush=True,
+        )
+        if interval is None:
+            return 0 if not outcome.failed else 1
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - signal path
+            return 0

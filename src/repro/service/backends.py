@@ -39,7 +39,13 @@ Shared use
     I/O failures degrade to cache misses — the store is a cache, never
     a source of truth.
 
-``REPRO_CACHE_BACKEND`` selects the backend (``memory`` | ``file``),
+:class:`~repro.fleet.remote.RemoteBackend` (``remote://host:port``)
+    The fleet tier: the same seam over HTTP to a standalone
+    ``repro cache-serve`` process, registered lazily through
+    :func:`register_backend_factory` — see :mod:`repro.fleet`.
+
+``REPRO_CACHE_BACKEND`` selects the backend (``memory`` | ``file`` |
+``remote://host:port``),
 ``REPRO_CACHE_DIR`` the store directory, ``REPRO_CACHE_MAX_BYTES`` the
 store's eviction threshold, ``REPRO_CODEC`` the payload codec
 (``binary`` | ``json``), ``REPRO_DECODE_CACHE_BYTES`` the decoded-entry
@@ -527,8 +533,14 @@ class FileBackend(CacheBackend):
         #: double-counted duplicate.
         self._pending: dict[bytes, tuple[int, bytes, int]] = {}
         self._pending_bytes = 0
-        #: Decoded-entry LRU: digest → (decoded tuple, encoded bytes).
-        self._decoded: dict[bytes, tuple[tuple, int]] = {}
+        #: Decoded-entry LRU: digest → (value, encoded bytes).  The value
+        #: is the decoded entry tuple on the read path; the write path
+        #: parks the *encoded* ``bytes`` row instead (encoding already
+        #: happened for the store), and the first probe decodes it once
+        #: and swaps the slot — so a just-written entry never pays the
+        #: SQLite read, and the pure-Python decode is paid at most once
+        #: per process either way.
+        self._decoded: dict[bytes, tuple[object, int]] = {}
         self._decoded_bytes = 0
         #: Telemetry: loads answered / attempted, writes, evicted rows,
         #: entries dropped because their values were not codec-encodable,
@@ -575,17 +587,37 @@ class FileBackend(CacheBackend):
         return self.fetch_entry(kind, key)[0]
 
     def fetch_entry(self, kind: int, key: bytes) -> tuple[Optional[tuple], int]:
+        blob: Optional[bytes] = None
         with self._lock:
             cached = self._decoded.get(key)
             if cached is not None:
                 self._decoded[key] = self._decoded.pop(key)
-                entry, nbytes = cached
+                value, nbytes = cached
+                if isinstance(value, bytes):
+                    blob = value  # write-path slot: still encoded
+                else:
+                    self.loads += 1
+                    self.load_hits += 1
+                    self.decode_hits += 1
+                    self.decode_bytes += nbytes
+                    _StoreMetrics.get().probes.labels(outcome="decoded").inc()
+                    return value, nbytes
+        if blob is not None:
+            # an encoded row remembered at write time: the SQLite read is
+            # skipped, the decode is paid here — once per process — and
+            # the slot swaps to the decoded entry for every later probe
+            entry = self._decode_blob(key, blob)
+            if entry is None:
+                return None, 0
+            nbytes = len(blob) + len(key)
+            with self._lock:
                 self.loads += 1
                 self.load_hits += 1
                 self.decode_hits += 1
                 self.decode_bytes += nbytes
-                _StoreMetrics.get().probes.labels(outcome="decoded").inc()
-                return entry, nbytes
+                self._remember_decoded_locked(key, entry, nbytes)
+            _StoreMetrics.get().probes.labels(outcome="encoded").inc()
+            return entry, nbytes
         payload, nbytes = self._load(key)
         if payload is None:
             return None, 0
@@ -666,7 +698,47 @@ class FileBackend(CacheBackend):
         self._store(CONSISTENCY, key, {"v": value})
 
     # ------------------------------------------------------------------
-    def _remember_decoded_locked(self, key: bytes, entry: tuple, nbytes: int) -> None:
+    # Raw payload access: the cache server's seam.  The fleet cache tier
+    # relays codec payload dicts verbatim — it never decodes entries into
+    # actions/envs, so a cache server can serve stores written by any
+    # protocol-compatible worker.
+    # ------------------------------------------------------------------
+    def load_payload(self, key: bytes) -> Optional[dict]:
+        """The codec payload stored under ``key`` (reads the write buffer
+        first, so a just-put entry is visible before the next flush)."""
+        with self._lock:
+            pending = self._pending.get(key)
+        if pending is not None:
+            blob = pending[1]
+            try:
+                payload = sniff_codec(blob).decode_payload(blob)
+            except ProtocolError:  # pragma: no cover - we encoded it
+                return None
+            self.loads += 1
+            self.load_hits += 1
+            return payload if isinstance(payload, dict) else None
+        return self._load(key)[0]
+
+    def store_payload(self, kind: int, key: bytes, payload: dict) -> None:
+        """Write one codec payload through the buffered store path."""
+        self._store(kind, key, payload)
+
+    def _decode_blob(self, key: bytes, blob: bytes) -> Optional[tuple]:
+        """Decode an LRU-held encoded row; corrupt rows drop and miss."""
+        try:
+            payload = sniff_codec(blob).decode_payload(blob)
+            if not isinstance(payload, dict) or "a" not in payload:
+                raise ProtocolError("not an entry payload")
+            return entry_from_payload(payload, self.interner)
+        except (ProtocolError, KeyError, TypeError, ValueError, IndexError):
+            with self._lock:
+                cached = self._decoded.pop(key, None)
+                if cached is not None:
+                    self._decoded_bytes -= cached[1]
+            return None
+
+    # ------------------------------------------------------------------
+    def _remember_decoded_locked(self, key: bytes, entry, nbytes: int) -> None:
         decoded = self._decoded
         previous = decoded.pop(key, None)
         if previous is not None:
@@ -721,6 +793,15 @@ class FileBackend(CacheBackend):
                 self._pending_bytes -= previous[2]
             self._pending[key] = (kind, blob, nbytes)
             self._pending_bytes += nbytes
+            if kind != CONSISTENCY:
+                # park the encoded row in the decode LRU: a later probe
+                # of this key (another session, a post-eviction re-probe)
+                # skips the read and decodes lazily, exactly once — but
+                # never downgrade a slot that already holds the decoded
+                # entry (same digest, same value: it stays valid)
+                cached = self._decoded.get(key)
+                if cached is None or isinstance(cached[0], bytes):
+                    self._remember_decoded_locked(key, blob, nbytes)
             if len(self._pending) < self.flush_every:
                 return
         self.flush()
@@ -791,7 +872,7 @@ class FileBackend(CacheBackend):
         for tier in (EXACT, CONSISTENCY, TERMINAL):
             while self._db_bytes > target:
                 rows = self._conn.execute(
-                    "SELECT rowid, nbytes FROM entries WHERE kind = ?"
+                    "SELECT rowid, nbytes, key FROM entries WHERE kind = ?"
                     " ORDER BY rowid LIMIT ?",
                     (tier, self._EVICT_BATCH),
                 ).fetchall()
@@ -800,10 +881,15 @@ class FileBackend(CacheBackend):
                 cutoff = rows[-1][0]
                 freed = 0
                 dropped = 0
-                for rowid, nbytes in rows:
+                for rowid, nbytes, key in rows:
                     cutoff = rowid
                     freed += nbytes
                     dropped += 1
+                    # the decode LRU must not outlive the row: a load
+                    # after eviction is a miss, not a phantom hit
+                    cached = self._decoded.pop(key, None)
+                    if cached is not None:
+                        self._decoded_bytes -= cached[1]
                     if self._db_bytes - freed <= target:
                         break
                 self._conn.execute(
@@ -844,7 +930,25 @@ class FileBackend(CacheBackend):
 # ----------------------------------------------------------------------
 _MEMORY_BACKEND = InProcessBackend()
 _FILE_BACKENDS: dict[str, FileBackend] = {}
+#: URL-scheme backend factories: scheme -> factory(url) -> CacheBackend.
+#: ``remote`` registers itself on first resolution (lazy import keeps
+#: this module free of fleet dependencies).
+_FACTORIES: dict[str, object] = {}
+#: One backend instance per resolved URL (mirrors _FILE_BACKENDS).
+_URL_BACKENDS: dict[str, CacheBackend] = {}
 _RESOLVE_LOCK = threading.Lock()
+
+
+def register_backend_factory(scheme: str, factory) -> None:
+    """Plug a URL-scheme backend into :func:`resolve_backend`.
+
+    ``factory`` is called once per distinct URL with the full backend
+    name (e.g. ``remote://127.0.0.1:8799``) and must return a
+    :class:`CacheBackend`; the instance is cached so every session in
+    the process shares it, and :func:`flush_backends` /
+    :func:`reset_backends` cover it like any file store.
+    """
+    _FACTORIES[scheme] = factory
 
 
 def default_store_path() -> str:
@@ -875,24 +979,42 @@ def resolve_backend(
             if backend is None:
                 backend = _FILE_BACKENDS[resolved] = FileBackend(resolved)
             return backend
-    raise ValueError(f"unknown cache backend {name!r} (expected 'memory' or 'file')")
+    if "://" in name:
+        scheme = name.split("://", 1)[0]
+        if scheme == "remote" and scheme not in _FACTORIES:
+            import repro.fleet.remote  # noqa: F401  (registers the factory)
+        factory = _FACTORIES.get(scheme)
+        if factory is not None:
+            with _RESOLVE_LOCK:
+                backend = _URL_BACKENDS.get(name)
+                if backend is None:
+                    backend = _URL_BACKENDS[name] = factory(name)
+                return backend
+    raise ValueError(
+        f"unknown cache backend {name!r} "
+        f"(expected 'memory', 'file', or 'remote://host:port')"
+    )
 
 
 def flush_backends() -> None:
-    """Flush every resolved file backend's buffered writes to disk.
+    """Flush every resolved persistent backend's buffered writes.
 
     Worker processes call this before exiting: ``os._exit`` (the
     multiprocessing child exit path) skips ``atexit`` hooks, and entries
-    still in the write buffer would otherwise never reach the store.
+    still in the write buffer would otherwise never reach the store —
+    or, for ``remote://`` backends, the cache tier.
     """
     with _RESOLVE_LOCK:
-        for backend in _FILE_BACKENDS.values():
-            backend.flush()
+        backends = list(_FILE_BACKENDS.values()) + list(_URL_BACKENDS.values())
+    for backend in backends:
+        backend.flush()
 
 
 def reset_backends() -> None:
-    """Close and forget every resolved file backend (test isolation)."""
+    """Close and forget every resolved backend (test isolation)."""
     with _RESOLVE_LOCK:
-        for backend in _FILE_BACKENDS.values():
-            backend.close()
+        backends = list(_FILE_BACKENDS.values()) + list(_URL_BACKENDS.values())
         _FILE_BACKENDS.clear()
+        _URL_BACKENDS.clear()
+    for backend in backends:
+        backend.close()

@@ -25,6 +25,7 @@ from typing import Optional, Union
 from urllib.parse import urlsplit
 
 from repro.browser.recorder import Recording
+from repro.fleet.pool import pool
 from repro.obs import context as obs_context
 from repro.protocol.codec import Codec, ProtocolError as CodecError, resolve_codec, sniff_codec
 from repro.protocol.messages import (
@@ -81,6 +82,15 @@ class ServiceClient:
     in ``Content-Type`` and ``Accept``; the server replies in kind, and
     responses are decoded by sniffing, so a mixed deployment (old JSON
     worker, new binary client or vice versa) still round-trips.
+
+    Connections come from the process-wide keep-alive pool
+    (:mod:`repro.fleet.pool`) shared with the remote cache backend: a
+    request borrows a parked connection to ``host:port`` when one is
+    idle and parks it back after a keep-alive response, so consecutive
+    calls — even across many short-lived clients — skip the TCP
+    handshake.  The GET retry semantics are unchanged: an idempotent
+    read replays once on a fresh connection, a dropped non-GET raises
+    (the server may or may not have processed it).
     """
 
     def __init__(
@@ -96,7 +106,6 @@ class ServiceClient:
         self.port = parts.port or 80
         self.timeout = timeout
         self.codec = codec if isinstance(codec, Codec) else resolve_codec(codec)
-        self._conn: Optional[HTTPConnection] = None
 
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str, message=None, raw: Optional[dict] = None):
@@ -115,14 +124,13 @@ class ServiceClient:
         elif raw is not None:
             body = json.dumps(raw).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        if self._conn is None:
-            self._conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        connection = pool().acquire(self.host, self.port, timeout=self.timeout)
         try:
-            self._conn.request(method, path, body=body, headers=headers)
-            response = self._conn.getresponse()
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
             payload = response.read()
         except (ConnectionError, OSError) as exc:
-            self.close()
+            pool().discard(connection)
             if method != "GET":
                 # a dropped connection does not say whether the server
                 # processed the request — replaying a record-action
@@ -132,11 +140,20 @@ class ServiceClient:
                     f"{method} {path} failed mid-request ({exc}); check the "
                     f"session state before retrying"
                 ) from exc
-            # one reconnect: the server may have recycled the keep-alive
-            self._conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
-            self._conn.request(method, path, body=body, headers=headers)
-            response = self._conn.getresponse()
-            payload = response.read()
+            # one reconnect on a fresh socket: a parked keep-alive may
+            # have been recycled by the server, so do not re-borrow
+            connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                payload = response.read()
+            except (ConnectionError, OSError):
+                connection.close()
+                raise
+        if response.will_close:
+            pool().discard(connection)
+        else:
+            pool().release(self.host, self.port, connection)
         return self._decode(method, path, response.status, payload)
 
     def _decode(self, method: str, path: str, status: int, payload: bytes):
@@ -169,9 +186,14 @@ class ServiceClient:
         return decoded
 
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        """No-op kept for API compatibility.
+
+        Connections are pool-owned: a request that completed with
+        keep-alive has already parked its connection for the next
+        caller (any client, any thread), so there is nothing per-client
+        to tear down.  ``repro.fleet.pool.reset_pool()`` drops every
+        parked connection when a test needs a cold start.
+        """
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -247,6 +269,10 @@ class ServiceClient:
     def stats(self) -> dict:
         """Manager-wide stats of the worker (gauges, not a typed message)."""
         return self._request("GET", "/v1/stats")
+
+    def session_ids(self) -> list[str]:
+        """Ids of the sessions this worker is currently serving."""
+        return list(self._request("GET", "/v1/sessions").get("sessions", ()))
 
     @staticmethod
     def _expect(message, cls) -> None:

@@ -16,6 +16,7 @@ Versioned routes (all bodies protocol JSON):
 
 ==========================================  ===================================
 ``POST /v1/sessions``                       ``CreateSession`` → ``SessionCreated``
+``GET  /v1/sessions``                       → ``{"sessions": [sid, ...]}``
 ``POST /v1/sessions/<sid>/actions``         ``ActionRecorded`` → ``ProgramProposed``
 ``GET  /v1/sessions/<sid>/candidates``      → ``CandidateList``
 ``POST /v1/sessions/<sid>/accept``          ``Accept`` → ``Accepted``
@@ -338,6 +339,10 @@ class _Handler(BaseHTTPRequestHandler):
                     200,
                     obs_metrics.CONTENT_TYPE,
                 )
+            elif path == "/sessions":
+                self._reply(
+                    {"sessions": list(self.server.manager.session_ids())}
+                )
             elif path.startswith("/sessions/") and path.endswith("/candidates"):
                 sid = path[len("/sessions/") : -len("/candidates")]
                 self._reply(self.server.manager.candidates(sid))
@@ -473,7 +478,10 @@ def make_server(
 
 def _announce(server: ServiceServer) -> None:
     host, port = server.server_address[:2]
-    print(f"repro-service listening on http://{host}:{port}", flush=True)
+    # one write syscall: forked workers share this stdout pipe, and a
+    # banner split across writes could interleave with a sibling's
+    sys.stdout.write(f"repro-service listening on http://{host}:{port}\n")
+    sys.stdout.flush()
 
 
 def serve(

@@ -39,6 +39,7 @@ from typing import Optional, Sequence
 from repro.dom.node import DOMNode
 from repro.lang.actions import Action
 from repro.lang.data import DataSource, EMPTY_DATA
+from repro.obs import metrics as obs_metrics
 from repro.protocol.messages import (
     Accepted,
     CandidateList,
@@ -64,6 +65,13 @@ DemoSession = Session
 #: How many departed (closed/evicted/migrated) session ids the manager
 #: remembers so a late request gets a 409-shaped "closed", not a 404.
 _DEPARTED_LIMIT = 4096
+
+
+def _live_gauge():
+    """The ``repro_sessions_live`` gauge (the rebalancer's load signal)."""
+    return obs_metrics.registry().gauge(
+        "repro_sessions_live", "Sessions currently live on this worker."
+    )
 
 
 def resolved_session_ttl(max_idle_s: Optional[float]) -> Optional[float]:
@@ -134,6 +142,7 @@ class SessionManager:
         session.start(snapshot)
         with self._lock:
             self._sessions[sid] = session
+        self._publish_live()
         return sid
 
     def create_session(self, message) -> SessionCreated:
@@ -213,6 +222,13 @@ class SessionManager:
         with session.lock:
             closed = session.close()
         self._depart(session, "closed")
+        self._publish_live()
+        # ship the session's buffered cache writes now: with a remote
+        # backend this is what makes the finished demonstration's
+        # executions visible to every other worker in the fleet
+        from repro.service.backends import flush_backends
+
+        flush_backends()
         return closed
 
     def _departed_error(self, sid: str) -> SessionError:
@@ -231,6 +247,10 @@ class SessionManager:
             with session.lock:
                 session.close()
             self._depart(session, "closed")
+        self._publish_live()
+        from repro.service.backends import flush_backends
+
+        flush_backends()
 
     # ------------------------------------------------------------------
     # Idle eviction
@@ -269,6 +289,8 @@ class SessionManager:
                 session.lock.release()
             self._depart(session, "evicted")
             evicted += 1
+        if evicted:
+            self._publish_live()
         return evicted
 
     # ------------------------------------------------------------------
@@ -303,6 +325,7 @@ class SessionManager:
         with session.lock:
             session.close()
         self._depart(session, "migrated")
+        self._publish_live()
 
     def abort_migration(self, session: Session) -> None:
         """The push failed: put the session back into service."""
@@ -311,6 +334,7 @@ class SessionManager:
         with self._lock:
             self._departed.pop(session.sid, None)
             self._sessions[session.sid] = session
+        self._publish_live()
 
     def export_snapshot(self, sid: str, evict: bool = True) -> SessionSnapshot:
         """Serialize a session; by default it leaves this worker.
@@ -344,11 +368,17 @@ class SessionManager:
         with self._lock:
             self._sessions[sid] = session
             self._imported_count += 1
+        self._publish_live()
         return SessionCreated(session=sid)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _publish_live(self) -> None:
+        with self._lock:
+            live = len(self._sessions)
+        _live_gauge().set(live)
+
     def session_ids(self) -> Sequence[str]:
         with self._lock:
             return tuple(self._sessions)

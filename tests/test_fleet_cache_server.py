@@ -1,0 +1,234 @@
+"""The standalone cache tier (repro.fleet.cache_server) and the shared
+keep-alive pool (repro.fleet.pool).
+
+Boots a real cache server on an ephemeral port and speaks the payload
+wire protocol at it raw — hex keys, codec payload dicts — pinning batch
+get/put semantics, write-buffer visibility (a put is readable before
+the SQLite flush), content negotiation, the health/stats/metrics
+routes, and that malformed requests come back 400, never 500.
+"""
+
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.fleet.cache_server import make_cache_server
+from repro.fleet.pool import ConnectionPool, pool, reset_pool
+from repro.protocol.codec import resolve_codec, sniff_codec
+from repro.service.backends import EXACT
+
+JSON = resolve_codec("json")
+BINARY = resolve_codec("binary")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    """A cache server thread on an ephemeral port, torn down afterwards."""
+    server = make_cache_server(port=0, path=str(tmp_path / "cache.sqlite"))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.store.close()
+        thread.join(timeout=5)
+
+
+def _post(server, path, payload, codec=JSON, accept=None):
+    host, port = server.server_address[:2]
+    connection = HTTPConnection(host, port, timeout=10.0)
+    try:
+        connection.request(
+            "POST",
+            path,
+            body=codec.encode_payload(payload),
+            headers={
+                "Content-Type": codec.content_type,
+                "Accept": (accept or codec).content_type,
+            },
+        )
+        response = connection.getresponse()
+        body = response.read()
+    finally:
+        connection.close()
+    return response, body
+
+
+def _get(server, path):
+    host, port = server.server_address[:2]
+    connection = HTTPConnection(host, port, timeout=10.0)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        body = response.read()
+    finally:
+        connection.close()
+    return response, body
+
+
+KEY = b"\x01" * 16
+PAYLOAD = {"v": 42}
+
+
+class TestWireProtocol:
+    def test_put_then_get_round_trips(self, cache):
+        response, body = _post(
+            cache, "/v1/cache/put", {"e": [[2, KEY.hex(), PAYLOAD]]}
+        )
+        assert response.status == 200
+        ack = JSON.decode_payload(body)
+        assert ack["stored"] == 1
+        response, body = _get_entries(cache, [[2, KEY.hex()]])
+        assert response.status == 200
+        assert body["e"] == [PAYLOAD]
+
+    def test_get_misses_are_nulls_in_order(self, cache):
+        _post(cache, "/v1/cache/put", {"e": [[2, KEY.hex(), PAYLOAD]]})
+        response, body = _get_entries(
+            cache, [[2, (b"\x02" * 16).hex()], [2, KEY.hex()]]
+        )
+        assert response.status == 200
+        assert body["e"] == [None, PAYLOAD]
+
+    def test_put_is_readable_before_the_sqlite_flush(self, cache):
+        # the store buffers writes (flush_every rows); a get from another
+        # worker must still see the row immediately
+        assert cache.store._pending or cache.store.flush_every > 1
+        _post(cache, "/v1/cache/put", {"e": [[0, KEY.hex(), {"a": []}]]})
+        _, body = _get_entries(cache, [[0, KEY.hex()]])
+        assert body["e"] == [{"a": []}]
+
+    def test_put_ack_carries_store_totals(self, cache):
+        _, body = _post(
+            cache,
+            "/v1/cache/put",
+            {"e": [[2, KEY.hex(), PAYLOAD], [2, (b"\x02" * 16).hex(), PAYLOAD]]},
+        )
+        ack = JSON.decode_payload(body)
+        assert ack["entries"] == 2
+        assert ack["bytes"] > 0
+
+    def test_binary_request_json_response_negotiation(self, cache):
+        response, body = _post(
+            cache,
+            "/v1/cache/put",
+            {"e": [[2, KEY.hex(), PAYLOAD]]},
+            codec=BINARY,
+            accept=JSON,
+        )
+        assert response.status == 200
+        assert response.getheader("Content-Type") == JSON.content_type
+        assert JSON.decode_payload(body)["stored"] == 1
+
+
+def _get_entries(cache, keys):
+    response, body = _post(cache, "/v1/cache/get", {"k": keys})
+    return response, (JSON.decode_payload(body) if response.status == 200 else body)
+
+
+class TestBadRequests:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},  # no "k"
+            {"k": "nope"},  # not a list
+            {"k": [[9, KEY.hex()]]},  # unknown kind
+            {"k": [[0, "zz"]]},  # not hex
+            {"k": [[0, ""]]},  # empty key
+            {"k": [[0]]},  # short row
+        ],
+    )
+    def test_malformed_get_is_400(self, cache, payload):
+        response, body = _post(cache, "/v1/cache/get", payload)
+        assert response.status == 400
+        assert JSON.decode_payload(body)["error"] == "bad_request"
+
+    def test_malformed_put_row_is_400(self, cache):
+        response, _ = _post(
+            cache, "/v1/cache/put", {"e": [[EXACT, KEY.hex(), "not a dict"]]}
+        )
+        assert response.status == 400
+
+    def test_unknown_routes_are_404(self, cache):
+        response, _ = _get(cache, "/nope")
+        assert response.status == 404
+        response, _ = _post(cache, "/v1/nope", {})
+        assert response.status == 404
+
+    def test_garbage_body_is_400_not_500(self, cache):
+        host, port = cache.server_address[:2]
+        connection = HTTPConnection(host, port, timeout=10.0)
+        try:
+            connection.request("POST", "/v1/cache/get", body=b"\xff\xfe garbage")
+            response = connection.getresponse()
+            assert response.status == 400
+            response.read()
+        finally:
+            connection.close()
+
+
+class TestOperationalRoutes:
+    def test_healthz_names_the_role(self, cache):
+        response, body = _get(cache, "/healthz")
+        health = sniff_codec(body).decode_payload(body)
+        assert health["ok"] is True
+        assert health["role"] == "cache"
+
+    def test_stats_reflect_traffic(self, cache):
+        _post(cache, "/v1/cache/put", {"e": [[2, KEY.hex(), PAYLOAD]]})
+        _get_entries(cache, [[2, KEY.hex()]])
+        _, body = _get(cache, "/v1/stats")
+        stats = sniff_codec(body).decode_payload(body)
+        assert stats["role"] == "cache"
+        assert stats["entries"] == 1
+        assert stats["loads"] >= 1
+
+    def test_metrics_route_counts_hits_and_misses(self, cache):
+        _post(cache, "/v1/cache/put", {"e": [[2, KEY.hex(), PAYLOAD]]})
+        _get_entries(cache, [[2, KEY.hex()], [2, (b"\x03" * 16).hex()]])
+        response, body = _get(cache, "/v1/metrics")
+        assert response.status == 200
+        text = body.decode("utf-8")
+        assert 'repro_cache_server_requests_total{op="get",outcome="hit"}' in text
+        assert 'repro_cache_server_requests_total{op="get",outcome="miss"}' in text
+
+
+class TestConnectionPool:
+    def test_release_then_acquire_reuses(self, cache):
+        host, port = cache.server_address[:2]
+        shared = ConnectionPool()
+        first = shared.acquire(host, port, timeout=5.0)
+        first.request("GET", "/healthz")
+        first.getresponse().read()
+        shared.release(host, port, first)
+        assert shared.idle_count(host, port) == 1
+        again = shared.acquire(host, port, timeout=2.0)
+        assert again is first
+        assert again.timeout == 2.0  # the new caller's budget applies
+        assert shared.stats()["reused"] == 1
+        shared.discard(again)
+
+    def test_overflow_release_discards(self):
+        shared = ConnectionPool(max_idle_per_host=1)
+        a = shared.acquire("127.0.0.1", 1)
+        b = shared.acquire("127.0.0.1", 1)
+        shared.release("127.0.0.1", 1, a)
+        shared.release("127.0.0.1", 1, b)
+        assert shared.idle_count("127.0.0.1", 1) == 1
+        assert shared.stats()["discarded"] == 1
+        shared.clear()
+
+    def test_process_pool_reset(self):
+        shared = pool()
+        shared.acquire("127.0.0.1", 1)
+        assert shared.stats()["created"] >= 1
+        reset_pool()
+        assert pool().stats() == {
+            "created": 0,
+            "reused": 0,
+            "discarded": 0,
+            "idle": 0,
+        }

@@ -1,0 +1,189 @@
+"""Fleet metrics plumbing (repro.fleet.metrics) and ``repro metrics
+--fleet``.
+
+The parse/merge helpers are pinned against hand-written exposition
+dumps (label escaping, histogram suffix folding, HELP/TYPE
+deduplication); the CLI test scrapes a real worker *and* a real cache
+server and asserts the merged stream tags every sample with its
+instance.  The loadtest percentile helper lives here too — it is pure
+math shared by the harness and the bench.
+"""
+
+import threading
+
+import pytest
+
+from repro.fleet.cache_server import make_cache_server
+from repro.fleet.loadtest import percentile
+from repro.fleet.metrics import (
+    merge_exposition,
+    parse_samples,
+    sample_value,
+    scrape_text,
+    split_host_port,
+)
+
+
+class TestSplitHostPort:
+    def test_full_url(self):
+        assert split_host_port("http://10.0.0.7:8799") == ("10.0.0.7", 8799)
+
+    def test_bare_host_port(self):
+        assert split_host_port("localhost:8080") == ("localhost", 8080)
+
+    def test_port_defaults_to_80(self):
+        assert split_host_port("http://example.test") == ("example.test", 80)
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            split_host_port("http://")
+
+
+DUMP_A = """\
+# HELP repro_sessions_live Sessions currently live on this worker.
+# TYPE repro_sessions_live gauge
+repro_sessions_live 3
+# HELP repro_http_request_seconds HTTP request latency.
+# TYPE repro_http_request_seconds histogram
+repro_http_request_seconds_bucket{route="/healthz",le="0.1"} 4
+repro_http_request_seconds_sum{route="/healthz"} 0.2
+repro_http_request_seconds_count{route="/healthz"} 4
+"""
+
+DUMP_B = """\
+# HELP repro_sessions_live Sessions currently live on this worker.
+# TYPE repro_sessions_live gauge
+repro_sessions_live 1
+"""
+
+
+class TestParseSamples:
+    def test_names_labels_and_values(self):
+        samples = parse_samples(DUMP_A)
+        assert ("repro_sessions_live", {}, 3.0) in samples
+        assert (
+            "repro_http_request_seconds_bucket",
+            {"route": "/healthz", "le": "0.1"},
+            4.0,
+        ) in samples
+
+    def test_comments_and_blanks_are_skipped(self):
+        assert parse_samples("# HELP x y\n\n# TYPE x counter\n") == []
+
+    def test_escaped_label_values_survive(self):
+        samples = parse_samples('m{path="a\\"b"} 1\n')
+        assert samples == [("m", {"path": 'a\\"b'}, 1.0)]
+
+    def test_sample_value_matches_label_subset(self):
+        samples = parse_samples(DUMP_A)
+        assert sample_value(samples, "repro_sessions_live") == 3.0
+        assert (
+            sample_value(
+                samples,
+                "repro_http_request_seconds_sum",
+                {"route": "/healthz"},
+            )
+            == 0.2
+        )
+        assert sample_value(samples, "nope") is None
+        assert (
+            sample_value(samples, "repro_sessions_live", {"route": "/x"})
+            is None
+        )
+
+
+class TestMergeExposition:
+    def test_instance_label_lands_first(self):
+        merged = merge_exposition([("w0:1", DUMP_B)])
+        assert 'repro_sessions_live{instance="w0:1"} 1' in merged
+
+    def test_existing_labels_keep_their_place(self):
+        merged = merge_exposition([("w0:1", DUMP_A)])
+        assert (
+            'repro_http_request_seconds_sum{instance="w0:1",route="/healthz"} 0.2'
+            in merged
+        )
+
+    def test_help_and_type_emitted_once_per_family(self):
+        merged = merge_exposition([("a:1", DUMP_B), ("b:2", DUMP_B)])
+        assert merged.count("# HELP repro_sessions_live") == 1
+        assert merged.count("# TYPE repro_sessions_live") == 1
+        assert 'repro_sessions_live{instance="a:1"} 1' in merged
+        assert 'repro_sessions_live{instance="b:2"} 1' in merged
+
+    def test_histogram_series_fold_under_their_family(self):
+        merged = merge_exposition([("a:1", DUMP_A), ("b:2", DUMP_A)])
+        # _bucket/_sum/_count stay grouped under the one histogram
+        # header instead of forming families of their own
+        assert merged.count("# TYPE repro_http_request_seconds histogram") == 1
+        header_at = merged.index("# TYPE repro_http_request_seconds histogram")
+        assert merged.index('_bucket{instance="b:2"', header_at) > header_at
+
+    def test_empty_scrape_set_is_empty(self):
+        assert merge_exposition([]) == ""
+
+
+class TestPercentile:
+    def test_rank_interpolation(self):
+        assert percentile([10.0, 20.0, 30.0], 50) == 20.0
+        samples = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(samples, 0) == 10.0
+        assert percentile(samples, 95) == 40.0
+        assert percentile(samples, 99) == 40.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == percentile(
+            [1.0, 2.0, 3.0], 50
+        )
+
+
+@pytest.fixture
+def cache(tmp_path):
+    server = make_cache_server(port=0, path=str(tmp_path / "cache.sqlite"))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.store.close()
+        thread.join(timeout=5)
+
+
+class TestFleetScrape:
+    def test_scrape_text_reads_the_metrics_route(self, cache):
+        host, port = cache.server_address[:2]
+        text = scrape_text(f"http://{host}:{port}")
+        # the store gauges exist from boot; request counters are lazy
+        assert "repro_store_entries" in text
+
+    def test_scrape_text_raises_on_http_error(self, cache):
+        host, port = cache.server_address[:2]
+        with pytest.raises(OSError):
+            scrape_text(f"http://{host}:{port}", path="/nope")
+
+    def test_cli_metrics_fleet_merges_instances(self, cache, capsys):
+        from repro.cli import main
+
+        host, port = cache.server_address[:2]
+        url = f"{host}:{port}"
+        assert main(["metrics", "--fleet", f"{url},{url}"]) == 0
+        out = capsys.readouterr().out
+        assert f'instance="{url}"' in out
+
+    def test_cli_metrics_fleet_reports_dead_members(self, cache, capsys):
+        from repro.cli import main
+
+        host, port = cache.server_address[:2]
+        assert (
+            main(["metrics", "--fleet", f"{host}:{port},127.0.0.1:9"]) == 1
+        )
+        err = capsys.readouterr().err
+        assert "127.0.0.1:9" in err

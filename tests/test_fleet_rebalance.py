@@ -1,0 +1,188 @@
+"""The auto-rebalancer (repro.fleet.rebalance) and its fleet surface.
+
+``plan_moves`` is pure planning over observed counts, so the policy is
+pinned with unit tests; the end-to-end tests boot two real workers,
+skew their session counts, and assert the controller drains the hot one
+through the migrate-push flow while skipping unreachable members.  Also
+covers the supporting service surface this PR adds: ``GET
+/v1/sessions`` (typed ``session_ids``), the ``repro_sessions_live``
+gauge, and keep-alive connection reuse across short-lived clients.
+"""
+
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.engine.cache import reset_process_cache
+from repro.fleet.pool import pool, reset_pool
+from repro.fleet.rebalance import (
+    Move,
+    WorkerLoad,
+    plan_moves,
+    rebalance_once,
+    run_rebalancer,
+    scrape_load,
+)
+from repro.obs import metrics as obs_metrics
+from repro.service.client import ServiceClient
+from repro.service.server import make_server
+from repro.synth.config import DEFAULT_CONFIG
+
+from helpers import cards_page
+
+
+def _load(url, count, ids=None):
+    ids = tuple(f"{url}-s{i}" for i in range(count)) if ids is None else ids
+    return WorkerLoad(url=url, sessions=count, session_ids=ids)
+
+
+class TestPlanMoves:
+    def test_balanced_fleets_plan_nothing(self):
+        assert plan_moves([]) == []
+        assert plan_moves([_load("a", 3)]) == []
+        assert plan_moves([_load("a", 3), _load("b", 2)], skew=2) == []
+
+    def test_half_the_gap_moves_hot_to_cold(self):
+        moves = plan_moves([_load("a", 6), _load("b", 0)], skew=2)
+        assert len(moves) == 1
+        assert moves[0].source == "a" and moves[0].target == "b"
+        assert len(moves[0].sessions) == 3  # half of the gap of 6
+
+    def test_newest_sessions_drain_first(self):
+        moves = plan_moves(
+            [_load("a", 4, ids=("s1", "s2", "s3", "s4")), _load("b", 0)],
+            skew=1,
+        )
+        assert moves[0].sessions == ("s4", "s3")  # newest first
+
+    def test_skew_zero_converges_to_even(self):
+        loads = [_load("a", 5), _load("b", 0)]
+        moves = plan_moves(loads, skew=0)
+        counts = {"a": 5, "b": 0}
+        for move in moves:
+            counts[move.source] -= len(move.sessions)
+            counts[move.target] += len(move.sessions)
+        assert abs(counts["a"] - counts["b"]) <= 1
+
+    def test_three_workers_drain_toward_the_mean(self):
+        loads = [_load("a", 9), _load("b", 0), _load("c", 0)]
+        counts = {"a": 9, "b": 0, "c": 0}
+        for move in plan_moves(loads, skew=1):
+            counts[move.source] -= len(move.sessions)
+            counts[move.target] += len(move.sessions)
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_gauge_without_drainable_ids_stops(self):
+        # the worker claims 5 sessions but exposes only one id: plan
+        # what is drainable, never invent session ids
+        moves = plan_moves(
+            [_load("a", 5, ids=("only",)), _load("b", 0)], skew=1
+        )
+        assert [move.sessions for move in moves] == [("only",)]
+
+
+def _boot():
+    server = make_server(
+        port=0,
+        config=replace(DEFAULT_CONFIG, cache_backend="memory"),
+        timeout=5.0,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, f"http://127.0.0.1:{server.server_address[1]}"
+
+
+@pytest.fixture
+def two_workers():
+    reset_process_cache()
+    reset_pool()
+    server_a, url_a = _boot()
+    server_b, url_b = _boot()
+    try:
+        yield (server_a, url_a), (server_b, url_b)
+    finally:
+        for server in (server_a, server_b):
+            server.shutdown()
+            server.manager.close_all()
+            server.server_close()
+        reset_process_cache()
+        reset_pool()
+
+
+class TestEndToEnd:
+    def test_hot_worker_drains_to_the_cold_one(self, two_workers):
+        (server_a, url_a), (server_b, url_b) = two_workers
+        with ServiceClient(url_a) as client:
+            for _ in range(4):
+                client.create_session(cards_page(3))
+        outcome = rebalance_once([url_a, url_b], skew=0, timeout=5.0)
+        assert outcome.moved == 2
+        assert outcome.failed == 0
+        assert len(server_a.manager.session_ids()) == 2
+        assert len(server_b.manager.session_ids()) == 2
+
+    def test_dry_run_plans_without_moving(self, two_workers):
+        (server_a, url_a), (_, url_b) = two_workers
+        with ServiceClient(url_a) as client:
+            for _ in range(4):
+                client.create_session(cards_page(3))
+        outcome = rebalance_once([url_a, url_b], skew=0, dry_run=True)
+        assert outcome.moves and outcome.moved == 0
+        assert len(server_a.manager.session_ids()) == 4
+
+    def test_unreachable_workers_are_skipped(self, two_workers):
+        (server_a, url_a), (_, url_b) = two_workers
+        with ServiceClient(url_a) as client:
+            client.create_session(cards_page(3))
+        outcome = rebalance_once(
+            [url_a, url_b, "http://127.0.0.1:9"], skew=0, timeout=0.5
+        )
+        assert outcome.unreachable == ["http://127.0.0.1:9"]
+        assert outcome.failed == 0
+
+    def test_run_rebalancer_one_shot_exit_code(self, two_workers, capsys):
+        (_, url_a), (_, url_b) = two_workers
+        assert run_rebalancer([url_a, url_b], timeout=5.0) == 0
+        printed = capsys.readouterr().out
+        assert printed.startswith("rebalance: skew=0")
+
+    def test_scrape_load_reads_count_ids_and_latency(self, two_workers):
+        (_, url_a), _ = two_workers
+        obs_metrics.reset_registry()
+        with ServiceClient(url_a) as client:
+            sid = client.create_session(cards_page(3))
+        load = scrape_load(url_a, timeout=5.0)
+        assert load.sessions == 1
+        assert load.session_ids == (sid,)
+
+
+class TestFleetServiceSurface:
+    def test_session_ids_over_http(self, two_workers):
+        (_, url_a), _ = two_workers
+        with ServiceClient(url_a) as client:
+            assert client.session_ids() == []
+            sid = client.create_session(cards_page(3))
+            assert client.session_ids() == [sid]
+            client.close_session(sid)
+            assert client.session_ids() == []
+
+    def test_sessions_live_gauge_tracks_mutations(self, two_workers):
+        (_, url_a), _ = two_workers
+        obs_metrics.reset_registry()
+        with ServiceClient(url_a) as client:
+            sid = client.create_session(cards_page(3))
+            assert 'repro_sessions_live 1' in obs_metrics.registry().render()
+            client.close_session(sid)
+            assert 'repro_sessions_live 0' in obs_metrics.registry().render()
+
+    def test_short_lived_clients_share_keepalive_connections(self, two_workers):
+        (_, url_a), _ = two_workers
+        before = pool().stats()
+        for _ in range(5):
+            with ServiceClient(url_a) as client:
+                assert client.health()
+        after = pool().stats()
+        # five sequential clients ride (mostly) one parked connection
+        assert after["reused"] - before["reused"] >= 3
+        assert after["created"] - before["created"] <= 2

@@ -143,6 +143,10 @@ class TestFileBackend:
             backend._conn.execute(
                 "UPDATE entries SET payload = ?", (b"{not json",)
             )
+            # drop the in-memory row so the load really hits the
+            # corrupted disk payload
+            backend._decoded.clear()
+            backend._decoded_bytes = 0
         assert backend.load_entry(EXACT, key) is None
         backend.close()
 
